@@ -1,0 +1,404 @@
+package routetab
+
+// One benchmark per evaluation artefact (DESIGN.md experiment index): each
+// regenerates the measured quantity behind a Table 1 cell or Figure 1 and
+// reports it via b.ReportMetric, so `go test -bench . -benchmem` reproduces
+// the paper's evaluation alongside the timing data. Ablation benches cover
+// the design choices called out in DESIGN.md §5.
+
+import (
+	"math/rand"
+	"testing"
+
+	"routetab/internal/descmethods"
+	"routetab/internal/gengraph"
+	"routetab/internal/graph"
+	"routetab/internal/kolmo"
+	"routetab/internal/lowerbound"
+	"routetab/internal/models"
+	"routetab/internal/portcode"
+	"routetab/internal/routing"
+	"routetab/internal/schemes/centers"
+	"routetab/internal/schemes/compact"
+	"routetab/internal/schemes/fullinfo"
+	"routetab/internal/schemes/fulltable"
+	"routetab/internal/schemes/hub"
+	"routetab/internal/schemes/labels"
+	"routetab/internal/schemes/walker"
+	"routetab/internal/shortestpath"
+)
+
+const benchN = 128
+
+func benchGraph(b *testing.B, seed int64) *graph.Graph {
+	b.Helper()
+	g, err := gengraph.GnHalf(benchN, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func reportSpace(b *testing.B, s routing.Scheme, m models.Model) {
+	b.Helper()
+	sp, err := routing.MeasureSpace(s, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(sp.Total), "bits_total")
+	b.ReportMetric(float64(sp.Total)/float64(benchN), "bits/node")
+}
+
+// BenchmarkTheorem1Compact regenerates E1 (Table 1 average upper O(n²),
+// model II): build cost plus the measured total.
+func BenchmarkTheorem1Compact(b *testing.B) {
+	g := benchGraph(b, 1)
+	var s *compact.Scheme
+	for i := 0; i < b.N; i++ {
+		var err error
+		s, err = compact.Build(g, compact.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSpace(b, s, models.IIAlpha)
+}
+
+// BenchmarkTheorem1CompactIB is E1's IB variant (+n−1 bits/node).
+func BenchmarkTheorem1CompactIB(b *testing.B) {
+	g := benchGraph(b, 2)
+	opts := compact.Options{Mode: compact.ModeIB, Strategy: compact.LeastFirst, Threshold: compact.ThresholdLogLog}
+	var s *compact.Scheme
+	for i := 0; i < b.N; i++ {
+		var err error
+		s, err = compact.Build(g, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSpace(b, s, models.IBAlpha)
+}
+
+// BenchmarkTheorem2Labels regenerates E2 (O(n log² n), model II ∧ γ).
+func BenchmarkTheorem2Labels(b *testing.B) {
+	g := benchGraph(b, 3)
+	var s *labels.Scheme
+	for i := 0; i < b.N; i++ {
+		var err error
+		s, err = labels.Build(g, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSpace(b, s, models.IIGamma)
+}
+
+// BenchmarkTheorem3Centers regenerates E3 (stretch 1.5 → O(n log n)).
+func BenchmarkTheorem3Centers(b *testing.B) {
+	g := benchGraph(b, 4)
+	var s *centers.Scheme
+	for i := 0; i < b.N; i++ {
+		var err error
+		s, err = centers.Build(g, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSpace(b, s, models.IIAlpha)
+}
+
+// BenchmarkTheorem4Hub regenerates E4 (stretch 2 → n loglog n + 6n).
+func BenchmarkTheorem4Hub(b *testing.B) {
+	g := benchGraph(b, 5)
+	var s *hub.Scheme
+	for i := 0; i < b.N; i++ {
+		var err error
+		s, err = hub.Build(g, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSpace(b, s, models.IIAlpha)
+}
+
+// BenchmarkTheorem5Walker regenerates E5 (stretch O(log n) → O(n)).
+func BenchmarkTheorem5Walker(b *testing.B) {
+	g := benchGraph(b, 6)
+	var s *walker.Scheme
+	for i := 0; i < b.N; i++ {
+		var err error
+		s, err = walker.Build(g, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSpace(b, s, models.IIAlpha)
+}
+
+// BenchmarkTheorem6Codec regenerates E6 (Table 1 average lower Ω(n²), model
+// II ∧ α): the description-method round trip and its ledger.
+func BenchmarkTheorem6Codec(b *testing.B) {
+	g := benchGraph(b, 7)
+	codec := descmethods.RoutingFuncCodec{U: 1}
+	var desc *kolmo.Description
+	for i := 0; i < b.N; i++ {
+		var err error
+		desc, err = kolmo.Describe(codec, g)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(desc.Bits), "description_bits")
+	b.ReportMetric(float64(-desc.Savings), "overhead_bits")
+}
+
+// BenchmarkTheorem7Accounting regenerates E7 (Ω(n²) when neighbours are
+// unknown): the Claim 3 interconnection-pattern codec over every node.
+func BenchmarkTheorem7Accounting(b *testing.B) {
+	g := benchGraph(b, 8)
+	ports := graph.RandomPorts(g, rand.New(rand.NewSource(8)))
+	s, err := fulltable.Build(g, ports)
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := 0
+	for i := 0; i < b.N; i++ {
+		total = 0
+		for u := 1; u <= g.N(); u++ {
+			codec := lowerbound.PatternCodec{Scheme: s, Degree: g.Degree(u), U: u}
+			enc, err := codec.EncodePattern(g, ports)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += enc.Len()
+		}
+	}
+	b.ReportMetric(float64(total), "pattern_bits_total")
+}
+
+// BenchmarkTheorem8Ports regenerates E8 (Ω(n² log n), model IA ∧ α): the
+// adversarial port-permutation entropy ledger.
+func BenchmarkTheorem8Ports(b *testing.B) {
+	g := benchGraph(b, 9)
+	ports := graph.RandomPorts(g, rand.New(rand.NewSource(9)))
+	var pe *lowerbound.PortEntropy
+	for i := 0; i < b.N; i++ {
+		var err error
+		pe, err = lowerbound.MeasurePortEntropy(g, ports)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(pe.EntropyBits, "entropy_bits")
+	b.ReportMetric(float64(pe.TableBits), "table_bits")
+}
+
+// BenchmarkTheorem9Family regenerates E9 (Figure 1 + worst-case
+// Ω(n² log n)): build G_B, route, extract the hidden permutation.
+func BenchmarkTheorem9Family(b *testing.B) {
+	k := benchN / 3
+	gb, err := gengraph.RandomGB(k, rand.New(rand.NewSource(10)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ports := graph.SortedPorts(gb.G)
+	s, err := fulltable.Build(gb.G, ports)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := routing.NewSim(gb.G, ports, s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ex *lowerbound.Extraction
+	for i := 0; i < b.N; i++ {
+		ex, err = lowerbound.ExtractPermutation(gb, sim)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := lowerbound.VerifyExtraction(gb, ex); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(ex.TotalBits, "entropy_bits_total")
+}
+
+// BenchmarkTheorem10FullInfo regenerates E10 (Θ(n³) full information).
+func BenchmarkTheorem10FullInfo(b *testing.B) {
+	g := benchGraph(b, 11)
+	ports := graph.SortedPorts(g)
+	dm, err := shortestpath.AllPairs(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var s *fullinfo.Scheme
+	for i := 0; i < b.N; i++ {
+		s, err = fullinfo.Build(g, ports, dm)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSpace(b, s, models.IAAlpha)
+}
+
+// BenchmarkLemmas regenerates E11: full c·log n-randomness certification
+// (Lemmas 1–3 + compressibility).
+func BenchmarkLemmas(b *testing.B) {
+	g := benchGraph(b, 12)
+	var cert *kolmo.Certificate
+	for i := 0; i < b.N; i++ {
+		var err error
+		cert, err = kolmo.Certify(g, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if !cert.OK() {
+		b.Fatal("sample failed certification")
+	}
+	b.ReportMetric(float64(cert.MaxCoverPrefix), "max_cover_prefix")
+}
+
+// BenchmarkCorollary1Average regenerates E12: the uniform-average total over
+// sampled graphs (Corollary 1's averaging step) for the Theorem 1 scheme.
+func BenchmarkCorollary1Average(b *testing.B) {
+	seeds := []int64{21, 22, 23}
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		sum := 0.0
+		for _, seed := range seeds {
+			g := benchGraph(b, seed)
+			s, err := compact.Build(g, compact.DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			sp, err := routing.MeasureSpace(s, models.IIAlpha)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sum += float64(sp.Total)
+		}
+		avg = sum / float64(len(seeds))
+	}
+	b.ReportMetric(avg, "bits_total_avg")
+	b.ReportMetric(avg/float64(benchN*benchN), "bits_per_n2")
+}
+
+// BenchmarkRouteCompact measures the per-message routing hot path.
+func BenchmarkRouteCompact(b *testing.B) {
+	g := benchGraph(b, 13)
+	s, err := compact.Build(g, compact.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := routing.NewSim(g, graph.SortedPorts(g), s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := i%benchN + 1
+		dst := (i*31+57)%benchN + 1
+		if src == dst {
+			continue
+		}
+		if _, err := sim.RouteByNode(src, dst, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationGreedyCover compares DESIGN.md §5's greedy cover against
+// the paper's least-first rule.
+func BenchmarkAblationGreedyCover(b *testing.B) {
+	g := benchGraph(b, 14)
+	opts := compact.Options{Mode: compact.ModeII, Strategy: compact.Greedy, Threshold: compact.ThresholdLogLog}
+	var s *compact.Scheme
+	for i := 0; i < b.N; i++ {
+		var err error
+		s, err = compact.Build(g, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSpace(b, s, models.IIAlpha)
+}
+
+// BenchmarkAblationThresholdLog measures the 3n-bit threshold variant.
+func BenchmarkAblationThresholdLog(b *testing.B) {
+	g := benchGraph(b, 15)
+	opts := compact.Options{Mode: compact.ModeII, Strategy: compact.LeastFirst, Threshold: compact.ThresholdLog}
+	var s *compact.Scheme
+	for i := 0; i < b.N; i++ {
+		var err error
+		s, err = compact.Build(g, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSpace(b, s, models.IIAlpha)
+}
+
+// BenchmarkAblationCompressors compares the deficiency estimators.
+func BenchmarkAblationCompressors(b *testing.B) {
+	g := benchGraph(b, 16)
+	data := g.EncodeBytes()
+	nbits := graph.EdgeCodeLen(g.N())
+	for _, c := range kolmo.DefaultCompressors() {
+		c := c
+		b.Run(c.Name(), func(b *testing.B) {
+			var size int
+			for i := 0; i < b.N; i++ {
+				var err error
+				size, err = c.CompressedBits(data, nbits)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(nbits-size), "deficiency_bits")
+		})
+	}
+}
+
+// BenchmarkPortcodeStoreLoad measures the footnote-to-model-II side channel:
+// ranking/unranking every node's port permutation.
+func BenchmarkPortcodeStoreLoad(b *testing.B) {
+	g := benchGraph(b, 17)
+	capacity := portcode.Capacity(g)
+	payload := make([]byte, capacity/8)
+	rng := rand.New(rand.NewSource(17))
+	rng.Read(payload)
+	nbits := capacity - capacity%8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ports, err := portcode.StoreBits(g, payload, nbits)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := portcode.LoadBits(g, ports, nbits); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(capacity), "capacity_bits")
+}
+
+// BenchmarkCompactMarshal measures scheme persistence round trips.
+func BenchmarkCompactMarshal(b *testing.B) {
+	g := benchGraph(b, 18)
+	s, err := compact.Build(g, compact.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var blob []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob, err = s.Marshal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := compact.Unmarshal(blob, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(blob)*8), "blob_bits")
+}

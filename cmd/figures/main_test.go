@@ -1,0 +1,33 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunEmitsEverySeries(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-sizes", "32,48,64", "-trials", "1", "-pairs", "100"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Theorem 1", "Theorem 2", "Theorem 3", "Theorem 4", "Theorem 5",
+		"Full-information", "Universal full-table", "Interval routing",
+		"figure1", "extraction_ok", "theorem8", "entropy_bits",
+		"theorem7", "worstcase", "certified_fraction",
+		"n,total_bits",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-sizes", "oops"}, &buf); err == nil {
+		t.Fatal("bad sizes accepted")
+	}
+}

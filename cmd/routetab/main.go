@@ -1,0 +1,236 @@
+// Command routetab is the library's CLI: generate graphs, certify their
+// randomness, build routing schemes per model/stretch, and route messages.
+//
+// Usage:
+//
+//	routetab gen     -family gnp -n 256 -seed 1 -out topo.edges
+//	routetab certify -n 256 -seed 1 [-c 3]
+//	routetab build   -n 256 -seed 1 -model II^alpha -stretch 1
+//	routetab route   -n 256 -seed 1 -model II^alpha -stretch 2 -from 3 -to 77
+//	routetab verify  -n 256 -seed 1 -model II^gamma -stretch 1 -pairs 2000
+//	routetab portcode -n 128 -payload "hidden"
+//
+// Every subcommand accepts -graph <file> to run on an edge-list topology
+// instead of a generated one.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"routetab/internal/core"
+	"routetab/internal/descmethods"
+	"routetab/internal/gengraph"
+	"routetab/internal/graph"
+	"routetab/internal/kolmo"
+	"routetab/internal/models"
+	"routetab/internal/portcode"
+	"routetab/internal/routing"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "routetab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: routetab <gen|certify|build|route|verify|portcode> [flags]")
+	}
+	cmd, rest := args[0], args[1:]
+
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	var (
+		n       = fs.Int("n", 128, "graph size")
+		seed    = fs.Int64("seed", 1, "graph seed (uniform G(n,1/2))")
+		c       = fs.Float64("c", 3, "randomness parameter (c·log n)")
+		model   = fs.String("model", "II^alpha", "cost model (IA|IB|II)^(alpha|beta|gamma)")
+		stretch = fs.Float64("stretch", 1, "stretch budget (≥ 1)")
+		from    = fs.Int("from", 1, "route: source node")
+		to      = fs.Int("to", 2, "route: destination node")
+		pairs   = fs.Int("pairs", 2000, "verify: sampled pairs (0 = all)")
+		labels  = fs.Bool("labels", false, "prefer the Theorem 2 label scheme under II^gamma")
+		payload = fs.String("payload", "hidden in the port assignment", "portcode: payload to store")
+		file    = fs.String("graph", "", "edge-list file to load instead of generating (\"n <count>\" header, \"u v\" lines)")
+		family  = fs.String("family", "gnp", "gen: graph family (gnp|chain|cycle|star|grid|tree|gb)")
+		p       = fs.Float64("p", 0.5, "gen: edge probability for gnp")
+		out     = fs.String("out", "", "gen: output file (default stdout)")
+	)
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+
+	if cmd == "gen" {
+		return runGen(*family, *n, *p, *seed, *out)
+	}
+
+	var g *graph.Graph
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if g, err = graph.ReadEdgeList(f); err != nil {
+			return err
+		}
+	} else {
+		var err error
+		if g, err = gengraph.GnHalf(*n, rand.New(rand.NewSource(*seed))); err != nil {
+			return err
+		}
+	}
+
+	switch cmd {
+	case "certify":
+		cert, err := kolmo.Certify(g, *c)
+		if err != nil {
+			return err
+		}
+		fmt.Println(cert)
+		// Run every description method (the paper's proofs as codecs): on a
+		// genuinely random graph none of them applies.
+		best, derr := kolmo.BestDescription(g, descmethods.AllProofCodecs(*c)...)
+		switch {
+		case errors.Is(derr, kolmo.ErrNotApplicableCodec):
+			fmt.Println("description methods: none applies (incompressible by every proof codec)")
+		case derr != nil:
+			return derr
+		default:
+			fmt.Printf("description methods: %s compresses E(G) by %d bits\n", best.Codec, best.Savings)
+		}
+		if !cert.OK() {
+			return fmt.Errorf("graph is not %v·log n-random", *c)
+		}
+		return nil
+
+	case "build", "route", "verify":
+		m, err := models.Parse(*model)
+		if err != nil {
+			return err
+		}
+		res, err := core.Build(g, core.Options{
+			Model:        m,
+			MaxStretch:   *stretch,
+			C:            *c,
+			PreferLabels: *labels,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("construction: %s\n", res.Theorem)
+		fmt.Printf("model: %s  n: %d  m: %d edges\n", m, g.N(), g.M())
+		fmt.Printf("space: %d bits total (%d function + %d label), max %d bits/node\n",
+			res.Space.Total, res.Space.FunctionBits, res.Space.LabelBits, res.Space.MaxFunctionBits)
+		if res.Certificate != nil {
+			fmt.Printf("certificate: %s\n", res.Certificate)
+		}
+		switch cmd {
+		case "route":
+			sim, err := routing.NewSim(g, res.Ports, res.Scheme)
+			if err != nil {
+				return err
+			}
+			tr, err := sim.RouteByNode(*from, *to, routing.DefaultHopLimit(g.N()))
+			if err != nil {
+				return err
+			}
+			fmt.Printf("route %d→%d: %v (%d hops)\n", *from, *to, tr.Path, tr.Hops)
+		case "verify":
+			rep, err := res.Verify(g, *pairs, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(rep)
+			if !rep.AllDelivered() {
+				return fmt.Errorf("undelivered pairs: %v", rep.Failures)
+			}
+		}
+		return nil
+
+	case "portcode":
+		// The footnote to model II, as a demo: hide the payload in a port
+		// assignment, reload it, and confirm routing still works on top.
+		data := []byte(*payload)
+		nbits := len(data) * 8
+		capacity := portcode.Capacity(g)
+		if nbits > capacity {
+			return fmt.Errorf("payload %d bits exceeds capacity %d", nbits, capacity)
+		}
+		ports, err := portcode.StoreBits(g, data, nbits)
+		if err != nil {
+			return err
+		}
+		back, err := portcode.LoadBits(g, ports, nbits)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("capacity: %d bits (Σ ⌊log₂ d(v)!⌋)\n", capacity)
+		fmt.Printf("recovered: %q\n", back[:len(data)])
+		res, err := core.Build(g, core.Options{Model: models.IAAlpha, MaxStretch: 1, Ports: ports})
+		if err != nil {
+			return err
+		}
+		rep, err := res.Verify(g, *pairs, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("routing on payload-carrying ports: %s\n", rep)
+		return nil
+
+	default:
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+// runGen generates a graph of the requested family and writes its edge list.
+func runGen(family string, n int, p float64, seed int64, out string) error {
+	rng := rand.New(rand.NewSource(seed))
+	var (
+		g   *graph.Graph
+		err error
+	)
+	switch family {
+	case "gnp":
+		g, err = gengraph.Gnp(n, p, rng)
+	case "chain":
+		g, err = gengraph.Chain(n)
+	case "cycle":
+		g, err = gengraph.Cycle(n)
+	case "star":
+		g, err = gengraph.Star(n)
+	case "grid":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		g, err = gengraph.Grid(side, side)
+	case "tree":
+		g, err = gengraph.RandomTree(n, rng)
+	case "gb":
+		var gb *gengraph.GB
+		if gb, err = gengraph.RandomGB(n/3, rng); err == nil {
+			g = gb.G
+		}
+	default:
+		return fmt.Errorf("unknown family %q", family)
+	}
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return g.WriteEdgeList(w)
+}

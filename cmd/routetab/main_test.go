@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSubcommands(t *testing.T) {
+	tests := [][]string{
+		{"certify", "-n", "64", "-seed", "1"},
+		{"build", "-n", "48", "-model", "II^alpha", "-stretch", "1"},
+		{"build", "-n", "48", "-model", "IB^alpha", "-stretch", "1"},
+		{"build", "-n", "48", "-model", "IA^alpha", "-stretch", "1"},
+		{"build", "-n", "48", "-model", "II^gamma", "-stretch", "1", "-labels"},
+		{"route", "-n", "48", "-model", "II^alpha", "-stretch", "2", "-from", "3", "-to", "17"},
+		{"verify", "-n", "48", "-model", "II^alpha", "-stretch", "1.5", "-pairs", "200"},
+	}
+	for _, args := range tests {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		args []string
+		want string
+	}{
+		{nil, "usage"},
+		{[]string{"frobnicate"}, "unknown subcommand"},
+		{[]string{"build", "-model", "XX^alpha"}, "unknown model"},
+		{[]string{"build", "-stretch", "0.5"}, "stretch"},
+		{[]string{"route", "-n", "32", "-from", "0"}, ""},
+		{[]string{"certify", "-n", "4"}, "too small"},
+	}
+	for _, tt := range tests {
+		err := run(tt.args)
+		if err == nil {
+			t.Errorf("run(%v): want error", tt.args)
+			continue
+		}
+		if tt.want != "" && !strings.Contains(err.Error(), tt.want) {
+			t.Errorf("run(%v): err = %v, want substring %q", tt.args, err, tt.want)
+		}
+	}
+}
+
+func TestRunPortcode(t *testing.T) {
+	if err := run([]string{"portcode", "-n", "48", "-pairs", "100", "-payload", "abc"}); err != nil {
+		t.Fatal(err)
+	}
+	// Oversized payload rejected.
+	big := strings.Repeat("x", 100000)
+	if err := run([]string{"portcode", "-n", "32", "-payload", big}); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}
+
+func TestRunWithGraphFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.edges")
+	doc := "n 6\n1 2\n1 3\n1 4\n1 5\n1 6\n2 3\n3 4\n4 5\n5 6\n6 2\n"
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"verify", "-graph", path, "-model", "IA^alpha", "-stretch", "1", "-pairs", "0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"route", "-graph", path, "-model", "IA^alpha", "-from", "2", "-to", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"build", "-graph", "/nonexistent"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunGen(t *testing.T) {
+	dir := t.TempDir()
+	for _, fam := range []string{"gnp", "chain", "cycle", "star", "grid", "tree", "gb"} {
+		path := filepath.Join(dir, fam+".edges")
+		if err := run([]string{"gen", "-family", fam, "-n", "30", "-out", path}); err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		// Generated files load back through the -graph flag.
+		if err := run([]string{"build", "-graph", path, "-model", "IA^alpha"}); err != nil {
+			t.Fatalf("%s reload: %v", fam, err)
+		}
+	}
+	if err := run([]string{"gen", "-family", "moebius"}); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+	if err := run([]string{"gen", "-family", "gnp", "-p", "2"}); err == nil {
+		t.Fatal("p=2 accepted")
+	}
+}

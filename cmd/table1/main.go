@@ -1,0 +1,73 @@
+// Command table1 regenerates the paper's Table 1 — the nine-model grid of
+// shortest-path routing-scheme sizes — as a measured reproduction on seeded
+// uniform random graphs, with growth fits against the claimed bounds.
+//
+// Usage:
+//
+//	table1 [-sizes 64,128,256] [-trials 3] [-seed 1] [-pairs 2000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"routetab/internal/eval"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("table1", flag.ContinueOnError)
+	var (
+		sizes  = fs.String("sizes", "64,128,256", "comma-separated n sweep")
+		trials = fs.Int("trials", 3, "graphs per size")
+		seed   = fs.Int64("seed", 1, "experiment seed")
+		pairs  = fs.Int("pairs", 2000, "sampled pairs per verification (0 = all)")
+		c      = fs.Float64("c", 3, "randomness parameter")
+		md     = fs.Bool("md", false, "emit the grid as Markdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := eval.Config{Trials: *trials, Seed: *seed, C: *c, SamplePairs: *pairs}
+	for _, part := range strings.Split(*sizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return fmt.Errorf("sizes: %w", err)
+		}
+		cfg.Sizes = append(cfg.Sizes, n)
+	}
+	res, err := eval.RunAll(cfg)
+	if err != nil {
+		return err
+	}
+	if *md {
+		fmt.Print(eval.RenderTable1Markdown(res))
+	} else {
+		fmt.Print(eval.RenderTable1(res))
+	}
+	fmt.Println()
+	averages, err := cfg.Corollary1Averages()
+	if err != nil {
+		return err
+	}
+	fmt.Print(eval.RenderAverages(averages))
+	fmt.Println()
+	fmt.Println("growth fits vs paper claims:")
+	for _, s := range []*eval.Series{res.FullTable, res.E1IB, res.E1II, res.E2, res.E3, res.E4, res.E5, res.E10, res.Interval} {
+		ok := "MATCH"
+		if !s.FitMatchesPaper() {
+			ok = fmt.Sprintf("fit %s (paper %s)", s.Fit.Model, s.PaperGrowth)
+		}
+		fmt.Printf("  %-4s %-45s %s\n", s.ID, s.Title, ok)
+	}
+	return nil
+}

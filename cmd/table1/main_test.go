@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunSmallSweep(t *testing.T) {
+	if err := run([]string{"-sizes", "32,48,64", "-trials", "1", "-pairs", "100"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadSizes(t *testing.T) {
+	if err := run([]string{"-sizes", "32,abc"}); err == nil {
+		t.Fatal("bad sizes accepted")
+	}
+	if err := run([]string{"-sizes", "4"}); err == nil {
+		t.Fatal("size 4 accepted")
+	}
+}
+
+func TestRunMarkdown(t *testing.T) {
+	if err := run([]string{"-sizes", "32,48,64", "-trials", "1", "-pairs", "100", "-md"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+package routetab_test
+
+import (
+	"fmt"
+
+	"routetab"
+)
+
+// Example demonstrates the core flow: sample, build, route.
+func Example() {
+	g, err := routetab.RandomGraph(128, 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := routetab.Build(g, routetab.Options{
+		Model:      routetab.ModelII(routetab.RelabelNone),
+		MaxStretch: 1,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(res.Theorem)
+	rep, err := res.Verify(g, 500, 7)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("delivered %d/%d, max stretch %.1f\n", rep.Delivered, rep.Pairs, rep.MaxStretch)
+	// Output:
+	// Theorem 1 (compact, II)
+	// delivered 500/500, max stretch 1.0
+}
+
+// ExampleBuild_stretchBudget shows the stretch/space trade-off dispatch.
+func ExampleBuild_stretchBudget() {
+	g, err := routetab.RandomGraph(128, 2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, budget := range []float64{1, 1.5, 2, 1000} {
+		res, err := routetab.Build(g, routetab.Options{
+			Model:      routetab.ModelII(routetab.RelabelNone),
+			MaxStretch: budget,
+		})
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Println(res.Theorem)
+	}
+	// Output:
+	// Theorem 1 (compact, II)
+	// Theorem 3 (centres)
+	// Theorem 4 (hub)
+	// Theorem 5 (walker)
+}
+
+// ExampleExtractPermutation runs the Theorem 9 argument end to end.
+func ExampleExtractPermutation() {
+	gb, err := routetab.NewLowerBoundFamily(12, 3)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := routetab.Build(gb.G, routetab.Options{
+		Model:      routetab.ModelIA(routetab.RelabelNone),
+		MaxStretch: 1,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	sim, err := routetab.NewSim(gb.G, res.Ports, res.Scheme)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ex, err := routetab.ExtractPermutation(gb, sim)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("recovered:", routetab.VerifyExtraction(gb, ex) == nil)
+	// Output:
+	// recovered: true
+}

@@ -1,0 +1,3 @@
+module routetab
+
+go 1.22

@@ -1,0 +1,409 @@
+package routetab
+
+// Integration tests: every construction exercised across graph families,
+// port adversaries, and both carriers (reference Sim and concurrent netsim),
+// plus the certify→build→verify pipeline and cross-checks between schemes.
+
+import (
+	"math/rand"
+	"testing"
+
+	"routetab/internal/gengraph"
+	"routetab/internal/graph"
+	"routetab/internal/kolmo"
+	"routetab/internal/models"
+	"routetab/internal/netsim"
+	"routetab/internal/portcode"
+	"routetab/internal/routing"
+	"routetab/internal/schemes/centers"
+	"routetab/internal/schemes/compact"
+	"routetab/internal/schemes/fullinfo"
+	"routetab/internal/schemes/fulltable"
+	"routetab/internal/schemes/hub"
+	"routetab/internal/schemes/interval"
+	"routetab/internal/schemes/labels"
+	"routetab/internal/schemes/walker"
+	"routetab/internal/shortestpath"
+)
+
+// buildAllSchemes constructs every scheme that applies to g (sorted ports).
+func buildAllSchemes(t *testing.T, g *graph.Graph) map[string]routing.Scheme {
+	t.Helper()
+	ports := graph.SortedPorts(g)
+	dm, err := shortestpath.AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]routing.Scheme{}
+	if s, err := fulltable.Build(g, ports); err == nil {
+		out["fulltable"] = s
+	}
+	if s, err := compact.Build(g, compact.DefaultOptions()); err == nil {
+		out["compact-II"] = s
+	}
+	ibOpts := compact.Options{Mode: compact.ModeIB, Strategy: compact.LeastFirst, Threshold: compact.ThresholdLogLog}
+	if s, err := compact.Build(g, ibOpts); err == nil {
+		out["compact-IB"] = s
+	}
+	if s, err := labels.Build(g, 3); err == nil {
+		out["labels"] = s
+	}
+	if s, err := centers.Build(g, 1); err == nil {
+		out["centers"] = s
+	}
+	if s, err := hub.Build(g, 1); err == nil {
+		out["hub"] = s
+	}
+	if s, err := walker.Build(g, 3); err == nil {
+		out["walker"] = s
+	}
+	if s, err := fullinfo.Build(g, ports, dm); err == nil {
+		out["fullinfo"] = s
+	}
+	if s, err := interval.Build(g, ports, 1); err == nil {
+		out["interval"] = s
+	}
+	return out
+}
+
+func TestAllSchemesDeliverOnRandomGraphs(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		g, err := gengraph.GnHalf(72, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ports := graph.SortedPorts(g)
+		dm, err := shortestpath.AllPairs(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		schemes := buildAllSchemes(t, g)
+		if len(schemes) != 9 {
+			t.Fatalf("seed %d: only %d/9 schemes built", seed, len(schemes))
+		}
+		for name, s := range schemes {
+			sim, err := routing.NewSim(g, ports, s)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			rep, err := routing.VerifyAll(sim, dm, routing.DefaultHopLimit(g.N()))
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if !rep.AllDelivered() {
+				t.Fatalf("seed %d, %s: %s %v", seed, name, rep, rep.Failures)
+			}
+		}
+	}
+}
+
+func TestShortestPathSchemesAgreeOnStretch(t *testing.T) {
+	// The four shortest-path constructions must all report stretch exactly 1
+	// on the same graph; the bounded-stretch ones must respect their budget.
+	g, err := gengraph.GnHalf(64, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports := graph.SortedPorts(g)
+	dm, err := shortestpath.AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgets := map[string]float64{
+		"fulltable": 1, "compact-II": 1, "compact-IB": 1, "labels": 1,
+		"fullinfo": 1, "centers": 1.5, "hub": 2,
+	}
+	for name, s := range buildAllSchemes(t, g) {
+		budget, ok := budgets[name]
+		if !ok {
+			continue
+		}
+		sim, err := routing.NewSim(g, ports, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := routing.VerifyAll(sim, dm, routing.DefaultHopLimit(g.N()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.MaxStretch > budget {
+			t.Errorf("%s: stretch %v > %v", name, rep.MaxStretch, budget)
+		}
+	}
+}
+
+func TestSpaceHierarchyOnOneGraph(t *testing.T) {
+	// Table 1's ordering on a single certified graph:
+	// fullinfo > fulltable > compact > centers > hub > walker.
+	g, err := gengraph.GnHalf(128, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := kolmo.Certify(g, 3)
+	if err != nil || !cert.OK() {
+		t.Fatalf("certification: %v %v", cert, err)
+	}
+	schemes := buildAllSchemes(t, g)
+	order := []struct {
+		name  string
+		model models.Model
+	}{
+		{"fullinfo", models.IAAlpha},
+		{"fulltable", models.IAAlpha},
+		{"compact-II", models.IIAlpha},
+		{"centers", models.IIAlpha},
+		{"hub", models.IIAlpha},
+		{"walker", models.IIAlpha},
+	}
+	prev := 1 << 62
+	for _, o := range order {
+		sp, err := routing.MeasureSpace(schemes[o.name], o.model)
+		if err != nil {
+			t.Fatalf("%s: %v", o.name, err)
+		}
+		if sp.Total >= prev {
+			t.Fatalf("%s total %d not below previous %d — hierarchy broken", o.name, sp.Total, prev)
+		}
+		prev = sp.Total
+	}
+}
+
+func TestConcurrentCarrierMatchesReferenceCarrier(t *testing.T) {
+	// For deterministic schemes, netsim and Sim must produce identical paths.
+	g, err := gengraph.GnHalf(48, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports := graph.SortedPorts(g)
+	s, err := compact.Build(g, compact.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := routing.NewSim(g, ports, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := netsim.New(g, ports, s, netsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	for src := 1; src <= 48; src += 7 {
+		for dst := 2; dst <= 48; dst += 5 {
+			if src == dst {
+				continue
+			}
+			trSim, err := sim.RouteByNode(src, dst, 32)
+			if err != nil {
+				t.Fatal(err)
+			}
+			trNet, err := nw.Send(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(trSim.Path) != len(trNet.Path) {
+				t.Fatalf("%d→%d: sim %v vs net %v", src, dst, trSim.Path, trNet.Path)
+			}
+			for i := range trSim.Path {
+				if trSim.Path[i] != trNet.Path[i] {
+					t.Fatalf("%d→%d: sim %v vs net %v", src, dst, trSim.Path, trNet.Path)
+				}
+			}
+		}
+	}
+}
+
+func TestFullInfoChaosFailover(t *testing.T) {
+	// Randomly fail links; as long as the graph stays connected through
+	// shortest-path alternatives at each step, full-info keeps delivering.
+	g, err := gengraph.GnHalf(40, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports := graph.SortedPorts(g)
+	dm, err := shortestpath.AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := fullinfo.Build(g, ports, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := netsim.New(g, ports, s, netsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+
+	rng := rand.New(rand.NewSource(8))
+	edges := g.Edges()
+	// Fail 5% of links (full information only covers *shortest-path*
+	// alternatives, so heavy failure rates legitimately strand some pairs).
+	failed := 0
+	for _, e := range edges {
+		if rng.Float64() < 0.05 {
+			if err := nw.SetLinkDown(e[0], e[1], true); err != nil {
+				t.Fatal(err)
+			}
+			failed++
+		}
+	}
+	if failed == 0 {
+		t.Skip("no links failed in sample")
+	}
+	delivered, attempts := 0, 0
+	for i := 0; i < 300; i++ {
+		src := rng.Intn(40) + 1
+		dst := rng.Intn(40) + 1
+		if src == dst {
+			continue
+		}
+		attempts++
+		if _, err := nw.Send(src, dst); err == nil {
+			delivered++
+		}
+	}
+	// With 10% random failures on a dense diameter-2 graph, nearly all pairs
+	// retain an alternative shortest path at the source; demand a high
+	// delivery rate rather than perfection (a destination can lose all its
+	// shortest-path entries at an intermediate node).
+	if float64(delivered) < 0.9*float64(attempts) {
+		t.Fatalf("delivered %d/%d with %d failed links", delivered, attempts, failed)
+	}
+}
+
+func TestPortcodePlusRoutingCoexist(t *testing.T) {
+	// Footnote-1 integration: hide a payload in the port assignment, build a
+	// routing scheme on those exact ports, verify both the payload and the
+	// routes survive.
+	g, err := gengraph.GnHalf(36, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("optimal routing tables, PODC 1996")
+	nbits := len(payload) * 8
+	ports, err := portcode.StoreBits(g, payload, nbits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := fulltable.Build(g, ports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := shortestpath.AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := routing.NewSim(g, ports, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := routing.VerifyAll(sim, dm, 16)
+	if err != nil || !rep.AllDelivered() || rep.MaxStretch != 1 {
+		t.Fatalf("routing on payload ports: %v %v", rep, err)
+	}
+	got, err := portcode.LoadBits(g, ports, nbits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:len(payload)]) != string(payload) {
+		t.Fatalf("payload = %q", got[:len(payload)])
+	}
+}
+
+func TestDenseAndSparseFamilies(t *testing.T) {
+	// Constructions that only need diameter 2 must work on non-random
+	// diameter-2 graphs too (star, dense Gnp); the trivial table must work
+	// everywhere connected.
+	families := map[string]func() (*graph.Graph, error){
+		"star":     func() (*graph.Graph, error) { return gengraph.Star(40) },
+		"dense":    func() (*graph.Graph, error) { return gengraph.Gnp(40, 0.8, rand.New(rand.NewSource(10))) },
+		"grid":     func() (*graph.Graph, error) { return gengraph.Grid(5, 8) },
+		"tree":     func() (*graph.Graph, error) { return gengraph.RandomTree(40, rand.New(rand.NewSource(11))) },
+		"complete": func() (*graph.Graph, error) { return gengraph.Complete(20) },
+	}
+	for name, mk := range families {
+		g, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ports := graph.SortedPorts(g)
+		dm, err := shortestpath.AllPairs(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := fulltable.Build(g, ports)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sim, err := routing.NewSim(g, ports, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := routing.VerifyAll(sim, dm, routing.DefaultHopLimit(g.N()))
+		if err != nil || !rep.AllDelivered() || rep.MaxStretch != 1 {
+			t.Fatalf("%s: %v %v", name, rep, err)
+		}
+	}
+}
+
+func TestLargeScalePipeline(t *testing.T) {
+	// End-to-end at n = 512: certify, build every construction, verify
+	// sampled pairs, persist and reload the compact scheme. Guarded because
+	// it takes a few seconds.
+	if testing.Short() {
+		t.Skip("large-scale pipeline in short mode")
+	}
+	const n = 512
+	g, err := gengraph.GnHalf(n, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := kolmo.Certify(g, 3)
+	if err != nil || !cert.OK() {
+		t.Fatalf("certify: %v %v", cert, err)
+	}
+	ports := graph.SortedPorts(g)
+	dm, err := shortestpath.AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := compact.Build(g, compact.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Persist → reload → verify sampled pairs in parallel.
+	blob, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := compact.Unmarshal(blob, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := routing.NewSim(g, ports, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(100))
+	pairs := make([][2]int, 0, 5000)
+	for len(pairs) < 5000 {
+		u, v := rng.Intn(n)+1, rng.Intn(n)+1
+		if u != v {
+			pairs = append(pairs, [2]int{u, v})
+		}
+	}
+	rep, err := routing.VerifyPairsParallel(sim, dm, pairs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllDelivered() || rep.MaxStretch != 1 {
+		t.Fatalf("n=512 reloaded compact: %s %v", rep, rep.Failures)
+	}
+	// Per-node budget at scale: |F(u)| ≤ 6n as the paper claims.
+	for u := 1; u <= n; u++ {
+		if s.FunctionBits(u) > 6*n {
+			t.Fatalf("node %d: %d bits > 6n at n=512", u, s.FunctionBits(u))
+		}
+	}
+}

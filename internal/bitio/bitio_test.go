@@ -1,0 +1,365 @@
+package bitio
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriterZeroValue(t *testing.T) {
+	var w Writer
+	if w.Len() != 0 {
+		t.Fatalf("zero-value Writer Len = %d, want 0", w.Len())
+	}
+	w.WriteBit(true)
+	if w.Len() != 1 {
+		t.Fatalf("Len after one bit = %d, want 1", w.Len())
+	}
+}
+
+func TestWriteReadBitRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := NewWriter(1000)
+	want := make([]bool, 1000)
+	for i := range want {
+		want[i] = rng.Intn(2) == 1
+		w.WriteBit(want[i])
+	}
+	r := ReaderFor(w)
+	for i, wb := range want {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatalf("ReadBit %d: %v", i, err)
+		}
+		if got != wb {
+			t.Fatalf("bit %d = %v, want %v", i, got, wb)
+		}
+	}
+	if _, err := r.ReadBit(); !errors.Is(err, ErrOutOfBits) {
+		t.Fatalf("read past end: err = %v, want ErrOutOfBits", err)
+	}
+}
+
+func TestBitString(t *testing.T) {
+	w := NewWriter(8)
+	for _, b := range []bool{true, false, true, true, false} {
+		w.WriteBit(b)
+	}
+	if got, want := w.BitString(), "10110"; got != want {
+		t.Fatalf("BitString = %q, want %q", got, want)
+	}
+}
+
+func TestWriteBitsWidths(t *testing.T) {
+	tests := []struct {
+		name  string
+		v     uint64
+		width int
+		want  string
+	}{
+		{"zero width", 0, 0, ""},
+		{"one bit", 1, 1, "1"},
+		{"padded", 5, 6, "000101"},
+		{"exact", 5, 3, "101"},
+		{"full width", 1<<63 | 1, 64, "1" + repeat("0", 62) + "1"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			w := NewWriter(64)
+			if err := w.WriteBits(tt.v, tt.width); err != nil {
+				t.Fatalf("WriteBits: %v", err)
+			}
+			if got := w.BitString(); got != tt.want {
+				t.Fatalf("bits = %q, want %q", got, tt.want)
+			}
+		})
+	}
+}
+
+func repeat(s string, n int) string {
+	out := ""
+	for i := 0; i < n; i++ {
+		out += s
+	}
+	return out
+}
+
+func TestWriteBitsErrors(t *testing.T) {
+	w := NewWriter(0)
+	if err := w.WriteBits(0, -1); !errors.Is(err, ErrWidthRange) {
+		t.Errorf("width -1: err = %v, want ErrWidthRange", err)
+	}
+	if err := w.WriteBits(0, 65); !errors.Is(err, ErrWidthRange) {
+		t.Errorf("width 65: err = %v, want ErrWidthRange", err)
+	}
+	if err := w.WriteBits(8, 3); !errors.Is(err, ErrValueRange) {
+		t.Errorf("value 8 width 3: err = %v, want ErrValueRange", err)
+	}
+}
+
+func TestReadBitsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	type item struct {
+		v     uint64
+		width int
+	}
+	w := NewWriter(0)
+	var items []item
+	for i := 0; i < 500; i++ {
+		width := rng.Intn(65)
+		var v uint64
+		if width > 0 {
+			v = rng.Uint64()
+			if width < 64 {
+				v &= 1<<uint(width) - 1
+			}
+		}
+		if err := w.WriteBits(v, width); err != nil {
+			t.Fatalf("WriteBits(%d,%d): %v", v, width, err)
+		}
+		items = append(items, item{v, width})
+	}
+	r := ReaderFor(w)
+	for i, it := range items {
+		got, err := r.ReadBits(it.width)
+		if err != nil {
+			t.Fatalf("ReadBits %d: %v", i, err)
+		}
+		if got != it.v {
+			t.Fatalf("item %d = %d, want %d (width %d)", i, got, it.v, it.width)
+		}
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0", r.Remaining())
+	}
+}
+
+func TestUnaryRoundTrip(t *testing.T) {
+	w := NewWriter(0)
+	values := []int{0, 1, 2, 3, 10, 100}
+	for _, v := range values {
+		if err := w.WriteUnary(v); err != nil {
+			t.Fatalf("WriteUnary(%d): %v", v, err)
+		}
+	}
+	wantBits := 0
+	for _, v := range values {
+		wantBits += UnaryLen(v)
+	}
+	if w.Len() != wantBits {
+		t.Fatalf("unary stream = %d bits, want %d", w.Len(), wantBits)
+	}
+	r := ReaderFor(w)
+	for _, v := range values {
+		got, err := r.ReadUnary()
+		if err != nil {
+			t.Fatalf("ReadUnary: %v", err)
+		}
+		if got != v {
+			t.Fatalf("unary = %d, want %d", got, v)
+		}
+	}
+}
+
+func TestUnaryNegative(t *testing.T) {
+	w := NewWriter(0)
+	if err := w.WriteUnary(-1); !errors.Is(err, ErrValueRange) {
+		t.Fatalf("WriteUnary(-1): err = %v, want ErrValueRange", err)
+	}
+}
+
+func TestSelfDelimitingKnownCodes(t *testing.T) {
+	// Paper correspondence: (0,ε),(1,"0"),(2,"1"),(3,"00"),(4,"01").
+	tests := []struct {
+		v    uint64
+		want string
+	}{
+		{0, "0"},
+		{1, "100"},
+		{2, "101"},
+		{3, "11000"},
+		{4, "11001"},
+		{6, "11011"},
+	}
+	for _, tt := range tests {
+		w := NewWriter(0)
+		if err := w.WriteSelfDelimiting(tt.v); err != nil {
+			t.Fatalf("WriteSelfDelimiting(%d): %v", tt.v, err)
+		}
+		if got := w.BitString(); got != tt.want {
+			t.Errorf("z̄(%d) = %q, want %q", tt.v, got, tt.want)
+		}
+		if got := w.Len(); got != SelfDelimitingLen(tt.v) {
+			t.Errorf("len z̄(%d) = %d, want %d", tt.v, got, SelfDelimitingLen(tt.v))
+		}
+	}
+}
+
+func TestSelfDelimitingRoundTripQuick(t *testing.T) {
+	f := func(v uint64) bool {
+		if v == 1<<64-1 {
+			return true
+		}
+		w := NewWriter(0)
+		if err := w.WriteSelfDelimiting(v); err != nil {
+			return false
+		}
+		r := ReaderFor(w)
+		got, err := r.ReadSelfDelimiting()
+		return err == nil && got == v && r.Remaining() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShortSelfDelimitingRoundTripQuick(t *testing.T) {
+	f := func(v uint64) bool {
+		w := NewWriter(0)
+		if err := w.WriteShortSelfDelimiting(v); err != nil {
+			return false
+		}
+		if w.Len() != ShortSelfDelimitingLen(v) {
+			return false
+		}
+		r := ReaderFor(w)
+		got, err := r.ReadShortSelfDelimiting()
+		return err == nil && got == v && r.Remaining() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfDelimitingConcatenationParses(t *testing.T) {
+	// Definition 4: the form x′…y′z lets concatenated descriptions be
+	// unpacked unambiguously. Emulate with several z̄ codes back to back.
+	values := []uint64{0, 5, 1, 1023, 42, 7}
+	w := NewWriter(0)
+	for _, v := range values {
+		if err := w.WriteSelfDelimiting(v); err != nil {
+			t.Fatalf("write %d: %v", v, err)
+		}
+	}
+	r := ReaderFor(w)
+	for i, v := range values {
+		got, err := r.ReadSelfDelimiting()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if got != v {
+			t.Fatalf("value %d = %d, want %d", i, got, v)
+		}
+	}
+}
+
+func TestCharacteristicRoundTrip(t *testing.T) {
+	w := NewWriter(0)
+	members := []int{1, 3, 4, 10}
+	if err := w.WriteCharacteristic(members, 10); err != nil {
+		t.Fatalf("WriteCharacteristic: %v", err)
+	}
+	if w.Len() != 10 {
+		t.Fatalf("characteristic length = %d, want 10", w.Len())
+	}
+	r := ReaderFor(w)
+	got, err := r.ReadCharacteristic(10)
+	if err != nil {
+		t.Fatalf("ReadCharacteristic: %v", err)
+	}
+	if len(got) != len(members) {
+		t.Fatalf("members = %v, want %v", got, members)
+	}
+	for i := range got {
+		if got[i] != members[i] {
+			t.Fatalf("members = %v, want %v", got, members)
+		}
+	}
+}
+
+func TestCharacteristicOutOfUniverse(t *testing.T) {
+	w := NewWriter(0)
+	if err := w.WriteCharacteristic([]int{0}, 5); !errors.Is(err, ErrValueRange) {
+		t.Errorf("member 0: err = %v, want ErrValueRange", err)
+	}
+	if err := w.WriteCharacteristic([]int{6}, 5); !errors.Is(err, ErrValueRange) {
+		t.Errorf("member 6: err = %v, want ErrValueRange", err)
+	}
+}
+
+func TestMinimalBinaryLen(t *testing.T) {
+	tests := []struct {
+		v    uint64
+		want int
+	}{{0, 0}, {1, 1}, {2, 1}, {3, 2}, {6, 2}, {7, 3}, {14, 3}, {15, 4}}
+	for _, tt := range tests {
+		if got := MinimalBinaryLen(tt.v); got != tt.want {
+			t.Errorf("MinimalBinaryLen(%d) = %d, want %d", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestCeilLog(t *testing.T) {
+	tests := []struct {
+		v     int
+		ceil  int
+		plus1 int
+	}{{0, 0, 0}, {1, 0, 1}, {2, 1, 2}, {3, 2, 2}, {4, 2, 3}, {5, 3, 3}, {8, 3, 4}, {9, 4, 4}, {1024, 10, 11}}
+	for _, tt := range tests {
+		if got := CeilLog2(tt.v); got != tt.ceil {
+			t.Errorf("CeilLog2(%d) = %d, want %d", tt.v, got, tt.ceil)
+		}
+		if got := CeilLogPlus1(tt.v); got != tt.plus1 {
+			t.Errorf("CeilLogPlus1(%d) = %d, want %d", tt.v, got, tt.plus1)
+		}
+	}
+}
+
+func TestNewReaderValidation(t *testing.T) {
+	if _, err := NewReader([]byte{0}, 9); !errors.Is(err, ErrOutOfBits) {
+		t.Errorf("9 bits in 1 byte: err = %v, want ErrOutOfBits", err)
+	}
+	if _, err := NewReader(nil, 0); err != nil {
+		t.Errorf("empty reader: err = %v, want nil", err)
+	}
+}
+
+func TestMixedStreamRoundTrip(t *testing.T) {
+	// A stream mixing every code, as the Theorem 1 tables do.
+	w := NewWriter(0)
+	if err := w.WriteUnary(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBits(29, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSelfDelimiting(77); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteCharacteristic([]int{2, 3}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteShortSelfDelimiting(123456); err != nil {
+		t.Fatal(err)
+	}
+	r := ReaderFor(w)
+	if v, err := r.ReadUnary(); err != nil || v != 3 {
+		t.Fatalf("unary = %d, %v", v, err)
+	}
+	if v, err := r.ReadBits(5); err != nil || v != 29 {
+		t.Fatalf("bits = %d, %v", v, err)
+	}
+	if v, err := r.ReadSelfDelimiting(); err != nil || v != 77 {
+		t.Fatalf("z̄ = %d, %v", v, err)
+	}
+	if m, err := r.ReadCharacteristic(4); err != nil || len(m) != 2 || m[0] != 2 || m[1] != 3 {
+		t.Fatalf("characteristic = %v, %v", m, err)
+	}
+	if v, err := r.ReadShortSelfDelimiting(); err != nil || v != 123456 {
+		t.Fatalf("z′ = %d, %v", v, err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0", r.Remaining())
+	}
+}

@@ -1,0 +1,108 @@
+package bitio
+
+import "fmt"
+
+// Elias universal codes for positive integers. The paper's own
+// self-delimiting codes (z̄, z′) are implemented in bitio.go; the Elias
+// codes are the textbook alternative with the same asymptotics
+// (γ: 2⌊log v⌋+1 bits, δ: ⌊log v⌋ + O(loglog v) bits) and are used by the
+// compressor cost models and available for scheme encodings that prefer
+// standard codes.
+
+// WriteEliasGamma appends the Elias γ code of v ≥ 1: ⌊log₂ v⌋ zeros, then
+// v's ⌊log₂ v⌋+1-bit binary representation (which starts with a 1).
+func (w *Writer) WriteEliasGamma(v uint64) error {
+	if v == 0 {
+		return fmt.Errorf("%w: Elias gamma of 0", ErrValueRange)
+	}
+	nbits := bitLen(v)
+	for i := 0; i < nbits-1; i++ {
+		w.WriteBit(false)
+	}
+	return w.WriteBits(v, nbits)
+}
+
+// ReadEliasGamma consumes an Elias γ code.
+func (r *Reader) ReadEliasGamma() (uint64, error) {
+	zeros := 0
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b {
+			break
+		}
+		zeros++
+		if zeros > 63 {
+			return 0, fmt.Errorf("%w: gamma prefix %d", ErrWidthRange, zeros)
+		}
+	}
+	rest, err := r.ReadBits(zeros)
+	if err != nil {
+		return 0, err
+	}
+	return 1<<uint(zeros) | rest, nil
+}
+
+// WriteEliasDelta appends the Elias δ code of v ≥ 1: the γ code of
+// ⌊log₂ v⌋+1 followed by v's binary digits below the leading 1.
+func (w *Writer) WriteEliasDelta(v uint64) error {
+	if v == 0 {
+		return fmt.Errorf("%w: Elias delta of 0", ErrValueRange)
+	}
+	nbits := bitLen(v)
+	if err := w.WriteEliasGamma(uint64(nbits)); err != nil {
+		return err
+	}
+	if nbits == 1 {
+		return nil
+	}
+	return w.WriteBits(v&(1<<uint(nbits-1)-1), nbits-1)
+}
+
+// ReadEliasDelta consumes an Elias δ code.
+func (r *Reader) ReadEliasDelta() (uint64, error) {
+	nbits64, err := r.ReadEliasGamma()
+	if err != nil {
+		return 0, err
+	}
+	if nbits64 == 0 || nbits64 > 64 {
+		return 0, fmt.Errorf("%w: delta length %d", ErrWidthRange, nbits64)
+	}
+	nbits := int(nbits64)
+	if nbits == 1 {
+		return 1, nil
+	}
+	rest, err := r.ReadBits(nbits - 1)
+	if err != nil {
+		return 0, err
+	}
+	return 1<<uint(nbits-1) | rest, nil
+}
+
+// EliasGammaLen returns the exact cost of WriteEliasGamma(v): 2⌊log₂ v⌋+1.
+func EliasGammaLen(v uint64) int {
+	if v == 0 {
+		return 0
+	}
+	return 2*bitLen(v) - 1
+}
+
+// EliasDeltaLen returns the exact cost of WriteEliasDelta(v).
+func EliasDeltaLen(v uint64) int {
+	if v == 0 {
+		return 0
+	}
+	nbits := bitLen(v)
+	return EliasGammaLen(uint64(nbits)) + nbits - 1
+}
+
+func bitLen(v uint64) int {
+	n := 0
+	for v > 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}

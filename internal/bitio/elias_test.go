@@ -1,0 +1,117 @@
+package bitio
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEliasGammaKnownCodes(t *testing.T) {
+	tests := []struct {
+		v    uint64
+		want string
+	}{
+		{1, "1"},
+		{2, "010"},
+		{3, "011"},
+		{4, "00100"},
+		{7, "00111"},
+		{8, "0001000"},
+	}
+	for _, tt := range tests {
+		w := NewWriter(0)
+		if err := w.WriteEliasGamma(tt.v); err != nil {
+			t.Fatalf("gamma(%d): %v", tt.v, err)
+		}
+		if got := w.BitString(); got != tt.want {
+			t.Errorf("gamma(%d) = %q, want %q", tt.v, got, tt.want)
+		}
+		if w.Len() != EliasGammaLen(tt.v) {
+			t.Errorf("gamma(%d) length = %d, want %d", tt.v, w.Len(), EliasGammaLen(tt.v))
+		}
+	}
+}
+
+func TestEliasDeltaKnownCodes(t *testing.T) {
+	tests := []struct {
+		v    uint64
+		want string
+	}{
+		{1, "1"},
+		{2, "0100"},
+		{3, "0101"},
+		{4, "01100"},
+		{8, "00100000"},
+	}
+	for _, tt := range tests {
+		w := NewWriter(0)
+		if err := w.WriteEliasDelta(tt.v); err != nil {
+			t.Fatalf("delta(%d): %v", tt.v, err)
+		}
+		if got := w.BitString(); got != tt.want {
+			t.Errorf("delta(%d) = %q, want %q", tt.v, got, tt.want)
+		}
+		if w.Len() != EliasDeltaLen(tt.v) {
+			t.Errorf("delta(%d) length = %d, want %d", tt.v, w.Len(), EliasDeltaLen(tt.v))
+		}
+	}
+}
+
+func TestEliasRoundTripQuick(t *testing.T) {
+	f := func(v uint64) bool {
+		if v == 0 {
+			v = 1
+		}
+		w := NewWriter(0)
+		if err := w.WriteEliasGamma(v); err != nil {
+			return false
+		}
+		if err := w.WriteEliasDelta(v); err != nil {
+			return false
+		}
+		r := ReaderFor(w)
+		g, err := r.ReadEliasGamma()
+		if err != nil || g != v {
+			return false
+		}
+		d, err := r.ReadEliasDelta()
+		return err == nil && d == v && r.Remaining() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEliasZeroRejected(t *testing.T) {
+	w := NewWriter(0)
+	if err := w.WriteEliasGamma(0); !errors.Is(err, ErrValueRange) {
+		t.Errorf("gamma(0): err = %v", err)
+	}
+	if err := w.WriteEliasDelta(0); !errors.Is(err, ErrValueRange) {
+		t.Errorf("delta(0): err = %v", err)
+	}
+	if EliasGammaLen(0) != 0 || EliasDeltaLen(0) != 0 {
+		t.Error("lengths of 0 should be 0")
+	}
+}
+
+func TestEliasDeltaShorterForLargeValues(t *testing.T) {
+	// δ beats γ asymptotically: already at 2^20 it is strictly shorter.
+	v := uint64(1) << 20
+	if EliasDeltaLen(v) >= EliasGammaLen(v) {
+		t.Fatalf("delta %d ≥ gamma %d at v=2^20", EliasDeltaLen(v), EliasGammaLen(v))
+	}
+}
+
+func TestEliasGammaMalformedStream(t *testing.T) {
+	// 64+ zeros is not a valid gamma prefix.
+	w := NewWriter(0)
+	for i := 0; i < 70; i++ {
+		w.WriteBit(false)
+	}
+	w.WriteBit(true)
+	r := ReaderFor(w)
+	if _, err := r.ReadEliasGamma(); !errors.Is(err, ErrWidthRange) {
+		t.Fatalf("err = %v, want ErrWidthRange", err)
+	}
+}

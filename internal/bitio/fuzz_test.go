@@ -1,0 +1,89 @@
+package bitio
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets double as robustness tests for the decoders: arbitrary byte
+// streams must never panic, and whatever decodes must re-encode to the same
+// bits.
+
+func FuzzReadSelfDelimiting(f *testing.F) {
+	f.Add([]byte{0b01000000}, 8)
+	f.Add([]byte{0b10100000}, 8)
+	f.Add([]byte{0xFF, 0xFF}, 16)
+	f.Fuzz(func(t *testing.T, data []byte, nbits int) {
+		if nbits < 0 || nbits > len(data)*8 {
+			return
+		}
+		r, err := NewReader(data, nbits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := r.ReadSelfDelimiting()
+		if err != nil {
+			return // malformed input is allowed to error, not panic
+		}
+		// Round-trip: re-encoding must reproduce the consumed prefix.
+		w := NewWriter(0)
+		if err := w.WriteSelfDelimiting(v); err != nil {
+			t.Fatalf("re-encode %d: %v", v, err)
+		}
+		if w.Len() != r.Pos() {
+			t.Fatalf("consumed %d bits, re-encoded %d", r.Pos(), w.Len())
+		}
+	})
+}
+
+func FuzzReadEliasDelta(f *testing.F) {
+	f.Add([]byte{0b10000000})
+	f.Add([]byte{0b01000000})
+	f.Add([]byte{0x00, 0xFF, 0x13})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(data, len(data)*8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := r.ReadEliasDelta()
+		if err != nil {
+			return
+		}
+		w := NewWriter(0)
+		if err := w.WriteEliasDelta(v); err != nil {
+			t.Fatalf("re-encode %d: %v", v, err)
+		}
+		if w.Len() != r.Pos() {
+			t.Fatalf("consumed %d bits, re-encoded %d", r.Pos(), w.Len())
+		}
+	})
+}
+
+func FuzzWriterReaderMirror(f *testing.F) {
+	f.Add([]byte("hello"), 13)
+	f.Fuzz(func(t *testing.T, data []byte, nbits int) {
+		if nbits < 0 || nbits > len(data)*8 {
+			return
+		}
+		r, err := NewReader(data, nbits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := NewWriter(nbits)
+		for r.Remaining() > 0 {
+			b, err := r.ReadBit()
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.WriteBit(b)
+		}
+		if w.Len() != nbits {
+			t.Fatalf("copied %d bits, want %d", w.Len(), nbits)
+		}
+		// The packed copy must equal the original prefix.
+		full := nbits / 8
+		if !bytes.Equal(w.Bytes()[:full], data[:full]) {
+			t.Fatal("byte mismatch after bit copy")
+		}
+	})
+}

@@ -1,0 +1,167 @@
+// Package core is the top-level orchestration of the library: given a graph,
+// a cost model, and a stretch budget, it certifies the graph and builds the
+// paper-optimal routing scheme for that cell of Table 1.
+//
+// The dispatch mirrors the paper's results:
+//
+//	stretch 1, model II            → Theorem 1 compact scheme (6n bits/node)
+//	stretch 1, model IB            → Theorem 1 compact scheme, IB variant
+//	stretch 1, model IA            → trivial full table (optimal by Thm 8)
+//	stretch 1, model II ∧ γ        → Theorem 2 label scheme (O(n log² n))
+//	1.5 ≤ stretch < 2, model II    → Theorem 3 centre scheme (O(n log n))
+//	2 ≤ stretch < (c+3)log n, II   → Theorem 4 hub scheme (n loglog n + 6n)
+//	stretch ≥ (c+3)log n, model II → Theorem 5 walker (O(n))
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"routetab/internal/graph"
+	"routetab/internal/kolmo"
+	"routetab/internal/models"
+	"routetab/internal/routing"
+	"routetab/internal/schemes/centers"
+	"routetab/internal/schemes/compact"
+	"routetab/internal/schemes/fulltable"
+	"routetab/internal/schemes/hub"
+	"routetab/internal/schemes/labels"
+	"routetab/internal/schemes/walker"
+	"routetab/internal/shortestpath"
+)
+
+// ErrNotCertified indicates the graph failed randomness certification and
+// Options.RequireCertified was set.
+var ErrNotCertified = errors.New("core: graph failed c·log n-randomness certification")
+
+// Options configures Build.
+type Options struct {
+	// Model is the cost model to target.
+	Model models.Model
+	// MaxStretch is the stretch budget (≥ 1). 1 requests shortest paths.
+	MaxStretch float64
+	// C is the randomness parameter (default 3).
+	C float64
+	// RequireCertified makes Build fail unless the graph passes full
+	// c·log n-randomness certification. Otherwise the certificate is
+	// attached to the result but only hard construction errors abort.
+	RequireCertified bool
+	// PreferLabels selects the Theorem 2 scheme for shortest-path routing
+	// under II ∧ γ (minimal space, labels charged) instead of Theorem 1.
+	PreferLabels bool
+	// Ports supplies the (fixed) port assignment for model IA. Ignored
+	// elsewhere: IB/II constructions use sorted ports.
+	Ports *graph.Ports
+}
+
+// Result is a built scheme with its paperwork.
+type Result struct {
+	Scheme routing.Scheme
+	// Ports is the port assignment the scheme was built against.
+	Ports *graph.Ports
+	// Space is the model-accounted storage.
+	Space routing.Space
+	// Certificate is the randomness certificate of the input graph.
+	Certificate *kolmo.Certificate
+	// Theorem names the construction used.
+	Theorem string
+}
+
+// Build certifies g and constructs the optimal scheme for the requested
+// model and stretch budget.
+func Build(g *graph.Graph, opts Options) (*Result, error) {
+	if !opts.Model.Valid() {
+		return nil, fmt.Errorf("core: invalid model %v", opts.Model)
+	}
+	if opts.MaxStretch < 1 {
+		return nil, fmt.Errorf("core: stretch budget %v < 1", opts.MaxStretch)
+	}
+	c := opts.C
+	if c <= 0 {
+		c = 3
+	}
+	cert, err := kolmo.Certify(g, c)
+	if err != nil && !errors.Is(err, kolmo.ErrNotApplicable) {
+		return nil, err
+	}
+	if opts.RequireCertified && (cert == nil || !cert.OK()) {
+		return nil, fmt.Errorf("%w: %v", ErrNotCertified, cert)
+	}
+
+	scheme, ports, theorem, err := dispatch(g, opts, c)
+	if err != nil {
+		return nil, err
+	}
+	space, err := routing.MeasureSpace(scheme, opts.Model)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Scheme:      scheme,
+		Ports:       ports,
+		Space:       space,
+		Certificate: cert,
+		Theorem:     theorem,
+	}, nil
+}
+
+func dispatch(g *graph.Graph, opts Options, c float64) (routing.Scheme, *graph.Ports, string, error) {
+	logStretch := (c + 3) * math.Log2(math.Max(float64(g.N()), 2))
+	switch {
+	case opts.MaxStretch >= logStretch && opts.Model.NeighborsFree():
+		s, err := walker.Build(g, c)
+		return s, graph.SortedPorts(g), "Theorem 5 (walker)", err
+
+	case opts.MaxStretch >= 2 && opts.Model.NeighborsFree():
+		s, err := hub.Build(g, 1)
+		return s, graph.SortedPorts(g), "Theorem 4 (hub)", err
+
+	case opts.MaxStretch >= 1.5 && opts.Model.NeighborsFree():
+		s, err := centers.Build(g, 1)
+		return s, graph.SortedPorts(g), "Theorem 3 (centres)", err
+
+	case opts.Model.NeighborsFree() && opts.Model.LabelBitsCharged() && opts.PreferLabels:
+		s, err := labels.Build(g, c)
+		return s, graph.SortedPorts(g), "Theorem 2 (labels)", err
+
+	case opts.Model.NeighborsFree():
+		s, err := compact.Build(g, compact.DefaultOptions())
+		return s, graph.SortedPorts(g), "Theorem 1 (compact, II)", err
+
+	case opts.Model.PortsReassignable():
+		ibOpts := compact.Options{Mode: compact.ModeIB, Strategy: compact.LeastFirst, Threshold: compact.ThresholdLogLog}
+		s, err := compact.Build(g, ibOpts)
+		return s, graph.SortedPorts(g), "Theorem 1 (compact, IB)", err
+
+	default: // model IA: the trivial table is optimal (Theorem 8)
+		ports := opts.Ports
+		if ports == nil {
+			ports = graph.SortedPorts(g)
+		}
+		s, err := fulltable.Build(g, ports)
+		return s, ports, "Trivial table (optimal under IA ∧ α by Theorem 8)", err
+	}
+}
+
+// Verify routes sampled or all pairs of the built result and reports
+// delivery and stretch, using the library's reference carrier.
+func (r *Result) Verify(g *graph.Graph, samplePairs int, seed int64) (*routing.Report, error) {
+	sim, err := routing.NewSim(g, r.Ports, r.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	dm, err := shortestpath.AllPairs(g)
+	if err != nil {
+		return nil, err
+	}
+	limit := routing.DefaultHopLimit(g.N())
+	if samplePairs > 0 && g.N()*(g.N()-1) > samplePairs {
+		return routing.VerifySampled(sim, dm, samplePairs, newRand(seed), limit)
+	}
+	return routing.VerifyAll(sim, dm, limit)
+}
+
+// newRand isolates the single math/rand dependency of Verify.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

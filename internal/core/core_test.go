@@ -1,0 +1,159 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"routetab/internal/gengraph"
+	"routetab/internal/graph"
+	"routetab/internal/models"
+)
+
+func randomGraph(t *testing.T, n int, seed int64) *graph.Graph {
+	t.Helper()
+	g, err := gengraph.GnHalf(n, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestDispatchTable(t *testing.T) {
+	g := randomGraph(t, 64, 1)
+	tests := []struct {
+		name        string
+		opts        Options
+		wantTheorem string
+		wantStretch float64
+	}{
+		{"II shortest path", Options{Model: models.IIAlpha, MaxStretch: 1}, "Theorem 1 (compact, II)", 1},
+		{"IB shortest path", Options{Model: models.IBAlpha, MaxStretch: 1}, "Theorem 1 (compact, IB)", 1},
+		{"IA shortest path", Options{Model: models.IAAlpha, MaxStretch: 1}, "Trivial table", 1},
+		{"II gamma labels", Options{Model: models.IIGamma, MaxStretch: 1, PreferLabels: true}, "Theorem 2 (labels)", 1},
+		{"stretch 1.5", Options{Model: models.IIAlpha, MaxStretch: 1.5}, "Theorem 3 (centres)", 1.5},
+		{"stretch 2", Options{Model: models.IIAlpha, MaxStretch: 2}, "Theorem 4 (hub)", 2},
+		{"stretch log n", Options{Model: models.IIAlpha, MaxStretch: 100}, "Theorem 5 (walker)", 100},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			res, err := Build(g, tt.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.HasPrefix(res.Theorem, tt.wantTheorem) {
+				t.Fatalf("theorem = %q, want prefix %q", res.Theorem, tt.wantTheorem)
+			}
+			rep, err := res.Verify(g, 500, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.AllDelivered() {
+				t.Fatalf("undelivered: %s %v", rep, rep.Failures)
+			}
+			if rep.MaxStretch > tt.wantStretch {
+				t.Fatalf("stretch %v > budget %v", rep.MaxStretch, tt.wantStretch)
+			}
+			if res.Space.Total <= 0 {
+				t.Fatal("zero space accounted")
+			}
+			if res.Certificate == nil || !res.Certificate.OK() {
+				t.Fatalf("certificate = %v", res.Certificate)
+			}
+		})
+	}
+}
+
+func TestSpaceOrdering(t *testing.T) {
+	// The stretch/space trade-off must be monotone: more stretch, less space.
+	g := randomGraph(t, 128, 2)
+	budgets := []float64{1, 1.5, 2, 1000}
+	var totals []int
+	for _, b := range budgets {
+		res, err := Build(g, Options{Model: models.IIAlpha, MaxStretch: b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		totals = append(totals, res.Space.Total)
+	}
+	for i := 1; i < len(totals); i++ {
+		if totals[i] >= totals[i-1] {
+			t.Fatalf("space not decreasing along stretch budgets: %v", totals)
+		}
+	}
+}
+
+func TestRequireCertified(t *testing.T) {
+	chain, err := gengraph.Chain(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Build(chain, Options{Model: models.IAAlpha, MaxStretch: 1, RequireCertified: true})
+	if !errors.Is(err, ErrNotCertified) {
+		t.Fatalf("err = %v, want ErrNotCertified", err)
+	}
+	// Without the flag, IA's trivial table still works on a chain.
+	res, err := Build(chain, Options{Model: models.IAAlpha, MaxStretch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := res.Verify(chain, 0, 0)
+	if err != nil || !rep.AllDelivered() || rep.MaxStretch != 1 {
+		t.Fatalf("chain table: %v %v", rep, err)
+	}
+	if res.Certificate.OK() {
+		t.Fatal("chain certified as random")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	g := randomGraph(t, 32, 3)
+	if _, err := Build(g, Options{Model: models.Model{}, MaxStretch: 1}); err == nil {
+		t.Error("invalid model accepted")
+	}
+	if _, err := Build(g, Options{Model: models.IIAlpha, MaxStretch: 0.5}); err == nil {
+		t.Error("stretch < 1 accepted")
+	}
+}
+
+func TestIAWithAdversarialPorts(t *testing.T) {
+	g := randomGraph(t, 40, 4)
+	ports := graph.RandomPorts(g, rand.New(rand.NewSource(5)))
+	res, err := Build(g, Options{Model: models.IAAlpha, MaxStretch: 1, Ports: ports})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ports != ports {
+		t.Fatal("supplied ports ignored")
+	}
+	rep, err := res.Verify(g, 400, 6)
+	if err != nil || !rep.AllDelivered() || rep.MaxStretch != 1 {
+		t.Fatalf("report = %v err = %v", rep, err)
+	}
+}
+
+func TestGammaWithoutPreferLabelsUsesCompact(t *testing.T) {
+	g := randomGraph(t, 48, 7)
+	res, err := Build(g, Options{Model: models.IIGamma, MaxStretch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(res.Theorem, "Theorem 1") {
+		t.Fatalf("theorem = %q", res.Theorem)
+	}
+}
+
+func TestSmallGraphNoCertificate(t *testing.T) {
+	g, err := gengraph.Complete(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build(g, Options{Model: models.IIAlpha, MaxStretch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Certificate != nil {
+		t.Fatal("certificate on n<8 graph")
+	}
+}

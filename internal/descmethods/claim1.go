@@ -1,0 +1,287 @@
+package descmethods
+
+import (
+	"fmt"
+	"math"
+
+	"routetab/internal/bitio"
+	"routetab/internal/graph"
+	"routetab/internal/kolmo"
+)
+
+func log2(x float64) float64 { return math.Log2(x) }
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+const tagClaim1 = 6
+
+// Claim1Codec is Claim 1's description method (inside Theorem 1's proof):
+// during the cover construction at node u, if the set A_t covered by the
+// t-th intermediate deviates from half the remaining mass m_{t−1} by more
+// than m_{t−1}/6, then the characteristic sequence of A_t within the
+// remaining set lies in a small ensemble and can be stored as an
+// enumerative index of ⌈log C(m_{t−1}, |A_t|)⌉ ≪ m_{t−1} bits:
+//
+//	[u, v_t] [rows of u, v_1…v_{t−1}] [index of A_t] [residual E(G)]
+//
+// On a random graph such a deviation would compress E(G) below its
+// deficiency — so every intermediate covers about half (paper: at least a
+// third) of what remains, which is what keeps Theorem 1's unary table at
+// O(n) bits.
+type Claim1Codec struct {
+	// MaxRelDev is the deviation threshold relative to m_{t−1} (the paper
+	// uses 1/6). Zero means 1/6.
+	MaxRelDev float64
+}
+
+var _ kolmo.Codec = Claim1Codec{}
+
+// Name implements kolmo.Codec.
+func (Claim1Codec) Name() string { return "claim1-cover-decay" }
+
+func (c Claim1Codec) relDev() float64 {
+	if c.MaxRelDev > 0 {
+		return c.MaxRelDev
+	}
+	return 1.0 / 6.0
+}
+
+// deviantLevel scans node u's least-first cover construction for the first
+// level whose coverage deviates from half the remaining mass by more than
+// relDev·m_{t−1}; it returns the level index t (1-based), the remaining set
+// before the level, and the covered subset.
+func (c Claim1Codec) deviantLevel(g *graph.Graph, u int) (t int, remaining, covered []int) {
+	n := g.N()
+	inRemaining := make([]bool, n+1)
+	var rem []int
+	for v := 1; v <= n; v++ {
+		if v != u && !g.HasEdge(u, v) {
+			inRemaining[v] = true
+			rem = append(rem, v)
+		}
+	}
+	// Claim 1 only speaks about levels with m_{t−1} ≥ n/loglog n (below the
+	// threshold the construction defers to table 2 anyway).
+	floor := float64(n) / maxf(log2(log2(float64(n))), 1)
+	for i, vt := range g.Neighbors(u) {
+		if float64(len(rem)) < floor {
+			return 0, nil, nil
+		}
+		var cov []int
+		for _, w := range rem {
+			if g.HasEdge(vt, w) {
+				cov = append(cov, w)
+			}
+		}
+		dev := float64(len(cov)) - float64(len(rem))/2
+		if dev < 0 {
+			dev = -dev
+		}
+		if dev > c.relDev()*float64(len(rem)) {
+			return i + 1, rem, cov
+		}
+		next := rem[:0]
+		for _, w := range rem {
+			if !g.HasEdge(vt, w) {
+				next = append(next, w)
+			}
+		}
+		rem = next
+	}
+	return 0, nil, nil
+}
+
+// Encode implements kolmo.Codec. Applicability: some node has a deviant
+// cover level.
+func (c Claim1Codec) Encode(g *graph.Graph) (*bitio.Writer, bool, error) {
+	n := g.N()
+	for u := 1; u <= n; u++ {
+		t, remaining, covered := c.deviantLevel(g, u)
+		if t == 0 {
+			continue
+		}
+		return c.encodeAt(g, u, t, remaining, covered)
+	}
+	return nil, false, nil
+}
+
+func (c Claim1Codec) encodeAt(g *graph.Graph, u, t int, remaining, covered []int) (*bitio.Writer, bool, error) {
+	n := g.N()
+	w := bitio.NewWriter(graph.EdgeCodeLen(n))
+	if err := writeHeader(w, tagClaim1); err != nil {
+		return nil, false, err
+	}
+	if err := writeNode(w, u, n); err != nil {
+		return nil, false, err
+	}
+	// The level index in self-delimiting form (paper: nodes u, v_t).
+	if err := w.WriteShortSelfDelimiting(uint64(t)); err != nil {
+		return nil, false, err
+	}
+	// Rows of u and of v_1…v_{t−1} explicitly: they determine `remaining`.
+	writeRow(w, g, u)
+	prefix := g.Neighbors(u)[:t]
+	for _, v := range prefix[:t-1] {
+		writeRow(w, g, v)
+	}
+	// |A_t| and its enumerative index within `remaining`.
+	if err := w.WriteShortSelfDelimiting(uint64(len(covered))); err != nil {
+		return nil, false, err
+	}
+	posOf := make(map[int]int, len(remaining))
+	for i, v := range remaining {
+		posOf[v] = i
+	}
+	positions := make([]int, 0, len(covered))
+	for _, v := range covered {
+		positions = append(positions, posOf[v])
+	}
+	ensemble := binomial(len(remaining), len(covered))
+	if err := writeBigInt(w, combRank(positions), bitsFor(ensemble)); err != nil {
+		return nil, false, err
+	}
+	// Residual: drop the rows of u and v_1…v_{t−1} (re-encoded above) and
+	// the v_t↔remaining bits (recovered from the index).
+	vt := prefix[t-1]
+	inRemaining := make([]bool, n+1)
+	for _, v := range remaining {
+		inRemaining[v] = true
+	}
+	skip := claim1Skip(u, prefix[:t-1], vt, inRemaining)
+	copyResidual(w, g, skip)
+	return w, true, nil
+}
+
+func claim1Skip(u int, earlier []int, vt int, inRemaining []bool) func(a, b int) bool {
+	inEarlier := make(map[int]bool, len(earlier)+1)
+	inEarlier[u] = true
+	for _, v := range earlier {
+		inEarlier[v] = true
+	}
+	return func(a, b int) bool {
+		if inEarlier[a] || inEarlier[b] {
+			return true
+		}
+		if a == vt && inRemaining[b] {
+			return true
+		}
+		if b == vt && inRemaining[a] {
+			return true
+		}
+		return false
+	}
+}
+
+// Decode implements kolmo.Codec.
+func (c Claim1Codec) Decode(r *bitio.Reader, n int) (*graph.Graph, error) {
+	if err := readHeader(r, tagClaim1); err != nil {
+		return nil, err
+	}
+	u, err := readNode(r, n)
+	if err != nil {
+		return nil, err
+	}
+	t64, err := r.ReadShortSelfDelimiting()
+	if err != nil {
+		return nil, err
+	}
+	t := int(t64)
+	if t < 1 || t > n {
+		return nil, fmt.Errorf("descmethods: decoded level %d", t)
+	}
+	rowU, err := readRow(r, u, n)
+	if err != nil {
+		return nil, err
+	}
+	var neighbors []int
+	for v := 1; v <= n; v++ {
+		if rowU[v] {
+			neighbors = append(neighbors, v)
+		}
+	}
+	if t > len(neighbors) {
+		return nil, fmt.Errorf("descmethods: level %d beyond degree %d", t, len(neighbors))
+	}
+	prefix := neighbors[:t]
+	rows := make([][]bool, t-1)
+	for i := 0; i < t-1; i++ {
+		rows[i], err = readRow(r, prefix[i], n)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Replay the construction: remaining = non-neighbours of u not covered
+	// by v_1…v_{t−1}.
+	var remaining []int
+	for v := 1; v <= n; v++ {
+		if v == u || rowU[v] {
+			continue
+		}
+		coveredEarlier := false
+		for i := 0; i < t-1; i++ {
+			if rows[i][v] {
+				coveredEarlier = true
+				break
+			}
+		}
+		if !coveredEarlier {
+			remaining = append(remaining, v)
+		}
+	}
+	sz64, err := r.ReadShortSelfDelimiting()
+	if err != nil {
+		return nil, err
+	}
+	size := int(sz64)
+	if size > len(remaining) {
+		return nil, fmt.Errorf("descmethods: |A_t| = %d > remaining %d", size, len(remaining))
+	}
+	ensemble := binomial(len(remaining), size)
+	rank, err := readBigInt(r, bitsFor(ensemble))
+	if err != nil {
+		return nil, err
+	}
+	positions, err := combUnrank(rank, len(remaining), size)
+	if err != nil {
+		return nil, err
+	}
+	vt := prefix[t-1]
+	vtAdj := make([]bool, n+1)
+	for _, p := range positions {
+		vtAdj[remaining[p]] = true
+	}
+	inRemaining := make([]bool, n+1)
+	for _, v := range remaining {
+		inRemaining[v] = true
+	}
+	skip := claim1Skip(u, prefix[:t-1], vt, inRemaining)
+	known := func(a, b int) bool {
+		if a == u {
+			return rowU[b]
+		}
+		if b == u {
+			return rowU[a]
+		}
+		for i := 0; i < t-1; i++ {
+			if a == prefix[i] {
+				return rows[i][b]
+			}
+			if b == prefix[i] {
+				return rows[i][a]
+			}
+		}
+		if a == vt && inRemaining[b] {
+			return vtAdj[b]
+		}
+		if b == vt && inRemaining[a] {
+			return vtAdj[a]
+		}
+		return false
+	}
+	return restoreResidual(r, n, skip, known)
+}

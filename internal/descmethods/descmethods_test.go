@@ -1,0 +1,449 @@
+package descmethods
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"routetab/internal/bitio"
+	"routetab/internal/gengraph"
+	"routetab/internal/graph"
+	"routetab/internal/kolmo"
+)
+
+func TestCombRankUnrankRoundTripQuick(t *testing.T) {
+	f := func(seed int64, nn, dd uint8) bool {
+		n := int(nn)%40 + 1
+		d := int(dd) % (n + 1)
+		rng := rand.New(rand.NewSource(seed))
+		perm := rng.Perm(n)[:d]
+		pos := append([]int(nil), perm...)
+		sortInts(pos)
+		rank := combRank(pos)
+		back, err := combUnrank(rank, n, d)
+		if err != nil {
+			return false
+		}
+		if len(back) != len(pos) {
+			return false
+		}
+		for i := range pos {
+			if back[i] != pos[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
+			xs[j-1], xs[j] = xs[j], xs[j-1]
+		}
+	}
+}
+
+func TestCombRankBounds(t *testing.T) {
+	// The rank of any d-subset of n elements is < C(n, d).
+	n, d := 20, 7
+	max := binomial(n, d)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		pos := rng.Perm(n)[:d]
+		sortInts(pos)
+		if combRank(pos).Cmp(max) >= 0 {
+			t.Fatalf("rank %v ≥ C(%d,%d) = %v", combRank(pos), n, d, max)
+		}
+	}
+	// Extremes: {0..d−1} has rank 0; {n−d..n−1} has rank C(n,d)−1.
+	lo := make([]int, d)
+	hi := make([]int, d)
+	for i := 0; i < d; i++ {
+		lo[i] = i
+		hi[i] = n - d + i
+	}
+	if combRank(lo).Sign() != 0 {
+		t.Fatalf("rank of least subset = %v", combRank(lo))
+	}
+	want := new(big.Int).Sub(max, big.NewInt(1))
+	if combRank(hi).Cmp(want) != 0 {
+		t.Fatalf("rank of greatest subset = %v, want %v", combRank(hi), want)
+	}
+}
+
+func TestBigIntFieldRoundTrip(t *testing.T) {
+	w := bitio.NewWriter(0)
+	v := new(big.Int).Lsh(big.NewInt(12345), 100) // > 64 bits
+	if err := writeBigInt(w, v, 120); err != nil {
+		t.Fatal(err)
+	}
+	r := bitio.ReaderFor(w)
+	got, err := readBigInt(r, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(v) != 0 {
+		t.Fatalf("got %v, want %v", got, v)
+	}
+	if err := writeBigInt(w, v, 50); err == nil {
+		t.Fatal("oversize value accepted")
+	}
+	if err := writeBigInt(w, big.NewInt(-1), 8); err == nil {
+		t.Fatal("negative value accepted")
+	}
+}
+
+func describeOn(t *testing.T, codec kolmo.Codec, g *graph.Graph) *kolmo.Description {
+	t.Helper()
+	d, err := kolmo.Describe(codec, g)
+	if err != nil {
+		t.Fatalf("%s: %v", codec.Name(), err)
+	}
+	return d
+}
+
+func TestDegreeCodecOnSkewedGraphs(t *testing.T) {
+	// Chain: every degree ≤ 2 ≪ (n−1)/2 — huge savings, exact round trip.
+	// (At n = 256 the deviation clears the default Lemma 1 radius ≈ √(4·n·log n).)
+	chain, err := gengraph.Chain(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := describeOn(t, DegreeCodec{}, chain)
+	if d.Savings <= 0 {
+		t.Fatalf("chain savings = %d, want > 0", d.Savings)
+	}
+	// Star centre has degree n−1 — also deviant.
+	star, err := gengraph.Star(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d = describeOn(t, DegreeCodec{}, star)
+	if d.Savings <= 0 {
+		t.Fatalf("star savings = %d, want > 0", d.Savings)
+	}
+}
+
+func TestDegreeCodecNotApplicableOnRandom(t *testing.T) {
+	g, err := gengraph.GnHalf(128, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, applicable, err := (DegreeCodec{}).Encode(g); err != nil || applicable {
+		t.Fatalf("random graph: applicable=%t err=%v — Lemma 1 violated?", applicable, err)
+	}
+}
+
+func TestDegreeCodecCustomThreshold(t *testing.T) {
+	// With MinDeviation 1, almost any graph has a qualifying node; the codec
+	// must still round-trip even when savings are negative.
+	g, err := gengraph.GnHalf(32, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := describeOn(t, DegreeCodec{MinDeviation: 1}, g)
+	if d.Bits <= 0 {
+		t.Fatal("empty description")
+	}
+}
+
+func TestDistantPairCodec(t *testing.T) {
+	// Chain has distance-3 pairs; savings = d(u) − 2·log n − O(1) may be
+	// small but the round trip must be exact.
+	chain, err := gengraph.Chain(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := describeOn(t, DistantPairCodec{}, chain)
+	if d.Bits <= 0 {
+		t.Fatal("empty description")
+	}
+	// A dense graph with one far pair: two cliques joined by a path.
+	g := graph.MustNew(40)
+	for u := 1; u <= 18; u++ {
+		for v := u + 1; v <= 18; v++ {
+			if err := g.AddEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for u := 21; u <= 40; u++ {
+		for v := u + 1; v <= 40; v++ {
+			if err := g.AddEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, e := range [][2]int{{18, 19}, {19, 20}, {20, 21}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d = describeOn(t, DistantPairCodec{}, g)
+	// The far pair's endpoint has clique degree ≈ 17 ≫ 2·log 40 + 8 ≈ 20…
+	// savings may hover near zero; exactness is the test, positivity the
+	// bonus on the bigger clique side.
+	if d.Bits >= graph.EdgeCodeLen(40)+200 {
+		t.Fatalf("description absurdly long: %d", d.Bits)
+	}
+}
+
+func TestDistantPairNotApplicableOnRandom(t *testing.T) {
+	g, err := gengraph.GnHalf(128, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, applicable, err := (DistantPairCodec{}).Encode(g); err != nil || applicable {
+		t.Fatalf("random graph: applicable=%t err=%v — Lemma 2 violated?", applicable, err)
+	}
+}
+
+func TestUncoveredCodec(t *testing.T) {
+	// Chain: node 1's only neighbour is 2, so node 4 is uncovered.
+	chain, err := gengraph.Chain(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := describeOn(t, UncoveredCodec{C: 3}, chain)
+	if d.Bits <= 0 {
+		t.Fatal("empty description")
+	}
+}
+
+func TestUncoveredNotApplicableOnRandom(t *testing.T) {
+	g, err := gengraph.GnHalf(128, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, applicable, err := (UncoveredCodec{}).Encode(g); err != nil || applicable {
+		t.Fatalf("random graph: applicable=%t err=%v — Lemma 3 violated?", applicable, err)
+	}
+}
+
+func TestRoutingFuncCodecRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		g, err := gengraph.GnHalf(48, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := describeOn(t, RoutingFuncCodec{U: 1}, g)
+		// Ledger: description = E(G) + |F(u)| + headers − (n−1) − #nonNb.
+		// With |F(u)| ≈ 6n and #nonNb ≈ n/2 the description must be longer
+		// than E(G) (consistent with the lower bound), but not by more than
+		// |F(u)|.
+		if d.Savings > 0 {
+			t.Fatalf("seed %d: positive savings %d with a 6n-bit F(u) — impossible on random graphs", seed, d.Savings)
+		}
+		if -d.Savings > 8*48+200 {
+			t.Fatalf("seed %d: overhead %d exceeds |F(u)| + headers", seed, -d.Savings)
+		}
+	}
+}
+
+func TestRoutingFuncCodecPivots(t *testing.T) {
+	g, err := gengraph.GnHalf(40, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []int{1, 17, 40} {
+		describeOn(t, RoutingFuncCodec{U: u}, g)
+	}
+	// Pivot beyond n: not applicable.
+	if _, applicable, err := (RoutingFuncCodec{U: 99}).Encode(g); err != nil || applicable {
+		t.Fatalf("pivot 99: applicable=%t err=%v", applicable, err)
+	}
+	// Chain: Theorem 1 construction fails, not applicable.
+	chain, err := gengraph.Chain(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, applicable, err := (RoutingFuncCodec{}).Encode(chain); err != nil || applicable {
+		t.Fatalf("chain: applicable=%t err=%v", applicable, err)
+	}
+}
+
+func TestFullInfoCodecRoundTripAndBlockSavings(t *testing.T) {
+	g, err := gengraph.GnHalf(48, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := describeOn(t, FullInfoCodec{U: 1}, g)
+	// The deleted block is d(u)·(n−1−d(u)) ≈ n²/4 ≈ 552; |F(u)| = (n−1)·d(u)
+	// ≈ n²/2 ≈ 1104. Net ≈ −n²/4: the description is longer, exactly the
+	// Theorem 10 relationship |F(u)| ≥ block.
+	if d.Savings > 0 {
+		t.Fatalf("positive savings %d — F(u) smaller than the recovered block?", d.Savings)
+	}
+	deg := g.Degree(1)
+	block := deg * (47 - deg)
+	fu := 47 * deg
+	wantOverhead := fu - block // ≈ n²/4
+	slack := 200
+	if -d.Savings > wantOverhead+slack || -d.Savings < wantOverhead-slack {
+		t.Fatalf("overhead = %d, want ≈ %d (|F(u)| − block)", -d.Savings, wantOverhead)
+	}
+}
+
+func TestFullInfoCodecNotApplicable(t *testing.T) {
+	chain, err := gengraph.Chain(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, applicable, err := (FullInfoCodec{}).Encode(chain); err != nil || applicable {
+		t.Fatalf("chain: applicable=%t err=%v (eccentricity > 2)", applicable, err)
+	}
+	disconnected := graph.MustNew(6)
+	if err := disconnected.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, applicable, err := (FullInfoCodec{}).Encode(disconnected); err != nil || applicable {
+		t.Fatalf("disconnected: applicable=%t err=%v", applicable, err)
+	}
+}
+
+func TestHeaderTagMismatch(t *testing.T) {
+	g, err := gengraph.Chain(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, applicable, err := (DegreeCodec{MinDeviation: 1}).Encode(g)
+	if err != nil || !applicable {
+		t.Fatalf("encode: %t %v", applicable, err)
+	}
+	// Feed a Lemma 1 description to the Lemma 2 decoder.
+	if _, err := (DistantPairCodec{}).Decode(bitio.ReaderFor(enc), 16); err == nil {
+		t.Fatal("cross-codec decode accepted")
+	}
+}
+
+func TestAllCodecsRoundTripOnMixedGraphs(t *testing.T) {
+	// Wherever applicable, every codec must reproduce the graph exactly
+	// (kolmo.Describe enforces this; here we sweep graph families).
+	codecs := []kolmo.Codec{
+		DegreeCodec{MinDeviation: 1},
+		DistantPairCodec{},
+		UncoveredCodec{C: 1},
+		RoutingFuncCodec{},
+		FullInfoCodec{},
+	}
+	mk := []func() (*graph.Graph, error){
+		func() (*graph.Graph, error) { return gengraph.Chain(24) },
+		func() (*graph.Graph, error) { return gengraph.Star(24) },
+		func() (*graph.Graph, error) { return gengraph.Grid(4, 6) },
+		func() (*graph.Graph, error) { return gengraph.GnHalf(24, rand.New(rand.NewSource(8))) },
+		func() (*graph.Graph, error) { return gengraph.Gnp(24, 0.8, rand.New(rand.NewSource(9))) },
+	}
+	for gi, make := range mk {
+		g, err := make()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, codec := range codecs {
+			_, applicable, err := codec.Encode(g)
+			if err != nil {
+				t.Fatalf("graph %d, %s: %v", gi, codec.Name(), err)
+			}
+			if !applicable {
+				continue
+			}
+			if _, err := kolmo.Describe(codec, g); err != nil {
+				t.Fatalf("graph %d, %s: %v", gi, codec.Name(), err)
+			}
+		}
+	}
+}
+
+func TestClaim1CodecDeviantCover(t *testing.T) {
+	// Node 1 has neighbours {2,3}; its first intermediate (node 2) covers
+	// every non-neighbour — a huge upward deviation from half the mass. At
+	// n = 64 the saved 61 bits dominate the ~30 header bits.
+	g := graph.MustNew(64)
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	for v := 4; v <= 64; v++ {
+		if err := g.AddEdge(2, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := describeOn(t, Claim1Codec{}, g)
+	if d.Savings <= 0 {
+		t.Fatalf("deviant cover savings = %d, want > 0", d.Savings)
+	}
+
+	// The opposite deviation: the first intermediate covers almost nothing.
+	g2 := graph.MustNew(20)
+	if err := g2.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.AddEdge(2, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Make the rest of the graph dense so the encoding is non-trivial.
+	for u := 4; u <= 20; u++ {
+		for v := u + 1; v <= 20; v++ {
+			if err := g2.AddEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	d = describeOn(t, Claim1Codec{}, g2)
+	if d.Bits <= 0 {
+		t.Fatal("empty description")
+	}
+}
+
+func TestClaim1NotApplicableOnRandom(t *testing.T) {
+	// On certified random graphs every (above-threshold) level covers about
+	// half the remaining mass — the codec must not apply.
+	g, err := gengraph.GnHalf(256, rand.New(rand.NewSource(31)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, applicable, err := (Claim1Codec{}).Encode(g); err != nil || applicable {
+		t.Fatalf("random graph: applicable=%t err=%v — Claim 1 violated?", applicable, err)
+	}
+}
+
+func TestClaim1DeepLevelRoundTrip(t *testing.T) {
+	// Force the deviation at level t = 2: v₁ covers exactly half, v₂ covers
+	// everything that remains.
+	g := graph.MustNew(24)
+	// u = 1 adjacent to 2, 3, 4.
+	for v := 2; v <= 4; v++ {
+		if err := g.AddEdge(1, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Non-neighbours: 5…24 (20 nodes). v₁=2 covers 5…14 (half).
+	for v := 5; v <= 14; v++ {
+		if err := g.AddEdge(2, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// v₂=3 covers all of 15…24 — full coverage of the remaining mass.
+	for v := 15; v <= 24; v++ {
+		if err := g.AddEdge(3, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	enc, applicable, err := (Claim1Codec{}).Encode(g)
+	if err != nil || !applicable {
+		t.Fatalf("encode: applicable=%t err=%v", applicable, err)
+	}
+	back, err := (Claim1Codec{}).Decode(bitio.ReaderFor(enc), 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(g) {
+		t.Fatal("round trip mismatch")
+	}
+}

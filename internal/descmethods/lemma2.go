@@ -1,0 +1,124 @@
+package descmethods
+
+import (
+	"routetab/internal/bitio"
+	"routetab/internal/graph"
+	"routetab/internal/kolmo"
+	"routetab/internal/shortestpath"
+)
+
+// DistantPairCodec is Lemma 2's description method: if some pair (u, v) has
+// distance greater than 2, then no neighbour w of u has an edge to v — all
+// those E(G) bits are 0 and can be deleted, saving d(u) bits against a
+// 2·log n + (n−1) header. On a o(n)-random graph (degrees ≈ n/2) the savings
+// would exceed the randomness deficiency, a contradiction: every random
+// graph has diameter 2.
+type DistantPairCodec struct{}
+
+var _ kolmo.Codec = DistantPairCodec{}
+
+// Name implements kolmo.Codec.
+func (DistantPairCodec) Name() string { return "lemma2-distant-pair" }
+
+// Encode implements kolmo.Codec.
+func (DistantPairCodec) Encode(g *graph.Graph) (*bitio.Writer, bool, error) {
+	n := g.N()
+	u, v := findDistantPair(g)
+	if u == 0 {
+		return nil, false, nil
+	}
+	w := bitio.NewWriter(graph.EdgeCodeLen(n))
+	if err := writeHeader(w, tagDistantPair); err != nil {
+		return nil, false, err
+	}
+	// The identities of u < v in 2·log n bits.
+	if err := writeNode(w, u, n); err != nil {
+		return nil, false, err
+	}
+	if err := writeNode(w, v, n); err != nil {
+		return nil, false, err
+	}
+	// u's neighbourhood row explicitly, so the decoder knows which (w, v)
+	// bits were deleted.
+	writeRow(w, g, u)
+	// Residual: drop u's row (re-encoded above, a wash) and — the actual
+	// savings — every bit between a neighbour of u and v, all provably 0.
+	copyResidual(w, g, skipDistant(g, u, v))
+	return w, true, nil
+}
+
+// skipDistant reports the deleted positions: bits incident to u, and bits
+// (w, v) with w ∈ N(u).
+func skipDistant(g *graph.Graph, u, v int) func(a, b int) bool {
+	return func(a, b int) bool {
+		if a == u || b == u {
+			return true
+		}
+		if b == v && g.HasEdge(u, a) {
+			return true
+		}
+		if a == v && g.HasEdge(u, b) {
+			return true
+		}
+		return false
+	}
+}
+
+// Decode implements kolmo.Codec.
+func (DistantPairCodec) Decode(r *bitio.Reader, n int) (*graph.Graph, error) {
+	if err := readHeader(r, tagDistantPair); err != nil {
+		return nil, err
+	}
+	u, err := readNode(r, n)
+	if err != nil {
+		return nil, err
+	}
+	v, err := readNode(r, n)
+	if err != nil {
+		return nil, err
+	}
+	isNb, err := readRow(r, u, n)
+	if err != nil {
+		return nil, err
+	}
+	skip := func(a, b int) bool {
+		if a == u || b == u {
+			return true
+		}
+		if b == v && a != u && isNb[a] {
+			return true
+		}
+		if a == v && b != u && isNb[b] {
+			return true
+		}
+		return false
+	}
+	known := func(a, b int) bool {
+		if a == u {
+			return isNb[b]
+		}
+		if b == u {
+			return isNb[a]
+		}
+		return false // deleted (w, v) bits are all 0
+	}
+	return restoreResidual(r, n, skip, known)
+}
+
+// findDistantPair returns a pair at distance > 2 (0, 0 if none exists —
+// i.e. the graph has diameter ≤ 2 componentwise and is connected enough).
+func findDistantPair(g *graph.Graph) (int, int) {
+	n := g.N()
+	for u := 1; u <= n; u++ {
+		res, err := shortestpath.BFS(g, u)
+		if err != nil {
+			return 0, 0
+		}
+		for v := u + 1; v <= n; v++ {
+			if res.Dist[v] > 2 || res.Dist[v] == shortestpath.Unreachable {
+				return u, v
+			}
+		}
+	}
+	return 0, 0
+}

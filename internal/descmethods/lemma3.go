@@ -1,0 +1,164 @@
+package descmethods
+
+import (
+	"fmt"
+	"math"
+
+	"routetab/internal/bitio"
+	"routetab/internal/graph"
+	"routetab/internal/kolmo"
+)
+
+// UncoveredCodec is Lemma 3's description method: if some node w is neither
+// adjacent to u nor to any of the first K = (c+3)·log n neighbours of u,
+// then the K bits of w's row towards those neighbours are all 0 and can be
+// deleted (together with the redundant rows of u and w, re-encoded
+// explicitly). On a c·log n-random graph the K-bit savings beat the
+// deficiency — contradiction — so every node is covered within the first
+// (c+3)·log n neighbours.
+type UncoveredCodec struct {
+	// C is the randomness parameter (default 3): K = ⌈(C+3)·log₂ n⌉.
+	C float64
+}
+
+var _ kolmo.Codec = UncoveredCodec{}
+
+// Name implements kolmo.Codec.
+func (UncoveredCodec) Name() string { return "lemma3-uncovered" }
+
+func (c UncoveredCodec) k(n int) int {
+	cc := c.C
+	if cc <= 0 {
+		cc = 3
+	}
+	k := int(math.Ceil((cc + 3) * math.Log2(float64(n))))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// Encode implements kolmo.Codec.
+func (c UncoveredCodec) Encode(g *graph.Graph) (*bitio.Writer, bool, error) {
+	n := g.N()
+	k := c.k(n)
+	u, target := findUncovered(g, k)
+	if u == 0 {
+		return nil, false, nil
+	}
+	w := bitio.NewWriter(graph.EdgeCodeLen(n))
+	if err := writeHeader(w, tagUncovered); err != nil {
+		return nil, false, err
+	}
+	if err := writeNode(w, u, n); err != nil {
+		return nil, false, err
+	}
+	if err := writeNode(w, target, n); err != nil {
+		return nil, false, err
+	}
+	// u's full row, then w's row with the K cover-prefix bits omitted (they
+	// are all 0 by assumption).
+	writeRow(w, g, u)
+	prefix := g.FirstNeighbors(u, k)
+	inPrefix := make([]bool, n+1)
+	for _, v := range prefix {
+		inPrefix[v] = true
+	}
+	for v := 1; v <= n; v++ {
+		if v == target || v == u || inPrefix[v] {
+			continue
+		}
+		w.WriteBit(g.HasEdge(target, v))
+	}
+	// Residual E(G) without the rows of u and target.
+	copyResidual(w, g, func(a, b int) bool {
+		return a == u || b == u || a == target || b == target
+	})
+	return w, true, nil
+}
+
+// Decode implements kolmo.Codec.
+func (c UncoveredCodec) Decode(r *bitio.Reader, n int) (*graph.Graph, error) {
+	if err := readHeader(r, tagUncovered); err != nil {
+		return nil, err
+	}
+	u, err := readNode(r, n)
+	if err != nil {
+		return nil, err
+	}
+	target, err := readNode(r, n)
+	if err != nil {
+		return nil, err
+	}
+	isNbU, err := readRow(r, u, n)
+	if err != nil {
+		return nil, err
+	}
+	// Reconstruct u's first-K neighbour prefix from the decoded row.
+	k := c.k(n)
+	inPrefix := make([]bool, n+1)
+	count := 0
+	for v := 1; v <= n && count < k; v++ {
+		if v != u && isNbU[v] {
+			inPrefix[v] = true
+			count++
+		}
+	}
+	// target's row: explicit bits except the prefix positions (known 0) and
+	// the (u, target) position (known from u's row).
+	isNbT := make([]bool, n+1)
+	for v := 1; v <= n; v++ {
+		if v == target || v == u || inPrefix[v] {
+			continue
+		}
+		b, err := r.ReadBit()
+		if err != nil {
+			return nil, err
+		}
+		isNbT[v] = b
+	}
+	if isNbU[target] {
+		return nil, fmt.Errorf("descmethods: uncovered target %d adjacent to %d", target, u)
+	}
+	skip := func(a, b int) bool {
+		return a == u || b == u || a == target || b == target
+	}
+	known := func(a, b int) bool {
+		if a == u {
+			return isNbU[b]
+		}
+		if b == u {
+			return isNbU[a]
+		}
+		if a == target {
+			return isNbT[b]
+		}
+		return isNbT[a]
+	}
+	return restoreResidual(r, n, skip, known)
+}
+
+// findUncovered returns (u, w) with w not adjacent to u nor to any of u's
+// first k neighbours, or zeros.
+func findUncovered(g *graph.Graph, k int) (int, int) {
+	n := g.N()
+	for u := 1; u <= n; u++ {
+		prefix := g.FirstNeighbors(u, k)
+		for w := 1; w <= n; w++ {
+			if w == u || g.HasEdge(u, w) {
+				continue
+			}
+			covered := false
+			for _, v := range prefix {
+				if g.HasEdge(v, w) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return u, w
+			}
+		}
+	}
+	return 0, 0
+}

@@ -1,0 +1,172 @@
+package descmethods
+
+import (
+	"fmt"
+
+	"routetab/internal/bitio"
+	"routetab/internal/graph"
+	"routetab/internal/kolmo"
+	"routetab/internal/schemes/fullinfo"
+	"routetab/internal/shortestpath"
+)
+
+// FullInfoCodec is Theorem 10's description method: a full-information
+// shortest-path routing function F(u) determines, for every neighbour v of u
+// and every non-neighbour w, whether vw ∈ E — on a diameter-2 graph, vw ∈ E
+// iff the edge uv is among the edges F(u) returns for destination w. The
+// whole N(u) × (V∖N(u)∖{u}) block of E(G), about n²/4 bits, can therefore be
+// deleted once F(u) is written out:
+//
+//	[u] [row of u] [F(u)] [E(G) − row(u) − N(u)×non-N(u) block]
+//
+// On a o(n)-random graph the total cannot drop below n(n−1)/2 − o(n), so
+// |F(u)| ≥ n²/4 − o(n²): the Θ(n³) total for full-information schemes.
+type FullInfoCodec struct {
+	// U is the pivot node (default 1).
+	U int
+}
+
+var _ kolmo.Codec = FullInfoCodec{}
+
+// Name implements kolmo.Codec.
+func (FullInfoCodec) Name() string { return "theorem10-full-information" }
+
+func (c FullInfoCodec) pivot() int {
+	if c.U >= 1 {
+		return c.U
+	}
+	return 1
+}
+
+// Encode implements kolmo.Codec. Applicable when the graph is connected and
+// every non-neighbour of the pivot is at distance exactly 2 (Lemma 2 grants
+// this on random graphs).
+func (c FullInfoCodec) Encode(g *graph.Graph) (*bitio.Writer, bool, error) {
+	n := g.N()
+	u := c.pivot()
+	if u > n {
+		return nil, false, nil
+	}
+	dm, err := shortestpath.AllPairs(g)
+	if err != nil {
+		return nil, false, err
+	}
+	if dm.Eccentricity(u) > 2 || dm.Eccentricity(u) == shortestpath.Unreachable {
+		return nil, false, nil
+	}
+	if dm.Diameter() == shortestpath.Unreachable {
+		return nil, false, nil
+	}
+	ports := graph.SortedPorts(g)
+	scheme, err := fullinfo.Build(g, ports, dm)
+	if err != nil {
+		return nil, false, nil // disconnected ⇒ not applicable
+	}
+	fu, err := scheme.EncodeNode(u)
+	if err != nil {
+		return nil, false, err
+	}
+
+	w := bitio.NewWriter(graph.EdgeCodeLen(n) + fu.Len())
+	if err := writeHeader(w, tagFullInfo); err != nil {
+		return nil, false, err
+	}
+	if err := writeNode(w, u, n); err != nil {
+		return nil, false, err
+	}
+	writeRow(w, g, u)
+	if err := appendBits(w, fu); err != nil {
+		return nil, false, err
+	}
+	// Deleted: u's row and the whole N(u) × non-N(u) block.
+	isNb := make([]bool, n+1)
+	for _, v := range g.Neighbors(u) {
+		isNb[v] = true
+	}
+	copyResidual(w, g, fullInfoSkip(u, isNb))
+	return w, true, nil
+}
+
+// fullInfoSkip marks u's row and every pair with exactly one endpoint in
+// N(u), the other a non-neighbour (≠ u).
+func fullInfoSkip(u int, isNb []bool) func(a, b int) bool {
+	return func(a, b int) bool {
+		if a == u || b == u {
+			return true
+		}
+		return isNb[a] != isNb[b]
+	}
+}
+
+// Decode implements kolmo.Codec.
+func (c FullInfoCodec) Decode(r *bitio.Reader, n int) (*graph.Graph, error) {
+	if err := readHeader(r, tagFullInfo); err != nil {
+		return nil, err
+	}
+	u, err := readNode(r, n)
+	if err != nil {
+		return nil, err
+	}
+	isNb, err := readRow(r, u, n)
+	if err != nil {
+		return nil, err
+	}
+	var neighbors []int
+	for v := 1; v <= n; v++ {
+		if isNb[v] {
+			neighbors = append(neighbors, v)
+		}
+	}
+	degree := len(neighbors)
+	// F(u): fixed (n−1)·d(u) bits, width known from the row.
+	fu := bitio.NewWriter((n - 1) * degree)
+	for i := 0; i < (n-1)*degree; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return nil, err
+		}
+		fu.WriteBit(b)
+	}
+	sets, err := fullinfo.DecodeNode(fu, u, n, degree)
+	if err != nil {
+		return nil, err
+	}
+	// portOf[v] = sorted rank of neighbour v (the IB/sorted convention the
+	// encoder used).
+	portOf := make([]int, n+1)
+	for i, v := range neighbors {
+		portOf[v] = i + 1
+	}
+	inPortSet := func(w, port int) bool {
+		for _, p := range sets[w] {
+			if p == port {
+				return true
+			}
+		}
+		return false
+	}
+	known := func(a, b int) bool {
+		if a == u {
+			return isNb[b]
+		}
+		if b == u {
+			return isNb[a]
+		}
+		// Exactly one endpoint is a neighbour; vw ∈ E iff port(v) routes w.
+		if isNb[a] && !isNb[b] {
+			return inPortSet(b, portOf[a])
+		}
+		if isNb[b] && !isNb[a] {
+			return inPortSet(a, portOf[b])
+		}
+		return false
+	}
+	g, err := restoreResidual(r, n, fullInfoSkip(u, isNb), known)
+	if err != nil {
+		return nil, err
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("descmethods: %d unconsumed bits", r.Remaining())
+	}
+	return g, nil
+}

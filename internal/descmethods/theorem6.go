@@ -1,0 +1,218 @@
+package descmethods
+
+import (
+	"fmt"
+
+	"routetab/internal/bitio"
+	"routetab/internal/graph"
+	"routetab/internal/kolmo"
+	"routetab/internal/schemes/compact"
+)
+
+// RoutingFuncCodec is Theorem 6's description method: a shortest-path local
+// routing function F(u) (model II ∧ α) names, for every non-neighbour w, an
+// intermediate neighbour v on a length-2 path — so the E(G) bit for edge
+// (v, w) is known to be 1 and can be deleted. The description
+//
+//	[u] [row of u] [F(u)] [E(G) − row(u) − one bit per non-neighbour]
+//
+// must still be ≥ n(n−1)/2 − o(n) bits on a o(n)-random graph, which forces
+// |F(u)| ≥ (#non-neighbours) − O(log n) ≈ n/2 − o(n): the Ω(n²) lower bound.
+//
+// The codec instantiates F(u) with the paper's own Theorem 1 construction
+// (any shortest-path function decodable from its bits would do) and
+// round-trips exactly; the experiments read off the achieved ledger.
+type RoutingFuncCodec struct {
+	// U is the pivot node (default 1).
+	U int
+	// Opts selects the Theorem 1 variant serialized as F(u); the zero value
+	// means compact.DefaultOptions(). ModeII is required (the decoder
+	// resolves intermediates against the explicit neighbour row).
+	Opts compact.Options
+}
+
+var _ kolmo.Codec = RoutingFuncCodec{}
+
+// Name implements kolmo.Codec.
+func (RoutingFuncCodec) Name() string { return "theorem6-routing-function" }
+
+func (c RoutingFuncCodec) pivot() int {
+	if c.U >= 1 {
+		return c.U
+	}
+	return 1
+}
+
+func (c RoutingFuncCodec) opts() compact.Options {
+	if c.Opts == (compact.Options{}) {
+		return compact.DefaultOptions()
+	}
+	return c.Opts
+}
+
+// Encode implements kolmo.Codec. Applicability requires the Theorem 1
+// construction to exist (diameter ≤ 2 through neighbours) and ModeII options.
+func (c RoutingFuncCodec) Encode(g *graph.Graph) (*bitio.Writer, bool, error) {
+	opts := c.opts()
+	if opts.Mode != compact.ModeII {
+		return nil, false, fmt.Errorf("descmethods: RoutingFuncCodec requires ModeII options")
+	}
+	n := g.N()
+	u := c.pivot()
+	if u > n {
+		return nil, false, nil
+	}
+	scheme, err := compact.Build(g, opts)
+	if err != nil {
+		return nil, false, nil // not coverable ⇒ method does not apply
+	}
+	fu, err := scheme.Encoded(u)
+	if err != nil {
+		return nil, false, err
+	}
+	inter, cover, err := compact.DecodeNode(fu, u, n, g.Neighbors(u), opts)
+	if err != nil {
+		return nil, false, err
+	}
+
+	w := bitio.NewWriter(graph.EdgeCodeLen(n) + fu.Len())
+	if err := writeHeader(w, tagRoutingFunc); err != nil {
+		return nil, false, err
+	}
+	if err := writeNode(w, u, n); err != nil {
+		return nil, false, err
+	}
+	writeRow(w, g, u)
+	// F(u), self-delimited.
+	if err := w.WriteShortSelfDelimiting(uint64(fu.Len())); err != nil {
+		return nil, false, err
+	}
+	if err := appendBits(w, fu); err != nil {
+		return nil, false, err
+	}
+	// Deleted positions: u's row, plus the (intermediate, destination) edge
+	// for every non-neighbour — recoverable because F(u) names the
+	// intermediate and the edge must exist on the length-2 shortest path.
+	skip, _, err := routingSkipSet(g, u, inter, cover)
+	if err != nil {
+		return nil, false, err
+	}
+	copyResidual(w, g, func(a, b int) bool { return skip[pairKey(n, a, b)] })
+	return w, true, nil
+}
+
+// routingSkipSet computes the deleted pair set and the per-destination
+// intermediate, validating the scheme's answers against the graph.
+func routingSkipSet(g *graph.Graph, u int, inter []uint16, cover []int) (map[int]bool, []int, error) {
+	n := g.N()
+	skip := make(map[int]bool)
+	via := make([]int, n+1)
+	for a := 1; a <= n; a++ {
+		if a == u {
+			continue
+		}
+		skip[pairKey(n, u, a)] = true
+	}
+	for wd := 1; wd <= n; wd++ {
+		if wd == u || g.HasEdge(u, wd) {
+			continue
+		}
+		idx := inter[wd]
+		if idx == 0 || int(idx) > len(cover) {
+			return nil, nil, fmt.Errorf("descmethods: F(%d) has no intermediate for %d", u, wd)
+		}
+		v := cover[idx-1]
+		if !g.HasEdge(v, wd) {
+			return nil, nil, fmt.Errorf("descmethods: F(%d) routes %d via non-adjacent %d", u, wd, v)
+		}
+		via[wd] = v
+		skip[pairKey(n, v, wd)] = true
+	}
+	return skip, via, nil
+}
+
+// pairKey maps an unordered pair to its lexicographic edge index.
+func pairKey(n, a, b int) int {
+	idx, err := graph.EdgeIndex(n, a, b)
+	if err != nil {
+		return -1
+	}
+	return idx
+}
+
+// appendBits copies every bit of src onto dst.
+func appendBits(dst *bitio.Writer, src *bitio.Writer) error {
+	r := bitio.ReaderFor(src)
+	for r.Remaining() > 0 {
+		b, err := r.ReadBit()
+		if err != nil {
+			return err
+		}
+		dst.WriteBit(b)
+	}
+	return nil
+}
+
+// Decode implements kolmo.Codec.
+func (c RoutingFuncCodec) Decode(r *bitio.Reader, n int) (*graph.Graph, error) {
+	opts := c.opts()
+	if err := readHeader(r, tagRoutingFunc); err != nil {
+		return nil, err
+	}
+	u, err := readNode(r, n)
+	if err != nil {
+		return nil, err
+	}
+	isNb, err := readRow(r, u, n)
+	if err != nil {
+		return nil, err
+	}
+	var neighbors []int
+	for v := 1; v <= n; v++ {
+		if isNb[v] {
+			neighbors = append(neighbors, v)
+		}
+	}
+	fuLen, err := r.ReadShortSelfDelimiting()
+	if err != nil {
+		return nil, err
+	}
+	fu := bitio.NewWriter(int(fuLen))
+	for i := uint64(0); i < fuLen; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return nil, err
+		}
+		fu.WriteBit(b)
+	}
+	inter, cover, err := compact.DecodeNode(fu, u, n, neighbors, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Recompute the deleted set exactly as the encoder did.
+	skip := make(map[int]bool)
+	known := make(map[int]bool)
+	for a := 1; a <= n; a++ {
+		if a == u {
+			continue
+		}
+		k := pairKey(n, u, a)
+		skip[k] = true
+		known[k] = isNb[a]
+	}
+	for wd := 1; wd <= n; wd++ {
+		if wd == u || isNb[wd] {
+			continue
+		}
+		idx := inter[wd]
+		if idx == 0 || int(idx) > len(cover) {
+			return nil, fmt.Errorf("descmethods: decoded F(%d) has no intermediate for %d", u, wd)
+		}
+		k := pairKey(n, cover[idx-1], wd)
+		skip[k] = true
+		known[k] = true // the shortest-path edge exists by construction
+	}
+	return restoreResidual(r, n,
+		func(a, b int) bool { return skip[pairKey(n, a, b)] },
+		func(a, b int) bool { return known[pairKey(n, a, b)] })
+}

@@ -1,0 +1,231 @@
+// Package eval is the experiment harness: it regenerates the paper's
+// evaluation artefacts — Table 1's nine-model bound grid and the Figure 1
+// lower-bound family — as measured series with growth fits. DESIGN.md's
+// experiment index (E1…E12) maps one runner to every table cell and figure.
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"routetab/internal/graph"
+	"routetab/internal/kolmo"
+	"routetab/internal/models"
+	"routetab/internal/routing"
+	"routetab/internal/shortestpath"
+	"routetab/internal/stats"
+)
+
+// ErrBadConfig reports invalid sweep parameters.
+var ErrBadConfig = errors.New("eval: bad config")
+
+// Config parameterises every experiment sweep.
+type Config struct {
+	// Sizes is the n sweep (each ≥ 16).
+	Sizes []int
+	// Trials is the number of seeded graphs per size.
+	Trials int
+	// Seed derives all graph seeds (deterministic experiments).
+	Seed int64
+	// C is the randomness parameter (c·log n-random graphs; default 3).
+	C float64
+	// SamplePairs bounds the routed pairs per verification (0 = all pairs).
+	SamplePairs int
+}
+
+// DefaultConfig is a laptop-scale sweep.
+func DefaultConfig() Config {
+	return Config{
+		Sizes:       []int{64, 128, 256},
+		Trials:      3,
+		Seed:        1,
+		C:           3,
+		SamplePairs: 2000,
+	}
+}
+
+func (c Config) validate() error {
+	if len(c.Sizes) == 0 {
+		return fmt.Errorf("%w: empty size sweep", ErrBadConfig)
+	}
+	for _, n := range c.Sizes {
+		if n < 16 {
+			return fmt.Errorf("%w: size %d < 16", ErrBadConfig, n)
+		}
+	}
+	if c.Trials < 1 {
+		return fmt.Errorf("%w: trials %d", ErrBadConfig, c.Trials)
+	}
+	if c.C <= 0 {
+		return fmt.Errorf("%w: c = %v", ErrBadConfig, c.C)
+	}
+	return nil
+}
+
+func (c Config) rng(size int, trial int) *rand.Rand {
+	return rand.New(rand.NewSource(c.Seed*1_000_003 + int64(size)*1009 + int64(trial)))
+}
+
+// Point is one measurement of a sweep.
+type Point struct {
+	N int
+	// TotalBits is the mean total scheme size across trials.
+	TotalBits float64
+	// MaxPerNodeBits is the worst per-node function size observed.
+	MaxPerNodeBits float64
+	// MaxStretch and MaxHops are the worst routing behaviour observed.
+	MaxStretch float64
+	MaxHops    int
+}
+
+// Series is one experiment's output: measured points plus the growth fit and
+// the paper's claimed bound for EXPERIMENTS.md.
+type Series struct {
+	ID    string
+	Title string
+	Model string
+	// PaperBound is the bound the paper claims for this cell.
+	PaperBound string
+	// PaperGrowth is the claimed growth shape, checked against the fit.
+	PaperGrowth stats.GrowthModel
+	Points      []Point
+	Fit         stats.GrowthFit
+}
+
+// FitMatchesPaper reports whether the measured growth fit selected the
+// paper's claimed shape.
+func (s *Series) FitMatchesPaper() bool { return s.Fit.Model == s.PaperGrowth }
+
+// fitSeries fills in the growth fit from the measured points.
+func fitSeries(s *Series) error {
+	ns := make([]int, len(s.Points))
+	ys := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		ns[i] = p.N
+		ys[i] = p.TotalBits
+	}
+	fit, err := stats.FitGrowth(ns, ys)
+	if err != nil {
+		return err
+	}
+	s.Fit = fit
+	return nil
+}
+
+// SchemeBuilder builds a scheme for one sampled graph.
+type SchemeBuilder func(g *graph.Graph, rng *rand.Rand) (routing.Scheme, *graph.Ports, error)
+
+// sweepScheme runs the generic size×trial sweep for one construction:
+// sample graph, build scheme, measure space under model m, route and record
+// worst-case behaviour.
+func (c Config) sweepScheme(m models.Model, build SchemeBuilder, sample func(n int, rng *rand.Rand) (*graph.Graph, error)) ([]Point, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	points := make([]Point, 0, len(c.Sizes))
+	for _, n := range c.Sizes {
+		var totalSum float64
+		pt := Point{N: n}
+		for trial := 0; trial < c.Trials; trial++ {
+			rng := c.rng(n, trial)
+			g, err := sample(n, rng)
+			if err != nil {
+				return nil, err
+			}
+			scheme, ports, err := build(g, rng)
+			if err != nil {
+				return nil, fmt.Errorf("eval: n=%d trial %d: %w", n, trial, err)
+			}
+			sp, err := routing.MeasureSpace(scheme, m)
+			if err != nil {
+				return nil, err
+			}
+			totalSum += float64(sp.Total)
+			if float64(sp.MaxFunctionBits) > pt.MaxPerNodeBits {
+				pt.MaxPerNodeBits = float64(sp.MaxFunctionBits)
+			}
+			rep, err := c.verify(g, ports, scheme)
+			if err != nil {
+				return nil, err
+			}
+			if !rep.AllDelivered() {
+				return nil, fmt.Errorf("eval: n=%d trial %d: %d/%d undelivered (%v)",
+					n, trial, rep.Pairs-rep.Delivered, rep.Pairs, rep.Failures)
+			}
+			if rep.MaxStretch > pt.MaxStretch {
+				pt.MaxStretch = rep.MaxStretch
+			}
+			if rep.MaxHops > pt.MaxHops {
+				pt.MaxHops = rep.MaxHops
+			}
+		}
+		pt.TotalBits = totalSum / float64(c.Trials)
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+func (c Config) verify(g *graph.Graph, ports *graph.Ports, scheme routing.Scheme) (*routing.Report, error) {
+	sim, err := routing.NewSim(g, ports, scheme)
+	if err != nil {
+		return nil, err
+	}
+	dm, err := shortestpath.AllPairs(g)
+	if err != nil {
+		return nil, err
+	}
+	limit := routing.DefaultHopLimit(g.N())
+	n := g.N()
+	var pairs [][2]int
+	if c.SamplePairs > 0 && n*(n-1) > c.SamplePairs {
+		rng := rand.New(rand.NewSource(c.Seed + int64(n)))
+		for len(pairs) < c.SamplePairs {
+			u := rng.Intn(n) + 1
+			v := rng.Intn(n) + 1
+			if u != v {
+				pairs = append(pairs, [2]int{u, v})
+			}
+		}
+	} else {
+		for u := 1; u <= n; u++ {
+			for v := 1; v <= n; v++ {
+				if u != v {
+					pairs = append(pairs, [2]int{u, v})
+				}
+			}
+		}
+	}
+	return routing.VerifyPairsParallel(sim, dm, pairs, limit)
+}
+
+// CertifySamples certifies each sampled graph of the sweep as
+// c·log n-random; experiments report the certified fraction (E11). A nil
+// sampler means uniform G(n, 1/2).
+func (c Config) CertifySamples(sample func(n int, rng *rand.Rand) (*graph.Graph, error)) (map[int]float64, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	if sample == nil {
+		sample = sampleUniform
+	}
+	out := make(map[int]float64, len(c.Sizes))
+	for _, n := range c.Sizes {
+		pass := 0
+		for trial := 0; trial < c.Trials; trial++ {
+			g, err := sample(n, c.rng(n, trial))
+			if err != nil {
+				return nil, err
+			}
+			cert, err := kolmo.Certify(g, c.C)
+			if err != nil {
+				return nil, err
+			}
+			if cert.OK() {
+				pass++
+			}
+		}
+		out[n] = float64(pass) / float64(c.Trials)
+	}
+	return out, nil
+}

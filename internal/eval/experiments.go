@@ -1,0 +1,494 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"routetab/internal/bitio"
+	"routetab/internal/descmethods"
+	"routetab/internal/gengraph"
+	"routetab/internal/graph"
+	"routetab/internal/kolmo"
+	"routetab/internal/lowerbound"
+	"routetab/internal/models"
+	"routetab/internal/routing"
+	"routetab/internal/schemes/centers"
+	"routetab/internal/schemes/compact"
+	"routetab/internal/schemes/fullinfo"
+	"routetab/internal/schemes/fulltable"
+	"routetab/internal/schemes/hub"
+	"routetab/internal/schemes/interval"
+	"routetab/internal/schemes/labels"
+	"routetab/internal/schemes/walker"
+	"routetab/internal/shortestpath"
+	"routetab/internal/stats"
+)
+
+func sampleUniform(n int, rng *rand.Rand) (*graph.Graph, error) {
+	return gengraph.GnHalf(n, rng)
+}
+
+// E1Compact measures the Theorem 1 construction (Table 1 "average upper
+// O(n²)" in IB ∨ II).
+func (c Config) E1Compact(opts compact.Options) (*Series, error) {
+	m := models.IIAlpha
+	if opts.Mode == compact.ModeIB {
+		m = models.IBAlpha
+	}
+	pts, err := c.sweepScheme(m, func(g *graph.Graph, _ *rand.Rand) (routing.Scheme, *graph.Ports, error) {
+		s, err := compact.Build(g, opts)
+		return s, graph.SortedPorts(g), err
+	}, sampleUniform)
+	if err != nil {
+		return nil, err
+	}
+	s := &Series{
+		ID:          "E1",
+		Title:       "Theorem 1 compact scheme (shortest path)",
+		Model:       m.String(),
+		PaperBound:  "6n² bits total (6n per node)",
+		PaperGrowth: stats.GrowthN2,
+		Points:      pts,
+	}
+	return s, fitSeries(s)
+}
+
+// E2Labels measures the Theorem 2 construction (Table 1 "average upper
+// O(n log² n)" in II ∧ γ).
+func (c Config) E2Labels() (*Series, error) {
+	pts, err := c.sweepScheme(models.IIGamma, func(g *graph.Graph, _ *rand.Rand) (routing.Scheme, *graph.Ports, error) {
+		s, err := labels.Build(g, c.C)
+		return s, graph.SortedPorts(g), err
+	}, sampleUniform)
+	if err != nil {
+		return nil, err
+	}
+	s := &Series{
+		ID:          "E2",
+		Title:       "Theorem 2 label scheme (shortest path)",
+		Model:       models.IIGamma.String(),
+		PaperBound:  "(c+3)·n·log²n + n·log n + O(n) bits",
+		PaperGrowth: stats.GrowthNLog2N,
+		Points:      pts,
+	}
+	return s, fitSeries(s)
+}
+
+// E3Centers measures Theorem 3 (stretch 1.5 → O(n log n)).
+func (c Config) E3Centers() (*Series, error) {
+	pts, err := c.sweepScheme(models.IIAlpha, func(g *graph.Graph, _ *rand.Rand) (routing.Scheme, *graph.Ports, error) {
+		s, err := centers.Build(g, 1)
+		return s, graph.SortedPorts(g), err
+	}, sampleUniform)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pts {
+		if p.MaxStretch > 1.5 {
+			return nil, fmt.Errorf("eval: E3 stretch %v > 1.5 at n=%d", p.MaxStretch, p.N)
+		}
+	}
+	s := &Series{
+		ID:          "E3",
+		Title:       "Theorem 3 centre scheme (stretch 1.5)",
+		Model:       models.IIAlpha.String(),
+		PaperBound:  "< (6c+20)·n·log n bits",
+		PaperGrowth: stats.GrowthNLogN,
+		Points:      pts,
+	}
+	return s, fitSeries(s)
+}
+
+// E4Hub measures Theorem 4 (stretch 2 → n loglog n + 6n).
+func (c Config) E4Hub() (*Series, error) {
+	pts, err := c.sweepScheme(models.IIAlpha, func(g *graph.Graph, _ *rand.Rand) (routing.Scheme, *graph.Ports, error) {
+		s, err := hub.Build(g, 1)
+		return s, graph.SortedPorts(g), err
+	}, sampleUniform)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pts {
+		if p.MaxStretch > 2 {
+			return nil, fmt.Errorf("eval: E4 stretch %v > 2 at n=%d", p.MaxStretch, p.N)
+		}
+	}
+	s := &Series{
+		ID:          "E4",
+		Title:       "Theorem 4 hub scheme (stretch 2)",
+		Model:       models.IIAlpha.String(),
+		PaperBound:  "n·loglog n + 6n bits",
+		PaperGrowth: stats.GrowthNLogLogN,
+		Points:      pts,
+	}
+	return s, fitSeries(s)
+}
+
+// E5Walker measures Theorem 5 (stretch (c+3)log n → O(n)).
+func (c Config) E5Walker() (*Series, error) {
+	pts, err := c.sweepScheme(models.IIAlpha, func(g *graph.Graph, _ *rand.Rand) (routing.Scheme, *graph.Ports, error) {
+		s, err := walker.Build(g, c.C)
+		return s, graph.SortedPorts(g), err
+	}, sampleUniform)
+	if err != nil {
+		return nil, err
+	}
+	s := &Series{
+		ID:          "E5",
+		Title:       "Theorem 5 walker scheme (stretch O(log n))",
+		Model:       models.IIAlpha.String(),
+		PaperBound:  "O(n) bits total (O(1) per node)",
+		PaperGrowth: stats.GrowthN,
+		Points:      pts,
+	}
+	return s, fitSeries(s)
+}
+
+// E6Result is the Theorem 6 codec ledger at one size.
+type E6Result struct {
+	N int
+	// ImpliedFloorPerNode is (#non-neighbours − header bits): the size any
+	// shortest-path F(u) must have on this graph by the codec argument,
+	// ≈ n/2 − o(n).
+	ImpliedFloorPerNode float64
+	// MeasuredPerNode is the Theorem 1 F(u) actually serialized.
+	MeasuredPerNode float64
+	// CodecValid records that the description round-tripped exactly.
+	CodecValid bool
+}
+
+// E6RoutingCodec runs Theorem 6's description method (Table 1 "average lower
+// Ω(n²)" in II ∧ α).
+func (c Config) E6RoutingCodec() ([]E6Result, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	var out []E6Result
+	for _, n := range c.Sizes {
+		g, err := sampleUniform(n, c.rng(n, 0))
+		if err != nil {
+			return nil, err
+		}
+		codec := descmethods.RoutingFuncCodec{U: 1}
+		desc, err := kolmo.Describe(codec, g)
+		if err != nil {
+			return nil, err
+		}
+		scheme, err := compact.Build(g, compact.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		// Exact header cost of the Theorem 6 description: 8-bit method tag,
+		// ⌈log(n+1)⌉-bit pivot, and the self-delimited |F(u)| length field.
+		headers := 8 + bitio.CeilLogPlus1(n) +
+			bitio.ShortSelfDelimitingLen(uint64(scheme.FunctionBits(1)))
+		out = append(out, E6Result{
+			N:                   n,
+			ImpliedFloorPerNode: float64(n - 1 - g.Degree(1) - headers),
+			MeasuredPerNode:     float64(scheme.FunctionBits(1)),
+			CodecValid:          desc.Bits > 0,
+		})
+	}
+	return out, nil
+}
+
+// WorstCaseFamilyResult records the universal table's cost on one
+// deterministic (worst-case) family — the "worst case upper bound" side of
+// Table 1: the trivial O(n² log n) table works for *every* graph, not just
+// the random ones.
+type WorstCaseFamilyResult struct {
+	Family     string
+	N          int
+	TotalBits  int
+	MaxStretch float64
+	Delivered  bool
+}
+
+// EWorstCaseFamilies measures the universal full-table scheme on
+// deterministic families (chain, cycle, star, grid, tree, and the Figure 1
+// family G_B) at each sweep size.
+func (c Config) EWorstCaseFamilies() ([]WorstCaseFamilyResult, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	families := []struct {
+		name string
+		mk   func(n int, rng *rand.Rand) (*graph.Graph, error)
+	}{
+		{"chain", func(n int, _ *rand.Rand) (*graph.Graph, error) { return gengraph.Chain(n) }},
+		{"cycle", func(n int, _ *rand.Rand) (*graph.Graph, error) { return gengraph.Cycle(n) }},
+		{"star", func(n int, _ *rand.Rand) (*graph.Graph, error) { return gengraph.Star(n) }},
+		{"grid", func(n int, _ *rand.Rand) (*graph.Graph, error) {
+			side := 1
+			for side*side < n {
+				side++
+			}
+			return gengraph.Grid(side, side)
+		}},
+		{"tree", func(n int, rng *rand.Rand) (*graph.Graph, error) { return gengraph.RandomTree(n, rng) }},
+		{"figure1", func(n int, rng *rand.Rand) (*graph.Graph, error) {
+			gb, err := gengraph.RandomGB(n/3, rng)
+			if err != nil {
+				return nil, err
+			}
+			return gb.G, nil
+		}},
+	}
+	var out []WorstCaseFamilyResult
+	for _, n := range c.Sizes {
+		for _, fam := range families {
+			g, err := fam.mk(n, c.rng(n, 0))
+			if err != nil {
+				return nil, err
+			}
+			ports := graph.SortedPorts(g)
+			s, err := fulltable.Build(g, ports)
+			if err != nil {
+				return nil, err
+			}
+			sp, err := routing.MeasureSpace(s, models.IAAlpha)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := c.verify(g, ports, s)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, WorstCaseFamilyResult{
+				Family:     fam.name,
+				N:          g.N(),
+				TotalBits:  sp.Total,
+				MaxStretch: rep.MaxStretch,
+				Delivered:  rep.AllDelivered(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// E7Result is the Claims 2–3 ledger at one size.
+type E7Result struct {
+	N int
+	// PatternBits is Σ_u (Claim 3 pattern bits): the extra cost of turning
+	// all local routing functions into full interconnection knowledge.
+	PatternBits int
+	// Budget is Σ_u (n−1−d(u)), the Claim 2 ceiling.
+	Budget int
+	// RoundTrips records that every node's pattern decoded exactly.
+	RoundTrips bool
+}
+
+// E7Pattern runs the Theorem 7 accounting (Claims 2–3) on adversarially
+// ported uniform graphs: every node's interconnection pattern is encoded
+// from its routing function plus Σ⌈log xᵢ⌉ bits and decoded back.
+func (c Config) E7Pattern() ([]E7Result, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	var out []E7Result
+	for _, n := range c.Sizes {
+		rng := c.rng(n, 0)
+		g, err := sampleUniform(n, rng)
+		if err != nil {
+			return nil, err
+		}
+		ports := graph.RandomPorts(g, rng)
+		s, err := fulltable.Build(g, ports)
+		if err != nil {
+			return nil, err
+		}
+		res := E7Result{N: n, RoundTrips: true}
+		for u := 1; u <= n; u++ {
+			codec := lowerbound.PatternCodec{Scheme: s, Degree: g.Degree(u), U: u}
+			enc, err := codec.EncodePattern(g, ports)
+			if err != nil {
+				return nil, err
+			}
+			dec, err := codec.DecodePattern(bitio.ReaderFor(enc))
+			if err != nil {
+				return nil, err
+			}
+			for p := 1; p <= g.Degree(u); p++ {
+				want, err := ports.Neighbor(u, p)
+				if err != nil {
+					return nil, err
+				}
+				if dec[p] != want {
+					res.RoundTrips = false
+				}
+			}
+			res.PatternBits += enc.Len()
+			res.Budget += lowerbound.Claim3Budget(n, g.Degree(u))
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// E8Ports runs the Theorem 8 adversarial-port experiment (Table 1 "average
+// lower Ω(n² log n)" in IA ∧ α).
+func (c Config) E8Ports() ([]lowerbound.PortEntropy, []int, error) {
+	if err := c.validate(); err != nil {
+		return nil, nil, err
+	}
+	var out []lowerbound.PortEntropy
+	var ns []int
+	for _, n := range c.Sizes {
+		rng := c.rng(n, 0)
+		g, err := sampleUniform(n, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		ports := graph.RandomPorts(g, rng)
+		pe, err := lowerbound.MeasurePortEntropy(g, ports)
+		if err != nil {
+			return nil, nil, err
+		}
+		// The decoding step must actually recover the adversary's
+		// permutation from the tables.
+		s, err := fulltable.Build(g, ports)
+		if err != nil {
+			return nil, nil, err
+		}
+		rec, err := lowerbound.RecoverPortAssignment(g, s)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := lowerbound.VerifyRecoveredPorts(g, ports, rec); err != nil {
+			return nil, nil, err
+		}
+		out = append(out, *pe)
+		ns = append(ns, n)
+	}
+	return out, ns, nil
+}
+
+// E9Result is the Figure 1 / Theorem 9 ledger at one block size.
+type E9Result struct {
+	K, N int
+	// EntropyBits is k·log₂(k!) ≈ (n²/9)·log n: the worst-case floor.
+	EntropyBits float64
+	// ExtractionOK records that the hidden permutation was recovered from
+	// the scheme's local functions alone.
+	ExtractionOK bool
+	// SchemeBits is the total size of the (universal) scheme used.
+	SchemeBits int
+}
+
+// E9Family runs the Figure 1 experiment for block sizes derived from the
+// configured sweep (k = n/3).
+func (c Config) E9Family() ([]E9Result, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	var out []E9Result
+	for _, n := range c.Sizes {
+		k := n / 3
+		if k < 2 {
+			continue
+		}
+		rng := c.rng(n, 0)
+		gb, err := gengraph.RandomGB(k, rng)
+		if err != nil {
+			return nil, err
+		}
+		ports := graph.SortedPorts(gb.G)
+		scheme, err := fulltable.Build(gb.G, ports)
+		if err != nil {
+			return nil, err
+		}
+		sim, err := routing.NewSim(gb.G, ports, scheme)
+		if err != nil {
+			return nil, err
+		}
+		ex, err := lowerbound.ExtractPermutation(gb, sim)
+		if err != nil {
+			return nil, err
+		}
+		sp, err := routing.MeasureSpace(scheme, models.IAAlpha)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, E9Result{
+			K:            k,
+			N:            gb.G.N(),
+			EntropyBits:  ex.TotalBits,
+			ExtractionOK: lowerbound.VerifyExtraction(gb, ex) == nil,
+			SchemeBits:   sp.Total,
+		})
+	}
+	return out, nil
+}
+
+// E10FullInfo measures the full-information scheme (Theorem 10, Θ(n³)).
+func (c Config) E10FullInfo() (*Series, error) {
+	pts, err := c.sweepScheme(models.IAAlpha, func(g *graph.Graph, _ *rand.Rand) (routing.Scheme, *graph.Ports, error) {
+		ports := graph.SortedPorts(g)
+		dm, err := shortestpath.AllPairs(g)
+		if err != nil {
+			return nil, nil, err
+		}
+		s, err := fullinfo.Build(g, ports, dm)
+		return s, ports, err
+	}, sampleUniform)
+	if err != nil {
+		return nil, err
+	}
+	s := &Series{
+		ID:          "E10",
+		Title:       "Full-information shortest-path scheme",
+		Model:       models.IAAlpha.String(),
+		PaperBound:  "Θ(n³) total (≥ n³/4 − o(n³))",
+		PaperGrowth: stats.GrowthN3,
+		Points:      pts,
+	}
+	return s, fitSeries(s)
+}
+
+// EIntervalBaseline measures the related-work interval-routing baseline.
+func (c Config) EIntervalBaseline() (*Series, error) {
+	pts, err := c.sweepScheme(models.IABeta, func(g *graph.Graph, _ *rand.Rand) (routing.Scheme, *graph.Ports, error) {
+		ports := graph.SortedPorts(g)
+		s, err := interval.Build(g, ports, 1)
+		return s, ports, err
+	}, sampleUniform)
+	if err != nil {
+		return nil, err
+	}
+	s := &Series{
+		ID:          "EB",
+		Title:       "Interval routing baseline (spanning tree)",
+		Model:       models.IABeta.String(),
+		PaperBound:  "O(n log n) bits, unbounded stretch (related work [1,6])",
+		PaperGrowth: stats.GrowthNLogN,
+		Points:      pts,
+	}
+	return s, fitSeries(s)
+}
+
+// EFullTableBaseline measures the trivial universal table (Theorem 8's
+// matching upper bound).
+func (c Config) EFullTableBaseline(adversarialPorts bool) (*Series, error) {
+	pts, err := c.sweepScheme(models.IAAlpha, func(g *graph.Graph, rng *rand.Rand) (routing.Scheme, *graph.Ports, error) {
+		var ports *graph.Ports
+		if adversarialPorts {
+			ports = graph.RandomPorts(g, rng)
+		} else {
+			ports = graph.SortedPorts(g)
+		}
+		s, err := fulltable.Build(g, ports)
+		return s, ports, err
+	}, sampleUniform)
+	if err != nil {
+		return nil, err
+	}
+	s := &Series{
+		ID:          "E8u",
+		Title:       "Universal full-table scheme",
+		Model:       models.IAAlpha.String(),
+		PaperBound:  "O(n² log n) bits (optimal under IA ∧ α, Theorem 8)",
+		PaperGrowth: stats.GrowthN2LogN,
+		Points:      pts,
+	}
+	return s, fitSeries(s)
+}

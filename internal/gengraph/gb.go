@@ -1,0 +1,139 @@
+package gengraph
+
+import (
+	"fmt"
+	"math/rand"
+
+	"routetab/internal/graph"
+)
+
+// GB is the explicit lower-bound family of Figure 1 (Theorem 9) on
+// n = B + 2K nodes:
+//
+//   - bottom nodes v_1 … v_B,
+//   - middle nodes v_{B+1} … v_{B+K}, each adjacent to every bottom node
+//     and to exactly one top node,
+//   - top nodes carrying the labels {B+K+1, …, B+2K} in an order given by a
+//     hidden permutation π: the top node attached to middle node v_{B+t}
+//     carries label B+K+π(t).
+//
+// The paper's graph has B = K = k (n = 3k); for n = 3k−1 or 3k−2 it drops
+// one or two bottom nodes (NewGBTrimmed), exactly as the proof of Theorem 9
+// prescribes.
+//
+// For any bottom node v_i and top label j, the unique length-2 path runs
+// through the middle node whose top partner carries j; every other path has
+// length ≥ 4. Hence any routing scheme with stretch < 2 must answer, at each
+// bottom node, exactly according to π — its local function encodes the
+// permutation, which costs k·log k − O(k) bits (Theorem 9).
+type GB struct {
+	// K is the block size: K middle and K top nodes, permutation of {1,…,K}.
+	K int
+	// B is the number of bottom nodes (K for the canonical family, K−1 or
+	// K−2 for the trimmed variants).
+	B int
+	// Perm is the hidden permutation (1-based, Perm[0] = 0): the top node
+	// attached to middle node B+t carries label B+K+Perm[t].
+	Perm []int
+	// G is the resulting labelled graph on B+2K nodes.
+	G *graph.Graph
+}
+
+// NewGB constructs the canonical Figure-1 graph (B = K = k) for block size
+// k ≥ 1 and the given hidden permutation of {1,…,k} (1-based slice of
+// length k+1).
+func NewGB(k int, perm []int) (*GB, error) {
+	return NewGBTrimmed(k, perm, 0)
+}
+
+// NewGBTrimmed constructs the Figure-1 graph with `drop` ∈ {0, 1, 2} bottom
+// nodes removed — the paper's n = 3k−1 and n = 3k−2 cases.
+func NewGBTrimmed(k int, perm []int, drop int) (*GB, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("%w: GB needs k ≥ 1, got %d", ErrBadParam, k)
+	}
+	if drop < 0 || drop > 2 || k-drop < 1 {
+		return nil, fmt.Errorf("%w: GB drop %d with k=%d", ErrBadParam, drop, k)
+	}
+	if len(perm) != k+1 {
+		return nil, fmt.Errorf("%w: permutation length %d, want %d", ErrBadParam, len(perm), k+1)
+	}
+	seen := make([]bool, k+1)
+	for t := 1; t <= k; t++ {
+		p := perm[t]
+		if p < 1 || p > k || seen[p] {
+			return nil, fmt.Errorf("%w: perm[%d] = %d is not a permutation of 1..%d", ErrBadParam, t, p, k)
+		}
+		seen[p] = true
+	}
+	b := k - drop
+	g, err := graph.New(b + 2*k)
+	if err != nil {
+		return nil, err
+	}
+	for t := 1; t <= k; t++ {
+		mid := b + t
+		for bt := 1; bt <= b; bt++ {
+			if err := g.AddEdge(bt, mid); err != nil {
+				return nil, err
+			}
+		}
+		if err := g.AddEdge(mid, b+k+perm[t]); err != nil {
+			return nil, err
+		}
+	}
+	pcopy := make([]int, len(perm))
+	copy(pcopy, perm)
+	return &GB{K: k, B: b, Perm: pcopy, G: g}, nil
+}
+
+// RandomGB constructs a canonical GB instance with a uniformly random hidden
+// permutation. A 1−1/2^k fraction of these permutations has Kolmogorov
+// complexity k·log k − O(k), which is what makes the family a worst case.
+func RandomGB(k int, rng *rand.Rand) (*GB, error) {
+	return NewGB(k, RandomPermutation(k, rng))
+}
+
+// MiddleFor returns the middle node adjacent to the top node with label
+// topLabel ∈ {B+K+1,…,B+2K}.
+func (gb *GB) MiddleFor(topLabel int) (int, error) {
+	t, err := gb.slot(topLabel)
+	if err != nil {
+		return 0, err
+	}
+	return gb.B + t, nil
+}
+
+// slot returns the t with Perm[t] = topLabel−B−K.
+func (gb *GB) slot(topLabel int) (int, error) {
+	want := topLabel - gb.B - gb.K
+	if want < 1 || want > gb.K {
+		return 0, fmt.Errorf("%w: %d is not a top label of GB(k=%d,b=%d)", ErrBadParam, topLabel, gb.K, gb.B)
+	}
+	for t := 1; t <= gb.K; t++ {
+		if gb.Perm[t] == want {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: permutation does not cover %d", ErrBadParam, want)
+}
+
+// IsBottom reports whether node u is a bottom node v_1…v_B.
+func (gb *GB) IsBottom(u int) bool { return u >= 1 && u <= gb.B }
+
+// IsMiddle reports whether node u is a middle node v_{B+1}…v_{B+K}.
+func (gb *GB) IsMiddle(u int) bool { return u > gb.B && u <= gb.B+gb.K }
+
+// IsTop reports whether node u is a top node v_{B+K+1}…v_{B+2K}.
+func (gb *GB) IsTop(u int) bool { return u > gb.B+gb.K && u <= gb.B+2*gb.K }
+
+// TopOf returns the label of the top node attached to middle node mid.
+func (gb *GB) TopOf(mid int) (int, error) {
+	if !gb.IsMiddle(mid) {
+		return 0, fmt.Errorf("%w: %d is not a middle node of GB(k=%d,b=%d)", ErrBadParam, mid, gb.K, gb.B)
+	}
+	return gb.B + gb.K + gb.Perm[mid-gb.B], nil
+}
+
+// TopLabels returns the top-label range [B+K+1, B+2K] as (lo, hi).
+func (gb *GB) TopLabels() (lo, hi int) { return gb.B + gb.K + 1, gb.B + 2*gb.K }

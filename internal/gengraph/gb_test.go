@@ -1,0 +1,232 @@
+package gengraph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func identityPerm(k int) []int {
+	p := make([]int, k+1)
+	for i := 1; i <= k; i++ {
+		p[i] = i
+	}
+	return p
+}
+
+func TestGBStructure(t *testing.T) {
+	k := 5
+	gb, err := NewGB(k, identityPerm(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gb.G
+	if g.N() != 3*k {
+		t.Fatalf("N = %d, want %d", g.N(), 3*k)
+	}
+	// m = k² (bottom-middle complete bipartite) + k (middle-top pendants).
+	if g.M() != k*k+k {
+		t.Fatalf("M = %d, want %d", g.M(), k*k+k)
+	}
+	// Every bottom node adjacent to every middle node, no bottom-bottom or
+	// bottom-top edges.
+	for b := 1; b <= k; b++ {
+		for m := k + 1; m <= 2*k; m++ {
+			if !g.HasEdge(b, m) {
+				t.Fatalf("missing bottom-middle edge %d-%d", b, m)
+			}
+		}
+		for b2 := b + 1; b2 <= k; b2++ {
+			if g.HasEdge(b, b2) {
+				t.Fatalf("unexpected bottom-bottom edge %d-%d", b, b2)
+			}
+		}
+		for tp := 2*k + 1; tp <= 3*k; tp++ {
+			if g.HasEdge(b, tp) {
+				t.Fatalf("unexpected bottom-top edge %d-%d", b, tp)
+			}
+		}
+	}
+	// Each top node has degree exactly 1.
+	for tp := 2*k + 1; tp <= 3*k; tp++ {
+		if g.Degree(tp) != 1 {
+			t.Fatalf("top %d degree = %d, want 1", tp, g.Degree(tp))
+		}
+	}
+}
+
+func TestGBPermutationWiring(t *testing.T) {
+	k := 4
+	// perm sends slot t → top label 2k+perm[t]: use reversal.
+	perm := []int{0, 4, 3, 2, 1}
+	gb, err := NewGB(k, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Middle k+1 (slot 1) partners top 2k+4 = 12.
+	top, err := gb.TopOf(k + 1)
+	if err != nil || top != 12 {
+		t.Fatalf("TopOf(5) = %d, %v; want 12", top, err)
+	}
+	if !gb.G.HasEdge(k+1, 12) {
+		t.Fatal("edge middle(5)-top(12) missing")
+	}
+	mid, err := gb.MiddleFor(12)
+	if err != nil || mid != k+1 {
+		t.Fatalf("MiddleFor(12) = %d, %v; want 5", mid, err)
+	}
+	// Round trip for every top label.
+	for tp := 2*k + 1; tp <= 3*k; tp++ {
+		mid, err := gb.MiddleFor(tp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := gb.TopOf(mid)
+		if err != nil || back != tp {
+			t.Fatalf("TopOf(MiddleFor(%d)) = %d, %v", tp, back, err)
+		}
+	}
+}
+
+func TestGBShortestPathProperty(t *testing.T) {
+	// The defining property: bottom→top shortest path has length 2 via the
+	// partner middle node, and no other length-2 path exists.
+	k := 6
+	gb, err := RandomGB(k, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gb.G
+	for b := 1; b <= k; b++ {
+		for tp := 2*k + 1; tp <= 3*k; tp++ {
+			mid, err := gb.MiddleFor(tp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !g.HasEdge(b, mid) || !g.HasEdge(mid, tp) {
+				t.Fatalf("no 2-path %d-%d-%d", b, mid, tp)
+			}
+			// Uniqueness: no other common neighbour of b and tp.
+			for _, w := range g.Neighbors(tp) {
+				if w != mid {
+					t.Fatalf("top %d has extra neighbour %d", tp, w)
+				}
+			}
+		}
+	}
+}
+
+func TestGBClassifiers(t *testing.T) {
+	gb, err := NewGB(3, identityPerm(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 1; u <= 3; u++ {
+		if !gb.IsBottom(u) || gb.IsMiddle(u) || gb.IsTop(u) {
+			t.Fatalf("classification of %d wrong", u)
+		}
+	}
+	for u := 4; u <= 6; u++ {
+		if gb.IsBottom(u) || !gb.IsMiddle(u) || gb.IsTop(u) {
+			t.Fatalf("classification of %d wrong", u)
+		}
+	}
+	for u := 7; u <= 9; u++ {
+		if gb.IsBottom(u) || gb.IsMiddle(u) || !gb.IsTop(u) {
+			t.Fatalf("classification of %d wrong", u)
+		}
+	}
+	if gb.IsBottom(0) || gb.IsTop(10) {
+		t.Fatal("out-of-range classified as member")
+	}
+}
+
+func TestGBValidation(t *testing.T) {
+	if _, err := NewGB(0, []int{0}); !errors.Is(err, ErrBadParam) {
+		t.Errorf("k=0: err = %v, want ErrBadParam", err)
+	}
+	if _, err := NewGB(3, []int{0, 1, 2}); !errors.Is(err, ErrBadParam) {
+		t.Errorf("short perm: err = %v, want ErrBadParam", err)
+	}
+	if _, err := NewGB(3, []int{0, 1, 1, 2}); !errors.Is(err, ErrBadParam) {
+		t.Errorf("dup perm: err = %v, want ErrBadParam", err)
+	}
+	gb, err := NewGB(3, identityPerm(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gb.MiddleFor(1); !errors.Is(err, ErrBadParam) {
+		t.Errorf("MiddleFor(bottom): err = %v, want ErrBadParam", err)
+	}
+	if _, err := gb.TopOf(1); !errors.Is(err, ErrBadParam) {
+		t.Errorf("TopOf(bottom): err = %v, want ErrBadParam", err)
+	}
+}
+
+func TestGBPermCopied(t *testing.T) {
+	perm := identityPerm(3)
+	gb, err := NewGB(3, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm[1] = 99
+	if gb.Perm[1] != 1 {
+		t.Fatal("GB retained caller's permutation slice")
+	}
+}
+
+func TestGBTrimmedVariants(t *testing.T) {
+	// The paper: "For n = 3k−1 or n = 3k−2 we can use G_B, dropping v_k and
+	// v_{k−1}."
+	k := 5
+	for drop := 0; drop <= 2; drop++ {
+		gb, err := NewGBTrimmed(k, identityPerm(k), drop)
+		if err != nil {
+			t.Fatalf("drop %d: %v", drop, err)
+		}
+		wantN := 3*k - drop
+		if gb.G.N() != wantN {
+			t.Fatalf("drop %d: N = %d, want %d", drop, gb.G.N(), wantN)
+		}
+		if gb.B != k-drop {
+			t.Fatalf("drop %d: B = %d, want %d", drop, gb.B, k-drop)
+		}
+		// Structure: every bottom adjacent to every middle; tops pendant.
+		for b := 1; b <= gb.B; b++ {
+			for m := gb.B + 1; m <= gb.B+k; m++ {
+				if !gb.G.HasEdge(b, m) {
+					t.Fatalf("drop %d: missing edge %d-%d", drop, b, m)
+				}
+			}
+		}
+		lo, hi := gb.TopLabels()
+		if hi-lo+1 != k {
+			t.Fatalf("drop %d: top range [%d,%d]", drop, lo, hi)
+		}
+		for tp := lo; tp <= hi; tp++ {
+			if gb.G.Degree(tp) != 1 {
+				t.Fatalf("drop %d: top %d degree %d", drop, tp, gb.G.Degree(tp))
+			}
+			mid, err := gb.MiddleFor(tp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := gb.TopOf(mid)
+			if err != nil || back != tp {
+				t.Fatalf("drop %d: TopOf(MiddleFor(%d)) = %d, %v", drop, tp, back, err)
+			}
+		}
+	}
+}
+
+func TestGBTrimmedValidation(t *testing.T) {
+	if _, err := NewGBTrimmed(5, identityPerm(5), 3); !errors.Is(err, ErrBadParam) {
+		t.Errorf("drop 3: err = %v", err)
+	}
+	if _, err := NewGBTrimmed(5, identityPerm(5), -1); !errors.Is(err, ErrBadParam) {
+		t.Errorf("drop -1: err = %v", err)
+	}
+	if _, err := NewGBTrimmed(2, identityPerm(2), 2); !errors.Is(err, ErrBadParam) {
+		t.Errorf("k=2 drop 2 (no bottoms): err = %v", err)
+	}
+}

@@ -1,0 +1,171 @@
+package gengraph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGnpDeterministic(t *testing.T) {
+	g1, err := GnHalf(40, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := GnHalf(40, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g1.Equal(g2) {
+		t.Fatal("same seed produced different graphs")
+	}
+	g3, err := GnHalf(40, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Equal(g3) {
+		t.Fatal("different seeds produced identical graphs (suspicious)")
+	}
+}
+
+func TestGnpEdgeDensity(t *testing.T) {
+	n := 200
+	g, err := GnHalf(n, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	possible := n * (n - 1) / 2
+	// Chernoff: |m − possible/2| exceeding 4·sqrt(possible) has prob << 1e-6.
+	lo, hi := possible/2-4*141, possible/2+4*141 // sqrt(19900) ≈ 141
+	if g.M() < lo || g.M() > hi {
+		t.Fatalf("G(200,1/2) has %d edges, want within [%d,%d]", g.M(), lo, hi)
+	}
+}
+
+func TestGnpParamValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Gnp(5, -0.1, rng); !errors.Is(err, ErrBadParam) {
+		t.Errorf("p=-0.1: err = %v, want ErrBadParam", err)
+	}
+	if _, err := Gnp(5, 1.1, rng); !errors.Is(err, ErrBadParam) {
+		t.Errorf("p=1.1: err = %v, want ErrBadParam", err)
+	}
+	g, err := Gnp(5, 0, rng)
+	if err != nil || g.M() != 0 {
+		t.Errorf("p=0: m=%d err=%v", g.M(), err)
+	}
+	g, err = Gnp(5, 1, rng)
+	if err != nil || g.M() != 10 {
+		t.Errorf("p=1: m=%d err=%v", g.M(), err)
+	}
+}
+
+func TestCompleteChainCycleStar(t *testing.T) {
+	k, err := Complete(6)
+	if err != nil || k.M() != 15 {
+		t.Fatalf("K6: m=%d err=%v", k.M(), err)
+	}
+	for u := 1; u <= 6; u++ {
+		if k.Degree(u) != 5 {
+			t.Fatalf("K6 degree(%d) = %d", u, k.Degree(u))
+		}
+	}
+	c, err := Chain(5)
+	if err != nil || c.M() != 4 || !c.IsConnected() {
+		t.Fatalf("chain: m=%d err=%v", c.M(), err)
+	}
+	if c.Degree(1) != 1 || c.Degree(3) != 2 {
+		t.Fatal("chain degrees wrong")
+	}
+	cy, err := Cycle(5)
+	if err != nil || cy.M() != 5 {
+		t.Fatalf("cycle: m=%d err=%v", cy.M(), err)
+	}
+	for u := 1; u <= 5; u++ {
+		if cy.Degree(u) != 2 {
+			t.Fatalf("cycle degree(%d) = %d", u, cy.Degree(u))
+		}
+	}
+	if _, err := Cycle(2); !errors.Is(err, ErrBadParam) {
+		t.Errorf("Cycle(2): err = %v, want ErrBadParam", err)
+	}
+	s, err := Star(7)
+	if err != nil || s.M() != 6 || s.Degree(1) != 6 {
+		t.Fatalf("star: m=%d err=%v", s.M(), err)
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g, err := Grid(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 12 {
+		t.Fatalf("grid N = %d, want 12", g.N())
+	}
+	// Edge count: rows*(cols−1) + cols*(rows−1) = 3*3 + 4*2 = 17.
+	if g.M() != 17 {
+		t.Fatalf("grid M = %d, want 17", g.M())
+	}
+	if !g.IsConnected() {
+		t.Fatal("grid disconnected")
+	}
+	// Corner degree 2, centre degree 4.
+	if g.Degree(1) != 2 {
+		t.Fatalf("corner degree = %d", g.Degree(1))
+	}
+	if g.Degree(6) != 4 { // (1,1) in 0-based = label 6
+		t.Fatalf("centre degree = %d", g.Degree(6))
+	}
+	if _, err := Grid(0, 3); !errors.Is(err, ErrBadParam) {
+		t.Errorf("Grid(0,3): err = %v, want ErrBadParam", err)
+	}
+}
+
+func TestRandomTreeIsTree(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 10, 57, 128} {
+		g, err := RandomTree(n, rand.New(rand.NewSource(int64(n))))
+		if err != nil {
+			t.Fatalf("RandomTree(%d): %v", n, err)
+		}
+		if g.M() != n-1 && n > 0 {
+			if !(n == 1 && g.M() == 0) {
+				t.Fatalf("RandomTree(%d): m = %d, want %d", n, g.M(), n-1)
+			}
+		}
+		if !g.IsConnected() {
+			t.Fatalf("RandomTree(%d) disconnected", n)
+		}
+	}
+	if _, err := RandomTree(0, rand.New(rand.NewSource(1))); !errors.Is(err, ErrBadParam) {
+		t.Errorf("RandomTree(0): err = %v, want ErrBadParam", err)
+	}
+}
+
+func TestRandomTreeQuick(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz)%60 + 1
+		g, err := RandomTree(n, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		return g.M() == n-1 && g.IsConnected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomPermutation(t *testing.T) {
+	perm := RandomPermutation(10, rand.New(rand.NewSource(3)))
+	if len(perm) != 11 || perm[0] != 0 {
+		t.Fatalf("perm = %v", perm)
+	}
+	seen := make([]bool, 11)
+	for i := 1; i <= 10; i++ {
+		if perm[i] < 1 || perm[i] > 10 || seen[perm[i]] {
+			t.Fatalf("not a permutation: %v", perm)
+		}
+		seen[perm[i]] = true
+	}
+}

@@ -1,0 +1,65 @@
+package graph
+
+import "testing"
+
+// FuzzDecodeBytes: arbitrary byte strings of the right length decode into
+// *some* graph whose re-encoding reproduces the input bits — the Definition 2
+// bijection between {0,1}^{n(n−1)/2} and graphs on n nodes.
+func FuzzDecodeBytes(f *testing.F) {
+	f.Add([]byte{0b10110000}, 4)
+	f.Add([]byte{0xFF, 0xFF}, 6)
+	f.Fuzz(func(t *testing.T, data []byte, n int) {
+		if n < 0 || n > 48 {
+			return
+		}
+		need := (EdgeCodeLen(n) + 7) / 8
+		if len(data) < need {
+			return
+		}
+		g, err := DecodeBytes(data, n)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		enc := g.EncodeBits()
+		if enc.Len() != EdgeCodeLen(n) {
+			t.Fatalf("encoding length %d", enc.Len())
+		}
+		// Bit-for-bit equality with the input prefix.
+		back := enc.Bytes()
+		for i := 0; i < EdgeCodeLen(n); i++ {
+			inBit := data[i/8]&(1<<(7-uint(i%8))) != 0
+			outBit := back[i/8]&(1<<(7-uint(i%8))) != 0
+			if inBit != outBit {
+				t.Fatalf("bit %d changed by round trip", i)
+			}
+		}
+	})
+}
+
+// FuzzEdgeIndex: the lexicographic edge numbering is a bijection.
+func FuzzEdgeIndex(f *testing.F) {
+	f.Add(10, 3, 7)
+	f.Fuzz(func(t *testing.T, n, u, v int) {
+		if n < 2 || n > 1000 || u < 1 || v < 1 || u > n || v > n || u == v {
+			return
+		}
+		idx, err := EdgeIndex(n, u, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx < 0 || idx >= EdgeCodeLen(n) {
+			t.Fatalf("index %d out of range", idx)
+		}
+		a, b, err := EdgeFromIndex(n, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := u, v
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if a != lo || b != hi {
+			t.Fatalf("(%d,%d) → %d → (%d,%d)", u, v, idx, a, b)
+		}
+	})
+}

@@ -1,0 +1,393 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"routetab/internal/bitio"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(-1); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("New(-1): err = %v, want ErrNodeRange", err)
+	}
+	g, err := New(0)
+	if err != nil {
+		t.Fatalf("New(0): %v", err)
+	}
+	if g.N() != 0 || g.M() != 0 {
+		t.Fatalf("empty graph: n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestAddRemoveHasEdge(t *testing.T) {
+	g := MustNew(5)
+	if err := g.AddEdge(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(1, 3) || !g.HasEdge(3, 1) {
+		t.Fatal("edge 1-3 missing after AddEdge")
+	}
+	if g.M() != 1 {
+		t.Fatalf("M = %d, want 1", g.M())
+	}
+	// Idempotent add.
+	if err := g.AddEdge(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1 {
+		t.Fatalf("M after duplicate add = %d, want 1", g.M())
+	}
+	if err := g.RemoveEdge(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(1, 3) || g.M() != 0 {
+		t.Fatal("edge 1-3 present after RemoveEdge")
+	}
+	// Idempotent remove.
+	if err := g.RemoveEdge(1, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeErrors(t *testing.T) {
+	g := MustNew(3)
+	if err := g.AddEdge(1, 1); !errors.Is(err, ErrSelfLoop) {
+		t.Errorf("self loop: err = %v, want ErrSelfLoop", err)
+	}
+	if err := g.AddEdge(0, 1); !errors.Is(err, ErrNodeRange) {
+		t.Errorf("node 0: err = %v, want ErrNodeRange", err)
+	}
+	if err := g.AddEdge(1, 4); !errors.Is(err, ErrNodeRange) {
+		t.Errorf("node 4: err = %v, want ErrNodeRange", err)
+	}
+	if g.HasEdge(0, 1) || g.HasEdge(1, 4) || g.HasEdge(2, 2) {
+		t.Error("HasEdge true for invalid pair")
+	}
+}
+
+func TestNeighborsSortedAndShared(t *testing.T) {
+	g := MustNew(6)
+	for _, e := range [][2]int{{4, 2}, {4, 6}, {4, 1}, {4, 5}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := g.Neighbors(4)
+	want := []int{1, 2, 5, 6}
+	if len(got) != len(want) {
+		t.Fatalf("Neighbors(4) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Neighbors(4) = %v, want %v", got, want)
+		}
+	}
+	// Cache invalidation after mutation.
+	if err := g.RemoveEdge(4, 2); err != nil {
+		t.Fatal(err)
+	}
+	got = g.Neighbors(4)
+	if len(got) != 3 || got[0] != 1 || got[1] != 5 || got[2] != 6 {
+		t.Fatalf("Neighbors(4) after removal = %v, want [1 5 6]", got)
+	}
+}
+
+func TestFirstNeighbors(t *testing.T) {
+	g := MustNew(8)
+	for v := 2; v <= 8; v++ {
+		if err := g.AddEdge(1, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := g.FirstNeighbors(1, 3); len(got) != 3 || got[0] != 2 || got[2] != 4 {
+		t.Fatalf("FirstNeighbors(1,3) = %v", got)
+	}
+	if got := g.FirstNeighbors(1, 100); len(got) != 7 {
+		t.Fatalf("FirstNeighbors(1,100) = %v", got)
+	}
+	if got := g.FirstNeighbors(1, -1); len(got) != 0 {
+		t.Fatalf("FirstNeighbors(1,-1) = %v", got)
+	}
+}
+
+func TestDegree(t *testing.T) {
+	g := MustNew(70) // spans two bitset words
+	for v := 2; v <= 70; v++ {
+		if err := g.AddEdge(1, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := g.Degree(1); d != 69 {
+		t.Fatalf("Degree(1) = %d, want 69", d)
+	}
+	if d := g.Degree(2); d != 1 {
+		t.Fatalf("Degree(2) = %d, want 1", d)
+	}
+	if d := g.Degree(0); d != 0 {
+		t.Fatalf("Degree(0) = %d, want 0", d)
+	}
+}
+
+func TestEdgeIndexRoundTripQuick(t *testing.T) {
+	const n = 37
+	f := func(a, b uint16) bool {
+		u := int(a)%n + 1
+		v := int(b)%n + 1
+		if u == v {
+			return true
+		}
+		idx, err := EdgeIndex(n, u, v)
+		if err != nil {
+			return false
+		}
+		gu, gv, err := EdgeFromIndex(n, idx)
+		if err != nil {
+			return false
+		}
+		lo, hi := u, v
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return gu == lo && gv == hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeIndexLexOrder(t *testing.T) {
+	// The enumeration must match Definition 2's lexicographic order exactly.
+	n := 5
+	wantOrder := [][2]int{{1, 2}, {1, 3}, {1, 4}, {1, 5}, {2, 3}, {2, 4}, {2, 5}, {3, 4}, {3, 5}, {4, 5}}
+	for i, e := range wantOrder {
+		idx, err := EdgeIndex(n, e[0], e[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != i {
+			t.Fatalf("EdgeIndex(%v) = %d, want %d", e, idx, i)
+		}
+	}
+	if EdgeCodeLen(n) != len(wantOrder) {
+		t.Fatalf("EdgeCodeLen(5) = %d, want %d", EdgeCodeLen(n), len(wantOrder))
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(40)
+		g := MustNew(n)
+		for u := 1; u <= n; u++ {
+			for v := u + 1; v <= n; v++ {
+				if rng.Intn(2) == 1 {
+					if err := g.AddEdge(u, v); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		w := g.EncodeBits()
+		if w.Len() != EdgeCodeLen(n) {
+			t.Fatalf("E(G) length = %d, want %d", w.Len(), EdgeCodeLen(n))
+		}
+		back, err := DecodeBytes(g.EncodeBytes(), n)
+		if err != nil {
+			t.Fatalf("DecodeBytes: %v", err)
+		}
+		if !g.Equal(back) {
+			t.Fatalf("trial %d: round trip mismatch", trial)
+		}
+	}
+}
+
+func TestDecodeShortBuffer(t *testing.T) {
+	if _, err := DecodeBytes([]byte{0}, 10); !errors.Is(err, ErrBadEncoding) {
+		t.Fatalf("short decode: err = %v, want ErrBadEncoding", err)
+	}
+}
+
+func TestDecodeLeavesReaderPositioned(t *testing.T) {
+	g := MustNew(4)
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	w := g.EncodeBits()
+	w.WriteBit(true) // trailing payload after E(G)
+	r := bitio.ReaderFor(w)
+	back, err := DecodeBits(r, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(g) {
+		t.Fatal("decode mismatch")
+	}
+	if r.Remaining() != 1 {
+		t.Fatalf("Remaining = %d, want 1", r.Remaining())
+	}
+}
+
+func TestRelabelPreservesStructure(t *testing.T) {
+	g := MustNew(4)
+	for _, e := range [][2]int{{1, 2}, {2, 3}, {3, 4}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reverse labels: 1↔4, 2↔3.
+	perm := []int{0, 4, 3, 2, 1}
+	h, err := g.Relabel(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][2]int{{4, 3}, {3, 2}, {2, 1}} {
+		if !h.HasEdge(e[0], e[1]) {
+			t.Fatalf("relabelled graph missing edge %v", e)
+		}
+	}
+	if h.M() != g.M() {
+		t.Fatalf("relabelled M = %d, want %d", h.M(), g.M())
+	}
+	if ds1, ds2 := g.DegreeSequence(), h.DegreeSequence(); len(ds1) == len(ds2) {
+		for i := range ds1 {
+			if ds1[i] != ds2[i] {
+				t.Fatal("degree sequence changed by relabelling")
+			}
+		}
+	}
+}
+
+func TestRelabelValidation(t *testing.T) {
+	g := MustNew(3)
+	if _, err := g.Relabel([]int{0, 1, 2}); !errors.Is(err, ErrBadPermutation) {
+		t.Errorf("short perm: err = %v, want ErrBadPermutation", err)
+	}
+	if _, err := g.Relabel([]int{0, 1, 1, 2}); !errors.Is(err, ErrBadPermutation) {
+		t.Errorf("duplicate perm: err = %v, want ErrBadPermutation", err)
+	}
+	if _, err := g.Relabel([]int{0, 1, 2, 4}); !errors.Is(err, ErrBadPermutation) {
+		t.Errorf("out-of-range perm: err = %v, want ErrBadPermutation", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := MustNew(3)
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	h := g.Clone()
+	if err := h.AddEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(2, 3) {
+		t.Fatal("mutation of clone leaked into original")
+	}
+	if !h.HasEdge(1, 2) {
+		t.Fatal("clone lost edge")
+	}
+}
+
+func TestEdgesAndConnected(t *testing.T) {
+	g := MustNew(4)
+	if g.IsConnected() {
+		t.Fatal("edgeless 4-node graph reported connected")
+	}
+	for _, e := range [][2]int{{1, 2}, {2, 3}, {3, 4}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !g.IsConnected() {
+		t.Fatal("chain reported disconnected")
+	}
+	edges := g.Edges()
+	if len(edges) != 3 {
+		t.Fatalf("Edges = %v", edges)
+	}
+	if edges[0] != [2]int{1, 2} || edges[2] != [2]int{3, 4} {
+		t.Fatalf("Edges order = %v", edges)
+	}
+}
+
+func TestEncodeMatchesEdgeIndex(t *testing.T) {
+	// Property: bit EdgeIndex(u,v) of E(G) is set iff uv ∈ E.
+	rng := rand.New(rand.NewSource(11))
+	n := 23
+	g := MustNew(n)
+	for u := 1; u <= n; u++ {
+		for v := u + 1; v <= n; v++ {
+			if rng.Intn(3) == 0 {
+				if err := g.AddEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	bitstr := g.EncodeBits().BitString()
+	for u := 1; u <= n; u++ {
+		for v := u + 1; v <= n; v++ {
+			idx, err := EdgeIndex(n, u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := byte('0')
+			if g.HasEdge(u, v) {
+				want = '1'
+			}
+			if bitstr[idx] != want {
+				t.Fatalf("bit %d for edge (%d,%d) = %c, want %c", idx, u, v, bitstr[idx], want)
+			}
+		}
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := MustNew(2)
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	dot := g.DOT("g")
+	if dot == "" || dot[0] != 'g' {
+		t.Fatalf("DOT = %q", dot)
+	}
+}
+
+func TestComplement(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := MustNew(30)
+	for u := 1; u <= 30; u++ {
+		for v := u + 1; v <= 30; v++ {
+			if rng.Intn(2) == 0 {
+				if err := g.AddEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	c := g.Complement()
+	if g.M()+c.M() != EdgeCodeLen(30) {
+		t.Fatalf("m + m̄ = %d, want %d", g.M()+c.M(), EdgeCodeLen(30))
+	}
+	for u := 1; u <= 30; u++ {
+		for v := u + 1; v <= 30; v++ {
+			if g.HasEdge(u, v) == c.HasEdge(u, v) {
+				t.Fatalf("edge (%d,%d) equal in both", u, v)
+			}
+		}
+	}
+	// Double complement is the identity.
+	if !c.Complement().Equal(g) {
+		t.Fatal("double complement differs")
+	}
+	// E(Ḡ) is the bitwise negation of E(G).
+	eg := g.EncodeBits().BitString()
+	ec := c.EncodeBits().BitString()
+	for i := range eg {
+		if eg[i] == ec[i] {
+			t.Fatalf("bit %d equal in both encodings", i)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ErrBadEdgeList indicates a malformed edge-list document.
+var ErrBadEdgeList = errors.New("graph: malformed edge list")
+
+// ReadEdgeList parses the plain-text edge-list format:
+//
+//	# comment
+//	n <nodes>
+//	<u> <v>
+//	…
+//
+// Node labels are 1-based; duplicate edges are tolerated (idempotent add).
+// This is the interchange format cmd/routetab accepts, so the tools run on
+// real topologies, not just generated ones.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var g *Graph
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if g == nil {
+			if len(fields) != 2 || fields[0] != "n" {
+				return nil, fmt.Errorf("%w: line %d: want \"n <nodes>\" header, got %q", ErrBadEdgeList, line, text)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("%w: line %d: node count %q", ErrBadEdgeList, line, fields[1])
+			}
+			var gerr error
+			g, gerr = New(n)
+			if gerr != nil {
+				return nil, gerr
+			}
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%w: line %d: want \"u v\", got %q", ErrBadEdgeList, line, text)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrBadEdgeList, line, err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrBadEdgeList, line, err)
+		}
+		if err := g.AddEdge(u, v); err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrBadEdgeList, line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("%w: missing \"n <nodes>\" header", ErrBadEdgeList)
+	}
+	return g, nil
+}
+
+// WriteEdgeList emits the graph in ReadEdgeList's format.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "n %d\n", g.n); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

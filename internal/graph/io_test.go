@@ -1,0 +1,89 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	g := MustNew(25)
+	for u := 1; u <= 25; u++ {
+		for v := u + 1; v <= 25; v++ {
+			if rng.Intn(2) == 0 {
+				if err := g.AddEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(g) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestReadEdgeListFormat(t *testing.T) {
+	doc := `
+# a comment
+n 5
+
+1 2
+2 3
+# duplicate tolerated
+2 3
+5 1
+`
+	g, err := ReadEdgeList(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 5 || g.M() != 3 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if !g.HasEdge(1, 5) {
+		t.Fatal("edge 5-1 missing")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"no header":      "1 2\n",
+		"bad header":     "nodes 5\n",
+		"negative count": "n -3\n",
+		"bad edge arity": "n 3\n1 2 3\n",
+		"non-numeric":    "n 3\n1 x\n",
+		"out of range":   "n 3\n1 9\n",
+		"self loop":      "n 3\n2 2\n",
+	}
+	for name, doc := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(doc)); !errors.Is(err, ErrBadEdgeList) {
+			t.Errorf("%s: err = %v, want ErrBadEdgeList", name, err)
+		}
+	}
+}
+
+func TestEdgeListEmptyGraph(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("n 0\n"))
+	if err != nil || g.N() != 0 {
+		t.Fatalf("empty: %v %v", g, err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "n 0" {
+		t.Fatalf("output = %q", buf.String())
+	}
+}

@@ -1,0 +1,196 @@
+package kolmo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"routetab/internal/graph"
+	"routetab/internal/stats"
+)
+
+// ErrNotApplicable indicates a certification request on a degenerate graph
+// (too few nodes for the asymptotic predicates to be meaningful).
+var ErrNotApplicable = errors.New("kolmo: graph too small to certify")
+
+// Certificate records which c·log n-randomness consequences a graph
+// satisfies. The paper's constructions only need these three structural
+// predicates, so a graph passing all of them behaves exactly like a
+// Kolmogorov random graph for every theorem in the paper — whether or not
+// its true C(E(G)|n) is large.
+type Certificate struct {
+	N int
+	// C is the randomness parameter used (graphs are tested as c·log n-random).
+	C float64
+
+	// DeficiencyBits is n(n−1)/2 minus the best compressed size; ≤ C·log n
+	// is required for the compressibility predicate.
+	DeficiencyBits int
+	// DeficiencyOK reports DeficiencyBits ≤ C·log₂ n.
+	DeficiencyOK bool
+
+	// MinDegree/MaxDegree are the extreme degrees; DegreeRadius is the
+	// Lemma 1 deviation allowance around (n−1)/2.
+	MinDegree, MaxDegree int
+	DegreeRadius         float64
+	DegreeOK             bool
+
+	// DiameterIs2 reports the Lemma 2 predicate (every non-adjacent pair has
+	// a common neighbour and the graph is incomplete).
+	DiameterIs2 bool
+
+	// MaxCoverPrefix is the largest, over all nodes u, minimal prefix length
+	// m of u's sorted neighbour list such that every node is adjacent to u
+	// or to one of u's first m neighbours; CoverBudget is the Lemma 3
+	// allowance (c+3)·log₂ n.
+	MaxCoverPrefix int
+	CoverBudget    float64
+	CoverOK        bool
+}
+
+// OK reports whether every predicate holds.
+func (c *Certificate) OK() bool {
+	return c.DeficiencyOK && c.DegreeOK && c.DiameterIs2 && c.CoverOK
+}
+
+// String renders a one-line summary.
+func (c *Certificate) String() string {
+	return fmt.Sprintf(
+		"certificate{n=%d c=%.1f deficiency=%d(ok=%t) degree=[%d,%d]±%.0f(ok=%t) diam2=%t cover=%d≤%.0f(ok=%t)}",
+		c.N, c.C, c.DeficiencyBits, c.DeficiencyOK,
+		c.MinDegree, c.MaxDegree, c.DegreeRadius, c.DegreeOK,
+		c.DiameterIs2, c.MaxCoverPrefix, c.CoverBudget, c.CoverOK)
+}
+
+// Certify checks graph g against the structural consequences of
+// c·log n-randomness: compressibility (Definition 3 proxy), Lemma 1 degree
+// concentration, Lemma 2 diameter 2, and Lemma 3 cover prefixes.
+func Certify(g *graph.Graph, c float64) (*Certificate, error) {
+	n := g.N()
+	if n < 8 {
+		return nil, fmt.Errorf("%w: n = %d", ErrNotApplicable, n)
+	}
+	cert := &Certificate{N: n, C: c}
+	logn := math.Log2(float64(n))
+
+	def, err := Deficiency(g)
+	if err != nil {
+		return nil, err
+	}
+	cert.DeficiencyBits = def
+	cert.DeficiencyOK = float64(def) <= c*logn
+
+	cert.MinDegree, cert.MaxDegree = DegreeExtremes(g)
+	// Lemma 1 with δ(n) = c·log n; the extra +1 log-factor slack mirrors the
+	// O(log n) description overhead in the proof.
+	cert.DegreeRadius = stats.DegreeDeviationBound(n, c*logn, 1)
+	mid := float64(n-1) / 2
+	cert.DegreeOK = math.Abs(float64(cert.MinDegree)-mid) <= cert.DegreeRadius &&
+		math.Abs(float64(cert.MaxDegree)-mid) <= cert.DegreeRadius
+
+	cert.DiameterIs2 = DiameterIsTwo(g)
+
+	cert.CoverBudget = (c + 3) * logn
+	if prefix, coverErr := MaxCoverPrefix(g); coverErr != nil {
+		// Some node is at distance > 2 from some u: the Lemma 3 predicate
+		// fails outright (the graph is certainly not random).
+		cert.MaxCoverPrefix = -1
+		cert.CoverOK = false
+	} else {
+		cert.MaxCoverPrefix = prefix
+		cert.CoverOK = float64(prefix) <= cert.CoverBudget
+	}
+
+	return cert, nil
+}
+
+// DegreeExtremes returns the minimum and maximum degree.
+func DegreeExtremes(g *graph.Graph) (minDeg, maxDeg int) {
+	n := g.N()
+	if n == 0 {
+		return 0, 0
+	}
+	minDeg, maxDeg = n, 0
+	for u := 1; u <= n; u++ {
+		d := g.Degree(u)
+		if d < minDeg {
+			minDeg = d
+		}
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	return minDeg, maxDeg
+}
+
+// DiameterIsTwo reports the Lemma 2 predicate: g is incomplete and every
+// pair of distinct nodes is adjacent or shares a common neighbour. Runs in
+// O(n³/64) via bitset intersection.
+func DiameterIsTwo(g *graph.Graph) bool {
+	n := g.N()
+	if n < 3 {
+		return false
+	}
+	incomplete := false
+	for u := 1; u <= n; u++ {
+		for v := u + 1; v <= n; v++ {
+			if g.HasEdge(u, v) {
+				continue
+			}
+			incomplete = true
+			if g.FirstCommonNeighbor(u, v) == 0 {
+				return false
+			}
+		}
+	}
+	return incomplete
+}
+
+// CoverPrefix returns the minimal m such that every node w ∉ N(u) ∪ {u} is
+// adjacent to one of the first m (least-labelled) neighbours of u — the
+// Lemma 3 quantity. Returns an error if no prefix covers (some node is at
+// distance > 2 from u).
+func CoverPrefix(g *graph.Graph, u int) (int, error) {
+	n := g.N()
+	nb := g.Neighbors(u)
+	isNb := make([]bool, n+1)
+	for _, v := range nb {
+		isNb[v] = true
+	}
+	needed := 0
+	for w := 1; w <= n; w++ {
+		if w == u || isNb[w] {
+			continue
+		}
+		// Least index i with nb[i] adjacent to w.
+		found := false
+		for i, v := range nb {
+			if g.HasEdge(v, w) {
+				if i+1 > needed {
+					needed = i + 1
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("kolmo: node %d at distance > 2 from %d", w, u)
+		}
+	}
+	return needed, nil
+}
+
+// MaxCoverPrefix returns max_u CoverPrefix(g, u).
+func MaxCoverPrefix(g *graph.Graph) (int, error) {
+	maxPrefix := 0
+	for u := 1; u <= g.N(); u++ {
+		p, err := CoverPrefix(g, u)
+		if err != nil {
+			return 0, err
+		}
+		if p > maxPrefix {
+			maxPrefix = p
+		}
+	}
+	return maxPrefix, nil
+}

@@ -1,0 +1,99 @@
+package kolmo
+
+import (
+	"errors"
+	"fmt"
+
+	"routetab/internal/bitio"
+	"routetab/internal/graph"
+)
+
+// Codec is a description method in the sense of the incompressibility
+// arguments: an alternative, exact, self-contained encoding of a graph. Every
+// lower-bound proof in the paper exhibits such a method whose output is
+// shorter than E(G) by some savings; since a δ-random graph cannot be
+// described in fewer than n(n−1)/2 − δ(n) bits, the savings bound the size of
+// the object (routing function, distant pair, …) the method consumed.
+//
+// internal/descmethods implements the paper's proofs as Codecs; this file
+// provides the contract and the verification harness.
+type Codec interface {
+	// Name identifies the description method in reports.
+	Name() string
+	// Encode writes a self-contained description of g. applicable=false
+	// means the method's precondition fails on g (e.g. Lemma 2's codec needs
+	// a pair at distance > 2); nothing is written in that case.
+	Encode(g *graph.Graph) (w *bitio.Writer, applicable bool, err error)
+	// Decode reconstructs the graph from a description produced by Encode,
+	// given the node count n (the paper's conditional "given n").
+	Decode(r *bitio.Reader, n int) (*graph.Graph, error)
+}
+
+// Codec verification errors.
+var (
+	// ErrRoundTrip indicates a codec whose Decode did not reproduce the
+	// encoded graph.
+	ErrRoundTrip = errors.New("kolmo: codec round trip failed")
+	// ErrNotApplicableCodec indicates Encode declined the graph.
+	ErrNotApplicableCodec = errors.New("kolmo: description method not applicable to this graph")
+)
+
+// Description is the outcome of applying a description method to a graph.
+type Description struct {
+	Codec string
+	// Bits is the length of the description.
+	Bits int
+	// Savings is n(n−1)/2 − Bits: how far below the incompressibility floor
+	// the method reached. On a δ-random graph, Savings > δ(n) is impossible
+	// unless the method embeds extra information (that is the lower bound).
+	Savings int
+}
+
+// BestDescription runs every codec on g and returns the applicable one with
+// the largest savings, or ErrNotApplicableCodec when none applies (the
+// expected outcome on certified random graphs — no description method can
+// touch them).
+func BestDescription(g *graph.Graph, codecs ...Codec) (*Description, error) {
+	var best *Description
+	for _, codec := range codecs {
+		d, err := Describe(codec, g)
+		if errors.Is(err, ErrNotApplicableCodec) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || d.Savings > best.Savings {
+			best = d
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("%w: none of %d codecs", ErrNotApplicableCodec, len(codecs))
+	}
+	return best, nil
+}
+
+// Describe runs codec on g, verifies the decode round-trips exactly, and
+// returns the achieved description length and savings.
+func Describe(codec Codec, g *graph.Graph) (*Description, error) {
+	w, applicable, err := codec.Encode(g)
+	if err != nil {
+		return nil, fmt.Errorf("kolmo: %s encode: %w", codec.Name(), err)
+	}
+	if !applicable {
+		return nil, fmt.Errorf("%w: %s", ErrNotApplicableCodec, codec.Name())
+	}
+	r := bitio.ReaderFor(w)
+	back, err := codec.Decode(r, g.N())
+	if err != nil {
+		return nil, fmt.Errorf("kolmo: %s decode: %w", codec.Name(), err)
+	}
+	if !back.Equal(g) {
+		return nil, fmt.Errorf("%w: %s", ErrRoundTrip, codec.Name())
+	}
+	return &Description{
+		Codec:   codec.Name(),
+		Bits:    w.Len(),
+		Savings: graph.EdgeCodeLen(g.N()) - w.Len(),
+	}, nil
+}

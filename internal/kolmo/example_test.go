@@ -1,0 +1,70 @@
+package kolmo_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"routetab/internal/gengraph"
+	"routetab/internal/kolmo"
+)
+
+// Example_certification shows the randomness-certification flow: a uniform
+// random graph passes every structural predicate, a chain fails them.
+func Example_certification() {
+	random, err := gengraph.GnHalf(128, rand.New(rand.NewSource(1)))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	cert, err := kolmo.Certify(random, 3)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("uniform sample certified:", cert.OK())
+
+	chain, err := gengraph.Chain(128)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	cert, err = kolmo.Certify(chain, 3)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("chain certified:", cert.OK())
+	// Output:
+	// uniform sample certified: true
+	// chain certified: false
+}
+
+// Example_deficiency shows compressibility as a randomness upper bound: the
+// complete graph compresses massively, a random one not at all.
+func Example_deficiency() {
+	complete, err := gengraph.Complete(64)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defK, err := kolmo.Deficiency(complete)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	random, err := gengraph.GnHalf(64, rand.New(rand.NewSource(2)))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defG, err := kolmo.Deficiency(random)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("complete graph compressible:", defK > 500)
+	fmt.Println("random graph compressible:", defG > 500)
+	// Output:
+	// complete graph compressible: true
+	// random graph compressible: false
+}

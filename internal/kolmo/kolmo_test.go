@@ -1,0 +1,378 @@
+package kolmo
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"routetab/internal/bitio"
+	"routetab/internal/gengraph"
+	"routetab/internal/graph"
+)
+
+func TestCompressorsOnConstantString(t *testing.T) {
+	// All-zero string: every compressor must beat the raw length massively.
+	data := make([]byte, 1250) // 10000 bits
+	for _, c := range DefaultCompressors() {
+		size, err := c.CompressedBits(data, 10000)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if size >= 5000 {
+			t.Errorf("%s on zeros: %d bits, want < 5000", c.Name(), size)
+		}
+	}
+}
+
+func TestCompressorsOnRandomString(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 1250)
+	rng.Read(data)
+	for _, c := range DefaultCompressors() {
+		size, err := c.CompressedBits(data, 10000)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		// Random data is incompressible: no real savings beyond noise.
+		if size < 9500 {
+			t.Errorf("%s on random bits: %d bits, impossibly small", c.Name(), size)
+		}
+	}
+}
+
+func TestCompressedBitsValidation(t *testing.T) {
+	for _, c := range DefaultCompressors() {
+		if _, err := c.CompressedBits([]byte{0}, 9); err == nil {
+			t.Errorf("%s: 9 bits in 1 byte accepted", c.Name())
+		}
+		size, err := c.CompressedBits(nil, 0)
+		if err != nil {
+			t.Errorf("%s: empty input: %v", c.Name(), err)
+		}
+		if c.Name() != "flate" && size != 0 {
+			t.Errorf("%s: empty input costs %d bits", c.Name(), size)
+		}
+	}
+}
+
+func TestOrder0Skewed(t *testing.T) {
+	// 1000 bits with 10 ones: H(0.01) ≈ 0.0808 → body ≈ 81 bits.
+	w := bitio.NewWriter(1000)
+	for i := 0; i < 1000; i++ {
+		w.WriteBit(i%100 == 0)
+	}
+	size, err := Order0Compressor{}.CompressedBits(w.Bytes(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size < 60 || size > 150 {
+		t.Fatalf("order0 on skewed = %d bits, want ≈ 81 + header", size)
+	}
+}
+
+func TestDeficiencyStructuredVsRandom(t *testing.T) {
+	// Complete graph: E(G) is all ones — huge deficiency.
+	k, err := gengraph.Complete(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defK, err := Deficiency(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if defK < graph.EdgeCodeLen(60)/2 {
+		t.Fatalf("complete graph deficiency = %d, want > %d", defK, graph.EdgeCodeLen(60)/2)
+	}
+	// Uniform random graph: deficiency bounded by small header noise.
+	g, err := gengraph.GnHalf(60, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defG, err := Deficiency(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(defG) > 3*math.Log2(60)+64 {
+		t.Fatalf("random graph deficiency = %d, want ≤ c·log n + slack", defG)
+	}
+}
+
+func TestCertifyRandomGraph(t *testing.T) {
+	g, err := gengraph.GnHalf(128, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := Certify(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cert.DiameterIs2 {
+		t.Error("G(128,1/2) should have diameter 2")
+	}
+	if !cert.DegreeOK {
+		t.Errorf("degree predicate failed: %s", cert)
+	}
+	if !cert.CoverOK {
+		t.Errorf("cover predicate failed: %s", cert)
+	}
+	if !cert.DeficiencyOK {
+		t.Errorf("deficiency predicate failed: %s", cert)
+	}
+	if !cert.OK() {
+		t.Errorf("certificate not OK: %s", cert)
+	}
+	if cert.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestCertifyRejectsStructured(t *testing.T) {
+	k, err := gengraph.Complete(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := Certify(k, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.OK() {
+		t.Fatal("complete graph certified as random")
+	}
+	if cert.DiameterIs2 {
+		t.Error("complete graph has diameter 1, not 2")
+	}
+	if cert.DeficiencyOK {
+		t.Error("complete graph should be highly compressible")
+	}
+
+	// Use a longer chain: the Lemma 1 radius √((c+1)·log n·n) is generous at
+	// small n, but at n = 256 a degree of 1 falls far outside it.
+	chain, err := gengraph.Chain(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err = Certify(chain, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.OK() {
+		t.Fatal("chain certified as random")
+	}
+	if cert.DegreeOK {
+		t.Error("chain degrees nowhere near (n−1)/2")
+	}
+}
+
+func TestCertifyTooSmall(t *testing.T) {
+	g := graph.MustNew(4)
+	if _, err := Certify(g, 3); !errors.Is(err, ErrNotApplicable) {
+		t.Fatalf("Certify(n=4): err = %v, want ErrNotApplicable", err)
+	}
+}
+
+func TestDiameterIsTwoEdgeCases(t *testing.T) {
+	k, err := gengraph.Complete(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if DiameterIsTwo(k) {
+		t.Error("complete graph reported diameter 2")
+	}
+	star, err := gengraph.Star(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !DiameterIsTwo(star) {
+		t.Error("star should have diameter 2")
+	}
+	chain, err := gengraph.Chain(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if DiameterIsTwo(chain) {
+		t.Error("chain reported diameter 2")
+	}
+	if DiameterIsTwo(graph.MustNew(2)) {
+		t.Error("2-node graph reported diameter 2")
+	}
+}
+
+func TestCoverPrefix(t *testing.T) {
+	// Star centre: no non-neighbours → prefix 0. Leaf: all other leaves
+	// covered by the centre, its first (only) neighbour → prefix 1.
+	star, err := gengraph.Star(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := CoverPrefix(star, 1)
+	if err != nil || p != 0 {
+		t.Fatalf("centre CoverPrefix = %d, %v; want 0", p, err)
+	}
+	p, err = CoverPrefix(star, 5)
+	if err != nil || p != 1 {
+		t.Fatalf("leaf CoverPrefix = %d, %v; want 1", p, err)
+	}
+	mp, err := MaxCoverPrefix(star)
+	if err != nil || mp != 1 {
+		t.Fatalf("MaxCoverPrefix = %d, %v; want 1", mp, err)
+	}
+	// Chain: node 1 cannot 2-cover node 10.
+	chain, err := gengraph.Chain(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CoverPrefix(chain, 1); err == nil {
+		t.Fatal("CoverPrefix on chain should fail (distance > 2)")
+	}
+	if _, err := MaxCoverPrefix(chain); err == nil {
+		t.Fatal("MaxCoverPrefix on chain should fail")
+	}
+}
+
+func TestCoverPrefixScalesLogarithmically(t *testing.T) {
+	// Lemma 3: cover prefixes of random graphs stay within (c+3)·log n.
+	for _, n := range []int{64, 128, 256} {
+		g, err := gengraph.GnHalf(n, rand.New(rand.NewSource(int64(n))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mp, err := MaxCoverPrefix(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		budget := 6 * math.Log2(float64(n))
+		if float64(mp) > budget {
+			t.Errorf("n=%d: MaxCoverPrefix = %d > budget %.1f", n, mp, budget)
+		}
+	}
+}
+
+func TestDegreeExtremes(t *testing.T) {
+	g := graph.MustNew(5)
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := DegreeExtremes(g)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("extremes = %d, %d", lo, hi)
+	}
+	lo, hi = DegreeExtremes(graph.MustNew(0))
+	if lo != 0 || hi != 0 {
+		t.Fatalf("empty extremes = %d, %d", lo, hi)
+	}
+}
+
+// identityCodec is a trivial description method: E(G) verbatim.
+type identityCodec struct{}
+
+func (identityCodec) Name() string { return "identity" }
+
+func (identityCodec) Encode(g *graph.Graph) (*bitio.Writer, bool, error) {
+	return g.EncodeBits(), true, nil
+}
+
+func (identityCodec) Decode(r *bitio.Reader, n int) (*graph.Graph, error) {
+	return graph.DecodeBits(r, n)
+}
+
+// brokenCodec decodes to the wrong graph.
+type brokenCodec struct{ identityCodec }
+
+func (brokenCodec) Name() string { return "broken" }
+
+func (brokenCodec) Decode(r *bitio.Reader, n int) (*graph.Graph, error) {
+	if _, err := graph.DecodeBits(r, n); err != nil {
+		return nil, err
+	}
+	return graph.MustNew(n), nil
+}
+
+// shyCodec is never applicable.
+type shyCodec struct{ identityCodec }
+
+func (shyCodec) Name() string { return "shy" }
+
+func (shyCodec) Encode(*graph.Graph) (*bitio.Writer, bool, error) { return nil, false, nil }
+
+func TestDescribe(t *testing.T) {
+	g, err := gengraph.GnHalf(20, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Describe(identityCodec{}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Bits != graph.EdgeCodeLen(20) || d.Savings != 0 {
+		t.Fatalf("identity description = %+v", d)
+	}
+	if _, err := Describe(brokenCodec{}, g); !errors.Is(err, ErrRoundTrip) {
+		t.Fatalf("broken codec: err = %v, want ErrRoundTrip", err)
+	}
+	if _, err := Describe(shyCodec{}, g); !errors.Is(err, ErrNotApplicableCodec) {
+		t.Fatalf("shy codec: err = %v, want ErrNotApplicableCodec", err)
+	}
+}
+
+func TestFirstCommonNeighborMatchesBruteForce(t *testing.T) {
+	g, err := gengraph.Gnp(40, 0.3, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 1; u <= 40; u++ {
+		for v := u + 1; v <= 40; v++ {
+			want := 0
+			for w := 1; w <= 40; w++ {
+				if g.HasEdge(u, w) && g.HasEdge(v, w) {
+					want = w
+					break
+				}
+			}
+			if got := g.FirstCommonNeighbor(u, v); got != want {
+				t.Fatalf("FirstCommonNeighbor(%d,%d) = %d, want %d", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestDeficiencyComplementInvariant(t *testing.T) {
+	// A graph and its complement are equally incompressible (flipping bits
+	// preserves information content); the estimators must agree within the
+	// compressors' framing noise.
+	g, err := gengraph.GnHalf(80, rand.New(rand.NewSource(33)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := Deficiency(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Deficiency(g.Complement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := d1 - d2; diff > 128 || diff < -128 {
+		t.Fatalf("deficiency %d vs complement %d", d1, d2)
+	}
+}
+
+func TestBestDescription(t *testing.T) {
+	g, err := gengraph.Chain(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := BestDescription(g, shyCodec{}, identityCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Codec != "identity" || best.Savings != 0 {
+		t.Fatalf("best = %+v", best)
+	}
+	if _, err := BestDescription(g, shyCodec{}); !errors.Is(err, ErrNotApplicableCodec) {
+		t.Fatalf("all-shy: err = %v", err)
+	}
+	if _, err := BestDescription(g, brokenCodec{}); !errors.Is(err, ErrRoundTrip) {
+		t.Fatalf("broken: err = %v", err)
+	}
+}

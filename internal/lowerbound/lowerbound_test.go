@@ -1,0 +1,286 @@
+package lowerbound
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"routetab/internal/bitio"
+	"routetab/internal/gengraph"
+	"routetab/internal/graph"
+	"routetab/internal/routing"
+	"routetab/internal/schemes/fulltable"
+	"routetab/internal/stats"
+)
+
+func gbFixture(t *testing.T, k int, seed int64) (*gengraph.GB, *routing.Sim) {
+	t.Helper()
+	gb, err := gengraph.RandomGB(k, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports := graph.SortedPorts(gb.G)
+	s, err := fulltable.Build(gb.G, ports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := routing.NewSim(gb.G, ports, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gb, sim
+}
+
+func TestExtractPermutationRecoversHidden(t *testing.T) {
+	for _, k := range []int{3, 8, 20} {
+		gb, sim := gbFixture(t, k, int64(k))
+		ex, err := ExtractPermutation(gb, sim)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if err := VerifyExtraction(gb, ex); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		wantBits := stats.Log2Factorial(k)
+		if math.Abs(ex.BitsPerBottomNode-wantBits) > 1e-9 {
+			t.Fatalf("k=%d: bits per node = %v, want log2(k!) = %v", k, ex.BitsPerBottomNode, wantBits)
+		}
+		if math.Abs(ex.TotalBits-float64(k)*wantBits) > 1e-6 {
+			t.Fatalf("k=%d: total = %v", k, ex.TotalBits)
+		}
+	}
+}
+
+func TestExtractionQuick(t *testing.T) {
+	f := func(seed int64, kk uint8) bool {
+		k := int(kk)%12 + 2
+		gb, err := gengraph.RandomGB(k, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		ports := graph.SortedPorts(gb.G)
+		s, err := fulltable.Build(gb.G, ports)
+		if err != nil {
+			return false
+		}
+		sim, err := routing.NewSim(gb.G, ports, s)
+		if err != nil {
+			return false
+		}
+		ex, err := ExtractPermutation(gb, sim)
+		if err != nil {
+			return false
+		}
+		return VerifyExtraction(gb, ex) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtractionEntropyGrowsAsN2LogN(t *testing.T) {
+	// Theorem 9: total ≈ (n/3)·log₂((n/3)!) ≈ (n²/9)·log n.
+	var ns []int
+	var totals []float64
+	for _, k := range []int{16, 32, 64, 128} {
+		gb, sim := gbFixture(t, k, int64(k))
+		ex, err := ExtractPermutation(gb, sim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ns = append(ns, 3*k)
+		totals = append(totals, ex.TotalBits)
+	}
+	slope, err := stats.LogLogSlope(ns, totals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n²·log n has log-log slope slightly above 2.
+	if slope < 1.9 || slope > 2.5 {
+		t.Fatalf("entropy slope = %v, want ≈ 2+ (n² log n)", slope)
+	}
+}
+
+func TestVerifyExtractionMismatch(t *testing.T) {
+	gb, sim := gbFixture(t, 5, 1)
+	ex, err := ExtractPermutation(gb, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.Perm[1], ex.Perm[2] = ex.Perm[2], ex.Perm[1]
+	if err := VerifyExtraction(gb, ex); !errors.Is(err, ErrPermutationMismatch) {
+		t.Fatalf("tampered extraction: err = %v", err)
+	}
+	ex.K = 7
+	if err := VerifyExtraction(gb, ex); err == nil {
+		t.Fatal("k mismatch accepted")
+	}
+}
+
+func TestMeasurePortEntropy(t *testing.T) {
+	n := 64
+	g, err := gengraph.GnHalf(n, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports := graph.RandomPorts(g, rand.New(rand.NewSource(3)))
+	pe, err := MeasurePortEntropy(g, ports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Entropy ≈ n·log₂((n/2)!) ≈ n²/2·log(n/2): positive and large.
+	if pe.EntropyBits < float64(n*n)/4 {
+		t.Fatalf("entropy = %v, want ≥ n²/4", pe.EntropyBits)
+	}
+	// The universal table cannot beat the permutation entropy.
+	if float64(pe.TableBits) < pe.EntropyBits {
+		t.Fatalf("table %d bits < entropy %v — Theorem 8 violated?", pe.TableBits, pe.EntropyBits)
+	}
+	// Even compressed, the tables must stay above a large fraction of the
+	// entropy (flate can shave framing, not information).
+	if float64(pe.CompressedBits) < 0.5*pe.EntropyBits {
+		t.Fatalf("compressed %d bits < half the entropy %v", pe.CompressedBits, pe.EntropyBits)
+	}
+}
+
+func TestRecoverPortAssignment(t *testing.T) {
+	// Theorem 8's decoding step: tables under adversarial ports reveal the
+	// whole permutation.
+	g, err := gengraph.GnHalf(48, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports := graph.RandomPorts(g, rand.New(rand.NewSource(5)))
+	s, err := fulltable.Build(g, ports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := RecoverPortAssignment(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyRecoveredPorts(g, ports, recovered); err != nil {
+		t.Fatal(err)
+	}
+	// Size mismatch is rejected.
+	g2, err := gengraph.Complete(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RecoverPortAssignment(g2, s); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestClaim2Quick(t *testing.T) {
+	f := func(seed int64, kk uint8) bool {
+		k := int(kk)%10 + 1
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]int, k)
+		for i := range xs {
+			xs[i] = rng.Intn(50) + 1
+		}
+		ok, err := Claim2Holds(xs)
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Claim2Holds([]int{3, 0}); err == nil {
+		t.Fatal("x_i = 0 accepted")
+	}
+}
+
+func TestPatternCodecRoundTrip(t *testing.T) {
+	// Claim 3: the routing function plus the encoded indices reconstructs
+	// the full port→neighbour table, within the Claim 2 budget.
+	g, err := gengraph.GnHalf(40, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports := graph.RandomPorts(g, rand.New(rand.NewSource(7)))
+	s, err := fulltable.Build(g, ports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 1; u <= 40; u += 7 {
+		codec := PatternCodec{Scheme: s, Degree: g.Degree(u), U: u}
+		enc, err := codec.EncodePattern(g, ports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if enc.Len() > Claim3Budget(40, g.Degree(u)) {
+			t.Fatalf("node %d: pattern bits %d exceed Claim 2 budget %d", u, enc.Len(), Claim3Budget(40, g.Degree(u)))
+		}
+		got, err := codec.DecodePattern(bitio.ReaderFor(enc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := 1; p <= g.Degree(u); p++ {
+			want, err := ports.Neighbor(u, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[p] != want {
+				t.Fatalf("node %d port %d: decoded %d, want %d", u, p, got[p], want)
+			}
+		}
+	}
+}
+
+func TestPatternCodecBudgetIsTight(t *testing.T) {
+	// Σ⌈log x_i⌉ with d ≈ n/2 groups: most groups are singletons or pairs,
+	// so the pattern bits land well under n — the "additional n/2 + o(n)
+	// bits" of Claim 3.
+	n := 80
+	g, err := gengraph.GnHalf(n, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports := graph.SortedPorts(g)
+	s, err := fulltable.Build(g, ports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for u := 1; u <= n; u++ {
+		codec := PatternCodec{Scheme: s, Degree: g.Degree(u), U: u}
+		enc, err := codec.EncodePattern(g, ports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += enc.Len()
+	}
+	if total > n*n {
+		t.Fatalf("total pattern bits %d > n²", total)
+	}
+}
+
+func TestExtractionOnTrimmedFamilies(t *testing.T) {
+	// The n = 3k−1 and 3k−2 variants must extract just as well.
+	for drop := 1; drop <= 2; drop++ {
+		perm := gengraph.RandomPermutation(9, rand.New(rand.NewSource(int64(drop))))
+		gb, err := gengraph.NewGBTrimmed(9, perm, drop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ports := graph.SortedPorts(gb.G)
+		s, err := fulltable.Build(gb.G, ports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := routing.NewSim(gb.G, ports, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := ExtractPermutation(gb, sim)
+		if err != nil {
+			t.Fatalf("drop %d: %v", drop, err)
+		}
+		if err := VerifyExtraction(gb, ex); err != nil {
+			t.Fatalf("drop %d: %v", drop, err)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"routetab/internal/bitio"
+	"routetab/internal/graph"
+	"routetab/internal/routing"
+)
+
+// Claim2Holds verifies the combinatorial inequality of Claim 2:
+// Σ⌈log x_i⌉ ≤ n − k for positive x_1…x_k summing to n.
+func Claim2Holds(xs []int) (bool, error) {
+	n := 0
+	for _, x := range xs {
+		if x < 1 {
+			return false, fmt.Errorf("lowerbound: Claim 2 needs x_i ≥ 1, got %d", x)
+		}
+		n += x
+	}
+	sum := 0
+	for _, x := range xs {
+		sum += bitio.CeilLog2(x)
+	}
+	return sum <= n-len(xs), nil
+}
+
+// PatternCodec is Claim 3 as an executable codec: given the labels of all
+// nodes and node u's local routing function (queried as an oracle), the
+// interconnection pattern of u can be described in Σ⌈log x_i⌉ ≤ n/2 + o(n)
+// additional bits, where x_i is the number of destinations the function
+// routes over edge i — for each edge it remains only to say *which* routed
+// destination is the immediate neighbour.
+type PatternCodec struct {
+	// Scheme is the routing scheme whose local function is the oracle.
+	Scheme routing.Scheme
+	// Degree is d(u) (the number of ports at u).
+	Degree int
+	// U is the node whose pattern is encoded.
+	U int
+}
+
+// routeOracle queries the scheme's function at U for every destination and
+// groups destinations by answered port. Entry p of the result lists the
+// destinations routed over port p in increasing order.
+func (c PatternCodec) routeOracle() ([][]int, error) {
+	n := c.Scheme.N()
+	groups := make([][]int, c.Degree+1)
+	for v := 1; v <= n; v++ {
+		if v == c.U {
+			continue
+		}
+		port, _, err := c.Scheme.Route(c.U, nil, c.Scheme.Label(v), 0, 0)
+		if err != nil {
+			return nil, fmt.Errorf("lowerbound: oracle %d→%d: %w", c.U, v, err)
+		}
+		if port < 1 || port > c.Degree {
+			return nil, fmt.Errorf("lowerbound: oracle port %d out of range", port)
+		}
+		groups[port] = append(groups[port], v)
+	}
+	return groups, nil
+}
+
+// EncodePattern emits, for every port, the ⌈log x_i⌉-bit index of the true
+// neighbour within the destinations routed over that port. The output is
+// the Claim 3 "additional n/2 + o(n) bits".
+func (c PatternCodec) EncodePattern(g *graph.Graph, ports *graph.Ports) (*bitio.Writer, error) {
+	groups, err := c.routeOracle()
+	if err != nil {
+		return nil, err
+	}
+	w := bitio.NewWriter(g.N())
+	for p := 1; p <= c.Degree; p++ {
+		neighbor, err := ports.Neighbor(c.U, p)
+		if err != nil {
+			return nil, err
+		}
+		idx := -1
+		for i, v := range groups[p] {
+			if v == neighbor {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("lowerbound: port %d neighbour %d not among its routed destinations", p, neighbor)
+		}
+		width := bitio.CeilLog2(len(groups[p]))
+		if err := w.WriteBits(uint64(idx), width); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// DecodePattern reconstructs u's neighbour-behind-port table from the
+// Claim 3 bits plus the routing-function oracle (separations "can be
+// determined using the knowledge of all x_i's").
+func (c PatternCodec) DecodePattern(r *bitio.Reader) ([]int, error) {
+	groups, err := c.routeOracle()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, c.Degree+1)
+	for p := 1; p <= c.Degree; p++ {
+		width := bitio.CeilLog2(len(groups[p]))
+		idx, err := r.ReadBits(width)
+		if err != nil {
+			return nil, err
+		}
+		if int(idx) >= len(groups[p]) {
+			return nil, fmt.Errorf("lowerbound: decoded index %d out of group of %d", idx, len(groups[p]))
+		}
+		out[p] = groups[p][idx]
+	}
+	return out, nil
+}
+
+// Claim3Budget returns the Claim 2 ceiling n − 1 − d on the pattern bits for
+// an n-node graph and degree d (with Σx_i = n−1 over d groups).
+func Claim3Budget(n, d int) int { return n - 1 - d }

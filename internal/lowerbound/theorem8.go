@@ -1,0 +1,103 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"routetab/internal/graph"
+	"routetab/internal/kolmo"
+	"routetab/internal/routing"
+	"routetab/internal/schemes/fulltable"
+	"routetab/internal/stats"
+)
+
+// PortEntropy is the Theorem 8 ledger for one graph/port-assignment pair.
+type PortEntropy struct {
+	// EntropyBits is Σ_u log₂(d(u)!) — the Kolmogorov complexity an
+	// adversarial port assignment can reach (the paper's n/2·log n/2 per
+	// node), which any IA ∧ α scheme must store.
+	EntropyBits float64
+	// TableBits is the actual total size of the universal table scheme built
+	// on that assignment.
+	TableBits int
+	// CompressedBits is the flate-compressed size of the concatenated
+	// tables — even an optimal compressor cannot cross EntropyBits.
+	CompressedBits int
+}
+
+// MeasurePortEntropy builds the universal full-table scheme on the given
+// (adversarially ported) graph and accounts its size against the port-
+// permutation entropy.
+func MeasurePortEntropy(g *graph.Graph, ports *graph.Ports) (*PortEntropy, error) {
+	s, err := fulltable.Build(g, ports)
+	if err != nil {
+		return nil, fmt.Errorf("lowerbound: %w", err)
+	}
+	pe := &PortEntropy{}
+	var blob []byte
+	blobBits := 0
+	for u := 1; u <= g.N(); u++ {
+		pe.EntropyBits += stats.Log2Factorial(g.Degree(u))
+		pe.TableBits += s.FunctionBits(u)
+		enc, _, err := s.EncodedRow(u)
+		if err != nil {
+			return nil, err
+		}
+		blob = append(blob, enc.Bytes()...)
+		blobBits += enc.Len()
+	}
+	compressed, err := kolmo.FlateCompressor{}.CompressedBits(blob, len(blob)*8)
+	if err != nil {
+		return nil, err
+	}
+	pe.CompressedBits = compressed
+	return pe, nil
+}
+
+// RecoverPortAssignment demonstrates Theorem 8's core step as code: because
+// the local routing function must, "for each neighbour, determine the port
+// to route messages for that neighbour over", the full-table rows determine
+// the entire port assignment. It rebuilds every node's port→neighbour map
+// purely from the scheme's tables (and the adjacency, which under IA ∧ α
+// carries no port information) and returns it for comparison with the truth.
+func RecoverPortAssignment(g *graph.Graph, s *fulltable.Scheme) ([][]int, error) {
+	n := g.N()
+	if s.N() != n {
+		return nil, fmt.Errorf("lowerbound: scheme for n=%d used with n=%d", s.N(), n)
+	}
+	out := make([][]int, n+1)
+	for u := 1; u <= n; u++ {
+		row := make([]int, g.Degree(u)+1)
+		for _, v := range g.Neighbors(u) {
+			// A shortest-path table routes a neighbour over the direct edge.
+			port, _, err := s.Route(u, nil, routing.Label{ID: v}, 0, 0)
+			if err != nil {
+				return nil, fmt.Errorf("lowerbound: query %d→%d: %w", u, v, err)
+			}
+			if port < 1 || port > g.Degree(u) {
+				return nil, fmt.Errorf("lowerbound: port %d out of range at %d", port, u)
+			}
+			if row[port] != 0 {
+				return nil, fmt.Errorf("lowerbound: port %d of %d claimed twice", port, u)
+			}
+			row[port] = v
+		}
+		out[u] = row
+	}
+	return out, nil
+}
+
+// VerifyRecoveredPorts compares a recovered assignment with the true one.
+func VerifyRecoveredPorts(g *graph.Graph, ports *graph.Ports, recovered [][]int) error {
+	for u := 1; u <= g.N(); u++ {
+		for p := 1; p <= g.Degree(u); p++ {
+			want, err := ports.Neighbor(u, p)
+			if err != nil {
+				return err
+			}
+			if recovered[u][p] != want {
+				return fmt.Errorf("lowerbound: node %d port %d: recovered %d, want %d", u, p, recovered[u][p], want)
+			}
+		}
+	}
+	return nil
+}

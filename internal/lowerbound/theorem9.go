@@ -1,0 +1,107 @@
+// Package lowerbound implements the paper's lower-bound machinery as
+// executable experiments:
+//
+//   - Theorem 9: on the explicit Figure-1 family, the hidden permutation can
+//     be reconstructed from any stretch < 2 scheme's local routing
+//     functions — so those functions jointly carry k·log k bits each.
+//   - Theorem 8: under a fixed adversarial port assignment (model IA ∧ α),
+//     a universal routing table determines the whole port permutation, whose
+//     entropy is log₂(d!) per node.
+//   - Theorem 7 (Claims 2–3): given all labels, a local routing function
+//     plus n/2 + o(n) bits describes a node's entire interconnection
+//     pattern — implemented as a round-tripping pattern codec.
+package lowerbound
+
+import (
+	"errors"
+	"fmt"
+
+	"routetab/internal/gengraph"
+	"routetab/internal/routing"
+	"routetab/internal/stats"
+)
+
+// Theorem 9 errors.
+var (
+	// ErrNotFirstHopExtractable indicates a scheme answered a bottom→top
+	// query with a non-middle first hop (stretch ≥ 2 behaviour).
+	ErrNotFirstHopExtractable = errors.New("lowerbound: first hop is not the unique shortest-path middle node")
+	// ErrPermutationMismatch indicates extraction disagreed across bottom
+	// nodes (should be impossible for stretch < 2 schemes).
+	ErrPermutationMismatch = errors.New("lowerbound: extracted permutations disagree")
+)
+
+// Extraction is the Theorem 9 witness: the permutation read out of a routing
+// scheme's local functions, with the entropy ledger.
+type Extraction struct {
+	// K is the block size (n = 3K).
+	K int
+	// Perm is the permutation extracted from the scheme (1-based).
+	Perm []int
+	// BitsPerBottomNode is log₂(k!) — the information each bottom node's
+	// local function must contain (Theorem 9: k·log k − O(k)).
+	BitsPerBottomNode float64
+	// TotalBits is K · log₂(k!): the paper's Ω(n² log n)/9 total.
+	TotalBits float64
+}
+
+// ExtractPermutation reconstructs GB's hidden permutation from the routing
+// scheme under simulation, exactly as Theorem 9's proof does: for every
+// bottom node v_i and every top label j, a stretch < 2 scheme must forward
+// over the edge to the middle node attached to j — "by collecting the
+// response of the local routing function … and grouping all pairs reached
+// over the same edge" the permutation falls out.
+//
+// The extraction queries every bottom node and verifies they all imply the
+// same permutation; the caller then compares against gb.Perm.
+func ExtractPermutation(gb *gengraph.GB, sim *routing.Sim) (*Extraction, error) {
+	k := gb.K
+	lo, hi := gb.TopLabels()
+	var agreed []int
+	for b := 1; b <= gb.B; b++ {
+		perm := make([]int, k+1)
+		for j := lo; j <= hi; j++ {
+			next, err := sim.FirstHop(b, j)
+			if err != nil {
+				return nil, fmt.Errorf("lowerbound: query %d→%d: %w", b, j, err)
+			}
+			if !gb.IsMiddle(next) {
+				return nil, fmt.Errorf("%w: %d→%d answered %d", ErrNotFirstHopExtractable, b, j, next)
+			}
+			slot := next - gb.B
+			if perm[slot] != 0 {
+				return nil, fmt.Errorf("%w: middle %d claimed twice at bottom %d", ErrPermutationMismatch, next, b)
+			}
+			perm[slot] = j - lo + 1
+		}
+		if agreed == nil {
+			agreed = perm
+			continue
+		}
+		for t := 1; t <= k; t++ {
+			if perm[t] != agreed[t] {
+				return nil, fmt.Errorf("%w: bottom %d disagrees at slot %d", ErrPermutationMismatch, b, t)
+			}
+		}
+	}
+	return &Extraction{
+		K:                 k,
+		Perm:              agreed,
+		BitsPerBottomNode: stats.Log2Factorial(k),
+		TotalBits:         float64(k) * stats.Log2Factorial(k),
+	}, nil
+}
+
+// VerifyExtraction checks an extraction against the generator's hidden
+// permutation.
+func VerifyExtraction(gb *gengraph.GB, ex *Extraction) error {
+	if ex.K != gb.K {
+		return fmt.Errorf("lowerbound: extraction for k=%d checked against k=%d", ex.K, gb.K)
+	}
+	for t := 1; t <= gb.K; t++ {
+		if ex.Perm[t] != gb.Perm[t] {
+			return fmt.Errorf("%w: slot %d: extracted %d, hidden %d", ErrPermutationMismatch, t, ex.Perm[t], gb.Perm[t])
+		}
+	}
+	return nil
+}

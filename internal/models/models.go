@@ -1,0 +1,193 @@
+// Package models defines the paper's nine cost models for routing schemes:
+// the cross product of what a node knows about its ports/neighbours
+// (IA, IB, II) and how nodes may be labelled (α, β, γ), together with the
+// space-accounting rules each model imposes (Section 1).
+package models
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// PortKnowledge is the first model dimension.
+type PortKnowledge int
+
+const (
+	// PortsFixed (IA): nodes do not know their neighbours and the port
+	// assignment is fixed by an adversary and cannot be altered.
+	PortsFixed PortKnowledge = iota + 1
+	// PortsFree (IB): nodes do not know their neighbours but the port
+	// assignment may be chosen before the routing scheme is computed.
+	PortsFree
+	// NeighborsKnown (II): nodes know the labels of their neighbours and
+	// over which edge each is reached; this information is free.
+	NeighborsKnown
+)
+
+// Relabeling is the second model dimension.
+type Relabeling int
+
+const (
+	// RelabelNone (α): nodes keep their original labels 1,…,n.
+	RelabelNone Relabeling = iota + 1
+	// RelabelPermute (β): nodes may be permuted within {1,…,n}.
+	RelabelPermute
+	// RelabelFree (γ): nodes may get arbitrary labels, whose bits are added
+	// to the space requirement.
+	RelabelFree
+)
+
+// Model is one cell of the paper's 3×3 grid.
+type Model struct {
+	Ports   PortKnowledge
+	Relabel Relabeling
+}
+
+// The nine models by their paper names.
+var (
+	IAAlpha = Model{PortsFixed, RelabelNone}
+	IABeta  = Model{PortsFixed, RelabelPermute}
+	IAGamma = Model{PortsFixed, RelabelFree}
+	IBAlpha = Model{PortsFree, RelabelNone}
+	IBBeta  = Model{PortsFree, RelabelPermute}
+	IBGamma = Model{PortsFree, RelabelFree}
+	IIAlpha = Model{NeighborsKnown, RelabelNone}
+	IIBeta  = Model{NeighborsKnown, RelabelPermute}
+	IIGamma = Model{NeighborsKnown, RelabelFree}
+)
+
+// ErrUnknownModel reports an unparsable model name.
+var ErrUnknownModel = errors.New("models: unknown model")
+
+// All returns the nine models in Table 1's row-major order (IA, IB, II ×
+// α, β, γ).
+func All() []Model {
+	return []Model{
+		IAAlpha, IABeta, IAGamma,
+		IBAlpha, IBBeta, IBGamma,
+		IIAlpha, IIBeta, IIGamma,
+	}
+}
+
+// String renders the paper's name for the port dimension.
+func (p PortKnowledge) String() string {
+	switch p {
+	case PortsFixed:
+		return "IA"
+	case PortsFree:
+		return "IB"
+	case NeighborsKnown:
+		return "II"
+	default:
+		return fmt.Sprintf("PortKnowledge(%d)", int(p))
+	}
+}
+
+// String renders the paper's name for the relabelling dimension.
+func (r Relabeling) String() string {
+	switch r {
+	case RelabelNone:
+		return "alpha"
+	case RelabelPermute:
+		return "beta"
+	case RelabelFree:
+		return "gamma"
+	default:
+		return fmt.Sprintf("Relabeling(%d)", int(r))
+	}
+}
+
+// String renders the model as e.g. "II^alpha" (the paper's II ∧ α).
+func (m Model) String() string {
+	return m.Ports.String() + "^" + m.Relabel.String()
+}
+
+// Parse resolves names like "II^alpha", "ia^beta" or "IB^gamma".
+func Parse(s string) (Model, error) {
+	parts := strings.SplitN(strings.ToLower(strings.TrimSpace(s)), "^", 2)
+	if len(parts) != 2 {
+		return Model{}, fmt.Errorf("%w: %q (want PORT^RELABEL, e.g. II^alpha)", ErrUnknownModel, s)
+	}
+	var p PortKnowledge
+	switch parts[0] {
+	case "ia":
+		p = PortsFixed
+	case "ib":
+		p = PortsFree
+	case "ii":
+		p = NeighborsKnown
+	default:
+		return Model{}, fmt.Errorf("%w: port dimension %q", ErrUnknownModel, parts[0])
+	}
+	var r Relabeling
+	switch parts[1] {
+	case "alpha", "a":
+		r = RelabelNone
+	case "beta", "b":
+		r = RelabelPermute
+	case "gamma", "g":
+		r = RelabelFree
+	default:
+		return Model{}, fmt.Errorf("%w: relabel dimension %q", ErrUnknownModel, parts[1])
+	}
+	return Model{Ports: p, Relabel: r}, nil
+}
+
+// Valid reports whether both dimensions are set to defined values.
+func (m Model) Valid() bool {
+	return m.Ports >= PortsFixed && m.Ports <= NeighborsKnown &&
+		m.Relabel >= RelabelNone && m.Relabel <= RelabelFree
+}
+
+// NeighborsFree reports whether neighbour identities come for free (II).
+func (m Model) NeighborsFree() bool { return m.Ports == NeighborsKnown }
+
+// PortsReassignable reports whether the scheme may choose the port
+// assignment (IB). The paper never combines free ports with free neighbour
+// knowledge (footnote to model II): under II the port assignment is
+// irrelevant and must not be exploitable, so II does not grant this.
+func (m Model) PortsReassignable() bool { return m.Ports == PortsFree }
+
+// MayRelabel reports whether any relabelling is allowed (β or γ).
+func (m Model) MayRelabel() bool { return m.Relabel != RelabelNone }
+
+// LabelBitsCharged reports whether label storage is added to the space
+// requirement (γ only; under α and β labels stay within {1,…,n} and are the
+// uncharged minimum).
+func (m Model) LabelBitsCharged() bool { return m.Relabel == RelabelFree }
+
+// Requirements states what a routing-scheme construction needs from a model.
+type Requirements struct {
+	// NeighborsKnown requires model II.
+	NeighborsKnown bool
+	// FreePorts requires model IB (or is satisfied vacuously under II when
+	// NeighborsOrFreePorts is used instead).
+	FreePorts bool
+	// NeighborsOrFreePorts requires IB ∨ II (Theorem 1's condition).
+	NeighborsOrFreePorts bool
+	// ArbitraryLabels requires γ.
+	ArbitraryLabels bool
+	// AnyRelabel requires β ∨ γ.
+	AnyRelabel bool
+}
+
+// Supports reports whether model m provides everything req asks for.
+func (m Model) Supports(req Requirements) bool {
+	if req.NeighborsKnown && !m.NeighborsFree() {
+		return false
+	}
+	if req.FreePorts && !m.PortsReassignable() {
+		return false
+	}
+	if req.NeighborsOrFreePorts && !m.NeighborsFree() && !m.PortsReassignable() {
+		return false
+	}
+	if req.ArbitraryLabels && !m.LabelBitsCharged() {
+		return false
+	}
+	if req.AnyRelabel && !m.MayRelabel() {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,131 @@
+package models
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestAllNineDistinct(t *testing.T) {
+	all := All()
+	if len(all) != 9 {
+		t.Fatalf("All() returned %d models", len(all))
+	}
+	seen := map[string]bool{}
+	for _, m := range all {
+		if !m.Valid() {
+			t.Errorf("invalid model %v", m)
+		}
+		s := m.String()
+		if seen[s] {
+			t.Errorf("duplicate model %s", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestStringNames(t *testing.T) {
+	tests := []struct {
+		m    Model
+		want string
+	}{
+		{IAAlpha, "IA^alpha"},
+		{IBBeta, "IB^beta"},
+		{IIGamma, "II^gamma"},
+	}
+	for _, tt := range tests {
+		if got := tt.m.String(); got != tt.want {
+			t.Errorf("%v.String() = %q, want %q", tt.m, got, tt.want)
+		}
+	}
+	if (Model{}).String() == "" {
+		t.Error("zero model should still render")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, m := range All() {
+		got, err := Parse(m.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", m.String(), err)
+		}
+		if got != m {
+			t.Fatalf("Parse(%q) = %v", m.String(), got)
+		}
+	}
+}
+
+func TestParseVariants(t *testing.T) {
+	tests := []struct {
+		in   string
+		want Model
+	}{
+		{"ii^alpha", IIAlpha},
+		{" IA^beta ", IABeta},
+		{"ib^g", IBGamma},
+		{"II^a", IIAlpha},
+	}
+	for _, tt := range tests {
+		got, err := Parse(tt.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tt.in, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("Parse(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+	for _, bad := range []string{"", "II", "XX^alpha", "II^delta", "II^alpha^beta"} {
+		if _, err := Parse(bad); !errors.Is(err, ErrUnknownModel) {
+			t.Errorf("Parse(%q): err = %v, want ErrUnknownModel", bad, err)
+		}
+	}
+}
+
+func TestCapabilities(t *testing.T) {
+	if !IIAlpha.NeighborsFree() || IBAlpha.NeighborsFree() || IAAlpha.NeighborsFree() {
+		t.Error("NeighborsFree wrong")
+	}
+	if !IBAlpha.PortsReassignable() || IAAlpha.PortsReassignable() || IIAlpha.PortsReassignable() {
+		t.Error("PortsReassignable wrong")
+	}
+	if IAAlpha.MayRelabel() || !IABeta.MayRelabel() || !IAGamma.MayRelabel() {
+		t.Error("MayRelabel wrong")
+	}
+	if IABeta.LabelBitsCharged() || !IAGamma.LabelBitsCharged() {
+		t.Error("LabelBitsCharged wrong")
+	}
+}
+
+func TestSupports(t *testing.T) {
+	theorem1 := Requirements{NeighborsOrFreePorts: true}
+	wantTrue := []Model{IBAlpha, IBBeta, IBGamma, IIAlpha, IIBeta, IIGamma}
+	wantFalse := []Model{IAAlpha, IABeta, IAGamma}
+	for _, m := range wantTrue {
+		if !m.Supports(theorem1) {
+			t.Errorf("%v should support Theorem 1", m)
+		}
+	}
+	for _, m := range wantFalse {
+		if m.Supports(theorem1) {
+			t.Errorf("%v should not support Theorem 1", m)
+		}
+	}
+
+	theorem2 := Requirements{NeighborsKnown: true, ArbitraryLabels: true}
+	for _, m := range All() {
+		want := m == IIGamma
+		if got := m.Supports(theorem2); got != want {
+			t.Errorf("%v.Supports(Theorem 2) = %t, want %t", m, got, want)
+		}
+	}
+
+	if !IAAlpha.Supports(Requirements{}) {
+		t.Error("empty requirements must hold everywhere")
+	}
+	if IAAlpha.Supports(Requirements{FreePorts: true}) {
+		t.Error("IA grants free ports")
+	}
+	if !IBBeta.Supports(Requirements{AnyRelabel: true}) || IBAlpha.Supports(Requirements{AnyRelabel: true}) {
+		t.Error("AnyRelabel wrong")
+	}
+}

@@ -1,0 +1,67 @@
+package netsim_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"routetab/internal/gengraph"
+	"routetab/internal/graph"
+	"routetab/internal/netsim"
+	"routetab/internal/schemes/fullinfo"
+	"routetab/internal/shortestpath"
+)
+
+// Example_failover runs a full-information scheme on the concurrent carrier
+// and reroutes around an injected link failure.
+func Example_failover() {
+	g, err := gengraph.GnHalf(32, rand.New(rand.NewSource(3)))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ports := graph.SortedPorts(g)
+	dm, err := shortestpath.AllPairs(g)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	scheme, err := fullinfo.Build(g, ports, dm)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	nw, err := netsim.New(g, ports, scheme, netsim.Options{MaxInFlight: 8})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer nw.Close()
+
+	// Pick a distance-2 destination so an alternative path exists.
+	dst := 0
+	for v := 2; v <= 32; v++ {
+		if dm.Dist(1, v) == 2 {
+			dst = v
+			break
+		}
+	}
+	tr, err := nw.Send(1, dst)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("hops before failure:", tr.Hops)
+	if err := nw.SetLinkDown(tr.Path[0], tr.Path[1], true); err != nil {
+		fmt.Println(err)
+		return
+	}
+	tr, err = nw.Send(1, dst)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("hops after failure:", tr.Hops)
+	// Output:
+	// hops before failure: 2
+	// hops after failure: 2
+}

@@ -1,0 +1,395 @@
+// Package netsim runs routing schemes on a concurrent message-passing
+// network: one goroutine per node, port-addressed links, bounded in-flight
+// messages, and link-failure injection.
+//
+// Where internal/routing.Sim is the single-message reference carrier, netsim
+// is the "does this actually work as a distributed system" harness: nodes
+// only ever see their own routing function, their ports, and arriving
+// messages. Full-information schemes (Theorem 10) additionally survive link
+// failures by taking alternative shortest-path edges — the capability the
+// paper says such schemes exist for.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"routetab/internal/graph"
+	"routetab/internal/routing"
+)
+
+// Errors.
+var (
+	// ErrClosed indicates a Send on a closed network.
+	ErrClosed = errors.New("netsim: network closed")
+	// ErrLinkDown indicates a forward over a failed link with no failover.
+	ErrLinkDown = errors.New("netsim: link down")
+	// ErrHopLimit indicates the TTL expired.
+	ErrHopLimit = errors.New("netsim: hop limit exceeded")
+)
+
+// Failover is implemented by schemes that can route around excluded ports
+// (full-information shortest-path schemes).
+type Failover interface {
+	RouteAvoiding(u, dest int, down map[int]bool) (int, error)
+}
+
+// Options configures a network.
+type Options struct {
+	// MaxInFlight bounds concurrently travelling messages (default 64); it
+	// also sizes every node's inbox, so sends never deadlock.
+	MaxInFlight int
+	// HopLimit is the per-message TTL (default routing.DefaultHopLimit(n)).
+	HopLimit int
+}
+
+type message struct {
+	dest    routing.Label
+	hdr     uint64
+	arrival int
+	hops    int
+	path    []int
+	done    chan result
+}
+
+type result struct {
+	trace *routing.Trace
+	err   error
+}
+
+// Stats are cumulative network counters.
+type Stats struct {
+	Delivered, Failed uint64
+	HopsTotal         uint64
+}
+
+// Network is a running simulation.
+type Network struct {
+	g       *graph.Graph
+	ports   *graph.Ports
+	scheme  routing.Scheme
+	grantII bool
+	labels  map[int]int
+	opts    Options
+
+	inboxes []chan *message
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	sem     chan struct{}
+	closed  atomic.Bool
+
+	mu   sync.RWMutex
+	down map[int]bool // edge index → down
+
+	delivered atomic.Uint64
+	failed    atomic.Uint64
+	hopsTotal atomic.Uint64
+}
+
+// New validates the pieces, starts one goroutine per node, and returns the
+// network. Callers must Close it.
+func New(g *graph.Graph, ports *graph.Ports, scheme routing.Scheme, opts Options) (*Network, error) {
+	if scheme.N() != g.N() {
+		return nil, fmt.Errorf("netsim: scheme for n=%d used with n=%d", scheme.N(), g.N())
+	}
+	if err := ports.Validate(g); err != nil {
+		return nil, fmt.Errorf("netsim: %w", err)
+	}
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = 64
+	}
+	if opts.HopLimit <= 0 {
+		opts.HopLimit = routing.DefaultHopLimit(g.N())
+	}
+	req := scheme.Requirements()
+	labels := make(map[int]int, g.N())
+	for u := 1; u <= g.N(); u++ {
+		labels[scheme.Label(u).ID] = u
+	}
+	if len(labels) != g.N() {
+		return nil, fmt.Errorf("netsim: scheme %s assigns non-unique label IDs", scheme.Name())
+	}
+	nw := &Network{
+		g:       g,
+		ports:   ports,
+		scheme:  scheme,
+		grantII: req.NeighborsKnown || req.NeighborsOrFreePorts,
+		labels:  labels,
+		opts:    opts,
+		inboxes: make([]chan *message, g.N()+1),
+		stop:    make(chan struct{}),
+		sem:     make(chan struct{}, opts.MaxInFlight),
+		down:    make(map[int]bool),
+	}
+	for u := 1; u <= g.N(); u++ {
+		nw.inboxes[u] = make(chan *message, opts.MaxInFlight)
+	}
+	for u := 1; u <= g.N(); u++ {
+		u := u
+		nw.wg.Add(1)
+		go func() {
+			defer nw.wg.Done()
+			nw.runNode(u)
+		}()
+	}
+	return nw, nil
+}
+
+// Close stops every node goroutine and waits for them to exit. Further Sends
+// fail with ErrClosed; in-flight messages are abandoned.
+func (nw *Network) Close() {
+	if nw.closed.Swap(true) {
+		return
+	}
+	close(nw.stop)
+	nw.wg.Wait()
+}
+
+// SetLinkDown marks the undirected link uv failed (or repaired).
+func (nw *Network) SetLinkDown(u, v int, isDown bool) error {
+	idx, err := graph.EdgeIndex(nw.g.N(), u, v)
+	if err != nil {
+		return fmt.Errorf("netsim: %w", err)
+	}
+	if !nw.g.HasEdge(u, v) {
+		return fmt.Errorf("netsim: %d-%d is not a link", u, v)
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if isDown {
+		nw.down[idx] = true
+	} else {
+		delete(nw.down, idx)
+	}
+	return nil
+}
+
+func (nw *Network) linkDown(u, v int) bool {
+	idx, err := graph.EdgeIndex(nw.g.N(), u, v)
+	if err != nil {
+		return false
+	}
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
+	return nw.down[idx]
+}
+
+// Send injects a message at src addressed to destNode's label and blocks
+// until delivery or failure.
+func (nw *Network) Send(src, destNode int) (*routing.Trace, error) {
+	if nw.closed.Load() {
+		return nil, ErrClosed
+	}
+	if src < 1 || src > nw.g.N() || destNode < 1 || destNode > nw.g.N() {
+		return nil, fmt.Errorf("netsim: bad pair (%d,%d)", src, destNode)
+	}
+	select {
+	case nw.sem <- struct{}{}:
+	case <-nw.stop:
+		return nil, ErrClosed
+	}
+	defer func() { <-nw.sem }()
+
+	msg := &message{
+		dest: nw.scheme.Label(destNode),
+		path: []int{src},
+		done: make(chan result, 1),
+	}
+	select {
+	case nw.inboxes[src] <- msg:
+	case <-nw.stop:
+		return nil, ErrClosed
+	}
+	select {
+	case res := <-msg.done:
+		if res.err != nil {
+			nw.failed.Add(1)
+			return res.trace, res.err
+		}
+		nw.delivered.Add(1)
+		nw.hopsTotal.Add(uint64(res.trace.Hops))
+		return res.trace, nil
+	case <-nw.stop:
+		return nil, ErrClosed
+	}
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (nw *Network) Stats() Stats {
+	return Stats{
+		Delivered: nw.delivered.Load(),
+		Failed:    nw.failed.Load(),
+		HopsTotal: nw.hopsTotal.Load(),
+	}
+}
+
+// runNode is the per-node event loop: strictly local state only.
+func (nw *Network) runNode(u int) {
+	inbox := nw.inboxes[u]
+	for {
+		select {
+		case <-nw.stop:
+			return
+		case msg := <-inbox:
+			nw.handle(u, msg)
+		}
+	}
+}
+
+func (nw *Network) handle(u int, msg *message) {
+	if msg.dest.ID == nw.scheme.Label(u).ID {
+		msg.done <- result{trace: msg.trace(u)}
+		return
+	}
+	if msg.hops >= nw.opts.HopLimit {
+		msg.done <- result{trace: msg.trace(u), err: fmt.Errorf("%w: %d hops at %d", ErrHopLimit, msg.hops, u)}
+		return
+	}
+	port, newHdr, err := nw.scheme.Route(u, nodeEnv{nw: nw, node: u}, msg.dest, msg.hdr, msg.arrival)
+	if err != nil {
+		msg.done <- result{trace: msg.trace(u), err: err}
+		return
+	}
+	next, err := nw.ports.Neighbor(u, port)
+	if err != nil {
+		msg.done <- result{trace: msg.trace(u), err: err}
+		return
+	}
+	if nw.linkDown(u, next) {
+		port, next, err = nw.failover(u, msg, port)
+		if err != nil {
+			msg.done <- result{trace: msg.trace(u), err: err}
+			return
+		}
+	}
+	backPort, err := nw.ports.PortTo(next, u)
+	if err != nil {
+		msg.done <- result{trace: msg.trace(u), err: err}
+		return
+	}
+	msg.hdr = newHdr
+	msg.arrival = backPort
+	msg.hops++
+	msg.path = append(msg.path, next)
+	select {
+	case nw.inboxes[next] <- msg:
+	case <-nw.stop:
+	}
+}
+
+// failover reroutes around down links when the scheme supports it.
+func (nw *Network) failover(u int, msg *message, triedPort int) (int, int, error) {
+	fo, ok := nw.scheme.(Failover)
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: at %d port %d", ErrLinkDown, u, triedPort)
+	}
+	destNode, ok := nw.labels[msg.dest.ID]
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: unknown destination", ErrLinkDown)
+	}
+	downPorts := make(map[int]bool)
+	for p := 1; p <= nw.ports.Degree(u); p++ {
+		v, err := nw.ports.Neighbor(u, p)
+		if err != nil {
+			return 0, 0, err
+		}
+		if nw.linkDown(u, v) {
+			downPorts[p] = true
+		}
+	}
+	port, err := fo.RouteAvoiding(u, destNode, downPorts)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: %v", ErrLinkDown, err)
+	}
+	next, err := nw.ports.Neighbor(u, port)
+	if err != nil {
+		return 0, 0, err
+	}
+	return port, next, nil
+}
+
+func (m *message) trace(end int) *routing.Trace {
+	path := make([]int, len(m.path))
+	copy(path, m.path)
+	return &routing.Trace{
+		Source: path[0],
+		Dest:   end,
+		Path:   path,
+		Hops:   len(path) - 1,
+	}
+}
+
+// nodeEnv is the strictly local environment handed to routing functions.
+type nodeEnv struct {
+	nw   *Network
+	node int
+}
+
+var _ routing.Env = nodeEnv{}
+
+func (e nodeEnv) Node() int   { return e.node }
+func (e nodeEnv) Degree() int { return e.nw.ports.Degree(e.node) }
+
+func (e nodeEnv) NeighborLabelByPort(port int) (routing.Label, bool) {
+	if !e.nw.grantII {
+		return routing.Label{}, false
+	}
+	v, err := e.nw.ports.Neighbor(e.node, port)
+	if err != nil {
+		return routing.Label{}, false
+	}
+	return e.nw.scheme.Label(v), true
+}
+
+func (e nodeEnv) PortOfNeighbor(id int) (int, bool) {
+	if !e.nw.grantII {
+		return 0, false
+	}
+	node, ok := e.nw.labels[id]
+	if !ok {
+		return 0, false
+	}
+	port, err := e.nw.ports.PortTo(e.node, node)
+	if err != nil {
+		return 0, false
+	}
+	return port, true
+}
+
+func (e nodeEnv) KnownNeighborIDs() ([]int, bool) {
+	if !e.nw.grantII {
+		return nil, false
+	}
+	nb := e.nw.g.Neighbors(e.node)
+	out := make([]int, len(nb))
+	for i, v := range nb {
+		out[i] = e.nw.scheme.Label(v).ID
+	}
+	return out, true
+}
+
+// SendMany routes all pairs concurrently (bounded by MaxInFlight) and
+// returns per-pair traces in input order plus the first error (remaining
+// pairs still complete).
+func (nw *Network) SendMany(pairs [][2]int) ([]*routing.Trace, error) {
+	traces := make([]*routing.Trace, len(pairs))
+	errs := make([]error, len(pairs))
+	var wg sync.WaitGroup
+	for i, p := range pairs {
+		i, p := i, p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			traces[i], errs[i] = nw.Send(p[0], p[1])
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return traces, err
+		}
+	}
+	return traces, nil
+}

@@ -1,0 +1,399 @@
+package netsim
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"routetab/internal/gengraph"
+	"routetab/internal/graph"
+	"routetab/internal/routing"
+	"routetab/internal/schemes/centers"
+	"routetab/internal/schemes/compact"
+	"routetab/internal/schemes/fullinfo"
+	"routetab/internal/schemes/fulltable"
+	"routetab/internal/schemes/hub"
+	"routetab/internal/schemes/interval"
+	"routetab/internal/schemes/labels"
+	"routetab/internal/schemes/walker"
+	"routetab/internal/shortestpath"
+)
+
+func randomNet(t *testing.T, n int, seed int64) (*graph.Graph, *graph.Ports) {
+	t.Helper()
+	g, err := gengraph.GnHalf(n, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, graph.SortedPorts(g)
+}
+
+func TestDeliveryMatchesReferenceSim(t *testing.T) {
+	g, ports := randomNet(t, 40, 1)
+	s, err := fulltable.Build(g, ports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := New(g, ports, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	dm, err := shortestpath.AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := 1; src <= 40; src += 5 {
+		for dst := 1; dst <= 40; dst += 3 {
+			if src == dst {
+				continue
+			}
+			tr, err := nw.Send(src, dst)
+			if err != nil {
+				t.Fatalf("%d→%d: %v", src, dst, err)
+			}
+			if tr.Hops != dm.Dist(src, dst) {
+				t.Fatalf("%d→%d: %d hops, want %d", src, dst, tr.Hops, dm.Dist(src, dst))
+			}
+			if err := routing.VerifyTraceIsWalk(g, tr); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := nw.Stats()
+	if st.Delivered == 0 || st.Failed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestConcurrentSends(t *testing.T) {
+	g, ports := randomNet(t, 48, 2)
+	s, err := compact.Build(g, compact.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := New(g, ports, s, Options{MaxInFlight: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 500)
+	for i := 0; i < 500; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			src := i%48 + 1
+			dst := (i*7+13)%48 + 1
+			if src == dst {
+				return
+			}
+			if _, err := nw.Send(src, dst); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if nw.Stats().Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+func TestWalkerSchemeOverNetwork(t *testing.T) {
+	// The header-carrying probe walker must work on the concurrent carrier
+	// too (arrival ports and headers travel with the message).
+	g, ports := randomNet(t, 32, 3)
+	s, err := walker.Build(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := New(g, ports, s, Options{HopLimit: s.MaxHops()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	for dst := 2; dst <= 32; dst++ {
+		tr, err := nw.Send(1, dst)
+		if err != nil {
+			t.Fatalf("1→%d: %v", dst, err)
+		}
+		if err := routing.VerifyTraceIsWalk(g, tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFailoverOnFullInfo(t *testing.T) {
+	// Square 1-2-4-3-1: kill link 1-2; full-info reroutes 1→4 via 3.
+	g := graph.MustNew(4)
+	for _, e := range [][2]int{{1, 2}, {2, 4}, {4, 3}, {3, 1}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ports := graph.SortedPorts(g)
+	dm, err := shortestpath.AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := fullinfo.Build(g, ports, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := New(g, ports, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+
+	tr, err := nw.Send(1, 4)
+	if err != nil || tr.Hops != 2 {
+		t.Fatalf("before failure: %v %v", tr, err)
+	}
+	if err := nw.SetLinkDown(1, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	tr, err = nw.Send(1, 4)
+	if err != nil {
+		t.Fatalf("after failure: %v", err)
+	}
+	if tr.Hops != 2 || tr.Path[1] != 3 {
+		t.Fatalf("failover path = %v, want via 3", tr.Path)
+	}
+	// Repair and confirm the original path is available again.
+	if err := nw.SetLinkDown(1, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Send(1, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkDownWithoutFailoverFails(t *testing.T) {
+	g, ports := randomNet(t, 16, 4)
+	s, err := fulltable.Build(g, ports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := New(g, ports, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	// Kill the first hop of a known route.
+	tr, err := nw.Send(1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := tr.Path[1]
+	if err := nw.SetLinkDown(1, first, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Send(1, 9); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("err = %v, want ErrLinkDown", err)
+	}
+	if nw.Stats().Failed == 0 {
+		t.Fatal("failure not counted")
+	}
+}
+
+func TestSetLinkDownValidation(t *testing.T) {
+	g, ports := randomNet(t, 8, 5)
+	s, err := fulltable.Build(g, ports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := New(g, ports, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	if err := nw.SetLinkDown(0, 1, true); err == nil {
+		t.Error("node 0 accepted")
+	}
+	// Non-edge (find one).
+	for u := 1; u <= 8; u++ {
+		for v := u + 1; v <= 8; v++ {
+			if !g.HasEdge(u, v) {
+				if err := nw.SetLinkDown(u, v, true); err == nil {
+					t.Error("non-edge accepted")
+				}
+				return
+			}
+		}
+	}
+}
+
+func TestCloseIsIdempotentAndStopsSends(t *testing.T) {
+	g, ports := randomNet(t, 12, 6)
+	s, err := fulltable.Build(g, ports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := New(g, ports, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Close()
+	nw.Close() // must not panic or hang
+	if _, err := nw.Send(1, 2); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	g, ports := randomNet(t, 8, 7)
+	s, err := fulltable.Build(g, ports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := randomNet(t, 9, 8)
+	if _, err := New(g2, ports, s, Options{}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	nw, err := New(g, ports, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	if _, err := nw.Send(0, 3); err == nil {
+		t.Error("bad source accepted")
+	}
+	if _, err := nw.Send(1, 99); err == nil {
+		t.Error("bad destination accepted")
+	}
+	// Self-send delivers in zero hops.
+	tr, err := nw.Send(3, 3)
+	if err != nil || tr.Hops != 0 {
+		t.Errorf("self send: %v %v", tr, err)
+	}
+}
+
+func TestHopLimitEnforced(t *testing.T) {
+	g, ports := randomNet(t, 16, 9)
+	s, err := fulltable.Build(g, ports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := New(g, ports, s, Options{HopLimit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	// Find a distance-2 pair; with TTL 1 it must fail.
+	dm, err := shortestpath.AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 1; u <= 16; u++ {
+		for v := 1; v <= 16; v++ {
+			if dm.Dist(u, v) == 2 {
+				if _, err := nw.Send(u, v); !errors.Is(err, ErrHopLimit) {
+					t.Fatalf("err = %v, want ErrHopLimit", err)
+				}
+				return
+			}
+		}
+	}
+	t.Skip("no distance-2 pair in sample")
+}
+
+func TestAllIISchemesOverConcurrentCarrier(t *testing.T) {
+	// Every model-II construction must run correctly on the concurrent
+	// carrier, not just the reference Sim.
+	g, ports := randomNet(t, 40, 20)
+	dm, err := shortestpath.AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builders := map[string]func() (routing.Scheme, error){
+		"labels": func() (routing.Scheme, error) {
+			s, err := labels.Build(g, 3)
+			return s, err
+		},
+		"centers": func() (routing.Scheme, error) {
+			s, err := centers.Build(g, 1)
+			return s, err
+		},
+		"hub": func() (routing.Scheme, error) {
+			s, err := hub.Build(g, 1)
+			return s, err
+		},
+		"interval": func() (routing.Scheme, error) {
+			s, err := interval.Build(g, ports, 1)
+			return s, err
+		},
+	}
+	budgets := map[string]float64{"labels": 1, "centers": 1.5, "hub": 2, "interval": 99}
+	for name, build := range builders {
+		s, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		nw, err := New(g, ports, s, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		worst := 0.0
+		for src := 1; src <= 40; src += 3 {
+			for dst := 2; dst <= 40; dst += 4 {
+				if src == dst {
+					continue
+				}
+				tr, err := nw.Send(src, dst)
+				if err != nil {
+					nw.Close()
+					t.Fatalf("%s %d→%d: %v", name, src, dst, err)
+				}
+				if d := dm.Dist(src, dst); d > 0 {
+					if st := float64(tr.Hops) / float64(d); st > worst {
+						worst = st
+					}
+				}
+			}
+		}
+		nw.Close()
+		if worst > budgets[name] {
+			t.Fatalf("%s: stretch %v > %v on concurrent carrier", name, worst, budgets[name])
+		}
+	}
+}
+
+func TestSendMany(t *testing.T) {
+	g, ports := randomNet(t, 24, 30)
+	s, err := fulltable.Build(g, ports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := New(g, ports, s, Options{MaxInFlight: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	var pairs [][2]int
+	for i := 0; i < 100; i++ {
+		pairs = append(pairs, [2]int{i%24 + 1, (i*5+7)%24 + 1})
+	}
+	traces, err := nw.SendMany(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 100 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	for i, tr := range traces {
+		if tr == nil || tr.Source != pairs[i][0] || tr.Dest != pairs[i][1] {
+			t.Fatalf("trace %d = %+v for pair %v", i, tr, pairs[i])
+		}
+	}
+	// Errors surface but don't abort the batch.
+	if _, err := nw.SendMany([][2]int{{1, 2}, {0, 5}}); err == nil {
+		t.Fatal("bad pair accepted")
+	}
+}

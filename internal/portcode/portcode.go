@@ -1,0 +1,233 @@
+// Package portcode implements the paper's footnote to model II: "given a
+// labelling of the edges by the nodes they connect to, the actual port
+// assignment doesn't matter at all, and can in fact be used to represent
+// d(v)·log d(v) bits of the routing function. Namely, each assignment of
+// ports corresponds to a permutation of the ranks of the neighbours."
+//
+// The package makes that observation executable: it ranks/unranks port
+// assignments as permutations (Lehmer codes over a factorial number system)
+// and provides StoreBits/LoadBits, which smuggle an arbitrary payload of up
+// to Σ_v ⌊log₂ d(v)!⌋ bits into a graph's port assignment and recover it.
+// This is exactly why the paper's model II must not be combined with free
+// port assignment — the combination gives every node log(d!) bits of free
+// storage, which this package demonstrates constructively. It is also the
+// entropy source behind Theorem 8's adversary.
+package portcode
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"routetab/internal/bitio"
+	"routetab/internal/graph"
+)
+
+// Errors.
+var (
+	// ErrPayloadTooLarge indicates more payload bits than the assignment's
+	// capacity.
+	ErrPayloadTooLarge = errors.New("portcode: payload exceeds port-assignment capacity")
+	// ErrBadPermutation indicates an unrankable index.
+	ErrBadPermutation = errors.New("portcode: permutation index out of range")
+)
+
+// PermutationRank returns the Lehmer-code rank of perm (a permutation of
+// 0…d−1) in lexicographic order, in [0, d!).
+func PermutationRank(perm []int) (*big.Int, error) {
+	d := len(perm)
+	seen := make([]bool, d)
+	rank := new(big.Int)
+	fact := factorial(d)
+	for i, p := range perm {
+		if p < 0 || p >= d || seen[p] {
+			return nil, fmt.Errorf("%w: element %d at %d", ErrBadPermutation, p, i)
+		}
+		seen[p] = true
+		// Count unused elements smaller than p.
+		smaller := 0
+		for q := 0; q < p; q++ {
+			if !seen[q] {
+				smaller++
+			}
+		}
+		if d-i > 0 {
+			fact.Div(fact, big.NewInt(int64(d-i)))
+		}
+		rank.Add(rank, new(big.Int).Mul(big.NewInt(int64(smaller)), fact))
+	}
+	return rank, nil
+}
+
+// PermutationUnrank inverts PermutationRank for permutations of 0…d−1.
+func PermutationUnrank(rank *big.Int, d int) ([]int, error) {
+	if rank.Sign() < 0 || rank.Cmp(factorial(d)) >= 0 {
+		return nil, fmt.Errorf("%w: rank %v for d=%d", ErrBadPermutation, rank, d)
+	}
+	avail := make([]int, d)
+	for i := range avail {
+		avail[i] = i
+	}
+	perm := make([]int, d)
+	r := new(big.Int).Set(rank)
+	fact := factorial(d)
+	for i := 0; i < d; i++ {
+		fact.Div(fact, big.NewInt(int64(d-i)))
+		idx := new(big.Int)
+		idx.DivMod(r, fact, r)
+		j := int(idx.Int64())
+		perm[i] = avail[j]
+		avail = append(avail[:j], avail[j+1:]...)
+	}
+	return perm, nil
+}
+
+func factorial(d int) *big.Int {
+	f := big.NewInt(1)
+	for i := 2; i <= d; i++ {
+		f.Mul(f, big.NewInt(int64(i)))
+	}
+	return f
+}
+
+// NodeCapacity returns ⌊log₂ d!⌋ — the bits one node of degree d can hide
+// in its port assignment.
+func NodeCapacity(d int) int {
+	f := factorial(d)
+	if f.BitLen() <= 1 {
+		return 0
+	}
+	// ⌊log₂ d!⌋: d! has BitLen b ⇒ 2^(b−1) ≤ d!; values 0…2^(b−1)−1 fit
+	// strictly below d! only when d! is not a power of two (true for d ≥ 3;
+	// for d=2, d!=2 gives exactly 1 bit).
+	return f.BitLen() - 1
+}
+
+// Capacity returns Σ_v NodeCapacity(d(v)) for the whole graph — the paper's
+// "d(v) log d(v) bits of the routing function" per node, summed.
+func Capacity(g *graph.Graph) int {
+	total := 0
+	for v := 1; v <= g.N(); v++ {
+		total += NodeCapacity(g.Degree(v))
+	}
+	return total
+}
+
+// StoreBits hides the first nbits bits of payload in a fresh port
+// assignment for g: node by node (increasing label), each node's slice of
+// the payload selects which permutation of its sorted neighbours becomes
+// its port table. The payload must fit Capacity(g).
+func StoreBits(g *graph.Graph, payload []byte, nbits int) (*graph.Ports, error) {
+	if nbits > Capacity(g) {
+		return nil, fmt.Errorf("%w: %d > %d", ErrPayloadTooLarge, nbits, Capacity(g))
+	}
+	r, err := bitio.NewReader(payload, nbits)
+	if err != nil {
+		return nil, fmt.Errorf("portcode: %w", err)
+	}
+	perms := make([][]int, g.N()+1)
+	for v := 1; v <= g.N(); v++ {
+		d := g.Degree(v)
+		take := NodeCapacity(d)
+		if take > r.Remaining() {
+			take = r.Remaining()
+		}
+		var rank *big.Int
+		if take == 0 {
+			rank = new(big.Int)
+		} else {
+			chunk, err := readBig(r, take)
+			if err != nil {
+				return nil, err
+			}
+			rank = chunk
+		}
+		perm, err := PermutationUnrank(rank, d)
+		if err != nil {
+			return nil, err
+		}
+		perms[v] = perm
+	}
+	ports, err := graph.PermutedPorts(g, perms)
+	if err != nil {
+		return nil, err
+	}
+	return ports, nil
+}
+
+// LoadBits recovers nbits payload bits from a port assignment produced by
+// StoreBits.
+func LoadBits(g *graph.Graph, ports *graph.Ports, nbits int) ([]byte, error) {
+	if nbits > Capacity(g) {
+		return nil, fmt.Errorf("%w: %d > %d", ErrPayloadTooLarge, nbits, Capacity(g))
+	}
+	w := bitio.NewWriter(nbits)
+	remaining := nbits
+	for v := 1; v <= g.N() && remaining > 0; v++ {
+		d := g.Degree(v)
+		take := NodeCapacity(d)
+		if take > remaining {
+			take = remaining
+		}
+		if take == 0 {
+			continue
+		}
+		perm, err := permOf(g, ports, v)
+		if err != nil {
+			return nil, err
+		}
+		rank, err := PermutationRank(perm)
+		if err != nil {
+			return nil, err
+		}
+		if rank.BitLen() > take {
+			return nil, fmt.Errorf("%w: node %d rank needs %d bits, slot %d", ErrBadPermutation, v, rank.BitLen(), take)
+		}
+		if err := writeBig(w, rank, take); err != nil {
+			return nil, err
+		}
+		remaining -= take
+	}
+	return w.Bytes(), nil
+}
+
+// permOf recovers the 0-based neighbour-rank permutation a port table
+// realises at node v.
+func permOf(g *graph.Graph, ports *graph.Ports, v int) ([]int, error) {
+	sorted := g.Neighbors(v)
+	rankOf := make(map[int]int, len(sorted))
+	for i, w := range sorted {
+		rankOf[w] = i
+	}
+	perm := make([]int, len(sorted))
+	for p := 1; p <= len(sorted); p++ {
+		nb, err := ports.Neighbor(v, p)
+		if err != nil {
+			return nil, err
+		}
+		perm[p-1] = rankOf[nb]
+	}
+	return perm, nil
+}
+
+func readBig(r *bitio.Reader, width int) (*big.Int, error) {
+	v := new(big.Int)
+	for i := 0; i < width; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return nil, err
+		}
+		v.Lsh(v, 1)
+		if b {
+			v.Or(v, big.NewInt(1))
+		}
+	}
+	return v, nil
+}
+
+func writeBig(w *bitio.Writer, v *big.Int, width int) error {
+	for i := width - 1; i >= 0; i-- {
+		w.WriteBit(v.Bit(i) == 1)
+	}
+	return nil
+}

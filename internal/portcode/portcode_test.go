@@ -1,0 +1,237 @@
+package portcode
+
+import (
+	"bytes"
+	"errors"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"routetab/internal/gengraph"
+	"routetab/internal/graph"
+	"routetab/internal/schemes/fulltable"
+)
+
+func TestPermutationRankKnownValues(t *testing.T) {
+	tests := []struct {
+		perm []int
+		want int64
+	}{
+		{[]int{}, 0},
+		{[]int{0}, 0},
+		{[]int{0, 1}, 0},
+		{[]int{1, 0}, 1},
+		{[]int{0, 1, 2}, 0},
+		{[]int{0, 2, 1}, 1},
+		{[]int{1, 0, 2}, 2},
+		{[]int{2, 1, 0}, 5},
+	}
+	for _, tt := range tests {
+		rank, err := PermutationRank(tt.perm)
+		if err != nil {
+			t.Fatalf("%v: %v", tt.perm, err)
+		}
+		if rank.Int64() != tt.want {
+			t.Errorf("rank(%v) = %v, want %d", tt.perm, rank, tt.want)
+		}
+	}
+}
+
+func TestPermutationRankUnrankQuick(t *testing.T) {
+	f := func(seed int64, dd uint8) bool {
+		d := int(dd) % 12
+		perm := rand.New(rand.NewSource(seed)).Perm(d)
+		rank, err := PermutationRank(perm)
+		if err != nil {
+			return false
+		}
+		back, err := PermutationUnrank(rank, d)
+		if err != nil {
+			return false
+		}
+		for i := range perm {
+			if back[i] != perm[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnrankExhaustiveD4(t *testing.T) {
+	// All 24 ranks give distinct valid permutations, in lexicographic order.
+	var prev []int
+	for r := 0; r < 24; r++ {
+		perm, err := PermutationUnrank(big.NewInt(int64(r)), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil && !lexLess(prev, perm) {
+			t.Fatalf("rank %d: %v not after %v", r, perm, prev)
+		}
+		prev = perm
+	}
+	if _, err := PermutationUnrank(big.NewInt(24), 4); !errors.Is(err, ErrBadPermutation) {
+		t.Fatal("rank 24 accepted for d=4")
+	}
+	if _, err := PermutationUnrank(big.NewInt(-1), 4); !errors.Is(err, ErrBadPermutation) {
+		t.Fatal("negative rank accepted")
+	}
+}
+
+func lexLess(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func TestRankRejectsNonPermutations(t *testing.T) {
+	for _, bad := range [][]int{{0, 0}, {1, 2}, {-1, 0}, {0, 2}} {
+		if _, err := PermutationRank(bad); !errors.Is(err, ErrBadPermutation) {
+			t.Errorf("%v accepted", bad)
+		}
+	}
+}
+
+func TestNodeCapacity(t *testing.T) {
+	tests := []struct{ d, want int }{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 4}, {5, 6}, {6, 9},
+	}
+	for _, tt := range tests {
+		if got := NodeCapacity(tt.d); got != tt.want {
+			t.Errorf("NodeCapacity(%d) = %d, want %d (⌊log₂ %d!⌋)", tt.d, got, tt.want, tt.d)
+		}
+	}
+}
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	g, err := gengraph.GnHalf(40, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	capBits := Capacity(g)
+	// Footnote: capacity ≈ Σ d log d ≈ n·(n/2)·log(n/2) — substantial.
+	if capBits < 40*10 {
+		t.Fatalf("capacity = %d, implausibly small", capBits)
+	}
+	payload := make([]byte, (capBits+7)/8)
+	rand.New(rand.NewSource(2)).Read(payload)
+	nbits := capBits - 3 // not byte-aligned on purpose
+
+	ports, err := StoreBits(g, payload, nbits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ports.Validate(g); err != nil {
+		t.Fatalf("stored assignment invalid: %v", err)
+	}
+	got, err := LoadBits(g, ports, nbits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare the first nbits bits.
+	for i := 0; i < nbits; i++ {
+		wb := payload[i/8]&(1<<(7-uint(i%8))) != 0
+		gb := got[i/8]&(1<<(7-uint(i%8))) != 0
+		if wb != gb {
+			t.Fatalf("bit %d: got %t, want %t", i, gb, wb)
+		}
+	}
+}
+
+func TestStoreBitsCapacityEnforced(t *testing.T) {
+	g, err := gengraph.Complete(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capBits := Capacity(g)
+	payload := make([]byte, capBits/8+2)
+	if _, err := StoreBits(g, payload, capBits+1); !errors.Is(err, ErrPayloadTooLarge) {
+		t.Fatalf("err = %v, want ErrPayloadTooLarge", err)
+	}
+	if _, err := LoadBits(g, graph.SortedPorts(g), capBits+1); !errors.Is(err, ErrPayloadTooLarge) {
+		t.Fatalf("load: err = %v, want ErrPayloadTooLarge", err)
+	}
+}
+
+func TestStoredPortsStillRoute(t *testing.T) {
+	// The footnote's point: the assignment carries data *and* the network
+	// still works — routing is unaffected by which permutation is chosen.
+	g, err := gengraph.GnHalf(24, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("routing tables are optimal")
+	nbits := len(payload) * 8
+	if nbits > Capacity(g) {
+		t.Fatalf("payload %d bits > capacity %d", nbits, Capacity(g))
+	}
+	ports, err := StoreBits(g, payload, nbits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fulltable.Build(g, ports); err != nil {
+		t.Fatalf("scheme on payload-carrying ports: %v", err)
+	}
+	got, err := LoadBits(g, ports, nbits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:len(payload)], payload) {
+		t.Fatalf("payload = %q, want %q", got[:len(payload)], payload)
+	}
+}
+
+func TestCapacityScalesAsN2LogN(t *testing.T) {
+	// Σ log(d!) with d≈n/2 ⇒ ≈ n²/2·log(n/2): the footnote's free bits are
+	// exactly Theorem 8's entropy.
+	c64 := capacityOf(t, 64)
+	c128 := capacityOf(t, 128)
+	ratio := float64(c128) / float64(c64)
+	// n²log n scaling predicts ≈ 4·(7/6) ≈ 4.67.
+	if ratio < 3.5 || ratio > 6 {
+		t.Fatalf("capacity ratio 128/64 = %v, want ≈ 4.7", ratio)
+	}
+}
+
+func capacityOf(t *testing.T, n int) int {
+	t.Helper()
+	g, err := gengraph.GnHalf(n, rand.New(rand.NewSource(int64(n))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Capacity(g)
+}
+
+func TestZeroPayload(t *testing.T) {
+	g, err := gengraph.Star(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports, err := StoreBits(g, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero payload ⇒ identity permutations ⇒ sorted ports.
+	for p := 1; p <= g.Degree(1); p++ {
+		want, err := graph.SortedPorts(g).Neighbor(1, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ports.Neighbor(1, p)
+		if err != nil || got != want {
+			t.Fatalf("port %d: %d, want %d", p, got, want)
+		}
+	}
+	out, err := LoadBits(g, ports, 0)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("LoadBits(0) = %v, %v", out, err)
+	}
+}

@@ -1,0 +1,77 @@
+package routing
+
+import (
+	"fmt"
+
+	"routetab/internal/models"
+)
+
+// RouteFunc is a free-standing local routing function, the unit FuncScheme
+// assembles.
+type RouteFunc func(u int, env Env, dest Label, hdr uint64, arrival int) (port int, newHdr uint64, err error)
+
+// FuncScheme adapts a plain function into a Scheme — the extension point for
+// users experimenting with their own local routing functions against the
+// library's carriers, verifiers, and space accounting.
+type FuncScheme struct {
+	// SchemeName identifies the scheme (default "func-scheme").
+	SchemeName string
+	// Nodes is the node count n.
+	Nodes int
+	// Needs states the model capabilities the function uses.
+	Needs models.Requirements
+	// RouteFn is the local routing function (required).
+	RouteFn RouteFunc
+	// BitsFn returns |F(u)| for accounting; nil charges 0.
+	BitsFn func(u int) int
+	// LabelFn returns node labels; nil means original labels.
+	LabelFn func(u int) Label
+}
+
+var _ Scheme = (*FuncScheme)(nil)
+
+// Name implements Scheme.
+func (f *FuncScheme) Name() string {
+	if f.SchemeName == "" {
+		return "func-scheme"
+	}
+	return f.SchemeName
+}
+
+// N implements Scheme.
+func (f *FuncScheme) N() int { return f.Nodes }
+
+// Requirements implements Scheme.
+func (f *FuncScheme) Requirements() models.Requirements { return f.Needs }
+
+// Label implements Scheme.
+func (f *FuncScheme) Label(u int) Label {
+	if f.LabelFn != nil {
+		return f.LabelFn(u)
+	}
+	return Label{ID: u}
+}
+
+// LabelBits implements Scheme.
+func (f *FuncScheme) LabelBits(u int) int {
+	if f.LabelFn == nil {
+		return 0
+	}
+	return f.LabelFn(u).Bits(f.Nodes)
+}
+
+// FunctionBits implements Scheme.
+func (f *FuncScheme) FunctionBits(u int) int {
+	if f.BitsFn == nil {
+		return 0
+	}
+	return f.BitsFn(u)
+}
+
+// Route implements Scheme.
+func (f *FuncScheme) Route(u int, env Env, dest Label, hdr uint64, arrival int) (int, uint64, error) {
+	if f.RouteFn == nil {
+		return 0, 0, fmt.Errorf("%w: FuncScheme without RouteFn", ErrNoRoute)
+	}
+	return f.RouteFn(u, env, dest, hdr, arrival)
+}

@@ -1,0 +1,144 @@
+// Package routing defines the core abstractions of the reproduction: routing
+// schemes made of per-node local routing functions, the strictly-local
+// knowledge environment those functions run in, a message-forwarding
+// simulator, and stretch/space measurement.
+//
+// A routing scheme (paper, Section 1) comprises a local routing function for
+// every node: given a destination label (and, here, a small mutable message
+// header plus the arrival port — both physically local information), the
+// function picks an outgoing port. The space requirement of a scheme is the
+// sum over all nodes of the bits needed to store its function, plus — in
+// model γ — the bits of its label.
+package routing
+
+import (
+	"errors"
+	"fmt"
+
+	"routetab/internal/bitio"
+	"routetab/internal/models"
+)
+
+// Routing errors.
+var (
+	// ErrNoRoute indicates a local function could not produce a port.
+	ErrNoRoute = errors.New("routing: no route to destination")
+	// ErrNotGranted indicates a local function asked the environment for
+	// knowledge its model does not grant (e.g. neighbour labels under IA).
+	ErrNotGranted = errors.New("routing: knowledge not granted in this model")
+	// ErrHopLimit indicates a message exceeded its hop budget.
+	ErrHopLimit = errors.New("routing: hop limit exceeded")
+	// ErrBadDestination indicates a destination label no node carries.
+	ErrBadDestination = errors.New("routing: unknown destination label")
+)
+
+// Label is a node label. ID is the identity component — in every construction
+// of this package it equals the node's original label in {1,…,n}; model-γ
+// schemes (Theorem 2) append Aux fields, each an original node label, whose
+// bits are charged to the space requirement.
+type Label struct {
+	ID  int
+	Aux []int
+}
+
+// Equal reports label equality (ID and Aux).
+func (l Label) Equal(o Label) bool {
+	if l.ID != o.ID || len(l.Aux) != len(o.Aux) {
+		return false
+	}
+	for i := range l.Aux {
+		if l.Aux[i] != o.Aux[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Bits returns the exact storage cost of the label for an n-node network:
+// (1+|Aux|) fields of ⌈log(n+1)⌉ bits each, matching Theorem 2's
+// (1+(c+3)log n)·log n accounting.
+func (l Label) Bits(n int) int {
+	return (1 + len(l.Aux)) * bitio.CeilLogPlus1(n)
+}
+
+// Env is the strictly local knowledge available to a node's routing function
+// while it decides. Port-indexed queries reflect the minimal knowledge of the
+// introduction (a node can tell its ports apart); the neighbour queries are
+// only granted in model II (or to schemes that store the neighbour vector
+// themselves under IB, which is charged in FunctionBits).
+type Env interface {
+	// Node returns the executing node's original label.
+	Node() int
+	// Degree returns the number of ports.
+	Degree() int
+	// NeighborLabelByPort returns the label behind a port. Granted under II.
+	NeighborLabelByPort(port int) (Label, bool)
+	// PortOfNeighbor returns the port leading to the neighbour with the
+	// given ID. Granted under II.
+	PortOfNeighbor(id int) (int, bool)
+	// KnownNeighborIDs returns the neighbours' IDs in increasing order.
+	// Granted under II.
+	KnownNeighborIDs() ([]int, bool)
+}
+
+// Scheme is a complete routing scheme for one graph.
+type Scheme interface {
+	// Name identifies the construction (e.g. "theorem1-compact").
+	Name() string
+	// N returns the number of nodes the scheme covers.
+	N() int
+	// Requirements states the model capabilities the scheme needs.
+	Requirements() models.Requirements
+	// Label returns the label of node u.
+	Label(u int) Label
+	// Route runs node u's local routing function: given the destination
+	// label, the message header, and the arrival port (0 at the origin), it
+	// returns the outgoing port and the updated header.
+	//
+	// Route is never called with the destination equal to u; delivery is
+	// detected by the carrier when the message reaches the node whose label
+	// matches.
+	Route(u int, env Env, dest Label, hdr uint64, arrivalPort int) (port int, newHdr uint64, err error)
+	// FunctionBits returns the exact storage size of F(u) in bits, including
+	// any self-stored neighbour vector under IB.
+	FunctionBits(u int) int
+	// LabelBits returns the storage size of u's label (charged under γ).
+	LabelBits(u int) int
+}
+
+// Space is a scheme's space requirement broken down per the paper's
+// accounting.
+type Space struct {
+	// FunctionBits is Σ_u |F(u)|.
+	FunctionBits int
+	// LabelBits is Σ_u (label bits); charged only under γ.
+	LabelBits int
+	// Total is the model-dependent grand total.
+	Total int
+	// MaxFunctionBits is max_u |F(u)| (the per-node bound the theorems state).
+	MaxFunctionBits int
+}
+
+// MeasureSpace sums a scheme's storage under the accounting rules of model m.
+func MeasureSpace(s Scheme, m models.Model) (Space, error) {
+	if !m.Valid() {
+		return Space{}, fmt.Errorf("routing: invalid model %v", m)
+	}
+	if !m.Supports(s.Requirements()) {
+		return Space{}, fmt.Errorf("routing: scheme %s not valid in model %s", s.Name(), m)
+	}
+	var sp Space
+	for u := 1; u <= s.N(); u++ {
+		fb := s.FunctionBits(u)
+		sp.FunctionBits += fb
+		if fb > sp.MaxFunctionBits {
+			sp.MaxFunctionBits = fb
+		}
+		sp.LabelBits += s.LabelBits(u)
+	}
+	sp.Total = sp.FunctionBits
+	if m.LabelBitsCharged() {
+		sp.Total += sp.LabelBits
+	}
+	return sp, nil
+}

@@ -1,0 +1,218 @@
+package routing
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"routetab/internal/graph"
+	"routetab/internal/shortestpath"
+)
+
+// Report summarises the behaviour of a scheme over a set of source/
+// destination pairs.
+type Report struct {
+	// Pairs is the number of (src ≠ dst) pairs routed.
+	Pairs int
+	// Delivered counts pairs whose message reached the destination.
+	Delivered int
+	// MaxStretch and MeanStretch compare hop counts against true distances.
+	MaxStretch, MeanStretch float64
+	// MaxHops is the longest route observed.
+	MaxHops int
+	// Failures lists up to 8 failed pairs with their errors.
+	Failures []string
+}
+
+// AllDelivered reports whether every routed pair arrived.
+func (r *Report) AllDelivered() bool { return r.Delivered == r.Pairs }
+
+// String renders a one-line summary.
+func (r *Report) String() string {
+	return fmt.Sprintf("report{pairs=%d delivered=%d maxStretch=%.3f meanStretch=%.3f maxHops=%d}",
+		r.Pairs, r.Delivered, r.MaxStretch, r.MeanStretch, r.MaxHops)
+}
+
+// VerifyAll routes every ordered pair (u, v), u ≠ v, and checks deliveries
+// and stretch against the distance matrix. Disconnected pairs are skipped.
+func VerifyAll(sim *Sim, dm *shortestpath.Distances, maxHops int) (*Report, error) {
+	n := sim.g.N()
+	pairs := make([][2]int, 0, n*(n-1))
+	for u := 1; u <= n; u++ {
+		for v := 1; v <= n; v++ {
+			if u != v {
+				pairs = append(pairs, [2]int{u, v})
+			}
+		}
+	}
+	return VerifyPairs(sim, dm, pairs, maxHops)
+}
+
+// VerifySampled routes `count` uniformly sampled ordered pairs.
+func VerifySampled(sim *Sim, dm *shortestpath.Distances, count int, rng *rand.Rand, maxHops int) (*Report, error) {
+	n := sim.g.N()
+	if n < 2 {
+		return &Report{}, nil
+	}
+	pairs := make([][2]int, 0, count)
+	for len(pairs) < count {
+		u := rng.Intn(n) + 1
+		v := rng.Intn(n) + 1
+		if u != v {
+			pairs = append(pairs, [2]int{u, v})
+		}
+	}
+	return VerifyPairs(sim, dm, pairs, maxHops)
+}
+
+// VerifyPairs routes the given ordered pairs and aggregates the report.
+func VerifyPairs(sim *Sim, dm *shortestpath.Distances, pairs [][2]int, maxHops int) (*Report, error) {
+	if dm.N() != sim.g.N() {
+		return nil, fmt.Errorf("routing: distance matrix for n=%d used with n=%d", dm.N(), sim.g.N())
+	}
+	rep := &Report{}
+	var stretchSum float64
+	var stretchCnt int
+	for _, p := range pairs {
+		u, v := p[0], p[1]
+		dist := dm.Dist(u, v)
+		if dist == shortestpath.Unreachable {
+			continue
+		}
+		rep.Pairs++
+		tr, err := sim.RouteByNode(u, v, maxHops)
+		if err != nil {
+			if len(rep.Failures) < 8 {
+				rep.Failures = append(rep.Failures, fmt.Sprintf("%d→%d: %v", u, v, err))
+			}
+			continue
+		}
+		rep.Delivered++
+		if tr.Hops > rep.MaxHops {
+			rep.MaxHops = tr.Hops
+		}
+		if dist > 0 {
+			stretch := float64(tr.Hops) / float64(dist)
+			stretchSum += stretch
+			stretchCnt++
+			if stretch > rep.MaxStretch {
+				rep.MaxStretch = stretch
+			}
+		}
+	}
+	if stretchCnt > 0 {
+		rep.MeanStretch = stretchSum / float64(stretchCnt)
+	}
+	return rep, nil
+}
+
+// VerifyPairsParallel is VerifyPairs with the routing fanned out over up to
+// GOMAXPROCS workers. Safe because Sim.Route only reads shared state; used
+// by the larger experiment sweeps.
+func VerifyPairsParallel(sim *Sim, dm *shortestpath.Distances, pairs [][2]int, maxHops int) (*Report, error) {
+	if dm.N() != sim.g.N() {
+		return nil, fmt.Errorf("routing: distance matrix for n=%d used with n=%d", dm.N(), sim.g.N())
+	}
+	sim.g.Neighbors(1) // build adjacency cache before fan-out
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	type partial struct {
+		rep        Report
+		stretchSum float64
+		stretchCnt int
+	}
+	parts := make([]partial, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := &parts[w]
+			for i := w; i < len(pairs); i += workers {
+				u, v := pairs[i][0], pairs[i][1]
+				dist := dm.Dist(u, v)
+				if dist == shortestpath.Unreachable {
+					continue
+				}
+				p.rep.Pairs++
+				tr, err := sim.RouteByNode(u, v, maxHops)
+				if err != nil {
+					if len(p.rep.Failures) < 8 {
+						p.rep.Failures = append(p.rep.Failures, fmt.Sprintf("%d→%d: %v", u, v, err))
+					}
+					continue
+				}
+				p.rep.Delivered++
+				if tr.Hops > p.rep.MaxHops {
+					p.rep.MaxHops = tr.Hops
+				}
+				if dist > 0 {
+					stretch := float64(tr.Hops) / float64(dist)
+					p.stretchSum += stretch
+					p.stretchCnt++
+					if stretch > p.rep.MaxStretch {
+						p.rep.MaxStretch = stretch
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	rep := &Report{}
+	var stretchSum float64
+	var stretchCnt int
+	for i := range parts {
+		p := &parts[i]
+		rep.Pairs += p.rep.Pairs
+		rep.Delivered += p.rep.Delivered
+		if p.rep.MaxHops > rep.MaxHops {
+			rep.MaxHops = p.rep.MaxHops
+		}
+		if p.rep.MaxStretch > rep.MaxStretch {
+			rep.MaxStretch = p.rep.MaxStretch
+		}
+		stretchSum += p.stretchSum
+		stretchCnt += p.stretchCnt
+		if len(rep.Failures) < 8 {
+			rep.Failures = append(rep.Failures, p.rep.Failures...)
+		}
+	}
+	if len(rep.Failures) > 8 {
+		rep.Failures = rep.Failures[:8]
+	}
+	if stretchCnt > 0 {
+		rep.MeanStretch = stretchSum / float64(stretchCnt)
+	}
+	return rep, nil
+}
+
+// VerifyTraceIsWalk checks that a trace's path is a genuine walk in g whose
+// consecutive nodes are adjacent — a structural sanity check used by tests.
+func VerifyTraceIsWalk(g *graph.Graph, tr *Trace) error {
+	if len(tr.Path) == 0 {
+		return fmt.Errorf("routing: empty trace")
+	}
+	if tr.Path[0] != tr.Source {
+		return fmt.Errorf("routing: trace starts at %d, not source %d", tr.Path[0], tr.Source)
+	}
+	if tr.Path[len(tr.Path)-1] != tr.Dest {
+		return fmt.Errorf("routing: trace ends at %d, not destination %d", tr.Path[len(tr.Path)-1], tr.Dest)
+	}
+	if tr.Hops != len(tr.Path)-1 {
+		return fmt.Errorf("routing: hops %d inconsistent with path length %d", tr.Hops, len(tr.Path))
+	}
+	for i := 1; i < len(tr.Path); i++ {
+		if !g.HasEdge(tr.Path[i-1], tr.Path[i]) {
+			return fmt.Errorf("routing: trace step %d: %d-%d is not an edge", i, tr.Path[i-1], tr.Path[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+// Package centers implements the Theorem 3 routing scheme: stretch ≤ 1.5 on
+// Kolmogorov random graphs with O(n log n) total bits, in model II.
+//
+// Construction (paper, proof of Theorem 3). Fix u* and let B = {u*} ∪ f(u*)
+// be u* plus its first (c+3)·log n neighbours: by Lemmas 2 and 3 every node
+// is directly adjacent to some node of B (or is in B). Each centre w ∈ B
+// stores a full shortest-path routing function — the 6n-bit Theorem 1
+// construction. Every other node stores only the ⌈log(n+1)⌉-bit label of an
+// adjacent centre, and forwards every non-neighbour destination there.
+//
+// A route is 1 step (direct neighbour), or ≤ 1 + 2 = 3 steps via the centre
+// against a true distance of 2 — stretch 1.5, the only possible value
+// strictly between 1 and 2 on diameter-2 graphs (footnote 5).
+package centers
+
+import (
+	"errors"
+	"fmt"
+
+	"routetab/internal/bitio"
+	"routetab/internal/graph"
+	"routetab/internal/kolmo"
+	"routetab/internal/models"
+	"routetab/internal/routing"
+	"routetab/internal/schemes/compact"
+)
+
+// ErrNoAdjacentCenter indicates some node is not adjacent to (nor member of)
+// the centre set — the graph violates the Lemma 3 cover property at u*.
+var ErrNoAdjacentCenter = errors.New("centers: node has no adjacent centre")
+
+// Scheme is a built Theorem 3 scheme.
+type Scheme struct {
+	n        int
+	center   []int // center[v]: the centre a non-centre v forwards to; 0 for centres
+	isCenter []bool
+	inner    *compact.Scheme // Theorem 1 functions, used at centres only
+	centers  []int
+}
+
+var _ routing.Scheme = (*Scheme)(nil)
+
+// Build constructs the scheme around hub node u* (the paper's u; node 1 is
+// the conventional choice).
+func Build(g *graph.Graph, uStar int) (*Scheme, error) {
+	n := g.N()
+	if uStar < 1 || uStar > n {
+		return nil, fmt.Errorf("centers: u* = %d out of range", uStar)
+	}
+	// B = {u*} ∪ minimal covering neighbour prefix of u* (Lemma 3 bounds it
+	// by (c+3)·log n on random graphs; we take exactly the needed prefix).
+	prefix, err := kolmo.CoverPrefix(g, uStar)
+	if err != nil {
+		return nil, fmt.Errorf("centers: %w", err)
+	}
+	centerSet := append([]int{uStar}, g.FirstNeighbors(uStar, prefix)...)
+	isCenter := make([]bool, n+1)
+	for _, b := range centerSet {
+		isCenter[b] = true
+	}
+
+	inner, err := compact.Build(g, compact.DefaultOptions())
+	if err != nil {
+		return nil, fmt.Errorf("centers: %w", err)
+	}
+
+	center := make([]int, n+1)
+	for v := 1; v <= n; v++ {
+		if isCenter[v] {
+			continue
+		}
+		for _, w := range g.Neighbors(v) {
+			if isCenter[w] {
+				center[v] = w
+				break
+			}
+		}
+		if center[v] == 0 {
+			return nil, fmt.Errorf("%w: node %d", ErrNoAdjacentCenter, v)
+		}
+	}
+	return &Scheme{
+		n:        n,
+		center:   center,
+		isCenter: isCenter,
+		inner:    inner,
+		centers:  centerSet,
+	}, nil
+}
+
+// Name implements routing.Scheme.
+func (s *Scheme) Name() string { return "theorem3-centers" }
+
+// N implements routing.Scheme.
+func (s *Scheme) N() int { return s.n }
+
+// Centers returns the centre set B (copy).
+func (s *Scheme) Centers() []int {
+	out := make([]int, len(s.centers))
+	copy(out, s.centers)
+	return out
+}
+
+// Requirements implements routing.Scheme: model II.
+func (s *Scheme) Requirements() models.Requirements {
+	return models.Requirements{NeighborsKnown: true}
+}
+
+// Label implements routing.Scheme: original labels (α-compatible).
+func (s *Scheme) Label(u int) routing.Label { return routing.Label{ID: u} }
+
+// LabelBits implements routing.Scheme.
+func (s *Scheme) LabelBits(int) int { return 0 }
+
+// FunctionBits implements routing.Scheme: Theorem 1 bits at centres,
+// ⌈log(n+1)⌉ + O(1) elsewhere.
+func (s *Scheme) FunctionBits(u int) int {
+	if u < 1 || u > s.n {
+		return 0
+	}
+	if s.isCenter[u] {
+		return s.inner.FunctionBits(u)
+	}
+	return bitio.CeilLogPlus1(s.n) + 1
+}
+
+// Route implements routing.Scheme.
+func (s *Scheme) Route(u int, env routing.Env, dest routing.Label, hdr uint64, arrival int) (int, uint64, error) {
+	if u < 1 || u > s.n || dest.ID < 1 || dest.ID > s.n {
+		return 0, 0, fmt.Errorf("%w: %d→%d", routing.ErrNoRoute, u, dest.ID)
+	}
+	if port, ok := env.PortOfNeighbor(dest.ID); ok {
+		return port, hdr, nil
+	}
+	if s.isCenter[u] {
+		return s.inner.Route(u, env, dest, hdr, arrival)
+	}
+	port, ok := env.PortOfNeighbor(s.center[u])
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: centre %d not resolvable at %d", routing.ErrNoRoute, s.center[u], u)
+	}
+	return port, hdr, nil
+}

@@ -1,0 +1,217 @@
+package centers
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"routetab/internal/gengraph"
+	"routetab/internal/graph"
+	"routetab/internal/models"
+	"routetab/internal/routing"
+	"routetab/internal/shortestpath"
+)
+
+func fixture(t *testing.T, n int, seed int64) (*graph.Graph, *Scheme, *routing.Sim, *shortestpath.Distances) {
+	t.Helper()
+	g, err := gengraph.GnHalf(n, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports := graph.SortedPorts(g)
+	sim, err := routing.NewSim(g, ports, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := shortestpath.AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, s, sim, dm
+}
+
+func TestStretchAtMostOnePointFive(t *testing.T) {
+	_, _, sim, dm := fixture(t, 64, 1)
+	rep, err := routing.VerifyAll(sim, dm, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllDelivered() {
+		t.Fatalf("undelivered: %s %v", rep, rep.Failures)
+	}
+	if rep.MaxStretch > 1.5 {
+		t.Fatalf("stretch = %v, want ≤ 1.5 (Theorem 3)", rep.MaxStretch)
+	}
+	if rep.MaxHops > 3 {
+		t.Fatalf("maxHops = %d, want ≤ 3 on a diameter-2 graph", rep.MaxHops)
+	}
+}
+
+func TestCenterSetIsLogarithmicCover(t *testing.T) {
+	g, s, _, _ := fixture(t, 128, 2)
+	centers := s.Centers()
+	budget := 6*math.Log2(128) + 1
+	if float64(len(centers)) > budget {
+		t.Fatalf("|B| = %d > (c+3)log n + 1 = %v", len(centers), budget)
+	}
+	// Cover property: every node is in B or adjacent to a member of B.
+	inB := map[int]bool{}
+	for _, b := range centers {
+		inB[b] = true
+	}
+	for v := 1; v <= 128; v++ {
+		if inB[v] {
+			continue
+		}
+		ok := false
+		for _, b := range centers {
+			if g.HasEdge(v, b) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("node %d not adjacent to any centre", v)
+		}
+	}
+	// Centers() must be a copy.
+	centers[0] = -1
+	if s.Centers()[0] == -1 {
+		t.Fatal("Centers exposes internal state")
+	}
+}
+
+func TestSpaceIsNLogN(t *testing.T) {
+	for _, n := range []int{64, 128, 256} {
+		g, err := gengraph.GnHalf(n, rand.New(rand.NewSource(int64(n))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Build(g, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := routing.MeasureSpace(s, models.IIAlpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Paper: < (6c+20)·n·log n with c=3 → 38·n·log n; sanity ceiling.
+		logn := math.Log2(float64(n))
+		if float64(sp.Total) > 38*float64(n)*logn {
+			t.Errorf("n=%d: total = %d > 38·n·log n", n, sp.Total)
+		}
+		// Non-centres store only ⌈log(n+1)⌉+1 bits.
+		nonCenterBits := 0
+		inB := map[int]bool{}
+		for _, b := range s.Centers() {
+			inB[b] = true
+		}
+		for u := 1; u <= n; u++ {
+			if !inB[u] {
+				nonCenterBits = s.FunctionBits(u)
+				break
+			}
+		}
+		wantLeaf := bitsLog(n) + 1
+		if nonCenterBits != wantLeaf {
+			t.Errorf("n=%d: non-centre bits = %d, want %d", n, nonCenterBits, wantLeaf)
+		}
+	}
+}
+
+func bitsLog(n int) int {
+	l := 0
+	for v := n; v > 0; v >>= 1 {
+		l++
+	}
+	return l
+}
+
+func TestModelII(t *testing.T) {
+	_, s, _, _ := fixture(t, 32, 3)
+	for _, m := range models.All() {
+		_, err := routing.MeasureSpace(s, m)
+		if m.NeighborsFree() {
+			if err != nil {
+				t.Errorf("model %s rejected: %v", m, err)
+			}
+		} else if err == nil {
+			t.Errorf("model %s accepted", m)
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	g, err := gengraph.GnHalf(32, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(g, 0); err == nil {
+		t.Error("u*=0 accepted")
+	}
+	if _, err := Build(g, 33); err == nil {
+		t.Error("u*=33 accepted")
+	}
+	chain, err := gengraph.Chain(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(chain, 1); err == nil {
+		t.Error("chain accepted")
+	}
+}
+
+func TestStarCenterChoice(t *testing.T) {
+	// On a star with centre 1, B = {1} and every leaf points at it.
+	g, err := gengraph.Star(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Centers()) != 1 || s.Centers()[0] != 1 {
+		t.Fatalf("Centers = %v, want [1]", s.Centers())
+	}
+	ports := graph.SortedPorts(g)
+	sim, err := routing.NewSim(g, ports, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := shortestpath.AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := routing.VerifyAll(sim, dm, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllDelivered() || rep.MaxStretch > 1.5 {
+		t.Fatalf("report = %s %v", rep, rep.Failures)
+	}
+}
+
+func TestRouteErrors(t *testing.T) {
+	_, s, _, _ := fixture(t, 32, 5)
+	if _, _, err := s.Route(0, nil, routing.Label{ID: 3}, 0, 0); !errors.Is(err, routing.ErrNoRoute) {
+		t.Errorf("bad node: %v", err)
+	}
+	if _, _, err := s.Route(1, nil, routing.Label{ID: 0}, 0, 0); !errors.Is(err, routing.ErrNoRoute) {
+		t.Errorf("bad dest: %v", err)
+	}
+	if s.FunctionBits(0) != 0 || s.LabelBits(5) != 0 {
+		t.Error("bits accounting wrong on edge cases")
+	}
+	if s.Label(7).ID != 7 {
+		t.Error("labels must be original")
+	}
+	if s.Name() == "" || s.N() != 32 {
+		t.Error("metadata wrong")
+	}
+}

@@ -1,0 +1,441 @@
+// Package compact implements the Theorem 1 routing scheme: shortest-path
+// routing on Kolmogorov random graphs with O(n) bits per node — 6n in the
+// paper's accounting — valid when the port assignment may be chosen (IB) or
+// neighbours are known (II).
+//
+// Construction (paper, proof of Theorem 1). Fix a node u and let A₀ be the
+// nodes not adjacent to u. Pick intermediate nodes v₁, v₂, … among u's
+// neighbours (Claim 1/Lemma 3 guarantee O(log n) suffice); A_t is the set of
+// still-uncovered nodes adjacent to v_t. Two tables encode the intermediate
+// choice for every w ∈ A₀, in increasing order of w:
+//
+//   - table 1 (unary): while the remaining mass m_t exceeds the threshold
+//     (n/loglog n, or n/log n for the tighter 3n-bit variant), w ∈ A_t is
+//     coded as 1^t 0; nodes deferred to table 2 are coded as a single 0.
+//     Claim 1's geometric decay bounds this table by 4n bits.
+//   - table 2 (fixed width): for each deferred node, the ⌈log(m+1)⌉-bit
+//     index of a covering intermediate among v₁,…,v_m — at most
+//     2n bits because fewer than n/loglog n nodes remain.
+//
+// Routing u→w: direct neighbours are routed without the table (they are known
+// under II, or recoverable from the self-stored neighbour vector under IB
+// with sorted ports); otherwise the table yields v_t and w is one hop behind
+// it (random graphs have diameter 2, Lemma 2).
+package compact
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"routetab/internal/bitio"
+	"routetab/internal/graph"
+)
+
+// Errors.
+var (
+	// ErrNotCoverable indicates some node is at distance > 2 from some u, so
+	// the diameter-2 construction cannot apply (the graph is not random
+	// enough; certify with internal/kolmo first).
+	ErrNotCoverable = errors.New("compact: node not coverable through neighbours (distance > 2)")
+	// ErrBadOption indicates an invalid Options combination.
+	ErrBadOption = errors.New("compact: bad option")
+)
+
+// Mode selects which half of Theorem 1's "IB ∨ II" precondition the scheme
+// relies on.
+type Mode int
+
+const (
+	// ModeII assumes neighbours are known (model II): direct routes and
+	// intermediate-index resolution use the free neighbour knowledge.
+	ModeII Mode = iota + 1
+	// ModeIB assumes the port assignment was chosen (model IB): the scheme
+	// stores each node's neighbour vector (n−1 bits, charged) and relies on
+	// sorted ports — the i-th smallest neighbour behind port i.
+	ModeIB
+)
+
+// Strategy selects how intermediates are chosen.
+type Strategy int
+
+const (
+	// LeastFirst is the paper's choice: v_i is the i-th least neighbour of
+	// u (Lemma 3). The cover list is implicit, costing no storage.
+	LeastFirst Strategy = iota + 1
+	// Greedy picks the neighbour covering the most uncovered nodes at each
+	// step — smaller tables, but the cover list must be stored explicitly
+	// (the DESIGN.md ablation).
+	Greedy
+)
+
+// Threshold selects when table 1 stops and defers to table 2.
+type Threshold int
+
+const (
+	// ThresholdLogLog defers once fewer than n/loglog n nodes remain (the
+	// paper's 6n-bit accounting).
+	ThresholdLogLog Threshold = iota + 1
+	// ThresholdLog defers once fewer than n/log n remain (the paper's
+	// closing remark: "choosing l such that m_l is the first quantity
+	// < n/log n shows |F(u)| < 3n").
+	ThresholdLog
+)
+
+// Options configures Build.
+type Options struct {
+	Mode      Mode
+	Strategy  Strategy
+	Threshold Threshold
+}
+
+// DefaultOptions is the paper's construction under model II.
+func DefaultOptions() Options {
+	return Options{Mode: ModeII, Strategy: LeastFirst, Threshold: ThresholdLogLog}
+}
+
+func (o Options) validate() error {
+	if o.Mode != ModeII && o.Mode != ModeIB {
+		return fmt.Errorf("%w: mode %d", ErrBadOption, o.Mode)
+	}
+	if o.Strategy != LeastFirst && o.Strategy != Greedy {
+		return fmt.Errorf("%w: strategy %d", ErrBadOption, o.Strategy)
+	}
+	if o.Threshold != ThresholdLogLog && o.Threshold != ThresholdLog {
+		return fmt.Errorf("%w: threshold %d", ErrBadOption, o.Threshold)
+	}
+	return nil
+}
+
+// thresholdValue returns the table-1 cutoff mass for n nodes.
+func (o Options) thresholdValue(n int) float64 {
+	fn := float64(n)
+	lg := math.Log2(fn)
+	switch o.Threshold {
+	case ThresholdLog:
+		return fn / math.Max(lg, 1)
+	default:
+		return fn / math.Max(math.Log2(math.Max(lg, 2)), 1)
+	}
+}
+
+// NodeStats reports the per-node construction outcome for the ablation
+// benches.
+type NodeStats struct {
+	// CoverSize is m, the number of intermediates used.
+	CoverSize int
+	// Cutoff is l, the last level encoded in unary.
+	Cutoff int
+	// Table1Bits and Table2Bits are the exact table sizes.
+	Table1Bits, Table2Bits int
+	// Deferred is the number of table-2 entries.
+	Deferred int
+}
+
+type nodeData struct {
+	enc   *bitio.Writer
+	cover []int    // intermediate labels v_1…v_m
+	inter []uint16 // inter[v]: 1-based cover index for destination v; 0 = direct/self
+	isNb  []bool   // ModeIB: stored neighbour vector
+	rank  []uint16 // ModeIB: rank[v] = sorted-neighbour rank of v = port
+	stats NodeStats
+}
+
+// Scheme is a built Theorem 1 routing scheme.
+type Scheme struct {
+	n     int
+	opts  Options
+	nodes []*nodeData
+}
+
+// Build constructs the scheme for g. The graph must have diameter ≤ 2 from
+// every node through its neighbours (true for certified random graphs).
+func Build(g *graph.Graph, opts Options) (*Scheme, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	s := &Scheme{n: n, opts: opts, nodes: make([]*nodeData, n+1)}
+	for u := 1; u <= n; u++ {
+		nd, err := buildNode(g, u, opts)
+		if err != nil {
+			return nil, err
+		}
+		s.nodes[u] = nd
+	}
+	return s, nil
+}
+
+func buildNode(g *graph.Graph, u int, opts Options) (*nodeData, error) {
+	n := g.N()
+	nb := g.Neighbors(u)
+	isNb := make([]bool, n+1)
+	for _, v := range nb {
+		isNb[v] = true
+	}
+	var nonNb []int
+	for v := 1; v <= n; v++ {
+		if v != u && !isNb[v] {
+			nonNb = append(nonNb, v)
+		}
+	}
+
+	cover, level, err := coverLevels(g, u, nb, nonNb, opts.Strategy)
+	if err != nil {
+		return nil, err
+	}
+
+	// Find the unary cutoff l: the first level after which the remaining
+	// mass drops below the threshold. Levels are 1-based.
+	cut := cutoffLevel(level, nonNb, len(cover), opts.thresholdValue(n))
+
+	nd := &nodeData{
+		cover: cover,
+		inter: make([]uint16, n+1),
+		stats: NodeStats{CoverSize: len(cover), Cutoff: cut},
+	}
+	for _, w := range nonNb {
+		nd.inter[w] = uint16(level[w])
+	}
+	if opts.Mode == ModeIB {
+		nd.isNb = isNb
+		nd.rank = make([]uint16, n+1)
+		for i, v := range nb {
+			nd.rank[v] = uint16(i + 1)
+		}
+	}
+
+	if err := encodeNode(nd, u, n, nonNb, level, cut, opts); err != nil {
+		return nil, err
+	}
+	return nd, nil
+}
+
+// coverLevels picks the intermediates and assigns every non-neighbour its
+// 1-based cover level.
+func coverLevels(g *graph.Graph, u int, nb, nonNb []int, strat Strategy) (cover []int, level []int, err error) {
+	n := g.N()
+	level = make([]int, n+1)
+	remaining := len(nonNb)
+	covered := make([]bool, n+1)
+
+	switch strat {
+	case LeastFirst:
+		// The paper's rule: v_i is the i-th least neighbour, so the cover
+		// list is exactly the shortest neighbour prefix that covers all
+		// non-neighbours and never needs to be stored (the decoder rebuilds
+		// it from the neighbour list). A level may be empty; its index is
+		// still consumed, keeping level[w] = least i with v_i adjacent to w.
+		for _, v := range nb {
+			if remaining == 0 {
+				break
+			}
+			lvl := len(cover) + 1
+			cover = append(cover, v)
+			for _, w := range nonNb {
+				if !covered[w] && g.HasEdge(v, w) {
+					covered[w] = true
+					level[w] = lvl
+					remaining--
+				}
+			}
+		}
+	case Greedy:
+		for remaining > 0 {
+			best, bestGain := 0, 0
+			for _, v := range nb {
+				gain := 0
+				for _, w := range nonNb {
+					if !covered[w] && g.HasEdge(v, w) {
+						gain++
+					}
+				}
+				if gain > bestGain {
+					best, bestGain = v, gain
+				}
+			}
+			if best == 0 {
+				break
+			}
+			lvl := len(cover) + 1
+			cover = append(cover, best)
+			for _, w := range nonNb {
+				if !covered[w] && g.HasEdge(best, w) {
+					covered[w] = true
+					level[w] = lvl
+					remaining--
+				}
+			}
+		}
+	}
+	if remaining > 0 {
+		for _, w := range nonNb {
+			if !covered[w] {
+				return nil, nil, fmt.Errorf("%w: node %d from %d", ErrNotCoverable, w, u)
+			}
+		}
+	}
+	return cover, level, nil
+}
+
+// cutoffLevel returns the last level l whose pre-level remaining mass
+// m_{l−1} is still ≥ threshold; levels beyond l defer to table 2.
+func cutoffLevel(level []int, nonNb []int, m int, threshold float64) int {
+	if m == 0 {
+		return 0
+	}
+	// perLevel[t] = |A_t|.
+	perLevel := make([]int, m+1)
+	for _, w := range nonNb {
+		perLevel[level[w]]++
+	}
+	remaining := len(nonNb)
+	for t := 1; t <= m; t++ {
+		if float64(remaining) < threshold {
+			return t - 1
+		}
+		remaining -= perLevel[t]
+	}
+	return m
+}
+
+// encodeNode writes the exact storage representation and fills stats.
+func encodeNode(nd *nodeData, u, n int, nonNb []int, level []int, cut int, opts Options) error {
+	w := bitio.NewWriter(6 * n)
+	// Header: m (needed by the decoder for table-2 field width).
+	if err := w.WriteShortSelfDelimiting(uint64(len(nd.cover))); err != nil {
+		return err
+	}
+	if opts.Strategy == Greedy {
+		// Explicit cover list (the ablation's extra cost).
+		width := bitio.CeilLogPlus1(n)
+		for _, v := range nd.cover {
+			if err := w.WriteBits(uint64(v), width); err != nil {
+				return err
+			}
+		}
+	}
+	if opts.Mode == ModeIB {
+		// Self-stored neighbour vector, n−1 bits (Theorem 1's "+ n−1").
+		for v := 1; v <= n; v++ {
+			if v == u {
+				continue
+			}
+			w.WriteBit(nd.isNb[v])
+		}
+	}
+	// Table 1.
+	t1Start := w.Len()
+	for _, x := range nonNb {
+		if level[x] <= cut {
+			if err := w.WriteUnary(level[x]); err != nil {
+				return err
+			}
+		} else {
+			if err := w.WriteUnary(0); err != nil {
+				return err
+			}
+		}
+	}
+	nd.stats.Table1Bits = w.Len() - t1Start
+	// Table 2.
+	t2Start := w.Len()
+	width := bitio.CeilLogPlus1(len(nd.cover))
+	for _, x := range nonNb {
+		if level[x] > cut {
+			if err := w.WriteBits(uint64(level[x]), width); err != nil {
+				return err
+			}
+			nd.stats.Deferred++
+		}
+	}
+	nd.stats.Table2Bits = w.Len() - t2Start
+	nd.enc = w
+	return nil
+}
+
+// DecodeNode re-reads a node's encoded routing function and returns, for
+// every destination, the 1-based cover index (0 for neighbours/self) plus the
+// cover list. neighbors must be u's sorted neighbour list — free knowledge
+// under II, self-stored under IB (where it is re-read from the stream). Used
+// by the round-trip tests: the in-memory lookup tables must match what the
+// bits say.
+func DecodeNode(nd *bitio.Writer, u, n int, neighbors []int, opts Options) (inter []uint16, cover []int, err error) {
+	if err := opts.validate(); err != nil {
+		return nil, nil, err
+	}
+	r := bitio.ReaderFor(nd)
+	m64, err := r.ReadShortSelfDelimiting()
+	if err != nil {
+		return nil, nil, err
+	}
+	m := int(m64)
+	if opts.Strategy == Greedy {
+		width := bitio.CeilLogPlus1(n)
+		for i := 0; i < m; i++ {
+			v, err := r.ReadBits(width)
+			if err != nil {
+				return nil, nil, err
+			}
+			cover = append(cover, int(v))
+		}
+	}
+	isNb := make([]bool, n+1)
+	if opts.Mode == ModeIB {
+		var stored []int
+		for v := 1; v <= n; v++ {
+			if v == u {
+				continue
+			}
+			b, err := r.ReadBit()
+			if err != nil {
+				return nil, nil, err
+			}
+			if b {
+				stored = append(stored, v)
+				isNb[v] = true
+			}
+		}
+		neighbors = stored
+	} else {
+		for _, v := range neighbors {
+			isNb[v] = true
+		}
+	}
+	if opts.Strategy == LeastFirst {
+		// The cover is the least-neighbour prefix of length m — implicit,
+		// rebuilt here rather than read from the stream.
+		if m > len(neighbors) {
+			return nil, nil, fmt.Errorf("compact: cover size %d exceeds degree %d", m, len(neighbors))
+		}
+		cover = append(cover, neighbors[:m]...)
+	}
+	inter = make([]uint16, n+1)
+	var deferred []int
+	for v := 1; v <= n; v++ {
+		if v == u || isNb[v] {
+			continue
+		}
+		t, err := r.ReadUnary()
+		if err != nil {
+			return nil, nil, err
+		}
+		if t == 0 {
+			deferred = append(deferred, v)
+		} else {
+			inter[v] = uint16(t)
+		}
+	}
+	width := bitio.CeilLogPlus1(m)
+	for _, v := range deferred {
+		idx, err := r.ReadBits(width)
+		if err != nil {
+			return nil, nil, err
+		}
+		inter[v] = uint16(idx)
+	}
+	if r.Remaining() != 0 {
+		return nil, nil, fmt.Errorf("compact: %d unconsumed bits", r.Remaining())
+	}
+	return inter, cover, nil
+}

@@ -1,0 +1,415 @@
+package compact
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"routetab/internal/bitio"
+	"routetab/internal/gengraph"
+	"routetab/internal/graph"
+	"routetab/internal/models"
+	"routetab/internal/routing"
+	"routetab/internal/shortestpath"
+)
+
+func randomGraph(t *testing.T, n int, seed int64) *graph.Graph {
+	t.Helper()
+	g, err := gengraph.GnHalf(n, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func verify(t *testing.T, g *graph.Graph, s *Scheme) *routing.Report {
+	t.Helper()
+	ports := graph.SortedPorts(g)
+	sim, err := routing.NewSim(g, ports, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := shortestpath.AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := routing.VerifyAll(sim, dm, routing.DefaultHopLimit(g.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestShortestPathModeII(t *testing.T) {
+	g := randomGraph(t, 64, 1)
+	s, err := Build(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := verify(t, g, s)
+	if !rep.AllDelivered() {
+		t.Fatalf("undelivered: %s %v", rep, rep.Failures)
+	}
+	if rep.MaxStretch != 1 {
+		t.Fatalf("stretch = %v, want exactly 1 (shortest path)", rep.MaxStretch)
+	}
+}
+
+func TestShortestPathModeIB(t *testing.T) {
+	g := randomGraph(t, 64, 2)
+	s, err := Build(g, Options{Mode: ModeIB, Strategy: LeastFirst, Threshold: ThresholdLogLog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := verify(t, g, s)
+	if !rep.AllDelivered() || rep.MaxStretch != 1 {
+		t.Fatalf("report = %s %v", rep, rep.Failures)
+	}
+}
+
+func TestAllOptionCombinations(t *testing.T) {
+	g := randomGraph(t, 48, 3)
+	for _, mode := range []Mode{ModeII, ModeIB} {
+		for _, strat := range []Strategy{LeastFirst, Greedy} {
+			for _, th := range []Threshold{ThresholdLogLog, ThresholdLog} {
+				opts := Options{Mode: mode, Strategy: strat, Threshold: th}
+				s, err := Build(g, opts)
+				if err != nil {
+					t.Fatalf("%+v: %v", opts, err)
+				}
+				rep := verify(t, g, s)
+				if !rep.AllDelivered() || rep.MaxStretch != 1 {
+					t.Fatalf("%s: %s %v", s.Name(), rep, rep.Failures)
+				}
+			}
+		}
+	}
+}
+
+func TestSpaceIsLinearPerNode(t *testing.T) {
+	// Theorem 1: |F(u)| ≤ 6n per node (paper's constant; we check ≤ 8n to
+	// allow the header and small-n effects, and ≥ a fraction of n so the
+	// accounting is not vacuous).
+	for _, n := range []int{64, 128, 256} {
+		g := randomGraph(t, n, int64(n))
+		s, err := Build(g, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := routing.MeasureSpace(s, models.IIAlpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp.MaxFunctionBits > 8*n {
+			t.Errorf("n=%d: max |F(u)| = %d > 8n", n, sp.MaxFunctionBits)
+		}
+		if sp.Total > 8*n*n {
+			t.Errorf("n=%d: total = %d > 8n²", n, sp.Total)
+		}
+		if sp.Total < n*n/4 {
+			t.Errorf("n=%d: total = %d suspiciously small", n, sp.Total)
+		}
+	}
+}
+
+func TestModeIBChargesNeighbourVector(t *testing.T) {
+	g := randomGraph(t, 60, 5)
+	ii, err := Build(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, err := Build(g, Options{Mode: ModeIB, Strategy: LeastFirst, Threshold: ThresholdLogLog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 1; u <= 60; u++ {
+		if ib.FunctionBits(u) != ii.FunctionBits(u)+59 {
+			t.Fatalf("node %d: IB bits %d, II bits %d, want +%d", u, ib.FunctionBits(u), ii.FunctionBits(u), 59)
+		}
+	}
+}
+
+func TestLogThresholdSmallerTables(t *testing.T) {
+	// The 3n variant (threshold n/log n) defers more nodes to table 2 and
+	// must not be larger than the 6n variant by more than noise.
+	g := randomGraph(t, 128, 6)
+	loglog, err := Build(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, err := Build(g, Options{Mode: ModeII, Strategy: LeastFirst, Threshold: ThresholdLog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spLoglog, err := routing.MeasureSpace(loglog, models.IIAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spLog, err := routing.MeasureSpace(lg, models.IIAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spLog.Total > spLoglog.Total*3/2 {
+		t.Fatalf("n/log n variant (%d) much larger than n/loglog n (%d)", spLog.Total, spLoglog.Total)
+	}
+}
+
+func TestRequirementsByMode(t *testing.T) {
+	g := randomGraph(t, 32, 7)
+	ii, err := Build(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !models.IIAlpha.Supports(ii.Requirements()) || models.IBAlpha.Supports(ii.Requirements()) {
+		t.Error("ModeII requirements wrong")
+	}
+	ib, err := Build(g, Options{Mode: ModeIB, Strategy: LeastFirst, Threshold: ThresholdLogLog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !models.IBAlpha.Supports(ib.Requirements()) || models.IAAlpha.Supports(ib.Requirements()) {
+		t.Error("ModeIB requirements wrong")
+	}
+}
+
+func TestEncodingRoundTrip(t *testing.T) {
+	g := randomGraph(t, 50, 8)
+	for _, opts := range []Options{
+		DefaultOptions(),
+		{Mode: ModeIB, Strategy: LeastFirst, Threshold: ThresholdLogLog},
+		{Mode: ModeII, Strategy: Greedy, Threshold: ThresholdLog},
+		{Mode: ModeIB, Strategy: Greedy, Threshold: ThresholdLog},
+	} {
+		s, err := Build(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 1; u <= 50; u++ {
+			enc, err := s.Encoded(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inter, cover, err := DecodeNode(enc, u, 50, g.Neighbors(u), opts)
+			if err != nil {
+				t.Fatalf("%s node %d: %v", s.Name(), u, err)
+			}
+			nd := s.nodes[u]
+			if len(cover) != len(nd.cover) {
+				t.Fatalf("node %d: decoded cover %v, want %v", u, cover, nd.cover)
+			}
+			for i := range cover {
+				if cover[i] != nd.cover[i] {
+					t.Fatalf("node %d: decoded cover %v, want %v", u, cover, nd.cover)
+				}
+			}
+			for v := 1; v <= 50; v++ {
+				if inter[v] != nd.inter[v] {
+					t.Fatalf("node %d dest %d: decoded index %d, want %d", u, v, inter[v], nd.inter[v])
+				}
+			}
+		}
+	}
+}
+
+func TestTableOneGeometricDecay(t *testing.T) {
+	// Claim 1: table 1 stays O(n) because level masses decay geometrically.
+	n := 256
+	g := randomGraph(t, n, 9)
+	s, err := Build(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 1; u <= n; u += 37 {
+		st, err := s.Stats(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Table1Bits > 4*n {
+			t.Errorf("node %d: table 1 = %d bits > 4n", u, st.Table1Bits)
+		}
+		if st.Table2Bits > 2*n {
+			t.Errorf("node %d: table 2 = %d bits > 2n", u, st.Table2Bits)
+		}
+		budget := 6 * math.Log2(float64(n))
+		if float64(st.CoverSize) > budget {
+			t.Errorf("node %d: cover size %d > (c+3)log n = %.1f", u, st.CoverSize, budget)
+		}
+	}
+	if _, err := s.Stats(0); err == nil {
+		t.Error("Stats(0) accepted")
+	}
+}
+
+func TestGreedyCoverNotLargerThanLeastFirst(t *testing.T) {
+	g := randomGraph(t, 128, 10)
+	lf, err := Build(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := Build(g, Options{Mode: ModeII, Strategy: Greedy, Threshold: ThresholdLogLog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 1; u <= 128; u++ {
+		stLF, err := lf.Stats(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stGR, err := gr.Stats(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stGR.CoverSize > stLF.CoverSize {
+			t.Fatalf("node %d: greedy cover %d > least-first %d", u, stGR.CoverSize, stLF.CoverSize)
+		}
+	}
+}
+
+func TestUncoverableGraphRejected(t *testing.T) {
+	g, err := gengraph.Chain(10) // diameter 9 ≫ 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(g, DefaultOptions()); !errors.Is(err, ErrNotCoverable) {
+		t.Fatalf("err = %v, want ErrNotCoverable", err)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	g := randomGraph(t, 16, 11)
+	bad := []Options{
+		{},
+		{Mode: ModeII},
+		{Mode: ModeII, Strategy: LeastFirst},
+		{Mode: 9, Strategy: LeastFirst, Threshold: ThresholdLogLog},
+		{Mode: ModeII, Strategy: 9, Threshold: ThresholdLogLog},
+		{Mode: ModeII, Strategy: LeastFirst, Threshold: 9},
+	}
+	for _, opts := range bad {
+		if _, err := Build(g, opts); !errors.Is(err, ErrBadOption) {
+			t.Errorf("%+v: err = %v, want ErrBadOption", opts, err)
+		}
+	}
+	if _, _, err := DecodeNode(nil, 1, 16, nil, Options{}); !errors.Is(err, ErrBadOption) {
+		t.Errorf("DecodeNode bad opts: err = %v", err)
+	}
+}
+
+func TestRouteErrors(t *testing.T) {
+	g := randomGraph(t, 20, 12)
+	s, err := Build(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Route(0, nil, routing.Label{ID: 5}, 0, 0); !errors.Is(err, routing.ErrNoRoute) {
+		t.Errorf("bad node: %v", err)
+	}
+	if _, _, err := s.Route(1, nil, routing.Label{ID: 99}, 0, 0); !errors.Is(err, routing.ErrNoRoute) {
+		t.Errorf("bad dest: %v", err)
+	}
+	if s.FunctionBits(0) != 0 {
+		t.Error("FunctionBits(0) should be 0")
+	}
+	if _, err := s.Encoded(99); err == nil {
+		t.Error("Encoded(99) accepted")
+	}
+}
+
+func TestCompleteGraphDegenerate(t *testing.T) {
+	// On K_n there are no non-neighbours: tables are empty, routing direct.
+	g, err := gengraph.Complete(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := verify(t, g, s)
+	if !rep.AllDelivered() || rep.MaxStretch != 1 {
+		t.Fatalf("report = %s", rep)
+	}
+	for u := 1; u <= 12; u++ {
+		st, err := s.Stats(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.CoverSize != 0 || st.Table1Bits != 0 || st.Table2Bits != 0 {
+			t.Fatalf("node %d stats = %+v, want empty", u, st)
+		}
+	}
+}
+
+func TestStarGraph(t *testing.T) {
+	// Star has diameter 2: leaves route everything through the centre.
+	g, err := gengraph.Star(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := verify(t, g, s)
+	if !rep.AllDelivered() || rep.MaxStretch != 1 {
+		t.Fatalf("report = %s %v", rep, rep.Failures)
+	}
+}
+
+func TestDecodeNodeRobustToTruncation(t *testing.T) {
+	// Every strict prefix of a valid encoding must fail cleanly (error, not
+	// panic) or — never — decode to a different table.
+	g := randomGraph(t, 30, 13)
+	s, err := Build(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := s.Encoded(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := enc.Len()
+	data := enc.Bytes()
+	for cut := 0; cut < full; cut += 7 {
+		r, err := bitio.NewReader(data, cut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m64, err := r.ReadShortSelfDelimiting()
+		if err != nil {
+			continue // truncated header: fine
+		}
+		_ = m64
+		// Rebuild a truncated writer and attempt a decode.
+		w := bitio.NewWriter(cut)
+		r2, err := bitio.NewReader(data, cut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r2.Remaining() > 0 {
+			b, err := r2.ReadBit()
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.WriteBit(b)
+		}
+		if _, _, err := DecodeNode(w, 7, 30, g.Neighbors(7), DefaultOptions()); err == nil && cut < full {
+			t.Fatalf("truncation at %d/%d bits decoded without error", cut, full)
+		}
+	}
+}
+
+func TestDecodeNodeRejectsOversizeCover(t *testing.T) {
+	// A header claiming a cover larger than the degree must be rejected.
+	w := bitio.NewWriter(64)
+	if err := w.WriteShortSelfDelimiting(50); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		w.WriteBit(false)
+	}
+	if _, _, err := DecodeNode(w, 1, 30, []int{2, 3}, DefaultOptions()); err == nil {
+		t.Fatal("cover 50 on degree 2 accepted")
+	}
+}

@@ -1,0 +1,142 @@
+package compact
+
+import (
+	"errors"
+	"fmt"
+
+	"routetab/internal/bitio"
+	"routetab/internal/graph"
+)
+
+// ErrBadBlob indicates a malformed marshalled scheme.
+var ErrBadBlob = errors.New("compact: malformed scheme blob")
+
+// Marshal serialises the scheme into a self-contained byte blob: a header
+// (magic, n, options) followed by each node's exact bit encoding, length-
+// prefixed. The payload bits are identical to what FunctionBits charges —
+// the marshalled size is the scheme's true storage cost plus O(n) framing.
+func (s *Scheme) Marshal() ([]byte, error) {
+	w := bitio.NewWriter(8 * s.n)
+	if err := w.WriteBits(magic, 16); err != nil {
+		return nil, err
+	}
+	if err := w.WriteShortSelfDelimiting(uint64(s.n)); err != nil {
+		return nil, err
+	}
+	if err := w.WriteBits(uint64(s.opts.Mode), 4); err != nil {
+		return nil, err
+	}
+	if err := w.WriteBits(uint64(s.opts.Strategy), 4); err != nil {
+		return nil, err
+	}
+	if err := w.WriteBits(uint64(s.opts.Threshold), 4); err != nil {
+		return nil, err
+	}
+	for u := 1; u <= s.n; u++ {
+		enc := s.nodes[u].enc
+		if err := w.WriteShortSelfDelimiting(uint64(enc.Len())); err != nil {
+			return nil, err
+		}
+		r := bitio.ReaderFor(enc)
+		for r.Remaining() > 0 {
+			b, err := r.ReadBit()
+			if err != nil {
+				return nil, err
+			}
+			w.WriteBit(b)
+		}
+	}
+	// Trailing bit count so Unmarshal knows where the stream ends.
+	out := w.Bytes()
+	return append(out, byte(w.Len()%8)), nil
+}
+
+const magic = 0xC0DE
+
+// Unmarshal reconstructs a scheme from a Marshal blob and the graph it was
+// built for. The graph supplies the neighbour knowledge the model II/IB
+// decoder needs; a mismatched graph is detected by the per-node decoders.
+func Unmarshal(blob []byte, g *graph.Graph) (*Scheme, error) {
+	if len(blob) < 2 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadBlob, len(blob))
+	}
+	trailer := int(blob[len(blob)-1])
+	body := blob[:len(blob)-1]
+	nbits := len(body) * 8
+	if trailer > 0 {
+		if trailer > 7 {
+			return nil, fmt.Errorf("%w: trailer %d", ErrBadBlob, trailer)
+		}
+		nbits = nbits - 8 + trailer
+	}
+	r, err := bitio.NewReader(body, nbits)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadBlob, err)
+	}
+	m, err := r.ReadBits(16)
+	if err != nil || m != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadBlob)
+	}
+	n64, err := r.ReadShortSelfDelimiting()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadBlob, err)
+	}
+	n := int(n64)
+	if n != g.N() {
+		return nil, fmt.Errorf("%w: blob for n=%d, graph n=%d", ErrBadBlob, n, g.N())
+	}
+	var opts Options
+	if v, err := r.ReadBits(4); err == nil {
+		opts.Mode = Mode(v)
+	} else {
+		return nil, fmt.Errorf("%w: %v", ErrBadBlob, err)
+	}
+	if v, err := r.ReadBits(4); err == nil {
+		opts.Strategy = Strategy(v)
+	} else {
+		return nil, fmt.Errorf("%w: %v", ErrBadBlob, err)
+	}
+	if v, err := r.ReadBits(4); err == nil {
+		opts.Threshold = Threshold(v)
+	} else {
+		return nil, fmt.Errorf("%w: %v", ErrBadBlob, err)
+	}
+	if err := opts.validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadBlob, err)
+	}
+
+	s := &Scheme{n: n, opts: opts, nodes: make([]*nodeData, n+1)}
+	for u := 1; u <= n; u++ {
+		sz64, err := r.ReadShortSelfDelimiting()
+		if err != nil {
+			return nil, fmt.Errorf("%w: node %d length: %v", ErrBadBlob, u, err)
+		}
+		enc := bitio.NewWriter(int(sz64))
+		for i := uint64(0); i < sz64; i++ {
+			b, err := r.ReadBit()
+			if err != nil {
+				return nil, fmt.Errorf("%w: node %d payload: %v", ErrBadBlob, u, err)
+			}
+			enc.WriteBit(b)
+		}
+		inter, cover, err := DecodeNode(enc, u, n, g.Neighbors(u), opts)
+		if err != nil {
+			return nil, fmt.Errorf("compact: unmarshal node %d: %w", u, err)
+		}
+		nd := &nodeData{enc: enc, cover: cover, inter: inter}
+		if opts.Mode == ModeIB {
+			nb := g.Neighbors(u)
+			nd.isNb = make([]bool, n+1)
+			nd.rank = make([]uint16, n+1)
+			for i, v := range nb {
+				nd.isNb[v] = true
+				nd.rank[v] = uint16(i + 1)
+			}
+		}
+		s.nodes[u] = nd
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d unconsumed bits", ErrBadBlob, r.Remaining())
+	}
+	return s, nil
+}

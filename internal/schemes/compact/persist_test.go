@@ -1,0 +1,109 @@
+package compact
+
+import (
+	"errors"
+	"testing"
+
+	"routetab/internal/graph"
+	"routetab/internal/routing"
+	"routetab/internal/shortestpath"
+)
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	g := randomGraph(t, 48, 41)
+	for _, opts := range []Options{
+		DefaultOptions(),
+		{Mode: ModeIB, Strategy: LeastFirst, Threshold: ThresholdLogLog},
+		{Mode: ModeII, Strategy: Greedy, Threshold: ThresholdLog},
+	} {
+		s, err := Build(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := s.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Unmarshal(blob, g)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if back.Options() != opts || back.N() != 48 {
+			t.Fatalf("metadata changed: %+v", back.Options())
+		}
+		// Behavioural equality: the reloaded scheme routes identically.
+		ports := graph.SortedPorts(g)
+		sim, err := routing.NewSim(g, ports, back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dm, err := shortestpath.AllPairs(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := routing.VerifyAll(sim, dm, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.AllDelivered() || rep.MaxStretch != 1 {
+			t.Fatalf("%s reloaded: %s %v", s.Name(), rep, rep.Failures)
+		}
+		// Byte-exact size accounting survives.
+		for u := 1; u <= 48; u++ {
+			if back.FunctionBits(u) != s.FunctionBits(u) {
+				t.Fatalf("node %d: bits %d → %d", u, s.FunctionBits(u), back.FunctionBits(u))
+			}
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	g := randomGraph(t, 20, 42)
+	s, err := Build(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":       nil,
+		"one byte":    {0x01},
+		"bad magic":   append([]byte{0xFF, 0xFF}, blob[2:]...),
+		"truncated":   blob[:len(blob)/2],
+		"bad trailer": append(append([]byte{}, blob[:len(blob)-1]...), 9),
+	}
+	for name, data := range cases {
+		if _, err := Unmarshal(data, g); !errors.Is(err, ErrBadBlob) {
+			t.Errorf("%s: err = %v, want ErrBadBlob", name, err)
+		}
+	}
+	// Wrong graph size.
+	g2 := randomGraph(t, 21, 43)
+	if _, err := Unmarshal(blob, g2); !errors.Is(err, ErrBadBlob) {
+		t.Errorf("size mismatch: err = %v", err)
+	}
+}
+
+func TestMarshalSizeIsTight(t *testing.T) {
+	// The blob must not exceed the charged bits by more than the per-node
+	// length prefixes and the small header.
+	g := randomGraph(t, 64, 44)
+	s, err := Build(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for u := 1; u <= 64; u++ {
+		total += s.FunctionBits(u)
+	}
+	blob, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	overheadBits := len(blob)*8 - total
+	if overheadBits > 64*32+64 {
+		t.Fatalf("framing overhead %d bits for n=64", overheadBits)
+	}
+}

@@ -1,0 +1,120 @@
+package compact
+
+import (
+	"fmt"
+
+	"routetab/internal/bitio"
+	"routetab/internal/models"
+	"routetab/internal/routing"
+)
+
+var _ routing.Scheme = (*Scheme)(nil)
+
+// Name implements routing.Scheme.
+func (s *Scheme) Name() string {
+	return fmt.Sprintf("theorem1-compact(%s,%s,%s)", s.opts.modeName(), s.opts.strategyName(), s.opts.thresholdName())
+}
+
+func (o Options) modeName() string {
+	if o.Mode == ModeIB {
+		return "IB"
+	}
+	return "II"
+}
+
+func (o Options) strategyName() string {
+	if o.Strategy == Greedy {
+		return "greedy"
+	}
+	return "least-first"
+}
+
+func (o Options) thresholdName() string {
+	if o.Threshold == ThresholdLog {
+		return "n/log n"
+	}
+	return "n/loglog n"
+}
+
+// N implements routing.Scheme.
+func (s *Scheme) N() int { return s.n }
+
+// Options returns the build options.
+func (s *Scheme) Options() Options { return s.opts }
+
+// Requirements implements routing.Scheme: Theorem 1 needs IB ∨ II; the built
+// instance commits to one of the two.
+func (s *Scheme) Requirements() models.Requirements {
+	if s.opts.Mode == ModeIB {
+		return models.Requirements{FreePorts: true}
+	}
+	return models.Requirements{NeighborsKnown: true}
+}
+
+// Label implements routing.Scheme: no relabelling (the theorem holds under α).
+func (s *Scheme) Label(u int) routing.Label { return routing.Label{ID: u} }
+
+// LabelBits implements routing.Scheme.
+func (s *Scheme) LabelBits(int) int { return 0 }
+
+// FunctionBits implements routing.Scheme: the exact encoded size, including
+// the self-stored neighbour vector under IB.
+func (s *Scheme) FunctionBits(u int) int {
+	if u < 1 || u > s.n {
+		return 0
+	}
+	return s.nodes[u].enc.Len()
+}
+
+// Stats returns the per-node construction statistics.
+func (s *Scheme) Stats(u int) (NodeStats, error) {
+	if u < 1 || u > s.n {
+		return NodeStats{}, fmt.Errorf("compact: node %d out of range", u)
+	}
+	return s.nodes[u].stats, nil
+}
+
+// Encoded returns node u's exact bit encoding (round-trip tests).
+func (s *Scheme) Encoded(u int) (*bitio.Writer, error) {
+	if u < 1 || u > s.n {
+		return nil, fmt.Errorf("compact: node %d out of range", u)
+	}
+	return s.nodes[u].enc, nil
+}
+
+// Route implements routing.Scheme.
+//
+// Under II the direct-neighbour check and the index→label resolution use the
+// environment's free neighbour knowledge; under IB they use the self-stored
+// neighbour vector plus the sorted-port convention (the i-th smallest
+// neighbour sits behind port i).
+func (s *Scheme) Route(u int, env routing.Env, dest routing.Label, hdr uint64, _ int) (int, uint64, error) {
+	if u < 1 || u > s.n || dest.ID < 1 || dest.ID > s.n {
+		return 0, 0, fmt.Errorf("%w: %d→%d", routing.ErrNoRoute, u, dest.ID)
+	}
+	nd := s.nodes[u]
+	if s.opts.Mode == ModeIB {
+		if nd.isNb[dest.ID] {
+			return int(nd.rank[dest.ID]), hdr, nil
+		}
+		idx := nd.inter[dest.ID]
+		if idx == 0 {
+			return 0, 0, fmt.Errorf("%w: %d→%d", routing.ErrNoRoute, u, dest.ID)
+		}
+		v := nd.cover[idx-1]
+		return int(nd.rank[v]), hdr, nil
+	}
+	if port, ok := env.PortOfNeighbor(dest.ID); ok {
+		return port, hdr, nil
+	}
+	idx := nd.inter[dest.ID]
+	if idx == 0 {
+		return 0, 0, fmt.Errorf("%w: %d→%d", routing.ErrNoRoute, u, dest.ID)
+	}
+	v := nd.cover[idx-1]
+	port, ok := env.PortOfNeighbor(v)
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: intermediate %d not resolvable at %d", routing.ErrNoRoute, v, u)
+	}
+	return port, hdr, nil
+}

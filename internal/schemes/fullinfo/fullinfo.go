@@ -1,0 +1,201 @@
+// Package fullinfo implements full-information shortest-path routing: the
+// routing function of node u must return, for each destination v, *all*
+// edges incident to u on shortest paths from u to v (paper, Section 1).
+//
+// These schemes allow an alternative shortest path to be taken whenever an
+// outgoing link is down — the failover capability internal/netsim exercises.
+// Theorem 10 shows they need n³/4 − o(n³) bits on almost all graphs when
+// relabelling is not allowed; the storage here is the matching trivial upper
+// bound: for every (node, destination) pair a d(u)-bit port set, i.e.
+// (n−1)·d(u) bits per node.
+package fullinfo
+
+import (
+	"errors"
+	"fmt"
+
+	"routetab/internal/bitio"
+	"routetab/internal/graph"
+	"routetab/internal/models"
+	"routetab/internal/routing"
+	"routetab/internal/shortestpath"
+)
+
+// Errors.
+var (
+	// ErrDisconnected indicates unreachable pairs.
+	ErrDisconnected = errors.New("fullinfo: graph is disconnected")
+	// ErrAllPortsDown indicates every shortest-path port was excluded.
+	ErrAllPortsDown = errors.New("fullinfo: all shortest-path ports excluded")
+)
+
+// Scheme stores, per node and destination, the bitmap of shortest-path ports.
+type Scheme struct {
+	n int
+	// sets[u] is a (n+1)-row table; sets[u][v] is the port bitmap for
+	// destination v (bit p−1 set ⇔ port p lies on a shortest path).
+	sets [][][]uint64
+	// degree[u] caches d(u) for the bit accounting.
+	degree []int
+	words  []int
+}
+
+var _ routing.Scheme = (*Scheme)(nil)
+
+// Build constructs the scheme from all-pairs distances.
+func Build(g *graph.Graph, ports *graph.Ports, dm *shortestpath.Distances) (*Scheme, error) {
+	if err := ports.Validate(g); err != nil {
+		return nil, fmt.Errorf("fullinfo: %w", err)
+	}
+	n := g.N()
+	if dm.N() != n {
+		return nil, fmt.Errorf("fullinfo: distance matrix for n=%d used with n=%d", dm.N(), n)
+	}
+	s := &Scheme{
+		n:      n,
+		sets:   make([][][]uint64, n+1),
+		degree: make([]int, n+1),
+		words:  make([]int, n+1),
+	}
+	for u := 1; u <= n; u++ {
+		d := g.Degree(u)
+		s.degree[u] = d
+		words := (d + 63) / 64
+		s.words[u] = words
+		fe, err := shortestpath.FirstEdges(g, dm, u)
+		if err != nil {
+			return nil, err
+		}
+		rows := make([][]uint64, n+1)
+		for v := 1; v <= n; v++ {
+			if v == u {
+				continue
+			}
+			if dm.Dist(u, v) == shortestpath.Unreachable {
+				return nil, fmt.Errorf("%w: no path %d→%d", ErrDisconnected, u, v)
+			}
+			row := make([]uint64, words)
+			for _, w := range fe[v] {
+				port, err := ports.PortTo(u, w)
+				if err != nil {
+					return nil, err
+				}
+				row[(port-1)/64] |= 1 << uint((port-1)%64)
+			}
+			rows[v] = row
+		}
+		s.sets[u] = rows
+	}
+	return s, nil
+}
+
+// Name implements routing.Scheme.
+func (s *Scheme) Name() string { return "fullinfo" }
+
+// N implements routing.Scheme.
+func (s *Scheme) N() int { return s.n }
+
+// Requirements implements routing.Scheme: none — pure port tables.
+func (s *Scheme) Requirements() models.Requirements { return models.Requirements{} }
+
+// Label implements routing.Scheme: original labels (Theorem 10 is model α).
+func (s *Scheme) Label(u int) routing.Label { return routing.Label{ID: u} }
+
+// LabelBits implements routing.Scheme.
+func (s *Scheme) LabelBits(int) int { return 0 }
+
+// FunctionBits implements routing.Scheme: (n−1)·d(u) bits — one port bitmap
+// per destination.
+func (s *Scheme) FunctionBits(u int) int {
+	if u < 1 || u > s.n {
+		return 0
+	}
+	return (s.n - 1) * s.degree[u]
+}
+
+// Ports returns all shortest-path ports at u towards dest, in increasing
+// order — the full information the scheme stores.
+func (s *Scheme) Ports(u, dest int) ([]int, error) {
+	if u < 1 || u > s.n || dest < 1 || dest > s.n || u == dest {
+		return nil, fmt.Errorf("fullinfo: bad pair (%d,%d)", u, dest)
+	}
+	row := s.sets[u][dest]
+	var out []int
+	for p := 1; p <= s.degree[u]; p++ {
+		if row[(p-1)/64]&(1<<uint((p-1)%64)) != 0 {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// Route implements routing.Scheme: deterministic choice — the least
+// shortest-path port.
+func (s *Scheme) Route(u int, _ routing.Env, dest routing.Label, hdr uint64, _ int) (int, uint64, error) {
+	ps, err := s.Ports(u, dest.ID)
+	if err != nil || len(ps) == 0 {
+		return 0, 0, fmt.Errorf("%w: %d→%d", routing.ErrNoRoute, u, dest.ID)
+	}
+	return ps[0], hdr, nil
+}
+
+// RouteAvoiding returns the least shortest-path port not in the down set —
+// the failover behaviour full-information schemes exist for.
+func (s *Scheme) RouteAvoiding(u, dest int, down map[int]bool) (int, error) {
+	ps, err := s.Ports(u, dest)
+	if err != nil {
+		return 0, err
+	}
+	for _, p := range ps {
+		if !down[p] {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %d→%d", ErrAllPortsDown, u, dest)
+}
+
+// EncodeNode packs node u's table into the exact bit representation whose
+// length FunctionBits reports; used by the Theorem 10 experiments.
+func (s *Scheme) EncodeNode(u int) (*bitio.Writer, error) {
+	if u < 1 || u > s.n {
+		return nil, fmt.Errorf("fullinfo: node %d out of range", u)
+	}
+	w := bitio.NewWriter((s.n - 1) * s.degree[u])
+	for v := 1; v <= s.n; v++ {
+		if v == u {
+			continue
+		}
+		row := s.sets[u][v]
+		for p := 1; p <= s.degree[u]; p++ {
+			w.WriteBit(row[(p-1)/64]&(1<<uint((p-1)%64)) != 0)
+		}
+	}
+	return w, nil
+}
+
+// DecodeNode is the inverse of EncodeNode: it reconstructs the per-
+// destination port sets of node u given its degree.
+func DecodeNode(enc *bitio.Writer, u, n, degree int) ([][]int, error) {
+	r := bitio.ReaderFor(enc)
+	out := make([][]int, n+1)
+	for v := 1; v <= n; v++ {
+		if v == u {
+			continue
+		}
+		var ps []int
+		for p := 1; p <= degree; p++ {
+			b, err := r.ReadBit()
+			if err != nil {
+				return nil, err
+			}
+			if b {
+				ps = append(ps, p)
+			}
+		}
+		out[v] = ps
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("fullinfo: %d unconsumed bits", r.Remaining())
+	}
+	return out, nil
+}

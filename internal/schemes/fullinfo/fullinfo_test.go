@@ -1,0 +1,224 @@
+package fullinfo
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"routetab/internal/gengraph"
+	"routetab/internal/graph"
+	"routetab/internal/models"
+	"routetab/internal/routing"
+	"routetab/internal/shortestpath"
+)
+
+func fixture(t *testing.T, g *graph.Graph) (*Scheme, *graph.Ports, *shortestpath.Distances) {
+	t.Helper()
+	ports := graph.SortedPorts(g)
+	dm, err := shortestpath.AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(g, ports, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ports, dm
+}
+
+func TestShortestPathRouting(t *testing.T) {
+	g, err := gengraph.GnHalf(40, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ports, dm := fixture(t, g)
+	sim, err := routing.NewSim(g, ports, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := routing.VerifyAll(sim, dm, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllDelivered() || rep.MaxStretch != 1 {
+		t.Fatalf("report = %s %v", rep, rep.Failures)
+	}
+}
+
+func TestPortsAreExactlyShortestPathEdges(t *testing.T) {
+	// Full information property: the stored set equals every neighbour that
+	// decreases the distance.
+	g, err := gengraph.Gnp(30, 0.2, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsConnected() {
+		t.Skip("sparse sample disconnected")
+	}
+	s, ports, dm := fixture(t, g)
+	for u := 1; u <= 30; u++ {
+		for v := 1; v <= 30; v++ {
+			if u == v {
+				continue
+			}
+			got, err := s.Ports(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := map[int]bool{}
+			for _, w := range g.Neighbors(u) {
+				if dm.Dist(w, v) == dm.Dist(u, v)-1 {
+					p, err := ports.PortTo(u, w)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want[p] = true
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("(%d,%d): ports %v, want %d ports", u, v, got, len(want))
+			}
+			for _, p := range got {
+				if !want[p] {
+					t.Fatalf("(%d,%d): port %d not on a shortest path", u, v, p)
+				}
+			}
+		}
+	}
+}
+
+func TestFailoverAvoidsDownPorts(t *testing.T) {
+	// Square 1-2-4-3-1: from 1 to 4 both ports work; killing the first must
+	// fall back to the second, still on a shortest path.
+	g := graph.MustNew(4)
+	for _, e := range [][2]int{{1, 2}, {2, 4}, {4, 3}, {3, 1}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, ports, _ := fixture(t, g)
+	ps, err := s.Ports(1, 4)
+	if err != nil || len(ps) != 2 {
+		t.Fatalf("Ports(1,4) = %v, %v; want two", ps, err)
+	}
+	alt, err := s.RouteAvoiding(1, 4, map[int]bool{ps[0]: true})
+	if err != nil || alt != ps[1] {
+		t.Fatalf("RouteAvoiding = %d, %v; want %d", alt, err, ps[1])
+	}
+	if _, err := s.RouteAvoiding(1, 4, map[int]bool{ps[0]: true, ps[1]: true}); !errors.Is(err, ErrAllPortsDown) {
+		t.Fatalf("all down: err = %v, want ErrAllPortsDown", err)
+	}
+	_ = ports
+}
+
+func TestSpaceIsCubic(t *testing.T) {
+	// Σ_u (n−1)·d(u) = (n−1)·2m ≈ n³/2 on G(n,1/2).
+	n := 48
+	g, err := gengraph.GnHalf(n, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, _ := fixture(t, g)
+	sp, err := routing.MeasureSpace(s, models.IAAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (n - 1) * 2 * g.M()
+	if sp.Total != want {
+		t.Fatalf("total = %d, want (n−1)·2m = %d", sp.Total, want)
+	}
+	// Theorem 10 floor: ≥ n³/4 − o(n³); our sample should clear n³/5.
+	if sp.Total < n*n*n/5 {
+		t.Fatalf("total = %d below n³/5 — not Θ(n³)?", sp.Total)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	g, err := gengraph.GnHalf(25, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, _ := fixture(t, g)
+	for u := 1; u <= 25; u++ {
+		enc, err := s.EncodeNode(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if enc.Len() != s.FunctionBits(u) {
+			t.Fatalf("node %d: encoding %d bits, FunctionBits %d", u, enc.Len(), s.FunctionBits(u))
+		}
+		sets, err := DecodeNode(enc, u, 25, g.Degree(u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 1; v <= 25; v++ {
+			if v == u {
+				continue
+			}
+			want, err := s.Ports(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := sets[v]
+			if len(got) != len(want) {
+				t.Fatalf("node %d dest %d: %v vs %v", u, v, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("node %d dest %d: %v vs %v", u, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := graph.MustNew(4)
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	ports := graph.SortedPorts(g)
+	dm, err := shortestpath.AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(g, ports, dm); !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("disconnected: err = %v", err)
+	}
+	// Size-mismatched distance matrix.
+	g2, err := gengraph.Complete(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(g2, graph.SortedPorts(g2), dm); err == nil {
+		t.Error("mismatched dm accepted")
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	g, err := gengraph.Complete(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, _ := fixture(t, g)
+	if _, err := s.Ports(1, 1); err == nil {
+		t.Error("Ports(u,u) accepted")
+	}
+	if _, err := s.Ports(0, 1); err == nil {
+		t.Error("Ports(0,·) accepted")
+	}
+	if _, _, err := s.Route(1, nil, routing.Label{ID: 1}, 0, 0); !errors.Is(err, routing.ErrNoRoute) {
+		t.Errorf("self route: err = %v", err)
+	}
+	if s.FunctionBits(0) != 0 || s.LabelBits(3) != 0 || s.Label(3).ID != 3 {
+		t.Error("accounting/labels wrong")
+	}
+	if _, err := s.EncodeNode(0); err == nil {
+		t.Error("EncodeNode(0) accepted")
+	}
+	for _, m := range models.All() {
+		if _, err := routing.MeasureSpace(s, m); err != nil {
+			t.Errorf("model %s: %v", m, err)
+		}
+	}
+}

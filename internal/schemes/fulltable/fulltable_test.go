@@ -1,0 +1,218 @@
+package fulltable
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"routetab/internal/gengraph"
+	"routetab/internal/graph"
+	"routetab/internal/models"
+	"routetab/internal/routing"
+	"routetab/internal/shortestpath"
+)
+
+func buildOn(t *testing.T, g *graph.Graph) (*Scheme, *routing.Sim, *shortestpath.Distances) {
+	t.Helper()
+	ports := graph.SortedPorts(g)
+	s, err := Build(g, ports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := routing.NewSim(g, ports, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := shortestpath.AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, sim, dm
+}
+
+func TestShortestPathOnRandomGraph(t *testing.T) {
+	g, err := gengraph.GnHalf(40, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sim, dm := buildOn(t, g)
+	rep, err := routing.VerifyAll(sim, dm, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllDelivered() {
+		t.Fatalf("undelivered: %s %v", rep, rep.Failures)
+	}
+	if rep.MaxStretch != 1 {
+		t.Fatalf("stretch = %v, want exactly 1", rep.MaxStretch)
+	}
+}
+
+func TestShortestPathOnSparseGraph(t *testing.T) {
+	g, err := gengraph.Grid(5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sim, dm := buildOn(t, g)
+	rep, err := routing.VerifyAll(sim, dm, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllDelivered() || rep.MaxStretch != 1 {
+		t.Fatalf("report = %s", rep)
+	}
+}
+
+func TestWorksUnderAdversarialPorts(t *testing.T) {
+	// IA: random port permutations must not affect correctness.
+	g, err := gengraph.GnHalf(30, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports := graph.RandomPorts(g, rand.New(rand.NewSource(3)))
+	s, err := Build(g, ports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := routing.NewSim(g, ports, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := shortestpath.AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := routing.VerifyAll(sim, dm, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllDelivered() || rep.MaxStretch != 1 {
+		t.Fatalf("report = %s", rep)
+	}
+}
+
+func TestValidInAllNineModels(t *testing.T) {
+	g, err := gengraph.GnHalf(20, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, _ := buildOn(t, g)
+	for _, m := range models.All() {
+		if _, err := routing.MeasureSpace(s, m); err != nil {
+			t.Errorf("model %s: %v", m, err)
+		}
+	}
+}
+
+func TestSpaceIsNSquaredLogN(t *testing.T) {
+	// Per node: (n−1)·⌈log(d+1)⌉ bits with d ≈ n/2 → total ≈ n²·log(n/2).
+	n := 64
+	g, err := gengraph.GnHalf(n, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, _ := buildOn(t, g)
+	sp, err := routing.MeasureSpace(s, models.IAAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := float64(n*(n-1)) * math.Log2(float64(n)/4)
+	hi := float64(n*(n-1)) * math.Log2(float64(n))
+	if float64(sp.Total) < lo || float64(sp.Total) > hi {
+		t.Fatalf("total = %d, want within [%v, %v]", sp.Total, lo, hi)
+	}
+}
+
+func TestFunctionBitsMatchesEncoding(t *testing.T) {
+	g, err := gengraph.GnHalf(25, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, _ := buildOn(t, g)
+	for u := 1; u <= 25; u++ {
+		enc, width, err := s.EncodedRow(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.FunctionBits(u) != enc.Len() {
+			t.Fatalf("FunctionBits(%d) = %d, encoding = %d", u, s.FunctionBits(u), enc.Len())
+		}
+		row, err := DecodeRow(enc, u, 25, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 1; v <= 25; v++ {
+			if row[v] != s.table[u][v] {
+				t.Fatalf("decoded table[%d][%d] = %d, want %d", u, v, row[v], s.table[u][v])
+			}
+		}
+	}
+	if s.FunctionBits(0) != 0 || s.FunctionBits(99) != 0 {
+		t.Error("out-of-range FunctionBits should be 0")
+	}
+	if _, _, err := s.EncodedRow(0); err == nil {
+		t.Error("EncodedRow(0) accepted")
+	}
+}
+
+func TestDisconnectedRejected(t *testing.T) {
+	g := graph.MustNew(4)
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Build(g, graph.SortedPorts(g))
+	if !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("err = %v, want ErrDisconnected", err)
+	}
+}
+
+func TestStalePortsRejected(t *testing.T) {
+	g, err := gengraph.Chain(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports := graph.SortedPorts(g)
+	if err := g.AddEdge(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(g, ports); err == nil {
+		t.Fatal("stale ports accepted")
+	}
+}
+
+func TestRouteErrors(t *testing.T) {
+	g, err := gengraph.Chain(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, _ := buildOn(t, g)
+	if _, _, err := s.Route(0, nil, routing.Label{ID: 2}, 0, 0); !errors.Is(err, routing.ErrNoRoute) {
+		t.Errorf("bad node: err = %v", err)
+	}
+	if _, _, err := s.Route(1, nil, routing.Label{ID: 99}, 0, 0); !errors.Is(err, routing.ErrNoRoute) {
+		t.Errorf("bad dest: err = %v", err)
+	}
+	if _, _, err := s.Route(1, nil, routing.Label{ID: 1}, 0, 0); !errors.Is(err, routing.ErrNoRoute) {
+		t.Errorf("self dest: err = %v", err)
+	}
+}
+
+func TestLabelsAreOriginal(t *testing.T) {
+	g, err := gengraph.Chain(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, _ := buildOn(t, g)
+	for u := 1; u <= 4; u++ {
+		if l := s.Label(u); l.ID != u || len(l.Aux) != 0 {
+			t.Fatalf("Label(%d) = %v", u, l)
+		}
+		if s.LabelBits(u) != 0 {
+			t.Fatalf("LabelBits(%d) = %d", u, s.LabelBits(u))
+		}
+	}
+	if s.Name() == "" {
+		t.Error("empty name")
+	}
+}

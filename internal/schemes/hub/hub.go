@@ -1,0 +1,147 @@
+// Package hub implements the Theorem 4 routing scheme: stretch ≤ 2 on
+// Kolmogorov random graphs with n·loglog n + 6n total bits, in model II.
+//
+// Construction (paper, proof of Theorem 4). Node 1 (the hub) stores a full
+// shortest-path routing function (the 6n-bit Theorem 1 construction). Every
+// other node stores only a shortest path towards the hub:
+//
+//   - direct neighbours of the hub store nothing (O(1) bits): they forward
+//     non-neighbour destinations straight to the hub;
+//   - distance-2 nodes store the loglog n-bit index, within their first
+//     (c+3)·log n neighbours (Lemma 3), of a neighbour adjacent to the hub.
+//
+// Routing u→w: direct neighbours in 1 step; otherwise ≤ 2 steps to the hub
+// and ≤ 2 shortest-path steps out — ≤ 4 hops against a true distance of 2,
+// stretch 2. En-route nodes that see the destination as a direct neighbour
+// shortcut immediately.
+package hub
+
+import (
+	"errors"
+	"fmt"
+
+	"routetab/internal/bitio"
+	"routetab/internal/graph"
+	"routetab/internal/models"
+	"routetab/internal/routing"
+	"routetab/internal/schemes/compact"
+)
+
+// ErrNoPathToHub indicates some node is at distance > 2 from the hub, so the
+// loglog n-bit towards-hub pointers cannot be built.
+var ErrNoPathToHub = errors.New("hub: node at distance > 2 from hub")
+
+// Scheme is a built Theorem 4 scheme.
+type Scheme struct {
+	n   int
+	hub int
+	// towards[v] is the neighbour v forwards hub-bound traffic to: the hub
+	// itself for its neighbours, a hub-adjacent neighbour for distance-2
+	// nodes, 0 for the hub.
+	towards []int
+	// towardsIdx[v] is the 0-based index of towards[v] within v's sorted
+	// neighbour list — the quantity actually charged (loglog n bits).
+	towardsIdx []int
+	inner      *compact.Scheme
+}
+
+var _ routing.Scheme = (*Scheme)(nil)
+
+// Build constructs the scheme with the given hub node (the paper uses node 1).
+func Build(g *graph.Graph, hubNode int) (*Scheme, error) {
+	n := g.N()
+	if hubNode < 1 || hubNode > n {
+		return nil, fmt.Errorf("hub: hub %d out of range", hubNode)
+	}
+	inner, err := compact.Build(g, compact.DefaultOptions())
+	if err != nil {
+		return nil, fmt.Errorf("hub: %w", err)
+	}
+	s := &Scheme{
+		n:          n,
+		hub:        hubNode,
+		towards:    make([]int, n+1),
+		towardsIdx: make([]int, n+1),
+		inner:      inner,
+	}
+	for v := 1; v <= n; v++ {
+		if v == hubNode {
+			continue
+		}
+		if g.HasEdge(v, hubNode) {
+			s.towards[v] = hubNode
+			continue
+		}
+		// Distance-2 node: least neighbour adjacent to the hub (Lemma 3
+		// bounds its index by (c+3)·log n, hence loglog n storage bits).
+		found := false
+		for i, w := range g.Neighbors(v) {
+			if g.HasEdge(w, hubNode) {
+				s.towards[v] = w
+				s.towardsIdx[v] = i
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("%w: node %d", ErrNoPathToHub, v)
+		}
+	}
+	return s, nil
+}
+
+// Name implements routing.Scheme.
+func (s *Scheme) Name() string { return "theorem4-hub" }
+
+// N implements routing.Scheme.
+func (s *Scheme) N() int { return s.n }
+
+// Hub returns the hub node.
+func (s *Scheme) Hub() int { return s.hub }
+
+// Requirements implements routing.Scheme: model II.
+func (s *Scheme) Requirements() models.Requirements {
+	return models.Requirements{NeighborsKnown: true}
+}
+
+// Label implements routing.Scheme: original labels.
+func (s *Scheme) Label(u int) routing.Label { return routing.Label{ID: u} }
+
+// LabelBits implements routing.Scheme.
+func (s *Scheme) LabelBits(int) int { return 0 }
+
+// FunctionBits implements routing.Scheme: Theorem 1 bits at the hub, O(1)
+// for its neighbours, ⌈log(idx+1)⌉ within a loglog n field for distance-2
+// nodes — charged at the fixed Lemma 3 field width ⌈log((c+3)log n + 1)⌉ + 1.
+func (s *Scheme) FunctionBits(u int) int {
+	if u < 1 || u > s.n {
+		return 0
+	}
+	if u == s.hub {
+		return s.inner.FunctionBits(u)
+	}
+	if s.towards[u] == s.hub {
+		return 1 // O(1): "forward to hub"
+	}
+	// loglog n + O(1): index into the first (c+3)·log n neighbours.
+	budget := 6 * bitio.CeilLogPlus1(s.n) // (c+3)·log n with c = 3
+	return bitio.CeilLogPlus1(budget) + 1
+}
+
+// Route implements routing.Scheme.
+func (s *Scheme) Route(u int, env routing.Env, dest routing.Label, hdr uint64, arrival int) (int, uint64, error) {
+	if u < 1 || u > s.n || dest.ID < 1 || dest.ID > s.n {
+		return 0, 0, fmt.Errorf("%w: %d→%d", routing.ErrNoRoute, u, dest.ID)
+	}
+	if port, ok := env.PortOfNeighbor(dest.ID); ok {
+		return port, hdr, nil
+	}
+	if u == s.hub {
+		return s.inner.Route(u, env, dest, hdr, arrival)
+	}
+	port, ok := env.PortOfNeighbor(s.towards[u])
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: hub pointer %d not resolvable at %d", routing.ErrNoRoute, s.towards[u], u)
+	}
+	return port, hdr, nil
+}

@@ -1,0 +1,191 @@
+package hub
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"routetab/internal/gengraph"
+	"routetab/internal/graph"
+	"routetab/internal/models"
+	"routetab/internal/routing"
+	"routetab/internal/shortestpath"
+)
+
+func fixture(t *testing.T, n int, seed int64) (*graph.Graph, *Scheme, *routing.Sim, *shortestpath.Distances) {
+	t.Helper()
+	g, err := gengraph.GnHalf(n, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports := graph.SortedPorts(g)
+	sim, err := routing.NewSim(g, ports, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := shortestpath.AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, s, sim, dm
+}
+
+func TestStretchAtMostTwo(t *testing.T) {
+	_, _, sim, dm := fixture(t, 64, 1)
+	rep, err := routing.VerifyAll(sim, dm, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllDelivered() {
+		t.Fatalf("undelivered: %s %v", rep, rep.Failures)
+	}
+	if rep.MaxStretch > 2 {
+		t.Fatalf("stretch = %v, want ≤ 2 (Theorem 4)", rep.MaxStretch)
+	}
+	if rep.MaxHops > 4 {
+		t.Fatalf("maxHops = %d, want ≤ 4 on a diameter-2 graph", rep.MaxHops)
+	}
+}
+
+func TestSpaceIsNLogLogN(t *testing.T) {
+	for _, n := range []int{64, 128, 256} {
+		g, err := gengraph.GnHalf(n, rand.New(rand.NewSource(int64(n))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Build(g, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := routing.MeasureSpace(s, models.IIAlpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Paper: n·loglog n + 6n. Allow constant slack.
+		bound := 3*float64(n)*math.Log2(math.Log2(float64(n))) + 10*float64(n)
+		if float64(sp.Total) > bound {
+			t.Errorf("n=%d: total = %d > n·loglog n + O(n) bound %v", n, sp.Total, bound)
+		}
+		// The hub carries the only Θ(n) function.
+		if sp.MaxFunctionBits != s.FunctionBits(s.Hub()) {
+			t.Errorf("n=%d: max function bits %d not at hub", n, sp.MaxFunctionBits)
+		}
+	}
+}
+
+func TestPerNodeAccounting(t *testing.T) {
+	g, s, _, _ := fixture(t, 64, 2)
+	for u := 1; u <= 64; u++ {
+		fb := s.FunctionBits(u)
+		switch {
+		case u == s.Hub():
+			if fb < 64/4 {
+				t.Fatalf("hub bits = %d, suspiciously small", fb)
+			}
+		case g.HasEdge(u, s.Hub()):
+			if fb != 1 {
+				t.Fatalf("hub-neighbour %d bits = %d, want 1", u, fb)
+			}
+		default:
+			// loglog-sized pointer field.
+			if fb < 2 || fb > 16 {
+				t.Fatalf("distance-2 node %d bits = %d, want small loglog field", u, fb)
+			}
+		}
+	}
+}
+
+func TestTowardsPointersValid(t *testing.T) {
+	g, s, _, _ := fixture(t, 64, 3)
+	for v := 1; v <= 64; v++ {
+		if v == s.Hub() {
+			continue
+		}
+		w := s.towards[v]
+		if !g.HasEdge(v, w) {
+			t.Fatalf("towards[%d] = %d is not a neighbour", v, w)
+		}
+		if w != s.Hub() && !g.HasEdge(w, s.Hub()) {
+			t.Fatalf("towards[%d] = %d not adjacent to hub", v, w)
+		}
+	}
+}
+
+func TestModelII(t *testing.T) {
+	_, s, _, _ := fixture(t, 32, 4)
+	for _, m := range models.All() {
+		_, err := routing.MeasureSpace(s, m)
+		if m.NeighborsFree() {
+			if err != nil {
+				t.Errorf("model %s rejected: %v", m, err)
+			}
+		} else if err == nil {
+			t.Errorf("model %s accepted", m)
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	g, err := gengraph.GnHalf(32, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(g, 0); err == nil {
+		t.Error("hub 0 accepted")
+	}
+	if _, err := Build(g, 99); err == nil {
+		t.Error("hub 99 accepted")
+	}
+	chain, err := gengraph.Chain(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(chain, 1); err == nil {
+		t.Error("chain accepted (hub unreachable in ≤ 2)")
+	}
+}
+
+func TestStarWithHubAtCenter(t *testing.T) {
+	g, err := gengraph.Star(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports := graph.SortedPorts(g)
+	sim, err := routing.NewSim(g, ports, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := shortestpath.AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := routing.VerifyAll(sim, dm, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllDelivered() || rep.MaxStretch > 2 {
+		t.Fatalf("report = %s %v", rep, rep.Failures)
+	}
+}
+
+func TestRouteErrors(t *testing.T) {
+	_, s, _, _ := fixture(t, 32, 6)
+	if _, _, err := s.Route(0, nil, routing.Label{ID: 3}, 0, 0); !errors.Is(err, routing.ErrNoRoute) {
+		t.Errorf("bad node: %v", err)
+	}
+	if s.FunctionBits(99) != 0 || s.LabelBits(5) != 0 {
+		t.Error("bits accounting wrong on edge cases")
+	}
+	if s.Label(7).ID != 7 || s.N() != 32 || s.Name() == "" {
+		t.Error("metadata wrong")
+	}
+}

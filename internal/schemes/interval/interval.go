@@ -1,0 +1,189 @@
+// Package interval implements interval routing on a spanning tree — the
+// related-work baseline of the paper's references [1, 6] (Flammini, van
+// Leeuwen, Marchetti-Spaccamela; Kranakis, Krizanc, Urrutia).
+//
+// Nodes are relabelled by DFS (discovery) number over a BFS spanning tree —
+// a permutation of {1,…,n}, so the scheme lives in model β. Each tree edge
+// at a node carries one interval of DFS numbers: the child's subtree range
+// for downward edges, the complement for the parent edge. A node stores, per
+// incident tree edge, the interval endpoints and the port — Θ(log n) bits per
+// tree edge, O(n log n) bits in total.
+//
+// On trees the scheme routes along shortest paths; on general graphs it
+// routes along the spanning tree, with measurable stretch — the contrast the
+// stretch/space experiments (E3–E5) quantify against the paper's
+// constructions.
+package interval
+
+import (
+	"errors"
+	"fmt"
+
+	"routetab/internal/bitio"
+	"routetab/internal/graph"
+	"routetab/internal/models"
+	"routetab/internal/routing"
+	"routetab/internal/shortestpath"
+)
+
+// ErrDisconnected indicates no spanning tree exists.
+var ErrDisconnected = errors.New("interval: graph is disconnected")
+
+type edgeEntry struct {
+	lo, hi int // DFS-number interval, inclusive; may wrap (parent edge)
+	wrap   bool
+	port   int
+}
+
+type nodeData struct {
+	entries []edgeEntry
+}
+
+// Scheme is a built interval routing scheme.
+type Scheme struct {
+	n     int
+	dfs   []int // dfs[u] = DFS number of node u (the β relabelling)
+	nodes []nodeData
+}
+
+var _ routing.Scheme = (*Scheme)(nil)
+
+// Build constructs interval routing over a BFS spanning tree rooted at root.
+func Build(g *graph.Graph, ports *graph.Ports, root int) (*Scheme, error) {
+	n := g.N()
+	if root < 1 || root > n {
+		return nil, fmt.Errorf("interval: root %d out of range", root)
+	}
+	if err := ports.Validate(g); err != nil {
+		return nil, fmt.Errorf("interval: %w", err)
+	}
+	bfs, err := shortestpath.BFS(g, root)
+	if err != nil {
+		return nil, err
+	}
+	children := make([][]int, n+1)
+	for v := 1; v <= n; v++ {
+		if v == root {
+			continue
+		}
+		if bfs.Dist[v] == shortestpath.Unreachable {
+			return nil, fmt.Errorf("%w: node %d unreachable from root %d", ErrDisconnected, v, root)
+		}
+		p := bfs.Parent[v]
+		children[p] = append(children[p], v)
+	}
+
+	// Iterative DFS assigning discovery numbers and subtree ranges.
+	dfs := make([]int, n+1)
+	subHi := make([]int, n+1) // highest DFS number in v's subtree
+	next := 1
+	type frame struct {
+		node, idx int
+	}
+	stack := []frame{{root, 0}}
+	dfs[root] = next
+	next++
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.idx < len(children[f.node]) {
+			c := children[f.node][f.idx]
+			f.idx++
+			dfs[c] = next
+			next++
+			stack = append(stack, frame{c, 0})
+			continue
+		}
+		subHi[f.node] = next - 1
+		stack = stack[:len(stack)-1]
+	}
+
+	s := &Scheme{n: n, dfs: dfs, nodes: make([]nodeData, n+1)}
+	for u := 1; u <= n; u++ {
+		var entries []edgeEntry
+		for _, c := range children[u] {
+			port, err := ports.PortTo(u, c)
+			if err != nil {
+				return nil, err
+			}
+			entries = append(entries, edgeEntry{lo: dfs[c], hi: subHi[c], port: port})
+		}
+		if u != root {
+			port, err := ports.PortTo(u, bfs.Parent[u])
+			if err != nil {
+				return nil, err
+			}
+			// Complement of u's subtree: wraps around the DFS circle.
+			entries = append(entries, edgeEntry{lo: subHi[u] + 1, hi: dfs[u] - 1, wrap: true, port: port})
+		}
+		s.nodes[u] = nodeData{entries: entries}
+	}
+	return s, nil
+}
+
+// Name implements routing.Scheme.
+func (s *Scheme) Name() string { return "interval-tree" }
+
+// N implements routing.Scheme.
+func (s *Scheme) N() int { return s.n }
+
+// Requirements implements routing.Scheme: the DFS numbering is a permutation
+// relabelling (β).
+func (s *Scheme) Requirements() models.Requirements {
+	return models.Requirements{AnyRelabel: true}
+}
+
+// Label implements routing.Scheme: the DFS number.
+func (s *Scheme) Label(u int) routing.Label {
+	if u < 1 || u > s.n {
+		return routing.Label{}
+	}
+	return routing.Label{ID: s.dfs[u]}
+}
+
+// LabelBits implements routing.Scheme: β labels stay within {1,…,n} and are
+// uncharged.
+func (s *Scheme) LabelBits(int) int { return 0 }
+
+// FunctionBits implements routing.Scheme: per tree edge, two ⌈log(n+1)⌉
+// interval endpoints plus a ⌈log(d+1)⌉ port.
+func (s *Scheme) FunctionBits(u int) int {
+	if u < 1 || u > s.n {
+		return 0
+	}
+	logn := bitio.CeilLogPlus1(s.n)
+	total := 0
+	for range s.nodes[u].entries {
+		total += 2*logn + bitio.CeilLogPlus1(len(s.nodes[u].entries))
+	}
+	return total
+}
+
+// Route implements routing.Scheme: find the interval containing the
+// destination's DFS number.
+func (s *Scheme) Route(u int, _ routing.Env, dest routing.Label, hdr uint64, _ int) (int, uint64, error) {
+	if u < 1 || u > s.n || dest.ID < 1 || dest.ID > s.n {
+		return 0, 0, fmt.Errorf("%w: %d→dfs %d", routing.ErrNoRoute, u, dest.ID)
+	}
+	for _, e := range s.nodes[u].entries {
+		if e.contains(dest.ID, s.n) {
+			return e.port, hdr, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("%w: dfs %d not in any interval at %d", routing.ErrNoRoute, dest.ID, u)
+}
+
+func (e edgeEntry) contains(x, n int) bool {
+	if !e.wrap {
+		return e.lo <= x && x <= e.hi
+	}
+	// Wrapping interval [lo, n] ∪ [1, hi].
+	return x >= e.lo || x <= e.hi
+}
+
+// DFSNumber returns the β relabelling of node u.
+func (s *Scheme) DFSNumber(u int) (int, error) {
+	if u < 1 || u > s.n {
+		return 0, fmt.Errorf("interval: node %d out of range", u)
+	}
+	return s.dfs[u], nil
+}

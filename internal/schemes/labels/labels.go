@@ -1,0 +1,130 @@
+// Package labels implements the Theorem 2 routing scheme: shortest-path
+// routing with O(1)-bit local routing functions by moving the routing
+// information into the node labels — model II ∧ γ (neighbours known,
+// arbitrary relabelling, label bits charged).
+//
+// Construction (paper, proof of Theorem 2). Relabel every node u as the pair
+// (u, f(u)) where f(u) lists the original labels of u's first (c+3)·log n
+// neighbours (Lemma 3's cover set). To route u→v:
+//
+//   - if v is a direct neighbour, route to it (free knowledge under II);
+//   - otherwise u is adjacent to some w ∈ f(v) (Lemma 3 applied at v), and
+//     w is adjacent to v — so forwarding to the first such w in v's label
+//     reaches v in exactly 2 hops, a shortest path on diameter-2 graphs.
+//
+// The local function is the constant program above; all the stored bits are
+// in the labels: (1 + (c+3)log n)·log n per node.
+package labels
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"routetab/internal/graph"
+	"routetab/internal/kolmo"
+	"routetab/internal/models"
+	"routetab/internal/routing"
+)
+
+// ErrCoverTooLarge indicates some node's Lemma 3 cover prefix exceeds the
+// (c+3)·log n label budget, so the graph is not c·log n-random enough for
+// the construction.
+var ErrCoverTooLarge = errors.New("labels: cover prefix exceeds (c+3)·log n label budget")
+
+// FunctionBits is the constant charged for the O(1)-bit local routing
+// function (a 2-bit program selector, per the paper's O(1)).
+const FunctionBits = 2
+
+// Scheme is a built Theorem 2 scheme.
+type Scheme struct {
+	n      int
+	c      float64
+	k      int // label list length: ⌈(c+3)·log₂ n⌉ (capped by max degree)
+	labels []routing.Label
+}
+
+var _ routing.Scheme = (*Scheme)(nil)
+
+// Build constructs the scheme with randomness parameter c (the paper's
+// c·log n-random graphs; c = 3 matches the 1−1/n³ mass statement).
+func Build(g *graph.Graph, c float64) (*Scheme, error) {
+	n := g.N()
+	if c <= 0 {
+		return nil, fmt.Errorf("labels: c must be positive, got %v", c)
+	}
+	k := int(math.Ceil((c + 3) * math.Log2(float64(n))))
+	if k < 1 {
+		k = 1
+	}
+	s := &Scheme{n: n, c: c, k: k, labels: make([]routing.Label, n+1)}
+	for u := 1; u <= n; u++ {
+		prefix, err := kolmo.CoverPrefix(g, u)
+		if err != nil {
+			return nil, fmt.Errorf("labels: node %d: %w", u, err)
+		}
+		if prefix > k {
+			return nil, fmt.Errorf("%w: node %d needs %d > %d", ErrCoverTooLarge, u, prefix, k)
+		}
+		aux := g.FirstNeighbors(u, k)
+		cp := make([]int, len(aux))
+		copy(cp, aux)
+		s.labels[u] = routing.Label{ID: u, Aux: cp}
+	}
+	return s, nil
+}
+
+// Name implements routing.Scheme.
+func (s *Scheme) Name() string { return "theorem2-labels" }
+
+// N implements routing.Scheme.
+func (s *Scheme) N() int { return s.n }
+
+// K returns the label list length (c+3)·log n.
+func (s *Scheme) K() int { return s.k }
+
+// Requirements implements routing.Scheme: II ∧ γ.
+func (s *Scheme) Requirements() models.Requirements {
+	return models.Requirements{NeighborsKnown: true, ArbitraryLabels: true}
+}
+
+// Label implements routing.Scheme: the (u, f(u)) pair.
+func (s *Scheme) Label(u int) routing.Label {
+	if u < 1 || u > s.n {
+		return routing.Label{}
+	}
+	return s.labels[u]
+}
+
+// LabelBits implements routing.Scheme: (1+|f(u)|)·⌈log(n+1)⌉, the paper's
+// (1+(c+3)log n)·log n.
+func (s *Scheme) LabelBits(u int) int {
+	if u < 1 || u > s.n {
+		return 0
+	}
+	return s.labels[u].Bits(s.n)
+}
+
+// FunctionBits implements routing.Scheme: O(1).
+func (s *Scheme) FunctionBits(u int) int {
+	if u < 1 || u > s.n {
+		return 0
+	}
+	return FunctionBits
+}
+
+// Route implements routing.Scheme: the constant program of Theorem 2.
+func (s *Scheme) Route(u int, env routing.Env, dest routing.Label, hdr uint64, _ int) (int, uint64, error) {
+	if u < 1 || u > s.n {
+		return 0, 0, fmt.Errorf("%w: node %d", routing.ErrNoRoute, u)
+	}
+	if port, ok := env.PortOfNeighbor(dest.ID); ok {
+		return port, hdr, nil
+	}
+	for _, w := range dest.Aux {
+		if port, ok := env.PortOfNeighbor(w); ok {
+			return port, hdr, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("%w: %d→%d (no common cover neighbour)", routing.ErrNoRoute, u, dest.ID)
+}

@@ -1,0 +1,148 @@
+// Package walker implements the Theorem 5 routing scheme: stretch
+// (c+3)·log n on Kolmogorov random graphs with O(1) bits per node — O(n)
+// bits total — in model II.
+//
+// Construction (paper, proof of Theorem 5). The local routing function is a
+// constant program: route directly to the target if it is a neighbour;
+// otherwise traverse the first (c+3)·log n incident edges of the starting
+// node one by one, asking each visited neighbour whether the target is
+// adjacent to it. If so the message is forwarded and delivered; if not it is
+// returned to the starting node, which tries the next neighbour. Lemma 3
+// guarantees a probe succeeds within the prefix; each distance-2 delivery
+// traverses at most 2(c+3)·log n edges.
+//
+// The probe index travels in the message header (2 flag bits + counter) and
+// the bounce uses the arrival port — both physically local information that
+// costs no table storage.
+package walker
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"routetab/internal/graph"
+	"routetab/internal/kolmo"
+	"routetab/internal/models"
+	"routetab/internal/routing"
+)
+
+// ErrCoverTooLarge indicates some node's Lemma 3 cover prefix exceeds the
+// (c+3)·log n probe budget.
+var ErrCoverTooLarge = errors.New("walker: cover prefix exceeds (c+3)·log n probe budget")
+
+// FunctionBits is the constant charged per node for the O(1)-bit program.
+const FunctionBits = 2
+
+// Header phases (low 2 bits of the message header).
+const (
+	phaseStart  = 0 // at the origin, nothing tried yet
+	phaseProbe  = 1 // travelling to / arriving at a probe neighbour
+	phaseBounce = 2 // returning from a failed probe
+)
+
+// Scheme is a built Theorem 5 scheme.
+type Scheme struct {
+	n int
+	c float64
+	k int // probe budget ⌈(c+3)·log₂ n⌉
+}
+
+var _ routing.Scheme = (*Scheme)(nil)
+
+// Build verifies the Lemma 3 probe property and returns the scheme. All the
+// routing logic is the constant program; only the probe budget depends on
+// (n, c).
+func Build(g *graph.Graph, c float64) (*Scheme, error) {
+	n := g.N()
+	if c <= 0 {
+		return nil, fmt.Errorf("walker: c must be positive, got %v", c)
+	}
+	k := int(math.Ceil((c + 3) * math.Log2(float64(n))))
+	if k < 1 {
+		k = 1
+	}
+	for u := 1; u <= n; u++ {
+		prefix, err := kolmo.CoverPrefix(g, u)
+		if err != nil {
+			return nil, fmt.Errorf("walker: node %d: %w", u, err)
+		}
+		if prefix > k {
+			return nil, fmt.Errorf("%w: node %d needs %d > %d", ErrCoverTooLarge, u, prefix, k)
+		}
+	}
+	return &Scheme{n: n, c: c, k: k}, nil
+}
+
+// Name implements routing.Scheme.
+func (s *Scheme) Name() string { return "theorem5-walker" }
+
+// N implements routing.Scheme.
+func (s *Scheme) N() int { return s.n }
+
+// ProbeBudget returns (c+3)·log n, the maximum number of probes.
+func (s *Scheme) ProbeBudget() int { return s.k }
+
+// Requirements implements routing.Scheme: model II.
+func (s *Scheme) Requirements() models.Requirements {
+	return models.Requirements{NeighborsKnown: true}
+}
+
+// Label implements routing.Scheme: original labels.
+func (s *Scheme) Label(u int) routing.Label { return routing.Label{ID: u} }
+
+// LabelBits implements routing.Scheme.
+func (s *Scheme) LabelBits(int) int { return 0 }
+
+// FunctionBits implements routing.Scheme: O(1).
+func (s *Scheme) FunctionBits(u int) int {
+	if u < 1 || u > s.n {
+		return 0
+	}
+	return FunctionBits
+}
+
+// Route implements routing.Scheme — the constant probe-and-return program.
+func (s *Scheme) Route(u int, env routing.Env, dest routing.Label, hdr uint64, arrival int) (int, uint64, error) {
+	if u < 1 || u > s.n || dest.ID < 1 || dest.ID > s.n {
+		return 0, 0, fmt.Errorf("%w: %d→%d", routing.ErrNoRoute, u, dest.ID)
+	}
+	// Anyone holding the message forwards directly when the target is a
+	// neighbour (free knowledge under II). This both delivers probes and
+	// short-circuits the origin's distance-1 case.
+	if port, ok := env.PortOfNeighbor(dest.ID); ok {
+		return port, 0, nil
+	}
+	phase := hdr & 3
+	t := int(hdr >> 2)
+	switch phase {
+	case phaseProbe:
+		// Failed probe: bounce back over the arrival port, keeping t.
+		if arrival < 1 {
+			return 0, 0, fmt.Errorf("%w: probe at %d with no arrival port", routing.ErrNoRoute, u)
+		}
+		return arrival, uint64(phaseBounce) | uint64(t)<<2, nil
+	case phaseBounce:
+		t++
+		fallthrough
+	case phaseStart:
+		nbs, ok := env.KnownNeighborIDs()
+		if !ok {
+			return 0, 0, fmt.Errorf("%w: neighbour knowledge denied at %d", routing.ErrNoRoute, u)
+		}
+		if t >= s.k || t >= len(nbs) {
+			return 0, 0, fmt.Errorf("%w: %d→%d probes exhausted after %d", routing.ErrNoRoute, u, dest.ID, t)
+		}
+		port, ok := env.PortOfNeighbor(nbs[t])
+		if !ok {
+			return 0, 0, fmt.Errorf("%w: probe neighbour %d not resolvable at %d", routing.ErrNoRoute, nbs[t], u)
+		}
+		return port, uint64(phaseProbe) | uint64(t)<<2, nil
+	default:
+		return 0, 0, fmt.Errorf("%w: corrupt header %#x at %d", routing.ErrNoRoute, hdr, u)
+	}
+}
+
+// MaxHops returns the paper's traversal bound 2(c+3)·log n for a distance-2
+// delivery (plus the final hop into the target).
+func (s *Scheme) MaxHops() int { return 2*s.k + 2 }

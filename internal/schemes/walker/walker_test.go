@@ -1,0 +1,209 @@
+package walker
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"routetab/internal/gengraph"
+	"routetab/internal/graph"
+	"routetab/internal/models"
+	"routetab/internal/routing"
+	"routetab/internal/shortestpath"
+)
+
+func fixture(t *testing.T, n int, seed int64) (*graph.Graph, *Scheme, *routing.Sim, *shortestpath.Distances) {
+	t.Helper()
+	g, err := gengraph.GnHalf(n, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports := graph.SortedPorts(g)
+	sim, err := routing.NewSim(g, ports, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := shortestpath.AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, s, sim, dm
+}
+
+func TestDeliversWithinProbeBudget(t *testing.T) {
+	_, s, sim, dm := fixture(t, 64, 1)
+	rep, err := routing.VerifyAll(sim, dm, s.MaxHops())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllDelivered() {
+		t.Fatalf("undelivered: %s %v", rep, rep.Failures)
+	}
+	// Theorem 5: at most 2(c+3)·log n edge traversals.
+	if rep.MaxHops > s.MaxHops() {
+		t.Fatalf("maxHops = %d > budget %d", rep.MaxHops, s.MaxHops())
+	}
+	// Stretch bound (c+3)·log n (+1 slack for the final hop at distance 2).
+	bound := 6*math.Log2(64) + 1
+	if rep.MaxStretch > bound {
+		t.Fatalf("stretch = %v > (c+3)log n = %v", rep.MaxStretch, bound)
+	}
+}
+
+func TestWalkIsGenuine(t *testing.T) {
+	// Traces must be actual walks that bounce back through the origin.
+	g, s, sim, dm := fixture(t, 64, 2)
+	sawBounce := false
+	for dst := 2; dst <= 64; dst++ {
+		if dm.Dist(1, dst) != 2 {
+			continue
+		}
+		tr, err := sim.RouteByNode(1, dst, s.MaxHops())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := routing.VerifyTraceIsWalk(g, tr); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Hops > 2 {
+			sawBounce = true
+			// A bouncing walk revisits the origin: 1 appears again.
+			count := 0
+			for _, v := range tr.Path {
+				if v == 1 {
+					count++
+				}
+			}
+			if count < 2 {
+				t.Fatalf("long walk %v does not revisit origin", tr.Path)
+			}
+		}
+	}
+	if !sawBounce {
+		t.Log("no probe ever failed (dense graph) — bounce path untested here")
+	}
+}
+
+func TestConstantSpace(t *testing.T) {
+	for _, n := range []int{64, 128, 256} {
+		g, err := gengraph.GnHalf(n, rand.New(rand.NewSource(int64(n))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Build(g, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := routing.MeasureSpace(s, models.IIAlpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp.Total != n*FunctionBits {
+			t.Errorf("n=%d: total = %d, want %d (O(n) bits)", n, sp.Total, n*FunctionBits)
+		}
+		if sp.MaxFunctionBits != FunctionBits {
+			t.Errorf("n=%d: per-node = %d, want O(1)", n, sp.MaxFunctionBits)
+		}
+	}
+}
+
+func TestProbeBudgetFormula(t *testing.T) {
+	g, err := gengraph.GnHalf(128, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(math.Ceil(6 * math.Log2(128)))
+	if s.ProbeBudget() != want {
+		t.Fatalf("ProbeBudget = %d, want %d", s.ProbeBudget(), want)
+	}
+	if s.MaxHops() != 2*want+2 {
+		t.Fatalf("MaxHops = %d, want %d", s.MaxHops(), 2*want+2)
+	}
+}
+
+func TestModelII(t *testing.T) {
+	_, s, _, _ := fixture(t, 32, 4)
+	for _, m := range models.All() {
+		_, err := routing.MeasureSpace(s, m)
+		if m.NeighborsFree() {
+			if err != nil {
+				t.Errorf("model %s rejected: %v", m, err)
+			}
+		} else if err == nil {
+			t.Errorf("model %s accepted", m)
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	g, err := gengraph.GnHalf(32, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(g, 0); err == nil {
+		t.Error("c=0 accepted")
+	}
+	if _, err := Build(g, -1); err == nil {
+		t.Error("c=-1 accepted")
+	}
+	chain, err := gengraph.Chain(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(chain, 3); err == nil {
+		t.Error("chain accepted")
+	}
+}
+
+func TestCorruptHeaderRejected(t *testing.T) {
+	_, s, sim, _ := fixture(t, 32, 6)
+	_ = sim
+	if _, _, err := s.Route(1, badEnv{}, routing.Label{ID: 2}, 3, 0); !errors.Is(err, routing.ErrNoRoute) {
+		t.Fatalf("corrupt header: err = %v, want ErrNoRoute", err)
+	}
+	if _, _, err := s.Route(0, badEnv{}, routing.Label{ID: 2}, 0, 0); !errors.Is(err, routing.ErrNoRoute) {
+		t.Fatalf("bad node: err = %v", err)
+	}
+	// Probe phase with no arrival port is corrupt.
+	if _, _, err := s.Route(1, badEnv{}, routing.Label{ID: 2}, 1, 0); !errors.Is(err, routing.ErrNoRoute) {
+		t.Fatalf("probe without arrival: err = %v", err)
+	}
+}
+
+// badEnv denies everything — simulates a non-II environment.
+type badEnv struct{}
+
+func (badEnv) Node() int                                     { return 1 }
+func (badEnv) Degree() int                                   { return 0 }
+func (badEnv) NeighborLabelByPort(int) (routing.Label, bool) { return routing.Label{}, false }
+func (badEnv) PortOfNeighbor(int) (int, bool)                { return 0, false }
+func (badEnv) KnownNeighborIDs() ([]int, bool)               { return nil, false }
+
+func TestDeniedEnvironmentFails(t *testing.T) {
+	_, s, _, _ := fixture(t, 32, 7)
+	if _, _, err := s.Route(1, badEnv{}, routing.Label{ID: 9}, 0, 0); !errors.Is(err, routing.ErrNoRoute) {
+		t.Fatalf("denied env: err = %v, want ErrNoRoute", err)
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	_, s, _, _ := fixture(t, 32, 8)
+	if s.Name() == "" || s.N() != 32 {
+		t.Error("metadata wrong")
+	}
+	if s.Label(5).ID != 5 || s.LabelBits(5) != 0 {
+		t.Error("labels wrong")
+	}
+	if s.FunctionBits(0) != 0 || s.FunctionBits(5) != FunctionBits {
+		t.Error("function bits wrong")
+	}
+}

@@ -1,0 +1,215 @@
+// Package shortestpath provides BFS-based distance machinery: single-source
+// and all-pairs shortest paths, diameter, and the per-source shortest-path
+// first-edge sets that full-information routing schemes (Theorem 10) store.
+//
+// All graphs in the paper are unweighted, so BFS is exact. All-pairs runs one
+// BFS per source, fanned out over a bounded worker pool.
+package shortestpath
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"routetab/internal/graph"
+)
+
+// Unreachable is the distance reported for disconnected pairs.
+const Unreachable = -1
+
+// ErrNodeRange indicates a node label outside {1,…,n}.
+var ErrNodeRange = errors.New("shortestpath: node label out of range")
+
+// BFSResult holds single-source shortest-path output. Slices are indexed by
+// node label (entry 0 unused).
+type BFSResult struct {
+	Source int
+	// Dist[v] is d(Source, v); Unreachable if v is not reachable.
+	Dist []int
+	// Parent[v] is the predecessor of v on one shortest path from Source
+	// (0 for the source itself and for unreachable nodes).
+	Parent []int
+}
+
+// BFS runs breadth-first search from src.
+func BFS(g *graph.Graph, src int) (*BFSResult, error) {
+	n := g.N()
+	if src < 1 || src > n {
+		return nil, fmt.Errorf("%w: source %d", ErrNodeRange, src)
+	}
+	res := &BFSResult{
+		Source: src,
+		Dist:   make([]int, n+1),
+		Parent: make([]int, n+1),
+	}
+	for v := range res.Dist {
+		res.Dist[v] = Unreachable
+	}
+	res.Dist[src] = 0
+	queue := make([]int, 0, n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if res.Dist[v] == Unreachable {
+				res.Dist[v] = res.Dist[u] + 1
+				res.Parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	return res, nil
+}
+
+// PathTo reconstructs one shortest path Source→v (inclusive), or nil if v is
+// unreachable or out of range.
+func (r *BFSResult) PathTo(v int) []int {
+	if v < 1 || v >= len(r.Dist) || r.Dist[v] == Unreachable {
+		return nil
+	}
+	path := make([]int, r.Dist[v]+1)
+	for i := len(path) - 1; i >= 0; i-- {
+		path[i] = v
+		v = r.Parent[v]
+	}
+	return path
+}
+
+// Distances is an all-pairs shortest-path matrix.
+type Distances struct {
+	n int
+	d []int32 // row-major (u−1)*n + (v−1)
+}
+
+// AllPairs computes all-pairs shortest paths with one BFS per source, run on
+// up to GOMAXPROCS workers.
+func AllPairs(g *graph.Graph) (*Distances, error) {
+	n := g.N()
+	dm := &Distances{n: n, d: make([]int32, n*n)}
+	if n == 0 {
+		return dm, nil
+	}
+	g.Neighbors(1) // build adjacency lists once, before fan-out
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	sources := make(chan int)
+	errOnce := make(chan error, 1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for src := range sources {
+				res, err := BFS(g, src)
+				if err != nil {
+					select {
+					case errOnce <- err:
+					default:
+					}
+					return
+				}
+				row := dm.d[(src-1)*n : src*n]
+				for v := 1; v <= n; v++ {
+					row[v-1] = int32(res.Dist[v])
+				}
+			}
+		}()
+	}
+	for src := 1; src <= n; src++ {
+		sources <- src
+	}
+	close(sources)
+	wg.Wait()
+	select {
+	case err := <-errOnce:
+		return nil, err
+	default:
+	}
+	return dm, nil
+}
+
+// N returns the number of nodes the matrix covers.
+func (d *Distances) N() int { return d.n }
+
+// Dist returns d(u,v), or Unreachable for disconnected or invalid pairs.
+func (d *Distances) Dist(u, v int) int {
+	if u < 1 || u > d.n || v < 1 || v > d.n {
+		return Unreachable
+	}
+	return int(d.d[(u-1)*d.n+(v-1)])
+}
+
+// Eccentricity returns the maximum finite distance from u, or Unreachable if
+// some node is unreachable from u.
+func (d *Distances) Eccentricity(u int) int {
+	if u < 1 || u > d.n {
+		return Unreachable
+	}
+	ecc := 0
+	for v := 1; v <= d.n; v++ {
+		dist := d.Dist(u, v)
+		if dist == Unreachable {
+			return Unreachable
+		}
+		if dist > ecc {
+			ecc = dist
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the largest pairwise distance, or Unreachable for a
+// disconnected graph. The empty and one-node graphs have diameter 0.
+func (d *Distances) Diameter() int {
+	diam := 0
+	for u := 1; u <= d.n; u++ {
+		ecc := d.Eccentricity(u)
+		if ecc == Unreachable {
+			return Unreachable
+		}
+		if ecc > diam {
+			diam = ecc
+		}
+	}
+	return diam
+}
+
+// FirstEdges lists, for source u and every destination v, all neighbours w of
+// u that lie on a shortest u→v path (d(w,v) = d(u,v) − 1). This is exactly
+// the information a full-information shortest-path routing function must
+// return (Theorem 10): every shortest-path-consistent outgoing edge.
+//
+// Entry v of the result is nil for v = u and for unreachable v.
+func FirstEdges(g *graph.Graph, dm *Distances, u int) ([][]int, error) {
+	n := g.N()
+	if u < 1 || u > n {
+		return nil, fmt.Errorf("%w: source %d", ErrNodeRange, u)
+	}
+	if dm.N() != n {
+		return nil, fmt.Errorf("shortestpath: distance matrix for n=%d used with n=%d", dm.N(), n)
+	}
+	out := make([][]int, n+1)
+	nb := g.Neighbors(u)
+	for v := 1; v <= n; v++ {
+		if v == u {
+			continue
+		}
+		duv := dm.Dist(u, v)
+		if duv == Unreachable {
+			continue
+		}
+		var firsts []int
+		for _, w := range nb {
+			if dm.Dist(w, v) == duv-1 {
+				firsts = append(firsts, w)
+			}
+		}
+		out[v] = firsts
+	}
+	return out, nil
+}

@@ -1,0 +1,287 @@
+package shortestpath
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"routetab/internal/gengraph"
+	"routetab/internal/graph"
+)
+
+func TestBFSChain(t *testing.T) {
+	g, err := gengraph.Chain(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BFS(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{-99, 1, 0, 1, 2, 3, 4} // index 0 unused
+	for v := 1; v <= 6; v++ {
+		if res.Dist[v] != want[v] {
+			t.Fatalf("Dist[%d] = %d, want %d", v, res.Dist[v], want[v])
+		}
+	}
+	path := res.PathTo(6)
+	wantPath := []int{2, 3, 4, 5, 6}
+	if len(path) != len(wantPath) {
+		t.Fatalf("PathTo(6) = %v", path)
+	}
+	for i := range path {
+		if path[i] != wantPath[i] {
+			t.Fatalf("PathTo(6) = %v, want %v", path, wantPath)
+		}
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	g := graph.MustNew(4)
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := BFS(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist[3] != Unreachable || res.Dist[4] != Unreachable {
+		t.Fatalf("Dist = %v, want unreachable for 3,4", res.Dist)
+	}
+	if res.PathTo(3) != nil {
+		t.Fatal("PathTo(unreachable) should be nil")
+	}
+	if res.PathTo(0) != nil || res.PathTo(99) != nil {
+		t.Fatal("PathTo(out of range) should be nil")
+	}
+}
+
+func TestBFSSourceValidation(t *testing.T) {
+	g := graph.MustNew(3)
+	if _, err := BFS(g, 0); !errors.Is(err, ErrNodeRange) {
+		t.Errorf("BFS(0): err = %v, want ErrNodeRange", err)
+	}
+	if _, err := BFS(g, 4); !errors.Is(err, ErrNodeRange) {
+		t.Errorf("BFS(4): err = %v, want ErrNodeRange", err)
+	}
+}
+
+func TestAllPairsMatchesBFS(t *testing.T) {
+	g, err := gengraph.GnHalf(50, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := 1; src <= 50; src += 7 {
+		res, err := BFS(g, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 1; v <= 50; v++ {
+			if dm.Dist(src, v) != res.Dist[v] {
+				t.Fatalf("Dist(%d,%d) = %d, BFS = %d", src, v, dm.Dist(src, v), res.Dist[v])
+			}
+		}
+	}
+}
+
+func TestAllPairsSymmetryQuick(t *testing.T) {
+	g, err := gengraph.GnHalf(30, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b uint8) bool {
+		u := int(a)%30 + 1
+		v := int(b)%30 + 1
+		return dm.Dist(u, v) == dm.Dist(v, u)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriangleInequalityQuick(t *testing.T) {
+	g, err := gengraph.Gnp(40, 0.2, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b, c uint8) bool {
+		u, v, w := int(a)%40+1, int(b)%40+1, int(c)%40+1
+		duv, duw, dwv := dm.Dist(u, v), dm.Dist(u, w), dm.Dist(w, v)
+		if duw == Unreachable || dwv == Unreachable {
+			return true
+		}
+		return duv != Unreachable && duv <= duw+dwv
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiameterKnownGraphs(t *testing.T) {
+	tests := []struct {
+		name string
+		make func() (*graph.Graph, error)
+		want int
+	}{
+		{"K5", func() (*graph.Graph, error) { return gengraph.Complete(5) }, 1},
+		{"chain6", func() (*graph.Graph, error) { return gengraph.Chain(6) }, 5},
+		{"cycle8", func() (*graph.Graph, error) { return gengraph.Cycle(8) }, 4},
+		{"star9", func() (*graph.Graph, error) { return gengraph.Star(9) }, 2},
+		{"grid3x4", func() (*graph.Graph, error) { return gengraph.Grid(3, 4) }, 5},
+		{"single", func() (*graph.Graph, error) { return graph.New(1) }, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g, err := tt.make()
+			if err != nil {
+				t.Fatal(err)
+			}
+			dm, err := AllPairs(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := dm.Diameter(); got != tt.want {
+				t.Fatalf("Diameter = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDiameterDisconnected(t *testing.T) {
+	g := graph.MustNew(3)
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	dm, err := AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm.Diameter() != Unreachable {
+		t.Fatalf("Diameter = %d, want Unreachable", dm.Diameter())
+	}
+	if dm.Eccentricity(1) != Unreachable {
+		t.Fatalf("Eccentricity(1) = %d, want Unreachable", dm.Eccentricity(1))
+	}
+}
+
+func TestDistInvalid(t *testing.T) {
+	g := graph.MustNew(2)
+	dm, err := AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm.Dist(0, 1) != Unreachable || dm.Dist(1, 3) != Unreachable {
+		t.Fatal("invalid pair should be Unreachable")
+	}
+	if dm.Eccentricity(0) != Unreachable {
+		t.Fatal("invalid eccentricity should be Unreachable")
+	}
+}
+
+func TestAllPairsEmpty(t *testing.T) {
+	g := graph.MustNew(0)
+	dm, err := AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm.N() != 0 || dm.Diameter() != 0 {
+		t.Fatalf("empty graph: N=%d diam=%d", dm.N(), dm.Diameter())
+	}
+}
+
+func TestFirstEdges(t *testing.T) {
+	// Square 1-2-4-3-1: from 1 to 4 both neighbours 2 and 3 are first edges.
+	g := graph.MustNew(4)
+	for _, e := range [][2]int{{1, 2}, {2, 4}, {4, 3}, {3, 1}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dm, err := AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := FirstEdges(g, dm, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fe[4]) != 2 || fe[4][0] != 2 || fe[4][1] != 3 {
+		t.Fatalf("FirstEdges(1)[4] = %v, want [2 3]", fe[4])
+	}
+	if len(fe[2]) != 1 || fe[2][0] != 2 {
+		t.Fatalf("FirstEdges(1)[2] = %v, want [2]", fe[2])
+	}
+	if fe[1] != nil {
+		t.Fatalf("FirstEdges(1)[1] = %v, want nil", fe[1])
+	}
+}
+
+func TestFirstEdgesPropertyRandom(t *testing.T) {
+	// Property: every listed first edge strictly decreases distance, and at
+	// least one exists for every reachable destination.
+	g, err := gengraph.Gnp(35, 0.15, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 1; u <= 35; u++ {
+		fe, err := FirstEdges(g, dm, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 1; v <= 35; v++ {
+			if v == u {
+				continue
+			}
+			duv := dm.Dist(u, v)
+			if duv == Unreachable {
+				if fe[v] != nil {
+					t.Fatalf("unreachable %d→%d has first edges %v", u, v, fe[v])
+				}
+				continue
+			}
+			if len(fe[v]) == 0 {
+				t.Fatalf("reachable %d→%d has no first edges", u, v)
+			}
+			for _, w := range fe[v] {
+				if !g.HasEdge(u, w) {
+					t.Fatalf("first edge %d→%d not adjacent", u, w)
+				}
+				if dm.Dist(w, v) != duv-1 {
+					t.Fatalf("first edge %d→%d→%d does not decrease distance", u, w, v)
+				}
+			}
+		}
+	}
+}
+
+func TestFirstEdgesValidation(t *testing.T) {
+	g := graph.MustNew(3)
+	dm, err := AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FirstEdges(g, dm, 0); !errors.Is(err, ErrNodeRange) {
+		t.Errorf("source 0: err = %v, want ErrNodeRange", err)
+	}
+	g2 := graph.MustNew(4)
+	if _, err := FirstEdges(g2, dm, 1); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}

@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// GrowthModel is one of the asymptotic shapes appearing in Table 1.
+type GrowthModel int
+
+// The candidate growth laws of the paper's bounds, in increasing order of
+// growth.
+const (
+	GrowthConst GrowthModel = iota + 1
+	GrowthN
+	GrowthNLogLogN
+	GrowthNLogN
+	GrowthNLog2N
+	GrowthN2
+	GrowthN2LogN
+	GrowthN3
+)
+
+// AllGrowthModels lists every candidate in increasing order of growth.
+func AllGrowthModels() []GrowthModel {
+	return []GrowthModel{
+		GrowthConst, GrowthN, GrowthNLogLogN, GrowthNLogN,
+		GrowthNLog2N, GrowthN2, GrowthN2LogN, GrowthN3,
+	}
+}
+
+// String renders the model in the paper's notation.
+func (m GrowthModel) String() string {
+	switch m {
+	case GrowthConst:
+		return "O(1)"
+	case GrowthN:
+		return "n"
+	case GrowthNLogLogN:
+		return "n·loglog n"
+	case GrowthNLogN:
+		return "n·log n"
+	case GrowthNLog2N:
+		return "n·log² n"
+	case GrowthN2:
+		return "n²"
+	case GrowthN2LogN:
+		return "n²·log n"
+	case GrowthN3:
+		return "n³"
+	default:
+		return fmt.Sprintf("GrowthModel(%d)", int(m))
+	}
+}
+
+// Eval computes the model's value at n (natural log-free, base-2 logs,
+// matching the paper's bit counts). Models are defined for n ≥ 4 to keep
+// loglog positive; smaller n clamps to n = 4.
+func (m GrowthModel) Eval(n int) float64 {
+	if n < 4 {
+		n = 4
+	}
+	fn := float64(n)
+	lg := math.Log2(fn)
+	switch m {
+	case GrowthConst:
+		return 1
+	case GrowthN:
+		return fn
+	case GrowthNLogLogN:
+		return fn * math.Log2(lg)
+	case GrowthNLogN:
+		return fn * lg
+	case GrowthNLog2N:
+		return fn * lg * lg
+	case GrowthN2:
+		return fn * fn
+	case GrowthN2LogN:
+		return fn * fn * lg
+	case GrowthN3:
+		return fn * fn * fn
+	default:
+		return math.NaN()
+	}
+}
+
+// GrowthFit reports how well measured sizes track a growth model.
+type GrowthFit struct {
+	Model GrowthModel
+	// Constant is the fitted multiplicative constant (median of y/f(n)).
+	Constant float64
+	// Spread is the relative spread of y/f(n) across the sweep: max/min − 1.
+	// A flat ratio (small spread) means the model matches the data shape.
+	Spread float64
+}
+
+// FitGrowth selects the candidate model whose ratio y/f(n) stays flattest
+// over the sweep. It needs at least three distinct n values; data must be
+// positive.
+func FitGrowth(ns []int, ys []float64) (GrowthFit, error) {
+	if len(ns) != len(ys) {
+		return GrowthFit{}, fmt.Errorf("stats: mismatched lengths %d, %d", len(ns), len(ys))
+	}
+	if len(ns) < 3 {
+		return GrowthFit{}, fmt.Errorf("%w: growth fit needs ≥ 3 points", ErrEmpty)
+	}
+	for i := range ns {
+		if ns[i] < 4 || ys[i] <= 0 {
+			return GrowthFit{}, fmt.Errorf("stats: growth fit needs n ≥ 4 and y > 0, got (%d, %v)", ns[i], ys[i])
+		}
+	}
+	best := GrowthFit{Spread: math.Inf(1)}
+	for _, m := range AllGrowthModels() {
+		ratios := make([]float64, len(ns))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range ns {
+			r := ys[i] / m.Eval(ns[i])
+			ratios[i] = r
+			if r < lo {
+				lo = r
+			}
+			if r > hi {
+				hi = r
+			}
+		}
+		spread := hi/lo - 1
+		if spread < best.Spread {
+			med, err := Median(ratios)
+			if err != nil {
+				return GrowthFit{}, err
+			}
+			best = GrowthFit{Model: m, Constant: med, Spread: spread}
+		}
+	}
+	return best, nil
+}
+
+// RatioAgainst returns y_i / f(n_i) for a fixed model — used to report the
+// measured constants of each theorem (e.g. Theorem 1's "6n bits per node").
+func RatioAgainst(m GrowthModel, ns []int, ys []float64) ([]float64, error) {
+	if len(ns) != len(ys) {
+		return nil, fmt.Errorf("stats: mismatched lengths %d, %d", len(ns), len(ys))
+	}
+	out := make([]float64, len(ns))
+	for i := range ns {
+		out[i] = ys[i] / m.Eval(ns[i])
+	}
+	return out, nil
+}

@@ -1,0 +1,168 @@
+// Package stats provides the small numerical toolkit the experiments need:
+// summary statistics, log-log slope estimation, growth-model fitting against
+// the paper's bound shapes (n², n log² n, n log n, n log log n, n, n³, …),
+// permutation entropy log₂(k!), and the Chernoff tail bound of Eq. (3).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty indicates a statistic of an empty sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// StdDev returns the sample standard deviation (n−1 denominator); zero for
+// samples of size one.
+func StdDev(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if len(xs) == 1 {
+		return 0, nil
+	}
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1)), nil
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) with linear interpolation.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %v out of [0,1]", q)
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Median is the 0.5-quantile.
+func Median(xs []float64) (float64, error) { return Quantile(xs, 0.5) }
+
+// Max returns the maximum of a non-empty sample.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Log2Factorial returns log₂(k!) computed via the log-gamma function. This is
+// the information content of a uniform permutation of k items — the quantity
+// behind Theorems 8 and 9 (a 1−1/2^k fraction of permutations has Kolmogorov
+// complexity k log k − O(k) ≈ log₂ k!).
+func Log2Factorial(k int) float64 {
+	if k < 2 {
+		return 0
+	}
+	lg, _ := math.Lgamma(float64(k) + 1)
+	return lg / math.Ln2
+}
+
+// ChernoffTail returns the paper's Eq. (3) bound 2·e^{−k²/(4npq)} on
+// Pr(|S_n − np| ≥ k) for a Binomial(n, p) variable.
+func ChernoffTail(n int, p float64, k float64) float64 {
+	if n <= 0 || p <= 0 || p >= 1 {
+		return 1
+	}
+	q := 1 - p
+	return 2 * math.Exp(-k*k/(4*float64(n)*p*q))
+}
+
+// DegreeDeviationBound returns the Lemma 1 deviation radius for δ-random
+// graphs: the k with k² ≈ (δ(n)+O(log n))·n, using the explicit constant from
+// the proof (k = √((δ(n)+c·log n)·n / log₂e)); degrees of a δ-random graph
+// satisfy |d − (n−1)/2| = O(k).
+func DegreeDeviationBound(n int, delta float64, clog float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	logn := math.Log2(float64(n))
+	return math.Sqrt((delta + clog*logn) * float64(n) / math.Log2(math.E))
+}
+
+// LinearFit returns the least-squares slope, intercept and R² of y against x.
+func LinearFit(xs, ys []float64) (slope, intercept, r2 float64, err error) {
+	if len(xs) != len(ys) {
+		return 0, 0, 0, fmt.Errorf("stats: mismatched lengths %d, %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, 0, 0, fmt.Errorf("%w: need ≥ 2 points", ErrEmpty)
+	}
+	mx, _ := Mean(xs)
+	my, _ := Mean(ys)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return 0, 0, 0, errors.New("stats: degenerate x values")
+	}
+	slope = sxy / sxx
+	intercept = my - slope*mx
+	if syy == 0 {
+		return slope, intercept, 1, nil
+	}
+	r2 = sxy * sxy / (sxx * syy)
+	return slope, intercept, r2, nil
+}
+
+// LogLogSlope estimates the power-law exponent of y(n) by regressing
+// log y on log n; ns and ys must be positive.
+func LogLogSlope(ns []int, ys []float64) (float64, error) {
+	if len(ns) != len(ys) {
+		return 0, fmt.Errorf("stats: mismatched lengths %d, %d", len(ns), len(ys))
+	}
+	xs := make([]float64, len(ns))
+	ls := make([]float64, len(ys))
+	for i := range ns {
+		if ns[i] <= 0 || ys[i] <= 0 {
+			return 0, fmt.Errorf("stats: log-log fit needs positive data, got (%d, %v)", ns[i], ys[i])
+		}
+		xs[i] = math.Log(float64(ns[i]))
+		ls[i] = math.Log(ys[i])
+	}
+	slope, _, _, err := LinearFit(xs, ls)
+	return slope, err
+}

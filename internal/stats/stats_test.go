@@ -1,0 +1,247 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	m, err := Mean(xs)
+	if err != nil || !almostEq(m, 5, 1e-12) {
+		t.Fatalf("Mean = %v, %v", m, err)
+	}
+	s, err := StdDev(xs)
+	if err != nil || !almostEq(s, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("StdDev = %v, %v", s, err)
+	}
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Mean(nil): err = %v, want ErrEmpty", err)
+	}
+	if _, err := StdDev(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("StdDev(nil): err = %v, want ErrEmpty", err)
+	}
+	s, err = StdDev([]float64{42})
+	if err != nil || s != 0 {
+		t.Errorf("StdDev singleton = %v, %v", s, err)
+	}
+}
+
+func TestQuantileMedianMax(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	med, err := Median(xs)
+	if err != nil || !almostEq(med, 3.5, 1e-12) {
+		t.Fatalf("Median = %v, %v", med, err)
+	}
+	q0, _ := Quantile(xs, 0)
+	q1, _ := Quantile(xs, 1)
+	if q0 != 1 || q1 != 9 {
+		t.Fatalf("Quantile extremes = %v, %v", q0, q1)
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("Quantile(1.5) accepted")
+	}
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Quantile(nil): err = %v", err)
+	}
+	mx, err := Max(xs)
+	if err != nil || mx != 9 {
+		t.Fatalf("Max = %v, %v", mx, err)
+	}
+	if _, err := Max(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Max(nil): err = %v", err)
+	}
+	// Quantile must not mutate its input.
+	if xs[0] != 3 {
+		t.Fatal("Quantile sorted the caller's slice")
+	}
+}
+
+func TestLog2Factorial(t *testing.T) {
+	// 5! = 120, log2 ≈ 6.9069.
+	if got := Log2Factorial(5); !almostEq(got, math.Log2(120), 1e-9) {
+		t.Fatalf("Log2Factorial(5) = %v", got)
+	}
+	if Log2Factorial(0) != 0 || Log2Factorial(1) != 0 {
+		t.Fatal("Log2Factorial of 0/1 should be 0")
+	}
+	// Stirling sanity: log2(k!) ≈ k·log2(k/e) for large k, within 1%.
+	k := 1000
+	approx := float64(k) * math.Log2(float64(k)/math.E)
+	if got := Log2Factorial(k); math.Abs(got-approx)/got > 0.01 {
+		t.Fatalf("Log2Factorial(1000) = %v, Stirling %v", got, approx)
+	}
+}
+
+func TestChernoffTail(t *testing.T) {
+	// Known value: n=100, p=1/2, k=10 → 2e^{-100/100} = 2/e.
+	if got := ChernoffTail(100, 0.5, 10); !almostEq(got, 2/math.E, 1e-12) {
+		t.Fatalf("ChernoffTail = %v", got)
+	}
+	if got := ChernoffTail(0, 0.5, 1); got != 1 {
+		t.Fatalf("degenerate tail = %v, want 1", got)
+	}
+	// Monotone in k.
+	if ChernoffTail(100, 0.5, 20) >= ChernoffTail(100, 0.5, 10) {
+		t.Fatal("tail not decreasing in k")
+	}
+}
+
+func TestDegreeDeviationBound(t *testing.T) {
+	if DegreeDeviationBound(1, 0, 1) != 0 {
+		t.Fatal("n=1 bound should be 0")
+	}
+	// Grows like sqrt(n log n) for δ=0.
+	b100 := DegreeDeviationBound(100, 0, 3)
+	b400 := DegreeDeviationBound(400, 0, 3)
+	if b400 <= b100 {
+		t.Fatal("bound not increasing in n")
+	}
+	ratio := b400 / b100
+	want := math.Sqrt(400 * math.Log2(400) / (100 * math.Log2(100)))
+	if !almostEq(ratio, want, 1e-9) {
+		t.Fatalf("ratio = %v, want %v", ratio, want)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 2x + 1
+	slope, intercept, r2, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(slope, 2, 1e-12) || !almostEq(intercept, 1, 1e-12) || !almostEq(r2, 1, 1e-12) {
+		t.Fatalf("fit = %v, %v, %v", slope, intercept, r2)
+	}
+	if _, _, _, err := LinearFit([]float64{1}, []float64{2}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, _, _, err := LinearFit([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Error("degenerate x accepted")
+	}
+	if _, _, _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestLogLogSlopePowerLaws(t *testing.T) {
+	ns := []int{64, 128, 256, 512, 1024}
+	for _, exp := range []float64{1, 2, 3} {
+		ys := make([]float64, len(ns))
+		for i, n := range ns {
+			ys[i] = 7 * math.Pow(float64(n), exp)
+		}
+		slope, err := LogLogSlope(ns, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEq(slope, exp, 1e-9) {
+			t.Fatalf("slope for n^%v = %v", exp, slope)
+		}
+	}
+	if _, err := LogLogSlope([]int{1, -2, 3}, []float64{1, 2, 3}); err == nil {
+		t.Error("negative n accepted")
+	}
+}
+
+func TestFitGrowthRecoversEachModel(t *testing.T) {
+	ns := []int{32, 64, 128, 256, 512, 1024}
+	for _, m := range AllGrowthModels() {
+		ys := make([]float64, len(ns))
+		for i, n := range ns {
+			ys[i] = 3.7 * m.Eval(n)
+		}
+		fit, err := FitGrowth(ns, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fit.Model != m {
+			t.Fatalf("exact %v data fitted as %v (spread %v)", m, fit.Model, fit.Spread)
+		}
+		if !almostEq(fit.Constant, 3.7, 1e-9) {
+			t.Fatalf("constant for %v = %v", m, fit.Constant)
+		}
+		if fit.Spread > 1e-9 {
+			t.Fatalf("spread for exact %v data = %v", m, fit.Spread)
+		}
+	}
+}
+
+func TestFitGrowthNoisyN2(t *testing.T) {
+	// ±10% noise on an n² law must still fit as n² over a wide sweep.
+	ns := []int{64, 128, 256, 512, 1024, 2048}
+	noise := []float64{1.1, 0.9, 1.05, 0.95, 1.08, 0.92}
+	ys := make([]float64, len(ns))
+	for i, n := range ns {
+		ys[i] = 2 * GrowthN2.Eval(n) * noise[i]
+	}
+	fit, err := FitGrowth(ns, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Model != GrowthN2 {
+		t.Fatalf("noisy n² fitted as %v", fit.Model)
+	}
+}
+
+func TestFitGrowthValidation(t *testing.T) {
+	if _, err := FitGrowth([]int{10, 20}, []float64{1, 2}); err == nil {
+		t.Error("two points accepted")
+	}
+	if _, err := FitGrowth([]int{10, 20, 30}, []float64{1, -2, 3}); err == nil {
+		t.Error("negative y accepted")
+	}
+	if _, err := FitGrowth([]int{2, 20, 30}, []float64{1, 2, 3}); err == nil {
+		t.Error("n < 4 accepted")
+	}
+}
+
+func TestGrowthModelStringsDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range AllGrowthModels() {
+		s := m.String()
+		if seen[s] {
+			t.Fatalf("duplicate model name %q", s)
+		}
+		seen[s] = true
+	}
+	if GrowthModel(99).String() == "" {
+		t.Fatal("unknown model should still render")
+	}
+}
+
+func TestGrowthModelMonotoneQuick(t *testing.T) {
+	// Every model is nondecreasing in n for n ≥ 4.
+	f := func(a uint16) bool {
+		n := int(a)%5000 + 4
+		for _, m := range AllGrowthModels() {
+			if m.Eval(n+1) < m.Eval(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRatioAgainst(t *testing.T) {
+	ns := []int{10, 100}
+	ys := []float64{600, 60000}
+	rs, err := RatioAgainst(GrowthN2, ns, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(rs[0], 6, 1e-12) || !almostEq(rs[1], 6, 1e-12) {
+		t.Fatalf("ratios = %v", rs)
+	}
+	if _, err := RatioAgainst(GrowthN2, []int{1}, nil); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}

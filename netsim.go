@@ -1,0 +1,90 @@
+package routetab
+
+import (
+	"math/rand"
+
+	"routetab/internal/gengraph"
+	"routetab/internal/lowerbound"
+	"routetab/internal/netsim"
+	"routetab/internal/portcode"
+	"routetab/internal/routing"
+	"routetab/internal/schemes/fullinfo"
+	"routetab/internal/shortestpath"
+	"routetab/internal/stats"
+)
+
+// Concurrent network simulation and the lower-bound machinery, re-exported
+// for the examples and downstream users.
+type (
+	// Network is the goroutine-per-node message-passing simulator with
+	// link-failure injection.
+	Network = netsim.Network
+	// NetworkOptions configures a Network.
+	NetworkOptions = netsim.Options
+	// FullInfoScheme is the full-information shortest-path scheme
+	// (Theorem 10); it supports failover over alternative shortest paths.
+	FullInfoScheme = fullinfo.Scheme
+	// LowerBoundFamily is the explicit Figure-1 graph family of Theorem 9.
+	LowerBoundFamily = gengraph.GB
+	// Extraction is a Theorem 9 permutation-extraction witness.
+	Extraction = lowerbound.Extraction
+	// Distances is an all-pairs shortest-path matrix.
+	Distances = shortestpath.Distances
+)
+
+// NewNetwork starts a concurrent simulation of scheme on g. Callers must
+// Close the returned network.
+func NewNetwork(g *Graph, ports *Ports, scheme Scheme, opts NetworkOptions) (*Network, error) {
+	return netsim.New(g, ports, scheme, opts)
+}
+
+// AllPairs computes all-pairs shortest-path distances.
+func AllPairs(g *Graph) (*Distances, error) { return shortestpath.AllPairs(g) }
+
+// BuildFullInformation constructs the Theorem 10 full-information scheme,
+// which keeps every shortest-path port per destination and can route around
+// failed links.
+func BuildFullInformation(g *Graph, ports *Ports) (*FullInfoScheme, error) {
+	dm, err := shortestpath.AllPairs(g)
+	if err != nil {
+		return nil, err
+	}
+	return fullinfo.Build(g, ports, dm)
+}
+
+// NewLowerBoundFamily builds the Figure-1 graph on 3k nodes with a seeded
+// hidden permutation.
+func NewLowerBoundFamily(k int, seed int64) (*LowerBoundFamily, error) {
+	return gengraph.RandomGB(k, rand.New(rand.NewSource(seed)))
+}
+
+// ExtractPermutation reconstructs a LowerBoundFamily's hidden permutation
+// from a routing scheme's local functions (Theorem 9's argument).
+func ExtractPermutation(gb *LowerBoundFamily, sim *routing.Sim) (*Extraction, error) {
+	return lowerbound.ExtractPermutation(gb, sim)
+}
+
+// VerifyExtraction checks an extraction against the hidden permutation.
+func VerifyExtraction(gb *LowerBoundFamily, ex *Extraction) error {
+	return lowerbound.VerifyExtraction(gb, ex)
+}
+
+// PermutationEntropyBits returns log₂(k!) — the information content of the
+// hidden permutation each bottom node's routing function must carry.
+func PermutationEntropyBits(k int) float64 { return stats.Log2Factorial(k) }
+
+// PortCapacityBits returns Σ_v ⌊log₂ d(v)!⌋ — how many payload bits a port
+// assignment for g can carry (the paper's footnote to model II).
+func PortCapacityBits(g *Graph) int { return portcode.Capacity(g) }
+
+// StoreInPorts hides the first nbits bits of payload in a fresh port
+// assignment (footnote to model II: the assignment is free storage).
+func StoreInPorts(g *Graph, payload []byte, nbits int) (*Ports, error) {
+	return portcode.StoreBits(g, payload, nbits)
+}
+
+// LoadFromPorts recovers nbits payload bits from an assignment produced by
+// StoreInPorts.
+func LoadFromPorts(g *Graph, ports *Ports, nbits int) ([]byte, error) {
+	return portcode.LoadBits(g, ports, nbits)
+}

@@ -1,0 +1,115 @@
+package routetab
+
+import (
+	"testing"
+)
+
+func TestNetworkFacade(t *testing.T) {
+	g, err := RandomGraph(32, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports := SortedPorts(g)
+	fi, err := BuildFullInformation(g, ports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := NewNetwork(g, ports, fi, NetworkOptions{MaxInFlight: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	dm, err := AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick a distance-2 destination so an alternative shortest path exists
+	// when the first hop's link fails.
+	dst := 0
+	for v := 2; v <= 32; v++ {
+		if dm.Dist(1, v) == 2 {
+			dst = v
+			break
+		}
+	}
+	if dst == 0 {
+		t.Skip("no distance-2 pair in sample")
+	}
+	tr, err := nw.Send(1, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Hops != 2 {
+		t.Fatalf("hops %d, want 2", tr.Hops)
+	}
+	// Failover through the facade types.
+	if err := nw.SetLinkDown(tr.Path[0], tr.Path[1], true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Send(1, dst); err != nil {
+		t.Fatalf("failover: %v", err)
+	}
+}
+
+func TestLowerBoundFacade(t *testing.T) {
+	gb, err := NewLowerBoundFamily(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gb.G.N() != 24 {
+		t.Fatalf("n = %d", gb.G.N())
+	}
+	res, err := Build(gb.G, Options{Model: ModelIA(RelabelNone), MaxStretch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(gb.G, res.Ports, res.Scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := ExtractPermutation(gb, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyExtraction(gb, ex); err != nil {
+		t.Fatal(err)
+	}
+	if PermutationEntropyBits(8) <= 0 {
+		t.Fatal("entropy should be positive")
+	}
+}
+
+func TestPortcodeFacade(t *testing.T) {
+	g, err := RandomGraph(24, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if PortCapacityBits(g) < 100 {
+		t.Fatalf("capacity = %d", PortCapacityBits(g))
+	}
+	payload := []byte("facade")
+	ports, err := StoreInPorts(g, payload, len(payload)*8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFromPorts(g, ports, len(payload)*8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back[:len(payload)]) != "facade" {
+		t.Fatalf("payload = %q", back)
+	}
+}
+
+func TestNewGraphFacade(t *testing.T) {
+	g, err := NewGraph(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1 {
+		t.Fatalf("m = %d", g.M())
+	}
+}

@@ -1,0 +1,125 @@
+// Package routetab is a Go implementation of "Optimal Routing Tables"
+// (Buhrman, Hoepman, Vitányi; PODC 1996): compact routing schemes for static
+// point-to-point networks, the nine cost models the paper analyses, the
+// Kolmogorov-random-graph machinery its bounds rest on, and the experiment
+// harness that regenerates its evaluation artefacts.
+//
+// # Quick start
+//
+//	g, _ := routetab.RandomGraph(256, 1)      // G(n, 1/2), seeded
+//	res, _ := routetab.Build(g, routetab.Options{
+//	    Model:      routetab.ModelII(routetab.RelabelNone),
+//	    MaxStretch: 1,
+//	})
+//	fmt.Println(res.Theorem, res.Space.Total, "bits")
+//	rep, _ := res.Verify(g, 1000, 42)
+//	fmt.Println(rep)
+//
+// The facade re-exports the stable surface of the internal packages; see
+// DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package routetab
+
+import (
+	"math/rand"
+
+	"routetab/internal/core"
+	"routetab/internal/eval"
+	"routetab/internal/gengraph"
+	"routetab/internal/graph"
+	"routetab/internal/kolmo"
+	"routetab/internal/models"
+	"routetab/internal/routing"
+)
+
+// Re-exported core types. The aliases keep the public API in one import path
+// while the implementation lives in internal packages.
+type (
+	// Graph is a simple undirected network on nodes {1,…,n}.
+	Graph = graph.Graph
+	// Ports is a port assignment (the paper's minimal local knowledge).
+	Ports = graph.Ports
+	// Model is one of the paper's nine cost models.
+	Model = models.Model
+	// Scheme is a routing scheme: one local routing function per node.
+	Scheme = routing.Scheme
+	// Label is a node label (ID plus charged γ-model fields).
+	Label = routing.Label
+	// Space is a scheme's accounted storage.
+	Space = routing.Space
+	// Report summarises routed pairs, deliveries, and stretch.
+	Report = routing.Report
+	// Trace is one delivered message's walk.
+	Trace = routing.Trace
+	// Options configures Build.
+	Options = core.Options
+	// Result is a built scheme with certificate and accounting.
+	Result = core.Result
+	// Certificate records which randomness predicates a graph satisfies.
+	Certificate = kolmo.Certificate
+	// ExperimentConfig parameterises the evaluation sweeps.
+	ExperimentConfig = eval.Config
+	// ExperimentResults bundles every Table 1 experiment.
+	ExperimentResults = eval.Results
+)
+
+// Relabelling dimension values (α, β, γ).
+const (
+	RelabelNone    = models.RelabelNone
+	RelabelPermute = models.RelabelPermute
+	RelabelFree    = models.RelabelFree
+)
+
+// ModelIA returns the IA ∧ r model (fixed ports, neighbours unknown).
+func ModelIA(r models.Relabeling) Model { return Model{Ports: models.PortsFixed, Relabel: r} }
+
+// ModelIB returns the IB ∧ r model (free ports, neighbours unknown).
+func ModelIB(r models.Relabeling) Model { return Model{Ports: models.PortsFree, Relabel: r} }
+
+// ModelII returns the II ∧ r model (neighbours known).
+func ModelII(r models.Relabeling) Model { return Model{Ports: models.NeighborsKnown, Relabel: r} }
+
+// ParseModel resolves names like "II^alpha" or "ib^gamma".
+func ParseModel(s string) (Model, error) { return models.Parse(s) }
+
+// AllModels lists the nine models in Table 1 order.
+func AllModels() []Model { return models.All() }
+
+// NewGraph returns an edgeless graph on n nodes.
+func NewGraph(n int) (*Graph, error) { return graph.New(n) }
+
+// RandomGraph samples a seeded uniform G(n, 1/2) graph — the computable
+// stand-in for the paper's Kolmogorov random graphs.
+func RandomGraph(n int, seed int64) (*Graph, error) {
+	return gengraph.GnHalf(n, rand.New(rand.NewSource(seed)))
+}
+
+// SortedPorts builds the canonical model-IB port assignment.
+func SortedPorts(g *Graph) *Ports { return graph.SortedPorts(g) }
+
+// AdversarialPorts builds a seeded adversarial (model IA) port assignment.
+func AdversarialPorts(g *Graph, seed int64) *Ports {
+	return graph.RandomPorts(g, rand.New(rand.NewSource(seed)))
+}
+
+// Build certifies g and constructs the paper-optimal scheme for the model
+// and stretch budget in opts.
+func Build(g *Graph, opts Options) (*Result, error) { return core.Build(g, opts) }
+
+// Certify checks the c·log n-randomness predicates (Definition 3 proxy and
+// Lemmas 1–3) on g.
+func Certify(g *Graph, c float64) (*Certificate, error) { return kolmo.Certify(g, c) }
+
+// NewSim builds the single-message reference carrier for a scheme.
+func NewSim(g *Graph, ports *Ports, scheme Scheme) (*routing.Sim, error) {
+	return routing.NewSim(g, ports, scheme)
+}
+
+// DefaultExperimentConfig is the laptop-scale evaluation sweep.
+func DefaultExperimentConfig() ExperimentConfig { return eval.DefaultConfig() }
+
+// RunExperiments executes the full Table 1 suite.
+func RunExperiments(cfg ExperimentConfig) (*ExperimentResults, error) { return eval.RunAll(cfg) }
+
+// RenderTable1 prints the measured analogue of the paper's Table 1.
+func RenderTable1(res *ExperimentResults) string { return eval.RenderTable1(res) }

@@ -1,0 +1,100 @@
+package routetab
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	g, err := RandomGraph(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build(g, Options{Model: ModelII(RelabelNone), MaxStretch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Theorem, "Theorem 1") {
+		t.Fatalf("theorem = %q", res.Theorem)
+	}
+	rep, err := res.Verify(g, 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllDelivered() || rep.MaxStretch != 1 {
+		t.Fatalf("report = %s", rep)
+	}
+}
+
+func TestModelHelpers(t *testing.T) {
+	if len(AllModels()) != 9 {
+		t.Fatal("AllModels != 9")
+	}
+	m, err := ParseModel("II^gamma")
+	if err != nil || m != ModelII(RelabelFree) {
+		t.Fatalf("ParseModel: %v %v", m, err)
+	}
+	if ModelIA(RelabelNone).String() != "IA^alpha" {
+		t.Fatal("ModelIA name")
+	}
+	if ModelIB(RelabelPermute).String() != "IB^beta" {
+		t.Fatal("ModelIB name")
+	}
+}
+
+func TestCertifyFacade(t *testing.T) {
+	g, err := RandomGraph(96, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := Certify(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cert.OK() {
+		t.Fatalf("certificate = %s", cert)
+	}
+}
+
+func TestPortsAndSim(t *testing.T) {
+	g, err := RandomGraph(32, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build(g, Options{Model: ModelIA(RelabelNone), MaxStretch: 1, Ports: AdversarialPorts(g, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(g, res.Ports, res.Scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.RouteByNode(1, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Hops < 1 || tr.Hops > 2 {
+		t.Fatalf("hops = %d", tr.Hops)
+	}
+	if SortedPorts(g).Degree(1) != g.Degree(1) {
+		t.Fatal("SortedPorts degree mismatch")
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	cfg := DefaultExperimentConfig()
+	if len(cfg.Sizes) == 0 || cfg.Trials < 1 {
+		t.Fatal("bad default config")
+	}
+	cfg.Sizes = []int{32, 48, 64}
+	cfg.Trials = 1
+	cfg.SamplePairs = 100
+	res, err := RunExperiments(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderTable1(res)
+	if !strings.Contains(out, "Table 1") {
+		t.Fatalf("table output missing header: %q", out[:60])
+	}
+}
