@@ -1,0 +1,30 @@
+# Tier-1 verification plus the race-detector and resilience smoke layers.
+# `make verify` is the full pre-merge gate (referenced from ROADMAP.md).
+
+GO ?= go
+
+.PHONY: verify vet build test race smoke clean
+
+verify: vet build test race smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Quick deterministic fault-injection sweep; the full artefact is
+# docs/resilience_n64.csv (see EXPERIMENTS.md E13).
+smoke:
+	$(GO) run ./cmd/routetab resilience -n 32 -seed 1 -pairs 40 \
+		-pmax 0.1 -pstep 0.05 -schemes fulltable,fullinfo \
+		-out $(or $(TMPDIR),/tmp)/resilience_smoke.csv
+
+clean:
+	$(GO) clean ./...

@@ -9,20 +9,29 @@
 //	routetab route   -n 256 -seed 1 -model II^alpha -stretch 2 -from 3 -to 77
 //	routetab verify  -n 256 -seed 1 -model II^gamma -stretch 1 -pairs 2000
 //	routetab portcode -n 128 -payload "hidden"
+//	routetab resilience -n 64 -seed 1 -pairs 200 -out docs/resilience_n64.csv
 //
 // Every subcommand accepts -graph <file> to run on an edge-list topology
-// instead of a generated one.
+// instead of a generated one (resilience generates its own seeded graph).
+//
+// resilience sweeps failure probability p over every requested scheme with
+// the deterministic fault-injection engine (link flaps, node crashes,
+// per-hop drops/delays/duplication, retries, degraded detours) and reports
+// delivery ratio and mean stretch per (scheme, p), as CSV when -out is set.
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
+	"strings"
 
 	"routetab/internal/core"
 	"routetab/internal/descmethods"
+	"routetab/internal/eval"
 	"routetab/internal/gengraph"
 	"routetab/internal/graph"
 	"routetab/internal/kolmo"
@@ -40,7 +49,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: routetab <gen|certify|build|route|verify|portcode> [flags]")
+		return fmt.Errorf("usage: routetab <gen|certify|build|route|verify|portcode|resilience> [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 
@@ -59,7 +68,11 @@ func run(args []string) error {
 		file    = fs.String("graph", "", "edge-list file to load instead of generating (\"n <count>\" header, \"u v\" lines)")
 		family  = fs.String("family", "gnp", "gen: graph family (gnp|chain|cycle|star|grid|tree|gb)")
 		p       = fs.Float64("p", 0.5, "gen: edge probability for gnp")
-		out     = fs.String("out", "", "gen: output file (default stdout)")
+		out     = fs.String("out", "", "gen/resilience: output file (default stdout / none)")
+		pmax    = fs.Float64("pmax", 0.2, "resilience: largest failure probability")
+		pstep   = fs.Float64("pstep", 0.01, "resilience: failure probability step")
+		schemes = fs.String("schemes", "fulltable,compact,hub,interval,fullinfo", "resilience: comma-separated schemes to sweep")
+		retries = fs.Int("retries", 3, "resilience: per-send attempt budget")
 	)
 	if err := fs.Parse(rest); err != nil {
 		return err
@@ -67,6 +80,9 @@ func run(args []string) error {
 
 	if cmd == "gen" {
 		return runGen(*family, *n, *p, *seed, *out)
+	}
+	if cmd == "resilience" {
+		return runResilience(*n, *seed, *pairs, *pmax, *pstep, *schemes, *retries, *out)
 	}
 
 	var g *graph.Graph
@@ -186,6 +202,53 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
+}
+
+// runResilience sweeps failure probability across schemes with the
+// deterministic fault-injection engine and reports delivery ratio and mean
+// stretch per (scheme, p). With -out it also writes the machine-readable CSV
+// (identical seeds reproduce it byte for byte).
+func runResilience(n int, seed int64, pairs int, pmax, pstep float64, schemes string, retries int, out string) error {
+	if pstep <= 0 {
+		return fmt.Errorf("resilience: pstep %v must be positive", pstep)
+	}
+	cfg := eval.DefaultResilienceConfig()
+	cfg.N = n
+	cfg.Seed = seed
+	cfg.Pairs = pairs
+	cfg.Retries = retries
+	cfg.Probs = nil
+	for p := 0.0; p <= pmax+1e-9; p += pstep {
+		cfg.Probs = append(cfg.Probs, math.Round(p*1000)/1000)
+	}
+	cfg.Schemes = nil
+	for _, s := range strings.Split(schemes, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			cfg.Schemes = append(cfg.Schemes, s)
+		}
+	}
+	res, err := eval.Resilience(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("resilience sweep: n=%d seed=%d pairs=%d retries=%d schemes=%s\n",
+		cfg.N, cfg.Seed, cfg.Pairs, cfg.Retries, strings.Join(cfg.Schemes, ","))
+	fmt.Print(res)
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("csv written to %s\n", out)
+	}
+	return nil
 }
 
 // runGen generates a graph of the requested family and writes its edge list.

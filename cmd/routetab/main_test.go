@@ -59,6 +59,53 @@ func TestRunPortcode(t *testing.T) {
 	}
 }
 
+func TestRunResilience(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "resilience.csv")
+	args := []string{"resilience", "-n", "32", "-seed", "1", "-pairs", "30",
+		"-pmax", "0.1", "-pstep", "0.05", "-schemes", "fulltable,fullinfo", "-out", path}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := string(data)
+	if !strings.HasPrefix(csv, "scheme,p,pairs,delivered,delivery_ratio,mean_stretch,") {
+		t.Fatalf("csv header: %q", strings.SplitN(csv, "\n", 2)[0])
+	}
+	// 2 schemes × p ∈ {0, 0.05, 0.10} plus header and trailing newline.
+	if lines := strings.Count(csv, "\n"); lines != 7 {
+		t.Fatalf("csv lines = %d, want 7:\n%s", lines, csv)
+	}
+	for _, want := range []string{"fulltable,0.00,", "fullinfo,0.10,"} {
+		if !strings.Contains(csv, want) {
+			t.Fatalf("csv missing %q:\n%s", want, csv)
+		}
+	}
+	// Identical invocation reproduces the file byte for byte.
+	path2 := filepath.Join(dir, "resilience2.csv")
+	args[len(args)-1] = path2
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	data2, err := os.ReadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatal("resilience CSV not reproducible across runs")
+	}
+	// Bad flags surface as errors.
+	if err := run([]string{"resilience", "-n", "32", "-pstep", "0"}); err == nil {
+		t.Fatal("pstep 0 accepted")
+	}
+	if err := run([]string{"resilience", "-n", "32", "-schemes", "nonesuch"}); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
 func TestRunWithGraphFile(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "g.edges")

@@ -1,0 +1,321 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"routetab/internal/faultinject"
+	"routetab/internal/gengraph"
+	"routetab/internal/graph"
+	"routetab/internal/netsim"
+	"routetab/internal/routing"
+	"routetab/internal/schemes/centers"
+	"routetab/internal/schemes/compact"
+	"routetab/internal/schemes/fullinfo"
+	"routetab/internal/schemes/fulltable"
+	"routetab/internal/schemes/hub"
+	"routetab/internal/schemes/interval"
+	"routetab/internal/shortestpath"
+)
+
+// ResilienceConfig parameterises the fault-injection sweep (E13): how every
+// scheme degrades as the δ-random graph loses links and nodes.
+type ResilienceConfig struct {
+	// N is the graph size (≥ 16).
+	N int
+	// Seed derives the graph, the pair sample, the fault plans, and the
+	// per-hop fault hashes; identical seeds reproduce byte-identical CSVs.
+	Seed int64
+	// Pairs is the number of routed (src,dst) samples per point.
+	Pairs int
+	// Probs is the failure-probability sweep (default 0, 0.01, …, 0.2).
+	Probs []float64
+	// Schemes names the constructions to sweep (see ResilienceSchemes).
+	Schemes []string
+	// Retries is the sender's attempt budget per pair (default 3).
+	Retries int
+	// TimeoutTicks is the per-send logical deadline (default 64).
+	TimeoutTicks int
+}
+
+// ResilienceSchemes lists the scheme names the sweep understands.
+func ResilienceSchemes() []string {
+	return []string{"fulltable", "compact", "hub", "interval", "fullinfo", "centers"}
+}
+
+// DefaultResilienceConfig is a laptop-scale sweep covering the five headline
+// constructions.
+func DefaultResilienceConfig() ResilienceConfig {
+	return ResilienceConfig{
+		N:            64,
+		Seed:         1,
+		Pairs:        200,
+		Probs:        DefaultFailureProbs(),
+		Schemes:      []string{"fulltable", "compact", "hub", "interval", "fullinfo"},
+		Retries:      3,
+		TimeoutTicks: 64,
+	}
+}
+
+// DefaultFailureProbs is the paper-motivated sweep p ∈ {0, 0.01, …, 0.2}.
+func DefaultFailureProbs() []float64 {
+	probs := make([]float64, 21)
+	for i := range probs {
+		probs[i] = float64(i) / 100
+	}
+	return probs
+}
+
+func (c ResilienceConfig) validate() error {
+	if c.N < 16 {
+		return fmt.Errorf("%w: n %d < 16", ErrBadConfig, c.N)
+	}
+	if c.Pairs < 1 {
+		return fmt.Errorf("%w: pairs %d", ErrBadConfig, c.Pairs)
+	}
+	if len(c.Probs) == 0 {
+		return fmt.Errorf("%w: empty probability sweep", ErrBadConfig)
+	}
+	for _, p := range c.Probs {
+		if p < 0 || p >= 1 {
+			return fmt.Errorf("%w: probability %v", ErrBadConfig, p)
+		}
+	}
+	if len(c.Schemes) == 0 {
+		return fmt.Errorf("%w: no schemes", ErrBadConfig)
+	}
+	known := map[string]bool{}
+	for _, s := range ResilienceSchemes() {
+		known[s] = true
+	}
+	for _, s := range c.Schemes {
+		if !known[s] {
+			return fmt.Errorf("%w: unknown scheme %q (have %s)",
+				ErrBadConfig, s, strings.Join(ResilienceSchemes(), ", "))
+		}
+	}
+	return nil
+}
+
+// ResiliencePoint is one (scheme, p) measurement.
+type ResiliencePoint struct {
+	Scheme string
+	// P is the failure probability driving this point's fault plan: each
+	// link fails with probability P (flapping back up mid-run), each node
+	// crashes with probability P/8, and each hop drops the message with
+	// probability P/2 before retries.
+	P float64
+	// Pairs and Delivered give the delivery ratio.
+	Pairs, Delivered int
+	// MeanStretch averages hops/dist over delivered pairs (detours count).
+	MeanStretch float64
+	// Stats is the network's quiesced counter snapshot.
+	Stats netsim.Stats
+}
+
+// DeliveryRatio returns Delivered/Pairs.
+func (p ResiliencePoint) DeliveryRatio() float64 {
+	if p.Pairs == 0 {
+		return 0
+	}
+	return float64(p.Delivered) / float64(p.Pairs)
+}
+
+// ResilienceResult is the full sweep output.
+type ResilienceResult struct {
+	Config ResilienceConfig
+	Points []ResiliencePoint
+}
+
+// resilienceBuilder constructs one named scheme for the sweep graph.
+func resilienceBuilder(name string, g *graph.Graph, ports *graph.Ports, dm *shortestpath.Distances) (routing.Scheme, error) {
+	switch name {
+	case "fulltable":
+		return fulltable.Build(g, ports)
+	case "compact":
+		return compact.Build(g, compact.DefaultOptions())
+	case "hub":
+		return hub.Build(g, 1)
+	case "interval":
+		return interval.Build(g, ports, 1)
+	case "fullinfo":
+		return fullinfo.Build(g, ports, dm)
+	case "centers":
+		return centers.Build(g, 1)
+	}
+	return nil, fmt.Errorf("%w: unknown scheme %q", ErrBadConfig, name)
+}
+
+// Resilience runs the fault-injection sweep: for every scheme and failure
+// probability it draws a deterministic fault plan (link flaps, node crashes)
+// and per-hop fault stream (drops, delays, ghost duplicates), routes the
+// sampled pairs sequentially on a degraded-mode network with retries, and
+// reports delivery ratio and mean stretch. Everything is keyed on
+// Config.Seed; two runs produce identical results byte for byte.
+func Resilience(cfg ResilienceConfig) (*ResilienceResult, error) {
+	if cfg.Retries < 1 {
+		cfg.Retries = 3
+	}
+	if cfg.TimeoutTicks <= 0 {
+		cfg.TimeoutTicks = 64
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g, err := gengraph.GnHalf(cfg.N, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	ports := graph.SortedPorts(g)
+	dm, err := shortestpath.AllPairs(g)
+	if err != nil {
+		return nil, err
+	}
+	pairs := samplePairs(cfg.N, cfg.Pairs, cfg.Seed)
+
+	res := &ResilienceResult{Config: cfg}
+	for _, name := range cfg.Schemes {
+		scheme, err := resilienceBuilder(name, g, ports, dm)
+		if err != nil {
+			return nil, fmt.Errorf("eval: building %s: %w", name, err)
+		}
+		for _, p := range cfg.Probs {
+			pt, err := cfg.runPoint(g, ports, dm, scheme, name, p, pairs)
+			if err != nil {
+				return nil, fmt.Errorf("eval: %s at p=%.2f: %w", name, p, err)
+			}
+			res.Points = append(res.Points, pt)
+		}
+	}
+	return res, nil
+}
+
+// runPoint measures one (scheme, p) cell: fresh network, fresh injector,
+// strictly sequential sends with the injector's clock advancing one tick per
+// pair so mid-run flaps and repairs fire deterministically.
+func (cfg ResilienceConfig) runPoint(g *graph.Graph, ports *graph.Ports, dm *shortestpath.Distances,
+	scheme routing.Scheme, name string, p float64, pairs [][2]int) (ResiliencePoint, error) {
+	pt := ResiliencePoint{Scheme: name, P: p, Pairs: len(pairs)}
+	planSeed := cfg.Seed*1_000_003 + int64(p*1000)*7919
+	plan, err := faultinject.RandomPlan(g, faultinject.PlanConfig{
+		LinkFailProb:  p,
+		NodeCrashProb: p / 8,
+		Horizon:       max(1, len(pairs)/2),
+		RepairAfter:   max(1, len(pairs)/4),
+	}, planSeed)
+	if err != nil {
+		return pt, err
+	}
+	inj, err := faultinject.New(faultinject.Config{
+		Seed:          planSeed + 1,
+		DropProb:      p / 2,
+		DupProb:       p / 8,
+		MaxDelayTicks: 2,
+	}, plan)
+	if err != nil {
+		return pt, err
+	}
+	nw, err := netsim.New(g, ports, scheme, netsim.Options{
+		Degraded:     true,
+		TimeoutTicks: cfg.TimeoutTicks,
+		Retry: netsim.RetryPolicy{
+			MaxAttempts: cfg.Retries,
+			BaseBackoff: 50 * time.Microsecond,
+			MaxBackoff:  2 * time.Millisecond,
+			Jitter:      0.5,
+		},
+		Hook: inj,
+	})
+	if err != nil {
+		return pt, err
+	}
+	defer nw.Close()
+	inj.Bind(nw)
+
+	var stretchSum float64
+	var stretched int
+	for i, pr := range pairs {
+		if err := inj.AdvanceTo(i); err != nil {
+			return pt, err
+		}
+		tr, err := nw.Send(pr[0], pr[1])
+		if err != nil {
+			continue
+		}
+		pt.Delivered++
+		if d := dm.Dist(pr[0], pr[1]); d > 0 {
+			stretchSum += float64(tr.Hops) / float64(d)
+			stretched++
+		}
+	}
+	if stretched > 0 {
+		pt.MeanStretch = stretchSum / float64(stretched)
+	}
+	nw.Quiesce()
+	pt.Stats = nw.Stats()
+	return pt, nil
+}
+
+// samplePairs draws the deterministic routed sample: distinct (src,dst)
+// pairs, duplicates allowed across draws.
+func samplePairs(n, count int, seed int64) [][2]int {
+	rng := rand.New(rand.NewSource(seed*31 + 17))
+	pairs := make([][2]int, 0, count)
+	for len(pairs) < count {
+		u := rng.Intn(n) + 1
+		v := rng.Intn(n) + 1
+		if u != v {
+			pairs = append(pairs, [2]int{u, v})
+		}
+	}
+	return pairs
+}
+
+// WriteCSV emits the sweep as CSV (stable field formatting, so identical
+// sweeps serialise byte-identically).
+func (r *ResilienceResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "scheme,p,pairs,delivered,delivery_ratio,mean_stretch,retries,dropped,timed_out,detour_hops,crashed,duplicated"); err != nil {
+		return err
+	}
+	for _, pt := range r.Points {
+		if _, err := fmt.Fprintf(w, "%s,%.2f,%d,%d,%.4f,%.4f,%d,%d,%d,%d,%d,%d\n",
+			pt.Scheme, pt.P, pt.Pairs, pt.Delivered, pt.DeliveryRatio(), pt.MeanStretch,
+			pt.Stats.Retries, pt.Stats.Dropped, pt.Stats.TimedOut,
+			pt.Stats.DetourHops, pt.Stats.Crashed, pt.Stats.Duplicated); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders a per-scheme summary table: delivery ratio and mean stretch
+// at the extremes of the sweep.
+func (r *ResilienceResult) String() string {
+	byScheme := map[string][]ResiliencePoint{}
+	var order []string
+	for _, pt := range r.Points {
+		if _, ok := byScheme[pt.Scheme]; !ok {
+			order = append(order, pt.Scheme)
+		}
+		byScheme[pt.Scheme] = append(byScheme[pt.Scheme], pt)
+	}
+	var b strings.Builder
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scheme\tp\tdelivered\tratio\tstretch\tretries\tdetours")
+	for _, name := range order {
+		pts := byScheme[name]
+		sort.Slice(pts, func(i, j int) bool { return pts[i].P < pts[j].P })
+		for _, pt := range pts {
+			fmt.Fprintf(tw, "%s\t%.2f\t%d/%d\t%.3f\t%.3f\t%d\t%d\n",
+				pt.Scheme, pt.P, pt.Delivered, pt.Pairs, pt.DeliveryRatio(),
+				pt.MeanStretch, pt.Stats.Retries, pt.Stats.DetourHops)
+		}
+	}
+	tw.Flush()
+	return b.String()
+}

@@ -1,0 +1,110 @@
+package eval
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func smallResilienceConfig() ResilienceConfig {
+	return ResilienceConfig{
+		N:            32,
+		Seed:         5,
+		Pairs:        40,
+		Probs:        []float64{0, 0.05, 0.15},
+		Schemes:      []string{"fulltable", "fullinfo"},
+		Retries:      3,
+		TimeoutTicks: 64,
+	}
+}
+
+func TestResilienceDeterministicCSV(t *testing.T) {
+	// Acceptance criterion: identical seed + fault plan ⇒ byte-identical CSV
+	// across two full runs.
+	var a, b bytes.Buffer
+	for i, buf := range []*bytes.Buffer{&a, &b} {
+		res, err := Resilience(smallResilienceConfig())
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if err := res.WriteCSV(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("CSV not reproducible:\n--- run 1 ---\n%s--- run 2 ---\n%s", a.String(), b.String())
+	}
+}
+
+func TestResilienceSweepShape(t *testing.T) {
+	cfg := smallResilienceConfig()
+	res, err := Resilience(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(cfg.Schemes)*len(cfg.Probs) {
+		t.Fatalf("points = %d, want %d", len(res.Points), len(cfg.Schemes)*len(cfg.Probs))
+	}
+	byKey := map[string]ResiliencePoint{}
+	for _, pt := range res.Points {
+		byKey[pt.Scheme] = pt // last wins; p=0 checked below
+		if pt.Pairs != cfg.Pairs {
+			t.Fatalf("%s p=%.2f: pairs = %d", pt.Scheme, pt.P, pt.Pairs)
+		}
+		if pt.DeliveryRatio() < 0 || pt.DeliveryRatio() > 1 {
+			t.Fatalf("ratio %v out of range", pt.DeliveryRatio())
+		}
+		if pt.P == 0 {
+			if pt.DeliveryRatio() != 1 {
+				t.Fatalf("%s: delivery ratio %.3f at p=0, want 1.0", pt.Scheme, pt.DeliveryRatio())
+			}
+			if pt.Stats.Dropped != 0 || pt.Stats.Crashed != 0 {
+				t.Fatalf("%s: faults at p=0: %+v", pt.Scheme, pt.Stats)
+			}
+			if pt.MeanStretch < 1 {
+				t.Fatalf("%s: stretch %.3f < 1 at p=0", pt.Scheme, pt.MeanStretch)
+			}
+		} else if pt.Stats.Dropped == 0 && pt.Stats.Retries == 0 && pt.Stats.DetourHops == 0 {
+			t.Fatalf("%s p=%.2f: no fault activity recorded: %+v", pt.Scheme, pt.P, pt.Stats)
+		}
+	}
+	// The CSV covers every scheme.
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	csv := buf.String()
+	if !strings.HasPrefix(csv, "scheme,p,") {
+		t.Fatalf("csv header: %q", strings.SplitN(csv, "\n", 2)[0])
+	}
+	for _, s := range cfg.Schemes {
+		if !strings.Contains(csv, s+",") {
+			t.Fatalf("scheme %s missing from CSV", s)
+		}
+	}
+	if res.String() == "" || !strings.Contains(res.String(), "ratio") {
+		t.Fatal("summary table empty")
+	}
+}
+
+func TestResilienceConfigValidation(t *testing.T) {
+	for _, cfg := range []ResilienceConfig{
+		{N: 8, Pairs: 10, Probs: []float64{0}, Schemes: []string{"fulltable"}},
+		{N: 32, Pairs: 0, Probs: []float64{0}, Schemes: []string{"fulltable"}},
+		{N: 32, Pairs: 10, Probs: nil, Schemes: []string{"fulltable"}},
+		{N: 32, Pairs: 10, Probs: []float64{1.5}, Schemes: []string{"fulltable"}},
+		{N: 32, Pairs: 10, Probs: []float64{0}, Schemes: nil},
+		{N: 32, Pairs: 10, Probs: []float64{0}, Schemes: []string{"nonesuch"}},
+	} {
+		if _, err := Resilience(cfg); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+	if got := len(DefaultFailureProbs()); got != 21 {
+		t.Fatalf("default probs = %d, want 21 (0 … 0.2)", got)
+	}
+	if DefaultFailureProbs()[20] != 0.2 {
+		t.Fatalf("last prob = %v", DefaultFailureProbs()[20])
+	}
+}

@@ -1,0 +1,277 @@
+// Package faultinject is the deterministic fault-injection engine for
+// internal/netsim: a seed-driven Plan of scheduled topology events (link
+// flaps, node crashes and recoveries) on a logical-tick clock, plus an
+// Injector that applies the plan to a running network through a narrow
+// Target interface and perturbs per-hop message handling (probabilistic
+// drops, bounded random delays, duplication) as a netsim.FaultHook.
+//
+// Determinism is the design centre: every per-hop decision is a pure hash of
+// (seed, message ID, node, hop count) — never of wall-clock time, goroutine
+// scheduling, or shared RNG state — and plan events fire only when the
+// driver advances the logical clock. Identical seed + plan therefore yields
+// identical outcomes, which the resilience sweep in internal/eval turns into
+// byte-identical CSVs.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"routetab/internal/netsim"
+)
+
+// Errors.
+var (
+	// ErrBadConfig reports invalid injector or plan parameters.
+	ErrBadConfig = errors.New("faultinject: bad config")
+	// ErrUnbound indicates clock advancement before Bind.
+	ErrUnbound = errors.New("faultinject: injector not bound to a target")
+)
+
+// EventKind enumerates scheduled topology faults.
+type EventKind int
+
+// Event kinds.
+const (
+	LinkDown EventKind = iota + 1
+	LinkUp
+	NodeCrash
+	NodeRecover
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case LinkDown:
+		return "link-down"
+	case LinkUp:
+		return "link-up"
+	case NodeCrash:
+		return "node-crash"
+	case NodeRecover:
+		return "node-recover"
+	}
+	return fmt.Sprintf("event-kind-%d", int(k))
+}
+
+// Event is one scheduled topology fault. Link events use U and V; node
+// events use U only.
+type Event struct {
+	Tick int
+	Kind EventKind
+	U, V int
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	if e.Kind == LinkDown || e.Kind == LinkUp {
+		return fmt.Sprintf("t=%d %s %d-%d", e.Tick, e.Kind, e.U, e.V)
+	}
+	return fmt.Sprintf("t=%d %s %d", e.Tick, e.Kind, e.U)
+}
+
+// Plan is a schedule of topology events on the logical-tick clock. Events at
+// the same tick apply in slice order (the order is part of the plan's
+// identity, so plans replay deterministically).
+type Plan struct {
+	Events []Event
+}
+
+// Sort stably orders the events by tick, preserving same-tick input order.
+func (p *Plan) Sort() {
+	sort.SliceStable(p.Events, func(i, j int) bool { return p.Events[i].Tick < p.Events[j].Tick })
+}
+
+// Horizon returns one past the last scheduled tick (0 for an empty plan).
+func (p *Plan) Horizon() int {
+	h := 0
+	for _, e := range p.Events {
+		if e.Tick+1 > h {
+			h = e.Tick + 1
+		}
+	}
+	return h
+}
+
+// Target is the narrow control surface the injector drives a network
+// through. *netsim.Network satisfies it.
+type Target interface {
+	SetLinkDown(u, v int, isDown bool) error
+	SetNodeDown(u int, isDown bool) error
+}
+
+// Config parameterises the per-hop stochastic faults.
+type Config struct {
+	// Seed keys every per-hop hash decision.
+	Seed int64
+	// DropProb is the per-hop probability a message is discarded.
+	DropProb float64
+	// DupProb is the per-hop probability a ghost duplicate is forwarded.
+	DupProb float64
+	// MaxDelayTicks bounds the uniform per-hop logical delay (0 = none).
+	MaxDelayTicks int
+}
+
+func (c Config) validate() error {
+	if c.DropProb < 0 || c.DropProb >= 1 {
+		return fmt.Errorf("%w: drop probability %v", ErrBadConfig, c.DropProb)
+	}
+	if c.DupProb < 0 || c.DupProb >= 1 {
+		return fmt.Errorf("%w: duplication probability %v", ErrBadConfig, c.DupProb)
+	}
+	if c.MaxDelayTicks < 0 {
+		return fmt.Errorf("%w: max delay %d", ErrBadConfig, c.MaxDelayTicks)
+	}
+	return nil
+}
+
+// Injector owns the logical clock, applies plan events as the clock
+// advances, and implements netsim.FaultHook for per-hop faults.
+type Injector struct {
+	cfg  Config
+	seed uint64
+
+	mu     sync.Mutex
+	events []Event
+	next   int
+	tick   int
+	target Target
+}
+
+var _ netsim.FaultHook = (*Injector)(nil)
+
+// New validates cfg and builds an injector for plan (nil means no scheduled
+// events). Bind it to a network before advancing the clock.
+func New(cfg Config, plan *Plan) (*Injector, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	var events []Event
+	if plan != nil {
+		events = make([]Event, len(plan.Events))
+		copy(events, plan.Events)
+		sort.SliceStable(events, func(i, j int) bool { return events[i].Tick < events[j].Tick })
+	}
+	return &Injector{
+		cfg:    cfg,
+		seed:   Mix64(uint64(cfg.Seed) ^ 0xA24BAED4963EE407),
+		events: events,
+	}, nil
+}
+
+// Bind attaches the target the plan's events are applied to. It is required
+// before Step/AdvanceTo because the network must exist first (the network in
+// turn is constructed with the injector as its Options.Hook).
+func (in *Injector) Bind(t Target) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.target = t
+}
+
+// Tick returns the current logical time.
+func (in *Injector) Tick() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.tick
+}
+
+// Step advances the clock by one tick, applying every event due at or before
+// the new time.
+func (in *Injector) Step() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.advanceTo(in.tick + 1)
+}
+
+// AdvanceTo moves the clock to tick (monotone: earlier times are a no-op)
+// and applies every event with Event.Tick ≤ tick in schedule order.
+func (in *Injector) AdvanceTo(tick int) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.advanceTo(tick)
+}
+
+func (in *Injector) advanceTo(tick int) error {
+	if tick > in.tick {
+		in.tick = tick
+	}
+	if in.next >= len(in.events) {
+		return nil
+	}
+	if in.target == nil {
+		return ErrUnbound
+	}
+	for in.next < len(in.events) && in.events[in.next].Tick <= in.tick {
+		e := in.events[in.next]
+		in.next++
+		var err error
+		switch e.Kind {
+		case LinkDown:
+			err = in.target.SetLinkDown(e.U, e.V, true)
+		case LinkUp:
+			err = in.target.SetLinkDown(e.U, e.V, false)
+		case NodeCrash:
+			err = in.target.SetNodeDown(e.U, true)
+		case NodeRecover:
+			err = in.target.SetNodeDown(e.U, false)
+		default:
+			err = fmt.Errorf("%w: unknown event kind %d", ErrBadConfig, int(e.Kind))
+		}
+		if err != nil {
+			return fmt.Errorf("faultinject: applying %s: %w", e, err)
+		}
+	}
+	return nil
+}
+
+// Finish applies every remaining scheduled event regardless of tick — useful
+// to restore a repaired end state before reusing a network.
+func (in *Injector) Finish() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	h := 0
+	for _, e := range in.events {
+		if e.Tick+1 > h {
+			h = e.Tick + 1
+		}
+	}
+	return in.advanceTo(h)
+}
+
+// Hash salts for the independent per-hop decisions.
+const (
+	saltDrop  = 0x8CB92BA72F3D8DD7
+	saltDup   = 0xAEF17502108EF2D9
+	saltDelay = 0xE7037ED1A0B428DB
+)
+
+// OnHop implements netsim.FaultHook: a pure hash of (seed, message ID, node,
+// hop count), safe for concurrent use, identical across runs.
+func (in *Injector) OnHop(msgID uint64, node, hops int) netsim.HopFault {
+	base := in.seed ^ Mix64(msgID) ^ Mix64(uint64(hops)*0x100000001B3+uint64(node))
+	var f netsim.HopFault
+	if in.cfg.DropProb > 0 && unit(Mix64(base^saltDrop)) < in.cfg.DropProb {
+		f.Drop = true
+		return f
+	}
+	if in.cfg.DupProb > 0 && unit(Mix64(base^saltDup)) < in.cfg.DupProb {
+		f.Duplicate = true
+	}
+	if in.cfg.MaxDelayTicks > 0 {
+		f.DelayTicks = int(Mix64(base^saltDelay) % uint64(in.cfg.MaxDelayTicks+1))
+	}
+	return f
+}
+
+// Mix64 is the SplitMix64 finaliser — the engine's deterministic hash.
+func Mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// unit maps a hash to [0,1) with 53 uniform bits.
+func unit(x uint64) float64 { return float64(x>>11) / (1 << 53) }

@@ -1,0 +1,262 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"routetab/internal/gengraph"
+	"routetab/internal/graph"
+	"routetab/internal/netsim"
+	"routetab/internal/schemes/fulltable"
+)
+
+// recorder is a Target that logs applied events.
+type recorder struct {
+	log []string
+}
+
+func (r *recorder) SetLinkDown(u, v int, down bool) error {
+	r.log = append(r.log, fmt.Sprintf("link %d-%d %v", u, v, down))
+	return nil
+}
+
+func (r *recorder) SetNodeDown(u int, down bool) error {
+	r.log = append(r.log, fmt.Sprintf("node %d %v", u, down))
+	return nil
+}
+
+func TestInjectorAppliesEventsInTickOrder(t *testing.T) {
+	plan := &Plan{Events: []Event{
+		{Tick: 2, Kind: NodeCrash, U: 7},
+		{Tick: 0, Kind: LinkDown, U: 1, V: 2},
+		{Tick: 2, Kind: LinkUp, U: 1, V: 2},
+		{Tick: 5, Kind: NodeRecover, U: 7},
+	}}
+	in, err := New(Config{Seed: 1}, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recorder{}
+	in.Bind(rec)
+	if err := in.AdvanceTo(0); err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"link 1-2 true"}; !reflect.DeepEqual(rec.log, want) {
+		t.Fatalf("log = %v, want %v", rec.log, want)
+	}
+	if err := in.Step(); err != nil { // tick 1: nothing due
+		t.Fatal(err)
+	}
+	if len(rec.log) != 1 {
+		t.Fatalf("log = %v", rec.log)
+	}
+	if err := in.Step(); err != nil { // tick 2: crash 7, repair 1-2, in plan order
+		t.Fatal(err)
+	}
+	want := []string{"link 1-2 true", "node 7 true", "link 1-2 false"}
+	if !reflect.DeepEqual(rec.log, want) {
+		t.Fatalf("log = %v, want %v", rec.log, want)
+	}
+	if in.Tick() != 2 {
+		t.Fatalf("tick = %d", in.Tick())
+	}
+	if err := in.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.log[len(rec.log)-1] != "node 7 false" {
+		t.Fatalf("log = %v", rec.log)
+	}
+}
+
+func TestInjectorUnboundAndBadConfig(t *testing.T) {
+	in, err := New(Config{Seed: 1}, &Plan{Events: []Event{{Tick: 0, Kind: LinkDown, U: 1, V: 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.AdvanceTo(3); !errors.Is(err, ErrUnbound) {
+		t.Fatalf("err = %v, want ErrUnbound", err)
+	}
+	// An event-free injector never needs a target.
+	free, err := New(Config{Seed: 1, DropProb: 0.5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := free.AdvanceTo(10); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Config{
+		{DropProb: -0.1},
+		{DropProb: 1},
+		{DupProb: 2},
+		{MaxDelayTicks: -1},
+	} {
+		if _, err := New(bad, nil); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("config %+v accepted", bad)
+		}
+	}
+	if _, err := RandomPlan(graph.MustNew(4), PlanConfig{LinkFailProb: 1.5}, 1); !errors.Is(err, ErrBadConfig) {
+		t.Fatal("bad plan config accepted")
+	}
+}
+
+func TestOnHopIsPureAndSeedSensitive(t *testing.T) {
+	cfg := Config{Seed: 42, DropProb: 0.3, DupProb: 0.2, MaxDelayTicks: 4}
+	a, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 43
+	c, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, diff := 0, 0
+	for i := 0; i < 2000; i++ {
+		id := Mix64(uint64(i))
+		fa := a.OnHop(id, i%50, i%7)
+		fb := b.OnHop(id, i%50, i%7)
+		fc := c.OnHop(id, i%50, i%7)
+		if fa != fb {
+			t.Fatalf("same seed diverged at %d: %+v vs %+v", i, fa, fb)
+		}
+		if fa == fc {
+			same++
+		} else {
+			diff++
+		}
+		if fa.DelayTicks < 0 || fa.DelayTicks > 4 {
+			t.Fatalf("delay %d out of range", fa.DelayTicks)
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical fault streams")
+	}
+	// Rates should be in the right ballpark (binomial, 2000 draws).
+	drops := 0
+	for i := 0; i < 2000; i++ {
+		if a.OnHop(Mix64(uint64(i)^0xBEEF), 1, 0).Drop {
+			drops++
+		}
+	}
+	if drops < 450 || drops > 750 {
+		t.Fatalf("drop rate %d/2000, want ≈ 600", drops)
+	}
+}
+
+func TestRandomPlanDeterministicAndCanonical(t *testing.T) {
+	g, err := gengraph.GnHalf(32, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := PlanConfig{LinkFailProb: 0.1, NodeCrashProb: 0.1, Horizon: 20, RepairAfter: 5}
+	p1, err := RandomPlan(g, pc, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := RandomPlan(g, pc, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatal("same seed produced different plans")
+	}
+	if len(p1.Events) == 0 {
+		t.Fatal("empty plan at p=0.1 on 32 nodes")
+	}
+	p3, err := RandomPlan(g, pc, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(p1, p3) {
+		t.Fatal("different seeds produced identical plans")
+	}
+	for i := 1; i < len(p1.Events); i++ {
+		if p1.Events[i].Tick < p1.Events[i-1].Tick {
+			t.Fatalf("events out of order: %v before %v", p1.Events[i-1], p1.Events[i])
+		}
+	}
+	for _, e := range p1.Events {
+		if e.Tick < 0 || e.Tick >= pc.Horizon+pc.RepairAfter {
+			t.Fatalf("event %v outside horizon", e)
+		}
+	}
+	// Repairs pair up: every down/crash has its up/recover RepairAfter later.
+	down, up := 0, 0
+	for _, e := range p1.Events {
+		switch e.Kind {
+		case LinkDown, NodeCrash:
+			down++
+		case LinkUp, NodeRecover:
+			up++
+		}
+	}
+	if down != up {
+		t.Fatalf("%d failures but %d repairs", down, up)
+	}
+	// Zero probabilities ⇒ empty plan.
+	empty, err := RandomPlan(g, PlanConfig{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.Events) != 0 {
+		t.Fatalf("plan = %v, want empty", empty.Events)
+	}
+}
+
+func TestInjectorDrivesRealNetwork(t *testing.T) {
+	// End-to-end: a plan that kills a chain's only middle link makes the far
+	// end unreachable exactly when the clock passes the event, and the flap
+	// repairs it again.
+	g := graph.MustNew(3)
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	ports := graph.SortedPorts(g)
+	s, err := fulltable.Build(g, ports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &Plan{Events: []Event{
+		{Tick: 1, Kind: LinkDown, U: 2, V: 3},
+		{Tick: 2, Kind: LinkUp, U: 2, V: 3},
+	}}
+	in, err := New(Config{Seed: 3}, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := netsim.New(g, ports, s, netsim.Options{Hook: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	in.Bind(nw)
+
+	if err := in.AdvanceTo(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Send(1, 3); err != nil {
+		t.Fatalf("tick 0: %v", err)
+	}
+	if err := in.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Send(1, 3); !errors.Is(err, netsim.ErrLinkDown) {
+		t.Fatalf("tick 1: err = %v, want ErrLinkDown", err)
+	}
+	if err := in.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Send(1, 3); err != nil {
+		t.Fatalf("tick 2 (repaired): %v", err)
+	}
+}

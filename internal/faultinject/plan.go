@@ -1,0 +1,84 @@
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+
+	"routetab/internal/graph"
+)
+
+// PlanConfig parameterises RandomPlan.
+type PlanConfig struct {
+	// LinkFailProb is the probability each link fails during the plan.
+	LinkFailProb float64
+	// NodeCrashProb is the probability each node crashes during the plan.
+	NodeCrashProb float64
+	// Horizon is the tick range failures are scheduled in: each selected
+	// fault starts at a uniform tick in [0, Horizon). Horizon ≤ 1 schedules
+	// everything at tick 0.
+	Horizon int
+	// RepairAfter, when positive, schedules the matching repair event
+	// RepairAfter ticks after each failure (flaps); 0 makes failures
+	// permanent for the run.
+	RepairAfter int
+}
+
+func (pc PlanConfig) validate() error {
+	if pc.LinkFailProb < 0 || pc.LinkFailProb >= 1 {
+		return fmt.Errorf("%w: link failure probability %v", ErrBadConfig, pc.LinkFailProb)
+	}
+	if pc.NodeCrashProb < 0 || pc.NodeCrashProb >= 1 {
+		return fmt.Errorf("%w: node crash probability %v", ErrBadConfig, pc.NodeCrashProb)
+	}
+	if pc.Horizon < 0 || pc.RepairAfter < 0 {
+		return fmt.Errorf("%w: horizon %d, repair-after %d", ErrBadConfig, pc.Horizon, pc.RepairAfter)
+	}
+	return nil
+}
+
+// RandomPlan draws a δ-random fault schedule for g: every link fails
+// independently with probability LinkFailProb and every node crashes with
+// probability NodeCrashProb, each at a uniform tick within the horizon,
+// optionally repaired RepairAfter ticks later. Links and nodes are visited
+// in canonical order (edges with u < v ascending, then nodes), so the plan
+// is a pure function of (g, pc, seed).
+func RandomPlan(g *graph.Graph, pc PlanConfig, seed int64) (*Plan, error) {
+	if err := pc.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tick := func() int {
+		if pc.Horizon <= 1 {
+			return 0
+		}
+		return rng.Intn(pc.Horizon)
+	}
+	var plan Plan
+	for u := 1; u <= g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if v <= u {
+				continue
+			}
+			if rng.Float64() >= pc.LinkFailProb {
+				continue
+			}
+			t := tick()
+			plan.Events = append(plan.Events, Event{Tick: t, Kind: LinkDown, U: u, V: v})
+			if pc.RepairAfter > 0 {
+				plan.Events = append(plan.Events, Event{Tick: t + pc.RepairAfter, Kind: LinkUp, U: u, V: v})
+			}
+		}
+	}
+	for u := 1; u <= g.N(); u++ {
+		if rng.Float64() >= pc.NodeCrashProb {
+			continue
+		}
+		t := tick()
+		plan.Events = append(plan.Events, Event{Tick: t, Kind: NodeCrash, U: u})
+		if pc.RepairAfter > 0 {
+			plan.Events = append(plan.Events, Event{Tick: t + pc.RepairAfter, Kind: NodeRecover, U: u})
+		}
+	}
+	plan.Sort()
+	return &plan, nil
+}

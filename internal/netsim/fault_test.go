@@ -1,0 +1,558 @@
+package netsim
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"routetab/internal/graph"
+	"routetab/internal/routing"
+	"routetab/internal/schemes/fulltable"
+	"routetab/internal/schemes/fullinfo"
+	"routetab/internal/shortestpath"
+)
+
+// hookFunc adapts a function to FaultHook for tests.
+type hookFunc func(id uint64, node, hops int) HopFault
+
+func (f hookFunc) OnHop(id uint64, node, hops int) HopFault { return f(id, node, hops) }
+
+// square returns the 4-cycle 1-2-4-3-1 with sorted ports.
+func square(t *testing.T) (*graph.Graph, *graph.Ports) {
+	t.Helper()
+	g := graph.MustNew(4)
+	for _, e := range [][2]int{{1, 2}, {2, 4}, {4, 3}, {3, 1}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g, graph.SortedPorts(g)
+}
+
+func TestDropThenRetryRecovers(t *testing.T) {
+	g, ports := randomNet(t, 16, 11)
+	s, err := fulltable.Build(g, ports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop attempt 0's message wherever it is; the retry carries a fresh
+	// message ID and passes.
+	src, dst := 1, 9
+	attempt0 := msgID(src, dst, 0)
+	nw, err := New(g, ports, s, Options{
+		Retry: RetryPolicy{MaxAttempts: 3, BaseBackoff: 50 * time.Microsecond, Jitter: 0.5},
+		Hook: hookFunc(func(id uint64, node, hops int) HopFault {
+			return HopFault{Drop: id == attempt0}
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	tr, err := nw.Send(src, dst)
+	if err != nil {
+		t.Fatalf("send with retry: %v", err)
+	}
+	if tr == nil || tr.Dest != dst {
+		t.Fatalf("trace = %+v", tr)
+	}
+	st := nw.Stats()
+	if st.Retries != 1 || st.Dropped != 1 || st.Delivered != 1 || st.Failed != 0 {
+		t.Fatalf("stats = %+v, want 1 retry, 1 drop, 1 delivered", st)
+	}
+}
+
+func TestRetriesExhaustedFails(t *testing.T) {
+	g, ports := randomNet(t, 16, 12)
+	s, err := fulltable.Build(g, ports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := New(g, ports, s, Options{
+		Retry: RetryPolicy{MaxAttempts: 3, BaseBackoff: 50 * time.Microsecond},
+		Hook: hookFunc(func(uint64, int, int) HopFault {
+			return HopFault{Drop: true}
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	if _, err := nw.Send(1, 5); !errors.Is(err, ErrDropped) {
+		t.Fatalf("err = %v, want ErrDropped", err)
+	}
+	st := nw.Stats()
+	if st.Retries != 2 || st.Dropped != 3 || st.Failed != 1 {
+		t.Fatalf("stats = %+v, want 2 retries, 3 drops, 1 failed", st)
+	}
+}
+
+func TestLogicalTickTimeout(t *testing.T) {
+	g, ports := randomNet(t, 16, 13)
+	s, err := fulltable.Build(g, ports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := New(g, ports, s, Options{
+		TimeoutTicks: 3,
+		Hook: hookFunc(func(uint64, int, int) HopFault {
+			return HopFault{DelayTicks: 10} // every hop blows the budget
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	// A distance ≥ 2 pair needs a second hop, which arrives past the budget.
+	dm, err := shortestpath.AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 1; u <= 16; u++ {
+		for v := 1; v <= 16; v++ {
+			if dm.Dist(u, v) >= 2 {
+				if _, err := nw.Send(u, v); !errors.Is(err, ErrTimeout) {
+					t.Fatalf("err = %v, want ErrTimeout", err)
+				}
+				if nw.Stats().TimedOut == 0 {
+					t.Fatal("timeout not counted")
+				}
+				return
+			}
+		}
+	}
+	t.Skip("no distance-2 pair in sample")
+}
+
+func TestDegradedDetourRoutesAroundDownLink(t *testing.T) {
+	g, ports := square(t)
+	s, err := fulltable.Build(g, ports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := New(g, ports, s, Options{Degraded: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	tr, err := nw.Send(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := tr.Path[1]
+	if err := nw.SetLinkDown(1, first, true); err != nil {
+		t.Fatal(err)
+	}
+	tr, err = nw.Send(1, 4)
+	if err != nil {
+		t.Fatalf("degraded send: %v", err)
+	}
+	other := 2 + 3 - first // the square's other middle node
+	if len(tr.Path) < 2 || tr.Path[1] != other {
+		t.Fatalf("detour path = %v, want via %d", tr.Path, other)
+	}
+	st := nw.Stats()
+	if st.DetourHops == 0 {
+		t.Fatalf("stats = %+v, want detour hops > 0", st)
+	}
+}
+
+func TestDetourLinkAlsoDownFails(t *testing.T) {
+	// Both of node 1's links die: degraded mode has no live neighbour, and
+	// full-information failover must fail the same way.
+	g, ports := square(t)
+	for _, build := range []func() (routing.Scheme, error){
+		func() (routing.Scheme, error) { return fulltable.Build(g, ports) },
+		func() (routing.Scheme, error) {
+			dm, err := shortestpath.AllPairs(g)
+			if err != nil {
+				return nil, err
+			}
+			return fullinfo.Build(g, ports, dm)
+		},
+	} {
+		s, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw, err := New(g, ports, s, Options{Degraded: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nw.SetLinkDown(1, 2, true); err != nil {
+			t.Fatal(err)
+		}
+		if err := nw.SetLinkDown(1, 3, true); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nw.Send(1, 4); !errors.Is(err, ErrLinkDown) {
+			t.Fatalf("%s: err = %v, want ErrLinkDown", s.Name(), err)
+		}
+		// Repair one link: the detour (or failover) works again.
+		if err := nw.SetLinkDown(1, 3, false); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nw.Send(1, 4); err != nil {
+			t.Fatalf("%s: after repair: %v", s.Name(), err)
+		}
+		nw.Close()
+	}
+}
+
+func TestDetourBudgetExhausted(t *testing.T) {
+	g, ports := square(t)
+	s, err := fulltable.Build(g, ports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := New(g, ports, s, Options{Degraded: true, MaxDetours: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	// 1→4 must cross to the far corner; with both middle links to 4 down the
+	// message keeps detouring between 2 and 3 until the budget dies.
+	if err := nw.SetLinkDown(2, 4, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.SetLinkDown(3, 4, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Send(1, 4); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("err = %v, want ErrLinkDown (budget exhausted)", err)
+	}
+}
+
+func TestNodeCrashAndRecovery(t *testing.T) {
+	g, ports := square(t)
+	s, err := fulltable.Build(g, ports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := New(g, ports, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	tr, err := nw.Send(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := tr.Path[1]
+	if err := nw.SetNodeDown(mid, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Send(1, 4); !errors.Is(err, ErrNodeDown) && !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("err = %v, want ErrNodeDown or ErrLinkDown", err)
+	}
+	// A crashed destination loses the message too.
+	if err := nw.SetNodeDown(mid, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.SetNodeDown(4, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Send(1, 4); err == nil {
+		t.Fatal("send to crashed destination succeeded")
+	}
+	if err := nw.SetNodeDown(4, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Send(1, 4); err != nil {
+		t.Fatalf("after recovery: %v", err)
+	}
+	// A crashed source loses the message in its own event loop — the one
+	// place a message is handled at a crashed node (neighbours otherwise
+	// detect the crash as a blocked link before forwarding).
+	if err := nw.SetNodeDown(1, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Send(1, 4); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("crashed source: err = %v, want ErrNodeDown", err)
+	}
+	if nw.Stats().Crashed == 0 {
+		t.Fatal("crash losses not counted")
+	}
+	if err := nw.SetNodeDown(0, true); err == nil {
+		t.Fatal("bad node accepted")
+	}
+}
+
+func TestCrashedNeighborTriggersDegradedDetour(t *testing.T) {
+	g, ports := square(t)
+	s, err := fulltable.Build(g, ports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := New(g, ports, s, Options{Degraded: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	tr, err := nw.Send(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := tr.Path[1]
+	if err := nw.SetNodeDown(mid, true); err != nil {
+		t.Fatal(err)
+	}
+	tr, err = nw.Send(1, 4)
+	if err != nil {
+		t.Fatalf("degraded send around crashed node: %v", err)
+	}
+	other := 2 + 3 - mid
+	if tr.Path[1] != other {
+		t.Fatalf("path = %v, want via %d", tr.Path, other)
+	}
+}
+
+func TestDuplicationGhostsAreBenign(t *testing.T) {
+	g, ports := randomNet(t, 24, 14)
+	s, err := fulltable.Build(g, ports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := New(g, ports, s, Options{
+		Hook: hookFunc(func(uint64, int, int) HopFault {
+			return HopFault{Duplicate: true}
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	dm, err := shortestpath.AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dst := 2; dst <= 24; dst++ {
+		tr, err := nw.Send(1, dst)
+		if err != nil {
+			t.Fatalf("1→%d: %v", dst, err)
+		}
+		if tr.Hops != dm.Dist(1, dst) {
+			t.Fatalf("1→%d: %d hops, want %d (ghosts must not alter routing)", dst, tr.Hops, dm.Dist(1, dst))
+		}
+	}
+	nw.Quiesce()
+	st := nw.Stats()
+	if st.Duplicated == 0 {
+		t.Fatal("no ghosts spawned")
+	}
+	if st.Delivered != 23 || st.Failed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDeterministicOutcomesUnderFaults(t *testing.T) {
+	// Identical seeds ⇒ identical per-pair outcomes and identical quiesced
+	// counters, run after run.
+	run := func() ([]error, Stats) {
+		g, ports := randomNet(t, 24, 15)
+		s, err := fulltable.Build(g, ports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drop := func(id uint64, node, hops int) HopFault {
+			h := mix64(id ^ uint64(hops)*977 ^ uint64(node))
+			return HopFault{
+				Drop:      h%5 == 0,
+				Duplicate: h%7 == 0,
+			}
+		}
+		nw, err := New(g, ports, s, Options{
+			Degraded: true,
+			Retry:    RetryPolicy{MaxAttempts: 2, BaseBackoff: 20 * time.Microsecond},
+			Hook:     hookFunc(drop),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var errs []error
+		for i := 0; i < 60; i++ {
+			src, dst := i%24+1, (i*7+11)%24+1
+			if src == dst {
+				continue
+			}
+			_, err := nw.Send(src, dst)
+			errs = append(errs, err)
+		}
+		nw.Quiesce()
+		st := nw.Stats()
+		nw.Close()
+		return errs, st
+	}
+	errs1, st1 := run()
+	errs2, st2 := run()
+	if st1 != st2 {
+		t.Fatalf("stats diverged:\n  %+v\n  %+v", st1, st2)
+	}
+	for i := range errs1 {
+		if (errs1[i] == nil) != (errs2[i] == nil) {
+			t.Fatalf("outcome %d diverged: %v vs %v", i, errs1[i], errs2[i])
+		}
+	}
+}
+
+func TestConcurrentFlappingDuringSendMany(t *testing.T) {
+	// Satellite: -race coverage for SetLinkDown/SetNodeDown storms during a
+	// concurrent batch. Individual sends may fail (links really are down);
+	// the batch must terminate and attribute errors per pair.
+	g, ports := randomNet(t, 32, 16)
+	s, err := fulltable.Build(g, ports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := New(g, ports, s, Options{
+		MaxInFlight: 16,
+		Degraded:    true,
+		Retry:       RetryPolicy{MaxAttempts: 2, BaseBackoff: 20 * time.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+
+	stopFlap := make(chan struct{})
+	var flapWG sync.WaitGroup
+	flapWG.Add(2)
+	go func() {
+		defer flapWG.Done()
+		rng := rand.New(rand.NewSource(99))
+		for {
+			select {
+			case <-stopFlap:
+				return
+			default:
+			}
+			u := rng.Intn(32) + 1
+			nb := g.Neighbors(u)
+			if len(nb) == 0 {
+				continue
+			}
+			v := nb[rng.Intn(len(nb))]
+			_ = nw.SetLinkDown(u, v, rng.Intn(2) == 0)
+		}
+	}()
+	go func() {
+		defer flapWG.Done()
+		rng := rand.New(rand.NewSource(101))
+		for {
+			select {
+			case <-stopFlap:
+				return
+			default:
+			}
+			u := rng.Intn(32) + 1
+			_ = nw.SetNodeDown(u, rng.Intn(4) == 0)
+		}
+	}()
+
+	var pairs [][2]int
+	for i := 0; i < 300; i++ {
+		src, dst := i%32+1, (i*11+5)%32+1
+		if src != dst {
+			pairs = append(pairs, [2]int{src, dst})
+		}
+	}
+	traces, perPair, _ := nw.SendMany(pairs)
+	close(stopFlap)
+	flapWG.Wait()
+	if len(traces) != len(pairs) || len(perPair) != len(pairs) {
+		t.Fatalf("lengths: %d traces, %d errs, %d pairs", len(traces), len(perPair), len(pairs))
+	}
+	ok := 0
+	for i := range pairs {
+		if perPair[i] == nil {
+			if traces[i] == nil {
+				t.Fatalf("pair %d delivered without trace", i)
+			}
+			ok++
+		}
+	}
+	if ok == 0 {
+		t.Fatal("every send failed under light flapping")
+	}
+}
+
+func TestCloseRacesInflightSends(t *testing.T) {
+	// Satellite: Close while sends are mid-flight must neither hang nor
+	// panic; late sends observe ErrClosed.
+	g, ports := randomNet(t, 24, 17)
+	s, err := fulltable.Build(g, ports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := New(g, ports, s, Options{
+		MaxInFlight: 8,
+		Retry:       RetryPolicy{MaxAttempts: 3, BaseBackoff: 100 * time.Microsecond},
+		Hook: hookFunc(func(id uint64, node, hops int) HopFault {
+			return HopFault{Drop: mix64(id)%3 == 0} // force some retries
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 200; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			src, dst := i%24+1, (i*5+3)%24+1
+			if src == dst {
+				return
+			}
+			_, _ = nw.Send(src, dst)
+		}()
+	}
+	time.Sleep(500 * time.Microsecond)
+	nw.Close()
+	wg.Wait()
+	if _, err := nw.Send(1, 2); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close: %v", err)
+	}
+}
+
+func TestCongestedForwardDoesNotStallOtherTraffic(t *testing.T) {
+	// Satellite: head-of-line blocking. Tiny inboxes plus aggressive ghost
+	// duplication overflow hot nodes; the bounded forward wait must keep
+	// every send terminating (as ErrCongested at worst) instead of wedging a
+	// node's event loop forever.
+	g, ports := randomNet(t, 24, 18)
+	s, err := fulltable.Build(g, ports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := New(g, ports, s, Options{
+		MaxInFlight:    2,
+		ForwardTimeout: 200 * time.Microsecond,
+		Hook: hookFunc(func(uint64, int, int) HopFault {
+			return HopFault{Duplicate: true}
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	var pairs [][2]int
+	for i := 0; i < 200; i++ {
+		src, dst := i%24+1, (i*13+7)%24+1
+		if src != dst {
+			pairs = append(pairs, [2]int{src, dst})
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _, _ = nw.SendMany(pairs)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("SendMany stalled: head-of-line blocking")
+	}
+}

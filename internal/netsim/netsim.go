@@ -1,13 +1,25 @@
 // Package netsim runs routing schemes on a concurrent message-passing
 // network: one goroutine per node, port-addressed links, bounded in-flight
-// messages, and link-failure injection.
+// messages, and fault injection (link failures, node crashes, per-hop drops,
+// delays, and duplication via a pluggable FaultHook).
 //
 // Where internal/routing.Sim is the single-message reference carrier, netsim
 // is the "does this actually work as a distributed system" harness: nodes
 // only ever see their own routing function, their ports, and arriving
 // messages. Full-information schemes (Theorem 10) additionally survive link
 // failures by taking alternative shortest-path edges — the capability the
-// paper says such schemes exist for.
+// paper says such schemes exist for. For schemes without that capability the
+// network offers a graceful-degradation mode: a bounded detour via any live
+// neighbour, sound on the diameter-2 Kolmogorov-random graphs of Lemma 2,
+// with the stretch inflation recorded in Stats.DetourHops.
+//
+// Determinism: every fault decision a hook makes is keyed on a message ID
+// that is a pure function of (source, destination, attempt), never on
+// wall-clock time or goroutine scheduling. Loss is therefore reported to the
+// sender as a deterministic signal (ErrDropped / ErrTimeout on a logical
+// tick budget) rather than by racing a timer, so identical seeds and fault
+// plans reproduce identical outcomes. The wall-clock Timeout option exists
+// only as a safety net.
 package netsim
 
 import (
@@ -15,6 +27,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"routetab/internal/graph"
 	"routetab/internal/routing"
@@ -24,16 +37,73 @@ import (
 var (
 	// ErrClosed indicates a Send on a closed network.
 	ErrClosed = errors.New("netsim: network closed")
-	// ErrLinkDown indicates a forward over a failed link with no failover.
+	// ErrLinkDown indicates a forward over a failed link with no failover
+	// (and, in degraded mode, no live detour either).
 	ErrLinkDown = errors.New("netsim: link down")
 	// ErrHopLimit indicates the TTL expired.
 	ErrHopLimit = errors.New("netsim: hop limit exceeded")
+	// ErrNodeDown indicates the message reached a crashed node.
+	ErrNodeDown = errors.New("netsim: node down")
+	// ErrDropped indicates the message was dropped by fault injection.
+	ErrDropped = errors.New("netsim: message dropped")
+	// ErrTimeout indicates a per-send deadline (logical ticks or wall clock)
+	// expired before delivery.
+	ErrTimeout = errors.New("netsim: send timed out")
+	// ErrCongested indicates a forward gave up after the bounded wait on a
+	// full inbox (head-of-line protection).
+	ErrCongested = errors.New("netsim: inbox congested")
 )
+
+// IsTransient reports whether err is a failure a retry may recover from:
+// drops, timeouts, congestion, crashed nodes, and down links (which may flap
+// back up). Routing errors (no route, TTL) are permanent.
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrDropped) || errors.Is(err, ErrTimeout) ||
+		errors.Is(err, ErrCongested) || errors.Is(err, ErrNodeDown) ||
+		errors.Is(err, ErrLinkDown)
+}
 
 // Failover is implemented by schemes that can route around excluded ports
 // (full-information shortest-path schemes).
 type Failover interface {
 	RouteAvoiding(u, dest int, down map[int]bool) (int, error)
+}
+
+// HopFault is a fault hook's verdict for one forwarding decision.
+type HopFault struct {
+	// Drop discards the message at this hop (the sender is notified with
+	// ErrDropped — a deterministic stand-in for a detected loss).
+	Drop bool
+	// DelayTicks adds logical latency to this hop; it counts against
+	// Options.TimeoutTicks but consumes no wall-clock time.
+	DelayTicks int
+	// Duplicate forwards a ghost copy of the message alongside the original.
+	// Ghosts load the network (inboxes, hook decisions, counters) but never
+	// resolve the send, so outcomes stay deterministic — modelling the real
+	// effect of duplicates on an idempotent receiver: wasted bandwidth.
+	Duplicate bool
+}
+
+// FaultHook is the narrow interface a fault-injection engine implements to
+// perturb per-hop message handling. OnHop is called once per forwarding
+// decision with the message's deterministic ID, the current node, and the
+// hop count; it must be safe for concurrent use and — for reproducible
+// experiments — a pure function of its arguments.
+type FaultHook interface {
+	OnHop(msgID uint64, node, hops int) HopFault
+}
+
+// RetryPolicy is the sender-side retry configuration.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (≤ 1 means no retries).
+	MaxAttempts int
+	// BaseBackoff is the wait before the first retry (default 200µs); each
+	// further retry doubles it up to MaxBackoff (default 10ms).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Jitter in [0,1] scales a deterministic per-(pair,attempt) perturbation
+	// of the backoff: wait × (1 ± Jitter/2). Timing only — never outcomes.
+	Jitter float64
 }
 
 // Options configures a network.
@@ -43,13 +113,43 @@ type Options struct {
 	MaxInFlight int
 	// HopLimit is the per-message TTL (default routing.DefaultHopLimit(n)).
 	HopLimit int
+	// TimeoutTicks is the per-send deadline on the logical clock: each hop
+	// costs 1 tick plus any hook-injected delay. 0 disables it. Because the
+	// clock is logical, tick timeouts are deterministic.
+	TimeoutTicks int
+	// Timeout is a wall-clock per-send safety net (0 disables it). Prefer
+	// TimeoutTicks for reproducible experiments.
+	Timeout time.Duration
+	// Retry enables sender-side retries with exponential backoff for
+	// transient failures (see IsTransient).
+	Retry RetryPolicy
+	// Degraded enables graceful degradation: when the routed port's link is
+	// down and the scheme has no Failover (or its failover fails), take a
+	// bounded detour via any live neighbour instead of failing.
+	Degraded bool
+	// MaxDetours bounds degraded detours per message (default 8).
+	MaxDetours int
+	// ForwardTimeout bounds how long a node waits to forward into a full
+	// inbox before failing the message with ErrCongested (default 5ms), so
+	// one congested node cannot stall unrelated traffic.
+	ForwardTimeout time.Duration
+	// Hook receives per-hop fault-injection callbacks (may be nil).
+	Hook FaultHook
 }
 
+// maxDuplicates caps hook-driven duplication along one message lineage.
+const maxDuplicates = 2
+
 type message struct {
+	id      uint64
 	dest    routing.Label
 	hdr     uint64
 	arrival int
 	hops    int
+	ticks   int
+	detours int
+	dups    int
+	ghost   bool
 	path    []int
 	done    chan result
 }
@@ -59,10 +159,34 @@ type result struct {
 	err   error
 }
 
+// finish resolves the send, first result wins. Ghost copies never resolve.
+func (m *message) finish(res result) {
+	if m.ghost {
+		return
+	}
+	select {
+	case m.done <- res:
+	default:
+	}
+}
+
 // Stats are cumulative network counters.
 type Stats struct {
 	Delivered, Failed uint64
 	HopsTotal         uint64
+	// Retries counts sender-side retry attempts.
+	Retries uint64
+	// Dropped counts messages discarded in flight (fault-injected drops and
+	// congestion drops), ghost copies included.
+	Dropped uint64
+	// TimedOut counts sends that exceeded TimeoutTicks or Timeout.
+	TimedOut uint64
+	// DetourHops counts degraded-mode detour hops (stretch inflation).
+	DetourHops uint64
+	// Crashed counts messages lost at crashed nodes.
+	Crashed uint64
+	// Duplicated counts ghost copies spawned by fault injection.
+	Duplicated uint64
 }
 
 // Network is a running simulation.
@@ -79,13 +203,21 @@ type Network struct {
 	wg      sync.WaitGroup
 	sem     chan struct{}
 	closed  atomic.Bool
+	msgs    sync.WaitGroup // in-flight messages, ghosts included
 
-	mu   sync.RWMutex
-	down map[int]bool // edge index → down
+	mu       sync.RWMutex
+	down     map[int]bool // edge index → down
+	downNode map[int]bool // node → crashed
 
-	delivered atomic.Uint64
-	failed    atomic.Uint64
-	hopsTotal atomic.Uint64
+	delivered  atomic.Uint64
+	failed     atomic.Uint64
+	hopsTotal  atomic.Uint64
+	retries    atomic.Uint64
+	dropped    atomic.Uint64
+	timedOut   atomic.Uint64
+	detourHops atomic.Uint64
+	crashed    atomic.Uint64
+	duplicated atomic.Uint64
 }
 
 // New validates the pieces, starts one goroutine per node, and returns the
@@ -103,6 +235,21 @@ func New(g *graph.Graph, ports *graph.Ports, scheme routing.Scheme, opts Options
 	if opts.HopLimit <= 0 {
 		opts.HopLimit = routing.DefaultHopLimit(g.N())
 	}
+	if opts.MaxDetours <= 0 {
+		opts.MaxDetours = 8
+	}
+	if opts.ForwardTimeout <= 0 {
+		opts.ForwardTimeout = 5 * time.Millisecond
+	}
+	if opts.Retry.MaxAttempts < 1 {
+		opts.Retry.MaxAttempts = 1
+	}
+	if opts.Retry.BaseBackoff <= 0 {
+		opts.Retry.BaseBackoff = 200 * time.Microsecond
+	}
+	if opts.Retry.MaxBackoff <= 0 {
+		opts.Retry.MaxBackoff = 10 * time.Millisecond
+	}
 	req := scheme.Requirements()
 	labels := make(map[int]int, g.N())
 	for u := 1; u <= g.N(); u++ {
@@ -112,16 +259,17 @@ func New(g *graph.Graph, ports *graph.Ports, scheme routing.Scheme, opts Options
 		return nil, fmt.Errorf("netsim: scheme %s assigns non-unique label IDs", scheme.Name())
 	}
 	nw := &Network{
-		g:       g,
-		ports:   ports,
-		scheme:  scheme,
-		grantII: req.NeighborsKnown || req.NeighborsOrFreePorts,
-		labels:  labels,
-		opts:    opts,
-		inboxes: make([]chan *message, g.N()+1),
-		stop:    make(chan struct{}),
-		sem:     make(chan struct{}, opts.MaxInFlight),
-		down:    make(map[int]bool),
+		g:        g,
+		ports:    ports,
+		scheme:   scheme,
+		grantII:  req.NeighborsKnown || req.NeighborsOrFreePorts,
+		labels:   labels,
+		opts:     opts,
+		inboxes:  make([]chan *message, g.N()+1),
+		stop:     make(chan struct{}),
+		sem:      make(chan struct{}, opts.MaxInFlight),
+		down:     make(map[int]bool),
+		downNode: make(map[int]bool),
 	}
 	for u := 1; u <= g.N(); u++ {
 		nw.inboxes[u] = make(chan *message, opts.MaxInFlight)
@@ -147,6 +295,14 @@ func (nw *Network) Close() {
 	nw.wg.Wait()
 }
 
+// Quiesce blocks until every in-flight message — ghost duplicates included —
+// has terminated. Call it before reading Stats in deterministic experiments,
+// and only while no new Sends are being issued. Must not be called after
+// Close (abandoned messages never terminate).
+func (nw *Network) Quiesce() {
+	nw.msgs.Wait()
+}
+
 // SetLinkDown marks the undirected link uv failed (or repaired).
 func (nw *Network) SetLinkDown(u, v int, isDown bool) error {
 	idx, err := graph.EdgeIndex(nw.g.N(), u, v)
@@ -166,6 +322,22 @@ func (nw *Network) SetLinkDown(u, v int, isDown bool) error {
 	return nil
 }
 
+// SetNodeDown crashes (or recovers) node u: a crashed node loses every
+// message it handles and its incident links count as blocked for neighbours.
+func (nw *Network) SetNodeDown(u int, isDown bool) error {
+	if u < 1 || u > nw.g.N() {
+		return fmt.Errorf("netsim: bad node %d", u)
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if isDown {
+		nw.downNode[u] = true
+	} else {
+		delete(nw.downNode, u)
+	}
+	return nil
+}
+
 func (nw *Network) linkDown(u, v int) bool {
 	idx, err := graph.EdgeIndex(nw.g.N(), u, v)
 	if err != nil {
@@ -176,8 +348,45 @@ func (nw *Network) linkDown(u, v int) bool {
 	return nw.down[idx]
 }
 
+func (nw *Network) nodeDown(u int) bool {
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
+	return nw.downNode[u]
+}
+
+// blocked reports whether the hop u→v is unusable: the link failed, or the
+// neighbour v is crashed (neighbour liveness is local knowledge — real
+// routers detect it via keepalives).
+func (nw *Network) blocked(u, v int) bool {
+	idx, err := graph.EdgeIndex(nw.g.N(), u, v)
+	if err != nil {
+		return false
+	}
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
+	return nw.down[idx] || nw.downNode[v]
+}
+
+// mix64 is the SplitMix64 finaliser: the deterministic hash behind message
+// IDs and backoff jitter.
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// msgID derives the deterministic message identity fault hooks key on.
+func msgID(src, dest, attempt int) uint64 {
+	return mix64(mix64(uint64(src))<<1 ^ mix64(uint64(dest)) ^ uint64(attempt))
+}
+
+// ghostID derives a distinct identity for a duplicated copy.
+func ghostID(id uint64) uint64 { return mix64(id ^ 0xD1B54A32D192ED03) }
+
 // Send injects a message at src addressed to destNode's label and blocks
-// until delivery or failure.
+// until delivery, failure, or deadline; transient failures are retried per
+// Options.Retry with exponential backoff and deterministic jitter.
 func (nw *Network) Send(src, destNode int) (*routing.Trace, error) {
 	if nw.closed.Load() {
 		return nil, ErrClosed
@@ -192,36 +401,105 @@ func (nw *Network) Send(src, destNode int) (*routing.Trace, error) {
 	}
 	defer func() { <-nw.sem }()
 
+	var (
+		lastTrace *routing.Trace
+		lastErr   error
+	)
+	for attempt := 0; attempt < nw.opts.Retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			nw.retries.Add(1)
+			if err := nw.backoff(src, destNode, attempt); err != nil {
+				return lastTrace, err
+			}
+		}
+		tr, err := nw.sendOnce(src, destNode, attempt)
+		if err == nil {
+			nw.delivered.Add(1)
+			nw.hopsTotal.Add(uint64(tr.Hops))
+			return tr, nil
+		}
+		if errors.Is(err, ErrClosed) {
+			return tr, err
+		}
+		lastTrace, lastErr = tr, err
+		if !IsTransient(err) {
+			break
+		}
+	}
+	nw.failed.Add(1)
+	return lastTrace, lastErr
+}
+
+// sendOnce runs one delivery attempt.
+func (nw *Network) sendOnce(src, destNode, attempt int) (*routing.Trace, error) {
 	msg := &message{
+		id:   msgID(src, destNode, attempt),
 		dest: nw.scheme.Label(destNode),
 		path: []int{src},
 		done: make(chan result, 1),
 	}
+	var deadline <-chan time.Time
+	if nw.opts.Timeout > 0 {
+		timer := time.NewTimer(nw.opts.Timeout)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+	nw.msgs.Add(1)
 	select {
 	case nw.inboxes[src] <- msg:
 	case <-nw.stop:
+		nw.msgs.Done()
 		return nil, ErrClosed
+	case <-deadline:
+		nw.msgs.Done()
+		nw.timedOut.Add(1)
+		return nil, fmt.Errorf("%w: enqueue at %d", ErrTimeout, src)
 	}
 	select {
 	case res := <-msg.done:
-		if res.err != nil {
-			nw.failed.Add(1)
-			return res.trace, res.err
-		}
-		nw.delivered.Add(1)
-		nw.hopsTotal.Add(uint64(res.trace.Hops))
-		return res.trace, nil
+		return res.trace, res.err
+	case <-deadline:
+		nw.timedOut.Add(1)
+		return nil, fmt.Errorf("%w: after %v", ErrTimeout, nw.opts.Timeout)
 	case <-nw.stop:
 		return nil, ErrClosed
+	}
+}
+
+// backoff sleeps before retry `attempt` (≥ 1): BaseBackoff·2^(attempt−1)
+// capped at MaxBackoff, scaled by a deterministic jitter in [1−J/2, 1+J/2].
+func (nw *Network) backoff(src, dest, attempt int) error {
+	p := nw.opts.Retry
+	d := p.BaseBackoff << uint(attempt-1)
+	if d > p.MaxBackoff || d <= 0 {
+		d = p.MaxBackoff
+	}
+	if p.Jitter > 0 {
+		u := float64(mix64(msgID(src, dest, attempt))>>11) / (1 << 53) // [0,1)
+		d = time.Duration(float64(d) * (1 + p.Jitter*(u-0.5)))
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-nw.stop:
+		return ErrClosed
 	}
 }
 
 // Stats returns a snapshot of the cumulative counters.
 func (nw *Network) Stats() Stats {
 	return Stats{
-		Delivered: nw.delivered.Load(),
-		Failed:    nw.failed.Load(),
-		HopsTotal: nw.hopsTotal.Load(),
+		Delivered:  nw.delivered.Load(),
+		Failed:     nw.failed.Load(),
+		HopsTotal:  nw.hopsTotal.Load(),
+		Retries:    nw.retries.Load(),
+		Dropped:    nw.dropped.Load(),
+		TimedOut:   nw.timedOut.Load(),
+		DetourHops: nw.detourHops.Load(),
+		Crashed:    nw.crashed.Load(),
+		Duplicated: nw.duplicated.Load(),
 	}
 }
 
@@ -238,48 +516,168 @@ func (nw *Network) runNode(u int) {
 	}
 }
 
+// terminate ends a message's life: resolve the send (no-op for ghosts) and
+// release the in-flight tracker.
+func (nw *Network) terminate(msg *message, res result) {
+	msg.finish(res)
+	nw.msgs.Done()
+}
+
 func (nw *Network) handle(u int, msg *message) {
+	if nw.nodeDown(u) {
+		nw.crashed.Add(1)
+		nw.terminate(msg, result{trace: msg.trace(u), err: fmt.Errorf("%w: node %d", ErrNodeDown, u)})
+		return
+	}
 	if msg.dest.ID == nw.scheme.Label(u).ID {
-		msg.done <- result{trace: msg.trace(u)}
+		nw.terminate(msg, result{trace: msg.trace(u)})
 		return
 	}
 	if msg.hops >= nw.opts.HopLimit {
-		msg.done <- result{trace: msg.trace(u), err: fmt.Errorf("%w: %d hops at %d", ErrHopLimit, msg.hops, u)}
+		nw.terminate(msg, result{trace: msg.trace(u), err: fmt.Errorf("%w: %d hops at %d", ErrHopLimit, msg.hops, u)})
 		return
+	}
+	if nw.opts.TimeoutTicks > 0 && msg.ticks >= nw.opts.TimeoutTicks {
+		nw.timedOut.Add(1)
+		nw.terminate(msg, result{trace: msg.trace(u), err: fmt.Errorf("%w: %d ticks at %d", ErrTimeout, msg.ticks, u)})
+		return
+	}
+	var fault HopFault
+	if nw.opts.Hook != nil {
+		fault = nw.opts.Hook.OnHop(msg.id, u, msg.hops)
+		if fault.Drop {
+			nw.dropped.Add(1)
+			nw.terminate(msg, result{trace: msg.trace(u), err: fmt.Errorf("%w: at %d hop %d", ErrDropped, u, msg.hops)})
+			return
+		}
+		if fault.DelayTicks < 0 {
+			fault.DelayTicks = 0
+		}
 	}
 	port, newHdr, err := nw.scheme.Route(u, nodeEnv{nw: nw, node: u}, msg.dest, msg.hdr, msg.arrival)
 	if err != nil {
-		msg.done <- result{trace: msg.trace(u), err: err}
+		nw.terminate(msg, result{trace: msg.trace(u), err: err})
 		return
 	}
 	next, err := nw.ports.Neighbor(u, port)
 	if err != nil {
-		msg.done <- result{trace: msg.trace(u), err: err}
+		nw.terminate(msg, result{trace: msg.trace(u), err: err})
 		return
 	}
-	if nw.linkDown(u, next) {
+	detoured := false
+	if nw.blocked(u, next) {
 		port, next, err = nw.failover(u, msg, port)
 		if err != nil {
-			msg.done <- result{trace: msg.trace(u), err: err}
-			return
+			if !nw.opts.Degraded {
+				nw.terminate(msg, result{trace: msg.trace(u), err: err})
+				return
+			}
+			port, next, err = nw.detour(u, msg)
+			if err != nil {
+				nw.terminate(msg, result{trace: msg.trace(u), err: err})
+				return
+			}
+			detoured = true
 		}
 	}
 	backPort, err := nw.ports.PortTo(next, u)
 	if err != nil {
-		msg.done <- result{trace: msg.trace(u), err: err}
+		nw.terminate(msg, result{trace: msg.trace(u), err: err})
 		return
 	}
-	msg.hdr = newHdr
+	if detoured {
+		// The scheme's header update belongs to the port it chose, which we
+		// did not take; the message continues with its old header.
+		msg.detours++
+		nw.detourHops.Add(1)
+	} else {
+		msg.hdr = newHdr
+	}
 	msg.arrival = backPort
 	msg.hops++
+	msg.ticks += 1 + fault.DelayTicks
 	msg.path = append(msg.path, next)
+	if fault.Duplicate && msg.dups < maxDuplicates {
+		msg.dups++
+		nw.duplicated.Add(1)
+		nw.msgs.Add(1)
+		nw.forward(next, msg.dup())
+	}
+	nw.forward(next, msg)
+}
+
+// forward enqueues msg at next with a bounded wait: if the inbox stays full
+// past ForwardTimeout the message is failed with ErrCongested instead of
+// stalling this node's event loop (head-of-line protection).
+func (nw *Network) forward(next int, msg *message) {
+	select {
+	case nw.inboxes[next] <- msg:
+		return
+	case <-nw.stop:
+		nw.msgs.Done()
+		return
+	default:
+	}
+	timer := time.NewTimer(nw.opts.ForwardTimeout)
+	defer timer.Stop()
 	select {
 	case nw.inboxes[next] <- msg:
 	case <-nw.stop:
+		nw.msgs.Done()
+	case <-timer.C:
+		nw.dropped.Add(1)
+		nw.terminate(msg, result{trace: msg.trace(msg.path[len(msg.path)-1]), err: fmt.Errorf("%w: inbox of %d full", ErrCongested, next)})
 	}
 }
 
-// failover reroutes around down links when the scheme supports it.
+// dup spawns a ghost copy for fault-injected duplication (see HopFault).
+func (m *message) dup() *message {
+	path := make([]int, len(m.path))
+	copy(path, m.path)
+	c := *m
+	c.id = ghostID(m.id)
+	c.ghost = true
+	c.path = path
+	return &c
+}
+
+// detour implements graceful degradation: pick the first live port at u,
+// preferring one that does not bounce the message straight back, bounded by
+// MaxDetours per message. On diameter-2 c·log n-random graphs (Lemma 2) any
+// live neighbour is ≤ 2 hops from the destination, so detours stay sound.
+func (nw *Network) detour(u int, msg *message) (port, next int, err error) {
+	if msg.detours >= nw.opts.MaxDetours {
+		return 0, 0, fmt.Errorf("%w: %d detours exhausted at %d", ErrLinkDown, msg.detours, u)
+	}
+	prev := 0
+	if len(msg.path) >= 2 {
+		prev = msg.path[len(msg.path)-2]
+	}
+	fallback := 0
+	fallbackNext := 0
+	for p := 1; p <= nw.ports.Degree(u); p++ {
+		v, nerr := nw.ports.Neighbor(u, p)
+		if nerr != nil {
+			return 0, 0, nerr
+		}
+		if nw.blocked(u, v) {
+			continue
+		}
+		if v == prev {
+			if fallback == 0 {
+				fallback, fallbackNext = p, v
+			}
+			continue
+		}
+		return p, v, nil
+	}
+	if fallback != 0 {
+		return fallback, fallbackNext, nil
+	}
+	return 0, 0, fmt.Errorf("%w: no live neighbour at %d", ErrLinkDown, u)
+}
+
+// failover reroutes around blocked links when the scheme supports it.
 func (nw *Network) failover(u int, msg *message, triedPort int) (int, int, error) {
 	fo, ok := nw.scheme.(Failover)
 	if !ok {
@@ -295,7 +693,7 @@ func (nw *Network) failover(u int, msg *message, triedPort int) (int, int, error
 		if err != nil {
 			return 0, 0, err
 		}
-		if nw.linkDown(u, v) {
+		if nw.blocked(u, v) {
 			downPorts[p] = true
 		}
 	}
@@ -371,9 +769,9 @@ func (e nodeEnv) KnownNeighborIDs() ([]int, bool) {
 }
 
 // SendMany routes all pairs concurrently (bounded by MaxInFlight) and
-// returns per-pair traces in input order plus the first error (remaining
-// pairs still complete).
-func (nw *Network) SendMany(pairs [][2]int) ([]*routing.Trace, error) {
+// returns per-pair traces and errors in input order, plus their errors.Join
+// aggregate, so callers can attribute exactly which pairs failed.
+func (nw *Network) SendMany(pairs [][2]int) ([]*routing.Trace, []error, error) {
 	traces := make([]*routing.Trace, len(pairs))
 	errs := make([]error, len(pairs))
 	var wg sync.WaitGroup
@@ -386,10 +784,5 @@ func (nw *Network) SendMany(pairs [][2]int) ([]*routing.Trace, error) {
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return traces, err
-		}
-	}
-	return traces, nil
+	return traces, errs, errors.Join(errs...)
 }

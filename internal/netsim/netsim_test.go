@@ -380,20 +380,24 @@ func TestSendMany(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		pairs = append(pairs, [2]int{i%24 + 1, (i*5+7)%24 + 1})
 	}
-	traces, err := nw.SendMany(pairs)
+	traces, perPair, err := nw.SendMany(pairs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(traces) != 100 {
-		t.Fatalf("traces = %d", len(traces))
+	if len(traces) != 100 || len(perPair) != 100 {
+		t.Fatalf("traces = %d, errs = %d", len(traces), len(perPair))
 	}
 	for i, tr := range traces {
 		if tr == nil || tr.Source != pairs[i][0] || tr.Dest != pairs[i][1] {
 			t.Fatalf("trace %d = %+v for pair %v", i, tr, pairs[i])
 		}
 	}
-	// Errors surface but don't abort the batch.
-	if _, err := nw.SendMany([][2]int{{1, 2}, {0, 5}}); err == nil {
+	// Errors surface per pair and don't abort the batch.
+	_, perPair, err = nw.SendMany([][2]int{{1, 2}, {0, 5}, {2, 3}})
+	if err == nil {
 		t.Fatal("bad pair accepted")
+	}
+	if perPair[0] != nil || perPair[1] == nil || perPair[2] != nil {
+		t.Fatalf("per-pair errors misattributed: %v", perPair)
 	}
 }

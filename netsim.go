@@ -1,8 +1,11 @@
 package routetab
 
 import (
+	"io"
 	"math/rand"
 
+	"routetab/internal/eval"
+	"routetab/internal/faultinject"
 	"routetab/internal/gengraph"
 	"routetab/internal/lowerbound"
 	"routetab/internal/netsim"
@@ -17,10 +20,38 @@ import (
 // for the examples and downstream users.
 type (
 	// Network is the goroutine-per-node message-passing simulator with
-	// link-failure injection.
+	// fault injection (link failures, node crashes, drops, delays,
+	// duplication), per-send deadlines, retries, and degraded routing.
 	Network = netsim.Network
 	// NetworkOptions configures a Network.
 	NetworkOptions = netsim.Options
+	// NetworkStats are the network's cumulative counters, including the
+	// fault-injection counters (Retries, Dropped, TimedOut, DetourHops,
+	// Crashed, Duplicated).
+	NetworkStats = netsim.Stats
+	// RetryPolicy configures sender-side retries with exponential backoff.
+	RetryPolicy = netsim.RetryPolicy
+	// FaultHook receives per-hop fault-injection callbacks.
+	FaultHook = netsim.FaultHook
+	// HopFault is a FaultHook's per-hop verdict (drop, delay, duplicate).
+	HopFault = netsim.HopFault
+	// FaultPlan is a deterministic schedule of topology events on the
+	// logical-tick clock.
+	FaultPlan = faultinject.Plan
+	// FaultEvent is one scheduled topology fault.
+	FaultEvent = faultinject.Event
+	// FaultPlanConfig parameterises RandomFaultPlan.
+	FaultPlanConfig = faultinject.PlanConfig
+	// FaultConfig parameterises an injector's per-hop stochastic faults.
+	FaultConfig = faultinject.Config
+	// FaultInjector owns the logical clock, applies plan events, and
+	// implements FaultHook.
+	FaultInjector = faultinject.Injector
+	// ResilienceConfig parameterises the fault-injection evaluation sweep.
+	ResilienceConfig = eval.ResilienceConfig
+	// ResilienceResult is the sweep output (delivery ratio and mean stretch
+	// per scheme and failure probability).
+	ResilienceResult = eval.ResilienceResult
 	// FullInfoScheme is the full-information shortest-path scheme
 	// (Theorem 10); it supports failover over alternative shortest paths.
 	FullInfoScheme = fullinfo.Scheme
@@ -37,6 +68,31 @@ type (
 func NewNetwork(g *Graph, ports *Ports, scheme Scheme, opts NetworkOptions) (*Network, error) {
 	return netsim.New(g, ports, scheme, opts)
 }
+
+// NewFaultInjector builds a deterministic fault-injection engine from cfg
+// and plan (nil plan = per-hop faults only). Pass it as
+// NetworkOptions.Hook, then Bind it to the network and advance its clock.
+func NewFaultInjector(cfg FaultConfig, plan *FaultPlan) (*FaultInjector, error) {
+	return faultinject.New(cfg, plan)
+}
+
+// RandomFaultPlan draws a seed-deterministic fault schedule for g: links
+// fail with probability pc.LinkFailProb, nodes crash with pc.NodeCrashProb,
+// optionally repaired pc.RepairAfter ticks later.
+func RandomFaultPlan(g *Graph, pc FaultPlanConfig, seed int64) (*FaultPlan, error) {
+	return faultinject.RandomPlan(g, pc, seed)
+}
+
+// DefaultResilienceConfig is the laptop-scale fault-injection sweep.
+func DefaultResilienceConfig() ResilienceConfig { return eval.DefaultResilienceConfig() }
+
+// RunResilience sweeps failure probability across routing schemes under the
+// fault-injection engine, reporting delivery ratio and mean stretch;
+// identical seeds reproduce identical results.
+func RunResilience(cfg ResilienceConfig) (*ResilienceResult, error) { return eval.Resilience(cfg) }
+
+// WriteResilienceCSV serialises a sweep byte-deterministically.
+func WriteResilienceCSV(res *ResilienceResult, w io.Writer) error { return res.WriteCSV(w) }
 
 // AllPairs computes all-pairs shortest-path distances.
 func AllPairs(g *Graph) (*Distances, error) { return shortestpath.AllPairs(g) }

@@ -1,6 +1,7 @@
 package routetab
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -48,6 +49,83 @@ func TestNetworkFacade(t *testing.T) {
 	}
 	if _, err := nw.Send(1, dst); err != nil {
 		t.Fatalf("failover: %v", err)
+	}
+}
+
+func TestFaultInjectionFacade(t *testing.T) {
+	g, err := RandomGraph(24, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports := SortedPorts(g)
+	fi, err := BuildFullInformation(g, ports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := RandomFaultPlan(g, FaultPlanConfig{LinkFailProb: 0.05, Horizon: 10, RepairAfter: 5}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := NewFaultInjector(FaultConfig{Seed: 3, DropProb: 0.02, MaxDelayTicks: 2}, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := NewNetwork(g, ports, fi, NetworkOptions{
+		Degraded:     true,
+		TimeoutTicks: 64,
+		Retry:        RetryPolicy{MaxAttempts: 3},
+		Hook:         inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	inj.Bind(nw)
+	if err := inj.AdvanceTo(0); err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	for i := 0; i < 30; i++ {
+		src, dst := i%24+1, (i*7+5)%24+1
+		if src == dst {
+			continue
+		}
+		if err := inj.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nw.Send(src, dst); err == nil {
+			delivered++
+		}
+	}
+	if delivered == 0 {
+		t.Fatal("nothing delivered under light faults")
+	}
+	nw.Quiesce()
+	var st NetworkStats = nw.Stats()
+	if st.Delivered == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestResilienceFacade(t *testing.T) {
+	cfg := DefaultResilienceConfig()
+	cfg.N = 32
+	cfg.Pairs = 25
+	cfg.Probs = []float64{0, 0.1}
+	cfg.Schemes = []string{"fulltable", "fullinfo"}
+	res, err := RunResilience(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d, want 4", len(res.Points))
+	}
+	var buf strings.Builder
+	if err := WriteResilienceCSV(res, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fullinfo,0.10,") {
+		t.Fatalf("csv:\n%s", buf.String())
 	}
 }
 
