@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify vet build test race smoke clean
+.PHONY: verify vet build test race smoke benchsmoke bench clean
 
-verify: vet build test race smoke
+verify: vet build test race smoke benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +25,16 @@ smoke:
 	$(GO) run ./cmd/routetab resilience -n 32 -seed 1 -pairs 40 \
 		-pmax 0.1 -pstep 0.05 -schemes fulltable,fullinfo \
 		-out $(or $(TMPDIR),/tmp)/resilience_smoke.csv
+
+# One-iteration pass over every benchmarked path (BFS kernels, distance
+# cache, E13 sweep); keeps the bench harness from rotting between releases.
+benchsmoke:
+	$(GO) run ./cmd/benchjson -quick -out $(or $(TMPDIR),/tmp)/bench_smoke.json
+
+# Regenerates the checked-in PR 2 performance artefact (see EXPERIMENTS.md
+# for the methodology; numbers are host-dependent).
+bench:
+	$(GO) run ./cmd/benchjson -out BENCH_pr2.json
 
 clean:
 	$(GO) clean ./...

@@ -7,6 +7,7 @@ package routetab
 // the design choices called out in DESIGN.md §5.
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -282,6 +283,74 @@ func BenchmarkCorollary1Average(b *testing.B) {
 	}
 	b.ReportMetric(avg, "bits_total_avg")
 	b.ReportMetric(avg/float64(benchN*benchN), "bits_per_n2")
+}
+
+// BenchmarkBFS compares the all-pairs BFS kernels on dense δ-random graphs:
+// the classic neighbour-list BFS against the word-parallel bitset BFS
+// (PR 2's tentpole; acceptance: bitset ≥ 3× faster on G(1024, 1/2)). Each op
+// is one full n-source all-pairs pass, so ns/op ÷ n is the per-BFS cost.
+func BenchmarkBFS(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		g, err := gengraph.GnHalf(n, rand.New(rand.NewSource(42)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		g.Neighbors(1) // pre-build lists so the list kernel pays no setup
+		for _, k := range []struct {
+			name  string
+			strat shortestpath.Strategy
+		}{
+			{"list", shortestpath.StrategyList},
+			{"bitset", shortestpath.StrategyBitset},
+		} {
+			b.Run(fmt.Sprintf("%s/n=%d", k.name, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := shortestpath.AllPairsStrategy(g, k.strat); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAllPairsCache measures the shared distance cache: a cold
+// computation versus a (graph, version)-keyed hit.
+func BenchmarkAllPairsCache(b *testing.B) {
+	g, err := gengraph.GnHalf(256, rand.New(rand.NewSource(43)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := shortestpath.AllPairs(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		c := shortestpath.NewCache(2)
+		if _, err := c.AllPairs(g); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.AllPairs(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFullTableBuild measures the parallel per-source tree construction.
+func BenchmarkFullTableBuild(b *testing.B) {
+	g := benchGraph(b, 19)
+	ports := graph.SortedPorts(g)
+	for i := 0; i < b.N; i++ {
+		if _, err := fulltable.Build(g, ports); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkRouteCompact measures the per-message routing hot path.

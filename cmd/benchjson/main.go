@@ -1,0 +1,209 @@
+// Command benchjson regenerates the PR 2 performance artefact
+// (BENCH_pr2.json): ns/op for the two all-pairs BFS kernels at n ∈ {256,
+// 1024}, the shared distance cache cold vs hit, and the E13 resilience-sweep
+// wall time. `make bench` writes the checked-in artefact; `make verify` runs
+// the -quick one-iteration smoke so the measured paths stay exercised.
+//
+// Methodology (recorded in EXPERIMENTS.md): every measurement warms up once
+// un-timed, then iterates until the time budget is spent (-quick: exactly one
+// timed iteration). Graphs are seed-fixed G(n, 1/2) samples, so two runs
+// measure the same workload; timings of course vary with the host.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"math/rand"
+
+	"routetab/internal/eval"
+	"routetab/internal/gengraph"
+	"routetab/internal/shortestpath"
+)
+
+// Result is one measurement in the artefact.
+type Result struct {
+	Name    string  `json:"name"`
+	Iters   int     `json:"iters"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// Report is the BENCH_pr2.json schema.
+type Report struct {
+	Artefact   string   `json:"artefact"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Quick      bool     `json:"quick"`
+	Results    []Result `json:"results"`
+	// BitsetSpeedupN1024 is list ns/op ÷ bitset ns/op on G(1024, 1/2) —
+	// the tentpole acceptance ratio (must be ≥ 3).
+	BitsetSpeedupN1024 float64 `json:"bitset_speedup_n1024"`
+	// CacheSpeedupN256 is uncached ns/op ÷ cached-hit ns/op on G(256, 1/2).
+	CacheSpeedupN256 float64 `json:"cache_speedup_n256"`
+}
+
+// measure runs fn once un-timed, then iterates until budget is spent
+// (budget 0 → exactly one timed iteration).
+func measure(name string, budget time.Duration, fn func() error) (Result, error) {
+	if err := fn(); err != nil {
+		return Result{}, fmt.Errorf("%s warm-up: %w", name, err)
+	}
+	iters := 0
+	start := time.Now()
+	for {
+		if err := fn(); err != nil {
+			return Result{}, fmt.Errorf("%s: %w", name, err)
+		}
+		iters++
+		if time.Since(start) >= budget {
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	return Result{Name: name, Iters: iters, NsPerOp: float64(elapsed.Nanoseconds()) / float64(iters)}, nil
+}
+
+// runSuite produces the full report; split out of main for the smoke test.
+func runSuite(quick bool) (*Report, error) {
+	budget := 2 * time.Second
+	if quick {
+		budget = 0
+	}
+	rep := &Report{
+		Artefact:   "BENCH_pr2",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      quick,
+	}
+	var nsPerOp = map[string]float64{}
+	add := func(r Result, err error) error {
+		if err != nil {
+			return err
+		}
+		nsPerOp[r.Name] = r.NsPerOp
+		rep.Results = append(rep.Results, r)
+		return nil
+	}
+
+	// Old-vs-new BFS: one op = one full n-source all-pairs pass.
+	for _, n := range []int{256, 1024} {
+		g, err := gengraph.GnHalf(n, rand.New(rand.NewSource(42)))
+		if err != nil {
+			return nil, err
+		}
+		g.Neighbors(1)
+		for _, k := range []struct {
+			name  string
+			strat shortestpath.Strategy
+		}{
+			{"bfs_list", shortestpath.StrategyList},
+			{"bfs_bitset", shortestpath.StrategyBitset},
+		} {
+			k := k
+			err := add(measure(fmt.Sprintf("%s_n%d", k.name, n), budget, func() error {
+				_, err := shortestpath.AllPairsStrategy(g, k.strat)
+				return err
+			}))
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Shared distance cache: cold compute vs (graph, version)-keyed hit.
+	{
+		g, err := gengraph.GnHalf(256, rand.New(rand.NewSource(43)))
+		if err != nil {
+			return nil, err
+		}
+		err = add(measure("allpairs_uncached_n256", budget, func() error {
+			_, err := shortestpath.AllPairs(g)
+			return err
+		}))
+		if err != nil {
+			return nil, err
+		}
+		cache := shortestpath.NewCache(2)
+		if _, err := cache.AllPairs(g); err != nil {
+			return nil, err
+		}
+		err = add(measure("allpairs_cached_n256", budget, func() error {
+			_, err := cache.AllPairs(g)
+			return err
+		}))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// E13 resilience sweep wall time (parallel harness end to end). Quick
+	// mode mirrors the Makefile smoke scale; full mode runs the two
+	// shortest-path schemes at the artefact scale n=64.
+	{
+		cfg := eval.ResilienceConfig{
+			N: 64, Seed: 1, Pairs: 200,
+			Probs:   eval.DefaultFailureProbs(),
+			Schemes: []string{"fulltable", "fullinfo"},
+		}
+		name := "e13_sweep_n64"
+		if quick {
+			cfg = eval.ResilienceConfig{
+				N: 32, Seed: 1, Pairs: 40,
+				Probs:   []float64{0, 0.05, 0.1},
+				Schemes: []string{"fulltable", "fullinfo"},
+			}
+			name = "e13_sweep_n32"
+		}
+		err := add(measure(name, 0, func() error { // wall time: one iteration
+			_, err := eval.Resilience(cfg)
+			return err
+		}))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if l, b := nsPerOp["bfs_list_n1024"], nsPerOp["bfs_bitset_n1024"]; b > 0 {
+		rep.BitsetSpeedupN1024 = l / b
+	}
+	if u, c := nsPerOp["allpairs_uncached_n256"], nsPerOp["allpairs_cached_n256"]; c > 0 {
+		rep.CacheSpeedupN256 = u / c
+	}
+	return rep, nil
+}
+
+func run(quick bool, out string) error {
+	rep, err := runSuite(quick)
+	if err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if out == "" || out == "-" {
+		_, err = os.Stdout.Write(blob)
+		return err
+	}
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench artefact written to %s (bitset speedup n=1024: %.1fx)\n",
+		out, rep.BitsetSpeedupN1024)
+	return nil
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "one timed iteration per measurement (verify smoke)")
+	out := flag.String("out", "-", "output path (default stdout)")
+	flag.Parse()
+	if err := run(*quick, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

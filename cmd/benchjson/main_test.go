@@ -1,0 +1,59 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestQuickSuite runs the one-iteration smoke in-process: every measured path
+// must succeed and the artefact must carry all expected entries.
+func TestQuickSuite(t *testing.T) {
+	rep, err := runSuite(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"bfs_list_n256": false, "bfs_bitset_n256": false,
+		"bfs_list_n1024": false, "bfs_bitset_n1024": false,
+		"allpairs_uncached_n256": false, "allpairs_cached_n256": false,
+		"e13_sweep_n32": false,
+	}
+	for _, r := range rep.Results {
+		if _, ok := want[r.Name]; !ok {
+			t.Errorf("unexpected result %q", r.Name)
+			continue
+		}
+		want[r.Name] = true
+		if r.Iters < 1 || r.NsPerOp <= 0 {
+			t.Errorf("%s: iters=%d ns/op=%v", r.Name, r.Iters, r.NsPerOp)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("missing result %q", name)
+		}
+	}
+	if rep.BitsetSpeedupN1024 <= 0 || rep.CacheSpeedupN256 <= 0 {
+		t.Errorf("speedup ratios not computed: %+v", rep)
+	}
+}
+
+func TestRunWritesJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run(true, out); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("artefact is not valid JSON: %v", err)
+	}
+	if rep.Artefact != "BENCH_pr2" || !rep.Quick {
+		t.Fatalf("unexpected report header: %+v", rep)
+	}
+}

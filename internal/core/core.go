@@ -152,7 +152,7 @@ func (r *Result) Verify(g *graph.Graph, samplePairs int, seed int64) (*routing.R
 	if err != nil {
 		return nil, err
 	}
-	dm, err := shortestpath.AllPairs(g)
+	dm, err := shortestpath.AllPairsCached(g)
 	if err != nil {
 		return nil, err
 	}

@@ -47,7 +47,7 @@ func (c FullInfoCodec) Encode(g *graph.Graph) (*bitio.Writer, bool, error) {
 	if u > n {
 		return nil, false, nil
 	}
-	dm, err := shortestpath.AllPairs(g)
+	dm, err := shortestpath.AllPairsCached(g)
 	if err != nil {
 		return nil, false, err
 	}

@@ -12,6 +12,7 @@ import (
 	"routetab/internal/graph"
 	"routetab/internal/kolmo"
 	"routetab/internal/models"
+	"routetab/internal/par"
 	"routetab/internal/routing"
 	"routetab/internal/shortestpath"
 	"routetab/internal/stats"
@@ -116,48 +117,76 @@ func fitSeries(s *Series) error {
 // SchemeBuilder builds a scheme for one sampled graph.
 type SchemeBuilder func(g *graph.Graph, rng *rand.Rand) (routing.Scheme, *graph.Ports, error)
 
+// trialOut is one (size, trial) cell's measurement, produced by a pool
+// worker and reduced sequentially afterwards.
+type trialOut struct {
+	totalBits  float64
+	maxPerNode float64
+	maxStretch float64
+	maxHops    int
+}
+
 // sweepScheme runs the generic size×trial sweep for one construction:
 // sample graph, build scheme, measure space under model m, route and record
-// worst-case behaviour.
+// worst-case behaviour. The (size, trial) grid fans out over a bounded worker
+// pool — every cell owns its seeded RNG (c.rng) and writes only its own slot,
+// and the reduction below runs sequentially in trial order, so the points are
+// byte-identical to the sequential sweep this replaced.
 func (c Config) sweepScheme(m models.Model, build SchemeBuilder, sample func(n int, rng *rand.Rand) (*graph.Graph, error)) ([]Point, error) {
 	if err := c.validate(); err != nil {
 		return nil, err
 	}
+	cells := make([]trialOut, len(c.Sizes)*c.Trials)
+	err := par.ForEach(len(cells), func(idx int) error {
+		n := c.Sizes[idx/c.Trials]
+		trial := idx % c.Trials
+		rng := c.rng(n, trial)
+		g, err := sample(n, rng)
+		if err != nil {
+			return err
+		}
+		scheme, ports, err := build(g, rng)
+		if err != nil {
+			return fmt.Errorf("eval: n=%d trial %d: %w", n, trial, err)
+		}
+		sp, err := routing.MeasureSpace(scheme, m)
+		if err != nil {
+			return err
+		}
+		rep, err := c.verify(g, ports, scheme)
+		if err != nil {
+			return err
+		}
+		if !rep.AllDelivered() {
+			return fmt.Errorf("eval: n=%d trial %d: %d/%d undelivered (%v)",
+				n, trial, rep.Pairs-rep.Delivered, rep.Pairs, rep.Failures)
+		}
+		cells[idx] = trialOut{
+			totalBits:  float64(sp.Total),
+			maxPerNode: float64(sp.MaxFunctionBits),
+			maxStretch: rep.MaxStretch,
+			maxHops:    rep.MaxHops,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	points := make([]Point, 0, len(c.Sizes))
-	for _, n := range c.Sizes {
+	for si, n := range c.Sizes {
 		var totalSum float64
 		pt := Point{N: n}
 		for trial := 0; trial < c.Trials; trial++ {
-			rng := c.rng(n, trial)
-			g, err := sample(n, rng)
-			if err != nil {
-				return nil, err
+			cell := cells[si*c.Trials+trial]
+			totalSum += cell.totalBits
+			if cell.maxPerNode > pt.MaxPerNodeBits {
+				pt.MaxPerNodeBits = cell.maxPerNode
 			}
-			scheme, ports, err := build(g, rng)
-			if err != nil {
-				return nil, fmt.Errorf("eval: n=%d trial %d: %w", n, trial, err)
+			if cell.maxStretch > pt.MaxStretch {
+				pt.MaxStretch = cell.maxStretch
 			}
-			sp, err := routing.MeasureSpace(scheme, m)
-			if err != nil {
-				return nil, err
-			}
-			totalSum += float64(sp.Total)
-			if float64(sp.MaxFunctionBits) > pt.MaxPerNodeBits {
-				pt.MaxPerNodeBits = float64(sp.MaxFunctionBits)
-			}
-			rep, err := c.verify(g, ports, scheme)
-			if err != nil {
-				return nil, err
-			}
-			if !rep.AllDelivered() {
-				return nil, fmt.Errorf("eval: n=%d trial %d: %d/%d undelivered (%v)",
-					n, trial, rep.Pairs-rep.Delivered, rep.Pairs, rep.Failures)
-			}
-			if rep.MaxStretch > pt.MaxStretch {
-				pt.MaxStretch = rep.MaxStretch
-			}
-			if rep.MaxHops > pt.MaxHops {
-				pt.MaxHops = rep.MaxHops
+			if cell.maxHops > pt.MaxHops {
+				pt.MaxHops = cell.maxHops
 			}
 		}
 		pt.TotalBits = totalSum / float64(c.Trials)
@@ -171,7 +200,8 @@ func (c Config) verify(g *graph.Graph, ports *graph.Ports, scheme routing.Scheme
 	if err != nil {
 		return nil, err
 	}
-	dm, err := shortestpath.AllPairs(g)
+	// Cached: scheme builders (e.g. E10's fullinfo) request the same matrix.
+	dm, err := shortestpath.AllPairsCached(g)
 	if err != nil {
 		return nil, err
 	}

@@ -424,7 +424,8 @@ func (c Config) E9Family() ([]E9Result, error) {
 func (c Config) E10FullInfo() (*Series, error) {
 	pts, err := c.sweepScheme(models.IAAlpha, func(g *graph.Graph, _ *rand.Rand) (routing.Scheme, *graph.Ports, error) {
 		ports := graph.SortedPorts(g)
-		dm, err := shortestpath.AllPairs(g)
+		// Cached: Config.verify needs the same graph's matrix right after.
+		dm, err := shortestpath.AllPairsCached(g)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -13,6 +13,7 @@ import (
 	"routetab/internal/gengraph"
 	"routetab/internal/graph"
 	"routetab/internal/netsim"
+	"routetab/internal/par"
 	"routetab/internal/routing"
 	"routetab/internal/schemes/centers"
 	"routetab/internal/schemes/compact"
@@ -157,6 +158,12 @@ func resilienceBuilder(name string, g *graph.Graph, ports *graph.Ports, dm *shor
 // sampled pairs sequentially on a degraded-mode network with retries, and
 // reports delivery ratio and mean stretch. Everything is keyed on
 // Config.Seed; two runs produce identical results byte for byte.
+//
+// The (scheme, p) grid fans out over a bounded worker pool: every point's
+// fault plan and hop-fault stream are seeded purely by (Seed, p), each point
+// runs on its own network against the read-only shared scheme, and points
+// land in grid-order slots — so the output is byte-identical to the
+// sequential sweep (docs/resilience_n64.csv predates the parallel harness).
 func Resilience(cfg ResilienceConfig) (*ResilienceResult, error) {
 	if cfg.Retries < 1 {
 		cfg.Retries = 3
@@ -172,27 +179,35 @@ func Resilience(cfg ResilienceConfig) (*ResilienceResult, error) {
 		return nil, err
 	}
 	ports := graph.SortedPorts(g)
-	dm, err := shortestpath.AllPairs(g)
+	dm, err := shortestpath.AllPairsCached(g)
 	if err != nil {
 		return nil, err
 	}
 	pairs := samplePairs(cfg.N, cfg.Pairs, cfg.Seed)
 
-	res := &ResilienceResult{Config: cfg}
-	for _, name := range cfg.Schemes {
+	schemes := make([]routing.Scheme, len(cfg.Schemes))
+	for i, name := range cfg.Schemes {
 		scheme, err := resilienceBuilder(name, g, ports, dm)
 		if err != nil {
 			return nil, fmt.Errorf("eval: building %s: %w", name, err)
 		}
-		for _, p := range cfg.Probs {
-			pt, err := cfg.runPoint(g, ports, dm, scheme, name, p, pairs)
-			if err != nil {
-				return nil, fmt.Errorf("eval: %s at p=%.2f: %w", name, p, err)
-			}
-			res.Points = append(res.Points, pt)
-		}
+		schemes[i] = scheme
 	}
-	return res, nil
+	points := make([]ResiliencePoint, len(cfg.Schemes)*len(cfg.Probs))
+	err = par.ForEach(len(points), func(idx int) error {
+		si, pi := idx/len(cfg.Probs), idx%len(cfg.Probs)
+		name, p := cfg.Schemes[si], cfg.Probs[pi]
+		pt, err := cfg.runPoint(g, ports, dm, schemes[si], name, p, pairs)
+		if err != nil {
+			return fmt.Errorf("eval: %s at p=%.2f: %w", name, p, err)
+		}
+		points[idx] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ResilienceResult{Config: cfg, Points: points}, nil
 }
 
 // runPoint measures one (scheme, p) cell: fresh network, fresh injector,

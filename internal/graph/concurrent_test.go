@@ -1,0 +1,109 @@
+package graph
+
+import (
+	"math/bits"
+	"sync"
+	"testing"
+)
+
+// TestNeighborsConcurrentReaders exercises the lazy neighbour-list rebuild
+// from many goroutines with the cache cold, so racing builders publish
+// concurrently. Run under -race (make verify) this is the regression test
+// for the old unsynchronised lists/dirty rebuild.
+func TestNeighborsConcurrentReaders(t *testing.T) {
+	g := MustNew(200)
+	for u := 1; u <= 200; u++ {
+		for v := u + 1; v <= 200; v += u {
+			if err := g.AddEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	const readers = 16
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := 1 + r%7; u <= 200; u++ {
+				nb := g.Neighbors(u)
+				if len(nb) != g.Degree(u) {
+					t.Errorf("node %d: %d neighbours, degree %d", u, len(nb), g.Degree(u))
+					return
+				}
+				for _, v := range nb {
+					if !g.HasEdge(u, v) {
+						t.Errorf("phantom neighbour %d of %d", v, u)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestAdjRowMatchesNeighbors(t *testing.T) {
+	g := MustNew(130)
+	for _, e := range [][2]int{{1, 2}, {1, 129}, {64, 65}, {128, 130}, {3, 70}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Words() != 3 {
+		t.Fatalf("Words() = %d, want 3 for n=130", g.Words())
+	}
+	for u := 1; u <= g.N(); u++ {
+		row := g.AdjRow(u)
+		if len(row) != g.Words() {
+			t.Fatalf("AdjRow(%d) has %d words", u, len(row))
+		}
+		var fromRow []int
+		for wi, w := range row {
+			for w != 0 {
+				fromRow = append(fromRow, wi*64+bits.TrailingZeros64(w)+1)
+				w &= w - 1
+			}
+		}
+		nb := g.Neighbors(u)
+		if len(fromRow) != len(nb) {
+			t.Fatalf("node %d: row %v, neighbours %v", u, fromRow, nb)
+		}
+		for i := range nb {
+			if fromRow[i] != nb[i] {
+				t.Fatalf("node %d: row %v, neighbours %v", u, fromRow, nb)
+			}
+		}
+	}
+	if g.AdjRow(0) != nil || g.AdjRow(131) != nil {
+		t.Fatal("out-of-range AdjRow should be nil")
+	}
+}
+
+func TestVersionBumpsOnMutation(t *testing.T) {
+	g := MustNew(4)
+	v0 := g.Version()
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	v1 := g.Version()
+	if v1 == v0 {
+		t.Fatal("AddEdge did not bump Version")
+	}
+	if err := g.AddEdge(1, 2); err != nil { // duplicate: no mutation
+		t.Fatal(err)
+	}
+	if g.Version() != v1 {
+		t.Fatal("no-op AddEdge bumped Version")
+	}
+	if err := g.RemoveEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if g.Version() == v1 {
+		t.Fatal("RemoveEdge did not bump Version")
+	}
+	if err := g.RemoveEdge(1, 2); err != nil { // missing: no mutation
+		t.Fatal(err)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"math/bits"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"routetab/internal/bitio"
 )
@@ -34,15 +35,23 @@ var (
 
 // Graph is a simple undirected graph on nodes {1,…,n}. The zero value is the
 // empty graph on zero nodes; use New for anything useful.
+//
+// Concurrency: any number of goroutines may read a Graph (Neighbors, AdjRow,
+// HasEdge, …) concurrently — the lazy neighbour-list cache is published
+// atomically. Mutations (AddEdge, RemoveEdge) require external
+// synchronisation with respect to all other access.
 type Graph struct {
 	n     int
 	words int // bitset words per adjacency row
 	adj   []uint64
 
-	// neighbour list cache, rebuilt lazily after mutations.
-	lists [][]int
-	dirty bool
-	edges int
+	// lists is the lazily built neighbour-list cache, published atomically
+	// so concurrent readers never observe a partial rebuild. nil means
+	// "stale": the next Neighbors call rebuilds from the bitsets.
+	lists atomic.Pointer[[][]int]
+	// version counts mutations; the shortestpath cache keys on it.
+	version uint64
+	edges   int
 }
 
 // New returns an edgeless graph on n ≥ 0 nodes labelled 1…n.
@@ -55,7 +64,6 @@ func New(n int) (*Graph, error) {
 		n:     n,
 		words: words,
 		adj:   make([]uint64, n*words),
-		dirty: true,
 	}, nil
 }
 
@@ -74,6 +82,25 @@ func (g *Graph) N() int { return g.n }
 
 // M returns the number of edges.
 func (g *Graph) M() int { return g.edges }
+
+// Version returns a counter that changes on every successful mutation.
+// Caches keyed on (graph, version) — e.g. shortestpath.Cache — use it to
+// detect staleness without hashing the edge set.
+func (g *Graph) Version() uint64 { return g.version }
+
+// Words returns the number of uint64 words per adjacency bitset row.
+func (g *Graph) Words() int { return g.words }
+
+// AdjRow exposes node u's adjacency bitset row (Words() words; bit (v−1) set
+// iff uv ∈ E, laid out little-endian within each word). The returned slice
+// aliases the graph's storage — callers must treat it as read-only. This is
+// the word-parallel substrate of the bitset BFS in internal/shortestpath.
+func (g *Graph) AdjRow(u int) []uint64 {
+	if g.check(u) != nil {
+		return nil
+	}
+	return g.row(u)
+}
 
 func (g *Graph) check(u int) error {
 	if u < 1 || u > g.n {
@@ -104,7 +131,7 @@ func (g *Graph) AddEdge(u, v int) error {
 	g.row(u)[(v-1)/64] |= 1 << uint((v-1)%64)
 	g.row(v)[(u-1)/64] |= 1 << uint((u-1)%64)
 	g.edges++
-	g.dirty = true
+	g.invalidate()
 	return nil
 }
 
@@ -123,8 +150,15 @@ func (g *Graph) RemoveEdge(u, v int) error {
 	g.row(u)[(v-1)/64] &^= 1 << uint((v-1)%64)
 	g.row(v)[(u-1)/64] &^= 1 << uint((u-1)%64)
 	g.edges--
-	g.dirty = true
+	g.invalidate()
 	return nil
+}
+
+// invalidate records a mutation: bumps the version and drops the published
+// neighbour-list cache.
+func (g *Graph) invalidate() {
+	g.version++
+	g.lists.Store(nil)
 }
 
 // HasEdge reports whether uv ∈ E. Out-of-range labels report false.
@@ -147,11 +181,15 @@ func (g *Graph) Degree(u int) int {
 	return d
 }
 
-func (g *Graph) ensureLists() {
-	if !g.dirty {
-		return
+// ensureLists returns the current neighbour-list snapshot, building and
+// publishing it if stale. Safe for concurrent readers: racing builders each
+// construct a full snapshot from the (immutable, absent mutation) bitsets and
+// atomically publish equivalent values.
+func (g *Graph) ensureLists() [][]int {
+	if l := g.lists.Load(); l != nil {
+		return *l
 	}
-	g.lists = make([][]int, g.n+1)
+	lists := make([][]int, g.n+1)
 	for u := 1; u <= g.n; u++ {
 		row := g.row(u)
 		list := make([]int, 0, g.Degree(u))
@@ -162,19 +200,20 @@ func (g *Graph) ensureLists() {
 				w &= w - 1
 			}
 		}
-		g.lists[u] = list
+		lists[u] = list
 	}
-	g.dirty = false
+	g.lists.Store(&lists)
+	return lists
 }
 
 // Neighbors returns the neighbours of u in increasing label order. The
-// returned slice is shared; callers must not modify it.
+// returned slice is shared; callers must not modify it. Safe for concurrent
+// readers.
 func (g *Graph) Neighbors(u int) []int {
 	if g.check(u) != nil {
 		return nil
 	}
-	g.ensureLists()
-	return g.lists[u]
+	return g.ensureLists()[u]
 }
 
 // FirstNeighbors returns the k least-labelled neighbours of u (all of them if
@@ -206,7 +245,6 @@ func (g *Graph) Clone() *Graph {
 		n:     g.n,
 		words: g.words,
 		adj:   make([]uint64, len(g.adj)),
-		dirty: true,
 		edges: g.edges,
 	}
 	copy(cp.adj, g.adj)

@@ -1,0 +1,81 @@
+// Package par provides the bounded worker pool shared by the parallel
+// experiment harness, the all-pairs BFS fan-out, and the parallel scheme
+// builders.
+//
+// The pool is deliberately tiny: jobs are identified by index, results are
+// written into caller-owned slots keyed by that index, and aggregation happens
+// sequentially afterwards in index order. This is the determinism contract of
+// DESIGN.md §8 — a parallel sweep produces output byte-identical to the
+// sequential loop it replaced, because no reduction ever depends on worker
+// scheduling.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(0), …, fn(n−1) on up to GOMAXPROCS workers and waits for
+// completion. On error the remaining un-dispatched jobs are cancelled (jobs
+// already started still finish), and the lowest-indexed error observed is
+// returned.
+//
+// The cancellation path is deadlock-free even when every worker exits early:
+// the dispatcher selects on a done channel, so it never blocks sending to a
+// pool with no receivers.
+func ForEach(n int, fn func(i int) error) error {
+	return ForEachN(n, runtime.GOMAXPROCS(0), fn)
+}
+
+// ForEachN is ForEach with an explicit worker bound (values < 1 mean 1).
+func ForEachN(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	jobs := make(chan int)
+	done := make(chan struct{})
+	var closeDone sync.Once
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := fn(i); err != nil {
+					errs[i] = err
+					closeDone.Do(func() { close(done) })
+					return
+				}
+			}
+		}()
+	}
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-done:
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100} {
+		var hits atomic.Int64
+		seen := make([]atomic.Bool, n)
+		if err := ForEach(n, func(i int) error {
+			hits.Add(1)
+			seen[i].Store(true)
+			return nil
+		}); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if hits.Load() != int64(n) {
+			t.Fatalf("n=%d: %d calls", n, hits.Load())
+		}
+		for i := range seen {
+			if !seen[i].Load() {
+				t.Fatalf("n=%d: index %d never ran", n, i)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexedError(t *testing.T) {
+	errBoom := errors.New("boom")
+	// Sequential path (1 worker): deterministic first error.
+	err := ForEachN(10, 1, func(i int) error {
+		if i >= 3 {
+			return fmt.Errorf("%w at %d", errBoom, i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom at 3" {
+		t.Fatalf("err = %v, want boom at 3", err)
+	}
+	// Parallel path: some boom error must surface.
+	err = ForEachN(10, 4, func(i int) error {
+		if i%2 == 1 {
+			return fmt.Errorf("%w at %d", errBoom, i)
+		}
+		return nil
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want errBoom", err)
+	}
+}
+
+// TestForEachAllWorkersFailNoDeadlock is the regression test for the
+// dispatcher deadlock: when every worker exits early on an error, the
+// dispatcher must not block sending to a pool with no receivers. Before the
+// fix, the equivalent loop in shortestpath.AllPairs hung forever.
+func TestForEachAllWorkersFailNoDeadlock(t *testing.T) {
+	errBoom := errors.New("boom")
+	finished := make(chan error, 1)
+	go func() {
+		finished <- ForEachN(10_000, 4, func(i int) error { return errBoom })
+	}()
+	select {
+	case err := <-finished:
+		if !errors.Is(err, errBoom) {
+			t.Fatalf("err = %v, want errBoom", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("ForEach deadlocked after all workers failed")
+	}
+}
+
+func TestForEachCancelsRemainingJobs(t *testing.T) {
+	errBoom := errors.New("boom")
+	var ran atomic.Int64
+	err := ForEachN(100_000, 4, func(i int) error {
+		ran.Add(1)
+		return errBoom
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v", err)
+	}
+	// With 4 workers all failing on their first job, dispatch stops almost
+	// immediately; allow generous slack for jobs already handed off.
+	if ran.Load() > 1000 {
+		t.Fatalf("ran %d jobs after first error; cancellation not effective", ran.Load())
+	}
+}

@@ -114,8 +114,6 @@ func VerifyPairsParallel(sim *Sim, dm *shortestpath.Distances, pairs [][2]int, m
 	if dm.N() != sim.g.N() {
 		return nil, fmt.Errorf("routing: distance matrix for n=%d used with n=%d", dm.N(), sim.g.N())
 	}
-	sim.g.Neighbors(1) // build adjacency cache before fan-out
-
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(pairs) {
 		workers = len(pairs)

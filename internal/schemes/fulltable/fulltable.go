@@ -14,6 +14,7 @@ import (
 	"routetab/internal/bitio"
 	"routetab/internal/graph"
 	"routetab/internal/models"
+	"routetab/internal/par"
 	"routetab/internal/routing"
 	"routetab/internal/shortestpath"
 )
@@ -40,6 +41,8 @@ var _ routing.Scheme = (*Scheme)(nil)
 
 // Build constructs the table from per-source BFS trees, using the given port
 // assignment verbatim (it never re-assigns ports, hence IA-compatibility).
+// The per-source trees are independent, so construction fans out over a
+// bounded worker pool; every worker writes only its own source's slots.
 func Build(g *graph.Graph, ports *graph.Ports) (*Scheme, error) {
 	if err := ports.Validate(g); err != nil {
 		return nil, fmt.Errorf("fulltable: %w", err)
@@ -51,10 +54,12 @@ func Build(g *graph.Graph, ports *graph.Ports) (*Scheme, error) {
 		width:   make([]int, n+1),
 		encoded: make([]*bitio.Writer, n+1),
 	}
-	for u := 1; u <= n; u++ {
+	g.Neighbors(1) // one up-front rebuild instead of n racing (safe) rebuilds
+	err := par.ForEach(n, func(i int) error {
+		u := i + 1
 		res, err := shortestpath.BFS(g, u)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := make([]uint16, n+1)
 		for v := 1; v <= n; v++ {
@@ -62,7 +67,7 @@ func Build(g *graph.Graph, ports *graph.Ports) (*Scheme, error) {
 				continue
 			}
 			if res.Dist[v] == shortestpath.Unreachable {
-				return nil, fmt.Errorf("%w: no path %d→%d", ErrDisconnected, u, v)
+				return fmt.Errorf("%w: no path %d→%d", ErrDisconnected, u, v)
 			}
 			w := v
 			for res.Parent[w] != u {
@@ -70,7 +75,7 @@ func Build(g *graph.Graph, ports *graph.Ports) (*Scheme, error) {
 			}
 			port, err := ports.PortTo(u, w)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			row[v] = uint16(port)
 		}
@@ -78,9 +83,13 @@ func Build(g *graph.Graph, ports *graph.Ports) (*Scheme, error) {
 		s.width[u] = bitio.CeilLogPlus1(g.Degree(u))
 		enc, err := encodeRow(row, u, s.width[u])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s.encoded[u] = enc
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return s, nil
 }

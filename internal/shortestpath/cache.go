@@ -1,0 +1,93 @@
+package shortestpath
+
+import (
+	"sync"
+
+	"routetab/internal/graph"
+)
+
+// Cache memoises all-pairs matrices per graph so one trial's Build, Verify
+// and sweep code paths compute the matrix once instead of once per call site.
+//
+// Entries are keyed on graph identity plus the graph's mutation Version();
+// mutating a cached graph invalidates its entry on the next lookup. The cache
+// keeps a strong reference to each cached graph, which both bounds staleness
+// (an entry can never outlive its key's address) and caps memory via a small
+// LRU. Safe for concurrent use; concurrent requests for the same graph
+// compute the matrix once (single-flight per entry).
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	entries []*cacheEntry // front = most recently used
+}
+
+type cacheEntry struct {
+	g       *graph.Graph
+	version uint64
+	once    sync.Once
+	dm      *Distances
+	err     error
+}
+
+// NewCache returns a cache holding up to capacity matrices (minimum 1).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{cap: capacity}
+}
+
+// AllPairs returns g's all-pairs matrix, computing it at most once per
+// (graph, version) while cached.
+func (c *Cache) AllPairs(g *graph.Graph) (*Distances, error) {
+	e := c.entry(g)
+	e.once.Do(func() { e.dm, e.err = AllPairs(g) })
+	return e.dm, e.err
+}
+
+// entry finds or installs the cache slot for g, refreshing LRU order and
+// evicting the coldest entry past capacity. The (potentially slow) matrix
+// computation happens outside the lock, guarded by the entry's once.
+func (c *Cache) entry(g *graph.Graph) *cacheEntry {
+	version := g.Version()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, e := range c.entries {
+		if e.g != g {
+			continue
+		}
+		if e.version == version {
+			c.entries = append(c.entries[:i], c.entries[i+1:]...)
+			c.entries = append([]*cacheEntry{e}, c.entries...)
+			return e
+		}
+		// Same graph mutated since caching: drop the stale entry.
+		c.entries = append(c.entries[:i], c.entries[i+1:]...)
+		break
+	}
+	e := &cacheEntry{g: g, version: version}
+	c.entries = append([]*cacheEntry{e}, c.entries...)
+	if len(c.entries) > c.cap {
+		c.entries = c.entries[:c.cap]
+	}
+	return e
+}
+
+// Len reports the number of cached matrices (for tests).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// shared is the process-wide cache used by the evaluation harness, core
+// verification, and the Theorem 10 description method: one trial's graph is
+// rebuilt against by several call sites, and they all want the same matrix.
+// Capacity 4 bounds worst-case residency at 4·n² bytes (64 MiB at n = 4096).
+var shared = NewCache(4)
+
+// AllPairsCached computes g's all-pairs matrix through the process-wide
+// shared cache. Callers must not mutate the returned matrix.
+func AllPairsCached(g *graph.Graph) (*Distances, error) {
+	return shared.AllPairs(g)
+}

@@ -3,20 +3,33 @@
 // first-edge sets that full-information routing schemes (Theorem 10) store.
 //
 // All graphs in the paper are unweighted, so BFS is exact. All-pairs runs one
-// BFS per source, fanned out over a bounded worker pool.
+// BFS per source, fanned out over a bounded worker pool, and picks between
+// two kernels by density: the classic neighbour-list BFS, and a word-parallel
+// bitset BFS that expands the whole frontier with uint64 sweeps over the
+// graph's adjacency rows (bitset.go). The packed matrix stores one byte per
+// pair — diameter is 2 on the paper's δ-random graphs (Lemma 2), and longer
+// distances saturate at MaxDistance.
 package shortestpath
 
 import (
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"routetab/internal/graph"
+	"routetab/internal/par"
 )
 
 // Unreachable is the distance reported for disconnected pairs.
 const Unreachable = -1
+
+// MaxDistance is the largest finite distance the packed all-pairs matrix can
+// represent; longer shortest paths saturate to it. Distances, Eccentricity
+// and Diameter are exact for every graph of diameter ≤ MaxDistance (the
+// paper's random graphs have diameter 2).
+const MaxDistance = 254
+
+// unreachable8 is the packed-byte sentinel for disconnected pairs.
+const unreachable8 = 0xFF
 
 // ErrNodeRange indicates a node label outside {1,…,n}.
 var ErrNodeRange = errors.New("shortestpath: node label out of range")
@@ -77,71 +90,119 @@ func (r *BFSResult) PathTo(v int) []int {
 	return path
 }
 
-// Distances is an all-pairs shortest-path matrix.
+// Distances is an all-pairs shortest-path matrix, packed one byte per pair
+// (4× smaller than the previous int32 layout, so n=4096 sweeps hold the full
+// 16 MiB matrix comfortably).
 type Distances struct {
 	n int
-	d []int32 // row-major (u−1)*n + (v−1)
+	d []uint8 // row-major (u−1)*n + (v−1); unreachable8 = disconnected
 }
 
-// AllPairs computes all-pairs shortest paths with one BFS per source, run on
-// up to GOMAXPROCS workers.
+// Strategy selects the per-source BFS kernel used by AllPairsStrategy.
+type Strategy uint8
+
+const (
+	// StrategyAuto picks by density: bitset on dense graphs, lists elsewhere.
+	StrategyAuto Strategy = iota
+	// StrategyList forces the classic neighbour-list BFS.
+	StrategyList
+	// StrategyBitset forces the word-parallel bitset BFS.
+	StrategyBitset
+)
+
+// testRowErr, when non-nil, lets tests inject per-source failures into the
+// AllPairs fan-out (the production kernels cannot fail on in-range sources).
+var testRowErr func(src int) error
+
+// AllPairs computes all-pairs shortest paths with one BFS per source, fanned
+// out over a bounded worker pool. The kernel is chosen automatically
+// (StrategyAuto): on dense graphs every frontier expansion runs word-parallel
+// over the adjacency bitsets.
 func AllPairs(g *graph.Graph) (*Distances, error) {
+	return AllPairsStrategy(g, StrategyAuto)
+}
+
+// useBitset is the StrategyAuto selection rule: the bitset kernel costs
+// Θ(diam·n²/64) per source independent of density, the list kernel Θ(n+m), so
+// bitsets win once the graph carries more than ~n²/64 edges (average degree
+// above n/32). The n ≥ 64 guard keeps tiny graphs on the allocation-light
+// list path.
+func useBitset(g *graph.Graph) bool {
 	n := g.N()
-	dm := &Distances{n: n, d: make([]int32, n*n)}
+	return n >= 64 && g.M() >= n*n/64
+}
+
+// AllPairsStrategy is AllPairs with an explicit kernel choice; benchmarks and
+// the differential tests use it to compare the two kernels.
+func AllPairsStrategy(g *graph.Graph, strat Strategy) (*Distances, error) {
+	n := g.N()
+	dm := &Distances{n: n, d: make([]uint8, n*n)}
 	if n == 0 {
 		return dm, nil
 	}
-	g.Neighbors(1) // build adjacency lists once, before fan-out
-
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+	bitset := strat == StrategyBitset || (strat == StrategyAuto && useBitset(g))
+	if !bitset {
+		g.Neighbors(1) // one up-front rebuild saves n racing (safe) rebuilds
 	}
-	sources := make(chan int)
-	errOnce := make(chan error, 1)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for src := range sources {
-				res, err := BFS(g, src)
-				if err != nil {
-					select {
-					case errOnce <- err:
-					default:
-					}
-					return
-				}
-				row := dm.d[(src-1)*n : src*n]
-				for v := 1; v <= n; v++ {
-					row[v-1] = int32(res.Dist[v])
-				}
+	err := par.ForEach(n, func(i int) error {
+		src := i + 1
+		if testRowErr != nil {
+			if err := testRowErr(src); err != nil {
+				return err
 			}
-		}()
-	}
-	for src := 1; src <= n; src++ {
-		sources <- src
-	}
-	close(sources)
-	wg.Wait()
-	select {
-	case err := <-errOnce:
+		}
+		row := dm.d[i*n : (i+1)*n]
+		if bitset {
+			bitsetRow(g, src, row)
+			return nil
+		}
+		return listRow(g, src, row)
+	})
+	if err != nil {
 		return nil, err
-	default:
 	}
 	return dm, nil
+}
+
+// listRow fills one packed matrix row using the neighbour-list BFS.
+func listRow(g *graph.Graph, src int, row []uint8) error {
+	res, err := BFS(g, src)
+	if err != nil {
+		return err
+	}
+	for v := 1; v < len(res.Dist); v++ {
+		row[v-1] = packDist(res.Dist[v])
+	}
+	return nil
+}
+
+// packDist converts a BFS distance to the packed byte encoding, saturating
+// finite distances at MaxDistance.
+func packDist(d int) uint8 {
+	switch {
+	case d == Unreachable:
+		return unreachable8
+	case d > MaxDistance:
+		return MaxDistance
+	default:
+		return uint8(d)
+	}
 }
 
 // N returns the number of nodes the matrix covers.
 func (d *Distances) N() int { return d.n }
 
-// Dist returns d(u,v), or Unreachable for disconnected or invalid pairs.
+// Dist returns d(u,v) (saturated at MaxDistance), or Unreachable for
+// disconnected or invalid pairs.
 func (d *Distances) Dist(u, v int) int {
 	if u < 1 || u > d.n || v < 1 || v > d.n {
 		return Unreachable
 	}
-	return int(d.d[(u-1)*d.n+(v-1)])
+	b := d.d[(u-1)*d.n+(v-1)]
+	if b == unreachable8 {
+		return Unreachable
+	}
+	return int(b)
 }
 
 // Eccentricity returns the maximum finite distance from u, or Unreachable if
@@ -184,7 +245,8 @@ func (d *Distances) Diameter() int {
 // the information a full-information shortest-path routing function must
 // return (Theorem 10): every shortest-path-consistent outgoing edge.
 //
-// Entry v of the result is nil for v = u and for unreachable v.
+// Entry v of the result is nil for v = u and for unreachable v. Exact only on
+// graphs of diameter ≤ MaxDistance (the matrix saturates beyond that).
 func FirstEdges(g *graph.Graph, dm *Distances, u int) ([][]int, error) {
 	n := g.N()
 	if u < 1 || u > n {

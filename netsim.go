@@ -101,7 +101,7 @@ func AllPairs(g *Graph) (*Distances, error) { return shortestpath.AllPairs(g) }
 // which keeps every shortest-path port per destination and can route around
 // failed links.
 func BuildFullInformation(g *Graph, ports *Ports) (*FullInfoScheme, error) {
-	dm, err := shortestpath.AllPairs(g)
+	dm, err := shortestpath.AllPairsCached(g)
 	if err != nil {
 		return nil, err
 	}
