@@ -3,9 +3,17 @@
 
 GO ?= go
 
-.PHONY: verify vet build test race smoke benchsmoke bench clean
+.PHONY: verify lint vet build test race smoke benchsmoke loadsmoke bench loadbench clean
 
-verify: vet build test race smoke benchsmoke
+verify: lint vet build test race smoke benchsmoke loadsmoke
+
+# gofmt -l exits 0 even when files need formatting, so fail on any output.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
 
 vet:
 	$(GO) vet ./...
@@ -27,14 +35,31 @@ smoke:
 		-out $(or $(TMPDIR),/tmp)/resilience_smoke.csv
 
 # One-iteration pass over every benchmarked path (BFS kernels, distance
-# cache, E13 sweep); keeps the bench harness from rotting between releases.
+# cache, E13 sweep, serving-layer load); keeps the bench harness from
+# rotting between releases.
 benchsmoke:
-	$(GO) run ./cmd/benchjson -quick -out $(or $(TMPDIR),/tmp)/bench_smoke.json
+	$(GO) run ./cmd/benchjson -quick -sections bfs,cache,resilience,serve \
+		-out $(or $(TMPDIR),/tmp)/bench_smoke.json
+
+# Seconds-scale serving smoke through routetabd's loadgen mode: fixed seed,
+# tiny graph, two mid-load hot-swaps; exits non-zero on any incorrect,
+# rejected, or errored lookup, or zero throughput.
+loadsmoke:
+	$(GO) run ./cmd/routetabd -loadgen -n 32 -seed 1 -lookups 20000 \
+		-workers 2 -swaps 2
 
 # Regenerates the checked-in PR 2 performance artefact (see EXPERIMENTS.md
 # for the methodology; numbers are host-dependent).
 bench:
-	$(GO) run ./cmd/benchjson -out BENCH_pr2.json
+	$(GO) run ./cmd/benchjson -sections bfs,cache,resilience \
+		-artefact BENCH_pr2 -out BENCH_pr2.json
+
+# Regenerates the PR 3 serving-layer artefact (EXPERIMENTS.md E14): one
+# million validated lookups per scheme on G(256,1/2) with ten snapshot
+# hot-swaps mid-load, for fulltable and compact.
+loadbench:
+	$(GO) run ./cmd/benchjson -sections serve \
+		-artefact BENCH_pr3 -out BENCH_pr3.json
 
 clean:
 	$(GO) clean ./...

@@ -1,8 +1,18 @@
-// Command benchjson regenerates the PR 2 performance artefact
-// (BENCH_pr2.json): ns/op for the two all-pairs BFS kernels at n ∈ {256,
-// 1024}, the shared distance cache cold vs hit, and the E13 resilience-sweep
-// wall time. `make bench` writes the checked-in artefact; `make verify` runs
-// the -quick one-iteration smoke so the measured paths stay exercised.
+// Command benchjson regenerates the checked-in performance artefacts. Each
+// run selects measurement sections (-sections) and an artefact name
+// (-artefact), so one binary produces both:
+//
+//	BENCH_pr2.json  (`make bench`):     -sections bfs,cache,resilience
+//	  ns/op for the two all-pairs BFS kernels at n ∈ {256, 1024}, the shared
+//	  distance cache cold vs hit, and the E13 resilience-sweep wall time.
+//	BENCH_pr3.json  (`make loadbench`): -sections serve
+//	  closed-loop serving-layer load reports (QPS, p50/p99 latency) for the
+//	  fulltable and compact schemes on G(256, 1/2) with ten snapshot
+//	  hot-swaps mid-load; the run fails if any lookup is answered
+//	  incorrectly, rejected, or errored.
+//
+// `make verify` runs the -quick one-iteration smoke over every section so
+// the measured paths stay exercised.
 //
 // Methodology (recorded in EXPERIMENTS.md): every measurement warms up once
 // un-timed, then iterates until the time budget is spent (-quick: exactly one
@@ -16,12 +26,16 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
 	"time"
 
 	"math/rand"
 
 	"routetab/internal/eval"
 	"routetab/internal/gengraph"
+	"routetab/internal/serve"
+	"routetab/internal/serve/loadgen"
 	"routetab/internal/shortestpath"
 )
 
@@ -32,18 +46,49 @@ type Result struct {
 	NsPerOp float64 `json:"ns_per_op"`
 }
 
-// Report is the BENCH_pr2.json schema.
+// Report is the artefact schema (BENCH_pr2.json, BENCH_pr3.json).
 type Report struct {
 	Artefact   string   `json:"artefact"`
 	GoVersion  string   `json:"go_version"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
 	Quick      bool     `json:"quick"`
-	Results    []Result `json:"results"`
+	Sections   []string `json:"sections"`
+	Results    []Result `json:"results,omitempty"`
+	// Loadgen carries the serving-layer closed-loop reports (section
+	// "serve"): QPS and latency quantiles per scheme, with validation and
+	// hot-swap tallies.
+	Loadgen []*loadgen.Report `json:"loadgen,omitempty"`
 	// BitsetSpeedupN1024 is list ns/op ÷ bitset ns/op on G(1024, 1/2) —
-	// the tentpole acceptance ratio (must be ≥ 3).
-	BitsetSpeedupN1024 float64 `json:"bitset_speedup_n1024"`
+	// the PR 2 tentpole acceptance ratio (must be ≥ 3). Section "bfs".
+	BitsetSpeedupN1024 float64 `json:"bitset_speedup_n1024,omitempty"`
 	// CacheSpeedupN256 is uncached ns/op ÷ cached-hit ns/op on G(256, 1/2).
-	CacheSpeedupN256 float64 `json:"cache_speedup_n256"`
+	// Section "cache".
+	CacheSpeedupN256 float64 `json:"cache_speedup_n256,omitempty"`
+}
+
+// knownSections lists every measurement group benchjson understands.
+var knownSections = []string{"bfs", "cache", "resilience", "serve"}
+
+func parseSections(csv string) (map[string]bool, error) {
+	known := map[string]bool{}
+	for _, s := range knownSections {
+		known[s] = true
+	}
+	picked := map[string]bool{}
+	for _, s := range strings.Split(csv, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		if !known[s] {
+			return nil, fmt.Errorf("unknown section %q (have %s)", s, strings.Join(knownSections, ", "))
+		}
+		picked[s] = true
+	}
+	if len(picked) == 0 {
+		return nil, fmt.Errorf("no sections selected")
+	}
+	return picked, nil
 }
 
 // measure runs fn once un-timed, then iterates until budget is spent
@@ -67,18 +112,23 @@ func measure(name string, budget time.Duration, fn func() error) (Result, error)
 	return Result{Name: name, Iters: iters, NsPerOp: float64(elapsed.Nanoseconds()) / float64(iters)}, nil
 }
 
-// runSuite produces the full report; split out of main for the smoke test.
-func runSuite(quick bool) (*Report, error) {
+// runSuite produces the report for the selected sections; split out of main
+// for the smoke test.
+func runSuite(quick bool, artefact string, sections map[string]bool) (*Report, error) {
 	budget := 2 * time.Second
 	if quick {
 		budget = 0
 	}
 	rep := &Report{
-		Artefact:   "BENCH_pr2",
+		Artefact:   artefact,
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Quick:      quick,
 	}
+	for s := range sections {
+		rep.Sections = append(rep.Sections, s)
+	}
+	sort.Strings(rep.Sections)
 	var nsPerOp = map[string]float64{}
 	add := func(r Result, err error) error {
 		if err != nil {
@@ -90,32 +140,37 @@ func runSuite(quick bool) (*Report, error) {
 	}
 
 	// Old-vs-new BFS: one op = one full n-source all-pairs pass.
-	for _, n := range []int{256, 1024} {
-		g, err := gengraph.GnHalf(n, rand.New(rand.NewSource(42)))
-		if err != nil {
-			return nil, err
-		}
-		g.Neighbors(1)
-		for _, k := range []struct {
-			name  string
-			strat shortestpath.Strategy
-		}{
-			{"bfs_list", shortestpath.StrategyList},
-			{"bfs_bitset", shortestpath.StrategyBitset},
-		} {
-			k := k
-			err := add(measure(fmt.Sprintf("%s_n%d", k.name, n), budget, func() error {
-				_, err := shortestpath.AllPairsStrategy(g, k.strat)
-				return err
-			}))
+	if sections["bfs"] {
+		for _, n := range []int{256, 1024} {
+			g, err := gengraph.GnHalf(n, rand.New(rand.NewSource(42)))
 			if err != nil {
 				return nil, err
 			}
+			g.Neighbors(1)
+			for _, k := range []struct {
+				name  string
+				strat shortestpath.Strategy
+			}{
+				{"bfs_list", shortestpath.StrategyList},
+				{"bfs_bitset", shortestpath.StrategyBitset},
+			} {
+				k := k
+				err := add(measure(fmt.Sprintf("%s_n%d", k.name, n), budget, func() error {
+					_, err := shortestpath.AllPairsStrategy(g, k.strat)
+					return err
+				}))
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		if l, b := nsPerOp["bfs_list_n1024"], nsPerOp["bfs_bitset_n1024"]; b > 0 {
+			rep.BitsetSpeedupN1024 = l / b
 		}
 	}
 
 	// Shared distance cache: cold compute vs (graph, version)-keyed hit.
-	{
+	if sections["cache"] {
 		g, err := gengraph.GnHalf(256, rand.New(rand.NewSource(43)))
 		if err != nil {
 			return nil, err
@@ -138,12 +193,15 @@ func runSuite(quick bool) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		if u, c := nsPerOp["allpairs_uncached_n256"], nsPerOp["allpairs_cached_n256"]; c > 0 {
+			rep.CacheSpeedupN256 = u / c
+		}
 	}
 
 	// E13 resilience sweep wall time (parallel harness end to end). Quick
 	// mode mirrors the Makefile smoke scale; full mode runs the two
 	// shortest-path schemes at the artefact scale n=64.
-	{
+	if sections["resilience"] {
 		cfg := eval.ResilienceConfig{
 			N: 64, Seed: 1, Pairs: 200,
 			Probs:   eval.DefaultFailureProbs(),
@@ -167,17 +225,65 @@ func runSuite(quick bool) (*Report, error) {
 		}
 	}
 
-	if l, b := nsPerOp["bfs_list_n1024"], nsPerOp["bfs_bitset_n1024"]; b > 0 {
-		rep.BitsetSpeedupN1024 = l / b
+	// Serving layer: closed-loop load against routetabd's engine — one
+	// million validated lookups per scheme on G(256, 1/2) with ten snapshot
+	// hot-swaps mid-load (quick: 20k lookups on G(64, 1/2), two swaps).
+	if sections["serve"] {
+		n, lookups, swaps := 256, uint64(1_000_000), 10
+		if quick {
+			n, lookups, swaps = 64, 20_000, 2
+		}
+		for _, scheme := range []string{"fulltable", "compact"} {
+			lrep, err := runLoad(scheme, n, lookups, swaps)
+			if err != nil {
+				return nil, err
+			}
+			rep.Loadgen = append(rep.Loadgen, lrep)
+		}
 	}
-	if u, c := nsPerOp["allpairs_uncached_n256"], nsPerOp["allpairs_cached_n256"]; c > 0 {
-		rep.CacheSpeedupN256 = u / c
+
+	return rep, nil
+}
+
+// runLoad drives one closed-loop load run against a freshly built server and
+// fails on any incorrect, rejected, or errored lookup.
+func runLoad(scheme string, n int, lookups uint64, swaps int) (*loadgen.Report, error) {
+	g, err := gengraph.GnHalf(n, rand.New(rand.NewSource(42)))
+	if err != nil {
+		return nil, err
+	}
+	eng, err := serve.NewEngine(g, scheme)
+	if err != nil {
+		return nil, err
+	}
+	srv := serve.NewServer(eng, serve.ServerOptions{})
+	defer srv.Close()
+	rep, err := loadgen.Run(srv, loadgen.Config{
+		Workers:  4,
+		Lookups:  lookups,
+		Seed:     1,
+		HotSwaps: swaps,
+	})
+	if err != nil {
+		return rep, fmt.Errorf("serve load %s: %w", scheme, err)
+	}
+	switch {
+	case rep.QPS <= 0:
+		return rep, fmt.Errorf("serve load %s: no throughput", scheme)
+	case rep.Rejected > 0:
+		return rep, fmt.Errorf("serve load %s: %d rejected lookups", scheme, rep.Rejected)
+	case rep.Errored > 0:
+		return rep, fmt.Errorf("serve load %s: %d errored lookups", scheme, rep.Errored)
 	}
 	return rep, nil
 }
 
-func run(quick bool, out string) error {
-	rep, err := runSuite(quick)
+func run(quick bool, artefact, sectionsCSV, out string) error {
+	sections, err := parseSections(sectionsCSV)
+	if err != nil {
+		return err
+	}
+	rep, err := runSuite(quick, artefact, sections)
 	if err != nil {
 		return err
 	}
@@ -193,16 +299,18 @@ func run(quick bool, out string) error {
 	if err := os.WriteFile(out, blob, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("bench artefact written to %s (bitset speedup n=1024: %.1fx)\n",
-		out, rep.BitsetSpeedupN1024)
+	fmt.Printf("bench artefact %s written to %s (sections: %s)\n",
+		artefact, out, strings.Join(rep.Sections, ","))
 	return nil
 }
 
 func main() {
 	quick := flag.Bool("quick", false, "one timed iteration per measurement (verify smoke)")
+	artefact := flag.String("artefact", "BENCH_pr2", "artefact name recorded in the report header")
+	sections := flag.String("sections", "bfs,cache,resilience", "comma-separated measurement sections: "+strings.Join(knownSections, ","))
 	out := flag.String("out", "-", "output path (default stdout)")
 	flag.Parse()
-	if err := run(*quick, *out); err != nil {
+	if err := run(*quick, *artefact, *sections, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

@@ -7,10 +7,20 @@ import (
 	"testing"
 )
 
-// TestQuickSuite runs the one-iteration smoke in-process: every measured path
-// must succeed and the artefact must carry all expected entries.
+func sectionSet(t *testing.T, csv string) map[string]bool {
+	t.Helper()
+	s, err := parseSections(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestQuickSuite runs the one-iteration smoke in-process over the PR 2
+// sections: every measured path must succeed and the artefact must carry all
+// expected entries.
 func TestQuickSuite(t *testing.T) {
-	rep, err := runSuite(true)
+	rep, err := runSuite(true, "BENCH_pr2", sectionSet(t, "bfs,cache,resilience"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,9 +50,50 @@ func TestQuickSuite(t *testing.T) {
 	}
 }
 
+// TestServeSection runs the quick serving-layer load section: both schemes
+// must report throughput with zero incorrect/rejected/errored lookups and
+// the configured hot-swaps performed.
+func TestServeSection(t *testing.T) {
+	rep, err := runSuite(true, "BENCH_pr3", sectionSet(t, "serve"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 0 {
+		t.Errorf("serve-only run produced ns/op results: %+v", rep.Results)
+	}
+	if len(rep.Loadgen) != 2 {
+		t.Fatalf("loadgen reports: %d", len(rep.Loadgen))
+	}
+	schemes := map[string]bool{}
+	for _, lr := range rep.Loadgen {
+		schemes[lr.Scheme] = true
+		if lr.QPS <= 0 || lr.Lookups == 0 {
+			t.Errorf("%s: no throughput: %+v", lr.Scheme, lr)
+		}
+		if lr.Incorrect != 0 || lr.Rejected != 0 || lr.Errored != 0 {
+			t.Errorf("%s: unhealthy run: %+v", lr.Scheme, lr)
+		}
+		if lr.Swaps < 2 {
+			t.Errorf("%s: swaps = %d", lr.Scheme, lr.Swaps)
+		}
+	}
+	if !schemes["fulltable"] || !schemes["compact"] {
+		t.Errorf("schemes covered: %v", schemes)
+	}
+}
+
+func TestParseSectionsRejectsUnknown(t *testing.T) {
+	if _, err := parseSections("bfs,warp"); err == nil {
+		t.Fatal("unknown section accepted")
+	}
+	if _, err := parseSections(""); err == nil {
+		t.Fatal("empty section list accepted")
+	}
+}
+
 func TestRunWritesJSON(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
-	if err := run(true, out); err != nil {
+	if err := run(true, "BENCH_pr2", "cache", out); err != nil {
 		t.Fatal(err)
 	}
 	blob, err := os.ReadFile(out)
@@ -53,7 +104,7 @@ func TestRunWritesJSON(t *testing.T) {
 	if err := json.Unmarshal(blob, &rep); err != nil {
 		t.Fatalf("artefact is not valid JSON: %v", err)
 	}
-	if rep.Artefact != "BENCH_pr2" || !rep.Quick {
+	if rep.Artefact != "BENCH_pr2" || !rep.Quick || len(rep.Sections) != 1 || rep.Sections[0] != "cache" {
 		t.Fatalf("unexpected report header: %+v", rep)
 	}
 }

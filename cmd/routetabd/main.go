@@ -1,0 +1,397 @@
+// Command routetabd is the routing-table query daemon: it builds one scheme
+// over a seeded (or file-loaded) topology, keeps it resident behind the
+// serving engine's hot-swappable snapshot, and answers next-hop/route
+// lookups over HTTP with built-in JSON metrics.
+//
+// Serving mode:
+//
+//	routetabd -n 256 -seed 1 -scheme fulltable -addr :7353
+//
+//	GET  /nexthop?src=3&dst=77      one lookup
+//	POST /batch {"pairs":[[3,77],[5,9]]}   batched lookups
+//	GET  /route?src=3&dst=77        full path trace
+//	GET  /metrics                   metrics registry snapshot (JSON)
+//	GET  /healthz                   liveness + snapshot version
+//	POST /mutate {"op":"add|remove|toggle","u":1,"v":2}  topology change
+//	                                (rebuild off-path, atomic hot swap)
+//	POST /swap                      republish unchanged topology
+//
+// Load-generator mode (also the `make verify` serving smoke):
+//
+//	routetabd -loadgen -n 64 -seed 1 -lookups 100000 -swaps 4
+//
+// runs the closed-loop generator in-process against the same engine, prints
+// the JSON report, and exits non-zero if any lookup was answered
+// incorrectly, rejected, or the run produced no throughput — so a CI lane
+// gets a pass/fail signal, not just numbers.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"routetab/internal/gengraph"
+	"routetab/internal/graph"
+	"routetab/internal/serve"
+	"routetab/internal/serve/loadgen"
+
+	"math/rand"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "routetabd:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	n      int
+	seed   int64
+	scheme string
+	file   string
+	addr   string
+	shards int
+	queue  int
+	batch  int
+	// loadgen mode
+	loadgen  bool
+	lookups  uint64
+	duration time.Duration
+	workers  int
+	swaps    int
+}
+
+func parseFlags(args []string) (*config, error) {
+	fs := flag.NewFlagSet("routetabd", flag.ContinueOnError)
+	cfg := &config{}
+	fs.IntVar(&cfg.n, "n", 256, "graph size for the seeded G(n,1/2) topology")
+	fs.Int64Var(&cfg.seed, "seed", 1, "topology seed")
+	fs.StringVar(&cfg.scheme, "scheme", "fulltable", "scheme to serve: "+fmt.Sprint(serve.SchemeNames()))
+	fs.StringVar(&cfg.file, "graph", "", "edge-list file to load instead of generating")
+	fs.StringVar(&cfg.addr, "addr", ":7353", "listen address (serving mode)")
+	fs.IntVar(&cfg.shards, "shards", 0, "lookup worker shards (0 = GOMAXPROCS)")
+	fs.IntVar(&cfg.queue, "queue", 0, "per-shard queue capacity (0 = default)")
+	fs.IntVar(&cfg.batch, "batch", 0, "max coalesced jobs per worker wake-up (0 = default)")
+	fs.BoolVar(&cfg.loadgen, "loadgen", false, "run the closed-loop load generator instead of serving HTTP")
+	lookups := fs.Int64("lookups", 100_000, "loadgen: total lookup target")
+	fs.DurationVar(&cfg.duration, "duration", 0, "loadgen: wall-clock cap (0 = none)")
+	fs.IntVar(&cfg.workers, "workers", 4, "loadgen: closed-loop client workers")
+	fs.IntVar(&cfg.swaps, "swaps", 0, "loadgen: snapshot hot-swaps to perform mid-load")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if *lookups < 0 {
+		return nil, fmt.Errorf("-lookups must be ≥ 0")
+	}
+	cfg.lookups = uint64(*lookups)
+	return cfg, nil
+}
+
+func loadGraph(cfg *config) (*graph.Graph, error) {
+	if cfg.file != "" {
+		f, err := os.Open(cfg.file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.ReadEdgeList(f)
+	}
+	return gengraph.GnHalf(cfg.n, rand.New(rand.NewSource(cfg.seed)))
+}
+
+func run(args []string, out *os.File) error {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	g, err := loadGraph(cfg)
+	if err != nil {
+		return err
+	}
+	eng, err := serve.NewEngine(g, cfg.scheme)
+	if err != nil {
+		return err
+	}
+	srv := serve.NewServer(eng, serve.ServerOptions{
+		Shards:   cfg.shards,
+		QueueCap: cfg.queue,
+		MaxBatch: cfg.batch,
+	})
+	defer srv.Close()
+
+	if cfg.loadgen {
+		return runLoadgen(srv, cfg, out)
+	}
+	return serveHTTP(srv, cfg, out)
+}
+
+// runLoadgen drives the in-process closed loop and renders a pass/fail JSON
+// verdict on stdout.
+func runLoadgen(srv *serve.Server, cfg *config, out *os.File) error {
+	rep, err := loadgen.Run(srv, loadgen.Config{
+		Workers:  cfg.workers,
+		Lookups:  cfg.lookups,
+		Duration: cfg.duration,
+		Seed:     cfg.seed,
+		HotSwaps: cfg.swaps,
+	})
+	if err != nil && rep == nil {
+		return err
+	}
+	blob, merr := json.MarshalIndent(rep, "", "  ")
+	if merr != nil {
+		return merr
+	}
+	fmt.Fprintln(out, string(blob))
+	switch {
+	case err != nil:
+		return err // incorrect answers: already counted in the report
+	case rep.QPS <= 0:
+		return fmt.Errorf("loadgen produced no throughput")
+	case rep.Rejected > 0:
+		return fmt.Errorf("loadgen saw %d rejected lookups", rep.Rejected)
+	case rep.Errored > 0:
+		return fmt.Errorf("loadgen saw %d errored lookups", rep.Errored)
+	}
+	fmt.Fprintf(out, "loadgen ok: %s\n", rep)
+	return nil
+}
+
+// serveHTTP runs the daemon until SIGINT/SIGTERM, then drains gracefully.
+func serveHTTP(srv *serve.Server, cfg *config, out *os.File) error {
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: newHandler(srv)}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Fprintf(out, "routetabd: serving %s (n=%d, seq=%d) on %s\n",
+		srv.Engine().Scheme(), srv.Engine().Current().N(), srv.Engine().Current().Seq, ln.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Fprintf(out, "routetabd: %v, draining\n", sig)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		return err
+	}
+	return nil
+}
+
+// api is the HTTP facade over one server.
+type api struct {
+	srv *serve.Server
+}
+
+func newHandler(srv *serve.Server) http.Handler {
+	a := &api{srv: srv}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /nexthop", a.nexthop)
+	mux.HandleFunc("GET /route", a.route)
+	mux.HandleFunc("POST /batch", a.batch)
+	mux.HandleFunc("GET /metrics", a.metrics)
+	mux.HandleFunc("GET /healthz", a.healthz)
+	mux.HandleFunc("POST /mutate", a.mutate)
+	mux.HandleFunc("POST /swap", a.swap)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func intParam(r *http.Request, name string) (int, error) {
+	v, err := strconv.Atoi(r.URL.Query().Get(name))
+	if err != nil {
+		return 0, fmt.Errorf("bad %s: %w", name, err)
+	}
+	return v, nil
+}
+
+// lookupJSON is one lookup's wire form.
+type lookupJSON struct {
+	Src      int    `json:"src"`
+	Dst      int    `json:"dst"`
+	Next     int    `json:"next,omitempty"`
+	Dist     int    `json:"dist"`
+	NextDist int    `json:"next_dist"`
+	Seq      uint64 `json:"snapshot_seq"`
+	Error    string `json:"error,omitempty"`
+}
+
+func toJSON(src, dst int, res serve.Result) lookupJSON {
+	l := lookupJSON{Src: src, Dst: dst, Next: res.Next, Dist: res.Dist, NextDist: res.NextDist, Seq: res.Seq}
+	if res.Err != nil {
+		l.Error = res.Err.Error()
+	}
+	return l
+}
+
+func statusOf(res serve.Result) int {
+	switch {
+	case res.Err == nil:
+		return http.StatusOK
+	case errors.Is(res.Err, serve.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(res.Err, serve.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (a *api) nexthop(w http.ResponseWriter, r *http.Request) {
+	src, err := intParam(r, "src")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	dst, err := intParam(r, "dst")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	res := a.srv.NextHop(src, dst)
+	writeJSON(w, statusOf(res), toJSON(src, dst, res))
+}
+
+func (a *api) route(w http.ResponseWriter, r *http.Request) {
+	src, err := intParam(r, "src")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	dst, err := intParam(r, "dst")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	snap := a.srv.Engine().Current()
+	tr, err := snap.Route(src, dst)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"src": src, "dst": dst, "path": tr.Path, "hops": tr.Hops,
+		"dist": snap.Dist.Dist(src, dst), "snapshot_seq": snap.Seq,
+	})
+}
+
+// batchRequest is the POST /batch body.
+type batchRequest struct {
+	Pairs [][2]int `json:"pairs"`
+}
+
+func (a *api) batch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Pairs) == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	const maxBatch = 65536
+	if len(req.Pairs) > maxBatch {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("batch of %d exceeds %d", len(req.Pairs), maxBatch))
+		return
+	}
+	out := make([]serve.Result, len(req.Pairs))
+	if err := a.srv.LookupBatch(req.Pairs, out); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	results := make([]lookupJSON, len(out))
+	for i, res := range out {
+		results[i] = toJSON(req.Pairs[i][0], req.Pairs[i][1], res)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": results})
+}
+
+func (a *api) metrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, a.srv.Metrics().Snapshot())
+}
+
+func (a *api) healthz(w http.ResponseWriter, _ *http.Request) {
+	snap := a.srv.Engine().Current()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":           true,
+		"scheme":       snap.SchemeName(),
+		"n":            snap.N(),
+		"snapshot_seq": snap.Seq,
+		"swaps":        a.srv.Engine().Swaps(),
+		"space_bits":   snap.SpaceBits(),
+	})
+}
+
+// mutateRequest is the POST /mutate body.
+type mutateRequest struct {
+	Op string `json:"op"` // add | remove | toggle
+	U  int    `json:"u"`
+	V  int    `json:"v"`
+}
+
+func (a *api) mutate(w http.ResponseWriter, r *http.Request) {
+	var req mutateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	snap, err := a.srv.Engine().Mutate(func(g *graph.Graph) error {
+		switch req.Op {
+		case "add":
+			return g.AddEdge(req.U, req.V)
+		case "remove":
+			return g.RemoveEdge(req.U, req.V)
+		case "toggle":
+			if g.HasEdge(req.U, req.V) {
+				return g.RemoveEdge(req.U, req.V)
+			}
+			return g.AddEdge(req.U, req.V)
+		default:
+			return fmt.Errorf("unknown op %q (add|remove|toggle)", req.Op)
+		}
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"snapshot_seq": snap.Seq, "edges": snap.Graph.M()})
+}
+
+func (a *api) swap(w http.ResponseWriter, _ *http.Request) {
+	snap, err := a.srv.Engine().Reload()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"snapshot_seq": snap.Seq})
+}

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"routetab/internal/gengraph"
+	"routetab/internal/serve"
+)
+
+func testHandler(t *testing.T, n int, scheme string) (http.Handler, *serve.Server) {
+	t.Helper()
+	g, err := gengraph.GnHalf(n, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := serve.NewEngine(g, scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.NewServer(eng, serve.ServerOptions{Shards: 2})
+	t.Cleanup(srv.Close)
+	return newHandler(srv), srv
+}
+
+func getJSON(t *testing.T, h http.Handler, method, target string, body string) (int, map[string]any) {
+	t.Helper()
+	var r *http.Request
+	if body != "" {
+		r = httptest.NewRequest(method, target, strings.NewReader(body))
+	} else {
+		r = httptest.NewRequest(method, target, nil)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	var decoded map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &decoded); err != nil {
+		t.Fatalf("%s %s: non-JSON response %q", method, target, w.Body.String())
+	}
+	return w.Code, decoded
+}
+
+func TestNextHopEndpoint(t *testing.T) {
+	h, _ := testHandler(t, 48, "fulltable")
+	code, body := getJSON(t, h, "GET", "/nexthop?src=1&dst=40", "")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %v", code, body)
+	}
+	next := int(body["next"].(float64))
+	dist := int(body["dist"].(float64))
+	nextDist := int(body["next_dist"].(float64))
+	if next < 1 || nextDist != dist-1 {
+		t.Fatalf("answer does not progress: %v", body)
+	}
+	if code, body := getJSON(t, h, "GET", "/nexthop?src=1&dst=1", ""); code != http.StatusBadRequest {
+		t.Fatalf("self lookup: %d %v", code, body)
+	}
+	if code, _ := getJSON(t, h, "GET", "/nexthop?src=zzz&dst=2", ""); code != http.StatusBadRequest {
+		t.Fatalf("bad param accepted: %d", code)
+	}
+}
+
+func TestRouteEndpoint(t *testing.T) {
+	h, _ := testHandler(t, 48, "fulltable")
+	code, body := getJSON(t, h, "GET", "/route?src=1&dst=40", "")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %v", code, body)
+	}
+	path := body["path"].([]any)
+	if int(path[0].(float64)) != 1 || int(path[len(path)-1].(float64)) != 40 {
+		t.Fatalf("path endpoints: %v", path)
+	}
+	if int(body["hops"].(float64)) != int(body["dist"].(float64)) {
+		t.Fatalf("fulltable route not shortest: %v", body)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	h, _ := testHandler(t, 48, "fulltable")
+	code, body := getJSON(t, h, "POST", "/batch", `{"pairs":[[1,40],[2,41],[3,42]]}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %v", code, body)
+	}
+	results := body["results"].([]any)
+	if len(results) != 3 {
+		t.Fatalf("results: %v", results)
+	}
+	for _, raw := range results {
+		r := raw.(map[string]any)
+		if r["error"] != nil {
+			t.Fatalf("batch lookup failed: %v", r)
+		}
+		if int(r["next_dist"].(float64)) != int(r["dist"].(float64))-1 {
+			t.Fatalf("batch answer does not progress: %v", r)
+		}
+	}
+	if code, _ := getJSON(t, h, "POST", "/batch", `{"pairs":[]}`); code != http.StatusBadRequest {
+		t.Fatalf("empty batch accepted: %d", code)
+	}
+	if code, _ := getJSON(t, h, "POST", "/batch", `{`); code != http.StatusBadRequest {
+		t.Fatalf("bad JSON accepted: %d", code)
+	}
+}
+
+func TestMutateSwapHealthMetrics(t *testing.T) {
+	h, srv := testHandler(t, 48, "fulltable")
+	code, body := getJSON(t, h, "GET", "/healthz", "")
+	if code != http.StatusOK || body["ok"] != true || body["scheme"] != "fulltable" {
+		t.Fatalf("healthz: %d %v", code, body)
+	}
+	seq0 := uint64(body["snapshot_seq"].(float64))
+
+	code, body = getJSON(t, h, "POST", "/mutate", `{"op":"toggle","u":1,"v":2}`)
+	if code != http.StatusOK {
+		t.Fatalf("mutate: %d %v", code, body)
+	}
+	if got := uint64(body["snapshot_seq"].(float64)); got != seq0+1 {
+		t.Fatalf("mutate seq %d after %d", got, seq0)
+	}
+
+	code, body = getJSON(t, h, "POST", "/swap", "")
+	if code != http.StatusOK || uint64(body["snapshot_seq"].(float64)) != seq0+2 {
+		t.Fatalf("swap: %d %v", code, body)
+	}
+
+	if code, body = getJSON(t, h, "POST", "/mutate", `{"op":"explode","u":1,"v":2}`); code != http.StatusBadRequest {
+		t.Fatalf("bad op accepted: %d %v", code, body)
+	}
+
+	// Lookups served so far must be visible in /metrics.
+	if res := srv.NextHop(1, 9); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	code, body = getJSON(t, h, "GET", "/metrics", "")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	counters := body["counters"].(map[string]any)
+	if counters["serve_lookups_total"].(float64) < 1 {
+		t.Fatalf("metrics counters: %v", counters)
+	}
+	gauges := body["gauges"].(map[string]any)
+	if uint64(gauges["serve_snapshot_seq"].(float64)) != seq0+2 {
+		t.Fatalf("metrics gauges: %v", gauges)
+	}
+}
+
+// TestLoadgenMode runs the CLI's loadgen path end to end: it must print a
+// JSON report and succeed on a healthy server.
+func TestLoadgenMode(t *testing.T) {
+	out, err := os.CreateTemp(t.TempDir(), "loadgen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	err = run([]string{"-loadgen", "-n", "32", "-seed", "1", "-lookups", "4000", "-workers", "2", "-swaps", "2"}, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := out.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(out); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "\"qps\"") || !strings.Contains(text, "loadgen ok") {
+		t.Fatalf("loadgen output: %s", text)
+	}
+}
+
+func TestUnknownSchemeFlag(t *testing.T) {
+	if err := run([]string{"-loadgen", "-n", "32", "-scheme", "bogus"}, os.Stdout); err == nil {
+		t.Fatal("bogus scheme accepted")
+	}
+}

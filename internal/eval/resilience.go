@@ -15,12 +15,7 @@ import (
 	"routetab/internal/netsim"
 	"routetab/internal/par"
 	"routetab/internal/routing"
-	"routetab/internal/schemes/centers"
-	"routetab/internal/schemes/compact"
-	"routetab/internal/schemes/fullinfo"
-	"routetab/internal/schemes/fulltable"
-	"routetab/internal/schemes/hub"
-	"routetab/internal/schemes/interval"
+	"routetab/internal/serve"
 	"routetab/internal/shortestpath"
 )
 
@@ -44,9 +39,10 @@ type ResilienceConfig struct {
 	TimeoutTicks int
 }
 
-// ResilienceSchemes lists the scheme names the sweep understands.
+// ResilienceSchemes lists the scheme names the sweep understands — the same
+// registry the serving layer dispatches through (serve.BuildScheme).
 func ResilienceSchemes() []string {
-	return []string{"fulltable", "compact", "hub", "interval", "fullinfo", "centers"}
+	return serve.SchemeNames()
 }
 
 // DefaultResilienceConfig is a laptop-scale sweep covering the five headline
@@ -133,23 +129,13 @@ type ResilienceResult struct {
 	Points []ResiliencePoint
 }
 
-// resilienceBuilder constructs one named scheme for the sweep graph.
+// resilienceBuilder constructs one named scheme for the sweep graph through
+// the shared scheme registry.
 func resilienceBuilder(name string, g *graph.Graph, ports *graph.Ports, dm *shortestpath.Distances) (routing.Scheme, error) {
-	switch name {
-	case "fulltable":
-		return fulltable.Build(g, ports)
-	case "compact":
-		return compact.Build(g, compact.DefaultOptions())
-	case "hub":
-		return hub.Build(g, 1)
-	case "interval":
-		return interval.Build(g, ports, 1)
-	case "fullinfo":
-		return fullinfo.Build(g, ports, dm)
-	case "centers":
-		return centers.Build(g, 1)
+	if !serve.KnownScheme(name) {
+		return nil, fmt.Errorf("%w: unknown scheme %q", ErrBadConfig, name)
 	}
-	return nil, fmt.Errorf("%w: unknown scheme %q", ErrBadConfig, name)
+	return serve.BuildScheme(name, g, ports, dm)
 }
 
 // Resilience runs the fault-injection sweep: for every scheme and failure

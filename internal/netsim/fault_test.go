@@ -3,14 +3,15 @@ package netsim
 import (
 	"errors"
 	"math/rand"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
 
 	"routetab/internal/graph"
 	"routetab/internal/routing"
-	"routetab/internal/schemes/fulltable"
 	"routetab/internal/schemes/fullinfo"
+	"routetab/internal/schemes/fulltable"
 	"routetab/internal/shortestpath"
 )
 
@@ -387,7 +388,7 @@ func TestDeterministicOutcomesUnderFaults(t *testing.T) {
 	}
 	errs1, st1 := run()
 	errs2, st2 := run()
-	if st1 != st2 {
+	if !reflect.DeepEqual(st1, st2) {
 		t.Fatalf("stats diverged:\n  %+v\n  %+v", st1, st2)
 	}
 	for i := range errs1 {

@@ -1,0 +1,91 @@
+package netsim
+
+import (
+	"testing"
+
+	"routetab/internal/schemes/fulltable"
+	"routetab/internal/shortestpath"
+)
+
+// TestHopHistogram: on a healthy network with a shortest-path scheme the
+// hop-count histogram must match the exact per-pair distances, and the
+// derived mean/quantile figures must agree with the counters.
+func TestHopHistogram(t *testing.T) {
+	g, ports := randomNet(t, 40, 3)
+	s, err := fulltable.Build(g, ports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := shortestpath.AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := New(g, ports, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+
+	want := map[int]uint64{}
+	var delivered uint64
+	for src := 1; src <= 40; src += 3 {
+		for dst := 1; dst <= 40; dst += 2 {
+			if src == dst {
+				continue
+			}
+			if _, err := nw.Send(src, dst); err != nil {
+				t.Fatalf("%d→%d: %v", src, dst, err)
+			}
+			want[dm.Dist(src, dst)]++
+			delivered++
+		}
+	}
+	nw.Quiesce()
+	st := nw.Stats()
+	if st.Delivered != delivered {
+		t.Fatalf("delivered %d, want %d", st.Delivered, delivered)
+	}
+	var histTotal uint64
+	for h, c := range st.HopHist {
+		histTotal += c
+		if c != want[h] {
+			t.Errorf("hops=%d: hist %d, want %d", h, c, want[h])
+		}
+	}
+	if histTotal != delivered {
+		t.Fatalf("histogram mass %d, want %d", histTotal, delivered)
+	}
+
+	if got, counter := st.MeanHops(), float64(st.HopsTotal)/float64(st.Delivered); got != counter {
+		t.Fatalf("MeanHops %v != HopsTotal/Delivered %v", got, counter)
+	}
+	// p100 is the max observed hop count; every delivery must fit below it.
+	max := st.HopQuantile(1.0)
+	if max < 1 || want[max] == 0 {
+		t.Fatalf("p100 = %d (hist %v)", max, st.HopHist)
+	}
+	if p50 := st.HopQuantile(0.5); p50 < 1 || p50 > max {
+		t.Fatalf("p50 = %d out of range (max %d)", p50, max)
+	}
+}
+
+// TestHopHistogramEmpty: quantiles on a fresh network are well-defined.
+func TestHopHistogramEmpty(t *testing.T) {
+	g, ports := randomNet(t, 16, 5)
+	s, err := fulltable.Build(g, ports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := New(g, ports, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	st := nw.Stats()
+	if st.MeanHops() != 0 {
+		t.Fatalf("mean = %v on empty network", st.MeanHops())
+	}
+	if q := st.HopQuantile(0.99); q != -1 {
+		t.Fatalf("quantile = %d on empty network", q)
+	}
+}

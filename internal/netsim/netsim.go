@@ -174,6 +174,11 @@ func (m *message) finish(res result) {
 type Stats struct {
 	Delivered, Failed uint64
 	HopsTotal         uint64
+	// HopHist is the delivery-latency histogram: HopHist[h] counts messages
+	// delivered in exactly h hops (index HopLimit aggregates anything at or
+	// beyond the TTL, which only retried deliveries can reach). Failed sends
+	// are not recorded — latency is a property of deliveries.
+	HopHist []uint64
 	// Retries counts sender-side retry attempts.
 	Retries uint64
 	// Dropped counts messages discarded in flight (fault-injected drops and
@@ -187,6 +192,36 @@ type Stats struct {
 	Crashed uint64
 	// Duplicated counts ghost copies spawned by fault injection.
 	Duplicated uint64
+}
+
+// MeanHops is the average delivery latency in hops (0 when nothing was
+// delivered).
+func (s Stats) MeanHops() float64 {
+	if s.Delivered == 0 {
+		return 0
+	}
+	return float64(s.HopsTotal) / float64(s.Delivered)
+}
+
+// HopQuantile returns the smallest hop count h such that at least q of the
+// delivered messages arrived in ≤ h hops (q in (0,1]; -1 when nothing was
+// delivered).
+func (s Stats) HopQuantile(q float64) int {
+	if s.Delivered == 0 || len(s.HopHist) == 0 {
+		return -1
+	}
+	rank := uint64(q * float64(s.Delivered))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for h, c := range s.HopHist {
+		cum += c
+		if cum >= rank {
+			return h
+		}
+	}
+	return len(s.HopHist) - 1
 }
 
 // Network is a running simulation.
@@ -212,6 +247,7 @@ type Network struct {
 	delivered  atomic.Uint64
 	failed     atomic.Uint64
 	hopsTotal  atomic.Uint64
+	hopHist    []atomic.Uint64 // index = delivery hops, last bucket = ≥ HopLimit
 	retries    atomic.Uint64
 	dropped    atomic.Uint64
 	timedOut   atomic.Uint64
@@ -271,6 +307,7 @@ func New(g *graph.Graph, ports *graph.Ports, scheme routing.Scheme, opts Options
 		down:     make(map[int]bool),
 		downNode: make(map[int]bool),
 	}
+	nw.hopHist = make([]atomic.Uint64, opts.HopLimit+1)
 	for u := 1; u <= g.N(); u++ {
 		nw.inboxes[u] = make(chan *message, opts.MaxInFlight)
 	}
@@ -416,6 +453,11 @@ func (nw *Network) Send(src, destNode int) (*routing.Trace, error) {
 		if err == nil {
 			nw.delivered.Add(1)
 			nw.hopsTotal.Add(uint64(tr.Hops))
+			h := tr.Hops
+			if h >= len(nw.hopHist) {
+				h = len(nw.hopHist) - 1
+			}
+			nw.hopHist[h].Add(1)
 			return tr, nil
 		}
 		if errors.Is(err, ErrClosed) {
@@ -490,10 +532,15 @@ func (nw *Network) backoff(src, dest, attempt int) error {
 
 // Stats returns a snapshot of the cumulative counters.
 func (nw *Network) Stats() Stats {
+	hist := make([]uint64, len(nw.hopHist))
+	for i := range nw.hopHist {
+		hist[i] = nw.hopHist[i].Load()
+	}
 	return Stats{
 		Delivered:  nw.delivered.Load(),
 		Failed:     nw.failed.Load(),
 		HopsTotal:  nw.hopsTotal.Load(),
+		HopHist:    hist,
 		Retries:    nw.retries.Load(),
 		Dropped:    nw.dropped.Load(),
 		TimedOut:   nw.timedOut.Load(),

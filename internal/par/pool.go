@@ -1,0 +1,136 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is the long-running counterpart of ForEach: a fixed set of shard
+// workers, each owning one bounded queue, consuming items for as long as the
+// pool lives. It exists for serving workloads (internal/serve) where work
+// arrives continuously rather than as a fixed grid.
+//
+// Two properties matter to callers:
+//
+//   - Backpressure is explicit: TrySubmit never blocks. A full queue returns
+//     false immediately, so the submitter — not the pool — decides whether to
+//     shed, retry, or fail the request. Nothing is ever silently dropped.
+//   - Batching is structural: a worker drains every immediately-available
+//     item from its queue (up to maxBatch) and hands the whole run to the
+//     handler in one call, so per-batch costs (snapshot acquisition,
+//     cache-warm table scans) amortise across queued items under load while
+//     an idle pool still dispatches single items with no added latency.
+//
+// Shard affinity is the caller's tool: submitting all items for one key to
+// the same shard serialises them on one worker, giving per-shard cache
+// locality without locks.
+type Pool struct {
+	queues   []chan any
+	maxBatch int
+	handle   func(shard int, batch []any)
+
+	mu     sync.RWMutex // guards close-vs-submit
+	closed bool
+	wg     sync.WaitGroup
+	depth  []atomic.Int64 // per-shard queue depth (observability)
+}
+
+// NewPool starts one worker per shard, each with a bounded queue of queueCap
+// items, delivering batches of at most maxBatch items to handle. Values < 1
+// are clamped to 1. The handler runs on the shard's worker goroutine; it must
+// not call back into the pool.
+func NewPool(shards, queueCap, maxBatch int, handle func(shard int, batch []any)) *Pool {
+	if shards < 1 {
+		shards = 1
+	}
+	if queueCap < 1 {
+		queueCap = 1
+	}
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	p := &Pool{
+		queues:   make([]chan any, shards),
+		maxBatch: maxBatch,
+		handle:   handle,
+		depth:    make([]atomic.Int64, shards),
+	}
+	for s := range p.queues {
+		p.queues[s] = make(chan any, queueCap)
+		s := s
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.runShard(s)
+		}()
+	}
+	return p
+}
+
+// Shards returns the number of shard workers.
+func (p *Pool) Shards() int { return len(p.queues) }
+
+// Depth returns the current queue depth of one shard.
+func (p *Pool) Depth(shard int) int64 { return p.depth[shard].Load() }
+
+// TrySubmit offers item to the given shard's queue without blocking. It
+// returns false — and takes no ownership of the item — when the queue is full
+// or the pool is closed.
+func (p *Pool) TrySubmit(shard int, item any) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.queues[shard%len(p.queues)] <- item:
+		p.depth[shard%len(p.queues)].Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+// Close stops accepting new items, drains every queue (already-accepted items
+// are still handled — the graceful-shutdown contract), and waits for the
+// workers to exit. Close is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	for _, q := range p.queues {
+		close(q)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// runShard is one worker's loop: take one item (blocking), then greedily
+// coalesce whatever else is immediately available, and hand the batch over.
+func (p *Pool) runShard(shard int) {
+	q := p.queues[shard]
+	batch := make([]any, 0, p.maxBatch)
+	for item := range q {
+		batch = append(batch[:0], item)
+		for len(batch) < p.maxBatch {
+			select {
+			case next, ok := <-q:
+				if !ok {
+					p.depth[shard].Add(-int64(len(batch)))
+					p.handle(shard, batch)
+					return
+				}
+				batch = append(batch, next)
+			default:
+				goto full
+			}
+		}
+	full:
+		p.depth[shard].Add(-int64(len(batch)))
+		p.handle(shard, batch)
+	}
+}

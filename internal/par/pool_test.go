@@ -1,0 +1,147 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolDeliversEverything: every accepted item is handled exactly once,
+// across shards, and Close drains the queues.
+func TestPoolDeliversEverything(t *testing.T) {
+	var handled atomic.Int64
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	p := NewPool(4, 64, 8, func(_ int, batch []any) {
+		mu.Lock()
+		for _, it := range batch {
+			seen[it.(int)]++
+		}
+		mu.Unlock()
+		handled.Add(int64(len(batch)))
+	})
+	const items = 1000
+	accepted := 0
+	for i := 0; i < items; i++ {
+		for !p.TrySubmit(i%4, i) {
+			// Bounded queue: spin until space. Terminates because workers
+			// are draining.
+		}
+		accepted++
+	}
+	p.Close()
+	if got := handled.Load(); got != int64(accepted) {
+		t.Fatalf("handled %d of %d accepted items", got, accepted)
+	}
+	for i := 0; i < items; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("item %d handled %d times", i, seen[i])
+		}
+	}
+}
+
+// TestPoolShardAffinity: items submitted to one shard are handled only by
+// that shard's worker.
+func TestPoolShardAffinity(t *testing.T) {
+	var mu sync.Mutex
+	byShard := make(map[int][]int)
+	p := NewPool(3, 16, 4, func(shard int, batch []any) {
+		mu.Lock()
+		for _, it := range batch {
+			byShard[shard] = append(byShard[shard], it.(int))
+		}
+		mu.Unlock()
+	})
+	for i := 0; i < 300; i++ {
+		for !p.TrySubmit(i%3, i) {
+		}
+	}
+	p.Close()
+	for shard, items := range byShard {
+		for _, it := range items {
+			if it%3 != shard {
+				t.Fatalf("item %d handled on shard %d", it, shard)
+			}
+		}
+	}
+}
+
+// TestPoolBackpressure: with no worker progress possible (handler blocked),
+// a full queue rejects instead of blocking.
+func TestPoolBackpressure(t *testing.T) {
+	block := make(chan struct{})
+	p := NewPool(1, 2, 1, func(_ int, _ []any) { <-block })
+	defer func() { close(block); p.Close() }()
+	// Fill: one item in the (blocked) handler, two in the queue; the rest
+	// must reject. Allow for the race where the worker hasn't picked up the
+	// first item yet by accepting at most queueCap+1.
+	accepted := 0
+	for i := 0; i < 100; i++ {
+		if p.TrySubmit(0, i) {
+			accepted++
+		}
+	}
+	if accepted > 3 {
+		t.Fatalf("accepted %d items into a capacity-2 queue with a blocked worker", accepted)
+	}
+	if accepted == 100 {
+		t.Fatal("backpressure never engaged")
+	}
+}
+
+// TestPoolSubmitAfterClose: a closed pool rejects without panicking.
+func TestPoolSubmitAfterClose(t *testing.T) {
+	p := NewPool(2, 4, 2, func(_ int, _ []any) {})
+	p.Close()
+	if p.TrySubmit(0, 1) {
+		t.Fatal("closed pool accepted an item")
+	}
+	p.Close() // idempotent
+}
+
+// TestPoolCoalesces: queued items are delivered in batches when the worker
+// is slower than the submitter.
+func TestPoolCoalesces(t *testing.T) {
+	release := make(chan struct{}, 64)
+	var mu sync.Mutex
+	var sizes []int
+	p := NewPool(1, 64, 16, func(_ int, batch []any) {
+		mu.Lock()
+		sizes = append(sizes, len(batch))
+		mu.Unlock()
+		<-release
+	})
+	for i := 0; i < 33; i++ {
+		for !p.TrySubmit(0, i) {
+			release <- struct{}{} // let the worker drain one batch
+		}
+	}
+	// Hand the worker enough tokens to finish every remaining batch, then
+	// drain and stop.
+	for i := 0; i < cap(release); i++ {
+		select {
+		case release <- struct{}{}:
+		default:
+		}
+	}
+	p.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	total := 0
+	sawCoalesced := false
+	for _, s := range sizes {
+		total += s
+		if s > 1 {
+			sawCoalesced = true
+		}
+		if s > 16 {
+			t.Fatalf("batch of %d exceeds maxBatch 16", s)
+		}
+	}
+	if total != 33 {
+		t.Fatalf("handled %d of 33 items", total)
+	}
+	if !sawCoalesced {
+		t.Fatal("no batch was ever coalesced") // queue had ≥2 items while blocked
+	}
+}

@@ -1,0 +1,292 @@
+// Package loadgen is the closed-loop load generator for the serving layer:
+// a fixed set of client workers, each issuing seeded batched lookups
+// back-to-back (a new batch only after the previous one is answered), with
+// every answer validated against the serving snapshot's shortest-path ground
+// truth. Closed-loop means offered load adapts to the server — the generator
+// measures sustainable throughput and its latency, not queue explosion.
+//
+// Determinism: the query mix is a pure function of (Seed, worker index,
+// batch number) — every run offers the same lookups in the same per-worker
+// order. Wall-clock figures (QPS, latency quantiles) are host-dependent,
+// like every timing in BENCH artefacts.
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"routetab/internal/graph"
+	"routetab/internal/serve"
+)
+
+// Validation selects how each answer is judged.
+type Validation int
+
+const (
+	// ValidateAuto picks ValidateStrict for shortest-path schemes
+	// (fulltable, compact, fullinfo) and ValidateProgress otherwise.
+	ValidateAuto Validation = iota
+	// ValidateStrict requires every next hop to strictly decrease the
+	// distance to the destination: NextDist == Dist−1 in the serving
+	// snapshot. Sound exactly for stretch-1 schemes.
+	ValidateStrict
+	// ValidateProgress requires the next hop to exist and the destination to
+	// remain reachable from it — the weakest check that still catches
+	// black-holed lookups on stretch>1 schemes (hub, centers), whose next
+	// hop may legitimately move sideways before turning toward the
+	// destination.
+	ValidateProgress
+	// ValidateOff disables validation (pure throughput runs).
+	ValidateOff
+)
+
+// Config parameterises one load run.
+type Config struct {
+	// Workers is the closed-loop client count (default 4).
+	Workers int
+	// Lookups is the total lookup target across workers (default 100_000).
+	// The run ends when the target is reached (or Duration expires first, if
+	// set).
+	Lookups uint64
+	// Duration optionally caps the run's wall-clock time (0 = no cap).
+	Duration time.Duration
+	// BatchSize is the pairs per client batch (default 16).
+	BatchSize int
+	// Seed derives every worker's query stream.
+	Seed int64
+	// Validate selects answer checking (default ValidateAuto).
+	Validate Validation
+	// HotSwaps > 0 republishes the serving snapshot that many times during
+	// the run (toggling one edge each time), exercising reads-during-swap:
+	// validation stays sound because every Result is judged against the
+	// snapshot that served it.
+	HotSwaps int
+}
+
+func (c *Config) setDefaults() {
+	if c.Workers < 1 {
+		c.Workers = 4
+	}
+	if c.Lookups == 0 && c.Duration == 0 {
+		c.Lookups = 100_000
+	}
+	if c.BatchSize < 1 {
+		c.BatchSize = 16
+	}
+}
+
+// Report is one load run's outcome.
+type Report struct {
+	Scheme         string        `json:"scheme"`
+	N              int           `json:"n"`
+	Workers        int           `json:"workers"`
+	Batch          int           `json:"batch"`
+	Lookups        uint64        `json:"lookups"`
+	Correct        uint64        `json:"correct"`
+	Incorrect      uint64        `json:"incorrect"`
+	Rejected       uint64        `json:"rejected"`
+	Errored        uint64        `json:"errored"`
+	Swaps          uint64        `json:"swaps"`
+	Elapsed        time.Duration `json:"elapsed_ns"`
+	QPS            float64       `json:"qps"`
+	P50ns          int64         `json:"p50_ns"`
+	P99ns          int64         `json:"p99_ns"`
+	MeanBatchPairs float64       `json:"mean_batch_pairs"`
+}
+
+// String renders the headline figures.
+func (r *Report) String() string {
+	return fmt.Sprintf("loadgen %s n=%d: %d lookups in %v (%.0f qps, p50 %v, p99 %v; incorrect=%d rejected=%d errored=%d swaps=%d)",
+		r.Scheme, r.N, r.Lookups, r.Elapsed.Round(time.Millisecond), r.QPS,
+		time.Duration(r.P50ns), time.Duration(r.P99ns),
+		r.Incorrect, r.Rejected, r.Errored, r.Swaps)
+}
+
+// ErrIncorrect reports validation failures in a run.
+var ErrIncorrect = errors.New("loadgen: incorrect next hops served")
+
+// Run drives the closed loop against s until the lookup target (or duration
+// cap) is reached, validating every answer per cfg.Validate. The returned
+// report is complete even when validation failed; the error flags it.
+//
+// Latency quantiles are read from the server's serve_latency_ns histogram
+// and reflect the server's lifetime, so pass a freshly built server for
+// per-run figures.
+func Run(s *serve.Server, cfg Config) (*Report, error) {
+	cfg.setDefaults()
+	snap := s.Engine().Current()
+	n := snap.N()
+	if n < 2 {
+		return nil, fmt.Errorf("loadgen: need at least 2 nodes, have %d", n)
+	}
+	mode := cfg.Validate
+	if mode == ValidateAuto {
+		if serve.IsShortestPath(snap.SchemeName()) {
+			mode = ValidateStrict
+		} else {
+			mode = ValidateProgress
+		}
+	}
+
+	var (
+		issued    atomic.Uint64 // lookups claimed by workers
+		answered  atomic.Uint64
+		correct   atomic.Uint64
+		incorrect atomic.Uint64
+		rejected  atomic.Uint64
+		errored   atomic.Uint64
+	)
+	deadline := time.Time{}
+	if cfg.Duration > 0 {
+		deadline = time.Now().Add(cfg.Duration)
+	}
+	stop := make(chan struct{})
+	var once sync.Once
+	halt := func() { once.Do(func() { close(stop) }) }
+
+	// Optional hot swapper: toggle edge (1,2) HotSwaps times, each swap a
+	// full off-path rebuild + atomic publish. Swaps are paced by lookup
+	// progress (evenly spread across the target) so they land mid-load even
+	// when the server finishes the run in milliseconds; duration-capped runs
+	// fall back to wall-clock spacing. Once workers halt, any remaining
+	// swaps fire back-to-back so the configured count always completes.
+	var swapWG sync.WaitGroup
+	if cfg.HotSwaps > 0 {
+		swapWG.Add(1)
+		go func() {
+			defer swapWG.Done()
+			waitProgress := func(threshold uint64) {
+				for answered.Load() < threshold {
+					select {
+					case <-stop:
+						return
+					case <-time.After(50 * time.Microsecond):
+					}
+				}
+			}
+			for i := 0; i < cfg.HotSwaps; i++ {
+				if cfg.Lookups > 0 {
+					waitProgress(cfg.Lookups * uint64(i+1) / uint64(cfg.HotSwaps+1))
+				} else {
+					select {
+					case <-stop:
+					case <-time.After(time.Millisecond):
+					}
+				}
+				_, err := s.Engine().Mutate(func(g *graph.Graph) error {
+					if g.HasEdge(1, 2) {
+						return g.RemoveEdge(1, 2)
+					}
+					return g.AddEdge(1, 2)
+				})
+				if err != nil {
+					return // e.g. mutation would break the scheme; keep serving
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(w)*7919))
+			pairs := make([][2]int, cfg.BatchSize)
+			out := make([]serve.Result, cfg.BatchSize)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if !deadline.IsZero() && !time.Now().Before(deadline) {
+					halt()
+					return
+				}
+				if cfg.Lookups > 0 && issued.Add(uint64(cfg.BatchSize)) > cfg.Lookups {
+					halt()
+					return
+				}
+				for i := range pairs {
+					src := rng.Intn(n) + 1
+					dst := rng.Intn(n-1) + 1
+					if dst >= src {
+						dst++
+					}
+					pairs[i] = [2]int{src, dst}
+				}
+				if err := s.LookupBatch(pairs, out); err != nil {
+					halt()
+					return
+				}
+				answered.Add(uint64(len(out)))
+				for i := range out {
+					grade(&out[i], mode, &correct, &incorrect, &rejected, &errored)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	halt()
+	swapWG.Wait()
+	elapsed := time.Since(start)
+
+	lat := s.Metrics().Histogram("serve_latency_ns", nil)
+	batch := s.Metrics().Histogram("serve_batch_pairs", nil)
+	rep := &Report{
+		Scheme:         snap.SchemeName(),
+		N:              n,
+		Workers:        cfg.Workers,
+		Batch:          cfg.BatchSize,
+		Lookups:        answered.Load(),
+		Correct:        correct.Load(),
+		Incorrect:      incorrect.Load(),
+		Rejected:       rejected.Load(),
+		Errored:        errored.Load(),
+		Swaps:          s.Engine().Swaps(),
+		Elapsed:        elapsed,
+		P50ns:          lat.Quantile(0.50),
+		P99ns:          lat.Quantile(0.99),
+		MeanBatchPairs: batch.Mean(),
+	}
+	if elapsed > 0 {
+		rep.QPS = float64(rep.Lookups) / elapsed.Seconds()
+	}
+	if rep.Incorrect > 0 {
+		return rep, fmt.Errorf("%w: %d of %d", ErrIncorrect, rep.Incorrect, rep.Lookups)
+	}
+	return rep, nil
+}
+
+// grade judges one answer. Rejections and routing errors are tallied
+// separately from incorrectness: shedding load is the server doing its job,
+// serving a wrong next hop never is.
+func grade(r *serve.Result, mode Validation, correct, incorrect, rejected, errored *atomic.Uint64) {
+	switch {
+	case errors.Is(r.Err, serve.ErrOverloaded):
+		rejected.Add(1)
+	case r.Err != nil:
+		errored.Add(1)
+	case mode == ValidateOff:
+		correct.Add(1)
+	case mode == ValidateStrict:
+		if r.NextDist == r.Dist-1 {
+			correct.Add(1)
+		} else {
+			incorrect.Add(1)
+		}
+	default: // ValidateProgress
+		if r.Next >= 1 && r.NextDist >= 0 {
+			correct.Add(1)
+		} else {
+			incorrect.Add(1)
+		}
+	}
+}

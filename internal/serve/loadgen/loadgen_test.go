@@ -1,0 +1,115 @@
+package loadgen
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"routetab/internal/gengraph"
+	"routetab/internal/serve"
+)
+
+func newServer(t *testing.T, n int, seed int64, scheme string) *serve.Server {
+	t.Helper()
+	g, err := gengraph.GnHalf(n, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := serve.NewEngine(g, scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := serve.NewServer(eng, serve.ServerOptions{Shards: 4, QueueCap: 4096})
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestRunStrict: a fulltable run validates every answer, hits its lookup
+// target exactly (target divisible by batch), and reports sane figures.
+func TestRunStrict(t *testing.T) {
+	s := newServer(t, 48, 41, "fulltable")
+	rep, err := Run(s, Config{Workers: 4, Lookups: 8000, BatchSize: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Lookups != 8000 {
+		t.Fatalf("answered %d of 8000", rep.Lookups)
+	}
+	if rep.Correct != rep.Lookups || rep.Incorrect != 0 {
+		t.Fatalf("correct=%d incorrect=%d of %d", rep.Correct, rep.Incorrect, rep.Lookups)
+	}
+	if rep.Rejected != 0 || rep.Errored != 0 {
+		t.Fatalf("rejected=%d errored=%d", rep.Rejected, rep.Errored)
+	}
+	if rep.QPS <= 0 || rep.P50ns <= 0 || rep.P99ns < rep.P50ns {
+		t.Fatalf("timing figures: %+v", rep)
+	}
+	if rep.Scheme != "fulltable" || rep.N != 48 {
+		t.Fatalf("header: %+v", rep)
+	}
+}
+
+// TestRunWithHotSwaps: validation stays clean across mid-load snapshot
+// swaps, and the engine records them.
+func TestRunWithHotSwaps(t *testing.T) {
+	s := newServer(t, 48, 43, "fulltable")
+	rep, err := Run(s, Config{Workers: 4, Lookups: 16000, BatchSize: 16, Seed: 2, HotSwaps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Incorrect != 0 {
+		t.Fatalf("%d incorrect answers across swaps", rep.Incorrect)
+	}
+	if rep.Swaps < 2 {
+		t.Fatalf("swaps = %d, expected mid-load republishes", rep.Swaps)
+	}
+}
+
+// TestRunProgressMode: stretch>1 schemes auto-select progress validation and
+// pass it.
+func TestRunProgressMode(t *testing.T) {
+	s := newServer(t, 48, 47, "hub")
+	rep, err := Run(s, Config{Workers: 2, Lookups: 2000, BatchSize: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Incorrect != 0 || rep.Correct != rep.Lookups {
+		t.Fatalf("hub progress validation: %+v", rep)
+	}
+}
+
+// TestRunDurationCap: a duration-capped run terminates promptly even with a
+// huge lookup target.
+func TestRunDurationCap(t *testing.T) {
+	s := newServer(t, 32, 53, "fulltable")
+	start := time.Now()
+	rep, err := Run(s, Config{Workers: 2, Lookups: 1 << 40, Duration: 100 * time.Millisecond, BatchSize: 8, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Lookups == 0 {
+		t.Fatal("nothing answered in the window")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("duration cap did not take effect")
+	}
+}
+
+// TestDeterministicMix: two runs with one worker and the same seed offer the
+// identical query stream (same correctness tallies on the same server
+// topology). QPS differs; the mix must not.
+func TestDeterministicMix(t *testing.T) {
+	a := newServer(t, 32, 59, "fulltable")
+	b := newServer(t, 32, 59, "fulltable")
+	repA, err := Run(a, Config{Workers: 1, Lookups: 1000, BatchSize: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repB, err := Run(b, Config{Workers: 1, Lookups: 1000, BatchSize: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repA.Lookups != repB.Lookups || repA.Correct != repB.Correct {
+		t.Fatalf("same seed diverged: %+v vs %+v", repA, repB)
+	}
+}

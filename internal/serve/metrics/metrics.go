@@ -1,0 +1,304 @@
+// Package metrics is the serving layer's zero-dependency instrumentation:
+// atomic counters and gauges, fixed-bucket histograms with quantile
+// estimation, and a named registry that snapshots to JSON.
+//
+// Everything is lock-free on the hot path — a counter bump or histogram
+// observation is one atomic add — so recording a metric never serialises the
+// sharded lookup workers it instruments. Snapshots are read-only views taken
+// with atomic loads; they may straddle concurrent updates (per-metric values
+// are each internally consistent, the set is not a global cut), which is the
+// usual monitoring contract.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta uint64) { c.v.Add(delta) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous atomic value (e.g. queue depth, swap sequence).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram: observations land in the first
+// bucket whose upper bound is ≥ the value, with one implicit overflow bucket
+// past the last bound. Bounds are immutable after construction, so Observe is
+// a binary search plus two atomic adds.
+type Histogram struct {
+	bounds []int64 // ascending upper bounds (inclusive)
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Int64
+}
+
+// NewHistogram builds a histogram over the given ascending inclusive upper
+// bounds. It panics on an empty or unsorted bound list (a programming error,
+// not an input error).
+func NewHistogram(bounds []int64) *Histogram {
+	if len(bounds) == 0 {
+		panic("metrics: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("metrics: histogram bounds must be strictly ascending")
+		}
+	}
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// ExponentialBounds returns n strictly ascending bounds starting at start and
+// doubling each step — the standard latency bucket layout.
+func ExponentialBounds(start int64, n int) []int64 {
+	if start < 1 {
+		start = 1
+	}
+	bounds := make([]int64, n)
+	v := start
+	for i := range bounds {
+		bounds[i] = v
+		v *= 2
+	}
+	return bounds
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.counts[h.bucket(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// bucket returns the index of the first bound ≥ v (len(bounds) = overflow).
+func (h *Histogram) bucket(v int64) int {
+	return sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the running sum of observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) as the upper bound of the
+// bucket holding the q·count-th observation; the overflow bucket reports the
+// last finite bound. Returns 0 when the histogram is empty. The estimate is
+// exact to bucket resolution — with doubling bounds, within 2× of the true
+// quantile, which is the precision latency reporting needs.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum > rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// HistogramSnapshot is the JSON form of a histogram.
+type HistogramSnapshot struct {
+	Count uint64 `json:"count"`
+	Sum   int64  `json:"sum"`
+	// Buckets lists cumulative-free per-bucket counts; the final entry
+	// (Le = -1) is the overflow bucket.
+	Buckets []BucketSnapshot `json:"buckets"`
+	P50     int64            `json:"p50"`
+	P90     int64            `json:"p90"`
+	P99     int64            `json:"p99"`
+}
+
+// BucketSnapshot is one histogram bucket: count of observations ≤ Le
+// (exclusive of lower buckets); Le = -1 marks the overflow bucket.
+type BucketSnapshot struct {
+	Le int64  `json:"le"`
+	N  uint64 `json:"n"`
+}
+
+// Snapshot captures the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:   h.Count(),
+		Sum:     h.Sum(),
+		Buckets: make([]BucketSnapshot, 0, len(h.counts)),
+		P50:     h.Quantile(0.50),
+		P90:     h.Quantile(0.90),
+		P99:     h.Quantile(0.99),
+	}
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue // sparse form: empty buckets carry no information
+		}
+		le := int64(-1)
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		s.Buckets = append(s.Buckets, BucketSnapshot{Le: le, N: n})
+	}
+	return s
+}
+
+// Registry is a named collection of metrics. Registration is mutex-guarded
+// (it happens once at server construction); reads on the hot path go straight
+// to the atomic metric values.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	gaugeFuncs map[string]func() int64
+	hists      map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		gaugeFuncs: make(map[string]func() int64),
+		hists:      make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed at snapshot time —
+// used for values owned elsewhere (e.g. the engine's swap sequence).
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFuncs[name] = fn
+}
+
+// Histogram returns the named histogram, creating it with the given bounds on
+// first use (later calls ignore bounds).
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is the JSON form of a registry.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)+len(r.gaugeFuncs)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, fn := range r.gaugeFuncs {
+		s.Gauges[name] = fn()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// MarshalJSON renders the registry's snapshot.
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.Snapshot())
+}
+
+// String renders the snapshot compactly for logs.
+func (r *Registry) String() string {
+	blob, err := r.MarshalJSON()
+	if err != nil {
+		return fmt.Sprintf("metrics: %v", err)
+	}
+	return string(blob)
+}

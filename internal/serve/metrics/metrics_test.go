@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Value())
+	}
+	if r.Counter("c") != c {
+		t.Fatal("counter not memoised by name")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Fatalf("gauge = %d, want 4", g.Value())
+	}
+	r.GaugeFunc("gf", func() int64 { return 99 })
+	snap := r.Snapshot()
+	if snap.Counters["c"] != 42 || snap.Gauges["g"] != 4 || snap.Gauges["gf"] != 99 {
+		t.Fatalf("snapshot mismatch: %+v", snap)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]int64{10, 100, 1000})
+	for _, v := range []int64{1, 10, 11, 100, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 1+10+11+100+5000 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	s := h.Snapshot()
+	got := map[int64]uint64{}
+	for _, b := range s.Buckets {
+		got[b.Le] = b.N
+	}
+	// ≤10: {1,10}; ≤100: {11,100}; ≤1000: {}; overflow: {5000}.
+	if got[10] != 2 || got[100] != 2 || got[-1] != 1 {
+		t.Fatalf("bucket layout: %+v", s.Buckets)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(ExponentialBounds(1, 12)) // 1,2,4,…,2048
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should report 0")
+	}
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	// True p50 = 50 → bucket le=64; true p99 = 99 → bucket le=128.
+	if q := h.Quantile(0.5); q != 64 {
+		t.Fatalf("p50 = %d, want 64", q)
+	}
+	if q := h.Quantile(0.99); q != 128 {
+		t.Fatalf("p99 = %d, want 128", q)
+	}
+	// Quantiles are clamped, never panic.
+	if h.Quantile(-1) > h.Quantile(2) {
+		t.Fatal("quantile ordering violated at clamp bounds")
+	}
+}
+
+func TestHistogramOverflowQuantile(t *testing.T) {
+	h := NewHistogram([]int64{10})
+	h.Observe(1 << 40)
+	if q := h.Quantile(0.99); q != 10 {
+		t.Fatalf("overflow quantile = %d, want last finite bound 10", q)
+	}
+}
+
+func TestExponentialBounds(t *testing.T) {
+	b := ExponentialBounds(1024, 4)
+	want := []int64{1024, 2048, 4096, 8192}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bounds = %v, want %v", b, want)
+		}
+	}
+	if got := ExponentialBounds(0, 1); got[0] != 1 {
+		t.Fatalf("start clamp: %v", got)
+	}
+}
+
+func TestRegistryJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Add(3)
+	r.Histogram("lat", []int64{1, 2}).Observe(1)
+	blob, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatalf("registry JSON does not round-trip: %v", err)
+	}
+	if decoded.Counters["hits"] != 3 || decoded.Histograms["lat"].Count != 1 {
+		t.Fatalf("decoded: %+v", decoded)
+	}
+}
+
+// TestConcurrentObserve hammers one histogram and counter from many
+// goroutines; run under -race this pins the lock-free hot path.
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", ExponentialBounds(1, 10))
+	c := r.Counter("c")
+	var wg sync.WaitGroup
+	const workers, per = 8, 10_000
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(w*per + i))
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != workers*per || c.Value() != workers*per {
+		t.Fatalf("count = %d, counter = %d", h.Count(), c.Value())
+	}
+}

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"routetab/internal/graph"
+	"routetab/internal/routing"
+	"routetab/internal/schemes/centers"
+	"routetab/internal/schemes/compact"
+	"routetab/internal/schemes/fullinfo"
+	"routetab/internal/schemes/fulltable"
+	"routetab/internal/schemes/hub"
+	"routetab/internal/schemes/interval"
+	"routetab/internal/shortestpath"
+)
+
+// builders maps scheme names to their constructors — the one registry the
+// serving engine, the resilience sweep, and the CLI all dispatch through.
+var builders = map[string]func(g *graph.Graph, ports *graph.Ports, dm *shortestpath.Distances) (routing.Scheme, error){
+	"fulltable": func(g *graph.Graph, ports *graph.Ports, _ *shortestpath.Distances) (routing.Scheme, error) {
+		return fulltable.Build(g, ports)
+	},
+	"compact": func(g *graph.Graph, _ *graph.Ports, _ *shortestpath.Distances) (routing.Scheme, error) {
+		return compact.Build(g, compact.DefaultOptions())
+	},
+	"hub": func(g *graph.Graph, _ *graph.Ports, _ *shortestpath.Distances) (routing.Scheme, error) {
+		return hub.Build(g, 1)
+	},
+	"interval": func(g *graph.Graph, ports *graph.Ports, _ *shortestpath.Distances) (routing.Scheme, error) {
+		return interval.Build(g, ports, 1)
+	},
+	"fullinfo": func(g *graph.Graph, ports *graph.Ports, dm *shortestpath.Distances) (routing.Scheme, error) {
+		return fullinfo.Build(g, ports, dm)
+	},
+	"centers": func(g *graph.Graph, _ *graph.Ports, _ *shortestpath.Distances) (routing.Scheme, error) {
+		return centers.Build(g, 1)
+	},
+}
+
+// shortestPathSchemes names the constructions that route along exact shortest
+// paths, so every next hop must strictly decrease the distance to the
+// destination — the property strict lookup validation checks.
+var shortestPathSchemes = map[string]bool{
+	"fulltable": true,
+	"compact":   true,
+	"fullinfo":  true,
+}
+
+// SchemeNames lists the scheme names BuildScheme understands, sorted.
+func SchemeNames() []string {
+	names := make([]string, 0, len(builders))
+	for name := range builders {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// KnownScheme reports whether name is a buildable scheme.
+func KnownScheme(name string) bool {
+	_, ok := builders[name]
+	return ok
+}
+
+// IsShortestPath reports whether the named scheme guarantees shortest-path
+// routes (stretch exactly 1), making strict next-hop validation sound.
+func IsShortestPath(name string) bool { return shortestPathSchemes[name] }
+
+// BuildScheme constructs the named scheme against g, its port assignment, and
+// the graph's all-pairs matrix (only some builders consume dm).
+func BuildScheme(name string, g *graph.Graph, ports *graph.Ports, dm *shortestpath.Distances) (routing.Scheme, error) {
+	build, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown scheme %q (have %v)", name, SchemeNames())
+	}
+	return build(g, ports, dm)
+}

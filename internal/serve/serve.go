@@ -1,0 +1,221 @@
+// Package serve is the online query layer over the repo's routing schemes:
+// where core.Build constructs a table offline and Verify measures it once,
+// serve keeps a built table resident in memory and answers "next port toward
+// v" queries under concurrent load — the workload the paper's Θ(n²)-bit
+// object (Theorem 1) and its stretch/space relatives (Theorems 3–5) exist
+// for.
+//
+// The package splits into three pieces:
+//
+//   - Snapshot: one immutable, versioned view of (graph, ports, scheme,
+//     distances). All query state hangs off a single pointer, so a reader
+//     that has acquired a snapshot can never observe a half-updated table.
+//   - Engine: owns the current snapshot behind an atomic pointer. Topology
+//     changes clone the graph, rebuild scheme + distances off the hot path
+//     (through a shortestpath.Cache), and publish the finished snapshot with
+//     one atomic store — readers are never blocked by a rebuild.
+//   - Server (server.go): the sharded, batching lookup front end.
+//
+// Rebuilds follow the determinism contract of DESIGN.md §8: a snapshot's
+// tables are a pure function of (topology, scheme name), so two engines fed
+// the same mutation sequence publish byte-identical tables.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"routetab/internal/graph"
+	"routetab/internal/routing"
+	"routetab/internal/shortestpath"
+)
+
+// Errors.
+var (
+	// ErrOverloaded indicates a lookup was shed because its shard queue was
+	// full (explicit backpressure, never silent drops).
+	ErrOverloaded = errors.New("serve: server overloaded, lookup rejected")
+	// ErrClosed indicates a lookup arrived after Close started draining.
+	ErrClosed = errors.New("serve: server closed")
+	// ErrSelfLookup indicates src == dst (there is no next hop to yourself).
+	ErrSelfLookup = errors.New("serve: source equals destination")
+)
+
+// Router is the uniform query interface every built scheme serves behind:
+// queries address nodes by their original index, and label translation (e.g.
+// interval routing's DFS renumbering) happens inside.
+type Router interface {
+	// SchemeName identifies the construction answering queries.
+	SchemeName() string
+	// N returns the number of nodes covered.
+	N() int
+	// NextHop returns the neighbour src forwards to on its route to dst.
+	NextHop(src, dst int) (int, error)
+	// Route runs the full local-function route and returns its trace.
+	Route(src, dst int) (*routing.Trace, error)
+}
+
+// Snapshot is one immutable serving view: the graph at a fixed version, its
+// port assignment, the built scheme, the all-pairs matrix, and the reference
+// simulator that executes the scheme's local functions. Snapshots are
+// published whole via an atomic pointer and never mutated afterwards.
+type Snapshot struct {
+	// Seq is the engine-local publication sequence, starting at 1. A reader
+	// holding two results can totally order the snapshots that served them.
+	Seq uint64
+	// Scheme is the construction name (see SchemeNames).
+	Scheme string
+	// Graph is the topology this snapshot serves. Treat as read-only.
+	Graph *graph.Graph
+	// Ports is the port assignment the tables were built against.
+	Ports *graph.Ports
+	// Dist is the all-pairs ground truth for this topology.
+	Dist *shortestpath.Distances
+
+	scheme   routing.Scheme
+	sim      *routing.Sim
+	hopLimit int
+}
+
+var _ Router = (*Snapshot)(nil)
+
+// SchemeName returns the construction name.
+func (s *Snapshot) SchemeName() string { return s.Scheme }
+
+// N returns the node count.
+func (s *Snapshot) N() int { return s.Graph.N() }
+
+// NextHop asks src's local routing function for its forwarding decision
+// toward dst and returns the neighbour behind the chosen port.
+func (s *Snapshot) NextHop(src, dst int) (int, error) {
+	if src == dst {
+		return 0, fmt.Errorf("%w: %d", ErrSelfLookup, src)
+	}
+	return s.sim.FirstHop(src, dst)
+}
+
+// Route runs the full route src→dst under the snapshot's hop limit.
+func (s *Snapshot) Route(src, dst int) (*routing.Trace, error) {
+	if src == dst {
+		return nil, fmt.Errorf("%w: %d", ErrSelfLookup, src)
+	}
+	return s.sim.RouteByNode(src, dst, s.hopLimit)
+}
+
+// SpaceBits returns the scheme's total storage under its own model-free
+// accounting (Σ|F(u)|): the table-residency figure the daemon reports.
+func (s *Snapshot) SpaceBits() int {
+	total := 0
+	for u := 1; u <= s.scheme.N(); u++ {
+		total += s.scheme.FunctionBits(u)
+	}
+	return total
+}
+
+// Engine owns the mutable topology and the atomically-published current
+// snapshot. All mutations serialise on an internal mutex (rebuilds are the
+// slow path); readers only ever touch the atomic pointer.
+type Engine struct {
+	mu     sync.Mutex // serialises Mutate/Reload
+	g      *graph.Graph
+	scheme string
+	cache  *shortestpath.Cache
+	cur    atomic.Pointer[Snapshot]
+	swaps  atomic.Uint64
+}
+
+// NewEngine builds the first snapshot of g under the named scheme and returns
+// the engine serving it. The engine clones g, so later caller-side mutations
+// of g do not corrupt published snapshots; change topology through Mutate.
+func NewEngine(g *graph.Graph, schemeName string) (*Engine, error) {
+	if !KnownScheme(schemeName) {
+		return nil, fmt.Errorf("serve: unknown scheme %q (have %v)", schemeName, SchemeNames())
+	}
+	e := &Engine{
+		g:      g.Clone(),
+		scheme: schemeName,
+		// Capacity 2: the outgoing snapshot's matrix plus the one being
+		// built; older matrices are garbage the LRU can drop.
+		cache: shortestpath.NewCache(2),
+	}
+	if _, err := e.rebuildLocked(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Current returns the serving snapshot. The returned snapshot stays valid
+// (and internally consistent) forever; it just stops being current after the
+// next swap.
+func (e *Engine) Current() *Snapshot { return e.cur.Load() }
+
+// Swaps returns how many snapshots have been published (initial build
+// included).
+func (e *Engine) Swaps() uint64 { return e.swaps.Load() }
+
+// Scheme returns the construction name the engine builds.
+func (e *Engine) Scheme() string { return e.scheme }
+
+// Mutate applies fn to a private clone of the current topology, rebuilds
+// scheme and distances off the hot path, and atomically publishes the result.
+// Queries proceed uninterrupted on the old snapshot throughout; on any error
+// (fn itself, or a scheme that cannot be built on the mutated topology —
+// e.g. a disconnecting edge removal) nothing is published and the old
+// snapshot stays current.
+func (e *Engine) Mutate(fn func(g *graph.Graph) error) (*Snapshot, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	next := e.g.Clone()
+	if fn != nil {
+		if err := fn(next); err != nil {
+			return nil, err
+		}
+	}
+	old := e.g
+	e.g = next
+	snap, err := e.rebuildLocked()
+	if err != nil {
+		e.g = old
+		return nil, err
+	}
+	return snap, nil
+}
+
+// Reload rebuilds and republishes the current topology unchanged — a pure
+// hot swap (new tables, same answers), useful for exercising swap paths and
+// for picking up builder changes in tests.
+func (e *Engine) Reload() (*Snapshot, error) { return e.Mutate(nil) }
+
+// rebuildLocked builds a snapshot from e.g and publishes it. Caller holds
+// e.mu.
+func (e *Engine) rebuildLocked() (*Snapshot, error) {
+	g := e.g
+	ports := graph.SortedPorts(g)
+	dm, err := e.cache.AllPairs(g)
+	if err != nil {
+		return nil, err
+	}
+	scheme, err := BuildScheme(e.scheme, g, ports, dm)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := routing.NewSim(g, ports, scheme)
+	if err != nil {
+		return nil, err
+	}
+	snap := &Snapshot{
+		Seq:      e.swaps.Load() + 1,
+		Scheme:   e.scheme,
+		Graph:    g,
+		Ports:    ports,
+		Dist:     dm,
+		scheme:   scheme,
+		sim:      sim,
+		hopLimit: routing.DefaultHopLimit(g.N()),
+	}
+	e.cur.Store(snap)
+	e.swaps.Add(1)
+	return snap, nil
+}

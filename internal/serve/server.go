@@ -1,0 +1,268 @@
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"routetab/internal/par"
+	"routetab/internal/serve/metrics"
+	"routetab/internal/shortestpath"
+)
+
+// ServerOptions configures the lookup front end.
+type ServerOptions struct {
+	// Shards is the number of worker shards (default GOMAXPROCS). Lookups
+	// for one source node always land on the same shard, so its rows of the
+	// routing table stay hot in that worker's cache.
+	Shards int
+	// QueueCap bounds each shard's pending-job queue (default 1024). A full
+	// queue rejects with ErrOverloaded — explicit backpressure.
+	QueueCap int
+	// MaxBatch bounds how many queued jobs one worker wake-up coalesces
+	// (default 64): under load, snapshot acquisition and metric updates
+	// amortise across the whole run.
+	MaxBatch int
+	// StretchSampleEvery full-routes every k-th lookup and records its
+	// hops/distance ratio in the serve_stretch_x1000 histogram (default
+	// 128; negative disables sampling). Sampling keeps the p99 budget: a
+	// full route costs stretch× the table reads of a next-hop answer.
+	StretchSampleEvery int
+}
+
+func (o *ServerOptions) setDefaults() {
+	if o.Shards < 1 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueCap < 1 {
+		o.QueueCap = 1024
+	}
+	if o.MaxBatch < 1 {
+		o.MaxBatch = 64
+	}
+	if o.StretchSampleEvery == 0 {
+		o.StretchSampleEvery = 128
+	}
+	if o.StretchSampleEvery < 0 {
+		o.StretchSampleEvery = 0
+	}
+}
+
+// Result is one lookup's answer, self-contained enough to validate: Next is
+// the scheme's forwarding decision, Dist and NextDist are the serving
+// snapshot's ground-truth distances src→dst and next→dst, and Seq names the
+// snapshot that answered. For a shortest-path scheme NextDist == Dist−1 on
+// every correct answer, whichever snapshot served it.
+type Result struct {
+	Next     int
+	Dist     int
+	NextDist int
+	Seq      uint64
+	Err      error
+}
+
+// job is the unit queued on a shard: a run of lookups sharing one reply
+// array and one completion signal. idx selects this job's positions in the
+// shared pairs/out arrays (nil = all of them).
+type job struct {
+	pairs [][2]int
+	out   []Result
+	idx   []int
+	start time.Time
+	wg    *sync.WaitGroup
+}
+
+func (j *job) len() int {
+	if j.idx != nil {
+		return len(j.idx)
+	}
+	return len(j.pairs)
+}
+
+func (j *job) pos(k int) int {
+	if j.idx != nil {
+		return j.idx[k]
+	}
+	return k
+}
+
+// Server is the sharded, batching query front end over an Engine. Submit
+// with NextHop or LookupBatch; Close drains accepted work before returning.
+type Server struct {
+	eng  *Engine
+	opts ServerOptions
+	pool *par.Pool
+	reg  *metrics.Registry
+
+	lookups  *metrics.Counter // answered lookups (errors included)
+	rejects  *metrics.Counter // lookups shed by backpressure
+	errored  *metrics.Counter // lookups answered with a routing error
+	batches  *metrics.Counter // worker wake-ups (coalesced runs)
+	latency  *metrics.Histogram
+	batchSz  *metrics.Histogram
+	stretchH *metrics.Histogram
+	sampleCt atomic.Uint64
+	closed   atomic.Bool
+}
+
+// NewServer starts the shard workers over eng's snapshots.
+func NewServer(eng *Engine, opts ServerOptions) *Server {
+	opts.setDefaults()
+	reg := metrics.NewRegistry()
+	s := &Server{
+		eng:      eng,
+		opts:     opts,
+		reg:      reg,
+		lookups:  reg.Counter("serve_lookups_total"),
+		rejects:  reg.Counter("serve_rejects_total"),
+		errored:  reg.Counter("serve_errors_total"),
+		batches:  reg.Counter("serve_batches_total"),
+		latency:  reg.Histogram("serve_latency_ns", metrics.ExponentialBounds(1024, 24)), // ~1µs … ~8.6s
+		batchSz:  reg.Histogram("serve_batch_pairs", metrics.ExponentialBounds(1, 14)),   // 1 … 8192
+		stretchH: reg.Histogram("serve_stretch_x1000", []int64{1000, 1100, 1250, 1500, 2000, 3000, 5000, 10000}),
+	}
+	reg.GaugeFunc("serve_snapshot_seq", func() int64 { return int64(eng.Current().Seq) })
+	reg.GaugeFunc("serve_swaps", func() int64 { return int64(eng.Swaps()) })
+	s.pool = par.NewPool(opts.Shards, opts.QueueCap, opts.MaxBatch, s.runBatch)
+	return s
+}
+
+// Engine returns the engine behind the server (for hot swaps).
+func (s *Server) Engine() *Engine { return s.eng }
+
+// Metrics returns the server's registry.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Close stops accepting lookups and drains every accepted job.
+func (s *Server) Close() {
+	s.closed.Store(true)
+	s.pool.Close()
+}
+
+// shardOf keys shard placement on the source node, so one node's table rows
+// are only ever scanned by one worker.
+func (s *Server) shardOf(src int) int {
+	if src < 0 {
+		src = -src
+	}
+	return src % s.opts.Shards
+}
+
+// NextHop answers a single lookup, blocking until served or rejected.
+func (s *Server) NextHop(src, dst int) Result {
+	var out [1]Result
+	s.lookupInto([][2]int{{src, dst}}, out[:])
+	return out[0]
+}
+
+// LookupBatch answers len(pairs) lookups into out (len(out) must equal
+// len(pairs)). Pairs are split by source shard; each sub-run is queued,
+// answered under one snapshot acquisition, and the call returns when every
+// pair has an answer. Shed pairs get Err = ErrOverloaded; the call itself
+// only errors on misuse.
+func (s *Server) LookupBatch(pairs [][2]int, out []Result) error {
+	if len(pairs) != len(out) {
+		return fmt.Errorf("serve: LookupBatch pairs (%d) and out (%d) length mismatch", len(pairs), len(out))
+	}
+	if len(pairs) == 0 {
+		return nil
+	}
+	s.lookupInto(pairs, out)
+	return nil
+}
+
+// lookupInto groups pairs by shard, submits one job per shard, and waits.
+func (s *Server) lookupInto(pairs [][2]int, out []Result) {
+	start := time.Now()
+	var wg sync.WaitGroup
+	if s.opts.Shards == 1 || len(pairs) == 1 {
+		s.submit(s.shardOf(pairs[0][0]), &job{pairs: pairs, out: out, start: start, wg: &wg})
+		wg.Wait()
+		return
+	}
+	byShard := make(map[int][]int, s.opts.Shards)
+	for i, p := range pairs {
+		sh := s.shardOf(p[0])
+		byShard[sh] = append(byShard[sh], i)
+	}
+	for sh, idx := range byShard {
+		s.submit(sh, &job{pairs: pairs, out: out, idx: idx, start: start, wg: &wg})
+	}
+	wg.Wait()
+}
+
+// submit queues j on shard or, on backpressure, fails its pairs in place.
+func (s *Server) submit(shard int, j *job) {
+	j.wg.Add(1)
+	if !s.closed.Load() && s.pool.TrySubmit(shard, j) {
+		return
+	}
+	// Shed: answer every pair right here — the caller always gets a
+	// definite answer per pair, never a silent drop.
+	failure := ErrOverloaded
+	if s.closed.Load() {
+		failure = ErrClosed
+	}
+	n := j.len()
+	for k := 0; k < n; k++ {
+		j.out[j.pos(k)] = Result{Err: failure}
+	}
+	s.rejects.Add(uint64(n))
+	j.wg.Done()
+}
+
+// runBatch is the shard worker handler: one snapshot acquisition answers the
+// whole coalesced run.
+func (s *Server) runBatch(_ int, batch []any) {
+	snap := s.eng.Current()
+	total := 0
+	for _, it := range batch {
+		j := it.(*job)
+		n := j.len()
+		total += n
+		for k := 0; k < n; k++ {
+			p := j.pairs[j.pos(k)]
+			j.out[j.pos(k)] = s.answer(snap, p[0], p[1])
+		}
+		s.latency.Observe(time.Since(j.start).Nanoseconds())
+		j.wg.Done()
+	}
+	s.batches.Inc()
+	s.batchSz.Observe(int64(total))
+	s.lookups.Add(uint64(total))
+}
+
+// answer resolves one lookup against one snapshot.
+func (s *Server) answer(snap *Snapshot, src, dst int) Result {
+	next, err := snap.NextHop(src, dst)
+	if err != nil {
+		s.errored.Inc()
+		return Result{Seq: snap.Seq, Err: err}
+	}
+	res := Result{
+		Next:     next,
+		Dist:     snap.Dist.Dist(src, dst),
+		NextDist: snap.Dist.Dist(next, dst),
+		Seq:      snap.Seq,
+	}
+	if k := s.opts.StretchSampleEvery; k > 0 && s.sampleCt.Add(1)%uint64(k) == 0 {
+		s.sampleStretch(snap, src, dst, res.Dist)
+	}
+	return res
+}
+
+// sampleStretch full-routes one lookup and records hops/dist ×1000 — the
+// same latency definition netsim's hop histogram uses: edge traversals of
+// the delivered message, detours and walker revisits included.
+func (s *Server) sampleStretch(snap *Snapshot, src, dst, dist int) {
+	if dist <= 0 || dist == shortestpath.Unreachable {
+		return
+	}
+	tr, err := snap.Route(src, dst)
+	if err != nil {
+		return
+	}
+	s.stretchH.Observe(int64(tr.Hops) * 1000 / int64(dist))
+}

@@ -1,0 +1,121 @@
+package shortestpath
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"routetab/internal/gengraph"
+	"routetab/internal/graph"
+)
+
+// TestCacheConcurrentMutateAndQuery drives the serving-layer access pattern
+// under the race detector: one writer repeatedly mutates a graph (bumping its
+// Version) while reader goroutines fetch the all-pairs matrix through a
+// shared Cache. The mutate-and-read halves are serialised by an RWMutex —
+// exactly how the serving engine publishes snapshots — and every reader
+// asserts its matrix matches the graph state it observed: a stale matrix for
+// a newer version would report the toggled edge's distance wrong.
+func TestCacheConcurrentMutateAndQuery(t *testing.T) {
+	g, err := gengraph.GnHalf(32, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache(2)
+	var topo sync.RWMutex // guards g's edge set, like the engine's mutex
+
+	const (
+		readers = 8
+		rounds  = 40
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				topo.RLock()
+				has := g.HasEdge(1, 2)
+				dm, err := cache.AllPairs(g)
+				topo.RUnlock()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Freshness: the matrix must reflect the edge state read
+				// under the same lock hold — d(1,2)=1 iff the edge exists
+				// (G(32,1/2) stays diameter ≤ 2 with and without it).
+				d := dm.Dist(1, 2)
+				if has && d != 1 {
+					t.Errorf("stale matrix: edge (1,2) present but d=%d", d)
+					return
+				}
+				if !has && d == 1 {
+					t.Error("stale matrix: edge (1,2) absent but d=1")
+					return
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < rounds; i++ {
+		topo.Lock()
+		var merr error
+		if g.HasEdge(1, 2) {
+			merr = g.RemoveEdge(1, 2)
+		} else {
+			merr = g.AddEdge(1, 2)
+		}
+		topo.Unlock()
+		if merr != nil {
+			t.Fatal(merr)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if cache.Len() > 2 {
+		t.Fatalf("cache over capacity: %d", cache.Len())
+	}
+}
+
+// TestCacheVersionBumpInvalidates: a mutation between two single-threaded
+// AllPairs calls must yield a recomputed matrix, never the cached one.
+func TestCacheVersionBumpInvalidates(t *testing.T) {
+	g, err := graph.New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][2]int{{1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 8}, {8, 1}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cache := NewCache(1)
+	dm, err := cache.AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := dm.Dist(1, 5); d != 4 {
+		t.Fatalf("d(1,5) = %d on the 8-cycle", d)
+	}
+	if err := g.AddEdge(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	dm2, err := cache.AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := dm2.Dist(1, 5); d != 1 {
+		t.Fatalf("d(1,5) = %d after adding the chord (stale cache?)", d)
+	}
+	if dm.Dist(1, 5) != 4 {
+		t.Fatal("old matrix mutated in place")
+	}
+}
