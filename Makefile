@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify lint vet build test race smoke benchsmoke loadsmoke bench loadbench clean
+.PHONY: verify lint vet build test race smoke benchsmoke loadsmoke chaos bench loadbench chaosbench clean
 
-verify: lint vet build test race smoke benchsmoke loadsmoke
+verify: lint vet build test race smoke benchsmoke loadsmoke chaos
 
 # gofmt -l exits 0 even when files need formatting, so fail on any output.
 lint:
@@ -38,7 +38,7 @@ smoke:
 # cache, E13 sweep, serving-layer load); keeps the bench harness from
 # rotting between releases.
 benchsmoke:
-	$(GO) run ./cmd/benchjson -quick -sections bfs,cache,resilience,serve \
+	$(GO) run ./cmd/benchjson -quick -sections bfs,cache,resilience,serve,chaos \
 		-out $(or $(TMPDIR),/tmp)/bench_smoke.json
 
 # Seconds-scale serving smoke through routetabd's loadgen mode: fixed seed,
@@ -47,6 +47,14 @@ benchsmoke:
 loadsmoke:
 	$(GO) run ./cmd/routetabd -loadgen -n 32 -seed 1 -lookups 20000 \
 		-workers 2 -swaps 2
+
+# Seconds-scale seeded chaos gate: stalls, drops, churn bursts, and a
+# kill+restore cycle on a small graph; exits non-zero on any incorrect
+# answer, out-of-budget detour, non-identical restore, or broken
+# availability budget. The full artefact is docs/chaos_n256.csv (E15).
+chaos:
+	$(GO) run ./cmd/routetabd -chaos -n 48 -seed 1 -lookups 60000 \
+		-workers 4 -chaos-stalls 2 -chaos-drops 2 -chaos-bursts 5 -chaos-kills 1
 
 # Regenerates the checked-in PR 2 performance artefact (see EXPERIMENTS.md
 # for the methodology; numbers are host-dependent).
@@ -60,6 +68,13 @@ bench:
 loadbench:
 	$(GO) run ./cmd/benchjson -sections serve \
 		-artefact BENCH_pr3 -out BENCH_pr3.json
+
+# Regenerates the PR 4 chaos artefact (EXPERIMENTS.md E15): one million
+# graded lookups per scheme on G(256,1/2) under seeded churn bursts, shard
+# stalls, batch drops, and kill+restore cycles.
+chaosbench:
+	$(GO) run ./cmd/benchjson -sections chaos \
+		-artefact BENCH_pr4 -out BENCH_pr4.json
 
 clean:
 	$(GO) clean ./...

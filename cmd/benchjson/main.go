@@ -10,6 +10,13 @@
 //	  fulltable and compact schemes on G(256, 1/2) with ten snapshot
 //	  hot-swaps mid-load; the run fails if any lookup is answered
 //	  incorrectly, rejected, or errored.
+//	BENCH_pr4.json  (`make chaosbench`): -sections chaos
+//	  graded chaos-harness reports (availability %, p99 under stall/chaos,
+//	  kill-recovery time) for the fulltable and compact schemes on
+//	  G(256, 1/2) under seeded churn bursts, shard stalls, batch drops, and
+//	  kill+restore cycles; the run fails on any incorrect answer, any detour
+//	  beyond +2 hops, any non-byte-identical restore, or a broken
+//	  unavailability budget.
 //
 // `make verify` runs the -quick one-iteration smoke over every section so
 // the measured paths stay exercised.
@@ -35,6 +42,7 @@ import (
 	"routetab/internal/eval"
 	"routetab/internal/gengraph"
 	"routetab/internal/serve"
+	"routetab/internal/serve/chaos"
 	"routetab/internal/serve/loadgen"
 	"routetab/internal/shortestpath"
 )
@@ -58,6 +66,12 @@ type Report struct {
 	// "serve"): QPS and latency quantiles per scheme, with validation and
 	// hot-swap tallies.
 	Loadgen []*loadgen.Report `json:"loadgen,omitempty"`
+	// Chaos carries the graded chaos-harness reports (section "chaos"):
+	// availability, p99 under stall, and kill-recovery time per scheme. The
+	// run fails if any lookup was answered incorrectly, any detour exceeded
+	// the +2-hop budget, any restore was not byte-identical, or
+	// unavailability broke its budget.
+	Chaos []*chaos.Report `json:"chaos,omitempty"`
 	// BitsetSpeedupN1024 is list ns/op ÷ bitset ns/op on G(1024, 1/2) —
 	// the PR 2 tentpole acceptance ratio (must be ≥ 3). Section "bfs".
 	BitsetSpeedupN1024 float64 `json:"bitset_speedup_n1024,omitempty"`
@@ -67,7 +81,7 @@ type Report struct {
 }
 
 // knownSections lists every measurement group benchjson understands.
-var knownSections = []string{"bfs", "cache", "resilience", "serve"}
+var knownSections = []string{"bfs", "cache", "resilience", "serve", "chaos"}
 
 func parseSections(csv string) (map[string]bool, error) {
 	known := map[string]bool{}
@@ -239,6 +253,29 @@ func runSuite(quick bool, artefact string, sections map[string]bool) (*Report, e
 				return nil, err
 			}
 			rep.Loadgen = append(rep.Loadgen, lrep)
+		}
+	}
+
+	// Chaos harness: graded serving under injected faults — stalls, drops,
+	// seeded churn bursts, kill+restore cycles — one million lookups per
+	// scheme on G(256, 1/2) (quick: 20k on G(64, 1/2)). The headline figures
+	// are availability %, p99 under chaos, and recovery time after a kill.
+	if sections["chaos"] {
+		n, lookups := 256, uint64(1_000_000)
+		if quick {
+			n, lookups = 64, 20_000
+		}
+		for _, scheme := range []string{"fulltable", "compact"} {
+			crep, err := chaos.Run(chaos.Config{
+				N:       n,
+				Seed:    1,
+				Scheme:  scheme,
+				Lookups: lookups,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("chaos %s: %w", scheme, err)
+			}
+			rep.Chaos = append(rep.Chaos, crep)
 		}
 	}
 

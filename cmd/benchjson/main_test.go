@@ -108,3 +108,30 @@ func TestRunWritesJSON(t *testing.T) {
 		t.Fatalf("unexpected report header: %+v", rep)
 	}
 }
+
+// TestChaosSection runs the quick chaos section: both schemes must grade
+// clean — zero incorrect, bounded detours, byte-identical restores — and
+// report the headline recovery/availability figures.
+func TestChaosSection(t *testing.T) {
+	rep, err := runSuite(true, "BENCH_pr4", sectionSet(t, "chaos"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Chaos) != 2 {
+		t.Fatalf("chaos reports: %d, want 2", len(rep.Chaos))
+	}
+	for _, c := range rep.Chaos {
+		if c.Incorrect != 0 {
+			t.Errorf("%s: %d incorrect answers", c.Scheme, c.Incorrect)
+		}
+		if c.MaxDetourExtraHops > 2 {
+			t.Errorf("%s: detour extra %d", c.Scheme, c.MaxDetourExtraHops)
+		}
+		if !c.RestoredIdentical || !c.SelfHealed {
+			t.Errorf("%s: restored=%v healed=%v", c.Scheme, c.RestoredIdentical, c.SelfHealed)
+		}
+		if c.RecoveryNs <= 0 || c.QPS <= 0 {
+			t.Errorf("%s: recovery=%d qps=%v", c.Scheme, c.RecoveryNs, c.QPS)
+		}
+	}
+}

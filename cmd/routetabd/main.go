@@ -15,6 +15,15 @@
 //	POST /mutate {"op":"add|remove|toggle","u":1,"v":2}  topology change
 //	                                (rebuild off-path, atomic hot swap)
 //	POST /swap                      republish unchanged topology
+//	POST /fail {"kind":"link","u":1,"v":2,"down":true}   failure event
+//	                                (overlay + degraded detours now,
+//	                                self-healing rebuild off-path)
+//
+// With -persist FILE every published snapshot is also saved through an
+// atomic checksummed binary file; on startup the daemon warm-boots from it
+// (same Seq, byte-identical tables, no cold rebuild) when the file matches
+// the requested scheme. Overload rejections carry a Retry-After header and
+// a retry_after_ms hint.
 //
 // Load-generator mode (also the `make verify` serving smoke):
 //
@@ -24,9 +33,22 @@
 // the JSON report, and exits non-zero if any lookup was answered
 // incorrectly, rejected, or the run produced no throughput — so a CI lane
 // gets a pass/fail signal, not just numbers.
+//
+// Chaos mode (also the `make chaos` CI gate):
+//
+//	routetabd -chaos -n 64 -seed 1 -lookups 200000 -chaos-bursts 5 -chaos-kills 2
+//
+// runs the serve-layer chaos harness in-process: seeded churn bursts driven
+// through the self-healing repairer, shard stalls and batch drops through
+// the server's chaos hook, and kill+restore cycles through the persistence
+// layer — grading every answer and exiting non-zero unless zero lookups were
+// answered incorrectly, every detour stayed within the +2-hop budget, every
+// restore was byte-identical, and unavailability stayed under budget.
+// -chaos-csv additionally writes the EXPERIMENTS.md E15 artefact row.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -37,12 +59,14 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"routetab/internal/gengraph"
 	"routetab/internal/graph"
 	"routetab/internal/serve"
+	"routetab/internal/serve/chaos"
 	"routetab/internal/serve/loadgen"
 
 	"math/rand"
@@ -56,20 +80,29 @@ func main() {
 }
 
 type config struct {
-	n      int
-	seed   int64
-	scheme string
-	file   string
-	addr   string
-	shards int
-	queue  int
-	batch  int
+	n       int
+	seed    int64
+	scheme  string
+	file    string
+	addr    string
+	shards  int
+	queue   int
+	batch   int
+	persist string
 	// loadgen mode
 	loadgen  bool
 	lookups  uint64
 	duration time.Duration
 	workers  int
 	swaps    int
+	// chaos mode
+	chaos       bool
+	chaosStalls int
+	chaosDrops  int
+	chaosBursts int
+	chaosKills  int
+	chaosBudget float64
+	chaosCSV    string
 }
 
 func parseFlags(args []string) (*config, error) {
@@ -83,7 +116,15 @@ func parseFlags(args []string) (*config, error) {
 	fs.IntVar(&cfg.shards, "shards", 0, "lookup worker shards (0 = GOMAXPROCS)")
 	fs.IntVar(&cfg.queue, "queue", 0, "per-shard queue capacity (0 = default)")
 	fs.IntVar(&cfg.batch, "batch", 0, "max coalesced jobs per worker wake-up (0 = default)")
+	fs.StringVar(&cfg.persist, "persist", "", "snapshot persistence file: save every published snapshot, warm-boot from it on start")
 	fs.BoolVar(&cfg.loadgen, "loadgen", false, "run the closed-loop load generator instead of serving HTTP")
+	fs.BoolVar(&cfg.chaos, "chaos", false, "run the serve-layer chaos harness instead of serving HTTP")
+	fs.IntVar(&cfg.chaosStalls, "chaos-stalls", 2, "chaos: shard stall injections (-1 disables)")
+	fs.IntVar(&cfg.chaosDrops, "chaos-drops", 2, "chaos: batch drop windows (-1 disables)")
+	fs.IntVar(&cfg.chaosBursts, "chaos-bursts", 5, "chaos: churn bursts from the seeded fault plan (-1 disables)")
+	fs.IntVar(&cfg.chaosKills, "chaos-kills", 2, "chaos: kill+restore cycles through the persistence layer (-1 disables)")
+	fs.Float64Var(&cfg.chaosBudget, "chaos-budget", 0.10, "chaos: max tolerated unavailable fraction")
+	fs.StringVar(&cfg.chaosCSV, "chaos-csv", "", "chaos: also append the report as a CSV artefact to this file")
 	lookups := fs.Int64("lookups", 100_000, "loadgen: total lookup target")
 	fs.DurationVar(&cfg.duration, "duration", 0, "loadgen: wall-clock cap (0 = none)")
 	fs.IntVar(&cfg.workers, "workers", 4, "loadgen: closed-loop client workers")
@@ -115,13 +156,17 @@ func run(args []string, out *os.File) error {
 	if err != nil {
 		return err
 	}
-	g, err := loadGraph(cfg)
+	if cfg.chaos {
+		return runChaos(cfg, out)
+	}
+	eng, warm, err := openEngine(cfg, out)
 	if err != nil {
 		return err
 	}
-	eng, err := serve.NewEngine(g, cfg.scheme)
-	if err != nil {
-		return err
+	if cfg.persist != "" && !warm {
+		if err := eng.EnablePersist(cfg.persist); err != nil {
+			return fmt.Errorf("enable persistence: %w", err)
+		}
 	}
 	srv := serve.NewServer(eng, serve.ServerOptions{
 		Shards:   cfg.shards,
@@ -133,7 +178,107 @@ func run(args []string, out *os.File) error {
 	if cfg.loadgen {
 		return runLoadgen(srv, cfg, out)
 	}
-	return serveHTTP(srv, cfg, out)
+	rep := serve.NewRepairer(srv, serve.RepairOptions{})
+	defer rep.Close()
+	return serveHTTP(srv, rep, cfg, out)
+}
+
+// openEngine builds the serving engine, warm-booting from the persistence
+// file when it exists and matches the requested scheme — same Seq,
+// byte-identical tables, no cold rebuild. warm reports whether persistence is
+// already re-enabled on the restored engine.
+func openEngine(cfg *config, out *os.File) (*serve.Engine, bool, error) {
+	if cfg.persist != "" {
+		if _, err := os.Stat(cfg.persist); err == nil {
+			eng, err := serve.RestoreEngine(cfg.persist)
+			switch {
+			case err != nil:
+				fmt.Fprintf(out, "routetabd: persisted snapshot unusable (%v), cold-building\n", err)
+			case eng.Scheme() != cfg.scheme:
+				fmt.Fprintf(out, "routetabd: persisted snapshot is %s, want %s; cold-building\n", eng.Scheme(), cfg.scheme)
+			default:
+				if err := eng.EnablePersist(cfg.persist); err != nil {
+					return nil, false, fmt.Errorf("re-enable persistence: %w", err)
+				}
+				snap := eng.Current()
+				fmt.Fprintf(out, "routetabd: warm boot from %s (seq=%d, n=%d)\n", cfg.persist, snap.Seq, snap.N())
+				return eng, true, nil
+			}
+		}
+	}
+	g, err := loadGraph(cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	eng, err := serve.NewEngine(g, cfg.scheme)
+	if err != nil {
+		return nil, false, err
+	}
+	return eng, false, nil
+}
+
+// runChaos executes the chaos harness in-process and renders a pass/fail
+// verdict: the JSON report always prints; a broken invariant exits non-zero.
+func runChaos(cfg *config, out *os.File) error {
+	rep, err := chaos.Run(chaos.Config{
+		N:                  cfg.n,
+		Seed:               cfg.seed,
+		Scheme:             cfg.scheme,
+		Lookups:            cfg.lookups,
+		Workers:            cfg.workers,
+		Stalls:             cfg.chaosStalls,
+		Drops:              cfg.chaosDrops,
+		Bursts:             cfg.chaosBursts,
+		Kills:              cfg.chaosKills,
+		PersistPath:        cfg.persist,
+		MaxUnavailableFrac: cfg.chaosBudget,
+	})
+	if rep == nil {
+		return err
+	}
+	blob, merr := json.MarshalIndent(rep, "", "  ")
+	if merr != nil {
+		return merr
+	}
+	fmt.Fprintln(out, string(blob))
+	if cfg.chaosCSV != "" {
+		if werr := writeChaosCSV(cfg.chaosCSV, rep); werr != nil {
+			return werr
+		}
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "chaos ok: %s\n", rep)
+	return nil
+}
+
+// writeChaosCSV appends rep to path, writing the header only when the file
+// is new — so a sweep over schemes accumulates one artefact.
+func writeChaosCSV(path string, rep *chaos.Report) error {
+	if st, err := os.Stat(path); err == nil && st.Size() > 0 {
+		f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		var buf bytes.Buffer
+		if err := chaos.WriteCSV(&buf, []*chaos.Report{rep}); err != nil {
+			return err
+		}
+		body := buf.String()
+		if i := strings.IndexByte(body, '\n'); i >= 0 {
+			body = body[i+1:] // drop the header row when appending
+		}
+		_, err = f.WriteString(body)
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return chaos.WriteCSV(f, []*chaos.Report{rep})
 }
 
 // runLoadgen drives the in-process closed loop and renders a pass/fail JSON
@@ -169,12 +314,12 @@ func runLoadgen(srv *serve.Server, cfg *config, out *os.File) error {
 }
 
 // serveHTTP runs the daemon until SIGINT/SIGTERM, then drains gracefully.
-func serveHTTP(srv *serve.Server, cfg *config, out *os.File) error {
+func serveHTTP(srv *serve.Server, rep *serve.Repairer, cfg *config, out *os.File) error {
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: newHandler(srv)}
+	hs := &http.Server{Handler: newHandler(srv, rep)}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	fmt.Fprintf(out, "routetabd: serving %s (n=%d, seq=%d) on %s\n",
@@ -196,13 +341,14 @@ func serveHTTP(srv *serve.Server, cfg *config, out *os.File) error {
 	return nil
 }
 
-// api is the HTTP facade over one server.
+// api is the HTTP facade over one server and its repairer.
 type api struct {
 	srv *serve.Server
+	rep *serve.Repairer
 }
 
-func newHandler(srv *serve.Server) http.Handler {
-	a := &api{srv: srv}
+func newHandler(srv *serve.Server, rep *serve.Repairer) http.Handler {
+	a := &api{srv: srv, rep: rep}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /nexthop", a.nexthop)
 	mux.HandleFunc("GET /route", a.route)
@@ -211,6 +357,7 @@ func newHandler(srv *serve.Server) http.Handler {
 	mux.HandleFunc("GET /healthz", a.healthz)
 	mux.HandleFunc("POST /mutate", a.mutate)
 	mux.HandleFunc("POST /swap", a.swap)
+	mux.HandleFunc("POST /fail", a.fail)
 	return mux
 }
 
@@ -234,21 +381,31 @@ func intParam(r *http.Request, name string) (int, error) {
 	return v, nil
 }
 
-// lookupJSON is one lookup's wire form.
+// lookupJSON is one lookup's wire form. Degraded marks a failure-overlay
+// detour (bounded within +2 hops of the snapshot distance); RetryAfterMs
+// carries the shed hint for 429s at millisecond resolution, alongside the
+// coarser integral-seconds Retry-After header.
 type lookupJSON struct {
-	Src      int    `json:"src"`
-	Dst      int    `json:"dst"`
-	Next     int    `json:"next,omitempty"`
-	Dist     int    `json:"dist"`
-	NextDist int    `json:"next_dist"`
-	Seq      uint64 `json:"snapshot_seq"`
-	Error    string `json:"error,omitempty"`
+	Src          int     `json:"src"`
+	Dst          int     `json:"dst"`
+	Next         int     `json:"next,omitempty"`
+	Dist         int     `json:"dist"`
+	NextDist     int     `json:"next_dist"`
+	Seq          uint64  `json:"snapshot_seq"`
+	Degraded     bool    `json:"degraded,omitempty"`
+	RetryAfterMs float64 `json:"retry_after_ms,omitempty"`
+	Error        string  `json:"error,omitempty"`
 }
 
 func toJSON(src, dst int, res serve.Result) lookupJSON {
-	l := lookupJSON{Src: src, Dst: dst, Next: res.Next, Dist: res.Dist, NextDist: res.NextDist, Seq: res.Seq}
+	l := lookupJSON{Src: src, Dst: dst, Next: res.Next, Dist: res.Dist,
+		NextDist: res.NextDist, Seq: res.Seq, Degraded: res.Degraded}
 	if res.Err != nil {
 		l.Error = res.Err.Error()
+	}
+	var oe *serve.OverloadedError
+	if errors.As(res.Err, &oe) {
+		l.RetryAfterMs = float64(oe.RetryAfter.Microseconds()) / 1000
 	}
 	return l
 }
@@ -259,10 +416,27 @@ func statusOf(res serve.Result) int {
 		return http.StatusOK
 	case errors.Is(res.Err, serve.ErrOverloaded):
 		return http.StatusTooManyRequests
-	case errors.Is(res.Err, serve.ErrClosed):
+	case errors.Is(res.Err, serve.ErrUnavailable), errors.Is(res.Err, serve.ErrClosed):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusBadRequest
+	}
+}
+
+// setRetryAfter adds the standard Retry-After header (integral seconds,
+// rounded up — the hint is sub-second, the header cannot be) on responses
+// that reject with backpressure.
+func setRetryAfter(w http.ResponseWriter, res serve.Result) {
+	var oe *serve.OverloadedError
+	switch {
+	case errors.As(res.Err, &oe):
+		secs := int64(oe.RetryAfter+time.Second-1) / int64(time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	case errors.Is(res.Err, serve.ErrOverloaded), errors.Is(res.Err, serve.ErrClosed):
+		w.Header().Set("Retry-After", "1")
 	}
 }
 
@@ -278,6 +452,7 @@ func (a *api) nexthop(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res := a.srv.NextHop(src, dst)
+	setRetryAfter(w, res)
 	writeJSON(w, statusOf(res), toJSON(src, dst, res))
 }
 
@@ -341,14 +516,66 @@ func (a *api) metrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (a *api) healthz(w http.ResponseWriter, _ *http.Request) {
-	snap := a.srv.Engine().Current()
+	eng := a.srv.Engine()
+	snap := eng.Current()
+	saves, failures, lastErr := eng.PersistStats()
+	body := map[string]any{
+		"ok":               true,
+		"scheme":           snap.SchemeName(),
+		"n":                snap.N(),
+		"snapshot_seq":     snap.Seq,
+		"swaps":            eng.Swaps(),
+		"space_bits":       snap.SpaceBits(),
+		"persist_saves":    saves,
+		"persist_failures": failures,
+	}
+	if lastErr != nil {
+		body["persist_last_error"] = lastErr.Error()
+	}
+	if a.rep != nil {
+		// Staleness > 0 means the snapshot still routes through failed links
+		// and degraded detours are covering the gap until the rebuild lands.
+		body["repair_staleness"] = a.rep.Staleness()
+		body["degraded"] = a.rep.Staleness() > 0
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// failRequest is the POST /fail body: a link or node failure (or repair)
+// event, the HTTP face of the faultinject.Target the repairer implements.
+type failRequest struct {
+	Kind string `json:"kind"` // link | node
+	U    int    `json:"u"`
+	V    int    `json:"v"`
+	Down bool   `json:"down"`
+}
+
+func (a *api) fail(w http.ResponseWriter, r *http.Request) {
+	if a.rep == nil {
+		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("no repairer attached"))
+		return
+	}
+	var req failRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var err error
+	switch req.Kind {
+	case "link":
+		err = a.rep.SetLinkDown(req.U, req.V, req.Down)
+	case "node":
+		err = a.rep.SetNodeDown(req.U, req.Down)
+	default:
+		err = fmt.Errorf("unknown kind %q (link|node)", req.Kind)
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"ok":           true,
-		"scheme":       snap.SchemeName(),
-		"n":            snap.N(),
-		"snapshot_seq": snap.Seq,
-		"swaps":        a.srv.Engine().Swaps(),
-		"space_bits":   snap.SpaceBits(),
+		"ok":               true,
+		"repair_staleness": a.rep.Staleness(),
 	})
 }
 

@@ -25,8 +25,12 @@ func testHandler(t *testing.T, n int, scheme string) (http.Handler, *serve.Serve
 		t.Fatal(err)
 	}
 	srv := serve.NewServer(eng, serve.ServerOptions{Shards: 2})
-	t.Cleanup(srv.Close)
-	return newHandler(srv), srv
+	rep := serve.NewRepairer(srv, serve.RepairOptions{})
+	t.Cleanup(func() {
+		rep.Close()
+		srv.Close()
+	})
+	return newHandler(srv, rep), srv
 }
 
 func getJSON(t *testing.T, h http.Handler, method, target string, body string) (int, map[string]any) {
@@ -173,6 +177,106 @@ func TestLoadgenMode(t *testing.T) {
 	text := buf.String()
 	if !strings.Contains(text, "\"qps\"") || !strings.Contains(text, "loadgen ok") {
 		t.Fatalf("loadgen output: %s", text)
+	}
+}
+
+// TestFailEndpoint drives the repairer over HTTP: a link failure must be
+// accepted, reflected in healthz as degraded staleness, and still leave every
+// lookup answerable (correct or bounded-degraded); the repair event must
+// return the daemon to a healthy state.
+func TestFailEndpoint(t *testing.T) {
+	h, _ := testHandler(t, 48, "fulltable")
+	code, body := getJSON(t, h, "POST", "/fail", `{"kind":"link","u":1,"v":2,"down":true}`)
+	if code != http.StatusOK {
+		t.Fatalf("fail: %d %v", code, body)
+	}
+	// Whatever route the scheme picks for 1→2 now, it must not cross 1-2.
+	code, body = getJSON(t, h, "GET", "/nexthop?src=1&dst=2", "")
+	if code == http.StatusOK && int(body["next"].(float64)) == 2 {
+		t.Fatalf("lookup still forwards over the failed link: %v", body)
+	}
+	code, body = getJSON(t, h, "POST", "/fail", `{"kind":"link","u":1,"v":2,"down":false}`)
+	if code != http.StatusOK {
+		t.Fatalf("repair: %d %v", code, body)
+	}
+	if code, body := getJSON(t, h, "POST", "/fail", `{"kind":"teapot","u":1}`); code != http.StatusBadRequest {
+		t.Fatalf("bad kind accepted: %d %v", code, body)
+	}
+	if code, body := getJSON(t, h, "POST", "/fail", `{"kind":"node","u":4900,"down":true}`); code != http.StatusBadRequest {
+		t.Fatalf("out-of-range node accepted: %d %v", code, body)
+	}
+	if code, body := getJSON(t, h, "GET", "/healthz", ""); code != http.StatusOK || body["repair_staleness"] == nil {
+		t.Fatalf("healthz missing repair fields: %d %v", code, body)
+	}
+}
+
+// TestPersistWarmBoot runs the loadgen CLI twice against one persistence
+// file: the second run must warm-boot from the snapshot instead of
+// cold-building.
+func TestPersistWarmBoot(t *testing.T) {
+	dir := t.TempDir()
+	snap := dir + "/snap.rtsnap"
+	for i, want := range []string{"loadgen ok", "warm boot"} {
+		out, err := os.CreateTemp(dir, "out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = run([]string{"-loadgen", "-n", "32", "-seed", "1", "-lookups", "2000",
+			"-workers", "2", "-persist", snap}, out)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if _, err := out.Seek(0, 0); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(out); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("run %d output missing %q: %s", i, want, buf.String())
+		}
+		out.Close()
+	}
+}
+
+// TestChaosMode runs the chaos CLI end to end with a small budget: it must
+// pass, print the verdict, and write the CSV artefact.
+func TestChaosMode(t *testing.T) {
+	dir := t.TempDir()
+	csv := dir + "/chaos.csv"
+	out, err := os.CreateTemp(dir, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	args := []string{"-chaos", "-n", "24", "-seed", "3", "-lookups", "20000", "-workers", "4",
+		"-chaos-stalls", "1", "-chaos-drops", "1", "-chaos-bursts", "2", "-chaos-kills", "1",
+		"-chaos-csv", csv}
+	if err := run(args, out); err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+	if _, err := out.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "chaos ok") || !strings.Contains(buf.String(), "\"incorrect\": 0") {
+		t.Fatalf("chaos output: %s", buf.String())
+	}
+	// The artefact must accumulate: a second append-run adds a row, one header.
+	if err := run(args, out); err != nil {
+		t.Fatalf("second chaos run: %v", err)
+	}
+	blob, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(blob)), "\n")
+	if len(lines) != 3 || !strings.HasPrefix(lines[0], "scheme,") {
+		t.Fatalf("csv artefact: %q", string(blob))
 	}
 }
 

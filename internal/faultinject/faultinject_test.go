@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"routetab/internal/gengraph"
@@ -258,5 +259,56 @@ func TestInjectorDrivesRealNetwork(t *testing.T) {
 	}
 	if _, err := nw.Send(1, 3); err != nil {
 		t.Fatalf("tick 2 (repaired): %v", err)
+	}
+}
+
+// TestPlanDeterministicUnderGOMAXPROCS: a plan — and the event sequence an
+// injector applies from it — is a pure function of (graph, config, seed),
+// independent of how many OS threads the runtime schedules on. This is the
+// contract that makes a chaos run's fault schedule reproducible on any CI
+// box.
+func TestPlanDeterministicUnderGOMAXPROCS(t *testing.T) {
+	g, err := gengraph.GnHalf(64, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := PlanConfig{LinkFailProb: 0.05, NodeCrashProb: 0.05, Horizon: 8, RepairAfter: 2}
+
+	runOnce := func(procs int) ([]Event, []string) {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		plan, err := RandomPlan(g, pc, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inj, err := New(Config{Seed: 77}, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := &recorder{}
+		inj.Bind(rec)
+		for tick := 0; tick <= pc.Horizon; tick += 2 {
+			if err := inj.AdvanceTo(tick); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := inj.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		return plan.Events, rec.log
+	}
+
+	wantEvents, wantLog := runOnce(1)
+	if len(wantEvents) == 0 {
+		t.Fatal("plan scheduled no events; determinism test is vacuous")
+	}
+	for _, procs := range []int{2, runtime.NumCPU()} {
+		events, log := runOnce(procs)
+		if !reflect.DeepEqual(events, wantEvents) {
+			t.Fatalf("GOMAXPROCS=%d changed the plan (%d vs %d events)", procs, len(events), len(wantEvents))
+		}
+		if !reflect.DeepEqual(log, wantLog) {
+			t.Fatalf("GOMAXPROCS=%d changed the applied event sequence", procs)
+		}
 	}
 }

@@ -33,6 +33,13 @@ type Pool struct {
 	closed bool
 	wg     sync.WaitGroup
 	depth  []atomic.Int64 // per-shard queue depth (observability)
+	panics atomic.Uint64  // recovered handler panics (observability)
+
+	// OnPanic, when set before the first submission, observes every
+	// recovered handler panic (shard, recovered value). The worker has
+	// already survived by the time it runs; it must not call back into the
+	// pool.
+	OnPanic func(shard int, recovered any)
 }
 
 // NewPool starts one worker per shard, each with a bounded queue of queueCap
@@ -109,6 +116,26 @@ func (p *Pool) Close() {
 	p.wg.Wait()
 }
 
+// Panics reports how many handler panics the pool has recovered from.
+func (p *Pool) Panics() uint64 { return p.panics.Load() }
+
+// dispatch hands one batch to the handler, surviving a handler panic: the
+// batch is lost to the handler (the handler owns per-item completion and
+// must arrange its own panic accounting if callers block on items), but the
+// worker goroutine lives on and Close's drain cannot deadlock on a dead
+// shard.
+func (p *Pool) dispatch(shard int, batch []any) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panics.Add(1)
+			if p.OnPanic != nil {
+				p.OnPanic(shard, r)
+			}
+		}
+	}()
+	p.handle(shard, batch)
+}
+
 // runShard is one worker's loop: take one item (blocking), then greedily
 // coalesce whatever else is immediately available, and hand the batch over.
 func (p *Pool) runShard(shard int) {
@@ -121,7 +148,7 @@ func (p *Pool) runShard(shard int) {
 			case next, ok := <-q:
 				if !ok {
 					p.depth[shard].Add(-int64(len(batch)))
-					p.handle(shard, batch)
+					p.dispatch(shard, batch)
 					return
 				}
 				batch = append(batch, next)
@@ -131,6 +158,6 @@ func (p *Pool) runShard(shard int) {
 		}
 	full:
 		p.depth[shard].Add(-int64(len(batch)))
-		p.handle(shard, batch)
+		p.dispatch(shard, batch)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // TestPoolDeliversEverything: every accepted item is handled exactly once,
@@ -143,5 +144,77 @@ func TestPoolCoalesces(t *testing.T) {
 	}
 	if !sawCoalesced {
 		t.Fatal("no batch was ever coalesced") // queue had ≥2 items while blocked
+	}
+}
+
+// TestPoolSurvivesHandlerPanic: a panicking handler loses its batch but must
+// not kill the shard worker — later submissions to the same shard are still
+// handled, Panics counts the recoveries, OnPanic observes them, and Close
+// drains without deadlocking on the shard that panicked.
+func TestPoolSurvivesHandlerPanic(t *testing.T) {
+	var handled atomic.Int64
+	var observed atomic.Int64
+	p := NewPool(2, 16, 4, func(_ int, batch []any) {
+		for _, it := range batch {
+			if it.(int) < 0 {
+				panic("poisoned item")
+			}
+		}
+		handled.Add(int64(len(batch)))
+	})
+	p.OnPanic = func(shard int, recovered any) {
+		if recovered == nil {
+			t.Error("OnPanic called with nil recovery")
+		}
+		observed.Add(1)
+	}
+	// Poison shard 0, then prove the same shard still works afterwards.
+	if !p.TrySubmit(0, -1) {
+		t.Fatal("poisoned submit rejected")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Panics() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("panic never recovered")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	const items = 200
+	accepted := int64(0)
+	for i := 0; i < items; i++ {
+		for !p.TrySubmit(i%2, i) {
+		}
+		accepted++
+	}
+	p.Close() // must not hang on a dead worker
+	if got := handled.Load(); got != accepted {
+		t.Fatalf("handled %d of %d items submitted after the panic", got, accepted)
+	}
+	if p.Panics() != 1 || observed.Load() != 1 {
+		t.Fatalf("panics=%d observed=%d, want 1/1", p.Panics(), observed.Load())
+	}
+}
+
+// TestPoolPanicDuringCloseDrain: items already queued behind a poisoned one
+// are still handled when the panic happens inside Close's drain.
+func TestPoolPanicDuringCloseDrain(t *testing.T) {
+	block := make(chan struct{})
+	var handled atomic.Int64
+	p := NewPool(1, 16, 1, func(_ int, batch []any) {
+		<-block
+		if batch[0].(int) < 0 {
+			panic("poisoned item")
+		}
+		handled.Add(int64(len(batch)))
+	})
+	for _, it := range []int{1, -1, 2, 3} {
+		if !p.TrySubmit(0, it) {
+			t.Fatal("submit rejected")
+		}
+	}
+	close(block)
+	p.Close()
+	if handled.Load() != 3 || p.Panics() != 1 {
+		t.Fatalf("handled=%d panics=%d, want 3 handled with 1 recovery", handled.Load(), p.Panics())
 	}
 }

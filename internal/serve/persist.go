@@ -1,0 +1,357 @@
+// Snapshot persistence: a deterministic binary codec for serving snapshots
+// plus crash-safe save/load, so a restarted daemon recovers the last
+// published snapshot byte-identically instead of cold-rebuilding it.
+//
+// The file layout is a magic string followed by four framed sections — HEAD
+// (seq, scheme, n), EGRF (the paper's canonical E(G) edge bits), PORT (the
+// per-node port→neighbour tables), DIST (the packed all-pairs byte matrix) —
+// each carrying its own length and CRC-32C, so torn or bit-flipped files are
+// rejected at decode rather than served. Writes go through a temp file and an
+// atomic rename: a crash mid-save can never corrupt the previous good file.
+//
+// Determinism: Encode is a pure function of the snapshot's logical content
+// (little-endian, no maps iterated, no timestamps), so the golden-file test
+// can pin the format and two engines that published byte-identical tables
+// persist byte-identical files.
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"routetab/internal/graph"
+	"routetab/internal/routing"
+	"routetab/internal/shortestpath"
+)
+
+// ErrBadSnapshotFile reports a snapshot file that failed structural or
+// checksum validation.
+var ErrBadSnapshotFile = errors.New("serve: bad snapshot file")
+
+// snapMagic identifies format version 1; bump it on any layout change.
+var snapMagic = [8]byte{'R', 'T', 'S', 'N', 'A', 'P', '1', '\n'}
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on amd64/arm64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Section tags, in mandatory file order.
+var (
+	tagHead = [4]byte{'H', 'E', 'A', 'D'}
+	tagGraf = [4]byte{'E', 'G', 'R', 'F'}
+	tagPort = [4]byte{'P', 'O', 'R', 'T'}
+	tagDist = [4]byte{'D', 'I', 'S', 'T'}
+)
+
+// maxSectionLen bounds a section frame so a corrupt length field cannot ask
+// the decoder to allocate gigabytes (n=4096 DIST is 16 MiB; 256 MiB is head
+// room, not a target).
+const maxSectionLen = 256 << 20
+
+// SnapshotData is the decoded content of a persisted snapshot: everything a
+// deterministic rebuild needs to reproduce the published tables without
+// recomputing distances.
+type SnapshotData struct {
+	Seq    uint64
+	Scheme string
+	Graph  *graph.Graph
+	Ports  *graph.Ports
+	Dist   *shortestpath.Distances
+}
+
+// writeSection frames one payload: tag, length, CRC-32C, bytes.
+func writeSection(w io.Writer, tag [4]byte, payload []byte) error {
+	var hdr [12]byte
+	copy(hdr[:4], tag[:])
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[8:12], crc32.Checksum(payload, crcTable))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readSection reads and checksums one framed payload, enforcing the tag.
+func readSection(r io.Reader, tag [4]byte) ([]byte, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: section %s header: %v", ErrBadSnapshotFile, tag, err)
+	}
+	if !bytes.Equal(hdr[:4], tag[:]) {
+		return nil, fmt.Errorf("%w: section tag %q, want %q", ErrBadSnapshotFile, hdr[:4], tag)
+	}
+	length := binary.LittleEndian.Uint32(hdr[4:8])
+	if length > maxSectionLen {
+		return nil, fmt.Errorf("%w: section %s claims %d bytes", ErrBadSnapshotFile, tag, length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: section %s body: %v", ErrBadSnapshotFile, tag, err)
+	}
+	if got, want := crc32.Checksum(payload, crcTable), binary.LittleEndian.Uint32(hdr[8:12]); got != want {
+		return nil, fmt.Errorf("%w: section %s checksum %08x, want %08x", ErrBadSnapshotFile, tag, got, want)
+	}
+	return payload, nil
+}
+
+// EncodeSnapshot writes s in the persistent format. The output is a pure
+// function of (Seq, Scheme, graph, ports, distances).
+func EncodeSnapshot(w io.Writer, s *Snapshot) error {
+	if _, err := w.Write(snapMagic[:]); err != nil {
+		return err
+	}
+	n := s.Graph.N()
+
+	head := make([]byte, 0, 16+len(s.Scheme))
+	head = binary.LittleEndian.AppendUint64(head, s.Seq)
+	head = binary.LittleEndian.AppendUint32(head, uint32(n))
+	head = binary.LittleEndian.AppendUint16(head, uint16(len(s.Scheme)))
+	head = append(head, s.Scheme...)
+	if err := writeSection(w, tagHead, head); err != nil {
+		return err
+	}
+
+	code := s.Graph.EncodeBytes()
+	egrf := make([]byte, 0, 4+len(code))
+	egrf = binary.LittleEndian.AppendUint32(egrf, uint32(s.Graph.M()))
+	egrf = append(egrf, code...)
+	if err := writeSection(w, tagGraf, egrf); err != nil {
+		return err
+	}
+
+	var ports []byte
+	for u := 1; u <= n; u++ {
+		row := s.Ports.NeighborsByPort(u)
+		ports = binary.LittleEndian.AppendUint32(ports, uint32(len(row)))
+		for _, v := range row {
+			ports = binary.LittleEndian.AppendUint32(ports, uint32(v))
+		}
+	}
+	if err := writeSection(w, tagPort, ports); err != nil {
+		return err
+	}
+
+	return writeSection(w, tagDist, s.Dist.Packed())
+}
+
+// DecodeSnapshot parses and validates a persisted snapshot. Every structural
+// claim is checked (magic, tags, lengths, CRCs, port-table consistency
+// against the decoded graph), so feeding it arbitrary bytes returns an error,
+// never a corrupt serving state.
+func DecodeSnapshot(r io.Reader) (*SnapshotData, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: magic: %v", ErrBadSnapshotFile, err)
+	}
+	if magic != snapMagic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadSnapshotFile, magic[:])
+	}
+
+	head, err := readSection(r, tagHead)
+	if err != nil {
+		return nil, err
+	}
+	if len(head) < 14 {
+		return nil, fmt.Errorf("%w: HEAD of %d bytes", ErrBadSnapshotFile, len(head))
+	}
+	seq := binary.LittleEndian.Uint64(head[0:8])
+	n := int(binary.LittleEndian.Uint32(head[8:12]))
+	schemeLen := int(binary.LittleEndian.Uint16(head[12:14]))
+	if len(head) != 14+schemeLen {
+		return nil, fmt.Errorf("%w: HEAD of %d bytes, want %d", ErrBadSnapshotFile, len(head), 14+schemeLen)
+	}
+	scheme := string(head[14:])
+	if !KnownScheme(scheme) {
+		return nil, fmt.Errorf("%w: unknown scheme %q", ErrBadSnapshotFile, scheme)
+	}
+	// n=4096 (the largest sweep scale) costs a 16 MiB DIST section; cap well
+	// above it so a corrupt HEAD cannot demand absurd allocations.
+	if n < 0 || n > 1<<16 {
+		return nil, fmt.Errorf("%w: n = %d", ErrBadSnapshotFile, n)
+	}
+
+	egrf, err := readSection(r, tagGraf)
+	if err != nil {
+		return nil, err
+	}
+	wantBytes := (graph.EdgeCodeLen(n) + 7) / 8
+	if len(egrf) != 4+wantBytes {
+		return nil, fmt.Errorf("%w: EGRF of %d bytes, want %d", ErrBadSnapshotFile, len(egrf), 4+wantBytes)
+	}
+	m := int(binary.LittleEndian.Uint32(egrf[0:4]))
+	g, err := graph.DecodeBytes(egrf[4:], n)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshotFile, err)
+	}
+	if g.M() != m {
+		return nil, fmt.Errorf("%w: %d edges decoded, header says %d", ErrBadSnapshotFile, g.M(), m)
+	}
+
+	portsRaw, err := readSection(r, tagPort)
+	if err != nil {
+		return nil, err
+	}
+	ports, err := decodePorts(g, portsRaw)
+	if err != nil {
+		return nil, err
+	}
+
+	distRaw, err := readSection(r, tagDist)
+	if err != nil {
+		return nil, err
+	}
+	if len(distRaw) != n*n {
+		return nil, fmt.Errorf("%w: DIST of %d bytes, want %d", ErrBadSnapshotFile, len(distRaw), n*n)
+	}
+	dm, err := shortestpath.FromPacked(n, distRaw)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshotFile, err)
+	}
+
+	return &SnapshotData{Seq: seq, Scheme: scheme, Graph: g, Ports: ports, Dist: dm}, nil
+}
+
+// decodePorts rebuilds a port assignment from its wire form, expressing it as
+// per-node permutations of the sorted neighbour list so graph.PermutedPorts
+// performs the bijection validation.
+func decodePorts(g *graph.Graph, raw []byte) (*graph.Ports, error) {
+	n := g.N()
+	perms := make([][]int, n+1)
+	off := 0
+	u32 := func() (uint32, bool) {
+		if off+4 > len(raw) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(raw[off : off+4])
+		off += 4
+		return v, true
+	}
+	for u := 1; u <= n; u++ {
+		deg, ok := u32()
+		if !ok || int(deg) != g.Degree(u) {
+			return nil, fmt.Errorf("%w: PORT degree of node %d", ErrBadSnapshotFile, u)
+		}
+		sorted := g.Neighbors(u)
+		index := make(map[int]int, len(sorted))
+		for i, v := range sorted {
+			index[v] = i
+		}
+		perm := make([]int, deg)
+		for i := range perm {
+			v, ok := u32()
+			if !ok {
+				return nil, fmt.Errorf("%w: PORT truncated at node %d", ErrBadSnapshotFile, u)
+			}
+			idx, adj := index[int(v)]
+			if !adj {
+				return nil, fmt.Errorf("%w: PORT of node %d lists non-neighbour %d", ErrBadSnapshotFile, u, v)
+			}
+			perm[i] = idx
+		}
+		perms[u] = perm
+	}
+	if off != len(raw) {
+		return nil, fmt.Errorf("%w: PORT has %d trailing bytes", ErrBadSnapshotFile, len(raw)-off)
+	}
+	ports, err := graph.PermutedPorts(g, perms)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshotFile, err)
+	}
+	return ports, nil
+}
+
+// SaveSnapshot writes s to path crash-safely: encode to a unique temp file in
+// the same directory, fsync, then atomically rename over path. Readers (and
+// a process that crashes mid-save) only ever observe complete files.
+func SaveSnapshot(path string, s *Snapshot) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	var buf bytes.Buffer
+	if err := EncodeSnapshot(&buf, s); err != nil {
+		return err
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}
+
+// LoadSnapshot reads and validates the snapshot file at path.
+func LoadSnapshot(path string) (*SnapshotData, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeSnapshot(f)
+}
+
+// RestoreEngine rebuilds a serving engine from a persisted snapshot without
+// recomputing distances: the persisted packed matrix is adopted as ground
+// truth (and seeded into the engine's rebuild cache), the scheme is
+// reconstructed from (graph, ports, matrix) under the determinism contract of
+// DESIGN.md §8, and the restored snapshot publishes with its original Seq so
+// later mutations continue the sequence.
+func RestoreEngine(path string) (*Engine, error) {
+	sd, err := LoadSnapshot(path)
+	if err != nil {
+		return nil, err
+	}
+	scheme, err := BuildScheme(sd.Scheme, sd.Graph, sd.Ports, sd.Dist)
+	if err != nil {
+		return nil, fmt.Errorf("serve: restoring %s: %w", path, err)
+	}
+	sim, err := routing.NewSim(sd.Graph, sd.Ports, scheme)
+	if err != nil {
+		return nil, fmt.Errorf("serve: restoring %s: %w", path, err)
+	}
+	e := &Engine{
+		g:      sd.Graph,
+		scheme: sd.Scheme,
+		cache:  shortestpath.NewCache(2),
+	}
+	e.cache.Put(sd.Graph, sd.Dist)
+	snap := &Snapshot{
+		Seq:      sd.Seq,
+		Scheme:   sd.Scheme,
+		Graph:    sd.Graph,
+		Ports:    sd.Ports,
+		Dist:     sd.Dist,
+		scheme:   scheme,
+		sim:      sim,
+		hopLimit: routing.DefaultHopLimit(sd.Graph.N()),
+	}
+	e.cur.Store(snap)
+	e.swaps.Store(sd.Seq)
+	return e, nil
+}

@@ -1,0 +1,335 @@
+// Self-healing churn repair: the Repairer consumes link/node failure events
+// (it implements faultinject.Target, so a seeded fault plan drives it through
+// an Injector exactly like netsim), publishes them immediately as a failure
+// overlay the server's answer path detours around, and schedules an off-path
+// incremental rebuild that removes failed links from the topology and
+// atomically swaps the repaired snapshot in.
+//
+// The split matters for availability: overlay poisoning is O(1) and takes
+// effect on the very next lookup (degraded detours, netsim-style, valid on
+// the paper's diameter-2 graphs), while the rebuild — the only path that
+// restores stretch-1 answers — runs on its own goroutine through the same
+// Engine.Mutate machinery as any other topology change. The gap between the
+// two is the staleness budget, exposed as serve_repair_staleness.
+//
+// Node crashes stay overlay-only (the label space {1,…,n} is fixed, so a
+// crashed node cannot leave the graph); link failures are incorporated into
+// the rebuilt topology and their overlay entries dropped once the swap lands.
+// A rebuild that would disconnect the graph is refused and retried after
+// further repair events — the service keeps answering degraded rather than
+// publishing a snapshot with unreachable destinations.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"routetab/internal/graph"
+	"routetab/internal/serve/metrics"
+)
+
+// ErrRepairClosed reports an event delivered after Repairer.Close.
+var ErrRepairClosed = errors.New("serve: repairer closed")
+
+// overlay is one immutable failure view, published whole via an atomic
+// pointer (nil = healthy, the zero-cost steady state). Links are keyed
+// u<<32|v with u<v.
+type overlay struct {
+	links map[uint64]bool
+	nodes map[int]bool
+	// pending counts down links not yet incorporated into the published
+	// snapshot — the staleness figure.
+	pending int
+}
+
+func linkKey(u, v int) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)<<32 | uint64(v)
+}
+
+func (o *overlay) linkDown(u, v int) bool { return len(o.links) > 0 && o.links[linkKey(u, v)] }
+func (o *overlay) nodeDown(u int) bool    { return len(o.nodes) > 0 && o.nodes[u] }
+
+// RepairOptions configures a Repairer.
+type RepairOptions struct {
+	// Debounce is how long the rebuild worker waits after an event before
+	// rebuilding, so a churn burst coalesces into one rebuild instead of
+	// one per link (default 2ms; negative rebuilds immediately).
+	Debounce time.Duration
+}
+
+func (o *RepairOptions) setDefaults() {
+	if o.Debounce == 0 {
+		o.Debounce = 2 * time.Millisecond
+	}
+	if o.Debounce < 0 {
+		o.Debounce = 0
+	}
+}
+
+// Repairer is the serving layer's churn-repair loop. Wire failure events to
+// SetLinkDown/SetNodeDown (or bind a faultinject.Injector to it); it keeps
+// the server answering — degraded where necessary — while folding link
+// changes into rebuilt snapshots off the hot path.
+type Repairer struct {
+	srv  *Server
+	opts RepairOptions
+
+	mu           sync.Mutex
+	downLinks    map[uint64][2]int // desired-down links
+	downNodes    map[int]bool      // desired-down nodes (overlay-only)
+	incorporated map[uint64][2]int // links currently removed from the engine topology
+	closed       bool
+
+	rebuildMu sync.Mutex // serialises rebuild attempts (loop vs Flush)
+	kick      chan struct{}
+	done      chan struct{}
+	wg        sync.WaitGroup
+
+	events    *metrics.Counter
+	rebuilds  *metrics.Counter
+	failures  *metrics.Counter
+	rebuildNs *metrics.Histogram
+}
+
+// NewRepairer attaches a repair loop to srv and registers its metrics on the
+// server's registry. Close it before closing the server.
+func NewRepairer(srv *Server, opts RepairOptions) *Repairer {
+	opts.setDefaults()
+	reg := srv.Metrics()
+	r := &Repairer{
+		srv:          srv,
+		opts:         opts,
+		downLinks:    make(map[uint64][2]int),
+		downNodes:    make(map[int]bool),
+		incorporated: make(map[uint64][2]int),
+		kick:         make(chan struct{}, 1),
+		done:         make(chan struct{}),
+		events:       reg.Counter("serve_repair_events_total"),
+		rebuilds:     reg.Counter("serve_repair_rebuilds_total"),
+		failures:     reg.Counter("serve_repair_failures_total"),
+		rebuildNs:    reg.Histogram("serve_repair_rebuild_ns", metrics.ExponentialBounds(1<<14, 22)), // ~16µs … ~34s
+	}
+	reg.GaugeFunc("serve_repair_staleness", func() int64 { return int64(r.Staleness()) })
+	reg.GaugeFunc("serve_overlay_links_down", func() int64 {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return int64(len(r.downLinks))
+	})
+	reg.GaugeFunc("serve_overlay_nodes_down", func() int64 {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return int64(len(r.downNodes))
+	})
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.loop()
+	}()
+	return r
+}
+
+// SetLinkDown implements faultinject.Target: mark the link uv failed (or
+// repaired). The overlay updates before this returns — the very next lookup
+// detours — and a rebuild is scheduled.
+func (r *Repairer) SetLinkDown(u, v int, isDown bool) error {
+	n := r.srv.eng.Current().N()
+	if u < 1 || u > n || v < 1 || v > n || u == v {
+		return fmt.Errorf("serve: repair event on invalid link %d-%d (n=%d)", u, v, n)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrRepairClosed
+	}
+	if isDown {
+		r.downLinks[linkKey(u, v)] = [2]int{u, v}
+	} else {
+		delete(r.downLinks, linkKey(u, v))
+	}
+	r.publishLocked()
+	r.mu.Unlock()
+	r.events.Inc()
+	r.schedule()
+	return nil
+}
+
+// SetNodeDown implements faultinject.Target: mark node u crashed (or
+// recovered). Node state lives in the overlay only; the rebuild keeps the
+// full label space.
+func (r *Repairer) SetNodeDown(u int, isDown bool) error {
+	n := r.srv.eng.Current().N()
+	if u < 1 || u > n {
+		return fmt.Errorf("serve: repair event on invalid node %d (n=%d)", u, n)
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrRepairClosed
+	}
+	if isDown {
+		r.downNodes[u] = true
+	} else {
+		delete(r.downNodes, u)
+	}
+	r.publishLocked()
+	r.mu.Unlock()
+	r.events.Inc()
+	return nil
+}
+
+// publishLocked derives and atomically publishes the overlay from the
+// desired state. Caller holds r.mu. A fully healthy, fully incorporated
+// state publishes nil, restoring the zero-cost hot path.
+func (r *Repairer) publishLocked() {
+	if len(r.downLinks) == 0 && len(r.downNodes) == 0 && len(r.incorporated) == 0 {
+		r.srv.overlay.Store(nil)
+		return
+	}
+	ov := &overlay{
+		links: make(map[uint64]bool, len(r.downLinks)),
+		nodes: make(map[int]bool, len(r.downNodes)),
+	}
+	for k := range r.downLinks {
+		ov.links[k] = true
+		if _, ok := r.incorporated[k]; !ok {
+			ov.pending++
+		}
+	}
+	for u := range r.downNodes {
+		ov.nodes[u] = true
+	}
+	r.srv.overlay.Store(ov)
+}
+
+// Staleness reports how many failed links the published snapshot has not yet
+// been rebuilt around — the freshness debt degraded detours are covering.
+func (r *Repairer) Staleness() int {
+	if ov := r.srv.overlay.Load(); ov != nil {
+		return ov.pending
+	}
+	return 0
+}
+
+// schedule nudges the rebuild worker (coalescing: one pending nudge is
+// enough — the worker always reads the latest desired state).
+func (r *Repairer) schedule() {
+	select {
+	case r.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Flush runs one synchronous rebuild of everything recorded so far and
+// returns its error — the deterministic hook tests and the chaos harness
+// use between phases.
+func (r *Repairer) Flush() error { return r.rebuild() }
+
+// Close stops the rebuild worker. Events after Close return ErrRepairClosed;
+// the overlay stays as-is (the server may outlive the repairer briefly
+// during teardown).
+func (r *Repairer) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		r.wg.Wait()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	close(r.done)
+	r.wg.Wait()
+}
+
+// loop is the rebuild worker: debounce after a nudge, then rebuild. Failed
+// rebuilds (e.g. a removal that would disconnect the graph) stay pending and
+// retry on the next event.
+func (r *Repairer) loop() {
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-r.kick:
+		}
+		if r.opts.Debounce > 0 {
+			timer := time.NewTimer(r.opts.Debounce)
+			select {
+			case <-r.done:
+				timer.Stop()
+				return
+			case <-timer.C:
+			}
+		}
+		_ = r.rebuild() // recorded in metrics; retried on the next event
+	}
+}
+
+// rebuild folds the desired link state into the topology through one
+// Engine.Mutate (remove newly failed links, restore repaired ones), refusing
+// mutations that would disconnect the graph. On success the incorporated set
+// catches up with the desired set and the overlay's pending debt drops to
+// zero.
+func (r *Repairer) rebuild() error {
+	r.rebuildMu.Lock()
+	defer r.rebuildMu.Unlock()
+
+	r.mu.Lock()
+	toRemove := make([][2]int, 0, len(r.downLinks))
+	for k, e := range r.downLinks {
+		if _, ok := r.incorporated[k]; !ok {
+			toRemove = append(toRemove, e)
+		}
+	}
+	toAdd := make([][2]int, 0)
+	for k, e := range r.incorporated {
+		if _, ok := r.downLinks[k]; !ok {
+			toAdd = append(toAdd, e)
+		}
+	}
+	r.mu.Unlock()
+	if len(toRemove) == 0 && len(toAdd) == 0 {
+		return nil
+	}
+
+	start := time.Now()
+	_, err := r.srv.eng.Mutate(func(g *graph.Graph) error {
+		for _, e := range toAdd {
+			if err := g.AddEdge(e[0], e[1]); err != nil {
+				return err
+			}
+		}
+		for _, e := range toRemove {
+			if err := g.RemoveEdge(e[0], e[1]); err != nil {
+				return err
+			}
+		}
+		if !g.IsConnected() {
+			return fmt.Errorf("serve: repair rebuild would disconnect the graph (%d links down)", len(toRemove))
+		}
+		return nil
+	})
+	r.rebuildNs.Observe(time.Since(start).Nanoseconds())
+	if err != nil {
+		r.failures.Inc()
+		return err
+	}
+	r.rebuilds.Inc()
+
+	r.mu.Lock()
+	for _, e := range toRemove {
+		r.incorporated[linkKey(e[0], e[1])] = e
+	}
+	for _, e := range toAdd {
+		delete(r.incorporated, linkKey(e[0], e[1]))
+	}
+	r.publishLocked()
+	r.mu.Unlock()
+	return nil
+}

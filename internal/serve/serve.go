@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"routetab/internal/graph"
 	"routetab/internal/routing"
@@ -35,13 +36,42 @@ import (
 // Errors.
 var (
 	// ErrOverloaded indicates a lookup was shed because its shard queue was
-	// full (explicit backpressure, never silent drops).
+	// full (explicit backpressure, never silent drops). Sheds carry a
+	// *OverloadedError with a retry-after hint; errors.Is against this
+	// sentinel matches both forms.
 	ErrOverloaded = errors.New("serve: server overloaded, lookup rejected")
 	// ErrClosed indicates a lookup arrived after Close started draining.
 	ErrClosed = errors.New("serve: server closed")
 	// ErrSelfLookup indicates src == dst (there is no next hop to yourself).
 	ErrSelfLookup = errors.New("serve: source equals destination")
+	// ErrUnavailable indicates a lookup that could not be answered even in
+	// degraded mode: the destination (or every candidate detour) is behind
+	// failed links or crashed nodes the repairer has not yet routed around.
+	// Temporary by construction — repair or rebuild clears it.
+	ErrUnavailable = errors.New("serve: temporarily unavailable, no live route")
+	// ErrPanicked indicates the lookup's worker panicked mid-answer. The
+	// batch fails, the shard worker survives, and the caller gets a definite
+	// per-pair answer instead of a hung WaitGroup.
+	ErrPanicked = errors.New("serve: lookup worker panicked")
 )
+
+// OverloadedError is the structured form of a shed: which shard rejected the
+// lookup and a heuristic hint for how long the caller should back off before
+// retrying (a full-queue drain estimate from the shard's recent service
+// rate). It matches errors.Is(err, ErrOverloaded), so existing callers keep
+// working; callers that care unwrap with errors.As.
+type OverloadedError struct {
+	Shard      int
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("serve: shard %d overloaded, retry after %v", e.Shard, e.RetryAfter)
+}
+
+// Is reports equivalence to the ErrOverloaded sentinel.
+func (e *OverloadedError) Is(target error) bool { return target == ErrOverloaded }
 
 // Router is the uniform query interface every built scheme serves behind:
 // queries address nodes by their original index, and label translation (e.g.
@@ -118,12 +148,21 @@ func (s *Snapshot) SpaceBits() int {
 // snapshot. All mutations serialise on an internal mutex (rebuilds are the
 // slow path); readers only ever touch the atomic pointer.
 type Engine struct {
-	mu     sync.Mutex // serialises Mutate/Reload
+	mu     sync.Mutex // serialises Mutate/Reload and guards persistPath
 	g      *graph.Graph
 	scheme string
 	cache  *shortestpath.Cache
 	cur    atomic.Pointer[Snapshot]
 	swaps  atomic.Uint64
+
+	// Crash-safe persistence (EnablePersist): every published snapshot is
+	// saved to persistPath via an atomic temp-file rename. A failed save
+	// never blocks publication — serving availability beats durability —
+	// but is recorded for the daemon to surface.
+	persistPath     string
+	persists        atomic.Uint64
+	persistFailures atomic.Uint64
+	persistErr      atomic.Pointer[error]
 }
 
 // NewEngine builds the first snapshot of g under the named scheme and returns
@@ -188,6 +227,50 @@ func (e *Engine) Mutate(fn func(g *graph.Graph) error) (*Snapshot, error) {
 // for picking up builder changes in tests.
 func (e *Engine) Reload() (*Snapshot, error) { return e.Mutate(nil) }
 
+// EnablePersist saves the current snapshot to path now and every later
+// published snapshot as it is swapped in. The first save's error is returned
+// (a broken path should fail loudly at setup); later save failures are
+// recorded (PersistStats) without blocking publication.
+func (e *Engine) EnablePersist(path string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.persistPath = path
+	return e.saveLocked(e.cur.Load())
+}
+
+// DisablePersist stops saving published snapshots. It waits for any in-flight
+// mutation (and its save) to finish, so after it returns the engine writes to
+// the file no more — the handover point when another engine takes over the
+// path after a restore.
+func (e *Engine) DisablePersist() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.persistPath = ""
+}
+
+// PersistStats reports persistence health: successful saves, failed saves,
+// and the most recent failure (nil when none).
+func (e *Engine) PersistStats() (saves, failures uint64, last error) {
+	if p := e.persistErr.Load(); p != nil {
+		last = *p
+	}
+	return e.persists.Load(), e.persistFailures.Load(), last
+}
+
+// saveLocked persists snap if persistence is enabled. Caller holds e.mu.
+func (e *Engine) saveLocked(snap *Snapshot) error {
+	if e.persistPath == "" || snap == nil {
+		return nil
+	}
+	if err := SaveSnapshot(e.persistPath, snap); err != nil {
+		e.persistFailures.Add(1)
+		e.persistErr.Store(&err)
+		return err
+	}
+	e.persists.Add(1)
+	return nil
+}
+
 // rebuildLocked builds a snapshot from e.g and publishes it. Caller holds
 // e.mu.
 func (e *Engine) rebuildLocked() (*Snapshot, error) {
@@ -217,5 +300,8 @@ func (e *Engine) rebuildLocked() (*Snapshot, error) {
 	}
 	e.cur.Store(snap)
 	e.swaps.Add(1)
+	// Durability follows publication: a save failure is recorded, not fatal
+	// (the previous good file stays in place thanks to the atomic rename).
+	_ = e.saveLocked(snap)
 	return snap, nil
 }

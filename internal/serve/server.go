@@ -30,6 +30,20 @@ type ServerOptions struct {
 	// 128; negative disables sampling). Sampling keeps the p99 budget: a
 	// full route costs stretch× the table reads of a next-hop answer.
 	StretchSampleEvery int
+	// BreakerThreshold is how many consecutive failed submissions trip a
+	// shard's circuit breaker open (default 16; negative disables the
+	// breaker). While open, that shard's lookups shed to sibling shards —
+	// a stalled worker degrades throughput instead of cliffing it.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker stays open before the
+	// next submission probes the shard again (default 5ms).
+	BreakerCooldown time.Duration
+	// ChaosHook, when set, runs at the start of every worker batch — the
+	// chaos harness's injection point. The hook may sleep (emulating a
+	// stalled shard) and may return true to drop the whole batch: its jobs
+	// fail with *OverloadedError (a definite per-pair answer, graded as a
+	// shed, never a silent drop). Production servers leave it nil.
+	ChaosHook func(shard int) (drop bool)
 }
 
 func (o *ServerOptions) setDefaults() {
@@ -48,18 +62,28 @@ func (o *ServerOptions) setDefaults() {
 	if o.StretchSampleEvery < 0 {
 		o.StretchSampleEvery = 0
 	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 16
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 5 * time.Millisecond
+	}
 }
 
 // Result is one lookup's answer, self-contained enough to validate: Next is
 // the scheme's forwarding decision, Dist and NextDist are the serving
 // snapshot's ground-truth distances src→dst and next→dst, and Seq names the
 // snapshot that answered. For a shortest-path scheme NextDist == Dist−1 on
-// every correct answer, whichever snapshot served it.
+// every correct answer, whichever snapshot served it — unless Degraded is
+// set, in which case the scheme's hop was poisoned by a failure overlay and
+// Next is a live detour bounded by 1+NextDist ≤ Dist+2 (valid on the paper's
+// diameter-2 graphs, where any live neighbour is ≤ 2 hops from anywhere).
 type Result struct {
 	Next     int
 	Dist     int
 	NextDist int
 	Seq      uint64
+	Degraded bool
 	Err      error
 }
 
@@ -88,6 +112,14 @@ func (j *job) pos(k int) int {
 	return k
 }
 
+// breaker is one shard's circuit breaker: consecutive submission failures
+// trip it open until a cooldown deadline; the first submission at or past the
+// deadline is the half-open probe, and its success closes the breaker.
+type breaker struct {
+	fails     atomic.Int32
+	openUntil atomic.Int64 // unix nanos; 0 = closed
+}
+
 // Server is the sharded, batching query front end over an Engine. Submit
 // with NextHop or LookupBatch; Close drains accepted work before returning.
 type Server struct {
@@ -96,15 +128,30 @@ type Server struct {
 	pool *par.Pool
 	reg  *metrics.Registry
 
-	lookups  *metrics.Counter // answered lookups (errors included)
-	rejects  *metrics.Counter // lookups shed by backpressure
-	errored  *metrics.Counter // lookups answered with a routing error
-	batches  *metrics.Counter // worker wake-ups (coalesced runs)
-	latency  *metrics.Histogram
-	batchSz  *metrics.Histogram
-	stretchH *metrics.Histogram
-	sampleCt atomic.Uint64
-	closed   atomic.Bool
+	// overlay is the failure view published by the Repairer: links and nodes
+	// currently known down but possibly still present in the serving
+	// snapshot's tables. nil (the steady state) costs the hot path one
+	// atomic load.
+	overlay atomic.Pointer[overlay]
+
+	breakers []breaker
+	avgJobNs atomic.Int64 // EWMA of per-job handler service time
+
+	lookups     *metrics.Counter   // answered lookups (errors included)
+	rejects     *metrics.Counter   // lookups shed by backpressure
+	errored     *metrics.Counter   // lookups answered with a routing error
+	degraded    *metrics.Counter   // lookups answered via a failure-overlay detour
+	unavailable *metrics.Counter   // lookups with no live route even degraded
+	batches     *metrics.Counter   // worker wake-ups (coalesced runs)
+	trips       *metrics.Counter   // breaker trips (closed→open transitions)
+	shunts      *metrics.Counter   // jobs redirected off an open-breaker shard
+	panics      *metrics.Counter   // recovered worker panics
+	shardSheds  []*metrics.Counter // sheds attributed to each primary shard
+	latency     *metrics.Histogram
+	batchSz     *metrics.Histogram
+	stretchH    *metrics.Histogram
+	sampleCt    atomic.Uint64
+	closed      atomic.Bool
 }
 
 // NewServer starts the shard workers over eng's snapshots.
@@ -112,19 +159,39 @@ func NewServer(eng *Engine, opts ServerOptions) *Server {
 	opts.setDefaults()
 	reg := metrics.NewRegistry()
 	s := &Server{
-		eng:      eng,
-		opts:     opts,
-		reg:      reg,
-		lookups:  reg.Counter("serve_lookups_total"),
-		rejects:  reg.Counter("serve_rejects_total"),
-		errored:  reg.Counter("serve_errors_total"),
-		batches:  reg.Counter("serve_batches_total"),
-		latency:  reg.Histogram("serve_latency_ns", metrics.ExponentialBounds(1024, 24)), // ~1µs … ~8.6s
-		batchSz:  reg.Histogram("serve_batch_pairs", metrics.ExponentialBounds(1, 14)),   // 1 … 8192
-		stretchH: reg.Histogram("serve_stretch_x1000", []int64{1000, 1100, 1250, 1500, 2000, 3000, 5000, 10000}),
+		eng:         eng,
+		opts:        opts,
+		reg:         reg,
+		breakers:    make([]breaker, opts.Shards),
+		lookups:     reg.Counter("serve_lookups_total"),
+		rejects:     reg.Counter("serve_rejects_total"),
+		errored:     reg.Counter("serve_errors_total"),
+		degraded:    reg.Counter("serve_degraded_total"),
+		unavailable: reg.Counter("serve_unavailable_total"),
+		batches:     reg.Counter("serve_batches_total"),
+		trips:       reg.Counter("serve_breaker_trips_total"),
+		shunts:      reg.Counter("serve_breaker_shunts_total"),
+		panics:      reg.Counter("serve_worker_panics_total"),
+		latency:     reg.Histogram("serve_latency_ns", metrics.ExponentialBounds(1024, 24)), // ~1µs … ~8.6s
+		batchSz:     reg.Histogram("serve_batch_pairs", metrics.ExponentialBounds(1, 14)),   // 1 … 8192
+		stretchH:    reg.Histogram("serve_stretch_x1000", []int64{1000, 1100, 1250, 1500, 2000, 3000, 5000, 10000}),
+	}
+	s.shardSheds = make([]*metrics.Counter, opts.Shards)
+	for i := range s.shardSheds {
+		s.shardSheds[i] = reg.Counter(fmt.Sprintf("serve_sheds_shard_%d", i))
 	}
 	reg.GaugeFunc("serve_snapshot_seq", func() int64 { return int64(eng.Current().Seq) })
 	reg.GaugeFunc("serve_swaps", func() int64 { return int64(eng.Swaps()) })
+	reg.GaugeFunc("serve_breakers_open", func() int64 {
+		now := time.Now().UnixNano()
+		open := int64(0)
+		for i := range s.breakers {
+			if u := s.breakers[i].openUntil.Load(); u != 0 && now < u {
+				open++
+			}
+		}
+		return open
+	})
 	s.pool = par.NewPool(opts.Shards, opts.QueueCap, opts.MaxBatch, s.runBatch)
 	return s
 }
@@ -193,53 +260,204 @@ func (s *Server) lookupInto(pairs [][2]int, out []Result) {
 	wg.Wait()
 }
 
-// submit queues j on shard or, on backpressure, fails its pairs in place.
+// breakerOpen reports whether shard's breaker currently rejects submissions.
+// At or past the cooldown deadline the breaker admits one half-open probe.
+func (s *Server) breakerOpen(shard int, now int64) bool {
+	u := s.breakers[shard].openUntil.Load()
+	return u != 0 && now < u
+}
+
+// noteSubmitOK records a successful submission: consecutive-failure count
+// resets and an open breaker (half-open probe succeeded) closes.
+func (s *Server) noteSubmitOK(shard int) {
+	b := &s.breakers[shard]
+	b.fails.Store(0)
+	if b.openUntil.Load() != 0 {
+		b.openUntil.Store(0)
+	}
+}
+
+// noteSubmitFail records a failed submission and trips the breaker open once
+// consecutive failures reach the threshold.
+func (s *Server) noteSubmitFail(shard int, now int64) {
+	if s.opts.BreakerThreshold < 0 {
+		return
+	}
+	b := &s.breakers[shard]
+	if int(b.fails.Add(1)) >= s.opts.BreakerThreshold {
+		b.fails.Store(0)
+		b.openUntil.Store(now + s.opts.BreakerCooldown.Nanoseconds())
+		s.trips.Inc()
+	}
+}
+
+// submit queues j on its primary shard, falls back to sibling shards while
+// the primary's breaker is open (or its queue full), and on total
+// backpressure fails the job's pairs in place with a structured overload
+// error carrying a retry-after hint.
 func (s *Server) submit(shard int, j *job) {
 	j.wg.Add(1)
-	if !s.closed.Load() && s.pool.TrySubmit(shard, j) {
-		return
+	if !s.closed.Load() {
+		now := time.Now().UnixNano()
+		if !s.breakerOpen(shard, now) {
+			if s.pool.TrySubmit(shard, j) {
+				s.noteSubmitOK(shard)
+				return
+			}
+			s.noteSubmitFail(shard, now)
+		}
+		// Primary unavailable (open breaker or full queue): shed sideways.
+		// Sibling shards run independent workers, so a single stalled shard
+		// degrades locality, not availability.
+		for off := 1; off < s.opts.Shards; off++ {
+			sib := (shard + off) % s.opts.Shards
+			if s.breakerOpen(sib, now) {
+				continue
+			}
+			if s.pool.TrySubmit(sib, j) {
+				s.noteSubmitOK(sib)
+				s.shunts.Inc()
+				return
+			}
+			s.noteSubmitFail(sib, now)
+		}
 	}
 	// Shed: answer every pair right here — the caller always gets a
 	// definite answer per pair, never a silent drop.
-	failure := ErrOverloaded
+	var failure error
 	if s.closed.Load() {
 		failure = ErrClosed
+	} else {
+		failure = &OverloadedError{Shard: shard, RetryAfter: s.retryAfterHint()}
 	}
+	s.failJob(j, shard, failure)
+}
+
+// failJob answers every pair of j with failure and releases its waiter.
+func (s *Server) failJob(j *job, shard int, failure error) {
 	n := j.len()
 	for k := 0; k < n; k++ {
 		j.out[j.pos(k)] = Result{Err: failure}
 	}
 	s.rejects.Add(uint64(n))
+	s.shardSheds[shard].Add(uint64(n))
 	j.wg.Done()
 }
 
+// retryAfterHint estimates how long a full shard queue takes to drain:
+// queue capacity × the EWMA per-job service time, clamped to a sane band.
+// A hint, not a promise — the point is that callers back off proportionally
+// to observed service rate instead of hammering a saturated shard.
+func (s *Server) retryAfterHint() time.Duration {
+	per := s.avgJobNs.Load()
+	if per <= 0 {
+		per = int64(10 * time.Microsecond)
+	}
+	d := time.Duration(per * int64(s.opts.QueueCap))
+	const lo, hi = 100 * time.Microsecond, 50 * time.Millisecond
+	if d < lo {
+		d = lo
+	}
+	if d > hi {
+		d = hi
+	}
+	return d
+}
+
 // runBatch is the shard worker handler: one snapshot acquisition answers the
-// whole coalesced run.
-func (s *Server) runBatch(_ int, batch []any) {
+// whole coalesced run. A panic anywhere in the batch (scheme code, chaos
+// hook) fails the remaining jobs with ErrPanicked instead of deadlocking
+// their waiters; the pool's own recovery then keeps the worker alive.
+func (s *Server) runBatch(shard int, batch []any) {
+	done := 0
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Inc()
+			err := fmt.Errorf("%w: %v", ErrPanicked, r)
+			for _, it := range batch[done:] {
+				j := it.(*job)
+				n := j.len()
+				for k := 0; k < n; k++ {
+					j.out[j.pos(k)] = Result{Err: err}
+				}
+				s.errored.Add(uint64(n))
+				j.wg.Done()
+			}
+		}
+	}()
+	if h := s.opts.ChaosHook; h != nil && h(shard) {
+		// Injected batch drop: every job still gets a definite shed answer.
+		done = len(batch)
+		for _, it := range batch {
+			s.failJob(it.(*job), shard, &OverloadedError{Shard: shard, RetryAfter: s.retryAfterHint()})
+		}
+		return
+	}
+	svcStart := time.Now()
 	snap := s.eng.Current()
 	total := 0
 	for _, it := range batch {
 		j := it.(*job)
-		n := j.len()
-		total += n
-		for k := 0; k < n; k++ {
-			p := j.pairs[j.pos(k)]
-			j.out[j.pos(k)] = s.answer(snap, p[0], p[1])
+		done++
+		total += s.runJob(snap, j)
+	}
+	if len(batch) > 0 {
+		// EWMA (⅞ old, ⅛ new) of per-job service time feeds retry-after
+		// hints; racy read-modify-write is fine for a heuristic.
+		cur := time.Since(svcStart).Nanoseconds() / int64(len(batch))
+		old := s.avgJobNs.Load()
+		if old == 0 {
+			s.avgJobNs.Store(cur)
+		} else {
+			s.avgJobNs.Store(old - old/8 + cur/8)
 		}
-		s.latency.Observe(time.Since(j.start).Nanoseconds())
-		j.wg.Done()
 	}
 	s.batches.Inc()
 	s.batchSz.Observe(int64(total))
 	s.lookups.Add(uint64(total))
 }
 
-// answer resolves one lookup against one snapshot.
+// runJob answers one job's pairs under snap and releases its waiter, counting
+// the pairs answered. A panic inside one lookup fails that job's remaining
+// pairs but not the rest of the batch.
+func (s *Server) runJob(snap *Snapshot, j *job) int {
+	n := j.len()
+	k := 0
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Inc()
+			err := fmt.Errorf("%w: %v", ErrPanicked, r)
+			for ; k < n; k++ {
+				j.out[j.pos(k)] = Result{Seq: snap.Seq, Err: err}
+				s.errored.Inc()
+			}
+		}
+		s.latency.Observe(time.Since(j.start).Nanoseconds())
+		j.wg.Done()
+	}()
+	for ; k < n; k++ {
+		p := j.pairs[j.pos(k)]
+		j.out[j.pos(k)] = s.answer(snap, p[0], p[1])
+	}
+	return n
+}
+
+// answer resolves one lookup against one snapshot, consulting the failure
+// overlay: a next hop across a down link or into a down node is replaced by
+// a live detour (degraded mode) until the repairer's rebuild lands.
 func (s *Server) answer(snap *Snapshot, src, dst int) Result {
+	ov := s.overlay.Load()
+	if ov != nil && (ov.nodeDown(dst) || ov.nodeDown(src)) {
+		s.unavailable.Inc()
+		return Result{Seq: snap.Seq, Err: fmt.Errorf("%w: node down", ErrUnavailable)}
+	}
 	next, err := snap.NextHop(src, dst)
 	if err != nil {
 		s.errored.Inc()
 		return Result{Seq: snap.Seq, Err: err}
+	}
+	if ov != nil && (ov.nodeDown(next) || ov.linkDown(src, next)) {
+		return s.detour(snap, ov, src, dst)
 	}
 	res := Result{
 		Next:     next,
@@ -251,6 +469,46 @@ func (s *Server) answer(snap *Snapshot, src, dst int) Result {
 		s.sampleStretch(snap, src, dst, res.Dist)
 	}
 	return res
+}
+
+// detour serves a degraded answer around a poisoned next hop: the live
+// neighbour of src closest to dst under the snapshot's ground truth, accepted
+// only within the degraded stretch budget 1+d(w,dst) ≤ d(src,dst)+2. On the
+// paper's diameter-2 graphs (Lemma 2) a live common neighbour always
+// satisfies the budget, so detours exist whenever src retains any live link
+// on a shortest-or-near path — otherwise the lookup is honestly unavailable
+// rather than silently wrong.
+func (s *Server) detour(snap *Snapshot, ov *overlay, src, dst int) Result {
+	bestW, bestD := 0, -1
+	for _, w := range snap.Graph.Neighbors(src) {
+		if ov.linkDown(src, w) || ov.nodeDown(w) {
+			continue
+		}
+		if w == dst {
+			bestW, bestD = w, 0
+			break
+		}
+		d := snap.Dist.Dist(w, dst)
+		if d == shortestpath.Unreachable {
+			continue
+		}
+		if bestD < 0 || d < bestD {
+			bestW, bestD = w, d
+		}
+	}
+	dist := snap.Dist.Dist(src, dst)
+	if bestD < 0 || (dist >= 0 && 1+bestD > dist+2) {
+		s.unavailable.Inc()
+		return Result{Seq: snap.Seq, Err: fmt.Errorf("%w: no detour within budget at %d→%d", ErrUnavailable, src, dst)}
+	}
+	s.degraded.Inc()
+	return Result{
+		Next:     bestW,
+		Dist:     dist,
+		NextDist: bestD,
+		Seq:      snap.Seq,
+		Degraded: true,
+	}
 }
 
 // sampleStretch full-routes one lookup and records hops/dist ×1000 — the

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestServerChaosHookDrop: a dropping hook shed the whole batch with
+// structured overload errors (retry-after attached), counted per shard, and
+// the server keeps serving once the hook relents.
+func TestServerChaosHookDrop(t *testing.T) {
+	var dropping atomic.Bool
+	s := newTestServer(t, 32, 43, "fulltable", ServerOptions{
+		Shards:    1,
+		ChaosHook: func(int) bool { return dropping.Load() },
+	})
+	dropping.Store(true)
+	res := s.NextHop(1, 9)
+	var oe *OverloadedError
+	if !errors.As(res.Err, &oe) {
+		t.Fatalf("dropped lookup error: %v", res.Err)
+	}
+	if !errors.Is(res.Err, ErrOverloaded) {
+		t.Fatal("structured shed does not match ErrOverloaded")
+	}
+	if oe.RetryAfter <= 0 {
+		t.Fatalf("shed without retry-after hint: %+v", oe)
+	}
+	if got := s.Metrics().Counter("serve_sheds_shard_0").Value(); got == 0 {
+		t.Fatal("per-shard shed counter not incremented")
+	}
+	dropping.Store(false)
+	if res := s.NextHop(1, 9); res.Err != nil {
+		t.Fatalf("server did not recover after drop window: %v", res.Err)
+	}
+}
+
+// TestServerSurvivesAnswerPanic: a panicking hook must fail the affected
+// lookups with ErrPanicked — definite answers, no deadlocked waiters — and
+// leave the worker alive for later lookups.
+func TestServerSurvivesAnswerPanic(t *testing.T) {
+	var bomb atomic.Bool
+	s := newTestServer(t, 32, 47, "fulltable", ServerOptions{
+		Shards: 1,
+		ChaosHook: func(int) bool {
+			if bomb.Load() {
+				panic("chaos bomb")
+			}
+			return false
+		},
+	})
+	bomb.Store(true)
+	done := make(chan Result, 1)
+	go func() { done <- s.NextHop(1, 9) }()
+	select {
+	case res := <-done:
+		if !errors.Is(res.Err, ErrPanicked) {
+			t.Fatalf("panicked lookup error: %v", res.Err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("lookup deadlocked on a panicked worker")
+	}
+	if got := s.Metrics().Counter("serve_worker_panics_total").Value(); got == 0 {
+		t.Fatal("panic not counted")
+	}
+	bomb.Store(false)
+	if res := s.NextHop(1, 9); res.Err != nil {
+		t.Fatalf("server did not survive the panic: %v", res.Err)
+	}
+}
+
+// TestServerBreakerTripsAndShunts: stall one of two shards while hammering
+// it past its queue capacity — the breaker must trip, overflow must shunt to
+// the sibling shard (still answered, still correct), and the breaker must
+// close again after the stall.
+func TestServerBreakerTripsAndShunts(t *testing.T) {
+	stallUntil := time.Now().Add(50 * time.Millisecond)
+	var stalling atomic.Bool
+	s := newTestServer(t, 32, 53, "fulltable", ServerOptions{
+		Shards:           2,
+		QueueCap:         2,
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Millisecond,
+		ChaosHook: func(shard int) bool {
+			if shard == 0 && stalling.Load() {
+				if d := time.Until(stallUntil); d > 0 {
+					time.Sleep(d)
+				}
+			}
+			return false
+		},
+	})
+	stalling.Store(true)
+	// Sources ≡ 0 mod 2 land on shard 0. 16 concurrent clients overflow its
+	// 2-slot queue; the breaker trips and the rest shunt to shard 1.
+	var wg sync.WaitGroup
+	var served, shed atomic.Int64
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 20; k++ {
+				res := s.NextHop(2, 9)
+				switch {
+				case res.Err == nil:
+					if res.NextDist != res.Dist-1 {
+						t.Errorf("shunted answer wrong: %+v", res)
+					}
+					served.Add(1)
+				case errors.Is(res.Err, ErrOverloaded):
+					shed.Add(1)
+					time.Sleep(100 * time.Microsecond)
+				default:
+					t.Errorf("unexpected error: %v", res.Err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	stalling.Store(false)
+	if s.Metrics().Counter("serve_breaker_trips_total").Value() == 0 {
+		t.Fatal("breaker never tripped under stall")
+	}
+	if s.Metrics().Counter("serve_breaker_shunts_total").Value() == 0 {
+		t.Fatal("no lookups shunted to the sibling shard")
+	}
+	if served.Load() == 0 {
+		t.Fatal("stall cliffed availability to zero despite a healthy sibling")
+	}
+	// After the stall the breaker's half-open probe must close it again.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if res := s.NextHop(2, 9); res.Err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never closed after the stall cleared")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRetryAfterHintTracksServiceTime: the hint is positive, bounded, and
+// scales with queue capacity.
+func TestRetryAfterHintTracksServiceTime(t *testing.T) {
+	s := newTestServer(t, 32, 59, "fulltable", ServerOptions{Shards: 1, QueueCap: 4})
+	for i := 0; i < 100; i++ {
+		if res := s.NextHop(1, 9); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	hint := s.retryAfterHint()
+	if hint < 100*time.Microsecond || hint > 50*time.Millisecond {
+		t.Fatalf("retry-after hint %v outside clamp band", hint)
+	}
+}

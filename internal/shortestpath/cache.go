@@ -73,6 +73,16 @@ func (c *Cache) entry(g *graph.Graph) *cacheEntry {
 	return e
 }
 
+// Put seeds the cache with a precomputed matrix for g at its current version,
+// so later AllPairs calls hit instead of recomputing. A snapshot restored from
+// disk uses this to hand its persisted matrix to the engine's cache — the
+// "no cold rebuild on restart" half of the persistence contract. Put is a
+// no-op when an entry for (g, version) already exists.
+func (c *Cache) Put(g *graph.Graph, dm *Distances) {
+	e := c.entry(g)
+	e.once.Do(func() { e.dm = dm })
+}
+
 // Len reports the number of cached matrices (for tests).
 func (c *Cache) Len() int {
 	c.mu.Lock()

@@ -192,6 +192,26 @@ func packDist(d int) uint8 {
 // N returns the number of nodes the matrix covers.
 func (d *Distances) N() int { return d.n }
 
+// Packed exposes the matrix's row-major packed byte form (one byte per pair,
+// unreachable pairs as 0xFF). The returned slice aliases the matrix's storage
+// — callers must treat it as read-only. The serving layer's crash-safe
+// snapshot persistence writes exactly these bytes, which is what makes its
+// "byte-identical recovery" contract checkable.
+func (d *Distances) Packed() []uint8 { return d.d }
+
+// FromPacked wraps a packed row-major byte matrix (as produced by Packed) for
+// n nodes. The slice is adopted, not copied; the caller must not mutate it
+// afterwards.
+func FromPacked(n int, packed []uint8) (*Distances, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("%w: n = %d", ErrNodeRange, n)
+	}
+	if len(packed) != n*n {
+		return nil, fmt.Errorf("shortestpath: packed matrix has %d bytes, want %d for n=%d", len(packed), n*n, n)
+	}
+	return &Distances{n: n, d: packed}, nil
+}
+
 // Dist returns d(u,v) (saturated at MaxDistance), or Unreachable for
 // disconnected or invalid pairs.
 func (d *Distances) Dist(u, v int) int {
