@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify lint vet build test race smoke benchsmoke loadsmoke chaos bench loadbench chaosbench clean
+.PHONY: verify lint vet build test race smoke benchsmoke loadsmoke chaos cluster bench loadbench chaosbench clusterbench clean
 
-verify: lint vet build test race smoke benchsmoke loadsmoke chaos
+verify: lint vet build test race smoke benchsmoke loadsmoke chaos cluster
 
 # gofmt -l exits 0 even when files need formatting, so fail on any output.
 lint:
@@ -38,7 +38,7 @@ smoke:
 # cache, E13 sweep, serving-layer load); keeps the bench harness from
 # rotting between releases.
 benchsmoke:
-	$(GO) run ./cmd/benchjson -quick -sections bfs,cache,resilience,serve,chaos \
+	$(GO) run ./cmd/benchjson -quick -sections bfs,cache,resilience,serve,chaos,cluster \
 		-out $(or $(TMPDIR),/tmp)/bench_smoke.json
 
 # Seconds-scale serving smoke through routetabd's loadgen mode: fixed seed,
@@ -55,6 +55,15 @@ loadsmoke:
 chaos:
 	$(GO) run ./cmd/routetabd -chaos -n 48 -seed 1 -lookups 60000 \
 		-workers 4 -chaos-stalls 2 -chaos-drops 2 -chaos-bursts 5 -chaos-kills 1
+
+# Seconds-scale replicated chaos gate: a primary + two replicas on a small
+# graph surviving replica partitions, a WAL corruption, a WAL truncation,
+# and a primary kill + promotion; exits non-zero on any incorrect answer,
+# sub-99% availability, or tables that are not byte-identical at quiesce.
+# The full artefact is docs/cluster_n256.csv (E16).
+cluster:
+	$(GO) run ./cmd/routetabd -cluster-chaos -n 32 -seed 1 -replicas 2 \
+		-lookups 40000 -workers 4
 
 # Regenerates the checked-in PR 2 performance artefact (see EXPERIMENTS.md
 # for the methodology; numbers are host-dependent).
@@ -75,6 +84,14 @@ loadbench:
 chaosbench:
 	$(GO) run ./cmd/benchjson -sections chaos \
 		-artefact BENCH_pr4 -out BENCH_pr4.json
+
+# Regenerates the PR 5 cluster artefact (EXPERIMENTS.md E16): a three-member
+# G(256,1/2) cluster per scheme under client-side failover, surviving
+# replica partitions, WAL corruption/truncation, and a primary kill +
+# promotion — recording per-member QPS, failover latency, and replay lag.
+clusterbench:
+	$(GO) run ./cmd/benchjson -sections cluster \
+		-artefact BENCH_pr5 -out BENCH_pr5.json
 
 clean:
 	$(GO) clean ./...

@@ -17,6 +17,13 @@
 //	  kill+restore cycles; the run fails on any incorrect answer, any detour
 //	  beyond +2 hops, any non-byte-identical restore, or a broken
 //	  unavailability budget.
+//	BENCH_pr5.json  (`make clusterbench`): -sections cluster
+//	  replicated cluster chaos reports (per-member QPS, failover latency
+//	  after a primary kill + promotion, WAL replay lag, resync count) for a
+//	  three-member G(256, 1/2) cluster per scheme, surviving replica
+//	  partitions, WAL corruption/truncation, and a primary kill; the run
+//	  fails on any incorrect answer, sub-99% availability, or tables that
+//	  are not byte-identical at quiesce.
 //
 // `make verify` runs the -quick one-iteration smoke over every section so
 // the measured paths stay exercised.
@@ -72,6 +79,11 @@ type Report struct {
 	// the +2-hop budget, any restore was not byte-identical, or
 	// unavailability broke its budget.
 	Chaos []*chaos.Report `json:"chaos,omitempty"`
+	// Cluster carries the replicated cluster chaos reports (section
+	// "cluster"): per-member QPS, failover latency, WAL replay lag, and
+	// resync counts for a primary + replicas group surviving partitions,
+	// WAL corruption/truncation, and a primary kill + promotion.
+	Cluster []*chaos.ClusterReport `json:"cluster,omitempty"`
 	// BitsetSpeedupN1024 is list ns/op ÷ bitset ns/op on G(1024, 1/2) —
 	// the PR 2 tentpole acceptance ratio (must be ≥ 3). Section "bfs".
 	BitsetSpeedupN1024 float64 `json:"bitset_speedup_n1024,omitempty"`
@@ -81,7 +93,7 @@ type Report struct {
 }
 
 // knownSections lists every measurement group benchjson understands.
-var knownSections = []string{"bfs", "cache", "resilience", "serve", "chaos"}
+var knownSections = []string{"bfs", "cache", "resilience", "serve", "chaos", "cluster"}
 
 func parseSections(csv string) (map[string]bool, error) {
 	known := map[string]bool{}
@@ -276,6 +288,32 @@ func runSuite(quick bool, artefact string, sections map[string]bool) (*Report, e
 				return nil, fmt.Errorf("chaos %s: %w", scheme, err)
 			}
 			rep.Chaos = append(rep.Chaos, crep)
+		}
+	}
+
+	// Replicated cluster chaos: a primary + two replicas on G(256, 1/2) per
+	// scheme under client-side failover, surviving replica partitions, WAL
+	// corruption/truncation, and a primary kill + promotion (quick: one
+	// replica on G(24, 1/2), 10k lookups). Headline figures are per-member
+	// QPS, failover latency, and WAL replay lag.
+	if sections["cluster"] {
+		n, replicas, lookups, workers := 256, 2, uint64(200_000), 6
+		if quick {
+			n, replicas, lookups, workers = 24, 1, 10_000, 2
+		}
+		for _, scheme := range []string{"fulltable", "compact"} {
+			crep, err := chaos.RunCluster(chaos.ClusterConfig{
+				N:        n,
+				Seed:     1,
+				Scheme:   scheme,
+				Replicas: replicas,
+				Lookups:  lookups,
+				Workers:  workers,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("cluster %s: %w", scheme, err)
+			}
+			rep.Cluster = append(rep.Cluster, crep)
 		}
 	}
 

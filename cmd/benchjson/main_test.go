@@ -135,3 +135,34 @@ func TestChaosSection(t *testing.T) {
 		}
 	}
 }
+
+// TestClusterSection runs the quick replicated-cluster section: both schemes
+// must survive the full chaos sequence (partition, corruption, truncation,
+// primary kill + promotion) with zero incorrect answers and byte-identical
+// tables, and the failover headline figures must be recorded.
+func TestClusterSection(t *testing.T) {
+	rep, err := runSuite(true, "BENCH_pr5", sectionSet(t, "cluster"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cluster) != 2 {
+		t.Fatalf("cluster reports: %d, want 2", len(rep.Cluster))
+	}
+	for _, c := range rep.Cluster {
+		if c.Incorrect != 0 {
+			t.Errorf("%s: %d incorrect answers", c.Scheme, c.Incorrect)
+		}
+		if !c.Promoted || c.FinalEpoch != 2 {
+			t.Errorf("%s: promoted=%v epoch=%d", c.Scheme, c.Promoted, c.FinalEpoch)
+		}
+		if c.FailoverNs <= 0 {
+			t.Errorf("%s: failover latency not measured", c.Scheme)
+		}
+		if !c.DigestsConverged || !c.TablesIdentical {
+			t.Errorf("%s: digests=%v identical=%v", c.Scheme, c.DigestsConverged, c.TablesIdentical)
+		}
+		if len(c.PerMember) == 0 || c.QPS <= 0 {
+			t.Errorf("%s: per-member accounting missing: %+v", c.Scheme, c.PerMember)
+		}
+	}
+}

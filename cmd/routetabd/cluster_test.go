@@ -1,0 +1,250 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"routetab/internal/cluster"
+	"routetab/internal/gengraph"
+	"routetab/internal/serve"
+	"routetab/internal/serve/chaos"
+)
+
+// primaryAPI builds a full primary daemon facade (engine + server + repairer
+// wrapped in a cluster.Primary) the way run() does in serving mode.
+func primaryAPI(t *testing.T, n int, walKeep int) (*api, *cluster.Primary) {
+	t.Helper()
+	g, err := gengraph.GnHalf(n, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := serve.NewEngine(g, "fulltable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.NewServer(eng, serve.ServerOptions{Shards: 2})
+	rep := serve.NewRepairer(srv, serve.RepairOptions{})
+	pri, err := cluster.NewPrimary(eng, srv, rep, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		pri.Close()
+		rep.Close()
+		srv.Close()
+	})
+	return &api{srv: srv, rep: rep, pri: pri, walKeep: walKeep}, pri
+}
+
+// TestDaemonRolesAndPromotion exercises the daemon's cluster face end to end
+// over real HTTP: a replica joins through /cluster/*, rejects mutation with
+// 409, then takes over in place via POST /promote.
+func TestDaemonRolesAndPromotion(t *testing.T) {
+	pa, pri := primaryAPI(t, 32, 0)
+	pts := httptest.NewServer(newHandler(pa))
+	defer pts.Close()
+
+	rpl, err := cluster.JoinReplica(cluster.NewHTTPSource(pts.URL, nil), cluster.ReplicaOptions{})
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	defer rpl.Close()
+	ra := &api{srv: rpl.Server(), rep: rpl.Repairer(), rpl: rpl}
+	rh := newHandler(ra)
+
+	// Mutation endpoints must 409 on a replica.
+	for _, req := range []struct{ target, body string }{
+		{"/mutate", `{"op":"toggle","u":1,"v":2}`},
+		{"/swap", ""},
+		{"/fail", `{"kind":"link","u":1,"v":2,"down":true}`},
+	} {
+		if code, _ := getJSON(t, rh, "POST", req.target, req.body); code != http.StatusConflict {
+			t.Fatalf("POST %s on replica: code %d, want 409", req.target, code)
+		}
+	}
+	// A replica does not feed replication.
+	if code, _ := getJSON(t, rh, "GET", "/cluster/digest", ""); code != http.StatusServiceUnavailable {
+		t.Fatalf("replica /cluster/digest code %d, want 503", code)
+	}
+
+	// Mutations on the primary replicate through the feed.
+	if code, _ := getJSON(t, newHandler(pa), "POST", "/mutate", `{"op":"toggle","u":1,"v":2}`); code != http.StatusOK {
+		t.Fatalf("primary mutate failed: %d", code)
+	}
+	if err := rpl.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	pd, _ := pri.FetchDigest()
+	if rd := rpl.Digest(); !cluster.Converged(pd, rd) {
+		t.Fatalf("digests diverge: %v vs %v", pd, rd)
+	}
+	code, health := getJSON(t, rh, "GET", "/healthz", "")
+	if code != http.StatusOK || health["role"] != "replica" || health["epoch"] != float64(1) {
+		t.Fatalf("replica healthz: %d %v", code, health)
+	}
+
+	// Promotion flips the role in place under a bumped epoch, idempotently.
+	code, body := getJSON(t, rh, "POST", "/promote", "")
+	if code != http.StatusOK || body["epoch"] != float64(2) {
+		t.Fatalf("promote: %d %v", code, body)
+	}
+	code, body = getJSON(t, rh, "POST", "/promote", "")
+	if code != http.StatusOK || body["already"] != true {
+		t.Fatalf("second promote: %d %v", code, body)
+	}
+	if code, _ := getJSON(t, rh, "POST", "/mutate", `{"op":"toggle","u":3,"v":4}`); code != http.StatusOK {
+		t.Fatalf("mutate after promotion: code %d, want 200", code)
+	}
+	if code, _ := getJSON(t, rh, "GET", "/cluster/digest", ""); code != http.StatusOK {
+		t.Fatalf("promoted member must feed /cluster/digest")
+	}
+	if _, health := getJSON(t, rh, "GET", "/healthz", ""); health["role"] != "primary" {
+		t.Fatalf("healthz after promotion: %v", health)
+	}
+	// A standalone daemon (no cluster member at all) cannot promote.
+	sa := &api{srv: pa.srv, rep: pa.rep}
+	if code, _ := getJSON(t, newHandler(sa), "POST", "/promote", ""); code != http.StatusConflict {
+		t.Fatalf("standalone promote: code %d, want 409", code)
+	}
+}
+
+// TestWALKeepTrims checks the -wal-keep retention bound: after enough
+// mutations the log's tail is dropped and an old position gets ErrGone.
+func TestWALKeepTrims(t *testing.T) {
+	pa, pri := primaryAPI(t, 24, 2)
+	h := newHandler(pa)
+	for i := 0; i < 5; i++ {
+		if code, _ := getJSON(t, h, "POST", "/mutate", `{"op":"toggle","u":1,"v":2}`); code != http.StatusOK {
+			t.Fatalf("mutate %d failed", i)
+		}
+	}
+	if _, err := pri.FetchWAL(0); !errors.Is(err, cluster.ErrGone) {
+		t.Fatalf("FetchWAL(0) after trim: %v, want ErrGone", err)
+	}
+	if last := pri.Log().LastSeq(); last < 5 {
+		t.Fatalf("LastSeq = %d, want ≥ 5", last)
+	}
+	if _, err := pri.FetchWAL(pri.Log().LastSeq() - 2); err != nil {
+		t.Fatalf("recent position must stay fetchable: %v", err)
+	}
+}
+
+// TestSigtermFlushesFinalSnapshot is the shutdown-flush regression test: a
+// SIGTERM'd serving daemon must leave a warm-bootable snapshot of exactly
+// the state it was serving, even when the publish-time save is missing —
+// here the persisted file is deleted mid-run and only the final flush can
+// restore it.
+func TestSigtermFlushesFinalSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	persist := dir + "/snap.rtsnap"
+	out, err := os.CreateTemp(dir, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-n", "24", "-seed", "2", "-addr", "127.0.0.1:0",
+			"-persist", persist}, out)
+	}()
+
+	// The daemon prints its chosen address once the listener is up.
+	addrRe := regexp.MustCompile(`on (127\.0\.0\.1:\d+)`)
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never reported its address")
+		}
+		blob, _ := os.ReadFile(out.Name())
+		if m := addrRe.FindSubmatch(blob); m != nil {
+			addr = string(m[1])
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	resp, err := http.Post("http://"+addr+"/mutate", "application/json",
+		strings.NewReader(`{"op":"toggle","u":1,"v":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutate: %s", resp.Status)
+	}
+	// Wipe the publish-time save so only the SIGTERM flush can recreate it.
+	if err := os.Remove(persist); err != nil {
+		t.Fatal(err)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit on SIGTERM")
+	}
+
+	blob, _ := os.ReadFile(out.Name())
+	if !strings.Contains(string(blob), "final snapshot persisted (seq=2)") {
+		t.Fatalf("missing flush confirmation in output: %s", blob)
+	}
+	eng, err := serve.RestoreEngine(persist)
+	if err != nil {
+		t.Fatalf("warm boot from flushed snapshot: %v", err)
+	}
+	if snap := eng.Current(); snap.Seq != 2 {
+		t.Fatalf("flushed snapshot seq = %d, want 2", snap.Seq)
+	}
+}
+
+// TestClusterChaosMode runs the replicated chaos CLI end to end with a small
+// budget: it must pass and write the E16 CSV artefact.
+func TestClusterChaosMode(t *testing.T) {
+	dir := t.TempDir()
+	csv := dir + "/cluster.csv"
+	out, err := os.CreateTemp(dir, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	args := []string{"-cluster-chaos", "-n", "24", "-seed", "5", "-replicas", "1",
+		"-lookups", "10000", "-workers", "2", "-cluster-csv", csv}
+	if err := run(args, out); err != nil {
+		t.Fatalf("cluster chaos run: %v", err)
+	}
+	if _, err := out.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cluster chaos ok", `"incorrect": 0`, `"promoted": true`, `"tables_identical": true`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("cluster chaos output missing %q: %s", want, buf.String())
+		}
+	}
+	blob, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(blob)), "\n")
+	if len(lines) != 2 || strings.TrimSpace(lines[0]) != strings.TrimSpace(chaos.ClusterCSVHeader) {
+		t.Fatalf("csv artefact: %q", string(blob))
+	}
+}

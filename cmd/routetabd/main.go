@@ -45,6 +45,36 @@
 // answered incorrectly, every detour stayed within the +2-hop budget, every
 // restore was byte-identical, and unavailability stayed under budget.
 // -chaos-csv additionally writes the EXPERIMENTS.md E15 artefact row.
+//
+// Cluster mode: a serving daemon is a replication primary by default — every
+// snapshot publication and failure event is appended to an in-memory WAL
+// that peers stream over GET /cluster/wal, with GET /cluster/state for full
+// bootstrap and GET /cluster/digest for anti-entropy checks. A replica joins
+// with
+//
+//	routetabd -join http://primary:7353 -addr :7354
+//
+// bootstrapping from the primary's state and replaying its WAL (falling back
+// to a fresh state fetch on truncation, corruption, or epoch change); it
+// serves lookups locally but rejects /mutate, /swap, and /fail with 409 —
+// mutation belongs to the primary. When the primary dies,
+//
+//	routetabd -promote http://replica:7354
+//
+// asks a replica to take over: POST /promote stops its sync loop, activates
+// its repairer, and opens a fresh WAL under a bumped epoch — surviving
+// replicas re-pointed at it observe the epoch change and resync.
+//
+// Cluster chaos mode (also the `make cluster` CI gate):
+//
+//	routetabd -cluster-chaos -n 64 -seed 1 -replicas 2 -lookups 200000
+//
+// runs the replicated chaos harness in-process: a primary plus -replicas
+// followers under client-side failover, surviving replica partitions, WAL
+// corruption and truncation, and a primary kill + promotion — exiting
+// non-zero unless zero answers were incorrect, availability stayed within
+// budget, and every member's tables were byte-identical at quiesce.
+// -cluster-csv writes the EXPERIMENTS.md E16 artefact row.
 package main
 
 import (
@@ -54,15 +84,18 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
+	"routetab/internal/cluster"
 	"routetab/internal/gengraph"
 	"routetab/internal/graph"
 	"routetab/internal/serve"
@@ -103,6 +136,14 @@ type config struct {
 	chaosKills  int
 	chaosBudget float64
 	chaosCSV    string
+	// cluster
+	join         string
+	promote      string
+	syncInterval time.Duration
+	walKeep      int
+	replicas     int
+	clusterChaos bool
+	clusterCSV   string
 }
 
 func parseFlags(args []string) (*config, error) {
@@ -125,6 +166,13 @@ func parseFlags(args []string) (*config, error) {
 	fs.IntVar(&cfg.chaosKills, "chaos-kills", 2, "chaos: kill+restore cycles through the persistence layer (-1 disables)")
 	fs.Float64Var(&cfg.chaosBudget, "chaos-budget", 0.10, "chaos: max tolerated unavailable fraction")
 	fs.StringVar(&cfg.chaosCSV, "chaos-csv", "", "chaos: also append the report as a CSV artefact to this file")
+	fs.StringVar(&cfg.join, "join", "", "join URL of a primary to replicate from (replica mode)")
+	fs.StringVar(&cfg.promote, "promote", "", "ask the replica at this URL to promote itself to primary, then exit")
+	fs.DurationVar(&cfg.syncInterval, "sync-interval", 50*time.Millisecond, "replica: WAL poll interval")
+	fs.IntVar(&cfg.walKeep, "wal-keep", 4096, "primary: WAL records retained for replicas (older positions force a full resync)")
+	fs.IntVar(&cfg.replicas, "replicas", 2, "cluster-chaos: replicas joined behind the primary")
+	fs.BoolVar(&cfg.clusterChaos, "cluster-chaos", false, "run the replicated cluster chaos harness instead of serving HTTP")
+	fs.StringVar(&cfg.clusterCSV, "cluster-csv", "", "cluster-chaos: also append the report as a CSV artefact to this file")
 	lookups := fs.Int64("lookups", 100_000, "loadgen: total lookup target")
 	fs.DurationVar(&cfg.duration, "duration", 0, "loadgen: wall-clock cap (0 = none)")
 	fs.IntVar(&cfg.workers, "workers", 4, "loadgen: closed-loop client workers")
@@ -156,8 +204,15 @@ func run(args []string, out *os.File) error {
 	if err != nil {
 		return err
 	}
-	if cfg.chaos {
+	switch {
+	case cfg.promote != "":
+		return runPromote(cfg, out)
+	case cfg.chaos:
 		return runChaos(cfg, out)
+	case cfg.clusterChaos:
+		return runClusterChaos(cfg, out)
+	case cfg.join != "":
+		return runReplica(cfg, out)
 	}
 	eng, warm, err := openEngine(cfg, out)
 	if err != nil {
@@ -180,7 +235,98 @@ func run(args []string, out *os.File) error {
 	}
 	rep := serve.NewRepairer(srv, serve.RepairOptions{})
 	defer rep.Close()
-	return serveHTTP(srv, rep, cfg, out)
+	// A serving daemon is a replication primary by default: the WAL costs
+	// nothing unless a peer streams it, and replicas can join at any time.
+	pri, err := cluster.NewPrimary(eng, srv, rep, 1)
+	if err != nil {
+		return err
+	}
+	defer pri.Close()
+	a := &api{srv: srv, rep: rep, pri: pri, walKeep: cfg.walKeep}
+	return serveHTTP(a, cfg, out)
+}
+
+// runReplica joins the primary at cfg.join and serves its replicated tables
+// until SIGTERM (or an in-place promotion via POST /promote).
+func runReplica(cfg *config, out *os.File) error {
+	src := cluster.NewHTTPSource(cfg.join, nil)
+	rpl, err := cluster.JoinReplica(src, cluster.ReplicaOptions{
+		Server: serve.ServerOptions{
+			Shards:   cfg.shards,
+			QueueCap: cfg.queue,
+			MaxBatch: cfg.batch,
+		},
+		SyncInterval: cfg.syncInterval,
+	})
+	if err != nil {
+		return fmt.Errorf("join %s: %w", cfg.join, err)
+	}
+	defer rpl.Close() // safe after promotion: the stack lives on in the primary
+	if cfg.persist != "" {
+		if err := rpl.Engine().EnablePersist(cfg.persist); err != nil {
+			return fmt.Errorf("enable persistence: %w", err)
+		}
+	}
+	rpl.Start()
+	fmt.Fprintf(out, "routetabd: joined %s (epoch=%d, wal_seq=%d)\n",
+		cfg.join, rpl.Epoch(), rpl.WalSeq())
+	a := &api{srv: rpl.Server(), rep: rpl.Repairer(), rpl: rpl, walKeep: cfg.walKeep}
+	return serveHTTP(a, cfg, out)
+}
+
+// runPromote is the client side of failover: ask the replica at cfg.promote
+// to take over as primary, print its answer, exit.
+func runPromote(cfg *config, out *os.File) error {
+	url := strings.TrimRight(cfg.promote, "/") + "/promote"
+	resp, err := http.Post(url, "application/json", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, string(body))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("promote %s: %s", url, resp.Status)
+	}
+	return nil
+}
+
+// runClusterChaos executes the replicated chaos harness in-process and
+// renders a pass/fail verdict, mirroring runChaos.
+func runClusterChaos(cfg *config, out *os.File) error {
+	// MaxUnavailableFrac is left at the harness default (0.01): the cluster
+	// gate's contract is ≥99% availability, not the single-node budget.
+	rep, err := chaos.RunCluster(chaos.ClusterConfig{
+		N:        cfg.n,
+		Seed:     cfg.seed,
+		Scheme:   cfg.scheme,
+		Replicas: cfg.replicas,
+		Lookups:  cfg.lookups,
+		Workers:  cfg.workers,
+	})
+	if rep == nil {
+		return err
+	}
+	blob, merr := json.MarshalIndent(rep, "", "  ")
+	if merr != nil {
+		return merr
+	}
+	fmt.Fprintln(out, string(blob))
+	if cfg.clusterCSV != "" {
+		if werr := appendCSV(cfg.clusterCSV, func(w io.Writer) error {
+			return chaos.WriteClusterCSV(w, []*chaos.ClusterReport{rep})
+		}); werr != nil {
+			return werr
+		}
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "cluster chaos ok: %s\n", rep)
+	return nil
 }
 
 // openEngine builds the serving engine, warm-booting from the persistence
@@ -256,6 +402,15 @@ func runChaos(cfg *config, out *os.File) error {
 // writeChaosCSV appends rep to path, writing the header only when the file
 // is new — so a sweep over schemes accumulates one artefact.
 func writeChaosCSV(path string, rep *chaos.Report) error {
+	return appendCSV(path, func(w io.Writer) error {
+		return chaos.WriteCSV(w, []*chaos.Report{rep})
+	})
+}
+
+// appendCSV appends the rows produced by write (header + body) to path,
+// dropping the header row when the file already has content — so repeated
+// runs accumulate one artefact.
+func appendCSV(path string, write func(io.Writer) error) error {
 	if st, err := os.Stat(path); err == nil && st.Size() > 0 {
 		f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
 		if err != nil {
@@ -263,7 +418,7 @@ func writeChaosCSV(path string, rep *chaos.Report) error {
 		}
 		defer f.Close()
 		var buf bytes.Buffer
-		if err := chaos.WriteCSV(&buf, []*chaos.Report{rep}); err != nil {
+		if err := write(&buf); err != nil {
 			return err
 		}
 		body := buf.String()
@@ -278,7 +433,7 @@ func writeChaosCSV(path string, rep *chaos.Report) error {
 		return err
 	}
 	defer f.Close()
-	return chaos.WriteCSV(f, []*chaos.Report{rep})
+	return write(f)
 }
 
 // runLoadgen drives the in-process closed loop and renders a pass/fail JSON
@@ -313,42 +468,101 @@ func runLoadgen(srv *serve.Server, cfg *config, out *os.File) error {
 	return nil
 }
 
-// serveHTTP runs the daemon until SIGINT/SIGTERM, then drains gracefully.
-func serveHTTP(srv *serve.Server, rep *serve.Repairer, cfg *config, out *os.File) error {
+// serveHTTP runs the daemon until SIGINT/SIGTERM, then drains gracefully and
+// flushes a final persisted snapshot.
+func serveHTTP(a *api, cfg *config, out *os.File) error {
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: newHandler(srv, rep)}
+	hs := &http.Server{Handler: newHandler(a)}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
-	fmt.Fprintf(out, "routetabd: serving %s (n=%d, seq=%d) on %s\n",
-		srv.Engine().Scheme(), srv.Engine().Current().N(), srv.Engine().Current().Seq, ln.Addr())
+	srv := a.srv
+	fmt.Fprintf(out, "routetabd: serving %s (n=%d, seq=%d, role=%s) on %s\n",
+		srv.Engine().Scheme(), srv.Engine().Current().N(), srv.Engine().Current().Seq,
+		a.role(), ln.Addr())
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
 	select {
 	case err := <-errc:
 		return err
 	case sig := <-sigc:
 		fmt.Fprintf(out, "routetabd: %v, draining\n", sig)
 	}
+	return shutdownFlush(hs, srv.Engine(), out)
+}
+
+// shutdownFlush is the SIGTERM tail: drain in-flight requests, then persist a
+// final snapshot so the daemon warm-boots from exactly the state it was
+// serving — even when the last publish-time save failed transiently. A no-op
+// flush without persistence enabled.
+func shutdownFlush(hs *http.Server, eng *serve.Engine, out *os.File) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
 		return err
 	}
+	if err := eng.FlushPersist(); err != nil {
+		return fmt.Errorf("final snapshot flush: %w", err)
+	}
+	if saves, _, _ := eng.PersistStats(); saves > 0 {
+		fmt.Fprintf(out, "routetabd: final snapshot persisted (seq=%d)\n", eng.Current().Seq)
+	}
 	return nil
 }
 
-// api is the HTTP facade over one server and its repairer.
+// api is the HTTP facade over one serving stack. Exactly one of pri/rpl is
+// set (primary vs replica); a replica's POST /promote swaps rpl out for a
+// fresh primary in place, so role reads go through the mutex.
 type api struct {
 	srv *serve.Server
 	rep *serve.Repairer
+
+	mu      sync.Mutex
+	pri     *cluster.Primary
+	rpl     *cluster.Replica
+	walKeep int
 }
 
-func newHandler(srv *serve.Server, rep *serve.Repairer) http.Handler {
-	a := &api{srv: srv, rep: rep}
+// roles returns the current (primary, replica) pair; at most one is non-nil.
+func (a *api) roles() (*cluster.Primary, *cluster.Replica) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.pri, a.rpl
+}
+
+func (a *api) role() string {
+	switch pri, rpl := a.roles(); {
+	case pri != nil:
+		return "primary"
+	case rpl != nil:
+		return "replica"
+	default:
+		return "standalone"
+	}
+}
+
+// trimWAL enforces the -wal-keep retention bound after each mutation: a
+// replica further behind than walKeep records gets ErrGone and falls back to
+// a full state fetch.
+func (a *api) trimWAL(pri *cluster.Primary) {
+	if pri == nil || a.walKeep <= 0 {
+		return
+	}
+	if last := pri.Log().LastSeq(); last > uint64(a.walKeep) {
+		pri.Log().TruncateTo(last - uint64(a.walKeep))
+	}
+}
+
+// errNotPrimary is the 409 every mutation endpoint returns on a replica:
+// mutation belongs to the primary, and applying it locally would fork the
+// replicated state.
+var errNotPrimary = errors.New("replica: topology mutation belongs to the primary")
+
+func newHandler(a *api) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /nexthop", a.nexthop)
 	mux.HandleFunc("GET /route", a.route)
@@ -358,7 +572,43 @@ func newHandler(srv *serve.Server, rep *serve.Repairer) http.Handler {
 	mux.HandleFunc("POST /mutate", a.mutate)
 	mux.HandleFunc("POST /swap", a.swap)
 	mux.HandleFunc("POST /fail", a.fail)
+	mux.HandleFunc("POST /promote", a.promote)
+	mux.Handle("/cluster/", cluster.NewHTTPHandler(func() cluster.Source {
+		pri, _ := a.roles()
+		if pri == nil {
+			return nil
+		}
+		return pri
+	}))
 	return mux
+}
+
+// promote handles POST /promote: turn this replica into the primary under a
+// bumped epoch. Idempotence: promoting a member that is already primary
+// answers 200 with its current epoch; a standalone daemon answers 409.
+func (a *api) promote(w http.ResponseWriter, _ *http.Request) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.pri != nil {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ok": true, "role": "primary", "epoch": a.pri.Epoch(), "already": true,
+		})
+		return
+	}
+	if a.rpl == nil {
+		writeErr(w, http.StatusConflict, fmt.Errorf("not a cluster member"))
+		return
+	}
+	np, err := a.rpl.Promote()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	a.pri, a.rpl = np, nil
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok": true, "role": "primary", "epoch": np.Epoch(),
+		"snapshot_seq": np.Engine().Current().Seq,
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -538,6 +788,20 @@ func (a *api) healthz(w http.ResponseWriter, _ *http.Request) {
 		body["repair_staleness"] = a.rep.Staleness()
 		body["degraded"] = a.rep.Staleness() > 0
 	}
+	pri, rpl := a.roles()
+	body["role"] = a.role()
+	switch {
+	case pri != nil:
+		body["epoch"] = pri.Epoch()
+		body["wal_seq"] = pri.Log().LastSeq()
+	case rpl != nil:
+		applied, resyncs, lastLag := rpl.Stats()
+		body["epoch"] = rpl.Epoch()
+		body["wal_seq"] = rpl.WalSeq()
+		body["wal_applied"] = applied
+		body["resyncs"] = resyncs
+		body["replay_lag"] = lastLag
+	}
 	writeJSON(w, http.StatusOK, body)
 }
 
@@ -555,17 +819,28 @@ func (a *api) fail(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("no repairer attached"))
 		return
 	}
+	pri, rpl := a.roles()
+	if rpl != nil {
+		writeErr(w, http.StatusConflict, errNotPrimary)
+		return
+	}
 	var req failRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	// Route through the primary when there is one, so the event replicates.
+	setLink, setNode := a.rep.SetLinkDown, a.rep.SetNodeDown
+	if pri != nil {
+		setLink, setNode = pri.SetLinkDown, pri.SetNodeDown
+		defer a.trimWAL(pri)
+	}
 	var err error
 	switch req.Kind {
 	case "link":
-		err = a.rep.SetLinkDown(req.U, req.V, req.Down)
+		err = setLink(req.U, req.V, req.Down)
 	case "node":
-		err = a.rep.SetNodeDown(req.U, req.Down)
+		err = setNode(req.U, req.Down)
 	default:
 		err = fmt.Errorf("unknown kind %q (link|node)", req.Kind)
 	}
@@ -587,6 +862,14 @@ type mutateRequest struct {
 }
 
 func (a *api) mutate(w http.ResponseWriter, r *http.Request) {
+	pri, rpl := a.roles()
+	if rpl != nil {
+		writeErr(w, http.StatusConflict, errNotPrimary)
+		return
+	}
+	if pri != nil {
+		defer a.trimWAL(pri)
+	}
 	var req mutateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -615,6 +898,14 @@ func (a *api) mutate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *api) swap(w http.ResponseWriter, _ *http.Request) {
+	pri, rpl := a.roles()
+	if rpl != nil {
+		writeErr(w, http.StatusConflict, errNotPrimary)
+		return
+	}
+	if pri != nil {
+		defer a.trimWAL(pri)
+	}
 	snap, err := a.srv.Engine().Reload()
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)

@@ -1,0 +1,327 @@
+// The replica half of replication: bootstrap from a full State fetch, then
+// stream WAL records and replay them through a local serve.Engine. Publish
+// records re-run the primary's topology mutation via Engine.Mutate — the
+// determinism contract makes the rebuilt tables byte-identical, which every
+// apply verifies against the record's DistCRC. Overlay records drive a
+// passive repairer (degraded detours with no local rebuilds). Three failure
+// modes collapse into one recovery path, a full resync through
+// Engine.Adopt: a WAL gap (ErrGone after truncation), an epoch change
+// (promotion elsewhere), and any decode or verification failure (corruption,
+// divergence).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"routetab/internal/graph"
+	"routetab/internal/serve"
+)
+
+// ReplicaOptions configures JoinReplica.
+type ReplicaOptions struct {
+	// Server configures the replica's local lookup server.
+	Server serve.ServerOptions
+	// SyncInterval paces the background Sync loop started by Start
+	// (default 2ms).
+	SyncInterval time.Duration
+}
+
+// Replica is a follower: it serves lookups from its own engine and keeps
+// that engine converged with a Source by WAL replay.
+type Replica struct {
+	src  Source
+	eng  *serve.Engine
+	srv  *serve.Server
+	rep  *serve.Repairer
+	opts ReplicaOptions
+
+	mu      sync.Mutex
+	epoch   uint64
+	walSeq  uint64
+	applied uint64 // records replayed
+	resyncs uint64 // full state fetches after bootstrap
+	lastLag uint64 // records behind the source at the start of the last Sync
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// JoinReplica bootstraps a replica from src: fetch full state, build an
+// engine + server + passive repairer serving it, and apply the overlay. The
+// caller should then call Start (or drive Sync directly) to keep it
+// converged, and Close when done.
+func JoinReplica(src Source, opts ReplicaOptions) (*Replica, error) {
+	if opts.SyncInterval <= 0 {
+		opts.SyncInterval = 2 * time.Millisecond
+	}
+	st, err := src.FetchState()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: join: %w", err)
+	}
+	eng, err := serve.NewEngineFromSnapshot(st.Snap)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: join: %w", err)
+	}
+	srv := serve.NewServer(eng, opts.Server)
+	rep := serve.NewRepairer(srv, serve.RepairOptions{Passive: true})
+	r := &Replica{
+		src: src, eng: eng, srv: srv, rep: rep, opts: opts,
+		epoch: st.Epoch, walSeq: st.WalSeq,
+		stop: make(chan struct{}),
+	}
+	if err := r.applyOverlay(st.DownLinks, st.DownNodes); err != nil {
+		r.Close()
+		return nil, fmt.Errorf("cluster: join: %w", err)
+	}
+	return r, nil
+}
+
+// Server returns the replica's local lookup server.
+func (r *Replica) Server() *serve.Server { return r.srv }
+
+// Engine returns the replica's engine.
+func (r *Replica) Engine() *serve.Engine { return r.eng }
+
+// Repairer returns the replica's (passive) repairer.
+func (r *Replica) Repairer() *serve.Repairer { return r.rep }
+
+// Epoch returns the epoch the replica last synced under.
+func (r *Replica) Epoch() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.epoch
+}
+
+// WalSeq returns the replica's replay position.
+func (r *Replica) WalSeq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.walSeq
+}
+
+// Stats returns replay counters: records applied, full resyncs since join,
+// and the replay lag (records behind the source) observed at the start of
+// the most recent Sync.
+func (r *Replica) Stats() (applied, resyncs, lastLag uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.applied, r.resyncs, r.lastLag
+}
+
+// Digest returns the replica's convergence fingerprint.
+func (r *Replica) Digest() Digest {
+	r.mu.Lock()
+	epoch, walSeq := r.epoch, r.walSeq
+	r.mu.Unlock()
+	return digestOf(r.eng, epoch, walSeq)
+}
+
+// applyOverlay reconciles the repairer's desired-down state to exactly
+// (links, nodes): heal everything no longer down, fail everything newly
+// down, then fold the serving topology back into the incorporated set.
+func (r *Replica) applyOverlay(links [][2]int, nodes []int) error {
+	wantLink := make(map[[2]int]bool, len(links))
+	for _, e := range links {
+		if e[0] > e[1] {
+			e[0], e[1] = e[1], e[0]
+		}
+		wantLink[e] = true
+	}
+	wantNode := make(map[int]bool, len(nodes))
+	for _, u := range nodes {
+		wantNode[u] = true
+	}
+	curLinks, curNodes := r.rep.DownState()
+	for _, e := range curLinks {
+		if !wantLink[e] {
+			if err := r.rep.SetLinkDown(e[0], e[1], false); err != nil {
+				return err
+			}
+		}
+	}
+	for _, u := range curNodes {
+		if !wantNode[u] {
+			if err := r.rep.SetNodeDown(u, false); err != nil {
+				return err
+			}
+		}
+	}
+	for e := range wantLink {
+		if err := r.rep.SetLinkDown(e[0], e[1], true); err != nil {
+			return err
+		}
+	}
+	for u := range wantNode {
+		if err := r.rep.SetNodeDown(u, true); err != nil {
+			return err
+		}
+	}
+	r.rep.Reconcile()
+	return nil
+}
+
+// Sync performs one replication round: fetch records after the current
+// position and replay them. Gap, epoch change, corruption, or divergence
+// triggers a full Resync. Transport errors are returned to the caller (the
+// source is unreachable — a partition — and the replica keeps serving its
+// last applied state).
+func (r *Replica) Sync() error {
+	r.mu.Lock()
+	after := r.walSeq
+	epoch := r.epoch
+	r.mu.Unlock()
+
+	batch, err := r.src.FetchWAL(after)
+	if err != nil {
+		if errors.Is(err, ErrGone) || errors.Is(err, ErrBadRecord) {
+			return r.Resync()
+		}
+		return err
+	}
+	if batch.Epoch != epoch {
+		return r.Resync()
+	}
+	r.mu.Lock()
+	r.lastLag = uint64(len(batch.Records))
+	r.mu.Unlock()
+	for _, rec := range batch.Records {
+		if rec.Seq != after+1 {
+			// Dense-sequence violation inside a batch: treat as corruption.
+			return r.Resync()
+		}
+		if err := r.apply(rec); err != nil {
+			return r.Resync()
+		}
+		after = rec.Seq
+		r.mu.Lock()
+		r.walSeq = after
+		r.applied++
+		r.mu.Unlock()
+	}
+	return nil
+}
+
+// apply replays one record. An error means divergence and must trigger a
+// resync in the caller.
+func (r *Replica) apply(rec Record) error {
+	switch rec.Kind {
+	case RecPublish:
+		cur := r.eng.Current()
+		if rec.SnapSeq <= cur.Seq {
+			// Already reflected in the snapshot we bootstrapped from (the
+			// WAL position was captured before the snapshot) — skip.
+			return nil
+		}
+		if rec.SnapSeq != cur.Seq+1 {
+			return fmt.Errorf("cluster: publish gap: have snap %d, record is %d", cur.Seq, rec.SnapSeq)
+		}
+		snap, err := r.eng.Mutate(func(g *graph.Graph) error {
+			for _, e := range rec.Removes {
+				if err := g.RemoveEdge(e[0], e[1]); err != nil {
+					return err
+				}
+			}
+			for _, e := range rec.Adds {
+				if err := g.AddEdge(e[0], e[1]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if snap.Seq != rec.SnapSeq {
+			return fmt.Errorf("cluster: replayed snap seq %d, record says %d", snap.Seq, rec.SnapSeq)
+		}
+		if crc := DistCRC(snap.Dist); crc != rec.DistCRC {
+			return fmt.Errorf("cluster: dist CRC %08x after replay, record says %08x", crc, rec.DistCRC)
+		}
+		// The publication may have incorporated overlay links; recompute
+		// the incorporated set from the new serving graph.
+		r.rep.Reconcile()
+		return nil
+	case RecLink:
+		return r.rep.SetLinkDown(rec.U, rec.V, rec.Down)
+	case RecNode:
+		return r.rep.SetNodeDown(rec.U, rec.Down)
+	}
+	return fmt.Errorf("%w: kind %d", ErrBadRecord, int(rec.Kind))
+}
+
+// Resync abandons WAL replay and adopts a full state fetch: the recovery
+// path for truncation gaps, epoch changes (promotion), and corruption. The
+// replica keeps serving throughout — Adopt swaps the snapshot atomically.
+func (r *Replica) Resync() error {
+	st, err := r.src.FetchState()
+	if err != nil {
+		return fmt.Errorf("cluster: resync: %w", err)
+	}
+	if st.Snap.Seq >= r.eng.Current().Seq || st.Epoch != r.Epoch() {
+		if err := r.eng.Adopt(st.Snap); err != nil {
+			return fmt.Errorf("cluster: resync: %w", err)
+		}
+	}
+	if err := r.applyOverlay(st.DownLinks, st.DownNodes); err != nil {
+		return fmt.Errorf("cluster: resync: %w", err)
+	}
+	r.mu.Lock()
+	r.epoch = st.Epoch
+	r.walSeq = st.WalSeq
+	r.resyncs++
+	r.mu.Unlock()
+	return nil
+}
+
+// Start launches the background sync loop. Transport errors are retried on
+// the next tick (the replica serves stale-but-correct answers meanwhile).
+func (r *Replica) Start() {
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		t := time.NewTicker(r.opts.SyncInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-t.C:
+				_ = r.Sync() // unreachable source: keep serving, retry next tick
+			}
+		}
+	}()
+}
+
+// Close stops the sync loop and the replica's serving stack.
+func (r *Replica) Close() {
+	r.once.Do(func() { close(r.stop) })
+	r.wg.Wait()
+	r.rep.Close()
+	r.srv.Close()
+}
+
+// Promote turns a caught-up replica into a primary under a new epoch: the
+// passive repairer starts rebuilding locally, the engine's publish hook is
+// claimed, and a fresh WAL (sequences restarting at 1) is opened. Other
+// replicas pointed at the new primary observe the epoch change and resync.
+// The caller must have stopped the replica's sync loop (its old source is
+// dead or demoted); the replica's server and engine live on inside the
+// returned Primary.
+func (r *Replica) Promote() (*Primary, error) {
+	r.once.Do(func() { close(r.stop) })
+	r.wg.Wait()
+	r.rep.Activate()
+	p, err := NewPrimary(r.eng, r.srv, r.rep, r.Epoch()+1)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: promote: %w", err)
+	}
+	// Fold any overlay-only failures into a rebuilt snapshot now that this
+	// member owns rebuilds; a refused rebuild (would disconnect) is not
+	// fatal — the repairer keeps retrying as churn continues.
+	_ = p.rep.Flush()
+	return p, nil
+}

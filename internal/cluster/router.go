@@ -1,0 +1,245 @@
+// Client-side failover: a Router fans lookups across cluster members,
+// steering around unhealthy ones. Three signals demote a backend — a
+// transport error (the peer is partitioned or dead; health-probed back in
+// after a backoff), an ErrOverloaded answer (honour the shard's Retry-After
+// hint, with the server-side jitter already applied, as the backoff), and a
+// hedge timeout (the answer is slow; a second backend is raced and the
+// first definite answer wins). Service-level errors other than overload
+// (ErrUnavailable, ErrSelfLookup) are answers, not failures: every member
+// would say the same thing, so they are returned, not retried.
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"routetab/internal/serve"
+)
+
+// ErrNoBackends reports a lookup with every backend unreachable.
+var ErrNoBackends = errors.New("cluster: no reachable backend")
+
+// Backend is one routed-to cluster member. Lookup's error return is a
+// transport failure (unreachable peer); service-level failures travel
+// inside the Result.
+type Backend interface {
+	Name() string
+	Lookup(src, dst int) (serve.Result, error)
+}
+
+// RouterOptions configures a Router.
+type RouterOptions struct {
+	// HedgeAfter is how long the first backend gets before a second is
+	// raced (default 1ms; negative disables hedging).
+	HedgeAfter time.Duration
+	// ProbeAfter is how long a transport-failed backend stays demoted
+	// before a lookup probes it again (default 10ms).
+	ProbeAfter time.Duration
+	// Clock overrides time.Now for tests.
+	Clock func() time.Time
+}
+
+func (o *RouterOptions) setDefaults() {
+	if o.HedgeAfter == 0 {
+		o.HedgeAfter = time.Millisecond
+	}
+	if o.ProbeAfter <= 0 {
+		o.ProbeAfter = 10 * time.Millisecond
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+}
+
+type backendState struct {
+	b Backend
+	// downUntil is the wall time before which this backend is skipped
+	// (zero = healthy). Set by transport failures and Retry-After hints.
+	downUntil time.Time
+	served    uint64 // lookups answered by this backend
+	failed    uint64 // transport failures observed
+}
+
+// Router fans lookups across backends with failover and hedging. Safe for
+// concurrent use.
+type Router struct {
+	opts RouterOptions
+
+	mu       sync.Mutex
+	backends []*backendState
+	rr       int // rotation cursor for load spreading
+}
+
+// NewRouter builds a router over backends (order is the initial preference
+// order).
+func NewRouter(backends []Backend, opts RouterOptions) *Router {
+	opts.setDefaults()
+	rt := &Router{opts: opts}
+	rt.SetBackends(backends)
+	return rt
+}
+
+// SetBackends replaces the backend set (topology change: promotion, member
+// join/leave). Health state of surviving names is preserved.
+func (rt *Router) SetBackends(backends []Backend) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	old := make(map[string]*backendState, len(rt.backends))
+	for _, bs := range rt.backends {
+		old[bs.b.Name()] = bs
+	}
+	next := make([]*backendState, 0, len(backends))
+	for _, b := range backends {
+		if prev, ok := old[b.Name()]; ok {
+			prev.b = b
+			next = append(next, prev)
+			continue
+		}
+		next = append(next, &backendState{b: b})
+	}
+	rt.backends = next
+	rt.rr = 0
+}
+
+// Served returns per-backend answer counts, keyed by backend name.
+func (rt *Router) Served() map[string]uint64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make(map[string]uint64, len(rt.backends))
+	for _, bs := range rt.backends {
+		out[bs.b.Name()] = bs.served
+	}
+	return out
+}
+
+// pick returns candidate backends in try order: ready ones (healthy, or
+// demoted with the probe window open — an expired backoff re-enters normal
+// rotation so recovered members take traffic again) in round-robin
+// rotation, then still-demoted ones as a last resort so a fully demoted
+// cluster keeps getting probed rather than failing outright.
+func (rt *Router) pick(now time.Time) []*backendState {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	n := len(rt.backends)
+	if n == 0 {
+		return nil
+	}
+	start := rt.rr
+	rt.rr++
+	var ready, demoted []*backendState
+	for i := 0; i < n; i++ {
+		bs := rt.backends[(start+i)%n]
+		if bs.downUntil.IsZero() || !now.Before(bs.downUntil) {
+			ready = append(ready, bs)
+		} else {
+			demoted = append(demoted, bs)
+		}
+	}
+	return append(ready, demoted...)
+}
+
+func (rt *Router) noteOK(bs *backendState) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	bs.downUntil = time.Time{}
+	bs.served++
+}
+
+func (rt *Router) noteTransportFail(bs *backendState, now time.Time) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	bs.downUntil = now.Add(rt.opts.ProbeAfter)
+	bs.failed++
+}
+
+func (rt *Router) noteOverloaded(bs *backendState, now time.Time, retryAfter time.Duration) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if retryAfter <= 0 {
+		retryAfter = rt.opts.ProbeAfter
+	}
+	bs.downUntil = now.Add(retryAfter)
+}
+
+type attempt struct {
+	bs  *backendState
+	res serve.Result
+	err error
+}
+
+// Lookup answers one next-hop query with failover and hedging. The returned
+// error is ErrNoBackends only; service-level failures ride in Result.Err.
+func (rt *Router) Lookup(src, dst int) (serve.Result, error) {
+	now := rt.opts.Clock()
+	order := rt.pick(now)
+	if len(order) == 0 {
+		return serve.Result{}, ErrNoBackends
+	}
+
+	results := make(chan attempt, len(order))
+	launch := func(bs *backendState) {
+		go func() {
+			res, err := bs.b.Lookup(src, dst)
+			results <- attempt{bs: bs, res: res, err: err}
+		}()
+	}
+
+	next := 0
+	launch(order[next])
+	next++
+	inflight := 1
+
+	var hedge *time.Timer
+	var hedgeC <-chan time.Time
+	if rt.opts.HedgeAfter > 0 && len(order) > 1 {
+		hedge = time.NewTimer(rt.opts.HedgeAfter)
+		defer hedge.Stop()
+		hedgeC = hedge.C
+	}
+
+	var lastOverload serve.Result
+	sawOverload := false
+	for {
+		select {
+		case a := <-results:
+			inflight--
+			now = rt.opts.Clock()
+			switch {
+			case a.err != nil:
+				rt.noteTransportFail(a.bs, now)
+			case errors.Is(a.res.Err, serve.ErrOverloaded):
+				var oe *serve.OverloadedError
+				var retryAfter time.Duration
+				if errors.As(a.res.Err, &oe) {
+					retryAfter = oe.RetryAfter
+				}
+				rt.noteOverloaded(a.bs, now, retryAfter)
+				lastOverload, sawOverload = a.res, true
+			default:
+				// A definite answer (including ErrUnavailable/ErrSelfLookup,
+				// which every member would repeat) wins.
+				rt.noteOK(a.bs)
+				return a.res, nil
+			}
+			// The attempt failed over; try the next candidate immediately.
+			if next < len(order) {
+				launch(order[next])
+				next++
+				inflight++
+			} else if inflight == 0 {
+				if sawOverload {
+					return lastOverload, nil
+				}
+				return serve.Result{}, ErrNoBackends
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if next < len(order) {
+				launch(order[next])
+				next++
+				inflight++
+			}
+		}
+	}
+}

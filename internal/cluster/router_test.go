@@ -1,0 +1,232 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"routetab/internal/serve"
+)
+
+// fakeBackend is a scriptable cluster member for router tests.
+type fakeBackend struct {
+	name string
+
+	mu        sync.Mutex
+	transport error         // non-nil: every lookup fails at transport level
+	result    serve.Result  // answer returned otherwise
+	delay     time.Duration // service time before answering
+	calls     atomic.Uint64
+}
+
+func (f *fakeBackend) Name() string { return f.name }
+
+func (f *fakeBackend) Lookup(src, dst int) (serve.Result, error) {
+	f.calls.Add(1)
+	f.mu.Lock()
+	terr, res, delay := f.transport, f.result, f.delay
+	f.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if terr != nil {
+		return serve.Result{}, terr
+	}
+	return res, nil
+}
+
+func (f *fakeBackend) set(terr error, res serve.Result, delay time.Duration) {
+	f.mu.Lock()
+	f.transport, f.result, f.delay = terr, res, delay
+	f.mu.Unlock()
+}
+
+var errConnRefused = errors.New("router_test: connection refused")
+
+func okResult(next int) serve.Result { return serve.Result{Next: next, Dist: 2, NextDist: 1} }
+
+func TestRouterFailsOverOnTransportError(t *testing.T) {
+	a := &fakeBackend{name: "a"}
+	b := &fakeBackend{name: "b"}
+	a.set(errConnRefused, serve.Result{}, 0)
+	b.set(nil, okResult(7), 0)
+	rt := NewRouter([]Backend{a, b}, RouterOptions{HedgeAfter: -1, ProbeAfter: time.Hour})
+
+	for i := 0; i < 8; i++ {
+		res, err := rt.Lookup(1, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Err != nil || res.Next != 7 {
+			t.Fatalf("lookup %d: %+v", i, res)
+		}
+	}
+	// After the first failure, a is demoted for ProbeAfter (an hour): all
+	// later lookups must go straight to b.
+	if got := a.calls.Load(); got != 1 {
+		t.Fatalf("demoted backend probed %d times, want 1", got)
+	}
+	served := rt.Served()
+	if served["b"] != 8 || served["a"] != 0 {
+		t.Fatalf("served = %v", served)
+	}
+}
+
+func TestRouterProbesDemotedBackendAfterWindow(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	a := &fakeBackend{name: "a"}
+	b := &fakeBackend{name: "b"}
+	a.set(errConnRefused, serve.Result{}, 0)
+	b.set(nil, okResult(3), 0)
+	rt := NewRouter([]Backend{a, b}, RouterOptions{HedgeAfter: -1, ProbeAfter: 10 * time.Millisecond, Clock: clock})
+
+	if _, err := rt.Lookup(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if a.calls.Load() != 1 {
+		t.Fatalf("a called %d times", a.calls.Load())
+	}
+
+	// a recovers; before the probe window opens it must not be retried.
+	a.set(nil, okResult(4), 0)
+	if _, err := rt.Lookup(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if a.calls.Load() != 1 {
+		t.Fatal("demoted backend probed inside the backoff window")
+	}
+
+	// Advance past the window: a is probed, answers, and is healthy again.
+	now = now.Add(20 * time.Millisecond)
+	sawA := false
+	for i := 0; i < 8 && !sawA; i++ {
+		res, err := rt.Lookup(1, 5)
+		if err != nil || res.Err != nil {
+			t.Fatalf("lookup: %+v %v", res, err)
+		}
+		sawA = rt.Served()["a"] > 0
+	}
+	if !sawA {
+		t.Fatal("recovered backend never served after probe window opened")
+	}
+}
+
+func TestRouterHonoursRetryAfter(t *testing.T) {
+	now := time.Unix(2000, 0)
+	clock := func() time.Time { return now }
+	a := &fakeBackend{name: "a"}
+	b := &fakeBackend{name: "b"}
+	a.set(nil, serve.Result{Err: &serve.OverloadedError{Shard: 0, RetryAfter: 25 * time.Millisecond}}, 0)
+	b.set(nil, okResult(2), 0)
+	rt := NewRouter([]Backend{a, b}, RouterOptions{HedgeAfter: -1, ProbeAfter: time.Millisecond, Clock: clock})
+
+	res, err := rt.Lookup(1, 5)
+	if err != nil || res.Err != nil {
+		t.Fatalf("overloaded backend not failed over: %+v %v", res, err)
+	}
+	aCalls := a.calls.Load()
+
+	// Within RetryAfter the shedding backend is skipped even though
+	// ProbeAfter (1ms) has passed — the hint wins.
+	now = now.Add(5 * time.Millisecond)
+	for i := 0; i < 4; i++ {
+		if _, err := rt.Lookup(1, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.calls.Load() != aCalls {
+		t.Fatal("backend retried inside its Retry-After window")
+	}
+
+	// Past the hint it gets traffic again.
+	a.set(nil, okResult(6), 0)
+	now = now.Add(30 * time.Millisecond)
+	sawA := false
+	for i := 0; i < 8 && !sawA; i++ {
+		if _, err := rt.Lookup(1, 5); err != nil {
+			t.Fatal(err)
+		}
+		sawA = rt.Served()["a"] > 0
+	}
+	if !sawA {
+		t.Fatal("backend never recovered after Retry-After elapsed")
+	}
+}
+
+func TestRouterAllBackendsDown(t *testing.T) {
+	a := &fakeBackend{name: "a"}
+	b := &fakeBackend{name: "b"}
+	a.set(errConnRefused, serve.Result{}, 0)
+	b.set(errConnRefused, serve.Result{}, 0)
+	rt := NewRouter([]Backend{a, b}, RouterOptions{HedgeAfter: -1})
+	if _, err := rt.Lookup(1, 5); !errors.Is(err, ErrNoBackends) {
+		t.Fatalf("want ErrNoBackends, got %v", err)
+	}
+	// All overloaded: the overload answer (with its hint) is surfaced, not
+	// ErrNoBackends — the caller can back off and retry.
+	a.set(nil, serve.Result{Err: &serve.OverloadedError{RetryAfter: time.Millisecond}}, 0)
+	b.set(nil, serve.Result{Err: &serve.OverloadedError{RetryAfter: time.Millisecond}}, 0)
+	res, err := rt.Lookup(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(res.Err, serve.ErrOverloaded) {
+		t.Fatalf("want overload answer, got %+v", res)
+	}
+}
+
+func TestRouterHedgesSlowBackend(t *testing.T) {
+	a := &fakeBackend{name: "a"}
+	b := &fakeBackend{name: "b"}
+	a.set(nil, okResult(1), 200*time.Millisecond) // pathologically slow
+	b.set(nil, okResult(2), 0)
+	rt := NewRouter([]Backend{a, b}, RouterOptions{HedgeAfter: time.Millisecond})
+
+	start := time.Now()
+	res, err := rt.Lookup(1, 5)
+	if err != nil || res.Err != nil {
+		t.Fatalf("hedged lookup: %+v %v", res, err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("hedge did not race the slow backend: %v", elapsed)
+	}
+	if res.Next != 2 {
+		t.Fatalf("expected the hedge's answer, got %+v", res)
+	}
+}
+
+func TestRouterSetBackendsPreservesHealth(t *testing.T) {
+	now := time.Unix(3000, 0)
+	clock := func() time.Time { return now }
+	a := &fakeBackend{name: "a"}
+	b := &fakeBackend{name: "b"}
+	a.set(errConnRefused, serve.Result{}, 0)
+	b.set(nil, okResult(2), 0)
+	rt := NewRouter([]Backend{a, b}, RouterOptions{HedgeAfter: -1, ProbeAfter: time.Hour, Clock: clock})
+	if _, err := rt.Lookup(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if a.calls.Load() != 1 {
+		t.Fatal("setup: a not demoted")
+	}
+
+	// Reconfigure (promotion): a's demotion survives, c joins healthy.
+	c := &fakeBackend{name: "c"}
+	c.set(nil, okResult(3), 0)
+	rt.SetBackends([]Backend{a, b, c})
+	for i := 0; i < 6; i++ {
+		if _, err := rt.Lookup(1, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.calls.Load() != 1 {
+		t.Fatal("demotion lost across SetBackends")
+	}
+	served := rt.Served()
+	if served["b"] == 0 || served["c"] == 0 {
+		t.Fatalf("round robin skipped a healthy backend: %v", served)
+	}
+}

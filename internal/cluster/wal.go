@@ -1,0 +1,444 @@
+// Package cluster replicates a serving engine across a set of peers: one
+// primary owns topology mutation and churn repair, ships every published
+// snapshot as an incremental write-ahead-log record (the edge diff that
+// produced it plus a CRC of the resulting distance matrix), and replicas
+// replay those records through their own serve.Engine. The repo-wide
+// determinism contract (DESIGN.md §8: tables are a pure function of
+// (topology, scheme)) is what makes log shipping sufficient — a replica that
+// applies the same mutation sequence rebuilds byte-identical tables, and the
+// anti-entropy digests in antientropy.go assert exactly that.
+//
+// The WAL is dense-sequenced and bounded: records carry consecutive Seq
+// numbers, a replica that asks for records the log has truncated away gets
+// ErrGone and falls back to a full state fetch, and every frame reuses the
+// CRC-32C section framing of the RTSNAP1 snapshot format so torn or
+// bit-flipped records are rejected by the same code path everywhere.
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+
+	"routetab/internal/serve"
+	"routetab/internal/shortestpath"
+)
+
+// Errors.
+var (
+	// ErrGone reports a WAL fetch whose start point has been truncated away;
+	// the fetcher must fall back to a full state fetch.
+	ErrGone = errors.New("cluster: requested WAL records truncated")
+	// ErrBadRecord reports a record that failed structural or CRC checks.
+	ErrBadRecord = errors.New("cluster: bad WAL record")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// DistCRC is the convergence fingerprint: CRC-32C over the packed row-major
+// distance matrix. Two engines serving byte-identical tables agree on it;
+// anti-entropy and per-record verification both compare this value.
+func DistCRC(d *shortestpath.Distances) uint32 {
+	return crc32.Checksum(d.Packed(), crcTable)
+}
+
+// RecordKind enumerates WAL record types.
+type RecordKind uint8
+
+// Record kinds. Publish records carry the topology diff of one snapshot
+// publication; link and node records carry overlay (failure view) events
+// that have not (yet) been folded into a publication.
+const (
+	RecPublish RecordKind = iota + 1
+	RecLink
+	RecNode
+)
+
+// String implements fmt.Stringer.
+func (k RecordKind) String() string {
+	switch k {
+	case RecPublish:
+		return "publish"
+	case RecLink:
+		return "link"
+	case RecNode:
+		return "node"
+	}
+	return fmt.Sprintf("record-kind-%d", int(k))
+}
+
+// Record is one replicated event. Seq is the dense WAL sequence assigned by
+// the primary's log. Publish records describe snapshot SnapSeq as the edge
+// diff against snapshot SnapSeq−1, with DistCRC fingerprinting the distance
+// matrix the rebuild must produce. Link/node records update the failure
+// overlay: U,V (or U alone) and Down.
+type Record struct {
+	Seq     uint64
+	Kind    RecordKind
+	SnapSeq uint64   // publish
+	DistCRC uint32   // publish
+	Adds    [][2]int // publish: edges added vs previous snapshot
+	Removes [][2]int // publish: edges removed vs previous snapshot
+	U, V    int      // link (U,V) / node (U)
+	Down    bool     // link/node
+}
+
+// Frame tags for the WAL codec, disjoint from the RTSNAP1 section tags.
+var (
+	tagRec      = [4]byte{'W', 'R', 'E', 'C'}
+	tagBatchHdr = [4]byte{'W', 'H', 'D', 'R'}
+	tagStateHdr = [4]byte{'C', 'H', 'D', 'R'}
+	tagOverlay  = [4]byte{'O', 'V', 'L', 'Y'}
+)
+
+func putUvarintPair(buf *bytes.Buffer, p [2]int) {
+	var tmp [binary.MaxVarintLen64]byte
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(p[0]))])
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(p[1]))])
+}
+
+// encodeRecord serialises one record as a CRC-framed WREC section.
+func encodeRecord(w io.Writer, rec Record) error {
+	var buf bytes.Buffer
+	var tmp [binary.MaxVarintLen64]byte
+	buf.WriteByte(byte(rec.Kind))
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], rec.Seq)])
+	switch rec.Kind {
+	case RecPublish:
+		buf.Write(tmp[:binary.PutUvarint(tmp[:], rec.SnapSeq)])
+		binary.Write(&buf, binary.LittleEndian, rec.DistCRC)
+		buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(rec.Adds)))])
+		for _, e := range rec.Adds {
+			putUvarintPair(&buf, e)
+		}
+		buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(rec.Removes)))])
+		for _, e := range rec.Removes {
+			putUvarintPair(&buf, e)
+		}
+	case RecLink:
+		buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(rec.U))])
+		buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(rec.V))])
+		buf.WriteByte(boolByte(rec.Down))
+	case RecNode:
+		buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(rec.U))])
+		buf.WriteByte(boolByte(rec.Down))
+	default:
+		return fmt.Errorf("%w: kind %d", ErrBadRecord, rec.Kind)
+	}
+	return serve.WriteFrame(w, tagRec, buf.Bytes())
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func readPair(r *bytes.Reader) ([2]int, error) {
+	u, err := binary.ReadUvarint(r)
+	if err != nil {
+		return [2]int{}, err
+	}
+	v, err := binary.ReadUvarint(r)
+	if err != nil {
+		return [2]int{}, err
+	}
+	return [2]int{int(u), int(v)}, nil
+}
+
+// decodeRecord reads one framed record, verifying its CRC.
+func decodeRecord(r io.Reader) (Record, error) {
+	payload, err := serve.ReadFrame(r, tagRec)
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: %v", ErrBadRecord, err)
+	}
+	br := bytes.NewReader(payload)
+	kindByte, err := br.ReadByte()
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: truncated record", ErrBadRecord)
+	}
+	rec := Record{Kind: RecordKind(kindByte)}
+	if rec.Seq, err = binary.ReadUvarint(br); err != nil {
+		return Record{}, fmt.Errorf("%w: truncated seq", ErrBadRecord)
+	}
+	switch rec.Kind {
+	case RecPublish:
+		if rec.SnapSeq, err = binary.ReadUvarint(br); err != nil {
+			return Record{}, fmt.Errorf("%w: truncated snap seq", ErrBadRecord)
+		}
+		if err = binary.Read(br, binary.LittleEndian, &rec.DistCRC); err != nil {
+			return Record{}, fmt.Errorf("%w: truncated dist crc", ErrBadRecord)
+		}
+		for _, dst := range []*[][2]int{&rec.Adds, &rec.Removes} {
+			count, err := binary.ReadUvarint(br)
+			if err != nil {
+				return Record{}, fmt.Errorf("%w: truncated edge count", ErrBadRecord)
+			}
+			if count > uint64(br.Len()) { // each edge needs ≥2 bytes
+				return Record{}, fmt.Errorf("%w: edge count %d exceeds payload", ErrBadRecord, count)
+			}
+			for i := uint64(0); i < count; i++ {
+				e, err := readPair(br)
+				if err != nil {
+					return Record{}, fmt.Errorf("%w: truncated edge", ErrBadRecord)
+				}
+				*dst = append(*dst, e)
+			}
+		}
+	case RecLink:
+		e, err := readPair(br)
+		if err != nil {
+			return Record{}, fmt.Errorf("%w: truncated link", ErrBadRecord)
+		}
+		rec.U, rec.V = e[0], e[1]
+		down, err := br.ReadByte()
+		if err != nil {
+			return Record{}, fmt.Errorf("%w: truncated link state", ErrBadRecord)
+		}
+		rec.Down = down != 0
+	case RecNode:
+		u, err := binary.ReadUvarint(br)
+		if err != nil {
+			return Record{}, fmt.Errorf("%w: truncated node", ErrBadRecord)
+		}
+		rec.U = int(u)
+		down, err := br.ReadByte()
+		if err != nil {
+			return Record{}, fmt.Errorf("%w: truncated node state", ErrBadRecord)
+		}
+		rec.Down = down != 0
+	default:
+		return Record{}, fmt.Errorf("%w: unknown kind %d", ErrBadRecord, kindByte)
+	}
+	if br.Len() != 0 {
+		return Record{}, fmt.Errorf("%w: %d trailing bytes", ErrBadRecord, br.Len())
+	}
+	return rec, nil
+}
+
+// WALBatch is a contiguous run of records fetched from a primary, stamped
+// with the primary's epoch so a replica detects promotion (epoch change →
+// its log position is meaningless → full resync).
+type WALBatch struct {
+	Epoch   uint64
+	Records []Record
+}
+
+// EncodeWALBatch frames a batch: a WHDR header (epoch, first seq, count)
+// followed by one WREC frame per record.
+func EncodeWALBatch(w io.Writer, b *WALBatch) error {
+	var hdr bytes.Buffer
+	var tmp [binary.MaxVarintLen64]byte
+	hdr.Write(tmp[:binary.PutUvarint(tmp[:], b.Epoch)])
+	first := uint64(0)
+	if len(b.Records) > 0 {
+		first = b.Records[0].Seq
+	}
+	hdr.Write(tmp[:binary.PutUvarint(tmp[:], first)])
+	hdr.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(b.Records)))])
+	if err := serve.WriteFrame(w, tagBatchHdr, hdr.Bytes()); err != nil {
+		return err
+	}
+	for i := range b.Records {
+		if err := encodeRecord(w, b.Records[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// maxBatchRecords bounds a decoded batch; far above any real fetch, it only
+// stops a corrupted count from allocating unbounded memory.
+const maxBatchRecords = 1 << 22
+
+// DecodeWALBatch reads one framed batch, verifying every record's CRC and
+// that sequences are dense starting at the header's first seq.
+func DecodeWALBatch(r io.Reader) (*WALBatch, error) {
+	hdr, err := serve.ReadFrame(r, tagBatchHdr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: batch header: %v", ErrBadRecord, err)
+	}
+	br := bytes.NewReader(hdr)
+	var b WALBatch
+	if b.Epoch, err = binary.ReadUvarint(br); err != nil {
+		return nil, fmt.Errorf("%w: truncated epoch", ErrBadRecord)
+	}
+	first, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: truncated first seq", ErrBadRecord)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: truncated count", ErrBadRecord)
+	}
+	if count > maxBatchRecords {
+		return nil, fmt.Errorf("%w: batch of %d records", ErrBadRecord, count)
+	}
+	b.Records = make([]Record, 0, count)
+	for i := uint64(0); i < count; i++ {
+		rec, err := decodeRecord(r)
+		if err != nil {
+			return nil, err
+		}
+		if rec.Seq != first+i {
+			return nil, fmt.Errorf("%w: seq %d at batch position %d (first %d)", ErrBadRecord, rec.Seq, i, first)
+		}
+		b.Records = append(b.Records, rec)
+	}
+	return &b, nil
+}
+
+// State is a full replication bootstrap: the primary's epoch, the WAL
+// position the snapshot+overlay are current as of, the failure overlay, and
+// the complete snapshot. A replica adopting a State may then stream WAL
+// records after WalSeq; records at or below it replay idempotently.
+type State struct {
+	Epoch     uint64
+	WalSeq    uint64
+	DownLinks [][2]int
+	DownNodes []int
+	Snap      *serve.SnapshotData
+}
+
+// EncodeState frames a State: CHDR (epoch, wal seq), OVLY (overlay), then
+// the RTSNAP1 snapshot body.
+func EncodeState(w io.Writer, st *State) error {
+	var hdr bytes.Buffer
+	var tmp [binary.MaxVarintLen64]byte
+	hdr.Write(tmp[:binary.PutUvarint(tmp[:], st.Epoch)])
+	hdr.Write(tmp[:binary.PutUvarint(tmp[:], st.WalSeq)])
+	if err := serve.WriteFrame(w, tagStateHdr, hdr.Bytes()); err != nil {
+		return err
+	}
+	var ov bytes.Buffer
+	ov.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(st.DownLinks)))])
+	for _, e := range st.DownLinks {
+		putUvarintPair(&ov, e)
+	}
+	ov.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(st.DownNodes)))])
+	for _, u := range st.DownNodes {
+		ov.Write(tmp[:binary.PutUvarint(tmp[:], uint64(u))])
+	}
+	if err := serve.WriteFrame(w, tagOverlay, ov.Bytes()); err != nil {
+		return err
+	}
+	return serve.EncodeSnapshotData(w, st.Snap)
+}
+
+// DecodeState reads one framed State.
+func DecodeState(r io.Reader) (*State, error) {
+	hdr, err := serve.ReadFrame(r, tagStateHdr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: state header: %v", ErrBadRecord, err)
+	}
+	br := bytes.NewReader(hdr)
+	var st State
+	if st.Epoch, err = binary.ReadUvarint(br); err != nil {
+		return nil, fmt.Errorf("%w: truncated epoch", ErrBadRecord)
+	}
+	if st.WalSeq, err = binary.ReadUvarint(br); err != nil {
+		return nil, fmt.Errorf("%w: truncated wal seq", ErrBadRecord)
+	}
+	ovRaw, err := serve.ReadFrame(r, tagOverlay)
+	if err != nil {
+		return nil, fmt.Errorf("%w: overlay: %v", ErrBadRecord, err)
+	}
+	ov := bytes.NewReader(ovRaw)
+	nLinks, err := binary.ReadUvarint(ov)
+	if err != nil || nLinks > uint64(ov.Len()) {
+		return nil, fmt.Errorf("%w: bad overlay link count", ErrBadRecord)
+	}
+	for i := uint64(0); i < nLinks; i++ {
+		e, err := readPair(ov)
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated overlay link", ErrBadRecord)
+		}
+		st.DownLinks = append(st.DownLinks, e)
+	}
+	nNodes, err := binary.ReadUvarint(ov)
+	if err != nil || nNodes > uint64(ov.Len())+1 {
+		return nil, fmt.Errorf("%w: bad overlay node count", ErrBadRecord)
+	}
+	for i := uint64(0); i < nNodes; i++ {
+		u, err := binary.ReadUvarint(ov)
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated overlay node", ErrBadRecord)
+		}
+		st.DownNodes = append(st.DownNodes, int(u))
+	}
+	if st.Snap, err = serve.DecodeSnapshot(r); err != nil {
+		return nil, fmt.Errorf("%w: snapshot: %v", ErrBadRecord, err)
+	}
+	return &st, nil
+}
+
+// Log is the primary's in-memory WAL: dense sequences starting at 1 within
+// an epoch, bounded by truncation. It is safe for concurrent use.
+type Log struct {
+	mu   sync.Mutex
+	recs []Record
+	// base is the seq of recs[0]−1: records 1…base have been truncated away.
+	base uint64
+	last uint64
+}
+
+// NewLog returns an empty log; the first appended record gets Seq 1.
+func NewLog() *Log { return &Log{} }
+
+// Append assigns the next dense sequence to rec and stores it, returning the
+// assigned sequence.
+func (l *Log) Append(rec Record) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.last++
+	rec.Seq = l.last
+	l.recs = append(l.recs, rec)
+	return rec.Seq
+}
+
+// LastSeq returns the highest assigned sequence (0 when nothing was ever
+// appended).
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.last
+}
+
+// Since returns a copy of every record with Seq > after, in order. If any
+// such record has been truncated away it returns ErrGone — the caller cannot
+// catch up from the log and must fetch full state.
+func (l *Log) Since(after uint64) ([]Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if after < l.base {
+		return nil, fmt.Errorf("%w: have %d…%d, asked after %d", ErrGone, l.base+1, l.last, after)
+	}
+	start := after - l.base
+	if start >= uint64(len(l.recs)) {
+		return nil, nil
+	}
+	out := make([]Record, len(l.recs)-int(start))
+	copy(out, l.recs[start:])
+	return out, nil
+}
+
+// TruncateTo drops every record with Seq ≤ seq, bounding memory; replicas
+// further behind than seq will get ErrGone from Since and resync.
+func (l *Log) TruncateTo(seq uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq <= l.base {
+		return
+	}
+	if seq > l.last {
+		seq = l.last
+	}
+	drop := seq - l.base
+	l.recs = append([]Record(nil), l.recs[drop:]...)
+	l.base = seq
+}

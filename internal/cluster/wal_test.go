@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{Seq: 1, Kind: RecPublish, SnapSeq: 2, DistCRC: 0xDEADBEEF,
+			Adds: [][2]int{{1, 2}}, Removes: [][2]int{{3, 4}, {5, 6}}},
+		{Seq: 2, Kind: RecLink, U: 7, V: 9, Down: true},
+		{Seq: 3, Kind: RecNode, U: 11, Down: true},
+		{Seq: 4, Kind: RecLink, U: 7, V: 9, Down: false},
+		{Seq: 5, Kind: RecPublish, SnapSeq: 3, DistCRC: 1},
+	}
+}
+
+func TestRecordCodecRoundTrip(t *testing.T) {
+	for _, rec := range sampleRecords() {
+		var buf bytes.Buffer
+		if err := encodeRecord(&buf, rec); err != nil {
+			t.Fatalf("encode %v: %v", rec.Kind, err)
+		}
+		got, err := decodeRecord(&buf)
+		if err != nil {
+			t.Fatalf("decode %v: %v", rec.Kind, err)
+		}
+		if got.Seq != rec.Seq || got.Kind != rec.Kind || got.SnapSeq != rec.SnapSeq ||
+			got.DistCRC != rec.DistCRC || got.U != rec.U || got.V != rec.V || got.Down != rec.Down ||
+			len(got.Adds) != len(rec.Adds) || len(got.Removes) != len(rec.Removes) {
+			t.Fatalf("round trip mismatch:\n in  %+v\n out %+v", rec, got)
+		}
+		for i := range rec.Adds {
+			if got.Adds[i] != rec.Adds[i] {
+				t.Fatalf("adds[%d] = %v, want %v", i, got.Adds[i], rec.Adds[i])
+			}
+		}
+		for i := range rec.Removes {
+			if got.Removes[i] != rec.Removes[i] {
+				t.Fatalf("removes[%d] = %v, want %v", i, got.Removes[i], rec.Removes[i])
+			}
+		}
+	}
+}
+
+func TestBatchCodecRoundTrip(t *testing.T) {
+	b := &WALBatch{Epoch: 3, Records: sampleRecords()}
+	var buf bytes.Buffer
+	if err := EncodeWALBatch(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeWALBatch(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 3 || len(got.Records) != len(b.Records) {
+		t.Fatalf("batch mismatch: epoch %d, %d records", got.Epoch, len(got.Records))
+	}
+
+	empty := &WALBatch{Epoch: 1}
+	buf.Reset()
+	if err := EncodeWALBatch(&buf, empty); err != nil {
+		t.Fatal(err)
+	}
+	if got, err = DecodeWALBatch(&buf); err != nil || got.Epoch != 1 || len(got.Records) != 0 {
+		t.Fatalf("empty batch: %+v, %v", got, err)
+	}
+}
+
+// TestBatchCodecRejectsCorruption flips every byte position in turn and
+// requires each corruption to be rejected — the CRC framing must leave no
+// silent window.
+func TestBatchCodecRejectsCorruption(t *testing.T) {
+	b := &WALBatch{Epoch: 2, Records: sampleRecords()}
+	var buf bytes.Buffer
+	if err := EncodeWALBatch(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	accepted := 0
+	for i := range raw {
+		mut := append([]byte(nil), raw...)
+		mut[i] ^= 0x40
+		if _, err := DecodeWALBatch(bytes.NewReader(mut)); err == nil {
+			accepted++
+			t.Errorf("corruption at byte %d accepted", i)
+		}
+	}
+	if accepted != 0 {
+		t.Fatalf("%d of %d corrupt positions accepted", accepted, len(raw))
+	}
+	// Truncation at every prefix length must also be rejected.
+	for cut := 0; cut < len(raw); cut++ {
+		if _, err := DecodeWALBatch(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+}
+
+func TestBatchCodecRejectsNonDenseSeqs(t *testing.T) {
+	recs := sampleRecords()
+	recs[2].Seq = 9 // hole
+	var buf bytes.Buffer
+	if err := EncodeWALBatch(&buf, &WALBatch{Epoch: 1, Records: recs}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeWALBatch(&buf); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("gapped batch decoded: %v", err)
+	}
+}
+
+func TestLogAppendSinceTruncate(t *testing.T) {
+	l := NewLog()
+	if l.LastSeq() != 0 {
+		t.Fatalf("fresh log last seq %d", l.LastSeq())
+	}
+	for i := 0; i < 10; i++ {
+		seq := l.Append(Record{Kind: RecNode, U: i, Down: true})
+		if seq != uint64(i+1) {
+			t.Fatalf("append %d assigned seq %d", i, seq)
+		}
+	}
+	recs, err := l.Since(0)
+	if err != nil || len(recs) != 10 {
+		t.Fatalf("since 0: %d recs, %v", len(recs), err)
+	}
+	recs, err = l.Since(7)
+	if err != nil || len(recs) != 3 || recs[0].Seq != 8 {
+		t.Fatalf("since 7: %+v, %v", recs, err)
+	}
+	recs, err = l.Since(10)
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("since end: %+v, %v", recs, err)
+	}
+
+	l.TruncateTo(6)
+	if _, err := l.Since(5); !errors.Is(err, ErrGone) {
+		t.Fatalf("since truncated point: %v", err)
+	}
+	recs, err = l.Since(6)
+	if err != nil || len(recs) != 4 || recs[0].Seq != 7 {
+		t.Fatalf("since 6 after truncate: %d recs (%v), %v", len(recs), recs, err)
+	}
+	// Appends continue densely after truncation.
+	if seq := l.Append(Record{Kind: RecNode, U: 99}); seq != 11 {
+		t.Fatalf("post-truncate append seq %d", seq)
+	}
+	l.TruncateTo(999)
+	if _, err := l.Since(10); !errors.Is(err, ErrGone) {
+		t.Fatalf("full truncation kept records: %v", err)
+	}
+	if recs, err := l.Since(11); err != nil || len(recs) != 0 {
+		t.Fatalf("since last after full truncation: %v, %v", recs, err)
+	}
+}
+
+func TestStateCodecRoundTrip(t *testing.T) {
+	st := buildTestState(t)
+	var buf bytes.Buffer
+	if err := EncodeState(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeState(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != st.Epoch || got.WalSeq != st.WalSeq {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.DownLinks) != len(st.DownLinks) || len(got.DownNodes) != len(st.DownNodes) {
+		t.Fatalf("overlay mismatch: %+v", got)
+	}
+	if got.Snap.Seq != st.Snap.Seq || !got.Snap.Graph.Equal(st.Snap.Graph) {
+		t.Fatal("snapshot mismatch after state round trip")
+	}
+	if DistCRC(got.Snap.Dist) != DistCRC(st.Snap.Dist) {
+		t.Fatal("distance matrix mismatch after state round trip")
+	}
+}

@@ -52,6 +52,10 @@ func (k EventKind) String() string {
 		return "node-crash"
 	case NodeRecover:
 		return "node-recover"
+	case PeerIsolate:
+		return "peer-isolate"
+	case PeerHeal:
+		return "peer-heal"
 	}
 	return fmt.Sprintf("event-kind-%d", int(k))
 }
@@ -216,6 +220,13 @@ func (in *Injector) advanceTo(tick int) error {
 			err = in.target.SetNodeDown(e.U, true)
 		case NodeRecover:
 			err = in.target.SetNodeDown(e.U, false)
+		case PeerIsolate, PeerHeal:
+			pt, ok := in.target.(PeerTarget)
+			if !ok {
+				err = fmt.Errorf("%w: plan contains %s but target %T is not a PeerTarget", ErrBadConfig, e.Kind, in.target)
+				break
+			}
+			err = pt.SetPeerDown(e.U, e.Kind == PeerIsolate)
 		default:
 			err = fmt.Errorf("%w: unknown event kind %d", ErrBadConfig, int(e.Kind))
 		}

@@ -1,0 +1,90 @@
+// Link-level partition plans: scheduled isolation of cluster peers from
+// their replication feed (and their clients), the failure mode the serving
+// layer's replication harness injects. Where the topology events in plan.go
+// fail links *inside* the served graph, a partition event severs the link
+// *between cluster members* — a replica keeps answering from its last
+// applied state, falls behind the primary's WAL, and must catch up (or fall
+// back to a full snapshot fetch) once the partition heals.
+//
+// Partition events ride the same Plan/Injector machinery: they are ordinary
+// Events with peer-scoped kinds, fire on the logical-tick clock, and apply
+// through the optional PeerTarget extension of Target — determinism is
+// inherited wholesale.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Peer-scoped event kinds. PeerIsolate severs peer U's links to the rest of
+// the cluster (replication feed and client traffic); PeerHeal restores them.
+const (
+	PeerIsolate EventKind = iota + 5
+	PeerHeal
+)
+
+// PeerTarget is the optional control surface for cluster-level partitions.
+// A Target that also implements PeerTarget can be driven by plans containing
+// PeerIsolate/PeerHeal events; applying such an event to a plain Target is a
+// plan/target mismatch and fails loudly.
+type PeerTarget interface {
+	SetPeerDown(peer int, isDown bool) error
+}
+
+// PartitionConfig parameterises RandomPartitionPlan.
+type PartitionConfig struct {
+	// Peers is how many cluster members the plan covers, indexed 0…Peers-1.
+	Peers int
+	// IsolateProb is the probability each peer is partitioned away during
+	// the plan.
+	IsolateProb float64
+	// Horizon is the tick range isolations are scheduled in, as in
+	// PlanConfig.
+	Horizon int
+	// HealAfter, when positive, schedules the matching PeerHeal event
+	// HealAfter ticks after each isolation; 0 leaves partitions in place
+	// for the run.
+	HealAfter int
+}
+
+func (pc PartitionConfig) validate() error {
+	if pc.Peers < 1 {
+		return fmt.Errorf("%w: %d peers", ErrBadConfig, pc.Peers)
+	}
+	if pc.IsolateProb < 0 || pc.IsolateProb >= 1 {
+		return fmt.Errorf("%w: isolate probability %v", ErrBadConfig, pc.IsolateProb)
+	}
+	if pc.Horizon < 0 || pc.HealAfter < 0 {
+		return fmt.Errorf("%w: horizon %d, heal-after %d", ErrBadConfig, pc.Horizon, pc.HealAfter)
+	}
+	return nil
+}
+
+// RandomPartitionPlan draws a partition schedule over a cluster: every peer
+// is isolated independently with probability IsolateProb at a uniform tick
+// within the horizon, optionally healed HealAfter ticks later. Peers are
+// visited in index order, so the plan is a pure function of (pc, seed) —
+// identical across runs, exactly like RandomPlan.
+func RandomPartitionPlan(pc PartitionConfig, seed int64) (*Plan, error) {
+	if err := pc.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var plan Plan
+	for p := 0; p < pc.Peers; p++ {
+		if rng.Float64() >= pc.IsolateProb {
+			continue
+		}
+		t := 0
+		if pc.Horizon > 1 {
+			t = rng.Intn(pc.Horizon)
+		}
+		plan.Events = append(plan.Events, Event{Tick: t, Kind: PeerIsolate, U: p})
+		if pc.HealAfter > 0 {
+			plan.Events = append(plan.Events, Event{Tick: t + pc.HealAfter, Kind: PeerHeal, U: p})
+		}
+	}
+	plan.Sort()
+	return &plan, nil
+}

@@ -1,0 +1,126 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+// peerRecorder implements Target + PeerTarget and records peer transitions.
+type peerRecorder struct {
+	events []Event
+	down   map[int]bool
+}
+
+func (r *peerRecorder) SetLinkDown(u, v int, isDown bool) error { return nil }
+func (r *peerRecorder) SetNodeDown(u int, isDown bool) error    { return nil }
+func (r *peerRecorder) SetPeerDown(peer int, isDown bool) error {
+	kind := PeerHeal
+	if isDown {
+		kind = PeerIsolate
+	}
+	r.events = append(r.events, Event{Kind: kind, U: peer})
+	if r.down == nil {
+		r.down = make(map[int]bool)
+	}
+	r.down[peer] = isDown
+	return nil
+}
+
+func TestRandomPartitionPlanDeterministic(t *testing.T) {
+	pc := PartitionConfig{Peers: 8, IsolateProb: 0.6, Horizon: 5, HealAfter: 2}
+	a, err := RandomPartitionPlan(pc, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomPartitionPlan(pc, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("plan lengths differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs: %v vs %v", i, a.Events[i], b.Events[i])
+		}
+	}
+	if len(a.Events) == 0 {
+		t.Fatal("p=0.6 over 8 peers drew an empty plan")
+	}
+	// Every isolation has its heal exactly HealAfter ticks later.
+	heals := make(map[int]int)
+	for _, e := range a.Events {
+		switch e.Kind {
+		case PeerIsolate:
+			heals[e.U] = e.Tick + pc.HealAfter
+		case PeerHeal:
+			if want, ok := heals[e.U]; !ok || e.Tick != want {
+				t.Fatalf("heal of peer %d at tick %d, want %d", e.U, e.Tick, want)
+			}
+		default:
+			t.Fatalf("unexpected kind %v in partition plan", e.Kind)
+		}
+	}
+}
+
+func TestPartitionPlanDrivesPeerTarget(t *testing.T) {
+	plan := &Plan{Events: []Event{
+		{Tick: 0, Kind: PeerIsolate, U: 1},
+		{Tick: 1, Kind: PeerIsolate, U: 2},
+		{Tick: 2, Kind: PeerHeal, U: 1},
+		{Tick: 3, Kind: PeerHeal, U: 2},
+	}}
+	in, err := New(Config{Seed: 1}, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &peerRecorder{}
+	in.Bind(rec)
+	if err := in.AdvanceTo(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.events) != 2 || !rec.down[1] || !rec.down[2] {
+		t.Fatalf("after tick 1: events=%v down=%v", rec.events, rec.down)
+	}
+	if err := in.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.down[1] || rec.down[2] {
+		t.Fatalf("peers not healed at finish: %v", rec.down)
+	}
+}
+
+// TestPartitionPlanRejectsPlainTarget pins the mismatch failure mode: a plan
+// with peer events applied to a target without SetPeerDown must error, not
+// silently skip the partition.
+func TestPartitionPlanRejectsPlainTarget(t *testing.T) {
+	plan := &Plan{Events: []Event{{Tick: 0, Kind: PeerIsolate, U: 0}}}
+	in, err := New(Config{Seed: 1}, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Bind(nopTarget{})
+	if err := in.Step(); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("plain target accepted peer event: %v", err)
+	}
+}
+
+type nopTarget struct{}
+
+func (nopTarget) SetLinkDown(u, v int, isDown bool) error { return nil }
+func (nopTarget) SetNodeDown(u int, isDown bool) error    { return nil }
+
+func TestPartitionConfigValidation(t *testing.T) {
+	bad := []PartitionConfig{
+		{Peers: 0, IsolateProb: 0.5},
+		{Peers: 3, IsolateProb: -0.1},
+		{Peers: 3, IsolateProb: 1.0},
+		{Peers: 3, IsolateProb: 0.5, Horizon: -1},
+		{Peers: 3, IsolateProb: 0.5, HealAfter: -1},
+	}
+	for _, pc := range bad {
+		if _, err := RandomPartitionPlan(pc, 1); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("config %+v accepted", pc)
+		}
+	}
+}

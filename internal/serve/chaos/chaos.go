@@ -333,14 +333,7 @@ type harness struct {
 	rep *serve.Repairer
 	inj *faultinject.Injector
 
-	answered    atomic.Uint64
-	correct     atomic.Uint64
-	degraded    atomic.Uint64
-	incorrect   atomic.Uint64
-	rejected    atomic.Uint64
-	unavailable atomic.Uint64
-	errored     atomic.Uint64
-	maxExtra    atomic.Int64
+	grader
 
 	burstEvents     int
 	stallsDone      int
@@ -674,50 +667,6 @@ func (h *harness) drive(phases []phase) (*Report, error) {
 		return rep, ErrNotHealed
 	}
 	return rep, nil
-}
-
-// grade judges one answer and returns a suggested backoff when the server
-// asked for one. Soundness of the strict branch: Dist/NextDist come from the
-// same snapshot that produced Next, so hot swaps and rebuilds mid-run cannot
-// produce false positives or false negatives.
-func (h *harness) grade(r *serve.Result) time.Duration {
-	var oe *serve.OverloadedError
-	switch {
-	case errors.As(r.Err, &oe):
-		h.rejected.Add(1)
-		return oe.RetryAfter
-	case errors.Is(r.Err, serve.ErrOverloaded), errors.Is(r.Err, serve.ErrClosed):
-		h.rejected.Add(1)
-		return 500 * time.Microsecond
-	case errors.Is(r.Err, serve.ErrUnavailable):
-		h.unavailable.Add(1)
-		return 0
-	case r.Err != nil:
-		h.errored.Add(1)
-		return 0
-	case r.Degraded:
-		// Detour budget: first hop + remaining snapshot distance within
-		// +2 hops of the snapshot's shortest path.
-		if r.NextDist < 0 || (r.Dist >= 0 && 1+r.NextDist > r.Dist+2) {
-			h.incorrect.Add(1)
-			return 0
-		}
-		extra := int64(1 + r.NextDist - r.Dist)
-		for {
-			cur := h.maxExtra.Load()
-			if extra <= cur || h.maxExtra.CompareAndSwap(cur, extra) {
-				break
-			}
-		}
-		h.degraded.Add(1)
-		return 0
-	case r.NextDist == r.Dist-1:
-		h.correct.Add(1)
-		return 0
-	default:
-		h.incorrect.Add(1)
-		return 0
-	}
 }
 
 func clampProb(p float64) float64 {

@@ -1,0 +1,848 @@
+// Cluster chaos: the replication-layer counterpart of Run. A primary and a
+// set of replicas serve the same topology; a cluster.Router fans a graded
+// closed-loop load across all of them while the harness injects the failure
+// modes a replicated routing service meets — replica partitions from a
+// seeded faultinject partition plan, WAL corruption and truncation forcing
+// snapshot-fetch fallbacks, and a primary kill recovered by promoting a
+// replica — and grades every single answer.
+//
+// The contract extends the single-node harness's rule to the cluster:
+// failures may cost availability (bounded by a much tighter budget, since a
+// healthy member can almost always answer) but never correctness, and at
+// quiesce every member must be serving byte-identical tables — asserted
+// first by anti-entropy digests, then by comparing full packed distance
+// matrices.
+//
+// Every replication fetch round-trips through the real WAL/state codec
+// (encode → optionally corrupt → decode), so the bytes a routetabd cluster
+// would put on the wire are the bytes this harness grades.
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"routetab/internal/cluster"
+	"routetab/internal/faultinject"
+	"routetab/internal/gengraph"
+	"routetab/internal/graph"
+	"routetab/internal/serve"
+)
+
+// ClusterConfig parameterises one cluster chaos run.
+type ClusterConfig struct {
+	// N is the G(n, 1/2) topology size (default 64).
+	N int
+	// Seed keys the topology, query streams, churn, and partition plan.
+	Seed int64
+	// Scheme must be shortest-path (default "fulltable").
+	Scheme string
+	// Replicas is how many followers join the primary (default 2 — a
+	// 3-member cluster).
+	Replicas int
+	// Lookups is the total lookup target across workers (default 120_000).
+	Lookups uint64
+	// Workers is the closed-loop client count (default 6).
+	Workers int
+	// ChurnRounds is how many topology mutations the primary publishes
+	// across the run (default 12; each is an edge toggle or a link
+	// fail/heal cycle through the repairer).
+	ChurnRounds int
+	// PartitionHealAfter is how many partition-plan ticks an isolated
+	// replica stays cut off (default 2).
+	PartitionHealAfter int
+	// Corruptions is how many WAL fetches are bit-flipped on the wire
+	// (default 1; each must end in a clean resync, never divergence).
+	Corruptions int
+	// Truncations is how many times the primary truncates its WAL under a
+	// lagging replica (default 1).
+	Truncations int
+	// KillPrimary fires the primary kill + promotion phase (default true;
+	// set SkipKill to disable).
+	SkipKill bool
+	// MaxUnavailableFrac bounds the tolerated unserved fraction across the
+	// whole cluster (default 0.01 — replication exists to keep answering).
+	MaxUnavailableFrac float64
+	// SyncInterval paces replica WAL pulls (default 300µs).
+	SyncInterval time.Duration
+}
+
+func (c *ClusterConfig) setDefaults() {
+	if c.N < 8 {
+		c.N = 64
+	}
+	if c.Scheme == "" {
+		c.Scheme = "fulltable"
+	}
+	if c.Replicas < 1 {
+		c.Replicas = 2
+	}
+	if c.Lookups == 0 {
+		c.Lookups = 120_000
+	}
+	if c.Workers < 1 {
+		c.Workers = 6
+	}
+	if c.ChurnRounds == 0 {
+		c.ChurnRounds = 12
+	}
+	if c.PartitionHealAfter <= 0 {
+		c.PartitionHealAfter = 2
+	}
+	if c.Corruptions < 0 {
+		c.Corruptions = 0
+	} else if c.Corruptions == 0 {
+		c.Corruptions = 1
+	}
+	if c.Truncations < 0 {
+		c.Truncations = 0
+	} else if c.Truncations == 0 {
+		c.Truncations = 1
+	}
+	if c.MaxUnavailableFrac <= 0 {
+		c.MaxUnavailableFrac = 0.01
+	}
+	if c.SyncInterval <= 0 {
+		c.SyncInterval = 300 * time.Microsecond
+	}
+}
+
+// MemberStats is one member's share of the run.
+type MemberStats struct {
+	Name   string  `json:"name"`
+	Served uint64  `json:"served"`
+	QPS    float64 `json:"qps"`
+}
+
+// ClusterReport is one cluster chaos run's graded outcome.
+type ClusterReport struct {
+	Scheme  string `json:"scheme"`
+	N       int    `json:"n"`
+	Seed    int64  `json:"seed"`
+	Members int    `json:"members"`
+
+	Lookups     uint64 `json:"lookups"`
+	Correct     uint64 `json:"correct"`
+	Degraded    uint64 `json:"degraded"`
+	Incorrect   uint64 `json:"incorrect"`
+	Rejected    uint64 `json:"rejected"`
+	Unavailable uint64 `json:"unavailable"`
+	Errored     uint64 `json:"errored"`
+
+	ChurnRounds  int    `json:"churn_rounds"`
+	Partitions   int    `json:"partitions"`
+	Corruptions  int    `json:"corruptions"`
+	Truncations  int    `json:"truncations"`
+	Promoted     bool   `json:"promoted"`
+	FinalEpoch   uint64 `json:"final_epoch"`
+	Resyncs      uint64 `json:"resyncs"`
+	MaxReplayLag uint64 `json:"max_replay_lag"`
+
+	AvailabilityPct    float64       `json:"availability_pct"`
+	MaxDetourExtraHops int64         `json:"max_detour_extra_hops"`
+	FailoverNs         int64         `json:"failover_ns"`
+	DigestsConverged   bool          `json:"digests_converged"`
+	TablesIdentical    bool          `json:"tables_identical"`
+	PerMember          []MemberStats `json:"per_member"`
+	Elapsed            time.Duration `json:"elapsed_ns"`
+	QPS                float64       `json:"qps"`
+}
+
+// String renders the headline figures.
+func (r *ClusterReport) String() string {
+	return fmt.Sprintf("cluster %s n=%d members=%d: %d lookups (%.0f qps), %.3f%% available (correct=%d degraded=%d rejected=%d unavailable=%d errored=%d incorrect=%d), %d churn rounds, %d partitions, %d corruptions, %d truncations, promoted=%v epoch=%d resyncs=%d lag≤%d, failover %v, digests converged=%v tables identical=%v",
+		r.Scheme, r.N, r.Members, r.Lookups, r.QPS, r.AvailabilityPct,
+		r.Correct, r.Degraded, r.Rejected, r.Unavailable, r.Errored, r.Incorrect,
+		r.ChurnRounds, r.Partitions, r.Corruptions, r.Truncations,
+		r.Promoted, r.FinalEpoch, r.Resyncs, r.MaxReplayLag,
+		time.Duration(r.FailoverNs), r.DigestsConverged, r.TablesIdentical)
+}
+
+// Cluster-run failure modes.
+var (
+	ErrDiverged = errors.New("chaos: cluster members diverged at quiesce")
+	ErrFailover = errors.New("chaos: cluster did not recover from primary kill")
+)
+
+// gate is one member's reachability: both its replication feed and its
+// client traffic fail while down, like a real network partition.
+type gate struct{ down atomic.Bool }
+
+var errUnreachable = errors.New("chaos: member unreachable (partitioned)")
+
+// chaosSource wraps the current primary with the harness's failure
+// injection. Every fetch round-trips through the wire codec; an armed
+// corruption bit-flips the encoded batch mid-flight.
+type chaosSource struct {
+	mu          sync.Mutex
+	target      cluster.Source
+	gate        *gate
+	corruptNext bool
+	corrupted   int
+	rng         *rand.Rand
+}
+
+func (cs *chaosSource) setTarget(s cluster.Source) {
+	cs.mu.Lock()
+	cs.target = s
+	cs.mu.Unlock()
+}
+
+func (cs *chaosSource) current() (cluster.Source, error) {
+	if cs.gate.down.Load() {
+		return nil, errUnreachable
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.target, nil
+}
+
+func (cs *chaosSource) FetchState() (*cluster.State, error) {
+	t, err := cs.current()
+	if err != nil {
+		return nil, err
+	}
+	st, err := t.FetchState()
+	if err != nil {
+		return nil, err
+	}
+	// Wire round trip: a routetabd replica would receive these bytes.
+	var buf bytes.Buffer
+	if err := cluster.EncodeState(&buf, st); err != nil {
+		return nil, err
+	}
+	return cluster.DecodeState(&buf)
+}
+
+func (cs *chaosSource) FetchWAL(after uint64) (*cluster.WALBatch, error) {
+	t, err := cs.current()
+	if err != nil {
+		return nil, err
+	}
+	b, err := t.FetchWAL(after)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := cluster.EncodeWALBatch(&buf, b); err != nil {
+		return nil, err
+	}
+	raw := buf.Bytes()
+	cs.mu.Lock()
+	doCorrupt := cs.corruptNext && len(b.Records) > 0 && len(raw) > 0
+	if doCorrupt {
+		cs.corruptNext = false
+		cs.corrupted++
+		raw[cs.rng.Intn(len(raw))] ^= 1 << uint(cs.rng.Intn(8))
+	}
+	cs.mu.Unlock()
+	decoded, err := cluster.DecodeWALBatch(bytes.NewReader(raw))
+	if err != nil {
+		if doCorrupt {
+			// The codec caught the flip, as it must; surface it as
+			// corruption so the replica falls back to a state fetch.
+			return nil, fmt.Errorf("%w: injected wire corruption: %v", cluster.ErrBadRecord, err)
+		}
+		return nil, err
+	}
+	if doCorrupt {
+		// The flip landed on a byte the codec provably cannot distinguish
+		// (it reproduced identical records) or got lucky against CRC-32C —
+		// astronomically unlikely; treat the fetch as clean.
+		return decoded, nil
+	}
+	return decoded, nil
+}
+
+func (cs *chaosSource) FetchDigest() (cluster.Digest, error) {
+	t, err := cs.current()
+	if err != nil {
+		return cluster.Digest{}, err
+	}
+	return t.FetchDigest()
+}
+
+// member is one cluster node as the router sees it.
+type member struct {
+	name string
+	gate *gate
+	srv  atomic.Pointer[serve.Server]
+}
+
+func (m *member) Name() string { return m.name }
+
+// Lookup implements cluster.Backend: a partitioned or dead member is a
+// transport error; everything else is the local server's answer.
+func (m *member) Lookup(src, dst int) (serve.Result, error) {
+	if m.gate.down.Load() {
+		return serve.Result{}, errUnreachable
+	}
+	srv := m.srv.Load()
+	if srv == nil {
+		return serve.Result{}, errUnreachable
+	}
+	return srv.NextHop(src, dst), nil
+}
+
+// clusterHarness is one run's mutable state.
+type clusterHarness struct {
+	cfg ClusterConfig
+	grader
+
+	primary  *cluster.Primary
+	members  []*member // members[0] is the initial primary
+	replicas []*cluster.Replica
+	sources  []*chaosSource // per replica
+	router   *cluster.Router
+	inj      *faultinject.Injector
+
+	churnDone   int
+	partitions  int
+	truncations int
+	promoted    bool
+	failoverNs  int64
+	maxLag      uint64
+}
+
+// SetPeerDown implements faultinject.PeerTarget: peer i is replica i,
+// severed from both its feed and its clients.
+func (h *clusterHarness) SetPeerDown(peer int, isDown bool) error {
+	if peer < 0 || peer >= len(h.replicas) {
+		return fmt.Errorf("chaos: partition of unknown peer %d", peer)
+	}
+	h.members[peer+1].gate.down.Store(isDown)
+	if isDown {
+		h.partitions++
+	}
+	return nil
+}
+
+// SetLinkDown and SetNodeDown satisfy faultinject.Target (the partition plan
+// contains only peer events, but the injector requires the base interface).
+func (h *clusterHarness) SetLinkDown(u, v int, isDown bool) error {
+	return h.primary.SetLinkDown(u, v, isDown)
+}
+func (h *clusterHarness) SetNodeDown(u int, isDown bool) error {
+	return h.primary.SetNodeDown(u, isDown)
+}
+
+// RunCluster executes one cluster chaos run. The report is complete even on
+// failure; the error names the broken invariant.
+func RunCluster(cfg ClusterConfig) (*ClusterReport, error) {
+	cfg.setDefaults()
+	if !serve.KnownScheme(cfg.Scheme) {
+		return nil, fmt.Errorf("chaos: unknown scheme %q", cfg.Scheme)
+	}
+	if !serve.IsShortestPath(cfg.Scheme) {
+		return nil, fmt.Errorf("chaos: scheme %q is not shortest-path; strict grading needs stretch 1", cfg.Scheme)
+	}
+	g, err := gengraph.GnHalf(cfg.N, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	eng, err := serve.NewEngine(g, cfg.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	srvOpts := serve.ServerOptions{Shards: 2, QueueCap: cfg.Workers * 4}
+	srv := serve.NewServer(eng, srvOpts)
+	rep := serve.NewRepairer(srv, serve.RepairOptions{})
+	p, err := cluster.NewPrimary(eng, srv, rep, 1)
+	if err != nil {
+		rep.Close()
+		srv.Close()
+		return nil, err
+	}
+
+	h := &clusterHarness{cfg: cfg, primary: p}
+	pm := &member{name: "member-0", gate: &gate{}}
+	pm.srv.Store(srv)
+	h.members = append(h.members, pm)
+
+	for i := 0; i < cfg.Replicas; i++ {
+		cs := &chaosSource{target: p, gate: &gate{}, rng: rand.New(rand.NewSource(cfg.Seed*7919 + int64(i)))}
+		r, err := cluster.JoinReplica(cs, cluster.ReplicaOptions{
+			Server:       srvOpts,
+			SyncInterval: cfg.SyncInterval,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("chaos: replica %d join: %w", i, err)
+		}
+		r.Start()
+		rm := &member{name: fmt.Sprintf("member-%d", i+1), gate: cs.gate}
+		rm.srv.Store(r.Server())
+		h.replicas = append(h.replicas, r)
+		h.sources = append(h.sources, cs)
+		h.members = append(h.members, rm)
+	}
+	defer func() {
+		for _, r := range h.replicas {
+			r.Close()
+		}
+		h.primary.Close()
+		rep.Close()
+		srv.Close()
+	}()
+
+	backends := make([]cluster.Backend, len(h.members))
+	for i, m := range h.members {
+		backends[i] = m
+	}
+	h.router = cluster.NewRouter(backends, cluster.RouterOptions{
+		HedgeAfter: 500 * time.Microsecond,
+		ProbeAfter: 2 * time.Millisecond,
+	})
+
+	// Partition plan: every replica isolated once, healed PartitionHealAfter
+	// ticks later, on a deterministic schedule.
+	plan, err := faultinject.RandomPartitionPlan(faultinject.PartitionConfig{
+		Peers:       cfg.Replicas,
+		IsolateProb: 0.999, // isolate every replica exactly once
+		Horizon:     max(cfg.Replicas, 1),
+		HealAfter:   cfg.PartitionHealAfter,
+	}, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	h.inj, err = faultinject.New(faultinject.Config{Seed: cfg.Seed}, plan)
+	if err != nil {
+		return nil, err
+	}
+	h.inj.Bind(h)
+
+	return h.drive()
+}
+
+// churn publishes one deterministic topology change through the primary:
+// even rounds toggle an edge via Mutate, odd rounds run a link fail +
+// repair-flush + heal cycle through the repairer (exercising RecLink
+// shipping and overlay reconciliation on replicas).
+func (h *clusterHarness) churn(round int) error {
+	cur := h.primary.Engine().Current()
+	edges := cur.Graph.Edges()
+	if len(edges) == 0 {
+		return errors.New("chaos: topology ran out of edges")
+	}
+	e := edges[(round*2654435761)%len(edges)]
+	if round%2 == 0 {
+		_, err := h.primary.Mutate(func(gr *graph.Graph) error {
+			if gr.HasEdge(e[0], e[1]) {
+				if err := gr.RemoveEdge(e[0], e[1]); err != nil {
+					return err
+				}
+				if !gr.IsConnected() {
+					return gr.AddEdge(e[0], e[1]) // keep connected: no-op round
+				}
+				return nil
+			}
+			return gr.AddEdge(e[0], e[1])
+		})
+		if err != nil {
+			return err
+		}
+	} else {
+		if err := h.primary.SetLinkDown(e[0], e[1], true); err != nil {
+			return err
+		}
+		if err := h.primary.SetLinkDown(e[0], e[1], false); err != nil {
+			return err
+		}
+	}
+	h.churnDone++
+	return nil
+}
+
+// sampleLag folds the replicas' current replay lag into the running max.
+func (h *clusterHarness) sampleLag() {
+	for _, r := range h.replicas {
+		if _, _, lag := r.Stats(); lag > h.maxLag {
+			h.maxLag = lag
+		}
+	}
+}
+
+// settle waits for every reachable replica to catch up with the current
+// primary (bounded; convergence is verified for real at quiesce).
+func (h *clusterHarness) settle(deadline time.Duration) {
+	until := time.Now().Add(deadline)
+	for time.Now().Before(until) {
+		h.sampleLag()
+		pd, err := h.primary.FetchDigest()
+		if err != nil {
+			return
+		}
+		ok := true
+		for i, r := range h.replicas {
+			if h.sources[i].gate.down.Load() {
+				continue
+			}
+			if r.Digest() != pd {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// buildPhases lays out the deterministic injection schedule: churn warmup,
+// a partition + churn-under-partition + heal cycle per replica, a WAL
+// corruption, a truncation under lag, the primary kill + promotion, then
+// final churn on the new primary.
+func (h *clusterHarness) buildPhases() []phase {
+	var ps []phase
+	round := 0
+	nextChurn := func() int { r := round; round++; return r }
+
+	churnN := func(k int) func() error {
+		return func() error {
+			for i := 0; i < k; i++ {
+				if err := h.churn(nextChurn()); err != nil {
+					return err
+				}
+			}
+			h.sampleLag()
+			return nil
+		}
+	}
+
+	ps = append(ps, phase{name: "churn warmup", run: churnN(2)})
+
+	// One injector tick per scheduled partition event; churn continues
+	// while members are cut off, forcing real catch-up on heal.
+	horizon := h.cfg.Replicas + h.cfg.PartitionHealAfter + 1
+	for t := 0; t <= horizon; t++ {
+		tick := t
+		ps = append(ps, phase{name: fmt.Sprintf("partition tick %d", tick), run: func() error {
+			if err := h.inj.AdvanceTo(tick); err != nil {
+				return err
+			}
+			return churnN(1)()
+		}})
+	}
+	ps = append(ps, phase{name: "heal partitions", run: func() error {
+		if err := h.inj.Finish(); err != nil {
+			return err
+		}
+		h.settle(2 * time.Second)
+		return nil
+	}})
+
+	for c := 0; c < h.cfg.Corruptions; c++ {
+		idx := c % len(h.sources)
+		ps = append(ps, phase{name: fmt.Sprintf("wal corruption replica %d", idx), run: func() error {
+			h.sources[idx].mu.Lock()
+			h.sources[idx].corruptNext = true
+			h.sources[idx].mu.Unlock()
+			if err := churnN(1)(); err != nil {
+				return err
+			}
+			h.settle(2 * time.Second)
+			return nil
+		}})
+	}
+
+	for tr := 0; tr < h.cfg.Truncations; tr++ {
+		ps = append(ps, phase{name: "wal truncation", run: func() error {
+			if err := churnN(2)(); err != nil {
+				return err
+			}
+			// Drop the whole log: any replica that has not pulled yet gets
+			// ErrGone and must fall back to a state fetch.
+			h.primary.Log().TruncateTo(h.primary.Log().LastSeq())
+			h.truncations++
+			h.settle(2 * time.Second)
+			return nil
+		}})
+	}
+
+	if !h.cfg.SkipKill {
+		ps = append(ps, phase{name: "primary kill + promotion", run: h.killPromote})
+	}
+
+	ps = append(ps, phase{name: "final churn", run: func() error {
+		if err := churnN(2)(); err != nil {
+			return err
+		}
+		h.settle(2 * time.Second)
+		return nil
+	}})
+	return ps
+}
+
+// killPromote kills the primary (unreachable to clients and replicas,
+// publish hook detached), promotes replica 0 under a bumped epoch, points
+// the surviving replicas at it, and measures kill → first routed answer
+// after promotion as the failover latency.
+func (h *clusterHarness) killPromote() error {
+	start := time.Now()
+	h.members[0].gate.down.Store(true)
+	h.primary.Close()
+
+	np, err := h.replicas[0].Promote()
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrFailover, err)
+	}
+	h.primary = np
+	h.promoted = true
+	// The promoted member's gate: reuse its member slot — it keeps serving
+	// through its existing server, now as primary. Surviving replicas
+	// re-point their feed (cluster membership change) and will observe the
+	// epoch bump and resync.
+	for i := 1; i < len(h.replicas); i++ {
+		h.sources[i].setTarget(np)
+	}
+	// The dead member's backend stays down; the router steers around it.
+	for {
+		res, err := h.router.Lookup(1, 2)
+		h.answered.Add(1)
+		h.grade(&res)
+		if err == nil && res.Err == nil {
+			break
+		}
+		if time.Since(start) > 5*time.Second {
+			return fmt.Errorf("%w: no routed answer %v after kill", ErrFailover, time.Since(start))
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	h.failoverNs = time.Since(start).Nanoseconds()
+	h.settle(2 * time.Second)
+	return nil
+}
+
+// drive runs the routed closed-loop workers, fires phases at progress
+// milestones, then quiesces and grades convergence.
+func (h *clusterHarness) drive() (*ClusterReport, error) {
+	cfg := h.cfg
+	stop := make(chan struct{})
+	var once sync.Once
+	halt := func() { once.Do(func() { close(stop) }) }
+
+	var issued atomic.Uint64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(w)*7919))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if issued.Add(1) > cfg.Lookups {
+					halt()
+					return
+				}
+				src := rng.Intn(cfg.N) + 1
+				dst := rng.Intn(cfg.N-1) + 1
+				if dst >= src {
+					dst++
+				}
+				res, err := h.router.Lookup(src, dst)
+				h.answered.Add(1)
+				if err != nil {
+					// Whole-cluster transport failure: graded as unavailable.
+					h.unavailable.Add(1)
+					continue
+				}
+				if b := h.grade(&res); b > 0 {
+					if b > time.Millisecond {
+						b = time.Millisecond
+					}
+					time.Sleep(b)
+				}
+			}
+		}()
+	}
+
+	phases := h.buildPhases()
+	ctlErr := make(chan error, 1)
+	var ctlWG sync.WaitGroup
+	ctlWG.Add(1)
+	go func() {
+		defer ctlWG.Done()
+		total := len(phases)
+		for k, ph := range phases {
+			threshold := cfg.Lookups * uint64(k+1) / uint64(total+1)
+			for h.answered.Load() < threshold {
+				select {
+				case <-stop:
+				case <-time.After(100 * time.Microsecond):
+					continue
+				}
+				break
+			}
+			if err := ph.run(); err != nil {
+				select {
+				case ctlErr <- fmt.Errorf("chaos cluster phase %q: %w", ph.name, err):
+				default:
+				}
+				halt()
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	halt()
+	ctlWG.Wait()
+	elapsed := time.Since(start)
+
+	var phaseErr error
+	select {
+	case phaseErr = <-ctlErr:
+	default:
+	}
+
+	// Quiesce: force every replica through a final sync against the current
+	// primary, then compare digests and full packed matrices.
+	for i, r := range h.replicas {
+		h.sources[i].gate.down.Store(false)
+		if h.promoted && i == 0 {
+			continue // replica 0 is the primary now
+		}
+		_ = r.Sync()
+	}
+	h.settle(3 * time.Second)
+	h.sampleLag()
+
+	live := h.liveReplicas()
+	converged, _, entErr := cluster.CheckEntropy(h.primary, live...)
+	if entErr != nil && phaseErr == nil {
+		phaseErr = entErr
+	}
+	identical := true
+	want := h.primary.Engine().Current().Dist.Packed()
+	for _, r := range live {
+		if !bytes.Equal(r.Engine().Current().Dist.Packed(), want) {
+			identical = false
+		}
+	}
+
+	var resyncs uint64
+	for _, r := range h.replicas {
+		_, rs, _ := r.Stats()
+		resyncs += rs
+	}
+	corruptions := 0
+	for _, cs := range h.sources {
+		cs.mu.Lock()
+		corruptions += cs.corrupted
+		cs.mu.Unlock()
+	}
+
+	rep := &ClusterReport{
+		Scheme:             cfg.Scheme,
+		N:                  cfg.N,
+		Seed:               cfg.Seed,
+		Members:            len(h.members),
+		Lookups:            h.answered.Load(),
+		Correct:            h.correct.Load(),
+		Degraded:           h.degraded.Load(),
+		Incorrect:          h.incorrect.Load(),
+		Rejected:           h.rejected.Load(),
+		Unavailable:        h.unavailable.Load(),
+		Errored:            h.errored.Load(),
+		ChurnRounds:        h.churnDone,
+		Partitions:         h.partitions,
+		Corruptions:        corruptions,
+		Truncations:        h.truncations,
+		Promoted:           h.promoted,
+		FinalEpoch:         h.primary.Epoch(),
+		Resyncs:            resyncs,
+		MaxReplayLag:       h.maxLag,
+		MaxDetourExtraHops: h.maxExtra.Load(),
+		FailoverNs:         h.failoverNs,
+		DigestsConverged:   converged,
+		TablesIdentical:    identical,
+		Elapsed:            elapsed,
+	}
+	if elapsed > 0 {
+		rep.QPS = float64(rep.Lookups) / elapsed.Seconds()
+	}
+	served := rep.Correct + rep.Degraded
+	if rep.Lookups > 0 {
+		rep.AvailabilityPct = 100 * float64(served) / float64(rep.Lookups)
+	}
+	for name, n := range h.router.Served() {
+		ms := MemberStats{Name: name, Served: n}
+		if elapsed > 0 {
+			ms.QPS = float64(n) / elapsed.Seconds()
+		}
+		rep.PerMember = append(rep.PerMember, ms)
+	}
+	sortMembers(rep.PerMember)
+
+	switch {
+	case phaseErr != nil:
+		return rep, phaseErr
+	case rep.Incorrect > 0:
+		return rep, fmt.Errorf("%w: %d of %d", ErrIncorrect, rep.Incorrect, rep.Lookups)
+	case rep.MaxDetourExtraHops > 2:
+		return rep, fmt.Errorf("%w: +%d hops", ErrDetourBudget, rep.MaxDetourExtraHops)
+	case rep.Lookups > 0 && float64(rep.Lookups-served) > cfg.MaxUnavailableFrac*float64(rep.Lookups):
+		return rep, fmt.Errorf("%w: %d of %d unserved (budget %.1f%%)",
+			ErrBudget, rep.Lookups-served, rep.Lookups, 100*cfg.MaxUnavailableFrac)
+	case !converged || !identical:
+		return rep, fmt.Errorf("%w: digests converged=%v, tables identical=%v", ErrDiverged, converged, identical)
+	case !cfg.SkipKill && !rep.Promoted:
+		return rep, ErrFailover
+	}
+	return rep, nil
+}
+
+// liveReplicas returns the replicas still following (excluding one promoted
+// to primary).
+func (h *clusterHarness) liveReplicas() []*cluster.Replica {
+	var out []*cluster.Replica
+	for i, r := range h.replicas {
+		if h.promoted && i == 0 {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func sortMembers(ms []MemberStats) {
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && ms[j].Name < ms[j-1].Name; j-- {
+			ms[j], ms[j-1] = ms[j-1], ms[j]
+		}
+	}
+}
+
+// ClusterCSVHeader is the docs/cluster artefact header row (EXPERIMENTS.md
+// E16).
+const ClusterCSVHeader = "scheme,n,seed,members,lookups,correct,degraded,rejected,unavailable,errored,incorrect,availability_pct,churn_rounds,partitions,corruptions,truncations,promoted,final_epoch,resyncs,max_replay_lag,failover_ns,digests_converged,tables_identical,qps"
+
+// WriteClusterCSV renders cluster reports in the artefact layout.
+func WriteClusterCSV(w io.Writer, reports []*ClusterReport) error {
+	if _, err := fmt.Fprintln(w, ClusterCSVHeader); err != nil {
+		return err
+	}
+	for _, r := range reports {
+		_, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.4f,%d,%d,%d,%d,%v,%d,%d,%d,%d,%v,%v,%.0f\n",
+			r.Scheme, r.N, r.Seed, r.Members, r.Lookups, r.Correct, r.Degraded, r.Rejected,
+			r.Unavailable, r.Errored, r.Incorrect, r.AvailabilityPct, r.ChurnRounds, r.Partitions,
+			r.Corruptions, r.Truncations, r.Promoted, r.FinalEpoch, r.Resyncs, r.MaxReplayLag,
+			r.FailoverNs, r.DigestsConverged, r.TablesIdentical, r.QPS)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package chaos
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunClusterSmall is the deterministic tier-1 cluster gate: a 3-member
+// G(32, 1/2) cluster must survive a partition of every replica, a WAL
+// corruption, a WAL truncation, and a primary kill + promotion with zero
+// incorrect answers and byte-identical convergence at quiesce.
+func TestRunClusterSmall(t *testing.T) {
+	cfg := ClusterConfig{
+		N:        32,
+		Seed:     7,
+		Scheme:   "fulltable",
+		Replicas: 2,
+		Lookups:  30_000,
+		Workers:  4,
+	}
+	rep, err := RunCluster(cfg)
+	if err != nil {
+		t.Fatalf("cluster chaos run failed: %v\nreport: %v", err, rep)
+	}
+	if rep.Incorrect != 0 {
+		t.Fatalf("incorrect answers: %d", rep.Incorrect)
+	}
+	if rep.Correct == 0 {
+		t.Fatalf("no correct answers graded (lookups=%d)", rep.Lookups)
+	}
+	if rep.Members != 3 {
+		t.Errorf("members = %d, want 3", rep.Members)
+	}
+	if rep.Partitions < cfg.Replicas {
+		t.Errorf("partitions injected = %d, want ≥ %d", rep.Partitions, cfg.Replicas)
+	}
+	if rep.Corruptions != 1 {
+		t.Errorf("corruptions injected = %d, want 1", rep.Corruptions)
+	}
+	if rep.Truncations != 1 {
+		t.Errorf("truncations = %d, want 1", rep.Truncations)
+	}
+	if !rep.Promoted || rep.FinalEpoch != 2 {
+		t.Errorf("promotion: promoted=%v epoch=%d, want true/2", rep.Promoted, rep.FinalEpoch)
+	}
+	if rep.FailoverNs <= 0 {
+		t.Errorf("failover latency not measured")
+	}
+	if rep.Resyncs == 0 {
+		t.Errorf("no resyncs recorded (corruption/truncation/promotion must force some)")
+	}
+	if !rep.DigestsConverged || !rep.TablesIdentical {
+		t.Errorf("quiesce: digests=%v identical=%v", rep.DigestsConverged, rep.TablesIdentical)
+	}
+	if rep.AvailabilityPct < 99 {
+		t.Errorf("availability %.3f%% below 99%%", rep.AvailabilityPct)
+	}
+	served := uint64(0)
+	for _, m := range rep.PerMember {
+		served += m.Served
+	}
+	if served == 0 {
+		t.Errorf("per-member accounting empty: %+v", rep.PerMember)
+	}
+}
+
+// TestRunClusterNoKill checks the partition/corruption path standalone: no
+// promotion, epoch stays 1, and convergence still holds.
+func TestRunClusterNoKill(t *testing.T) {
+	rep, err := RunCluster(ClusterConfig{
+		N:        24,
+		Seed:     11,
+		Replicas: 2,
+		Lookups:  15_000,
+		Workers:  3,
+		SkipKill: true,
+	})
+	if err != nil {
+		t.Fatalf("cluster chaos run failed: %v\nreport: %v", err, rep)
+	}
+	if rep.Promoted || rep.FinalEpoch != 1 {
+		t.Errorf("no-kill run promoted=%v epoch=%d", rep.Promoted, rep.FinalEpoch)
+	}
+	if !rep.DigestsConverged || !rep.TablesIdentical {
+		t.Errorf("quiesce: digests=%v identical=%v", rep.DigestsConverged, rep.TablesIdentical)
+	}
+}
+
+func TestWriteClusterCSV(t *testing.T) {
+	rep, err := RunCluster(ClusterConfig{
+		N:        16,
+		Seed:     3,
+		Replicas: 1,
+		Lookups:  8_000,
+		Workers:  2,
+		SkipKill: true,
+	})
+	if err != nil {
+		t.Fatalf("run: %v\nreport: %v", err, rep)
+	}
+	var buf bytes.Buffer
+	if err := WriteClusterCSV(&buf, []*ClusterReport{rep}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines = %d, want 2", len(lines))
+	}
+	if lines[0] != ClusterCSVHeader {
+		t.Fatalf("header mismatch: %q", lines[0])
+	}
+	if got := strings.Count(lines[1], ","); got != strings.Count(ClusterCSVHeader, ",") {
+		t.Fatalf("row has %d commas, header %d", got, strings.Count(ClusterCSVHeader, ","))
+	}
+}

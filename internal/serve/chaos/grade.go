@@ -1,0 +1,67 @@
+package chaos
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"routetab/internal/serve"
+)
+
+// grader is the shared answer-judging core of both harnesses (single-node
+// Run and cluster RunCluster): atomic tallies plus the grading rule. The
+// soundness argument is the same everywhere — Dist/NextDist come from the
+// same snapshot that produced Next, so hot swaps, rebuilds, and replica
+// staleness cannot produce false verdicts.
+type grader struct {
+	answered    atomic.Uint64
+	correct     atomic.Uint64
+	degraded    atomic.Uint64
+	incorrect   atomic.Uint64
+	rejected    atomic.Uint64
+	unavailable atomic.Uint64
+	errored     atomic.Uint64
+	maxExtra    atomic.Int64
+}
+
+// grade judges one answer and returns a suggested backoff when the server
+// asked for one. Strict branch: NextDist == Dist−1 in the serving snapshot.
+// Degraded branch: the detour's first hop plus remaining snapshot distance
+// must be within +2 hops of the snapshot's shortest path.
+func (h *grader) grade(r *serve.Result) time.Duration {
+	var oe *serve.OverloadedError
+	switch {
+	case errors.As(r.Err, &oe):
+		h.rejected.Add(1)
+		return oe.RetryAfter
+	case errors.Is(r.Err, serve.ErrOverloaded), errors.Is(r.Err, serve.ErrClosed):
+		h.rejected.Add(1)
+		return 500 * time.Microsecond
+	case errors.Is(r.Err, serve.ErrUnavailable):
+		h.unavailable.Add(1)
+		return 0
+	case r.Err != nil:
+		h.errored.Add(1)
+		return 0
+	case r.Degraded:
+		if r.NextDist < 0 || (r.Dist >= 0 && 1+r.NextDist > r.Dist+2) {
+			h.incorrect.Add(1)
+			return 0
+		}
+		extra := int64(1 + r.NextDist - r.Dist)
+		for {
+			cur := h.maxExtra.Load()
+			if extra <= cur || h.maxExtra.CompareAndSwap(cur, extra) {
+				break
+			}
+		}
+		h.degraded.Add(1)
+		return 0
+	case r.NextDist == r.Dist-1:
+		h.correct.Add(1)
+		return 0
+	default:
+		h.incorrect.Add(1)
+		return 0
+	}
+}

@@ -64,6 +64,21 @@ type SnapshotData struct {
 	Dist   *shortestpath.Distances
 }
 
+// WriteFrame writes one CRC-framed payload: tag, little-endian length,
+// CRC-32C (Castagnoli), bytes. It is the one framing primitive shared by the
+// snapshot codec and the cluster WAL (internal/cluster), so torn or
+// bit-flipped sections are rejected identically everywhere.
+func WriteFrame(w io.Writer, tag [4]byte, payload []byte) error {
+	return writeSection(w, tag, payload)
+}
+
+// ReadFrame reads and checksums one framed payload, enforcing the tag. A
+// short read, wrong tag, oversized length claim, or checksum mismatch returns
+// an error wrapping ErrBadSnapshotFile.
+func ReadFrame(r io.Reader, tag [4]byte) ([]byte, error) {
+	return readSection(r, tag)
+}
+
 // writeSection frames one payload: tag, length, CRC-32C, bytes.
 func writeSection(w io.Writer, tag [4]byte, payload []byte) error {
 	var hdr [12]byte
@@ -103,6 +118,15 @@ func readSection(r io.Reader, tag [4]byte) ([]byte, error) {
 // EncodeSnapshot writes s in the persistent format. The output is a pure
 // function of (Seq, Scheme, graph, ports, distances).
 func EncodeSnapshot(w io.Writer, s *Snapshot) error {
+	return EncodeSnapshotData(w, &SnapshotData{
+		Seq: s.Seq, Scheme: s.Scheme, Graph: s.Graph, Ports: s.Ports, Dist: s.Dist,
+	})
+}
+
+// EncodeSnapshotData writes the decoded form in the same persistent format —
+// the replication layer ships fetched cluster state through it without first
+// rebuilding a serving snapshot.
+func EncodeSnapshotData(w io.Writer, s *SnapshotData) error {
 	if _, err := w.Write(snapMagic[:]); err != nil {
 		return err
 	}
@@ -316,24 +340,72 @@ func LoadSnapshot(path string) (*SnapshotData, error) {
 	return DecodeSnapshot(f)
 }
 
+// Adopt atomically replaces the engine's topology and published snapshot
+// with sd — the full-snapshot fallback path of a cluster replica that
+// detected WAL divergence. The adopted snapshot publishes with sd.Seq (the
+// sequence is the remote primary's, not the local mutation count) so later
+// replicated mutations continue it. The publish hook is not invoked:
+// adoption replays remote state rather than originating a change.
+func (e *Engine) Adopt(sd *SnapshotData) error {
+	if sd.Scheme != e.scheme {
+		return fmt.Errorf("serve: adopting %q snapshot into %q engine", sd.Scheme, e.scheme)
+	}
+	scheme, err := BuildScheme(sd.Scheme, sd.Graph, sd.Ports, sd.Dist)
+	if err != nil {
+		return err
+	}
+	sim, err := routing.NewSim(sd.Graph, sd.Ports, scheme)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.g = sd.Graph
+	e.cache.Put(sd.Graph, sd.Dist)
+	snap := &Snapshot{
+		Seq:      sd.Seq,
+		Scheme:   sd.Scheme,
+		Graph:    sd.Graph,
+		Ports:    sd.Ports,
+		Dist:     sd.Dist,
+		scheme:   scheme,
+		sim:      sim,
+		hopLimit: routing.DefaultHopLimit(sd.Graph.N()),
+	}
+	e.cur.Store(snap)
+	e.swaps.Store(sd.Seq)
+	return e.saveLocked(snap)
+}
+
 // RestoreEngine rebuilds a serving engine from a persisted snapshot without
-// recomputing distances: the persisted packed matrix is adopted as ground
-// truth (and seeded into the engine's rebuild cache), the scheme is
-// reconstructed from (graph, ports, matrix) under the determinism contract of
-// DESIGN.md §8, and the restored snapshot publishes with its original Seq so
-// later mutations continue the sequence.
+// recomputing distances — see NewEngineFromSnapshot for the contract.
 func RestoreEngine(path string) (*Engine, error) {
 	sd, err := LoadSnapshot(path)
 	if err != nil {
 		return nil, err
 	}
-	scheme, err := BuildScheme(sd.Scheme, sd.Graph, sd.Ports, sd.Dist)
+	eng, err := NewEngineFromSnapshot(sd)
 	if err != nil {
 		return nil, fmt.Errorf("serve: restoring %s: %w", path, err)
 	}
+	return eng, nil
+}
+
+// NewEngineFromSnapshot builds a serving engine directly from decoded
+// snapshot data without recomputing distances: the packed matrix is adopted
+// as ground truth (and seeded into the engine's rebuild cache), the scheme is
+// reconstructed from (graph, ports, matrix) under the determinism contract of
+// DESIGN.md §8, and the snapshot publishes with its original Seq so later
+// mutations continue the sequence. Both the crash-restore path and a cluster
+// replica bootstrapping from a fetched primary state go through here.
+func NewEngineFromSnapshot(sd *SnapshotData) (*Engine, error) {
+	scheme, err := BuildScheme(sd.Scheme, sd.Graph, sd.Ports, sd.Dist)
+	if err != nil {
+		return nil, err
+	}
 	sim, err := routing.NewSim(sd.Graph, sd.Ports, scheme)
 	if err != nil {
-		return nil, fmt.Errorf("serve: restoring %s: %w", path, err)
+		return nil, err
 	}
 	e := &Engine{
 		g:      sd.Graph,

@@ -23,7 +23,9 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"routetab/internal/graph"
@@ -60,6 +62,12 @@ type RepairOptions struct {
 	// rebuilding, so a churn burst coalesces into one rebuild instead of
 	// one per link (default 2ms; negative rebuilds immediately).
 	Debounce time.Duration
+	// Passive disables the rebuild worker entirely: failure events update
+	// the overlay (degraded detours take effect immediately) but the
+	// topology is never mutated locally. A cluster replica runs passive —
+	// its rebuilds arrive as WAL publish records from the primary, and
+	// Reconcile folds them into the overlay's incorporated set.
+	Passive bool
 }
 
 func (o *RepairOptions) setDefaults() {
@@ -85,7 +93,8 @@ type Repairer struct {
 	incorporated map[uint64][2]int // links currently removed from the engine topology
 	closed       bool
 
-	rebuildMu sync.Mutex // serialises rebuild attempts (loop vs Flush)
+	rebuildMu sync.Mutex  // serialises rebuild attempts (loop vs Flush)
+	passive   atomic.Bool // no local rebuilds (cluster replica); see Activate
 	kick      chan struct{}
 	done      chan struct{}
 	wg        sync.WaitGroup
@@ -125,12 +134,37 @@ func NewRepairer(srv *Server, opts RepairOptions) *Repairer {
 		defer r.mu.Unlock()
 		return int64(len(r.downNodes))
 	})
+	r.passive.Store(opts.Passive)
+	if !opts.Passive {
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			r.loop()
+		}()
+	}
+	return r
+}
+
+// Activate flips a passive repairer into the active, rebuilding kind — the
+// promotion path: a replica elected primary starts owning its own rebuilds.
+// Safe to call once, from the promoting goroutine; a no-op on an already
+// active repairer.
+func (r *Repairer) Activate() {
+	if !r.passive.CompareAndSwap(true, false) {
+		return
+	}
+	r.mu.Lock()
+	closed := r.closed
+	r.mu.Unlock()
+	if closed {
+		return
+	}
 	r.wg.Add(1)
 	go func() {
 		defer r.wg.Done()
 		r.loop()
 	}()
-	return r
+	r.schedule()
 }
 
 // SetLinkDown implements faultinject.Target: mark the link uv failed (or
@@ -221,6 +255,9 @@ func (r *Repairer) Staleness() int {
 // schedule nudges the rebuild worker (coalescing: one pending nudge is
 // enough — the worker always reads the latest desired state).
 func (r *Repairer) schedule() {
+	if r.passive.Load() {
+		return
+	}
 	select {
 	case r.kick <- struct{}{}:
 	default:
@@ -229,8 +266,58 @@ func (r *Repairer) schedule() {
 
 // Flush runs one synchronous rebuild of everything recorded so far and
 // returns its error — the deterministic hook tests and the chaos harness
-// use between phases.
-func (r *Repairer) Flush() error { return r.rebuild() }
+// use between phases. Passive repairers reconcile instead (their rebuilds
+// come from the primary's WAL).
+func (r *Repairer) Flush() error {
+	if r.passive.Load() {
+		r.Reconcile()
+		return nil
+	}
+	return r.rebuild()
+}
+
+// DownState returns the currently-desired failure state: links and nodes
+// marked down and not yet repaired. The replication layer ships this with a
+// full snapshot fetch so a bootstrapping replica starts with the same overlay
+// the primary serves through.
+func (r *Repairer) DownState() (links [][2]int, nodes []int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.downLinks {
+		links = append(links, e)
+	}
+	for u := range r.downNodes {
+		nodes = append(nodes, u)
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i][0] != links[j][0] {
+			return links[i][0] < links[j][0]
+		}
+		return links[i][1] < links[j][1]
+	})
+	sort.Ints(nodes)
+	return links, nodes
+}
+
+// Reconcile recomputes the incorporated set from the engine's current
+// topology: a down link absent from the serving graph needs no detour — the
+// tables already route around it. Passive repairers call this after applying
+// a replicated publish record, so their staleness figure tracks how far the
+// replica's snapshot trails the failure state, exactly like the primary's.
+func (r *Repairer) Reconcile() {
+	g := r.srv.eng.Current().Graph
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k := range r.incorporated {
+		delete(r.incorporated, k)
+	}
+	for k, e := range r.downLinks {
+		if !g.HasEdge(e[0], e[1]) {
+			r.incorporated[k] = e
+		}
+	}
+	r.publishLocked()
+}
 
 // Close stops the rebuild worker. Events after Close return ErrRepairClosed;
 // the overlay stays as-is (the server may outlive the repairer briefly

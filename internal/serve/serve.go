@@ -144,16 +144,24 @@ func (s *Snapshot) SpaceBits() int {
 	return total
 }
 
+// PublishHook observes every snapshot publication: prev is the snapshot that
+// was current before the swap (nil for the engine's very first build) and cur
+// the one just published. The hook runs under the engine's mutation lock, so
+// invocations are totally ordered by publication and must not call back into
+// Mutate/Reload; keep it fast (the replication layer appends one WAL record).
+type PublishHook func(prev, cur *Snapshot)
+
 // Engine owns the mutable topology and the atomically-published current
 // snapshot. All mutations serialise on an internal mutex (rebuilds are the
 // slow path); readers only ever touch the atomic pointer.
 type Engine struct {
-	mu     sync.Mutex // serialises Mutate/Reload and guards persistPath
+	mu     sync.Mutex // serialises Mutate/Reload and guards persistPath, hook
 	g      *graph.Graph
 	scheme string
 	cache  *shortestpath.Cache
 	cur    atomic.Pointer[Snapshot]
 	swaps  atomic.Uint64
+	hook   PublishHook
 
 	// Crash-safe persistence (EnablePersist): every published snapshot is
 	// saved to persistPath via an atomic temp-file rename. A failed save
@@ -227,6 +235,15 @@ func (e *Engine) Mutate(fn func(g *graph.Graph) error) (*Snapshot, error) {
 // for picking up builder changes in tests.
 func (e *Engine) Reload() (*Snapshot, error) { return e.Mutate(nil) }
 
+// SetPublishHook installs (or, with nil, removes) the publication observer.
+// Install it before concurrent mutations start; snapshots already published
+// are not replayed — the caller reads Current() for the base state.
+func (e *Engine) SetPublishHook(h PublishHook) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.hook = h
+}
+
 // EnablePersist saves the current snapshot to path now and every later
 // published snapshot as it is swapped in. The first save's error is returned
 // (a broken path should fail loudly at setup); later save failures are
@@ -246,6 +263,16 @@ func (e *Engine) DisablePersist() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.persistPath = ""
+}
+
+// FlushPersist saves the current snapshot now, regardless of when the last
+// publication happened — the shutdown path's final flush, so a daemon that
+// exits on SIGTERM leaves the freshest snapshot on disk even when the last
+// publish-time save failed transiently. A no-op without persistence enabled.
+func (e *Engine) FlushPersist() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.saveLocked(e.cur.Load())
 }
 
 // PersistStats reports persistence health: successful saves, failed saves,
@@ -298,10 +325,14 @@ func (e *Engine) rebuildLocked() (*Snapshot, error) {
 		sim:      sim,
 		hopLimit: routing.DefaultHopLimit(g.N()),
 	}
+	prev := e.cur.Load()
 	e.cur.Store(snap)
 	e.swaps.Add(1)
 	// Durability follows publication: a save failure is recorded, not fatal
 	// (the previous good file stays in place thanks to the atomic rename).
 	_ = e.saveLocked(snap)
+	if e.hook != nil {
+		e.hook(prev, snap)
+	}
 	return snap, nil
 }

@@ -113,11 +113,15 @@ func (j *job) pos(k int) int {
 }
 
 // breaker is one shard's circuit breaker: consecutive submission failures
-// trip it open until a cooldown deadline; the first submission at or past the
-// deadline is the half-open probe, and its success closes the breaker.
+// trip it open until a cooldown deadline. The first submission at or past the
+// deadline wins the probing flag and becomes the half-open probe — exactly
+// one probe is ever in flight, concurrent submitters keep shedding sideways
+// until it resolves. Probe success closes the breaker; probe failure re-arms
+// the cooldown.
 type breaker struct {
 	fails     atomic.Int32
 	openUntil atomic.Int64 // unix nanos; 0 = closed
+	probing   atomic.Bool  // a half-open probe is in flight
 }
 
 // Server is the sharded, batching query front end over an Engine. Submit
@@ -134,8 +138,9 @@ type Server struct {
 	// atomic load.
 	overlay atomic.Pointer[overlay]
 
-	breakers []breaker
-	avgJobNs atomic.Int64 // EWMA of per-job handler service time
+	breakers  []breaker
+	avgJobNs  atomic.Int64  // EWMA of per-job handler service time
+	jitterCtr atomic.Uint64 // sequences retry-after jitter draws
 
 	lookups     *metrics.Counter   // answered lookups (errors included)
 	rejects     *metrics.Counter   // lookups shed by backpressure
@@ -261,10 +266,20 @@ func (s *Server) lookupInto(pairs [][2]int, out []Result) {
 }
 
 // breakerOpen reports whether shard's breaker currently rejects submissions.
-// At or past the cooldown deadline the breaker admits one half-open probe.
+// At or past the cooldown deadline the caller that wins the probing flag is
+// admitted as the single half-open probe; everyone else keeps seeing the
+// breaker open until that probe resolves through noteSubmitOK/Fail.
 func (s *Server) breakerOpen(shard int, now int64) bool {
-	u := s.breakers[shard].openUntil.Load()
-	return u != 0 && now < u
+	b := &s.breakers[shard]
+	u := b.openUntil.Load()
+	if u == 0 {
+		return false
+	}
+	if now < u {
+		return true
+	}
+	// Cooldown expired: admit exactly one probe.
+	return !b.probing.CompareAndSwap(false, true)
 }
 
 // noteSubmitOK records a successful submission: consecutive-failure count
@@ -275,15 +290,25 @@ func (s *Server) noteSubmitOK(shard int) {
 	if b.openUntil.Load() != 0 {
 		b.openUntil.Store(0)
 	}
+	b.probing.Store(false)
 }
 
-// noteSubmitFail records a failed submission and trips the breaker open once
-// consecutive failures reach the threshold.
+// noteSubmitFail records a failed submission; consecutive failures reaching
+// the threshold — or a failed half-open probe — trip the breaker open.
 func (s *Server) noteSubmitFail(shard int, now int64) {
 	if s.opts.BreakerThreshold < 0 {
 		return
 	}
 	b := &s.breakers[shard]
+	if b.probing.Load() {
+		// The half-open probe failed: re-arm the cooldown, release the
+		// probing flag last so no second probe slips in between.
+		b.fails.Store(0)
+		b.openUntil.Store(now + s.opts.BreakerCooldown.Nanoseconds())
+		s.trips.Inc()
+		b.probing.Store(false)
+		return
+	}
 	if int(b.fails.Add(1)) >= s.opts.BreakerThreshold {
 		b.fails.Store(0)
 		b.openUntil.Store(now + s.opts.BreakerCooldown.Nanoseconds())
@@ -344,16 +369,38 @@ func (s *Server) failJob(j *job, shard int, failure error) {
 	j.wg.Done()
 }
 
+// Jitter band for retry-after hints: each shed's hint is scaled by a factor
+// drawn uniformly from [retryJitterLoNum/retryJitterDen, retryJitterHiNum/
+// retryJitterDen) — i.e. ×0.75 … ×1.25 — before clamping. Without it, every
+// client shed by one circuit-breaker trip receives the same hint and the
+// whole cohort retries in lockstep, re-overloading the shard at exactly the
+// moment it reopens.
+const (
+	retryJitterLoNum = 768  // ×0.75
+	retryJitterHiNum = 1280 // ×1.25 (exclusive)
+	retryJitterDen   = 1024
+)
+
 // retryAfterHint estimates how long a full shard queue takes to drain:
-// queue capacity × the EWMA per-job service time, clamped to a sane band.
-// A hint, not a promise — the point is that callers back off proportionally
-// to observed service rate instead of hammering a saturated shard.
+// queue capacity × the EWMA per-job service time, de-synchronised by a
+// per-call jitter draw, clamped to a sane band. A hint, not a promise — the
+// point is that callers back off proportionally to observed service rate
+// (and not all at once) instead of hammering a saturated shard.
 func (s *Server) retryAfterHint() time.Duration {
 	per := s.avgJobNs.Load()
 	if per <= 0 {
 		per = int64(10 * time.Microsecond)
 	}
 	d := time.Duration(per * int64(s.opts.QueueCap))
+	// SplitMix64-style hash of a counter: cheap, lock-free, and distinct
+	// across the synchronized clients of one trip (a shared rand.Rand would
+	// serialise the shed path on its mutex).
+	x := s.jitterCtr.Add(1) + 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	x ^= x >> 31
+	frac := retryJitterLoNum + int64(x%(retryJitterHiNum-retryJitterLoNum))
+	d = d * time.Duration(frac) / retryJitterDen
 	const lo, hi = 100 * time.Microsecond, 50 * time.Millisecond
 	if d < lo {
 		d = lo

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -183,6 +184,12 @@ func TestServerHotSwapUnderLoad(t *testing.T) {
 		if res.Seq < snap.Seq {
 			t.Fatalf("stale response: served by seq %d after swap published seq %d", res.Seq, snap.Seq)
 		}
+	}
+	// The swap loop can outrun worker scheduling under heavy machine load;
+	// keep the storm open until at least one batch has been answered so the
+	// mid-swap assertions below are exercised on every run.
+	for answered.Load() == 0 {
+		runtime.Gosched()
 	}
 	close(stop)
 	wg.Wait()
