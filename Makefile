@@ -3,15 +3,24 @@
 
 GO ?= go
 
-.PHONY: verify lint vet build test race smoke benchsmoke loadsmoke chaos cluster bench loadbench chaosbench clusterbench clean
+.PHONY: verify lint vet build test race smoke benchsmoke loadsmoke chaos cluster crash bench loadbench chaosbench clusterbench crashbench clean
 
-verify: lint vet build test race smoke benchsmoke loadsmoke chaos cluster
+verify: lint vet build test race smoke benchsmoke loadsmoke chaos cluster crash
 
 # gofmt -l exits 0 even when files need formatting, so fail on any output.
+# The second check is the WAL durability lint: on the journaling path a
+# discarded Close or Sync error is a silent durability hole (the process
+# keeps serving records the disk never accepted), so `_ = x.Close()` and
+# bare `defer x.Close()` / `defer x.Sync()` are banned in the WAL sources.
 lint:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed:"; echo "$$unformatted"; exit 1; \
+	fi
+	@walfiles=$$(ls internal/cluster/wal.go internal/cluster/recovery.go \
+		internal/cluster/walstore/*.go | grep -v _test); \
+	if grep -nE '(_ *= *[A-Za-z0-9_.]+\.(Close|Sync|CloseWAL|SyncWAL)\(\)|defer +[A-Za-z0-9_.()]+\.(Close|Sync|CloseWAL|SyncWAL)\(\))' $$walfiles; then \
+		echo "WAL path discards a Close/Sync error (see above)"; exit 1; \
 	fi
 	$(GO) vet ./...
 
@@ -38,7 +47,7 @@ smoke:
 # cache, E13 sweep, serving-layer load); keeps the bench harness from
 # rotting between releases.
 benchsmoke:
-	$(GO) run ./cmd/benchjson -quick -sections bfs,cache,resilience,serve,chaos,cluster \
+	$(GO) run ./cmd/benchjson -quick -sections bfs,cache,resilience,serve,chaos,cluster,wal \
 		-out $(or $(TMPDIR),/tmp)/bench_smoke.json
 
 # Seconds-scale serving smoke through routetabd's loadgen mode: fixed seed,
@@ -64,6 +73,15 @@ chaos:
 cluster:
 	$(GO) run ./cmd/routetabd -cluster-chaos -n 32 -seed 1 -replicas 2 \
 		-lookups 40000 -workers 4
+
+# Deterministic crash-recovery matrix (DESIGN.md §13, EXPERIMENTS.md E17):
+# every byte boundary of a multi-segment WAL schedule, and every record
+# boundary — clean and torn mid-frame — of an engine churn schedule, must
+# recover to the exact durable prefix under the original epoch with a
+# byte-identical (digest-equal) table; exits non-zero on any violated
+# crash point.
+crash:
+	$(GO) run ./cmd/routetabd -crash -n 24 -seed 5
 
 # Regenerates the checked-in PR 2 performance artefact (see EXPERIMENTS.md
 # for the methodology; numbers are host-dependent).
@@ -92,6 +110,13 @@ chaosbench:
 clusterbench:
 	$(GO) run ./cmd/benchjson -sections cluster \
 		-artefact BENCH_pr5 -out BENCH_pr5.json
+
+# Regenerates the PR 6 durability artefact (EXPERIMENTS.md E17): durable WAL
+# append throughput — ns per append and appends/sec — for each fsync policy
+# (always / batch / off) on a real on-disk segment store.
+crashbench:
+	$(GO) run ./cmd/benchjson -sections wal \
+		-artefact BENCH_pr6 -out BENCH_pr6.json
 
 clean:
 	$(GO) clean ./...

@@ -24,6 +24,11 @@
 //	  partitions, WAL corruption/truncation, and a primary kill; the run
 //	  fails on any incorrect answer, sub-99% availability, or tables that
 //	  are not byte-identical at quiesce.
+//	BENCH_pr6.json  (`make crashbench`): -sections wal
+//	  durable WAL append throughput per fsync policy (always / batch / off)
+//	  on a real on-disk segment store: ns per append and the implied
+//	  appends/sec, quantifying what PolicyAlways — the only policy that may
+//	  resume its epoch after a crash (DESIGN.md §13) — costs per record.
 //
 // `make verify` runs the -quick one-iteration smoke over every section so
 // the measured paths stay exercised.
@@ -46,6 +51,7 @@ import (
 
 	"math/rand"
 
+	"routetab/internal/cluster/walstore"
 	"routetab/internal/eval"
 	"routetab/internal/gengraph"
 	"routetab/internal/serve"
@@ -53,6 +59,17 @@ import (
 	"routetab/internal/serve/loadgen"
 	"routetab/internal/shortestpath"
 )
+
+// WalBench is one fsync policy's measurement in the "wal" section: the cost
+// of one durable append (64-byte payload) to an on-disk segment store, and
+// the implied sustained append rate.
+type WalBench struct {
+	Policy        string  `json:"policy"`
+	Appends       int     `json:"appends"`
+	PayloadBytes  int     `json:"payload_bytes"`
+	NsPerAppend   float64 `json:"ns_per_append"`
+	AppendsPerSec float64 `json:"appends_per_sec"`
+}
 
 // Result is one measurement in the artefact.
 type Result struct {
@@ -84,6 +101,11 @@ type Report struct {
 	// resync counts for a primary + replicas group surviving partitions,
 	// WAL corruption/truncation, and a primary kill + promotion.
 	Cluster []*chaos.ClusterReport `json:"cluster,omitempty"`
+	// Wal carries the WAL append-throughput measurements (section "wal"):
+	// ns per append and appends/sec for each fsync policy on a real on-disk
+	// segment store. The fsync=always row is the per-record price of
+	// crash-resumable durability.
+	Wal []WalBench `json:"wal,omitempty"`
 	// BitsetSpeedupN1024 is list ns/op ÷ bitset ns/op on G(1024, 1/2) —
 	// the PR 2 tentpole acceptance ratio (must be ≥ 3). Section "bfs".
 	BitsetSpeedupN1024 float64 `json:"bitset_speedup_n1024,omitempty"`
@@ -93,7 +115,7 @@ type Report struct {
 }
 
 // knownSections lists every measurement group benchjson understands.
-var knownSections = []string{"bfs", "cache", "resilience", "serve", "chaos", "cluster"}
+var knownSections = []string{"bfs", "cache", "resilience", "serve", "chaos", "cluster", "wal"}
 
 func parseSections(csv string) (map[string]bool, error) {
 	known := map[string]bool{}
@@ -317,7 +339,61 @@ func runSuite(quick bool, artefact string, sections map[string]bool) (*Report, e
 		}
 	}
 
+	// Durable WAL append throughput per fsync policy (the `make crashbench`
+	// artefact BENCH_pr6.json): one op = one 64-byte record appended to an
+	// on-disk segment store under always / batch / off. fsync=always pays
+	// one fdatasync per record — the price of same-epoch crash recovery.
+	if sections["wal"] {
+		payload := make([]byte, 64)
+		for i := range payload {
+			payload[i] = byte(i * 37)
+		}
+		for _, pol := range []walstore.Policy{walstore.PolicyAlways, walstore.PolicyBatch, walstore.PolicyOff} {
+			wb, r, err := runWalBench(pol, payload, budget)
+			if err != nil {
+				return nil, err
+			}
+			if err := add(r, nil); err != nil {
+				return nil, err
+			}
+			rep.Wal = append(rep.Wal, wb)
+		}
+	}
+
 	return rep, nil
+}
+
+// runWalBench times appends under one fsync policy on a throwaway real
+// directory, so fsync latency is the disk's, not a memory stub's.
+func runWalBench(pol walstore.Policy, payload []byte, budget time.Duration) (WalBench, Result, error) {
+	dir, err := os.MkdirTemp("", "walbench-")
+	if err != nil {
+		return WalBench{}, Result{}, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := walstore.Open(dir, walstore.Options{Fsync: pol})
+	if err != nil {
+		return WalBench{}, Result{}, err
+	}
+	name := "wal_append_fsync_" + pol.String()
+	seq := uint64(0)
+	r, merr := measure(name, budget, func() error {
+		seq++
+		return st.Append(seq, payload)
+	})
+	if cerr := st.Close(); cerr != nil && merr == nil {
+		merr = fmt.Errorf("%s: close: %w", name, cerr)
+	}
+	if merr != nil {
+		return WalBench{}, Result{}, merr
+	}
+	return WalBench{
+		Policy:        pol.String(),
+		Appends:       r.Iters,
+		PayloadBytes:  len(payload),
+		NsPerAppend:   r.NsPerOp,
+		AppendsPerSec: 1e9 / r.NsPerOp,
+	}, r, nil
 }
 
 // runLoad drives one closed-loop load run against a freshly built server and

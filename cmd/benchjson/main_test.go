@@ -166,3 +166,34 @@ func TestClusterSection(t *testing.T) {
 		}
 	}
 }
+
+// TestWalSection runs the quick WAL append-throughput section: all three
+// fsync policies must report positive throughput, and the section must
+// surface both the per-policy rows and the generic ns/op results.
+func TestWalSection(t *testing.T) {
+	rep, err := runSuite(true, "BENCH_pr6", sectionSet(t, "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Wal) != 3 {
+		t.Fatalf("wal rows: %d, want 3 (always/batch/off)", len(rep.Wal))
+	}
+	policies := map[string]bool{}
+	for _, w := range rep.Wal {
+		policies[w.Policy] = true
+		if w.Appends < 1 || w.NsPerAppend <= 0 || w.AppendsPerSec <= 0 {
+			t.Errorf("%s: appends=%d ns=%v qps=%v", w.Policy, w.Appends, w.NsPerAppend, w.AppendsPerSec)
+		}
+		if w.PayloadBytes != 64 {
+			t.Errorf("%s: payload %d bytes", w.Policy, w.PayloadBytes)
+		}
+	}
+	for _, p := range []string{"always", "batch", "off"} {
+		if !policies[p] {
+			t.Errorf("policy %q missing: %v", p, policies)
+		}
+	}
+	if len(rep.Results) != 3 {
+		t.Errorf("wal section results: %+v", rep.Results)
+	}
+}

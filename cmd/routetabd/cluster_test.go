@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"math/rand"
 	"net/http"
@@ -246,5 +247,110 @@ func TestClusterChaosMode(t *testing.T) {
 	lines := strings.Split(strings.TrimSpace(string(blob)), "\n")
 	if len(lines) != 2 || strings.TrimSpace(lines[0]) != strings.TrimSpace(chaos.ClusterCSVHeader) {
 		t.Fatalf("csv artefact: %q", string(blob))
+	}
+}
+
+// TestSigtermFinalizesWAL is the WAL-shutdown regression test (the durable
+// counterpart of TestSigtermFlushesFinalSnapshot): a SIGTERM'd primary must
+// fsync and finalize its open WAL segment, and the next boot must recover a
+// clean log — same epoch, every record replayable, zero torn bytes.
+func TestSigtermFinalizesWAL(t *testing.T) {
+	dir := t.TempDir()
+	walDir := dir + "/wal"
+	out, err := os.CreateTemp(dir, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-n", "24", "-seed", "2", "-addr", "127.0.0.1:0",
+			"-wal-dir", walDir}, out)
+	}()
+
+	addrRe := regexp.MustCompile(`on (127\.0\.0\.1:\d+)`)
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never reported its address")
+		}
+		blob, _ := os.ReadFile(out.Name())
+		if m := addrRe.FindSubmatch(blob); m != nil {
+			addr = string(m[1])
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post("http://"+addr+"/mutate", "application/json",
+			strings.NewReader(`{"op":"toggle","u":1,"v":2}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("mutate %d: %s", i, resp.Status)
+		}
+	}
+	// The healthz surface must report durable journaling with zero failures.
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health["wal_durable"] != true || health["wal_failures"] != float64(0) {
+		t.Fatalf("healthz wal fields: %v", health)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit on SIGTERM")
+	}
+	blob, _ := os.ReadFile(out.Name())
+	if !strings.Contains(string(blob), "wal finalized (seq=2)") {
+		t.Fatalf("missing WAL finalize confirmation in output: %s", blob)
+	}
+
+	// Restart path: recovery over the real directory must resume epoch 1
+	// with both records replayed and nothing torn or dropped.
+	g, err := gengraph.GnHalf(24, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := serve.NewEngine(g, "fulltable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.NewServer(eng, serve.ServerOptions{Shards: 2})
+	defer srv.Close()
+	rep := serve.NewRepairer(srv, serve.RepairOptions{Debounce: -1})
+	defer rep.Close()
+	log, rpt, err := cluster.RecoverPrimaryLog(eng, rep, cluster.RecoverConfig{Dir: walDir})
+	if err != nil {
+		t.Fatalf("recovery after clean shutdown: %v", err)
+	}
+	defer log.CloseWAL()
+	if rpt.EpochBumped || rpt.Epoch != 1 {
+		t.Fatalf("clean shutdown must resume epoch 1: %+v", rpt)
+	}
+	if rpt.Replayed != 2 || rpt.TornBytes != 0 || rpt.DroppedSegments != 0 {
+		t.Fatalf("recovery report: %+v", rpt)
+	}
+	if eng.Current().Seq != 3 {
+		t.Fatalf("recovered snapshot seq %d, want 3", eng.Current().Seq)
 	}
 }

@@ -96,6 +96,7 @@ import (
 	"time"
 
 	"routetab/internal/cluster"
+	"routetab/internal/cluster/walstore"
 	"routetab/internal/gengraph"
 	"routetab/internal/graph"
 	"routetab/internal/serve"
@@ -144,6 +145,10 @@ type config struct {
 	replicas     int
 	clusterChaos bool
 	clusterCSV   string
+	// durable WAL + crash gate
+	walDir   string
+	walFsync string
+	crash    bool
 }
 
 func parseFlags(args []string) (*config, error) {
@@ -173,6 +178,9 @@ func parseFlags(args []string) (*config, error) {
 	fs.IntVar(&cfg.replicas, "replicas", 2, "cluster-chaos: replicas joined behind the primary")
 	fs.BoolVar(&cfg.clusterChaos, "cluster-chaos", false, "run the replicated cluster chaos harness instead of serving HTTP")
 	fs.StringVar(&cfg.clusterCSV, "cluster-csv", "", "cluster-chaos: also append the report as a CSV artefact to this file")
+	fs.StringVar(&cfg.walDir, "wal-dir", "", "primary: durable segmented WAL directory (empty = in-memory WAL only)")
+	fs.StringVar(&cfg.walFsync, "wal-fsync", "always", "primary: WAL fsync policy: always|batch|off (non-always policies bump the epoch on every restart)")
+	fs.BoolVar(&cfg.crash, "crash", false, "run the crash-recovery matrix gate instead of serving HTTP")
 	lookups := fs.Int64("lookups", 100_000, "loadgen: total lookup target")
 	fs.DurationVar(&cfg.duration, "duration", 0, "loadgen: wall-clock cap (0 = none)")
 	fs.IntVar(&cfg.workers, "workers", 4, "loadgen: closed-loop client workers")
@@ -209,6 +217,8 @@ func run(args []string, out *os.File) error {
 		return runPromote(cfg, out)
 	case cfg.chaos:
 		return runChaos(cfg, out)
+	case cfg.crash:
+		return runCrashGate(cfg, out)
 	case cfg.clusterChaos:
 		return runClusterChaos(cfg, out)
 	case cfg.join != "":
@@ -237,13 +247,60 @@ func run(args []string, out *os.File) error {
 	defer rep.Close()
 	// A serving daemon is a replication primary by default: the WAL costs
 	// nothing unless a peer streams it, and replicas can join at any time.
-	pri, err := cluster.NewPrimary(eng, srv, rep, 1)
+	// With -wal-dir the WAL is also journaled to durable segment files and
+	// the boot runs the crash-recovery state machine: replay the WAL forward
+	// over the (possibly older) persisted snapshot and resume the previous
+	// epoch when the durability invariant held, else bump it so replicas
+	// resync exactly once.
+	var walLog *cluster.Log
+	epoch := uint64(1)
+	if cfg.walDir != "" {
+		policy, err := walstore.ParsePolicy(cfg.walFsync)
+		if err != nil {
+			return err
+		}
+		log, rpt, err := cluster.RecoverPrimaryLog(eng, rep, cluster.RecoverConfig{
+			Dir: cfg.walDir, Fsync: policy,
+		})
+		if err != nil {
+			return fmt.Errorf("wal recovery: %w", err)
+		}
+		fmt.Fprintf(out, "routetabd: wal %s: epoch=%d bumped=%v replayed=%d overlay=%d skipped=%d torn_bytes=%d resume_seq=%d (%s)\n",
+			cfg.walDir, rpt.Epoch, rpt.EpochBumped, rpt.Replayed, rpt.Overlay,
+			rpt.SkippedBelowSnap, rpt.TornBytes, rpt.ResumeSeq, rpt.Reason)
+		walLog = log
+		epoch = rpt.Epoch
+	}
+	pri, err := cluster.NewPrimaryAt(eng, srv, rep, epoch, walLog)
 	if err != nil {
 		return err
 	}
 	defer pri.Close()
-	a := &api{srv: srv, rep: rep, pri: pri, walKeep: cfg.walKeep}
+	a := &api{srv: srv, rep: rep, pri: pri, wal: walLog, walKeep: cfg.walKeep}
 	return serveHTTP(a, cfg, out)
+}
+
+// runCrashGate executes the crash-recovery matrix (the `make crash` CI gate)
+// in-process and renders a pass/fail verdict, mirroring runChaos.
+func runCrashGate(cfg *config, out *os.File) error {
+	rep, err := chaos.RunCrash(chaos.CrashConfig{
+		N:      cfg.n,
+		Seed:   cfg.seed,
+		Scheme: cfg.scheme,
+	})
+	if rep == nil {
+		return err
+	}
+	blob, merr := json.MarshalIndent(rep, "", "  ")
+	if merr != nil {
+		return merr
+	}
+	fmt.Fprintln(out, string(blob))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "crash ok: %s\n", rep)
+	return nil
 }
 
 // runReplica joins the primary at cfg.join and serves its replicated tables
@@ -492,14 +549,16 @@ func serveHTTP(a *api, cfg *config, out *os.File) error {
 	case sig := <-sigc:
 		fmt.Fprintf(out, "routetabd: %v, draining\n", sig)
 	}
-	return shutdownFlush(hs, srv.Engine(), out)
+	return shutdownFlush(hs, a, out)
 }
 
-// shutdownFlush is the SIGTERM tail: drain in-flight requests, then persist a
+// shutdownFlush is the SIGTERM tail: drain in-flight requests, persist a
 // final snapshot so the daemon warm-boots from exactly the state it was
-// serving — even when the last publish-time save failed transiently. A no-op
-// flush without persistence enabled.
-func shutdownFlush(hs *http.Server, eng *serve.Engine, out *os.File) error {
+// serving — even when the last publish-time save failed transiently — and
+// fsync + finalize the open WAL segment so the next boot recovers a clean
+// (untorn) log and resumes the epoch. No-ops without persistence or -wal-dir.
+func shutdownFlush(hs *http.Server, a *api, out *os.File) error {
+	eng := a.srv.Engine()
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
@@ -510,6 +569,13 @@ func shutdownFlush(hs *http.Server, eng *serve.Engine, out *os.File) error {
 	}
 	if saves, _, _ := eng.PersistStats(); saves > 0 {
 		fmt.Fprintf(out, "routetabd: final snapshot persisted (seq=%d)\n", eng.Current().Seq)
+	}
+	if a.wal != nil {
+		seq := a.wal.LastSeq()
+		if err := a.wal.CloseWAL(); err != nil {
+			return fmt.Errorf("final WAL finalize: %w", err)
+		}
+		fmt.Fprintf(out, "routetabd: wal finalized (seq=%d)\n", seq)
 	}
 	return nil
 }
@@ -524,6 +590,7 @@ type api struct {
 	mu      sync.Mutex
 	pri     *cluster.Primary
 	rpl     *cluster.Replica
+	wal     *cluster.Log // durable WAL (nil without -wal-dir)
 	walKeep int
 }
 
@@ -794,6 +861,14 @@ func (a *api) healthz(w http.ResponseWriter, _ *http.Request) {
 	case pri != nil:
 		body["epoch"] = pri.Epoch()
 		body["wal_seq"] = pri.Log().LastSeq()
+		if a.wal != nil {
+			durable, walFailures, walErr := a.wal.Durability()
+			body["wal_durable"] = durable
+			body["wal_failures"] = walFailures
+			if walErr != nil {
+				body["wal_last_error"] = walErr.Error()
+			}
+		}
 	case rpl != nil:
 		applied, resyncs, lastLag := rpl.Stats()
 		body["epoch"] = rpl.Epoch()

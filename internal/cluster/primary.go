@@ -59,10 +59,22 @@ var _ Source = (*Primary)(nil)
 // promotion bumps it). The engine's publish hook is claimed by the primary;
 // rep may be nil for a mutate-only primary that never sees churn events.
 func NewPrimary(eng *serve.Engine, srv *serve.Server, rep *serve.Repairer, epoch uint64) (*Primary, error) {
+	return NewPrimaryAt(eng, srv, rep, epoch, NewLog())
+}
+
+// NewPrimaryAt wires a primary over an existing stack and an existing WAL —
+// the crash-recovery path: RecoverPrimaryLog rebuilds the log (and replays
+// it into the engine) before the publish hook is claimed, so recovery replay
+// is never re-journaled and new publications resume at the recovered
+// frontier.
+func NewPrimaryAt(eng *serve.Engine, srv *serve.Server, rep *serve.Repairer, epoch uint64, log *Log) (*Primary, error) {
 	if epoch == 0 {
 		return nil, fmt.Errorf("cluster: epoch must be ≥ 1")
 	}
-	p := &Primary{eng: eng, srv: srv, rep: rep, log: NewLog(), epoch: epoch}
+	if log == nil {
+		log = NewLog()
+	}
+	p := &Primary{eng: eng, srv: srv, rep: rep, log: log, epoch: epoch}
 	eng.SetPublishHook(p.onPublish)
 	return p, nil
 }

@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"routetab/internal/cluster/walstore"
+	"routetab/internal/faultinject"
+)
+
+// mustOpenStore opens a small-segment durable store (so truncation actually
+// deletes segments) stamped with epoch 1 when virgin.
+func mustOpenStore(t *testing.T, fs faultinject.FS) *walstore.Store {
+	t.Helper()
+	store, err := walstore.Open("w", walstore.Options{FS: fs, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Epoch() == 0 {
+		if err := store.SetEpoch(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return store
+}
+
+// TestTruncateRaceSince hammers Append/TruncateTo against concurrent Since
+// readers (the FetchState→first-FetchWAL path a bootstrapping replica takes).
+// The contract under race: every Since(after) either returns a dense run
+// starting at after+1, or fails with ErrGone — never a window with a silent
+// gap. Run with -race.
+func TestTruncateRaceSince(t *testing.T) {
+	log := NewLog()
+	const total = 4000
+	var wg sync.WaitGroup
+	var done atomic.Bool
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer done.Store(true)
+		for i := 0; i < total; i++ {
+			seq := log.Append(Record{Kind: RecLink, U: 1, V: 2, Down: i%2 == 0})
+			if seq > 64 && seq%7 == 0 {
+				log.TruncateTo(seq - 32)
+			}
+		}
+	}()
+
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !done.Load() {
+				// Mimic FetchState: read the frontier, then ask for the
+				// suffix after some position at or below it.
+				frontier := log.LastSeq()
+				after := uint64(0)
+				if frontier > 40 {
+					after = frontier - 40
+				}
+				recs, err := log.Since(after)
+				if err != nil {
+					if !errors.Is(err, ErrGone) {
+						t.Errorf("Since(%d): unexpected error %v", after, err)
+						return
+					}
+					continue // deterministic resync signal — fine
+				}
+				for i, rec := range recs {
+					if rec.Seq != after+uint64(i)+1 {
+						t.Errorf("Since(%d): gap at index %d: seq %d", after, i, rec.Seq)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if log.LastSeq() != total {
+		t.Fatalf("frontier %d, want %d", log.LastSeq(), total)
+	}
+}
+
+// TestTruncateRaceSinceDurable repeats the hammer with a durable MemFS-backed
+// store attached, covering the disk-truncate path (segment deletion racing
+// reads) under the race detector.
+func TestTruncateRaceSinceDurable(t *testing.T) {
+	fs := faultinject.NewMemFS()
+	store := mustOpenStore(t, fs)
+	log, err := OpenLog(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.CloseWAL()
+
+	const total = 1500
+	var wg sync.WaitGroup
+	var done atomic.Bool
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer done.Store(true)
+		for i := 0; i < total; i++ {
+			seq := log.Append(Record{Kind: RecNode, U: 3, Down: i%2 == 0})
+			if seq > 100 && seq%13 == 0 {
+				log.TruncateTo(seq - 64)
+			}
+		}
+	}()
+
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !done.Load() {
+				frontier := log.LastSeq()
+				after := uint64(0)
+				if frontier > 20 {
+					after = frontier - 20
+				}
+				recs, err := log.Since(after)
+				if err != nil {
+					if !errors.Is(err, ErrGone) {
+						t.Errorf("Since(%d): unexpected error %v", after, err)
+						return
+					}
+					continue
+				}
+				for i, rec := range recs {
+					if rec.Seq != after+uint64(i)+1 {
+						t.Errorf("Since(%d): gap at index %d: seq %d", after, i, rec.Seq)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if durable, failures, derr := log.Durability(); !durable || failures != 0 {
+		t.Fatalf("log wedged under race: %v %d %v", durable, failures, derr)
+	}
+	if log.LastSeq() != total {
+		t.Fatalf("frontier %d, want %d", log.LastSeq(), total)
+	}
+}
+
+// TestSinceAfterReopenTruncatedWindow checks the deterministic ErrGone
+// contract across a restart: a replica holding a position below the retained
+// window must get ErrGone, never a partial replay.
+func TestSinceAfterReopenTruncatedWindow(t *testing.T) {
+	fs := faultinject.NewMemFS()
+	store := mustOpenStore(t, fs)
+	log, err := OpenLog(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		log.Append(Record{Kind: RecLink, U: 1, V: 2, Down: i%2 == 0})
+	}
+	// Truncate at the frontier: every sealed segment is dropped and only the
+	// active one survives, so the durable base moves strictly above zero.
+	log.TruncateTo(log.LastSeq())
+	if store.FirstSeq() <= 1 {
+		t.Fatalf("schedule did not rotate: retained first seq %d", store.FirstSeq())
+	}
+	if err := log.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	store2 := mustOpenStore(t, fs)
+	log2, err := OpenLog(store2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.CloseWAL()
+	if log2.LastSeq() != 40 {
+		t.Fatalf("frontier %d, want 40", log2.LastSeq())
+	}
+	if _, err := log2.Since(0); !errors.Is(err, ErrGone) {
+		t.Fatalf("Since(0) after truncation: %v, want ErrGone", err)
+	}
+	base := log2.base
+	recs, err := log2.Since(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || recs[0].Seq != base+1 || recs[len(recs)-1].Seq != 40 {
+		t.Fatalf("retained window wrong: %d records, first %d", len(recs), recs[0].Seq)
+	}
+}

@@ -1,0 +1,207 @@
+// The primary's crash-recovery state machine: turn whatever a dead primary
+// left in its WAL directory into a log the next incarnation can resume — or
+// prove it cannot, and bump the epoch so replicas resync exactly once.
+//
+// The decision rests on one invariant the write path maintains (wal.go,
+// serve.Engine.rebuildLocked): a record becomes replica-visible only after
+// the durable store accepted it, and the engine journals a publication
+// before persisting its snapshot. Under fsync policy "always" both give:
+//
+//	replica-visible records ⊆ durable WAL, and WAL frontier ≥ snapshot Seq.
+//
+// A torn tail is therefore a record nobody ever saw — truncate and resume
+// under the same epoch, replaying the WAL forward over the engine's (possibly
+// older) persisted snapshot. Anything that breaks the invariant — a weaker
+// fsync policy, a dirty marker from wedged journaling, an undecodable WAL, a
+// replay gap, or a DistCRC mismatch — forces the epoch-bump path: wipe the
+// WAL, stamp epoch+1, and let replicas full-resync off the recovered state.
+package cluster
+
+import (
+	"fmt"
+
+	"routetab/internal/cluster/walstore"
+	"routetab/internal/faultinject"
+	"routetab/internal/graph"
+	"routetab/internal/serve"
+)
+
+// RecoverConfig parameterises RecoverPrimaryLog.
+type RecoverConfig struct {
+	// Dir is the WAL directory.
+	Dir string
+	// FS overrides the filesystem (nil = operating system).
+	FS faultinject.FS
+	// Fsync is the write-side policy for the resumed log.
+	Fsync walstore.Policy
+	// SegmentBytes overrides the rotation threshold (0 = default).
+	SegmentBytes int
+	// BatchEvery overrides the PolicyBatch sync interval (0 = default).
+	BatchEvery int
+	// FreshEpoch is the epoch stamped on a virgin WAL directory (default 1).
+	FreshEpoch uint64
+}
+
+// RecoveryReport describes one recovery outcome.
+type RecoveryReport struct {
+	Fresh            bool   `json:"fresh"`            // virgin WAL directory
+	Segments         int    `json:"segments"`         // segment files retained by the store scan
+	Entries          uint64 `json:"entries"`          // WAL entries retained
+	TornBytes        int64  `json:"torn_bytes"`       // bytes cut from the torn tail
+	DroppedSegments  int    `json:"dropped_segments"` // unusable files deleted
+	Replayed         int    `json:"replayed"`         // publish records replayed onto the engine
+	Overlay          int    `json:"overlay"`          // link/node overlay records reapplied
+	SkippedBelowSnap int    `json:"skipped"`          // publish records at or below the persisted snapshot
+	Epoch            uint64 `json:"epoch"`            // epoch the primary resumes under
+	EpochBumped      bool   `json:"epoch_bumped"`     // true on the resync path
+	ResumeSeq        uint64 `json:"resume_seq"`       // WAL frontier after recovery
+	Reason           string `json:"reason"`           // human-readable outcome
+}
+
+// RecoverPrimaryLog opens (and repairs) the WAL directory, replays it
+// forward onto eng/rep, and returns the log the next Primary should resume
+// with — wire it via NewPrimaryAt. It must run before the publish hook is
+// claimed (replayed publications must not re-journal) and, ideally, before
+// the repairer starts rebuilding on its own: a rebuild published between
+// replay and hook claim is not journaled and costs replicas one resync
+// (correctness is unaffected — the gap check catches it).
+func RecoverPrimaryLog(eng *serve.Engine, rep *serve.Repairer, cfg RecoverConfig) (*Log, *RecoveryReport, error) {
+	if cfg.FreshEpoch == 0 {
+		cfg.FreshEpoch = 1
+	}
+	store, err := walstore.Open(cfg.Dir, walstore.Options{
+		FS: cfg.FS, Fsync: cfg.Fsync, SegmentBytes: cfg.SegmentBytes, BatchEvery: cfg.BatchEvery,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster: recover: %w", err)
+	}
+	rec := store.Recovery()
+	rpt := &RecoveryReport{
+		Segments:        rec.Segments,
+		Entries:         rec.Entries,
+		TornBytes:       rec.TornBytes,
+		DroppedSegments: rec.DroppedSegments,
+	}
+	bump := func(reason string) (*Log, *RecoveryReport, error) {
+		epoch := rec.Epoch + 1
+		if epoch < cfg.FreshEpoch {
+			epoch = cfg.FreshEpoch
+		}
+		if err := store.Reset(epoch); err != nil {
+			return nil, nil, fmt.Errorf("cluster: recover: %w", err)
+		}
+		log, err := OpenLog(store)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cluster: recover: %w", err)
+		}
+		rpt.Epoch = epoch
+		rpt.EpochBumped = true
+		rpt.Reason = reason
+		return log, rpt, nil
+	}
+	if rec.Epoch == 0 && rec.LastSeq == 0 && !rec.Dirty {
+		if err := store.SetEpoch(cfg.FreshEpoch); err != nil {
+			return nil, nil, fmt.Errorf("cluster: recover: %w", err)
+		}
+		log, err := OpenLog(store)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cluster: recover: %w", err)
+		}
+		rpt.Fresh = true
+		rpt.Epoch = cfg.FreshEpoch
+		rpt.Reason = "fresh WAL directory"
+		return log, rpt, nil
+	}
+	if rec.Dirty {
+		return bump("dirty marker: previous writer wedged mid-epoch")
+	}
+	log, err := OpenLog(store)
+	if err != nil {
+		return bump(fmt.Sprintf("undecodable WAL: %v", err))
+	}
+	recs, err := log.Since(log.base)
+	if err != nil {
+		return bump(fmt.Sprintf("unreadable WAL window: %v", err))
+	}
+	replayed, overlay, skipped, rerr := replayRecords(eng, rep, recs)
+	rpt.Replayed, rpt.Overlay, rpt.SkippedBelowSnap = replayed, overlay, skipped
+	if rerr != nil {
+		return bump(fmt.Sprintf("replay failed: %v", rerr))
+	}
+	if rec.Policy != walstore.PolicyAlways {
+		return bump(fmt.Sprintf("previous writer fsync policy %q: visible records may not be durable", rec.Policy))
+	}
+	rpt.Epoch = rec.Epoch
+	rpt.ResumeSeq = log.LastSeq()
+	rpt.Reason = "resumed epoch: WAL replays forward cleanly under fsync=always"
+	return log, rpt, nil
+}
+
+// replayRecords applies retained WAL records in log order onto the engine
+// and repairer, mirroring Replica.apply: publications below the engine's
+// snapshot are idempotently skipped, each replayed publication must land on
+// the next snapshot sequence and verify its DistCRC, and overlay records
+// rebuild the failure view.
+func replayRecords(eng *serve.Engine, rep *serve.Repairer, recs []Record) (replayed, overlay, skipped int, err error) {
+	for _, rec := range recs {
+		switch rec.Kind {
+		case RecPublish:
+			cur := eng.Current()
+			if rec.SnapSeq <= cur.Seq {
+				skipped++
+				continue
+			}
+			if rec.SnapSeq != cur.Seq+1 {
+				return replayed, overlay, skipped, fmt.Errorf("cluster: recover: publish gap: have snap %d, record %d is snap %d", cur.Seq, rec.Seq, rec.SnapSeq)
+			}
+			snap, merr := eng.Mutate(func(g *graph.Graph) error {
+				for _, e := range rec.Removes {
+					if err := g.RemoveEdge(e[0], e[1]); err != nil {
+						return err
+					}
+				}
+				for _, e := range rec.Adds {
+					if err := g.AddEdge(e[0], e[1]); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if merr != nil {
+				return replayed, overlay, skipped, fmt.Errorf("cluster: recover: record %d: %w", rec.Seq, merr)
+			}
+			if snap.Seq != rec.SnapSeq {
+				return replayed, overlay, skipped, fmt.Errorf("cluster: recover: replayed snap %d, record %d says %d", snap.Seq, rec.Seq, rec.SnapSeq)
+			}
+			if crc := DistCRC(snap.Dist); crc != rec.DistCRC {
+				return replayed, overlay, skipped, fmt.Errorf("cluster: recover: dist CRC %08x after record %d, WAL says %08x", crc, rec.Seq, rec.DistCRC)
+			}
+			replayed++
+			if rep != nil {
+				rep.Reconcile()
+			}
+		case RecLink:
+			if rep == nil {
+				return replayed, overlay, skipped, fmt.Errorf("cluster: recover: link record %d with no repairer", rec.Seq)
+			}
+			if err := rep.SetLinkDown(rec.U, rec.V, rec.Down); err != nil {
+				return replayed, overlay, skipped, fmt.Errorf("cluster: recover: record %d: %w", rec.Seq, err)
+			}
+			overlay++
+		case RecNode:
+			if rep == nil {
+				return replayed, overlay, skipped, fmt.Errorf("cluster: recover: node record %d with no repairer", rec.Seq)
+			}
+			if err := rep.SetNodeDown(rec.U, rec.Down); err != nil {
+				return replayed, overlay, skipped, fmt.Errorf("cluster: recover: record %d: %w", rec.Seq, err)
+			}
+			overlay++
+		default:
+			return replayed, overlay, skipped, fmt.Errorf("%w: kind %d at seq %d", ErrBadRecord, int(rec.Kind), rec.Seq)
+		}
+	}
+	if rep != nil {
+		rep.Reconcile()
+	}
+	return replayed, overlay, skipped, nil
+}

@@ -24,6 +24,7 @@ import (
 	"io"
 	"sync"
 
+	"routetab/internal/cluster/walstore"
 	"routetab/internal/serve"
 	"routetab/internal/shortestpath"
 )
@@ -101,8 +102,9 @@ func putUvarintPair(buf *bytes.Buffer, p [2]int) {
 	buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(p[1]))])
 }
 
-// encodeRecord serialises one record as a CRC-framed WREC section.
-func encodeRecord(w io.Writer, rec Record) error {
+// marshalRecord serialises one record's payload bytes — the body of a WREC
+// frame, and exactly what the durable walstore journals per entry.
+func marshalRecord(rec Record) ([]byte, error) {
 	var buf bytes.Buffer
 	var tmp [binary.MaxVarintLen64]byte
 	buf.WriteByte(byte(rec.Kind))
@@ -127,9 +129,18 @@ func encodeRecord(w io.Writer, rec Record) error {
 		buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(rec.U))])
 		buf.WriteByte(boolByte(rec.Down))
 	default:
-		return fmt.Errorf("%w: kind %d", ErrBadRecord, rec.Kind)
+		return nil, fmt.Errorf("%w: kind %d", ErrBadRecord, rec.Kind)
 	}
-	return serve.WriteFrame(w, tagRec, buf.Bytes())
+	return buf.Bytes(), nil
+}
+
+// encodeRecord serialises one record as a CRC-framed WREC section.
+func encodeRecord(w io.Writer, rec Record) error {
+	payload, err := marshalRecord(rec)
+	if err != nil {
+		return err
+	}
+	return serve.WriteFrame(w, tagRec, payload)
 }
 
 func boolByte(b bool) byte {
@@ -157,6 +168,11 @@ func decodeRecord(r io.Reader) (Record, error) {
 	if err != nil {
 		return Record{}, fmt.Errorf("%w: %v", ErrBadRecord, err)
 	}
+	return unmarshalRecord(payload)
+}
+
+// unmarshalRecord parses one record payload (the inverse of marshalRecord).
+func unmarshalRecord(payload []byte) (Record, error) {
 	br := bytes.NewReader(payload)
 	kindByte, err := br.ReadByte()
 	if err != nil {
@@ -377,28 +393,147 @@ func DecodeState(r io.Reader) (*State, error) {
 	return &st, nil
 }
 
-// Log is the primary's in-memory WAL: dense sequences starting at 1 within
-// an epoch, bounded by truncation. It is safe for concurrent use.
+// Log is the primary's WAL: dense sequences starting at 1 within an epoch,
+// bounded by truncation, optionally backed by a durable walstore.Store. It is
+// safe for concurrent use.
+//
+// Durability ordering is the crash-safety invariant: Append journals to the
+// store (which fsyncs under PolicyAlways) before the record becomes visible
+// to replicas through Since — visible ⊆ durable. If the store fails,
+// availability beats durability: the in-memory log keeps serving, journaling
+// wedges permanently (so the on-disk WAL stays a dense prefix), and a dirty
+// marker forces the next recovery to bump the epoch instead of resuming.
 type Log struct {
 	mu   sync.Mutex
 	recs []Record
 	// base is the seq of recs[0]−1: records 1…base have been truncated away.
 	base uint64
 	last uint64
+
+	store         *walstore.Store
+	storeFailures uint64
+	storeErr      error
 }
 
-// NewLog returns an empty log; the first appended record gets Seq 1.
+// NewLog returns an empty in-memory log; the first appended record gets Seq 1.
 func NewLog() *Log { return &Log{} }
 
-// Append assigns the next dense sequence to rec and stores it, returning the
-// assigned sequence.
+// OpenLog binds a recovered durable store to a log, loading every retained
+// record into memory: base and frontier come from the disk WAL, so replicas
+// that were ahead of the retained window get ErrGone exactly as they would
+// have from the dead primary.
+func OpenLog(store *walstore.Store) (*Log, error) {
+	l := &Log{store: store}
+	if store == nil {
+		return l, nil
+	}
+	first, last := store.FirstSeq(), store.LastSeq()
+	if first == 0 {
+		// Nothing retained (virgin store, or fully truncated): resume after
+		// the frontier.
+		l.base, l.last = last, last
+		return l, nil
+	}
+	l.base = first - 1
+	l.last = l.base
+	err := store.Replay(first, func(seq uint64, payload []byte) error {
+		rec, err := unmarshalRecord(payload)
+		if err != nil {
+			return fmt.Errorf("cluster: wal entry %d: %w", seq, err)
+		}
+		if seq != l.last+1 || rec.Seq != seq {
+			return fmt.Errorf("%w: wal entry %d carries seq %d (want %d)", ErrBadRecord, seq, rec.Seq, l.last+1)
+		}
+		l.recs = append(l.recs, rec)
+		l.last = seq
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Append assigns the next dense sequence to rec, journals it durably first
+// (when a store is attached and healthy), then stores it in memory, returning
+// the assigned sequence.
 func (l *Log) Append(rec Record) uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.last++
 	rec.Seq = l.last
+	if l.store != nil && l.storeErr == nil {
+		payload, err := marshalRecord(rec)
+		if err == nil {
+			err = l.store.Append(rec.Seq, payload)
+		}
+		if err != nil {
+			l.wedgeLocked(err)
+		}
+	}
 	l.recs = append(l.recs, rec)
 	return rec.Seq
+}
+
+// wedgeLocked permanently stops journaling after a store failure and drops
+// the dirty marker so the next recovery knows replica-visible records may
+// have outrun the durable WAL.
+func (l *Log) wedgeLocked(err error) {
+	l.storeFailures++
+	if l.storeErr != nil {
+		return
+	}
+	l.storeErr = err
+	// Best-effort: if even the marker cannot be written the disk is likely
+	// gone entirely, and recovery will find an undecodable or empty WAL.
+	if merr := l.store.MarkDirty(err.Error()); merr != nil {
+		l.storeErr = fmt.Errorf("%v (dirty marker: %v)", err, merr)
+	}
+}
+
+// Durability reports whether the log is journaling to a durable store, how
+// many appends failed to journal, and the error that wedged journaling.
+func (l *Log) Durability() (durable bool, failures uint64, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.store != nil && l.storeErr == nil, l.storeFailures, l.storeErr
+}
+
+// SyncWAL forces the durable store to disk regardless of fsync policy.
+func (l *Log) SyncWAL() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.store == nil || l.storeErr != nil {
+		return l.storeErr
+	}
+	if err := l.store.Sync(); err != nil {
+		l.wedgeLocked(err)
+		return err
+	}
+	return nil
+}
+
+// CloseWAL syncs and finalizes the durable store (sealing the open segment)
+// and detaches it; the in-memory log remains usable. A log without a store
+// returns nil.
+func (l *Log) CloseWAL() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.store == nil {
+		return nil
+	}
+	err := l.store.Close()
+	l.store = nil
+	return err
+}
+
+// Abandon detaches the durable store without finalizing it, leaving the
+// on-disk tail exactly as the last append left it — the kill -9 path used by
+// the crash harnesses.
+func (l *Log) Abandon() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.store = nil
 }
 
 // LastSeq returns the highest assigned sequence (0 when nothing was ever
@@ -428,7 +563,11 @@ func (l *Log) Since(after uint64) ([]Record, error) {
 }
 
 // TruncateTo drops every record with Seq ≤ seq, bounding memory; replicas
-// further behind than seq will get ErrGone from Since and resync.
+// further behind than seq will get ErrGone from Since and resync. The
+// in-memory drop and the base move happen under the same critical section as
+// Since, so a concurrent FetchState/Since pair observes either the old bound
+// or the new one — never a position that replays a half-truncated window.
+// The durable store truncates segment-granularly (lazily) afterwards.
 func (l *Log) TruncateTo(seq uint64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -441,4 +580,9 @@ func (l *Log) TruncateTo(seq uint64) {
 	drop := seq - l.base
 	l.recs = append([]Record(nil), l.recs[drop:]...)
 	l.base = seq
+	if l.store != nil && l.storeErr == nil {
+		if err := l.store.Truncate(seq); err != nil {
+			l.wedgeLocked(err)
+		}
+	}
 }

@@ -1,0 +1,482 @@
+package walstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"routetab/internal/faultinject"
+)
+
+func payloads(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		// Varied sizes, deterministic content.
+		size := 1 + (i*37)%61
+		p := make([]byte, size)
+		for j := range p {
+			p[j] = byte(faultinject.Mix64(uint64(i)<<16|uint64(j)) & 0xff)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func mustAppendAll(t *testing.T, st *Store, ps [][]byte) {
+	t.Helper()
+	for i, p := range ps {
+		if err := st.Append(uint64(i+1), p); err != nil {
+			t.Fatalf("append %d: %v", i+1, err)
+		}
+	}
+}
+
+func replayAll(t *testing.T, st *Store, from uint64) map[uint64][]byte {
+	t.Helper()
+	got := map[uint64][]byte{}
+	prev := uint64(0)
+	err := st.Replay(from, func(seq uint64, payload []byte) error {
+		if prev != 0 && seq != prev+1 {
+			t.Fatalf("replay gap: %d after %d", seq, prev)
+		}
+		prev = seq
+		got[seq] = append([]byte(nil), payload...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestAppendReplayRoundtrip(t *testing.T) {
+	fs := faultinject.NewMemFS()
+	st, err := Open("w", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetEpoch(7); err != nil {
+		t.Fatal(err)
+	}
+	ps := payloads(10)
+	mustAppendAll(t, st, ps)
+	if st.FirstSeq() != 1 || st.LastSeq() != 10 || st.Entries() != 10 {
+		t.Fatalf("bounds: first=%d last=%d entries=%d", st.FirstSeq(), st.LastSeq(), st.Entries())
+	}
+	got := replayAll(t, st, 0)
+	for i, p := range ps {
+		if !bytes.Equal(got[uint64(i+1)], p) {
+			t.Fatalf("payload %d mismatch", i+1)
+		}
+	}
+	if got := replayAll(t, st, 6); len(got) != 5 {
+		t.Fatalf("replay from 6: %d entries, want 5", len(got))
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(11, []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+}
+
+func TestRotationAndReopen(t *testing.T) {
+	fs := faultinject.NewMemFS()
+	st, err := Open("w", Options{FS: fs, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetEpoch(3); err != nil {
+		t.Fatal(err)
+	}
+	ps := payloads(40)
+	mustAppendAll(t, st, ps)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := fs.ReadDir("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) < 3 {
+		t.Fatalf("expected multiple segments, got %v", names)
+	}
+
+	st2, err := Open("w", Options{FS: fs, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := st2.Recovery()
+	if !rec.Clean || rec.Entries != 40 || rec.Epoch != 3 || rec.FirstSeq != 1 || rec.LastSeq != 40 {
+		t.Fatalf("recovery after clean close: %+v", rec)
+	}
+	if rec.Policy != PolicyAlways {
+		t.Fatalf("recovered policy %v", rec.Policy)
+	}
+	got := replayAll(t, st2, 0)
+	if len(got) != 40 {
+		t.Fatalf("recovered %d entries", len(got))
+	}
+	for i, p := range ps {
+		if !bytes.Equal(got[uint64(i+1)], p) {
+			t.Fatalf("payload %d mismatch after reopen", i+1)
+		}
+	}
+	// Appends resume densely in a fresh segment.
+	if err := st2.Append(40, []byte("dup")); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("duplicate seq: %v", err)
+	}
+	if err := st2.Append(42, []byte("gap")); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("gapped seq: %v", err)
+	}
+	if err := st2.Append(41, []byte("next")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// tearTail opens a fault FS that crashes mid-write after budget extra bytes,
+// returning the underlying MemFS for recovery.
+func TestTornTailTruncated(t *testing.T) {
+	fs := faultinject.NewMemFS()
+	st, err := Open("w", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetEpoch(1); err != nil {
+		t.Fatal(err)
+	}
+	ps := payloads(5)
+	mustAppendAll(t, st, ps)
+	durable := fs.JournalBytes()
+	if err := st.Append(6, payloads(7)[6]); err != nil {
+		t.Fatal(err)
+	}
+	// Power loss 5 bytes into record 6's frame.
+	clone := fs.CrashClone(durable + 5)
+
+	st2, err := Open("w", Options{FS: clone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := st2.Recovery()
+	if rec.Clean || rec.TornBytes == 0 {
+		t.Fatalf("expected torn recovery, got %+v", rec)
+	}
+	if rec.Entries != 5 || rec.LastSeq != 5 {
+		t.Fatalf("recovered %d entries to seq %d, want 5", rec.Entries, rec.LastSeq)
+	}
+	got := replayAll(t, st2, 0)
+	for i, p := range ps {
+		if !bytes.Equal(got[uint64(i+1)], p) {
+			t.Fatalf("payload %d corrupted by tail repair", i+1)
+		}
+	}
+	// Idempotent: a second recovery over the repaired dir is clean.
+	st3, err := Open("w", Options{FS: clone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := st3.Recovery(); !rec.Clean || rec.Entries != 5 {
+		t.Fatalf("second recovery not clean: %+v", rec)
+	}
+}
+
+func TestHeaderlessTailRemoved(t *testing.T) {
+	fs := faultinject.NewMemFS()
+	st, err := Open("w", Options{FS: fs, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetEpoch(1); err != nil {
+		t.Fatal(err)
+	}
+	// 20-byte payloads → 33-byte entry frames after the 23-byte segment
+	// prefix: entries 1–2 fill the first segment past the 64-byte rotation
+	// threshold, so record 3 seals it and opens a fresh segment.
+	p := bytes.Repeat([]byte{0xAB}, 20)
+	if err := st.Append(1, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(2, p); err != nil {
+		t.Fatal(err)
+	}
+	durable := fs.JournalBytes()
+	// Crash 3 bytes into the new segment's magic+header write.
+	if err := st.Append(3, p); err != nil {
+		t.Fatal(err)
+	}
+	clone := fs.CrashClone(durable + 3)
+	st2, err := Open("w", Options{FS: clone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := st2.Recovery()
+	if rec.DroppedSegments != 1 {
+		t.Fatalf("expected headerless tail dropped, got %+v", rec)
+	}
+	if rec.LastSeq != 2 || rec.Entries != 2 {
+		t.Fatalf("recovered to %d with %d entries, want 2", rec.LastSeq, rec.Entries)
+	}
+}
+
+func TestTruncateRetention(t *testing.T) {
+	fs := faultinject.NewMemFS()
+	st, err := Open("w", Options{FS: fs, SegmentBytes: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetEpoch(1); err != nil {
+		t.Fatal(err)
+	}
+	mustAppendAll(t, st, payloads(30))
+	segsBefore, _ := fs.ReadDir("w")
+	if err := st.Truncate(20); err != nil {
+		t.Fatal(err)
+	}
+	segsAfter, _ := fs.ReadDir("w")
+	if len(segsAfter) >= len(segsBefore) {
+		t.Fatalf("truncate removed nothing: %d → %d files", len(segsBefore), len(segsAfter))
+	}
+	first := st.FirstSeq()
+	if first == 0 || first > 21 {
+		t.Fatalf("FirstSeq after truncate = %d", first)
+	}
+	// Everything from the new first seq must still replay densely.
+	got := replayAll(t, st, first)
+	if uint64(len(got)) != 30-first+1 {
+		t.Fatalf("replay from %d: %d entries", first, len(got))
+	}
+	// The active segment is never truncated even when fully covered.
+	if err := st.Truncate(30); err != nil {
+		t.Fatal(err)
+	}
+	if st.LastSeq() != 30 {
+		t.Fatalf("frontier lost: %d", st.LastSeq())
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: the retained window persists, and the next append is dense.
+	st2, err := Open("w", Options{FS: fs, SegmentBytes: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.LastSeq() != 30 {
+		t.Fatalf("reopened frontier %d, want 30", st2.LastSeq())
+	}
+	if err := st2.Append(31, []byte("next")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetEpochAndReset(t *testing.T) {
+	fs := faultinject.NewMemFS()
+	st, err := Open("w", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetEpoch(2); err != nil {
+		t.Fatal(err)
+	}
+	mustAppendAll(t, st, payloads(3))
+	if err := st.SetEpoch(5); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("SetEpoch on non-empty: %v", err)
+	}
+	if err := st.Reset(9); err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch() != 9 || st.LastSeq() != 0 || st.Entries() != 0 {
+		t.Fatalf("post-reset state: epoch=%d last=%d", st.Epoch(), st.LastSeq())
+	}
+	names, _ := fs.ReadDir("w")
+	if len(names) != 0 {
+		t.Fatalf("reset left files: %v", names)
+	}
+	if err := st.Append(1, []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open("w", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Epoch() != 9 || st2.LastSeq() != 1 {
+		t.Fatalf("reopened epoch=%d last=%d, want 9/1", st2.Epoch(), st2.LastSeq())
+	}
+}
+
+func TestDirtyMarker(t *testing.T) {
+	fs := faultinject.NewMemFS()
+	st, err := Open("w", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetEpoch(1); err != nil {
+		t.Fatal(err)
+	}
+	mustAppendAll(t, st, payloads(2))
+	if err := st.MarkDirty("journal wedged in test"); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open("w", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := st2.Recovery()
+	if !rec.Dirty || rec.Clean {
+		t.Fatalf("dirty marker not surfaced: %+v", rec)
+	}
+	if err := st2.Reset(2); err != nil {
+		t.Fatal(err)
+	}
+	st3, err := Open("w", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := st3.Recovery(); rec.Dirty {
+		t.Fatalf("reset did not clear the marker: %+v", rec)
+	}
+}
+
+// failNthWriteFS fails the nth Write through the FS with a one-shot error.
+type failNthWriteFS struct {
+	faultinject.FS
+	n     int
+	count int
+}
+
+type failNthFile struct {
+	faultinject.File
+	fs *failNthWriteFS
+}
+
+func (f *failNthWriteFS) Create(name string) (faultinject.File, error) {
+	file, err := f.FS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &failNthFile{File: file, fs: f}, nil
+}
+
+func (f *failNthFile) Write(p []byte) (int, error) {
+	f.fs.count++
+	if f.fs.count == f.fs.n {
+		// Torn: half the frame reaches the disk.
+		n, _ := f.File.Write(p[:len(p)/2])
+		return n, fmt.Errorf("injected one-shot write failure")
+	}
+	return f.File.Write(p)
+}
+
+func TestAppendFailureRepairedAndRetryable(t *testing.T) {
+	mem := faultinject.NewMemFS()
+	// Writes: 1 = segment header, 2..4 = entries 1..3; fail entry 3.
+	ffs := &failNthWriteFS{FS: mem, n: 4}
+	st, err := Open("w", Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetEpoch(1); err != nil {
+		t.Fatal(err)
+	}
+	ps := payloads(4)
+	if err := st.Append(1, ps[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(2, ps[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(3, ps[2]); err == nil {
+		t.Fatal("expected injected append failure")
+	}
+	// The torn frame was repaired: the same sequence can be retried and the
+	// store is not wedged.
+	if err := st.Append(3, ps[2]); err != nil {
+		t.Fatalf("retry after repair: %v", err)
+	}
+	if err := st.Append(4, ps[3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open("w", Options{FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := st2.Recovery()
+	if !rec.Clean || rec.Entries != 4 || rec.LastSeq != 4 {
+		t.Fatalf("recovery after repaired tear: %+v", rec)
+	}
+	got := replayAll(t, st2, 0)
+	for i, p := range ps {
+		if !bytes.Equal(got[uint64(i+1)], p) {
+			t.Fatalf("payload %d mismatch", i+1)
+		}
+	}
+}
+
+func TestForeignEpochSuffixDropped(t *testing.T) {
+	fs := faultinject.NewMemFS()
+	st, err := Open("w", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetEpoch(1); err != nil {
+		t.Fatal(err)
+	}
+	mustAppendAll(t, st, payloads(3))
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Forge a continuation segment under a different epoch (as if a file
+	// from another incarnation were copied in).
+	other := faultinject.NewMemFS()
+	st2, err := Open("x", Options{FS: other})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.SetEpoch(2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 4; i <= 6; i++ {
+		if err := st2.Append(uint64(i), []byte("foreign")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := other.ReadDir("x")
+	for _, name := range names {
+		data, err := other.ReadFile("x/" + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := fs.Create("w/" + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(data); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st3, err := Open("w", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := st3.Recovery()
+	if rec.Epoch != 1 || rec.LastSeq != 3 || rec.DroppedSegments == 0 {
+		t.Fatalf("foreign suffix survived: %+v", rec)
+	}
+}

@@ -1,0 +1,507 @@
+// Disk-fault injection: a narrow filesystem seam (FS / File) that the WAL
+// store writes through, an in-memory implementation whose global write
+// journal can be cut at any byte to model power loss (MemFS.CrashClone), and
+// a seeded fault wrapper (FaultFS) that injects short writes, write/sync
+// errors, silent bit flips, and a hard crash point at a chosen cumulative
+// byte offset. Fault decisions follow the package's determinism contract:
+// every decision is a pure hash of (seed, operation index) — identical seed
+// and operation sequence yields identical faults.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Disk-fault errors.
+var (
+	// ErrInjected reports a deterministically injected I/O fault.
+	ErrInjected = errors.New("faultinject: injected I/O fault")
+	// ErrCrashed reports that the simulated crash point was reached; every
+	// subsequent mutation through the FS fails with it.
+	ErrCrashed = errors.New("faultinject: simulated crash point reached")
+)
+
+// File is the narrow writable-file surface the WAL store needs.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem seam: enough surface for an append-only segmented
+// store (create, whole-file read, directory listing, remove, truncate,
+// directory sync). Implementations must return sorted names from ReadDir.
+type FS interface {
+	MkdirAll(dir string) error
+	Create(name string) (File, error)
+	ReadFile(name string) ([]byte, error)
+	ReadDir(dir string) ([]string, error)
+	Remove(name string) error
+	Truncate(name string, size int64) error
+	SyncDir(dir string) error
+}
+
+// OSFS is the real operating-system filesystem.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// Create implements FS.
+func (OSFS) Create(name string) (File, error) { return os.Create(name) }
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// ReadDir implements FS, returning base names (os.ReadDir sorts them).
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// Truncate implements FS.
+func (OSFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// SyncDir fsyncs the directory so renames, creates, and removes inside it
+// are durable.
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// memOp kinds for the MemFS write journal.
+const (
+	memCreate = iota
+	memWrite
+	memRemove
+	memTruncate
+)
+
+type memOp struct {
+	kind int
+	name string
+	data []byte // memWrite payload
+	size int64  // memTruncate size
+}
+
+// MemFS is an in-memory FS that journals every mutation in global order.
+// CrashClone replays that journal up to a cumulative written-byte budget,
+// tearing the straddling write — the power-loss model the crash-matrix
+// tests sweep. The zero value is not usable; call NewMemFS.
+type MemFS struct {
+	mu      sync.Mutex
+	files   map[string][]byte
+	journal []memOp
+	written int64
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string][]byte)}
+}
+
+// MkdirAll implements FS (directories are implicit in MemFS).
+func (m *MemFS) MkdirAll(string) error { return nil }
+
+// Create implements FS, truncating any existing file.
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files[name] = nil
+	m.journal = append(m.journal, memOp{kind: memCreate, name: name})
+	return &memFile{fs: m, name: name}, nil
+}
+
+// ReadFile implements FS.
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[name]
+	if !ok {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// ReadDir implements FS, listing direct children of dir in sorted order.
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prefix := strings.TrimSuffix(dir, "/") + "/"
+	var names []string
+	for name := range m.files {
+		if strings.HasPrefix(name, prefix) && !strings.Contains(name[len(prefix):], "/") {
+			names = append(names, path.Base(name))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(m.files, name)
+	m.journal = append(m.journal, memOp{kind: memRemove, name: name})
+	return nil
+}
+
+// Truncate implements FS.
+func (m *MemFS) Truncate(name string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[name]
+	if !ok {
+		return &fs.PathError{Op: "truncate", Path: name, Err: fs.ErrNotExist}
+	}
+	if size < 0 || size > int64(len(data)) {
+		return &fs.PathError{Op: "truncate", Path: name, Err: fs.ErrInvalid}
+	}
+	m.files[name] = data[:size:size]
+	m.journal = append(m.journal, memOp{kind: memTruncate, name: name, size: size})
+	return nil
+}
+
+// SyncDir implements FS (MemFS mutations are immediately visible).
+func (m *MemFS) SyncDir(string) error { return nil }
+
+// JournalBytes returns the cumulative payload bytes written through the
+// filesystem — the axis CrashClone budgets against.
+func (m *MemFS) JournalBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.written
+}
+
+// CrashClone replays the write journal into a fresh MemFS, stopping the
+// instant cumulative written bytes would exceed budget: the straddling write
+// is torn mid-payload and every later operation never happened. The clone is
+// an independent, fully functional filesystem (its own journal starts
+// empty), modelling the disk a restarted process finds after power loss.
+func (m *MemFS) CrashClone(budget int64) *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := NewMemFS()
+	for _, op := range m.journal {
+		switch op.kind {
+		case memCreate:
+			c.files[op.name] = nil
+		case memWrite:
+			n := int64(len(op.data))
+			if n > budget {
+				c.files[op.name] = append(c.files[op.name], op.data[:budget]...)
+				return c
+			}
+			c.files[op.name] = append(c.files[op.name], op.data...)
+			budget -= n
+		case memRemove:
+			delete(c.files, op.name)
+		case memTruncate:
+			if data, ok := c.files[op.name]; ok && op.size <= int64(len(data)) {
+				c.files[op.name] = data[:op.size:op.size]
+			}
+		}
+	}
+	return c
+}
+
+type memFile struct {
+	fs     *MemFS
+	name   string
+	closed bool
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return 0, fs.ErrClosed
+	}
+	f.fs.files[f.name] = append(f.fs.files[f.name], p...)
+	f.fs.journal = append(f.fs.journal, memOp{kind: memWrite, name: f.name, data: append([]byte(nil), p...)})
+	f.fs.written += int64(len(p))
+	return len(p), nil
+}
+
+func (f *memFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return fs.ErrClosed
+	}
+	return nil
+}
+
+func (f *memFile) Close() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return fs.ErrClosed
+	}
+	f.closed = true
+	return nil
+}
+
+// Hash salts for the independent per-operation disk-fault decisions.
+const (
+	saltFSWriteErr = 0xD6E8FEB86659FD93
+	saltFSSyncErr  = 0xC2B2AE3D27D4EB4F
+	saltFSShort    = 0x9AE16A3B2F90404F
+	saltFSShortLen = 0x85EBCA77C2B2AE63
+	saltFSFlip     = 0x27D4EB2F165667C5
+	saltFSFlipPos  = 0x165667B19E3779F9
+)
+
+// DiskFaultConfig parameterises the deterministic disk faults. CrashAtBytes
+// is a hard crash point on the cumulative-written-bytes axis: the write that
+// would cross it is torn at the boundary and every later mutation fails with
+// ErrCrashed. Zero or negative disables the crash point (use MemFS.CrashClone
+// for a crash at byte zero).
+type DiskFaultConfig struct {
+	Seed           int64
+	WriteErrProb   float64 // whole write fails, nothing reaches the disk
+	SyncErrProb    float64 // fsync fails
+	ShortWriteProb float64 // a strict prefix of the write reaches the disk
+	BitFlipProb    float64 // one bit of the write is silently flipped
+	CrashAtBytes   int64
+}
+
+func (c DiskFaultConfig) validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"write-error", c.WriteErrProb},
+		{"sync-error", c.SyncErrProb},
+		{"short-write", c.ShortWriteProb},
+		{"bit-flip", c.BitFlipProb},
+	} {
+		if p.v < 0 || p.v >= 1 {
+			return fmt.Errorf("%w: %s probability %v", ErrBadConfig, p.name, p.v)
+		}
+	}
+	return nil
+}
+
+// FaultFS wraps a base FS and injects the configured disk faults into writes
+// and syncs. Reads and directory listings always pass through — a recovering
+// process may inspect the disk a crashed writer left behind.
+type FaultFS struct {
+	base FS
+	cfg  DiskFaultConfig
+	seed uint64
+
+	mu      sync.Mutex
+	ops     uint64
+	written int64
+	crashed bool
+}
+
+// NewFaultFS validates cfg and wraps base.
+func NewFaultFS(base FS, cfg DiskFaultConfig) (*FaultFS, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &FaultFS{base: base, cfg: cfg, seed: Mix64(uint64(cfg.Seed) ^ 0x5851F42D4C957F2D)}, nil
+}
+
+// WrittenBytes returns the cumulative bytes accepted by writes so far.
+func (f *FaultFS) WrittenBytes() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.written
+}
+
+// Crashed reports whether the crash point has been reached.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// CrashAt rearms (or disarms, with a non-positive value) the crash point, on
+// the same cumulative-written-bytes axis as WrittenBytes.
+func (f *FaultFS) CrashAt(bytes int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cfg.CrashAtBytes = bytes
+	if bytes > 0 && f.written < bytes {
+		f.crashed = false
+	}
+}
+
+func (f *FaultFS) mutable() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// MkdirAll implements FS.
+func (f *FaultFS) MkdirAll(dir string) error {
+	if err := f.mutable(); err != nil {
+		return err
+	}
+	return f.base.MkdirAll(dir)
+}
+
+// Create implements FS.
+func (f *FaultFS) Create(name string) (File, error) {
+	if err := f.mutable(); err != nil {
+		return nil, err
+	}
+	file, err := f.base.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, base: file}, nil
+}
+
+// ReadFile implements FS (reads are never faulted).
+func (f *FaultFS) ReadFile(name string) ([]byte, error) { return f.base.ReadFile(name) }
+
+// ReadDir implements FS (reads are never faulted).
+func (f *FaultFS) ReadDir(dir string) ([]string, error) { return f.base.ReadDir(dir) }
+
+// Remove implements FS.
+func (f *FaultFS) Remove(name string) error {
+	if err := f.mutable(); err != nil {
+		return err
+	}
+	return f.base.Remove(name)
+}
+
+// Truncate implements FS.
+func (f *FaultFS) Truncate(name string, size int64) error {
+	if err := f.mutable(); err != nil {
+		return err
+	}
+	return f.base.Truncate(name, size)
+}
+
+// SyncDir implements FS.
+func (f *FaultFS) SyncDir(dir string) error {
+	if err := f.mutable(); err != nil {
+		return err
+	}
+	return f.base.SyncDir(dir)
+}
+
+type faultFile struct {
+	fs   *FaultFS
+	base File
+}
+
+// Write injects, in priority order: the crash point (torn at the exact byte
+// budget), whole-write errors, short writes, and silent single-bit flips.
+// The decision hash depends only on (seed, operation index).
+func (f *faultFile) Write(p []byte) (int, error) {
+	fs := f.fs
+	fs.mu.Lock()
+	if fs.crashed {
+		fs.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	op := fs.ops
+	fs.ops++
+	if fs.cfg.CrashAtBytes > 0 && fs.written+int64(len(p)) > fs.cfg.CrashAtBytes {
+		n := int(fs.cfg.CrashAtBytes - fs.written)
+		fs.crashed = true
+		fs.written += int64(n)
+		fs.mu.Unlock()
+		if n > 0 {
+			if m, err := f.base.Write(p[:n]); err != nil {
+				return m, err
+			}
+		}
+		return n, ErrCrashed
+	}
+	h := fs.seed ^ Mix64(op)
+	cfg := fs.cfg
+	if cfg.WriteErrProb > 0 && unit(Mix64(h^saltFSWriteErr)) < cfg.WriteErrProb {
+		fs.mu.Unlock()
+		return 0, fmt.Errorf("%w: write op %d", ErrInjected, op)
+	}
+	if cfg.ShortWriteProb > 0 && len(p) > 1 && unit(Mix64(h^saltFSShort)) < cfg.ShortWriteProb {
+		n := 1 + int(Mix64(h^saltFSShortLen)%uint64(len(p)-1))
+		fs.written += int64(n)
+		fs.mu.Unlock()
+		if m, err := f.base.Write(p[:n]); err != nil {
+			return m, err
+		}
+		return n, fmt.Errorf("%w: short write (%d of %d bytes) op %d", ErrInjected, n, len(p), op)
+	}
+	if cfg.BitFlipProb > 0 && len(p) > 0 && unit(Mix64(h^saltFSFlip)) < cfg.BitFlipProb {
+		q := append([]byte(nil), p...)
+		bit := Mix64(h^saltFSFlipPos) % uint64(len(q)*8)
+		q[bit/8] ^= 1 << (bit % 8)
+		fs.written += int64(len(q))
+		fs.mu.Unlock()
+		if m, err := f.base.Write(q); err != nil {
+			return m, err
+		}
+		return len(p), nil
+	}
+	fs.written += int64(len(p))
+	fs.mu.Unlock()
+	return f.base.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	fs := f.fs
+	fs.mu.Lock()
+	if fs.crashed {
+		fs.mu.Unlock()
+		return ErrCrashed
+	}
+	op := fs.ops
+	fs.ops++
+	h := fs.seed ^ Mix64(op)
+	if fs.cfg.SyncErrProb > 0 && unit(Mix64(h^saltFSSyncErr)) < fs.cfg.SyncErrProb {
+		fs.mu.Unlock()
+		return fmt.Errorf("%w: sync op %d", ErrInjected, op)
+	}
+	fs.mu.Unlock()
+	return f.base.Sync()
+}
+
+func (f *faultFile) Close() error {
+	if f.fs.Crashed() {
+		return ErrCrashed
+	}
+	return f.base.Close()
+}

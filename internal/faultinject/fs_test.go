@@ -1,0 +1,282 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"testing"
+)
+
+func TestMemFSBasics(t *testing.T) {
+	m := NewMemFS()
+	if err := m.MkdirAll("w"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.Create("w/b.seg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, fs.ErrClosed) {
+		t.Fatalf("write after close: %v", err)
+	}
+	g, err := m.Create("w/a.seg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Write([]byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	names, err := m.ReadDir("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "a.seg" || names[1] != "b.seg" {
+		t.Fatalf("ReadDir = %v, want sorted [a.seg b.seg]", names)
+	}
+	data, err := m.ReadFile("w/b.seg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello world" {
+		t.Fatalf("content %q", data)
+	}
+	if err := m.Truncate("w/b.seg", 5); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = m.ReadFile("w/b.seg")
+	if string(data) != "hello" {
+		t.Fatalf("after truncate: %q", data)
+	}
+	if err := m.Remove("w/a.seg"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReadFile("w/a.seg"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("read removed: %v", err)
+	}
+	if err := m.Remove("w/a.seg"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("double remove: %v", err)
+	}
+}
+
+func TestMemFSCrashClone(t *testing.T) {
+	m := NewMemFS()
+	f, _ := m.Create("w/x")
+	if _, err := f.Write([]byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("efgh")); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := m.Create("w/y")
+	if _, err := g.Write([]byte("1234")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove("w/x"); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.JournalBytes(); got != 12 {
+		t.Fatalf("JournalBytes = %d, want 12", got)
+	}
+	// Full budget: the clone reflects every operation, including the remove.
+	c := m.CrashClone(12)
+	if _, err := c.ReadFile("w/x"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatal("remove should have replayed at full budget")
+	}
+	if data, _ := c.ReadFile("w/y"); string(data) != "1234" {
+		t.Fatalf("y = %q", data)
+	}
+	// Budget 6 tears the second write of x mid-payload; the remove and the
+	// y write never happened.
+	c = m.CrashClone(6)
+	if data, _ := c.ReadFile("w/x"); string(data) != "abcdef" {
+		t.Fatalf("torn x = %q, want abcdef", data)
+	}
+	if _, err := c.ReadFile("w/y"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatal("y should not exist before the crash point")
+	}
+	// Clones are independent: mutating the clone leaves the source alone.
+	if err := c.Truncate("w/x", 1); err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := m.ReadFile("w/y"); string(data) != "1234" {
+		t.Fatalf("source mutated: %q", data)
+	}
+}
+
+// collectFaults drives an identical operation sequence through a fresh
+// FaultFS and records each outcome, for determinism comparison.
+func collectFaults(t *testing.T, seed int64) ([]string, []byte) {
+	t.Helper()
+	base := NewMemFS()
+	ffs, err := NewFaultFS(base, DiskFaultConfig{
+		Seed:           seed,
+		WriteErrProb:   0.2,
+		SyncErrProb:    0.1,
+		ShortWriteProb: 0.2,
+		BitFlipProb:    0.1,
+		CrashAtBytes:   -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ffs.Create("w/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var outcomes []string
+	for i := 0; i < 64; i++ {
+		n, err := f.Write([]byte("0123456789abcdef"))
+		outcomes = append(outcomes, errString(err), string(rune('0'+n%10)))
+		serr := f.Sync()
+		outcomes = append(outcomes, errString(serr))
+	}
+	data, err := base.ReadFile("w/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return outcomes, data
+}
+
+func errString(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	return err.Error()
+}
+
+func TestFaultFSDeterministic(t *testing.T) {
+	o1, d1 := collectFaults(t, 42)
+	o2, d2 := collectFaults(t, 42)
+	if len(o1) != len(o2) {
+		t.Fatalf("outcome lengths differ: %d vs %d", len(o1), len(o2))
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("outcome %d differs: %q vs %q", i, o1[i], o2[i])
+		}
+	}
+	if !bytes.Equal(d1, d2) {
+		t.Fatal("resulting file bytes differ across identical runs")
+	}
+	o3, _ := collectFaults(t, 43)
+	same := true
+	for i := range o1 {
+		if o1[i] != o3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+func TestFaultFSCrashPoint(t *testing.T) {
+	base := NewMemFS()
+	ffs, err := NewFaultFS(base, DiskFaultConfig{CrashAtBytes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ffs.Create("w/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f.Write([]byte("01234567")); n != 8 || err != nil {
+		t.Fatalf("first write: n=%d err=%v", n, err)
+	}
+	n, err := f.Write([]byte("89abcdef"))
+	if n != 2 || !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crossing write: n=%d err=%v, want torn at 2 bytes with ErrCrashed", n, err)
+	}
+	if !ffs.Crashed() {
+		t.Fatal("fs should be crashed")
+	}
+	if got := ffs.WrittenBytes(); got != 10 {
+		t.Fatalf("WrittenBytes = %d, want 10", got)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync: %v", err)
+	}
+	if _, err := ffs.Create("w/g"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash create: %v", err)
+	}
+	if err := ffs.Remove("w/f"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash remove: %v", err)
+	}
+	// Reads still pass through: a recovering process inspects the torn disk.
+	data, err := ffs.ReadFile("w/f")
+	if err != nil || string(data) != "0123456789" {
+		t.Fatalf("post-crash read: %q, %v", data, err)
+	}
+}
+
+func TestFaultFSShortWriteAndBitFlip(t *testing.T) {
+	base := NewMemFS()
+	ffs, err := NewFaultFS(base, DiskFaultConfig{ShortWriteProb: 0.999, CrashAtBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := ffs.Create("w/f")
+	n, werr := f.Write([]byte("0123456789"))
+	if werr == nil || !errors.Is(werr, ErrInjected) || n <= 0 || n >= 10 {
+		t.Fatalf("short write: n=%d err=%v, want strict prefix with ErrInjected", n, werr)
+	}
+	data, _ := base.ReadFile("w/f")
+	if string(data) != "0123456789"[:n] {
+		t.Fatalf("disk holds %q, reported n=%d", data, n)
+	}
+
+	base2 := NewMemFS()
+	ffs2, err := NewFaultFS(base2, DiskFaultConfig{BitFlipProb: 0.999, CrashAtBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := ffs2.Create("w/g")
+	payload := []byte("0123456789")
+	if n, err := g.Write(payload); n != len(payload) || err != nil {
+		t.Fatalf("bit-flip write must report silent success, got n=%d err=%v", n, err)
+	}
+	got, _ := base2.ReadFile("w/g")
+	diff := 0
+	for i := range got {
+		diff += popcount8(got[i] ^ payload[i])
+	}
+	if diff != 1 {
+		t.Fatalf("%d flipped bits, want exactly 1 (disk=%q)", diff, got)
+	}
+	if !bytes.Equal(payload, []byte("0123456789")) {
+		t.Fatal("caller's buffer was mutated")
+	}
+}
+
+func popcount8(b byte) int {
+	n := 0
+	for ; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}
+
+func TestFaultFSBadConfig(t *testing.T) {
+	if _, err := NewFaultFS(NewMemFS(), DiskFaultConfig{WriteErrProb: 1.5}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("want ErrBadConfig, got %v", err)
+	}
+	if _, err := NewFaultFS(NewMemFS(), DiskFaultConfig{SyncErrProb: -0.1}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("want ErrBadConfig, got %v", err)
+	}
+}

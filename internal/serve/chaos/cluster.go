@@ -66,6 +66,10 @@ type ClusterConfig struct {
 	// KillPrimary fires the primary kill + promotion phase (default true;
 	// set SkipKill to disable).
 	SkipKill bool
+	// SkipCrash disables the kill -9 + WAL-recovery phase (default on: the
+	// primary is crashed mid-journal, restarted cold over the same disk, and
+	// must resume its epoch so replicas catch up via WAL replay, not resync).
+	SkipCrash bool
 	// MaxUnavailableFrac bounds the tolerated unserved fraction across the
 	// whole cluster (default 0.01 — replication exists to keep answering).
 	MaxUnavailableFrac float64
@@ -144,6 +148,11 @@ type ClusterReport struct {
 	Resyncs      uint64 `json:"resyncs"`
 	MaxReplayLag uint64 `json:"max_replay_lag"`
 
+	// Crash-restart phase (JSON-only; not part of the CSV artefact layout).
+	CrashRestarts   int    `json:"crash_restarts"`   // kill -9 + cold restarts performed
+	WalRecovered    bool   `json:"wal_recovered"`    // restart resumed its epoch from the WAL
+	RecoveryResyncs uint64 `json:"recovery_resyncs"` // full resyncs caused by the restart (must be 0)
+
 	AvailabilityPct    float64       `json:"availability_pct"`
 	MaxDetourExtraHops int64         `json:"max_detour_extra_hops"`
 	FailoverNs         int64         `json:"failover_ns"`
@@ -156,10 +165,11 @@ type ClusterReport struct {
 
 // String renders the headline figures.
 func (r *ClusterReport) String() string {
-	return fmt.Sprintf("cluster %s n=%d members=%d: %d lookups (%.0f qps), %.3f%% available (correct=%d degraded=%d rejected=%d unavailable=%d errored=%d incorrect=%d), %d churn rounds, %d partitions, %d corruptions, %d truncations, promoted=%v epoch=%d resyncs=%d lag≤%d, failover %v, digests converged=%v tables identical=%v",
+	return fmt.Sprintf("cluster %s n=%d members=%d: %d lookups (%.0f qps), %.3f%% available (correct=%d degraded=%d rejected=%d unavailable=%d errored=%d incorrect=%d), %d churn rounds, %d partitions, %d corruptions, %d truncations, crashes=%d wal_recovered=%v recovery_resyncs=%d, promoted=%v epoch=%d resyncs=%d lag≤%d, failover %v, digests converged=%v tables identical=%v",
 		r.Scheme, r.N, r.Members, r.Lookups, r.QPS, r.AvailabilityPct,
 		r.Correct, r.Degraded, r.Rejected, r.Unavailable, r.Errored, r.Incorrect,
 		r.ChurnRounds, r.Partitions, r.Corruptions, r.Truncations,
+		r.CrashRestarts, r.WalRecovered, r.RecoveryResyncs,
 		r.Promoted, r.FinalEpoch, r.Resyncs, r.MaxReplayLag,
 		time.Duration(r.FailoverNs), r.DigestsConverged, r.TablesIdentical)
 }
@@ -168,6 +178,7 @@ func (r *ClusterReport) String() string {
 var (
 	ErrDiverged = errors.New("chaos: cluster members diverged at quiesce")
 	ErrFailover = errors.New("chaos: cluster did not recover from primary kill")
+	ErrRecovery = errors.New("chaos: primary crash-restart did not recover via WAL")
 )
 
 // gate is one member's reachability: both its replication feed and its
@@ -183,6 +194,7 @@ type chaosSource struct {
 	mu          sync.Mutex
 	target      cluster.Source
 	gate        *gate
+	feedDown    atomic.Bool // severs replication only, not client traffic
 	corruptNext bool
 	corrupted   int
 	rng         *rand.Rand
@@ -195,7 +207,7 @@ func (cs *chaosSource) setTarget(s cluster.Source) {
 }
 
 func (cs *chaosSource) current() (cluster.Source, error) {
-	if cs.gate.down.Load() {
+	if cs.gate.down.Load() || cs.feedDown.Load() {
 		return nil, errUnreachable
 	}
 	cs.mu.Lock()
@@ -292,22 +304,34 @@ func (m *member) Lookup(src, dst int) (serve.Result, error) {
 
 // clusterHarness is one run's mutable state.
 type clusterHarness struct {
-	cfg ClusterConfig
+	cfg     ClusterConfig
+	srvOpts serve.ServerOptions
 	grader
 
 	primary  *cluster.Primary
-	members  []*member // members[0] is the initial primary
+	srv0     *serve.Server   // member-0's current server (replaced on restart)
+	rep0     *serve.Repairer // member-0's current repairer
+	members  []*member       // members[0] is the initial primary
 	replicas []*cluster.Replica
 	sources  []*chaosSource // per replica
 	router   *cluster.Router
 	inj      *faultinject.Injector
 
-	churnDone   int
-	partitions  int
-	truncations int
-	promoted    bool
-	failoverNs  int64
-	maxLag      uint64
+	// Member-0's durable WAL: a power-loss-modelling MemFS seen through a
+	// fault-injecting wrapper the crash phase arms to tear one append.
+	walFS    *faultinject.MemFS
+	walFault *faultinject.FaultFS
+	walLog   *cluster.Log
+
+	churnDone       int
+	partitions      int
+	truncations     int
+	promoted        bool
+	failoverNs      int64
+	maxLag          uint64
+	crashRestarts   int
+	walRecovered    bool
+	recoveryResyncs uint64
 }
 
 // SetPeerDown implements faultinject.PeerTarget: peer i is replica i,
@@ -353,14 +377,32 @@ func RunCluster(cfg ClusterConfig) (*ClusterReport, error) {
 	srvOpts := serve.ServerOptions{Shards: 2, QueueCap: cfg.Workers * 4}
 	srv := serve.NewServer(eng, srvOpts)
 	rep := serve.NewRepairer(srv, serve.RepairOptions{})
-	p, err := cluster.NewPrimary(eng, srv, rep, 1)
+
+	// Member-0 journals every publication to a durable WAL (fsync=always)
+	// behind a fault-injection wrapper; the crash phase tears an append
+	// mid-frame and restarts the primary cold over the surviving bytes.
+	walFS := faultinject.NewMemFS()
+	walFault, err := faultinject.NewFaultFS(walFS, faultinject.DiskFaultConfig{Seed: cfg.Seed})
+	if err != nil {
+		rep.Close()
+		srv.Close()
+		return nil, err
+	}
+	walLog, walRpt, err := cluster.RecoverPrimaryLog(eng, rep, cluster.RecoverConfig{Dir: "wal", FS: walFault})
+	if err != nil {
+		rep.Close()
+		srv.Close()
+		return nil, err
+	}
+	p, err := cluster.NewPrimaryAt(eng, srv, rep, walRpt.Epoch, walLog)
 	if err != nil {
 		rep.Close()
 		srv.Close()
 		return nil, err
 	}
 
-	h := &clusterHarness{cfg: cfg, primary: p}
+	h := &clusterHarness{cfg: cfg, srvOpts: srvOpts, primary: p, srv0: srv, rep0: rep,
+		walFS: walFS, walFault: walFault, walLog: walLog}
 	pm := &member{name: "member-0", gate: &gate{}}
 	pm.srv.Store(srv)
 	h.members = append(h.members, pm)
@@ -386,8 +428,9 @@ func RunCluster(cfg ClusterConfig) (*ClusterReport, error) {
 			r.Close()
 		}
 		h.primary.Close()
-		rep.Close()
-		srv.Close()
+		_ = h.walLog.CloseWAL()
+		h.rep0.Close()
+		h.srv0.Close()
 	}()
 
 	backends := make([]cluster.Backend, len(h.members))
@@ -537,6 +580,18 @@ func (h *clusterHarness) buildPhases() []phase {
 		return nil
 	}})
 
+	// Crash-restart must precede the truncation phase: a cold restart replays
+	// the WAL from seq 1 over the initial topology, so the prefix must still
+	// be on disk.
+	if !h.cfg.SkipCrash {
+		ps = append(ps, phase{name: "primary crash + WAL recovery", run: func() error {
+			if err := h.crashRestart(churnN(1)); err != nil {
+				return err
+			}
+			return churnN(1)()
+		}})
+	}
+
 	for c := 0; c < h.cfg.Corruptions; c++ {
 		idx := c % len(h.sources)
 		ps = append(ps, phase{name: fmt.Sprintf("wal corruption replica %d", idx), run: func() error {
@@ -577,6 +632,112 @@ func (h *clusterHarness) buildPhases() []phase {
 		return nil
 	}})
 	return ps
+}
+
+// crashRestart is the kill -9 phase: arm the WAL disk to tear the next
+// append mid-frame, publish one churn round into the tear, kill the primary
+// without any flush, then restart it cold over the surviving bytes. Recovery
+// must resume the same epoch with a byte-identical table, and the replicas —
+// severed from the feed for the instant of the crash, exactly like clients
+// of a dying process — must catch up via WAL replay with zero full resyncs.
+func (h *clusterHarness) crashRestart(tornChurn func() error) error {
+	h.settle(2 * time.Second)
+	preDigest, err := h.primary.FetchDigest()
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrRecovery, err)
+	}
+	pre := make([]uint64, len(h.replicas))
+	for i, r := range h.replicas {
+		_, pre[i], _ = r.Stats()
+	}
+
+	// Sever replication feeds (not client traffic): a record whose append is
+	// about to tear must never be handed to a replica — in a real kill -9
+	// the process dies before answering the next pull.
+	for _, cs := range h.sources {
+		cs.feedDown.Store(true)
+	}
+	h.walFault.CrashAt(h.walFault.WrittenBytes() + 6)
+	if err := tornChurn(); err != nil {
+		return fmt.Errorf("%w: churn into the tear: %v", ErrRecovery, err)
+	}
+	if !h.walFault.Crashed() {
+		return fmt.Errorf("%w: armed disk crash did not fire", ErrRecovery)
+	}
+
+	// kill -9: clients lose member-0; nothing is flushed or finalised.
+	h.members[0].gate.down.Store(true)
+	oldEpoch := h.primary.Epoch()
+	h.primary.Close()
+	h.walLog.Abandon()
+	h.rep0.Close()
+	h.srv0.Close()
+
+	// Cold restart over the same disk: the reboot heals the injected fault
+	// (reads and writes work again) but not the torn bytes. Rebuild from the
+	// initial topology input and recover the WAL forward.
+	g, err := gengraph.GnHalf(h.cfg.N, rand.New(rand.NewSource(h.cfg.Seed)))
+	if err != nil {
+		return err
+	}
+	eng, err := serve.NewEngine(g, h.cfg.Scheme)
+	if err != nil {
+		return err
+	}
+	srv := serve.NewServer(eng, h.srvOpts)
+	rep := serve.NewRepairer(srv, serve.RepairOptions{})
+	log2, rpt, err := cluster.RecoverPrimaryLog(eng, rep, cluster.RecoverConfig{Dir: "wal", FS: h.walFS})
+	if err != nil {
+		rep.Close()
+		srv.Close()
+		return fmt.Errorf("%w: %v", ErrRecovery, err)
+	}
+	if rpt.EpochBumped || rpt.Epoch != oldEpoch {
+		rep.Close()
+		srv.Close()
+		return fmt.Errorf("%w: epoch %d -> %d (bumped=%v): %s", ErrRecovery, oldEpoch, rpt.Epoch, rpt.EpochBumped, rpt.Reason)
+	}
+	np, err := cluster.NewPrimaryAt(eng, srv, rep, rpt.Epoch, log2)
+	if err != nil {
+		rep.Close()
+		srv.Close()
+		return err
+	}
+	postDigest, err := np.FetchDigest()
+	if err == nil && postDigest != preDigest {
+		err = fmt.Errorf("%w: digest %+v after recovery, want %+v", ErrRecovery, postDigest, preDigest)
+	}
+	if err != nil {
+		np.Close()
+		rep.Close()
+		srv.Close()
+		return err
+	}
+
+	h.primary = np
+	h.walLog = log2
+	h.srv0, h.rep0 = srv, rep
+	h.members[0].srv.Store(srv)
+	for _, cs := range h.sources {
+		cs.setTarget(np)
+		cs.feedDown.Store(false)
+	}
+	h.members[0].gate.down.Store(false)
+	h.crashRestarts++
+	h.walRecovered = true
+
+	// Replicas must converge on the restarted primary via WAL replay alone.
+	h.settle(2 * time.Second)
+	for i, r := range h.replicas {
+		_, rs, _ := r.Stats()
+		if rs > pre[i] {
+			h.recoveryResyncs += rs - pre[i]
+		}
+	}
+	if h.recoveryResyncs > 0 {
+		return fmt.Errorf("%w: %d full resyncs after restart", ErrRecovery, h.recoveryResyncs)
+	}
+	return nil
 }
 
 // killPromote kills the primary (unreachable to clients and replicas,
@@ -764,6 +925,9 @@ func (h *clusterHarness) drive() (*ClusterReport, error) {
 		FinalEpoch:         h.primary.Epoch(),
 		Resyncs:            resyncs,
 		MaxReplayLag:       h.maxLag,
+		CrashRestarts:      h.crashRestarts,
+		WalRecovered:       h.walRecovered,
+		RecoveryResyncs:    h.recoveryResyncs,
 		MaxDetourExtraHops: h.maxExtra.Load(),
 		FailoverNs:         h.failoverNs,
 		DigestsConverged:   converged,
@@ -798,6 +962,8 @@ func (h *clusterHarness) drive() (*ClusterReport, error) {
 			ErrBudget, rep.Lookups-served, rep.Lookups, 100*cfg.MaxUnavailableFrac)
 	case !converged || !identical:
 		return rep, fmt.Errorf("%w: digests converged=%v, tables identical=%v", ErrDiverged, converged, identical)
+	case !cfg.SkipCrash && !rep.WalRecovered:
+		return rep, ErrRecovery
 	case !cfg.SkipKill && !rep.Promoted:
 		return rep, ErrFailover
 	}

@@ -44,6 +44,12 @@ func TestRunClusterSmall(t *testing.T) {
 	if !rep.Promoted || rep.FinalEpoch != 2 {
 		t.Errorf("promotion: promoted=%v epoch=%d, want true/2", rep.Promoted, rep.FinalEpoch)
 	}
+	if rep.CrashRestarts != 1 || !rep.WalRecovered {
+		t.Errorf("crash phase: restarts=%d wal_recovered=%v, want 1/true", rep.CrashRestarts, rep.WalRecovered)
+	}
+	if rep.RecoveryResyncs != 0 {
+		t.Errorf("crash restart cost %d full resyncs, want 0 (replicas must catch up via WAL)", rep.RecoveryResyncs)
+	}
 	if rep.FailoverNs <= 0 {
 		t.Errorf("failover latency not measured")
 	}

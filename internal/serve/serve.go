@@ -328,11 +328,14 @@ func (e *Engine) rebuildLocked() (*Snapshot, error) {
 	prev := e.cur.Load()
 	e.cur.Store(snap)
 	e.swaps.Add(1)
-	// Durability follows publication: a save failure is recorded, not fatal
-	// (the previous good file stays in place thanks to the atomic rename).
-	_ = e.saveLocked(snap)
+	// The hook (WAL journaling) runs before the snapshot save so the durable
+	// WAL frontier never trails the persisted snapshot Seq — crash recovery
+	// relies on replaying the WAL forward from the snapshot, never backward.
 	if e.hook != nil {
 		e.hook(prev, snap)
 	}
+	// Durability follows publication: a save failure is recorded, not fatal
+	// (the previous good file stays in place thanks to the atomic rename).
+	_ = e.saveLocked(snap)
 	return snap, nil
 }
