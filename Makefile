@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify lint vet build test race smoke benchsmoke loadsmoke chaos cluster crash bench loadbench chaosbench clusterbench crashbench clean
+.PHONY: verify lint vet build test race smoke benchsmoke loadsmoke wiresmoke chaos cluster crash bench loadbench chaosbench clusterbench crashbench wirebench clean
 
-verify: lint vet build test race smoke benchsmoke loadsmoke chaos cluster crash
+verify: lint vet build test race smoke benchsmoke loadsmoke wiresmoke chaos cluster crash
 
 # gofmt -l exits 0 even when files need formatting, so fail on any output.
 # The second check is the WAL durability lint: on the journaling path a
@@ -22,6 +22,7 @@ lint:
 	if grep -nE '(_ *= *[A-Za-z0-9_.]+\.(Close|Sync|CloseWAL|SyncWAL)\(\)|defer +[A-Za-z0-9_.()]+\.(Close|Sync|CloseWAL|SyncWAL)\(\))' $$walfiles; then \
 		echo "WAL path discards a Close/Sync error (see above)"; exit 1; \
 	fi
+	$(GO) run ./cmd/hotpathlint .
 	$(GO) vet ./...
 
 vet:
@@ -47,7 +48,7 @@ smoke:
 # cache, E13 sweep, serving-layer load); keeps the bench harness from
 # rotting between releases.
 benchsmoke:
-	$(GO) run ./cmd/benchjson -quick -sections bfs,cache,resilience,serve,chaos,cluster,wal \
+	$(GO) run ./cmd/benchjson -quick -sections bfs,cache,resilience,serve,chaos,cluster,wal,wire \
 		-out $(or $(TMPDIR),/tmp)/bench_smoke.json
 
 # Seconds-scale serving smoke through routetabd's loadgen mode: fixed seed,
@@ -55,6 +56,14 @@ benchsmoke:
 # rejected, or errored lookup, or zero throughput.
 loadsmoke:
 	$(GO) run ./cmd/routetabd -loadgen -n 32 -seed 1 -lookups 20000 \
+		-workers 2 -swaps 2
+
+# Seconds-scale mixed-protocol smoke: JSON-HTTP and RTBIN1 binary-TCP clients
+# race the same engine through real loopback listeners while snapshots swap
+# mid-load; exits non-zero on any incorrect or errored answer on either wire,
+# or if either protocol missed the swaps.
+wiresmoke:
+	$(GO) run ./cmd/routetabd -wire-chaos -n 24 -seed 1 -lookups 10000 \
 		-workers 2 -swaps 2
 
 # Seconds-scale seeded chaos gate: stalls, drops, churn bursts, and a
@@ -117,6 +126,13 @@ clusterbench:
 crashbench:
 	$(GO) run ./cmd/benchjson -sections wal \
 		-artefact BENCH_pr6 -out BENCH_pr6.json
+
+# Regenerates the PR 7 wire artefact (EXPERIMENTS.md E18): in-process,
+# JSON-HTTP, and RTBIN1 binary-TCP serving throughput on G(256,1/2) at
+# GOMAXPROCS 1/4/16, enforcing binary ≥ 2× JSON at GOMAXPROCS=1.
+wirebench:
+	$(GO) run ./cmd/benchjson -sections wire \
+		-artefact BENCH_pr7 -out BENCH_pr7.json
 
 clean:
 	$(GO) clean ./...

@@ -43,6 +43,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"sort"
@@ -56,7 +58,9 @@ import (
 	"routetab/internal/gengraph"
 	"routetab/internal/serve"
 	"routetab/internal/serve/chaos"
+	"routetab/internal/serve/httpapi"
 	"routetab/internal/serve/loadgen"
+	"routetab/internal/serve/wire"
 	"routetab/internal/shortestpath"
 )
 
@@ -69,6 +73,23 @@ type WalBench struct {
 	PayloadBytes  int     `json:"payload_bytes"`
 	NsPerAppend   float64 `json:"ns_per_append"`
 	AppendsPerSec float64 `json:"appends_per_sec"`
+}
+
+// WireBench is one transport's closed-loop measurement in the "wire"
+// section: the same seeded workload driven in-process, over JSON HTTP, and
+// over the RTBIN1 binary TCP protocol at a given GOMAXPROCS. For the two
+// network transports P50/P99 are client-side whole-batch round-trips;
+// in-process rows keep the server-side per-job latency (the BENCH_pr3
+// convention), so compare transports against each other, not against inproc
+// latency.
+type WireBench struct {
+	Transport  string  `json:"transport"` // inproc | json-http | bin-tcp
+	Scheme     string  `json:"scheme"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Lookups    uint64  `json:"lookups"`
+	QPS        float64 `json:"qps"`
+	P50ns      int64   `json:"p50_ns"`
+	P99ns      int64   `json:"p99_ns"`
 }
 
 // Result is one measurement in the artefact.
@@ -101,6 +122,12 @@ type Report struct {
 	// resync counts for a primary + replicas group surviving partitions,
 	// WAL corruption/truncation, and a primary kill + promotion.
 	Cluster []*chaos.ClusterReport `json:"cluster,omitempty"`
+	// Wire carries the protocol-comparison matrix (section "wire"): the
+	// same closed-loop workload over in-process calls, JSON HTTP, and the
+	// RTBIN1 binary TCP protocol at GOMAXPROCS 1/4/16. The run fails if the
+	// binary transport does not clear 2× the JSON transport's throughput at
+	// GOMAXPROCS=1.
+	Wire []WireBench `json:"wire,omitempty"`
 	// Wal carries the WAL append-throughput measurements (section "wal"):
 	// ns per append and appends/sec for each fsync policy on a real on-disk
 	// segment store. The fsync=always row is the per-record price of
@@ -115,7 +142,7 @@ type Report struct {
 }
 
 // knownSections lists every measurement group benchjson understands.
-var knownSections = []string{"bfs", "cache", "resilience", "serve", "chaos", "cluster", "wal"}
+var knownSections = []string{"bfs", "cache", "resilience", "serve", "chaos", "cluster", "wal", "wire"}
 
 func parseSections(csv string) (map[string]bool, error) {
 	known := map[string]bool{}
@@ -339,6 +366,19 @@ func runSuite(quick bool, artefact string, sections map[string]bool) (*Report, e
 		}
 	}
 
+	// Protocol matrix (the `make wirebench` artefact BENCH_pr7.json): the
+	// same seeded closed loop over in-process calls, JSON HTTP, and binary
+	// TCP at GOMAXPROCS 1/4/16 (quick: GOMAXPROCS 1 only). The binary
+	// transport must clear 2× JSON throughput at GOMAXPROCS=1 — the
+	// tentpole acceptance ratio.
+	if sections["wire"] {
+		wire, err := runWireMatrix(quick)
+		if err != nil {
+			return nil, err
+		}
+		rep.Wire = wire
+	}
+
 	// Durable WAL append throughput per fsync policy (the `make crashbench`
 	// artefact BENCH_pr6.json): one op = one 64-byte record appended to an
 	// on-disk segment store under always / batch / off. fsync=always pays
@@ -394,6 +434,114 @@ func runWalBench(pol walstore.Policy, payload []byte, budget time.Duration) (Wal
 		NsPerAppend:   r.NsPerOp,
 		AppendsPerSec: 1e9 / r.NsPerOp,
 	}, r, nil
+}
+
+// runWireMatrix measures the same fulltable workload across three transports
+// at each GOMAXPROCS level, each row on a freshly built server (fresh
+// histograms, fresh listeners). GOMAXPROCS is restored afterwards.
+func runWireMatrix(quick bool) ([]WireBench, error) {
+	const scheme = "fulltable"
+	gmps := []int{1, 4, 16}
+	n, lookups := 256, uint64(200_000)
+	if quick {
+		gmps = []int{1}
+		n, lookups = 64, 5_000
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	var rows []WireBench
+	qpsAt := map[[2]any]float64{}
+	for _, gmp := range gmps {
+		runtime.GOMAXPROCS(gmp)
+		for _, transport := range []string{"inproc", "json-http", "bin-tcp"} {
+			row, err := runWireRow(transport, scheme, n, gmp, lookups)
+			if err != nil {
+				return nil, fmt.Errorf("wire %s gomaxprocs=%d: %w", transport, gmp, err)
+			}
+			rows = append(rows, row)
+			qpsAt[[2]any{transport, gmp}] = row.QPS
+		}
+	}
+	// Tentpole acceptance: binary ≥ 2× JSON at GOMAXPROCS=1. Quick mode
+	// still checks it — a smoke run that silently loses the headline ratio
+	// is worse than a failing one.
+	jsonQPS, binQPS := qpsAt[[2]any{"json-http", 1}], qpsAt[[2]any{"bin-tcp", 1}]
+	if jsonQPS > 0 && binQPS < 2*jsonQPS {
+		return rows, fmt.Errorf("wire: bin-tcp %.0f qps < 2× json-http %.0f qps at GOMAXPROCS=1", binQPS, jsonQPS)
+	}
+	return rows, nil
+}
+
+// runWireRow is one (transport, GOMAXPROCS) measurement. Network transports
+// get real loopback listeners and client-side latency; the in-process row is
+// the plain loadgen run, shards matched to the GOMAXPROCS level.
+func runWireRow(transport, scheme string, n, gmp int, lookups uint64) (WireBench, error) {
+	g, err := gengraph.GnHalf(n, rand.New(rand.NewSource(42)))
+	if err != nil {
+		return WireBench{}, err
+	}
+	eng, err := serve.NewEngine(g, scheme)
+	if err != nil {
+		return WireBench{}, err
+	}
+	srv := serve.NewServer(eng, serve.ServerOptions{Shards: gmp, StretchSampleEvery: -1})
+	defer srv.Close()
+
+	cfg := loadgen.Config{Workers: 4, Lookups: lookups, Seed: 1}
+	var lrep *loadgen.Report
+	switch transport {
+	case "inproc":
+		lrep, err = loadgen.Run(srv, cfg)
+	case "json-http":
+		ln, lerr := net.Listen("tcp", "127.0.0.1:0")
+		if lerr != nil {
+			return WireBench{}, lerr
+		}
+		hs := &http.Server{Handler: httpapi.NewBatchHandler(srv)}
+		go hs.Serve(ln)
+		defer hs.Close()
+		client := httpapi.NewBatchClient("http://"+ln.Addr().String(), nil)
+		lrep, err = loadgen.RunTarget(client, loadgen.TargetMeta{Scheme: scheme, N: n}, cfg)
+	case "bin-tcp":
+		ln, lerr := net.Listen("tcp", "127.0.0.1:0")
+		if lerr != nil {
+			return WireBench{}, lerr
+		}
+		ws := wire.NewServer(srv)
+		go ws.Serve(ln)
+		defer ws.Close()
+		client, derr := wire.Dial("bench", ln.Addr().String())
+		if derr != nil {
+			return WireBench{}, derr
+		}
+		defer client.Close()
+		lrep, err = loadgen.RunTarget(client, loadgen.TargetMeta{Scheme: scheme, N: n}, cfg)
+	default:
+		return WireBench{}, fmt.Errorf("unknown transport %q", transport)
+	}
+	if err != nil {
+		return WireBench{}, err
+	}
+	switch {
+	case lrep.QPS <= 0:
+		return WireBench{}, fmt.Errorf("no throughput")
+	case lrep.Incorrect > 0:
+		return WireBench{}, fmt.Errorf("%d incorrect lookups", lrep.Incorrect)
+	case lrep.Rejected > 0:
+		return WireBench{}, fmt.Errorf("%d rejected lookups", lrep.Rejected)
+	case lrep.Errored > 0:
+		return WireBench{}, fmt.Errorf("%d errored lookups", lrep.Errored)
+	}
+	return WireBench{
+		Transport:  transport,
+		Scheme:     scheme,
+		GOMAXPROCS: gmp,
+		Lookups:    lrep.Lookups,
+		QPS:        lrep.QPS,
+		P50ns:      lrep.P50ns,
+		P99ns:      lrep.P99ns,
+	}, nil
 }
 
 // runLoad drives one closed-loop load run against a freshly built server and

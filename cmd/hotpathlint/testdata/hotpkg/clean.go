@@ -1,0 +1,14 @@
+package hotpkg
+
+import "fmt"
+
+// OK lives in the same package without the tag: Sprintf and map ranges are
+// fine here and must not be reported.
+func OK(m map[int]int) string {
+	for k := range m {
+		if k == 0 {
+			return fmt.Sprintf("zero")
+		}
+	}
+	return ""
+}

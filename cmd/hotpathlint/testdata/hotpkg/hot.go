@@ -1,0 +1,17 @@
+//rt:hotpath
+package hotpkg
+
+import "fmt"
+
+// Bad holds one of each banned construct plus a legal slice range, so the
+// linter test can pin exact findings.
+func Bad(m map[int]int) string {
+	s := ""
+	for k, v := range m {
+		s += fmt.Sprintf("%d=%d;", k, v)
+	}
+	for _, v := range []int{1, 2} {
+		s += fmt.Sprint(v)
+	}
+	return s
+}

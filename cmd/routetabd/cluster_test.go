@@ -51,7 +51,7 @@ func primaryAPI(t *testing.T, n int, walKeep int) (*api, *cluster.Primary) {
 // 409, then takes over in place via POST /promote.
 func TestDaemonRolesAndPromotion(t *testing.T) {
 	pa, pri := primaryAPI(t, 32, 0)
-	pts := httptest.NewServer(newHandler(pa))
+	pts := httptest.NewServer(newHandler(pa, false))
 	defer pts.Close()
 
 	rpl, err := cluster.JoinReplica(cluster.NewHTTPSource(pts.URL, nil), cluster.ReplicaOptions{})
@@ -60,7 +60,7 @@ func TestDaemonRolesAndPromotion(t *testing.T) {
 	}
 	defer rpl.Close()
 	ra := &api{srv: rpl.Server(), rep: rpl.Repairer(), rpl: rpl}
-	rh := newHandler(ra)
+	rh := newHandler(ra, false)
 
 	// Mutation endpoints must 409 on a replica.
 	for _, req := range []struct{ target, body string }{
@@ -78,7 +78,7 @@ func TestDaemonRolesAndPromotion(t *testing.T) {
 	}
 
 	// Mutations on the primary replicate through the feed.
-	if code, _ := getJSON(t, newHandler(pa), "POST", "/mutate", `{"op":"toggle","u":1,"v":2}`); code != http.StatusOK {
+	if code, _ := getJSON(t, newHandler(pa, false), "POST", "/mutate", `{"op":"toggle","u":1,"v":2}`); code != http.StatusOK {
 		t.Fatalf("primary mutate failed: %d", code)
 	}
 	if err := rpl.Sync(); err != nil {
@@ -113,7 +113,7 @@ func TestDaemonRolesAndPromotion(t *testing.T) {
 	}
 	// A standalone daemon (no cluster member at all) cannot promote.
 	sa := &api{srv: pa.srv, rep: pa.rep}
-	if code, _ := getJSON(t, newHandler(sa), "POST", "/promote", ""); code != http.StatusConflict {
+	if code, _ := getJSON(t, newHandler(sa, false), "POST", "/promote", ""); code != http.StatusConflict {
 		t.Fatalf("standalone promote: code %d, want 409", code)
 	}
 }
@@ -122,7 +122,7 @@ func TestDaemonRolesAndPromotion(t *testing.T) {
 // mutations the log's tail is dropped and an old position gets ErrGone.
 func TestWALKeepTrims(t *testing.T) {
 	pa, pri := primaryAPI(t, 24, 2)
-	h := newHandler(pa)
+	h := newHandler(pa, false)
 	for i := 0; i < 5; i++ {
 		if code, _ := getJSON(t, h, "POST", "/mutate", `{"op":"toggle","u":1,"v":2}`); code != http.StatusOK {
 			t.Fatalf("mutate %d failed", i)

@@ -20,10 +20,31 @@
 //	                                self-healing rebuild off-path)
 //
 // With -persist FILE every published snapshot is also saved through an
-// atomic checksummed binary file; on startup the daemon warm-boots from it
+// atomic checksummed binary file (the RTARENA1 flat arena: one contiguous
+// read restores it zero-copy); on startup the daemon warm-boots from it
 // (same Seq, byte-identical tables, no cold rebuild) when the file matches
 // the requested scheme. Overload rejections carry a Retry-After header and
 // a retry_after_ms hint.
+//
+// With -bin-addr the daemon additionally serves the RTBIN1 length-prefixed
+// binary batch protocol on a persistent-TCP listener beside HTTP:
+//
+//	routetabd -n 256 -addr :7353 -bin-addr :7354
+//
+// Binary clients (internal/serve/wire.Dial) pipeline framed batches over
+// one connection into the same sharded pool, skipping JSON entirely.
+// -pprof exposes GET /debug/pprof/* on the HTTP listener for live
+// profiling; it is off by default so the daemon never leaks profiling
+// endpoints unintentionally.
+//
+// Wire chaos mode (also the `make verify` wire smoke):
+//
+//	routetabd -wire-chaos -n 32 -seed 1 -lookups 20000
+//
+// races JSON-HTTP and binary-TCP clients against the same engine through
+// real loopback listeners while snapshots swap mid-load, grading every
+// answer on both protocols — exiting non-zero unless zero answers were
+// incorrect or errored and both transports observed a swap.
 //
 // Load-generator mode (also the `make verify` serving smoke):
 //
@@ -87,6 +108,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -101,7 +123,9 @@ import (
 	"routetab/internal/graph"
 	"routetab/internal/serve"
 	"routetab/internal/serve/chaos"
+	"routetab/internal/serve/httpapi"
 	"routetab/internal/serve/loadgen"
+	"routetab/internal/serve/wire"
 
 	"math/rand"
 )
@@ -119,6 +143,8 @@ type config struct {
 	scheme  string
 	file    string
 	addr    string
+	binAddr string
+	pprofOn bool
 	shards  int
 	queue   int
 	batch   int
@@ -137,6 +163,7 @@ type config struct {
 	chaosKills  int
 	chaosBudget float64
 	chaosCSV    string
+	wireChaos   bool
 	// cluster
 	join         string
 	promote      string
@@ -159,6 +186,8 @@ func parseFlags(args []string) (*config, error) {
 	fs.StringVar(&cfg.scheme, "scheme", "fulltable", "scheme to serve: "+fmt.Sprint(serve.SchemeNames()))
 	fs.StringVar(&cfg.file, "graph", "", "edge-list file to load instead of generating")
 	fs.StringVar(&cfg.addr, "addr", ":7353", "listen address (serving mode)")
+	fs.StringVar(&cfg.binAddr, "bin-addr", "", "also serve the RTBIN1 binary batch protocol on this TCP address (empty = HTTP only)")
+	fs.BoolVar(&cfg.pprofOn, "pprof", false, "expose GET /debug/pprof/* on the HTTP listener")
 	fs.IntVar(&cfg.shards, "shards", 0, "lookup worker shards (0 = GOMAXPROCS)")
 	fs.IntVar(&cfg.queue, "queue", 0, "per-shard queue capacity (0 = default)")
 	fs.IntVar(&cfg.batch, "batch", 0, "max coalesced jobs per worker wake-up (0 = default)")
@@ -171,6 +200,7 @@ func parseFlags(args []string) (*config, error) {
 	fs.IntVar(&cfg.chaosKills, "chaos-kills", 2, "chaos: kill+restore cycles through the persistence layer (-1 disables)")
 	fs.Float64Var(&cfg.chaosBudget, "chaos-budget", 0.10, "chaos: max tolerated unavailable fraction")
 	fs.StringVar(&cfg.chaosCSV, "chaos-csv", "", "chaos: also append the report as a CSV artefact to this file")
+	fs.BoolVar(&cfg.wireChaos, "wire-chaos", false, "run the mixed-protocol (JSON + binary) chaos phase instead of serving HTTP")
 	fs.StringVar(&cfg.join, "join", "", "join URL of a primary to replicate from (replica mode)")
 	fs.StringVar(&cfg.promote, "promote", "", "ask the replica at this URL to promote itself to primary, then exit")
 	fs.DurationVar(&cfg.syncInterval, "sync-interval", 50*time.Millisecond, "replica: WAL poll interval")
@@ -217,6 +247,8 @@ func run(args []string, out *os.File) error {
 		return runPromote(cfg, out)
 	case cfg.chaos:
 		return runChaos(cfg, out)
+	case cfg.wireChaos:
+		return runWireChaos(cfg, out)
 	case cfg.crash:
 		return runCrashGate(cfg, out)
 	case cfg.clusterChaos:
@@ -456,6 +488,34 @@ func runChaos(cfg *config, out *os.File) error {
 	return nil
 }
 
+// runWireChaos executes the mixed-protocol chaos phase (the `make verify`
+// wire smoke) in-process and renders a pass/fail verdict, mirroring runChaos:
+// JSON and binary clients race the same engine through real listeners while
+// snapshots swap mid-load, and every answer on both wires is graded.
+func runWireChaos(cfg *config, out *os.File) error {
+	rep, err := chaos.RunWire(chaos.WireConfig{
+		N:               cfg.n,
+		Seed:            cfg.seed,
+		Scheme:          cfg.scheme,
+		WorkersPerProto: cfg.workers,
+		Lookups:         cfg.lookups,
+		Swaps:           cfg.swaps,
+	})
+	if rep == nil {
+		return err
+	}
+	blob, merr := json.MarshalIndent(rep, "", "  ")
+	if merr != nil {
+		return merr
+	}
+	fmt.Fprintln(out, string(blob))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wire chaos ok: %s\n", rep)
+	return nil
+}
+
 // writeChaosCSV appends rep to path, writing the header only when the file
 // is new — so a sweep over schemes accumulates one artefact.
 func writeChaosCSV(path string, rep *chaos.Report) error {
@@ -526,15 +586,31 @@ func runLoadgen(srv *serve.Server, cfg *config, out *os.File) error {
 }
 
 // serveHTTP runs the daemon until SIGINT/SIGTERM, then drains gracefully and
-// flushes a final persisted snapshot.
+// flushes a final persisted snapshot. With -bin-addr an RTBIN1 listener
+// serves the binary batch protocol beside HTTP, sharing the same pool.
 func serveHTTP(a *api, cfg *config, out *os.File) error {
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: newHandler(a)}
+	hs := &http.Server{Handler: newHandler(a, cfg.pprofOn)}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
+	var ws *wire.Server
+	if cfg.binAddr != "" {
+		binLn, err := net.Listen("tcp", cfg.binAddr)
+		if err != nil {
+			hs.Close()
+			return fmt.Errorf("binary listener: %w", err)
+		}
+		ws = wire.NewServer(a.srv)
+		go func() {
+			if err := ws.Serve(binLn); err != nil {
+				errc <- fmt.Errorf("binary listener: %w", err)
+			}
+		}()
+		fmt.Fprintf(out, "routetabd: binary protocol (RTBIN1) on %s\n", binLn.Addr())
+	}
 	srv := a.srv
 	fmt.Fprintf(out, "routetabd: serving %s (n=%d, seq=%d, role=%s) on %s\n",
 		srv.Engine().Scheme(), srv.Engine().Current().N(), srv.Engine().Current().Seq,
@@ -545,24 +621,31 @@ func serveHTTP(a *api, cfg *config, out *os.File) error {
 	defer signal.Stop(sigc)
 	select {
 	case err := <-errc:
+		if ws != nil {
+			ws.Close()
+		}
 		return err
 	case sig := <-sigc:
 		fmt.Fprintf(out, "routetabd: %v, draining\n", sig)
 	}
-	return shutdownFlush(hs, a, out)
+	return shutdownFlush(hs, ws, a, out)
 }
 
-// shutdownFlush is the SIGTERM tail: drain in-flight requests, persist a
-// final snapshot so the daemon warm-boots from exactly the state it was
-// serving — even when the last publish-time save failed transiently — and
-// fsync + finalize the open WAL segment so the next boot recovers a clean
-// (untorn) log and resumes the epoch. No-ops without persistence or -wal-dir.
-func shutdownFlush(hs *http.Server, a *api, out *os.File) error {
+// shutdownFlush is the SIGTERM tail: drain in-flight requests, close the
+// binary listener, persist a final snapshot so the daemon warm-boots from
+// exactly the state it was serving — even when the last publish-time save
+// failed transiently — and fsync + finalize the open WAL segment so the next
+// boot recovers a clean (untorn) log and resumes the epoch. No-ops without
+// persistence or -wal-dir.
+func shutdownFlush(hs *http.Server, ws *wire.Server, a *api, out *os.File) error {
 	eng := a.srv.Engine()
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
 		return err
+	}
+	if ws != nil {
+		ws.Close()
 	}
 	if err := eng.FlushPersist(); err != nil {
 		return fmt.Errorf("final snapshot flush: %w", err)
@@ -592,6 +675,8 @@ type api struct {
 	rpl     *cluster.Replica
 	wal     *cluster.Log // durable WAL (nil without -wal-dir)
 	walKeep int
+
+	metricsPool sync.Pool // *bytes.Buffer for /metrics scrapes
 }
 
 // roles returns the current (primary, replica) pair; at most one is non-nil.
@@ -629,11 +714,11 @@ func (a *api) trimWAL(pri *cluster.Primary) {
 // replicated state.
 var errNotPrimary = errors.New("replica: topology mutation belongs to the primary")
 
-func newHandler(a *api) http.Handler {
+func newHandler(a *api, pprofOn bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /nexthop", a.nexthop)
 	mux.HandleFunc("GET /route", a.route)
-	mux.HandleFunc("POST /batch", a.batch)
+	mux.Handle("POST /batch", httpapi.NewBatchHandler(a.srv))
 	mux.HandleFunc("GET /metrics", a.metrics)
 	mux.HandleFunc("GET /healthz", a.healthz)
 	mux.HandleFunc("POST /mutate", a.mutate)
@@ -647,6 +732,13 @@ func newHandler(a *api) http.Handler {
 		}
 		return pri
 	}))
+	if pprofOn {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -698,65 +790,6 @@ func intParam(r *http.Request, name string) (int, error) {
 	return v, nil
 }
 
-// lookupJSON is one lookup's wire form. Degraded marks a failure-overlay
-// detour (bounded within +2 hops of the snapshot distance); RetryAfterMs
-// carries the shed hint for 429s at millisecond resolution, alongside the
-// coarser integral-seconds Retry-After header.
-type lookupJSON struct {
-	Src          int     `json:"src"`
-	Dst          int     `json:"dst"`
-	Next         int     `json:"next,omitempty"`
-	Dist         int     `json:"dist"`
-	NextDist     int     `json:"next_dist"`
-	Seq          uint64  `json:"snapshot_seq"`
-	Degraded     bool    `json:"degraded,omitempty"`
-	RetryAfterMs float64 `json:"retry_after_ms,omitempty"`
-	Error        string  `json:"error,omitempty"`
-}
-
-func toJSON(src, dst int, res serve.Result) lookupJSON {
-	l := lookupJSON{Src: src, Dst: dst, Next: res.Next, Dist: res.Dist,
-		NextDist: res.NextDist, Seq: res.Seq, Degraded: res.Degraded}
-	if res.Err != nil {
-		l.Error = res.Err.Error()
-	}
-	var oe *serve.OverloadedError
-	if errors.As(res.Err, &oe) {
-		l.RetryAfterMs = float64(oe.RetryAfter.Microseconds()) / 1000
-	}
-	return l
-}
-
-func statusOf(res serve.Result) int {
-	switch {
-	case res.Err == nil:
-		return http.StatusOK
-	case errors.Is(res.Err, serve.ErrOverloaded):
-		return http.StatusTooManyRequests
-	case errors.Is(res.Err, serve.ErrUnavailable), errors.Is(res.Err, serve.ErrClosed):
-		return http.StatusServiceUnavailable
-	default:
-		return http.StatusBadRequest
-	}
-}
-
-// setRetryAfter adds the standard Retry-After header (integral seconds,
-// rounded up — the hint is sub-second, the header cannot be) on responses
-// that reject with backpressure.
-func setRetryAfter(w http.ResponseWriter, res serve.Result) {
-	var oe *serve.OverloadedError
-	switch {
-	case errors.As(res.Err, &oe):
-		secs := int64(oe.RetryAfter+time.Second-1) / int64(time.Second)
-		if secs < 1 {
-			secs = 1
-		}
-		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
-	case errors.Is(res.Err, serve.ErrOverloaded), errors.Is(res.Err, serve.ErrClosed):
-		w.Header().Set("Retry-After", "1")
-	}
-}
-
 func (a *api) nexthop(w http.ResponseWriter, r *http.Request) {
 	src, err := intParam(r, "src")
 	if err != nil {
@@ -769,8 +802,8 @@ func (a *api) nexthop(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res := a.srv.NextHop(src, dst)
-	setRetryAfter(w, res)
-	writeJSON(w, statusOf(res), toJSON(src, dst, res))
+	httpapi.SetRetryAfter(w, res)
+	writeJSON(w, httpapi.StatusOf(res), httpapi.ToJSON(src, dst, res))
 }
 
 func (a *api) route(w http.ResponseWriter, r *http.Request) {
@@ -796,40 +829,27 @@ func (a *api) route(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// batchRequest is the POST /batch body.
-type batchRequest struct {
-	Pairs [][2]int `json:"pairs"`
-}
-
-func (a *api) batch(w http.ResponseWriter, r *http.Request) {
-	var req batchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	if len(req.Pairs) == 0 {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
-		return
-	}
-	const maxBatch = 65536
-	if len(req.Pairs) > maxBatch {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("batch of %d exceeds %d", len(req.Pairs), maxBatch))
-		return
-	}
-	out := make([]serve.Result, len(req.Pairs))
-	if err := a.srv.LookupBatch(req.Pairs, out); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	results := make([]lookupJSON, len(out))
-	for i, res := range out {
-		results[i] = toJSON(req.Pairs[i][0], req.Pairs[i][1], res)
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"results": results})
-}
-
+// metrics renders the registry snapshot through a pooled, pre-sized buffer:
+// scrapes arrive on a fixed cadence with a near-constant body size, so
+// steady-state encoding reuses one buffer instead of growing a fresh one
+// per scrape.
 func (a *api) metrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, a.srv.Metrics().Snapshot())
+	buf, _ := a.metricsPool.Get().(*bytes.Buffer)
+	if buf == nil {
+		buf = bytes.NewBuffer(make([]byte, 0, 8<<10))
+	}
+	defer a.metricsPool.Put(buf)
+	buf.Reset()
+	enc := json.NewEncoder(buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(a.srv.Metrics().Snapshot()); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
 }
 
 func (a *api) healthz(w http.ResponseWriter, _ *http.Request) {
@@ -841,6 +861,7 @@ func (a *api) healthz(w http.ResponseWriter, _ *http.Request) {
 		"scheme":           snap.SchemeName(),
 		"n":                snap.N(),
 		"snapshot_seq":     snap.Seq,
+		"snapshot_codec":   eng.Codec(),
 		"swaps":            eng.Swaps(),
 		"space_bits":       snap.SpaceBits(),
 		"persist_saves":    saves,

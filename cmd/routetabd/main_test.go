@@ -30,7 +30,7 @@ func testHandler(t *testing.T, n int, scheme string) (http.Handler, *serve.Serve
 		rep.Close()
 		srv.Close()
 	})
-	return newHandler(&api{srv: srv, rep: rep}), srv
+	return newHandler(&api{srv: srv, rep: rep}, false), srv
 }
 
 func getJSON(t *testing.T, h http.Handler, method, target string, body string) (int, map[string]any) {

@@ -322,7 +322,10 @@ type State struct {
 }
 
 // EncodeState frames a State: CHDR (epoch, wal seq), OVLY (overlay), then
-// the RTSNAP1 snapshot body.
+// the snapshot as one contiguous RTARENA1 arena — a bootstrapping replica
+// receives the O(n²) payload as a single CRC-guarded buffer and adopts its
+// distance matrix in place. DecodeState sniffs the snapshot magic, so states
+// shipped by pre-arena primaries (RTSNAP1 bodies) still decode.
 func EncodeState(w io.Writer, st *State) error {
 	var hdr bytes.Buffer
 	var tmp [binary.MaxVarintLen64]byte
@@ -343,7 +346,7 @@ func EncodeState(w io.Writer, st *State) error {
 	if err := serve.WriteFrame(w, tagOverlay, ov.Bytes()); err != nil {
 		return err
 	}
-	return serve.EncodeSnapshotData(w, st.Snap)
+	return serve.WriteArena(w, st.Snap)
 }
 
 // DecodeState reads one framed State.

@@ -154,6 +154,56 @@ func (g *Graph) RemoveEdge(u, v int) error {
 	return nil
 }
 
+// FromAdjWords builds a graph directly from n adjacency bitset rows of
+// (n+63)/64 words each — the zero-copy arena snapshot's decode path, which
+// ships whole rows instead of the triangular E(G) string. The rows are
+// validated structurally (clear diagonal, clear tail bits past column n,
+// symmetry) and copied, so the caller's buffer may be reused; the edge count
+// is recomputed from the bits rather than trusted.
+func FromAdjWords(n int, rows []uint64) (*Graph, error) {
+	g, err := New(n)
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) != n*g.words {
+		return nil, fmt.Errorf("%w: %d adjacency words, want %d", ErrBadEncoding, len(rows), n*g.words)
+	}
+	copy(g.adj, rows)
+	ones := 0
+	var tailMask uint64
+	if r := uint(n % 64); r != 0 {
+		tailMask = ^uint64(0) << r
+	}
+	for u := 1; u <= n; u++ {
+		row := g.row(u)
+		if row[(u-1)/64]&(1<<uint((u-1)%64)) != 0 {
+			return nil, fmt.Errorf("%w: self loop bit at node %d", ErrSelfLoop, u)
+		}
+		if tailMask != 0 && row[g.words-1]&tailMask != 0 {
+			return nil, fmt.Errorf("%w: node %d has adjacency bits past column %d", ErrBadEncoding, u, n)
+		}
+		for w, word := range row {
+			ones += bits.OnesCount64(word)
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &= word - 1
+				v := w*64 + b + 1
+				if v > u {
+					break // symmetry of the lower triangle already checked from v's row
+				}
+				if g.row(v)[(u-1)/64]&(1<<uint((u-1)%64)) == 0 {
+					return nil, fmt.Errorf("%w: edge %d-%d present only one way", ErrBadEncoding, v, u)
+				}
+			}
+		}
+	}
+	if ones%2 != 0 {
+		return nil, fmt.Errorf("%w: odd adjacency bit count %d", ErrBadEncoding, ones)
+	}
+	g.edges = ones / 2
+	return g, nil
+}
+
 // invalidate records a mutation: bumps the version and drops the published
 // neighbour-list cache.
 func (g *Graph) invalidate() {

@@ -17,6 +17,12 @@ type Sim struct {
 	scheme  Scheme
 	grantII bool
 	labels  map[int]int // label ID → node (IDs are original labels, so identity)
+
+	// envs pre-boxes one Env per node at construction: the serving hot path
+	// (FirstHop) would otherwise box a fresh env value into the interface on
+	// every lookup — the single heap allocation on an otherwise
+	// allocation-free next-hop answer.
+	envs []Env
 }
 
 // NewSim validates the pieces against each other and builds a simulator. The
@@ -37,13 +43,18 @@ func NewSim(g *graph.Graph, ports *graph.Ports, scheme Scheme) (*Sim, error) {
 	if len(labels) != g.N() {
 		return nil, fmt.Errorf("routing: scheme %s assigns non-unique label IDs", scheme.Name())
 	}
-	return &Sim{
+	s := &Sim{
 		g:       g,
 		ports:   ports,
 		scheme:  scheme,
 		grantII: req.NeighborsKnown || req.NeighborsOrFreePorts,
 		labels:  labels,
-	}, nil
+	}
+	s.envs = make([]Env, g.N()+1)
+	for u := 1; u <= g.N(); u++ {
+		s.envs[u] = env{sim: s, node: u}
+	}
+	return s, nil
 }
 
 // Scheme returns the scheme under simulation.
@@ -129,7 +140,7 @@ func (s *Sim) Route(src, dst int, maxHops int) (*Trace, error) {
 		if tr.Hops >= maxHops {
 			return tr, fmt.Errorf("%w: %d hops from %d to %d", ErrHopLimit, tr.Hops, src, destNode)
 		}
-		port, newHdr, err := s.scheme.Route(cur, env{sim: s, node: cur}, destLabel, hdr, arrival)
+		port, newHdr, err := s.scheme.Route(cur, s.envs[cur], destLabel, hdr, arrival)
 		if err != nil {
 			return tr, fmt.Errorf("routing: at node %d: %w", cur, err)
 		}
@@ -163,7 +174,7 @@ func (s *Sim) FirstHop(src, destNode int) (int, error) {
 		return 0, fmt.Errorf("%w: destination %d", graph.ErrNodeRange, destNode)
 	}
 	destLabel := s.scheme.Label(destNode)
-	port, _, err := s.scheme.Route(src, env{sim: s, node: src}, destLabel, 0, 0)
+	port, _, err := s.scheme.Route(src, s.envs[src], destLabel, 0, 0)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"testing"
+)
+
+// skipIfRace skips allocation-count assertions under the race detector,
+// whose instrumentation allocates on its own.
+func skipIfRace(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is not meaningful under -race")
+	}
+}
+
+// TestSnapshotNextHopZeroAlloc pins the issue's headline contract: a snapshot
+// lookup performs zero heap allocations. AllocsPerRun counts global mallocs,
+// so anything the scheme, port table, or distance oracle allocated per call
+// would show up here.
+func TestSnapshotNextHopZeroAlloc(t *testing.T) {
+	skipIfRace(t)
+	eng, err := NewEngine(testGraph(t, 48, 11), "fulltable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := eng.Current()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := snap.NextHop(1, 40); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Snapshot.NextHop allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestServerLookupBatchZeroAlloc asserts the whole batch serving path — shard
+// grouping, pool submission, worker dispatch, answer, histograms — allocates
+// nothing in steady state. AllocsPerRun's count includes the shard workers'
+// goroutines, so a boxing or scratch regression anywhere in the pipeline
+// fails this test. Stretch sampling is disabled: it full-routes a lookup and
+// legitimately allocates a trace.
+func TestServerLookupBatchZeroAlloc(t *testing.T) {
+	skipIfRace(t)
+	s := newTestServer(t, 48, 11, "fulltable", ServerOptions{
+		Shards:             4,
+		StretchSampleEvery: -1,
+	})
+	pairs := make([][2]int, 16)
+	for i := range pairs {
+		pairs[i] = [2]int{i%48 + 1, (i*7+19)%48 + 1}
+		if pairs[i][0] == pairs[i][1] {
+			pairs[i][1] = pairs[i][1]%48 + 1
+		}
+	}
+	out := make([]Result, len(pairs))
+	// Warm the scratch pool and the workers' batch buffers before measuring.
+	for i := 0; i < 32; i++ {
+		if err := s.LookupBatch(pairs, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		if err := s.LookupBatch(pairs, out); err != nil {
+			t.Fatal(err)
+		}
+		for i := range out {
+			if out[i].Err != nil {
+				t.Fatal(out[i].Err)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("LookupBatch allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestServerNextHopZeroAlloc covers the single-lookup convenience path, which
+// shares the pooled scratch through its onePair/oneOut arrays.
+func TestServerNextHopZeroAlloc(t *testing.T) {
+	skipIfRace(t)
+	s := newTestServer(t, 48, 11, "fulltable", ServerOptions{
+		Shards:             2,
+		StretchSampleEvery: -1,
+	})
+	for i := 0; i < 32; i++ {
+		if res := s.NextHop(1, 40); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		if res := s.NextHop(1, 40); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Server.NextHop allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,294 @@
+// Mixed-protocol chaos: JSON-HTTP and binary-TCP clients racing the same
+// server through real listeners while snapshots swap mid-load. The two
+// transports share one sharded pool, one engine, and one grader — the phase
+// proves that protocol plumbing (framing, pooling, error mapping) cannot
+// corrupt an answer: every lookup over either wire is graded against the
+// snapshot that served it, exactly like the in-process harness.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"routetab/internal/gengraph"
+	"routetab/internal/graph"
+	"routetab/internal/serve"
+	"routetab/internal/serve/httpapi"
+	"routetab/internal/serve/loadgen"
+	"routetab/internal/serve/wire"
+)
+
+// WireConfig parameterises one mixed-protocol run.
+type WireConfig struct {
+	// N is the node count (default 32).
+	N int
+	// Seed derives topology and every worker's query stream.
+	Seed int64
+	// Scheme must be shortest-path for strict grading (default fulltable).
+	Scheme string
+	// WorkersPerProto is the closed-loop client count on each protocol
+	// (default 2: two JSON + two binary workers).
+	WorkersPerProto int
+	// Lookups is the per-protocol lookup target (default 20_000).
+	Lookups uint64
+	// BatchSize is pairs per client batch (default 16).
+	BatchSize int
+	// Swaps is how many snapshot republishes land mid-load (default 2).
+	Swaps int
+}
+
+func (c *WireConfig) setDefaults() {
+	if c.N == 0 {
+		c.N = 32
+	}
+	if c.Scheme == "" {
+		c.Scheme = "fulltable"
+	}
+	if c.WorkersPerProto < 1 {
+		c.WorkersPerProto = 2
+	}
+	if c.Lookups == 0 {
+		c.Lookups = 20_000
+	}
+	if c.BatchSize < 1 {
+		c.BatchSize = 16
+	}
+	if c.Swaps == 0 {
+		c.Swaps = 2
+	}
+}
+
+// WireReport is one mixed-protocol run's outcome. The invariant: Incorrect
+// and Errored are zero — transports may slow answers down, never bend them.
+type WireReport struct {
+	Scheme      string        `json:"scheme"`
+	N           int           `json:"n"`
+	JSONLookups uint64        `json:"json_lookups"`
+	BinLookups  uint64        `json:"bin_lookups"`
+	Correct     uint64        `json:"correct"`
+	Degraded    uint64        `json:"degraded"`
+	Incorrect   uint64        `json:"incorrect"`
+	Rejected    uint64        `json:"rejected"`
+	Unavailable uint64        `json:"unavailable"`
+	Errored     uint64        `json:"errored"`
+	Swaps       uint64        `json:"swaps"`
+	SeqsSeen    int           `json:"seqs_seen"`
+	Elapsed     time.Duration `json:"elapsed_ns"`
+	QPS         float64       `json:"qps"`
+}
+
+// String renders the headline figures.
+func (r *WireReport) String() string {
+	return fmt.Sprintf("wire chaos %s n=%d: %d json + %d binary lookups in %v (%.0f qps, swaps=%d, seqs=%d; correct=%d degraded=%d incorrect=%d rejected=%d errored=%d)",
+		r.Scheme, r.N, r.JSONLookups, r.BinLookups, r.Elapsed.Round(time.Millisecond), r.QPS,
+		r.Swaps, r.SeqsSeen, r.Correct, r.Degraded, r.Incorrect, r.Rejected, r.Errored)
+}
+
+// Passed reports whether the run held its invariants: no wrong or errored
+// answer on either protocol, both protocols actually served, and the swaps
+// landed (more than one snapshot seq observed by clients).
+func (r *WireReport) Passed() bool {
+	return r.Incorrect == 0 && r.Errored == 0 &&
+		r.JSONLookups > 0 && r.BinLookups > 0 &&
+		r.Swaps > 0 && r.SeqsSeen > 1
+}
+
+// seqSet tracks distinct snapshot seqs observed in answers — the proof that
+// clients really raced a swap rather than finishing before it.
+type seqSet struct {
+	mu   sync.Mutex
+	seen map[uint64]bool
+}
+
+func (s *seqSet) add(seq uint64) {
+	s.mu.Lock()
+	if s.seen == nil {
+		s.seen = map[uint64]bool{}
+	}
+	s.seen[seq] = true
+	s.mu.Unlock()
+}
+
+func (s *seqSet) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.seen)
+}
+
+// RunWire stands up one engine behind both a real HTTP listener (the pooled
+// httpapi batch handler) and a real RTBIN1 TCP listener, then races JSON and
+// binary closed-loop clients against progress-paced snapshot swaps, grading
+// every answer.
+func RunWire(cfg WireConfig) (*WireReport, error) {
+	cfg.setDefaults()
+	if !serve.IsShortestPath(cfg.Scheme) {
+		return nil, fmt.Errorf("chaos: scheme %q is not shortest-path; strict grading needs stretch 1", cfg.Scheme)
+	}
+	g, err := gengraph.GnHalf(cfg.N, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	eng, err := serve.NewEngine(g, cfg.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	srv := serve.NewServer(eng, serve.ServerOptions{Shards: 4, QueueCap: 4096})
+	defer srv.Close()
+
+	// Real listeners on loopback: the phase exercises true sockets, framing,
+	// and connection reuse, not httptest shortcuts.
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: httpapi.NewBatchHandler(srv)}
+	go hs.Serve(httpLn)
+	defer hs.Close()
+
+	binLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	ws := wire.NewServer(srv)
+	go ws.Serve(binLn)
+	defer ws.Close()
+
+	jsonClient := httpapi.NewBatchClient("http://"+httpLn.Addr().String(), nil)
+	binClient, err := wire.Dial("chaos", binLn.Addr().String())
+	if err != nil {
+		return nil, err
+	}
+	defer binClient.Close()
+
+	gr := &grader{}
+	seqs := &seqSet{}
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	var jsonAnswered, binAnswered uint64
+
+	// Both protocols run the same seeded closed loop (different seed bases
+	// so the query mixes differ), each validating off but feeding the shared
+	// strict grader through graded targets.
+	runProto := func(tgt loadgen.Target, seedBase int64, answered *uint64) {
+		defer wg.Done()
+		rep, err := loadgen.RunTarget(
+			&gradedTarget{tgt: tgt, gr: gr, seqs: seqs},
+			loadgen.TargetMeta{Scheme: cfg.Scheme, N: cfg.N},
+			loadgen.Config{
+				Workers:   cfg.WorkersPerProto,
+				Lookups:   cfg.Lookups,
+				BatchSize: cfg.BatchSize,
+				Seed:      seedBase,
+				Validate:  loadgen.ValidateOff, // the chaos grader judges
+			})
+		if err != nil {
+			errs <- err
+			return
+		}
+		*answered = rep.Lookups
+	}
+
+	start := time.Now()
+	wg.Add(2)
+	go runProto(jsonClient, cfg.Seed, &jsonAnswered)
+	go runProto(binClient, cfg.Seed+1, &binAnswered)
+
+	// Progress-paced swapper over the grader's total: each swap toggles edge
+	// (1,2) — a full off-path rebuild + atomic publish — spread across the
+	// combined lookup target so both protocols race it mid-load.
+	total := 2 * cfg.Lookups
+	swapsDone := uint64(0)
+	swapStop := make(chan struct{})
+	var swapWG sync.WaitGroup
+	swapWG.Add(1)
+	go func() {
+		defer swapWG.Done()
+		for i := 0; i < cfg.Swaps; i++ {
+			threshold := total * uint64(i+1) / uint64(cfg.Swaps+1)
+			for gr.answered.Load() < threshold {
+				select {
+				case <-swapStop:
+					return
+				case <-time.After(50 * time.Microsecond):
+				}
+			}
+			_, err := eng.Mutate(func(g *graph.Graph) error {
+				if g.HasEdge(1, 2) {
+					return g.RemoveEdge(1, 2)
+				}
+				return g.AddEdge(1, 2)
+			})
+			if err != nil {
+				return
+			}
+			swapsDone++
+		}
+	}()
+
+	wg.Wait()
+	close(swapStop)
+	swapWG.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	rep := &WireReport{
+		Scheme:      cfg.Scheme,
+		N:           cfg.N,
+		JSONLookups: jsonAnswered,
+		BinLookups:  binAnswered,
+		Correct:     gr.correct.Load(),
+		Degraded:    gr.degraded.Load(),
+		Incorrect:   gr.incorrect.Load(),
+		Rejected:    gr.rejected.Load(),
+		Unavailable: gr.unavailable.Load(),
+		Errored:     gr.errored.Load(),
+		Swaps:       swapsDone,
+		SeqsSeen:    seqs.count(),
+		Elapsed:     elapsed,
+	}
+	if elapsed > 0 {
+		rep.QPS = float64(jsonAnswered+binAnswered) / elapsed.Seconds()
+	}
+	if !rep.Passed() {
+		return rep, fmt.Errorf("chaos: wire phase failed: %s", rep)
+	}
+	return rep, nil
+}
+
+// gradedTarget wraps a transport target so every answer flows through the
+// shared chaos grader (strict, swap-sound) and the seq tracker before
+// returning to the closed loop. Rejections honour the server's backoff hint.
+type gradedTarget struct {
+	tgt  loadgen.Target
+	gr   *grader
+	seqs *seqSet
+}
+
+func (g *gradedTarget) LookupBatch(pairs [][2]int, out []serve.Result) error {
+	if err := g.tgt.LookupBatch(pairs, out); err != nil {
+		return err
+	}
+	var backoff time.Duration
+	for i := range out {
+		g.gr.answered.Add(1)
+		if d := g.gr.grade(&out[i]); d > backoff {
+			backoff = d
+		}
+		if out[i].Err == nil {
+			g.seqs.add(out[i].Seq)
+		}
+	}
+	if backoff > 0 {
+		time.Sleep(backoff)
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+package chaos
+
+import "testing"
+
+// TestRunWire: the mixed-protocol phase must hold its invariants on a small
+// deterministic run — both protocols served, swaps observed by clients, and
+// not one incorrect or errored answer over either transport.
+func TestRunWire(t *testing.T) {
+	rep, err := RunWire(WireConfig{N: 24, Seed: 7, Lookups: 4000, Swaps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("invariants not held: %s", rep)
+	}
+	if rep.JSONLookups != 4000 || rep.BinLookups != 4000 {
+		t.Fatalf("lookup targets missed: %s", rep)
+	}
+	if rep.Correct+rep.Degraded+rep.Rejected+rep.Unavailable == 0 {
+		t.Fatalf("nothing graded: %s", rep)
+	}
+}

@@ -1,0 +1,133 @@
+package httpapi
+
+import (
+	"errors"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"routetab/internal/gengraph"
+	"routetab/internal/serve"
+)
+
+func newTestServer(t *testing.T, n int, seed int64) *serve.Server {
+	t.Helper()
+	g, err := gengraph.GnHalf(n, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := serve.NewEngine(g, "fulltable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.NewServer(eng, serve.ServerOptions{Shards: 2, StretchSampleEvery: -1})
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestBatchRoundTrip: handler and client agree — answers over HTTP match
+// the in-process ones, across repeated (pool-reusing) requests.
+func TestBatchRoundTrip(t *testing.T) {
+	srv := newTestServer(t, 32, 3)
+	ts := httptest.NewServer(NewBatchHandler(srv))
+	defer ts.Close()
+	c := NewBatchClient(ts.URL, nil)
+
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 10; iter++ {
+		pairs := make([][2]int, 32)
+		for i := range pairs {
+			src := rng.Intn(32) + 1
+			dst := rng.Intn(32) + 1
+			if dst == src {
+				dst = src%32 + 1
+			}
+			pairs[i] = [2]int{src, dst}
+		}
+		want := make([]serve.Result, len(pairs))
+		if err := srv.LookupBatch(pairs, want); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]serve.Result, len(pairs))
+		if err := c.Batch(pairs, got); err != nil {
+			t.Fatal(err)
+		}
+		for i := range pairs {
+			if got[i] != want[i] {
+				t.Fatalf("iter %d pair %v: http %+v, in-process %+v", iter, pairs[i], got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestErrorIdentityRoundTrip: typed errors must survive JSON — the grader
+// and router treat remote answers by errors.Is identity.
+func TestErrorIdentityRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   error
+		want error
+	}{
+		{&serve.OverloadedError{Shard: 1, RetryAfter: 3 * time.Millisecond}, serve.ErrOverloaded},
+		{serve.ErrUnavailable, serve.ErrUnavailable},
+		{serve.ErrSelfLookup, serve.ErrSelfLookup},
+		{serve.ErrClosed, serve.ErrClosed},
+		{serve.ErrPanicked, serve.ErrPanicked},
+	}
+	for _, tc := range cases {
+		l := ToJSON(1, 2, serve.Result{Seq: 4, Err: tc.in})
+		res := l.Result()
+		if !errors.Is(res.Err, tc.want) {
+			t.Fatalf("%v decoded to %v", tc.in, res.Err)
+		}
+		if res.Seq != 4 {
+			t.Fatalf("%v: seq lost", tc.in)
+		}
+	}
+	var oe *serve.OverloadedError
+	l := ToJSON(1, 2, serve.Result{Err: &serve.OverloadedError{RetryAfter: 2500 * time.Microsecond}})
+	if !errors.As(l.Result().Err, &oe) || oe.RetryAfter != 2500*time.Microsecond {
+		t.Fatalf("retry-after hint lost: %+v", l)
+	}
+}
+
+// TestBatchRejections: shape errors are whole-request HTTP failures.
+func TestBatchRejections(t *testing.T) {
+	srv := newTestServer(t, 16, 2)
+	ts := httptest.NewServer(NewBatchHandler(srv))
+	defer ts.Close()
+	c := NewBatchClient(ts.URL, nil)
+
+	if err := c.Batch(nil, nil); err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Fatalf("empty batch: %v", err)
+	}
+	big := make([][2]int, MaxBatch+1)
+	for i := range big {
+		big[i] = [2]int{1, 2}
+	}
+	if err := c.Batch(big, make([]serve.Result, len(big))); err == nil {
+		t.Fatal("oversize batch accepted")
+	}
+}
+
+// TestServiceErrorInBatch: a self-lookup inside an otherwise healthy batch
+// stays a per-record error with the batch succeeding.
+func TestServiceErrorInBatch(t *testing.T) {
+	srv := newTestServer(t, 16, 2)
+	ts := httptest.NewServer(NewBatchHandler(srv))
+	defer ts.Close()
+	c := NewBatchClient(ts.URL, nil)
+
+	pairs := [][2]int{{1, 5}, {3, 3}}
+	out := make([]serve.Result, 2)
+	if err := c.Batch(pairs, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Err != nil {
+		t.Fatalf("healthy pair errored: %v", out[0].Err)
+	}
+	if !errors.Is(out[1].Err, serve.ErrSelfLookup) {
+		t.Fatalf("self pair: %v", out[1].Err)
+	}
+}

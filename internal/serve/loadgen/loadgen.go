@@ -21,6 +21,7 @@ import (
 
 	"routetab/internal/graph"
 	"routetab/internal/serve"
+	"routetab/internal/serve/metrics"
 )
 
 // Validation selects how each answer is judged.
@@ -65,6 +66,10 @@ type Config struct {
 	// validation stays sound because every Result is judged against the
 	// snapshot that served it.
 	HotSwaps int
+	// SwapFn overrides how a hot swap is performed (RunTarget only; Run
+	// always toggles edge (1,2) on its server's engine). Swapping stops at
+	// the first error.
+	SwapFn func() error
 }
 
 func (c *Config) setDefaults() {
@@ -109,29 +114,39 @@ func (r *Report) String() string {
 // ErrIncorrect reports validation failures in a run.
 var ErrIncorrect = errors.New("loadgen: incorrect next hops served")
 
-// Run drives the closed loop against s until the lookup target (or duration
-// cap) is reached, validating every answer per cfg.Validate. The returned
-// report is complete even when validation failed; the error flags it.
-//
-// Latency quantiles are read from the server's serve_latency_ns histogram
-// and reflect the server's lifetime, so pass a freshly built server for
-// per-run figures.
-func Run(s *serve.Server, cfg Config) (*Report, error) {
-	cfg.setDefaults()
-	snap := s.Engine().Current()
-	n := snap.N()
-	if n < 2 {
-		return nil, fmt.Errorf("loadgen: need at least 2 nodes, have %d", n)
-	}
-	mode := cfg.Validate
-	if mode == ValidateAuto {
-		if serve.IsShortestPath(snap.SchemeName()) {
-			mode = ValidateStrict
-		} else {
-			mode = ValidateProgress
-		}
-	}
+// Target abstracts what the closed loop drives: the in-process server, a
+// JSON HTTP batch client, and the binary wire client all satisfy it, so the
+// same seeded workload compares transports on equal footing.
+type Target interface {
+	LookupBatch(pairs [][2]int, out []serve.Result) error
+}
 
+// TargetMeta describes a remote target: RunTarget cannot reach an Engine, so
+// the caller supplies the serving scheme (for validation-mode selection) and
+// node count (for the query mix).
+type TargetMeta struct {
+	Scheme string
+	N      int
+}
+
+// coreStats is what the shared closed loop measures; Run and RunTarget dress
+// it into a Report from their respective vantage points.
+type coreStats struct {
+	answered  uint64
+	correct   uint64
+	incorrect uint64
+	rejected  uint64
+	errored   uint64
+	swaps     uint64 // successful swap invocations
+	batches   uint64
+	elapsed   time.Duration
+	batchNs   *metrics.Histogram // client-side per-batch round-trip
+}
+
+// runCore is the closed loop itself: seeded workers issuing batches
+// back-to-back against lookup, an optional progress-paced swapper, and
+// client-side round-trip timing.
+func runCore(lookup func([][2]int, []serve.Result) error, n int, mode Validation, swap func() error, cfg Config) *coreStats {
 	var (
 		issued    atomic.Uint64 // lookups claimed by workers
 		answered  atomic.Uint64
@@ -139,7 +154,10 @@ func Run(s *serve.Server, cfg Config) (*Report, error) {
 		incorrect atomic.Uint64
 		rejected  atomic.Uint64
 		errored   atomic.Uint64
+		swaps     atomic.Uint64
+		batches   atomic.Uint64
 	)
+	batchNs := metrics.NewHistogram(metrics.ExponentialBounds(256, 24))
 	deadline := time.Time{}
 	if cfg.Duration > 0 {
 		deadline = time.Now().Add(cfg.Duration)
@@ -148,14 +166,13 @@ func Run(s *serve.Server, cfg Config) (*Report, error) {
 	var once sync.Once
 	halt := func() { once.Do(func() { close(stop) }) }
 
-	// Optional hot swapper: toggle edge (1,2) HotSwaps times, each swap a
-	// full off-path rebuild + atomic publish. Swaps are paced by lookup
-	// progress (evenly spread across the target) so they land mid-load even
-	// when the server finishes the run in milliseconds; duration-capped runs
-	// fall back to wall-clock spacing. Once workers halt, any remaining
-	// swaps fire back-to-back so the configured count always completes.
+	// Optional hot swapper. Swaps are paced by lookup progress (evenly
+	// spread across the target) so they land mid-load even when the run
+	// finishes in milliseconds; duration-capped runs fall back to wall-clock
+	// spacing. Once workers halt, any remaining swaps fire back-to-back so
+	// the configured count always completes.
 	var swapWG sync.WaitGroup
-	if cfg.HotSwaps > 0 {
+	if cfg.HotSwaps > 0 && swap != nil {
 		swapWG.Add(1)
 		go func() {
 			defer swapWG.Done()
@@ -177,15 +194,10 @@ func Run(s *serve.Server, cfg Config) (*Report, error) {
 					case <-time.After(time.Millisecond):
 					}
 				}
-				_, err := s.Engine().Mutate(func(g *graph.Graph) error {
-					if g.HasEdge(1, 2) {
-						return g.RemoveEdge(1, 2)
-					}
-					return g.AddEdge(1, 2)
-				})
-				if err != nil {
+				if err := swap(); err != nil {
 					return // e.g. mutation would break the scheme; keep serving
 				}
+				swaps.Add(1)
 			}
 		}()
 	}
@@ -222,10 +234,13 @@ func Run(s *serve.Server, cfg Config) (*Report, error) {
 					}
 					pairs[i] = [2]int{src, dst}
 				}
-				if err := s.LookupBatch(pairs, out); err != nil {
+				t0 := time.Now()
+				if err := lookup(pairs, out); err != nil {
 					halt()
 					return
 				}
+				batchNs.Observe(time.Since(t0).Nanoseconds())
+				batches.Add(1)
 				answered.Add(uint64(len(out)))
 				for i := range out {
 					grade(&out[i], mode, &correct, &incorrect, &rejected, &errored)
@@ -236,7 +251,58 @@ func Run(s *serve.Server, cfg Config) (*Report, error) {
 	wg.Wait()
 	halt()
 	swapWG.Wait()
-	elapsed := time.Since(start)
+	return &coreStats{
+		answered:  answered.Load(),
+		correct:   correct.Load(),
+		incorrect: incorrect.Load(),
+		rejected:  rejected.Load(),
+		errored:   errored.Load(),
+		swaps:     swaps.Load(),
+		batches:   batches.Load(),
+		elapsed:   time.Since(start),
+		batchNs:   batchNs,
+	}
+}
+
+func resolveMode(cfg Config, scheme string) Validation {
+	mode := cfg.Validate
+	if mode == ValidateAuto {
+		if serve.IsShortestPath(scheme) {
+			mode = ValidateStrict
+		} else {
+			mode = ValidateProgress
+		}
+	}
+	return mode
+}
+
+// Run drives the closed loop against s until the lookup target (or duration
+// cap) is reached, validating every answer per cfg.Validate. The returned
+// report is complete even when validation failed; the error flags it.
+//
+// Latency quantiles are read from the server's serve_latency_ns histogram
+// and reflect the server's lifetime, so pass a freshly built server for
+// per-run figures.
+func Run(s *serve.Server, cfg Config) (*Report, error) {
+	cfg.setDefaults()
+	snap := s.Engine().Current()
+	n := snap.N()
+	if n < 2 {
+		return nil, fmt.Errorf("loadgen: need at least 2 nodes, have %d", n)
+	}
+	// Hot swaps toggle edge (1,2), each a full off-path rebuild + atomic
+	// publish, exercising reads-during-swap; validation stays sound because
+	// every Result is judged against the snapshot that served it.
+	swap := func() error {
+		_, err := s.Engine().Mutate(func(g *graph.Graph) error {
+			if g.HasEdge(1, 2) {
+				return g.RemoveEdge(1, 2)
+			}
+			return g.AddEdge(1, 2)
+		})
+		return err
+	}
+	st := runCore(s.LookupBatch, n, resolveMode(cfg, snap.SchemeName()), swap, cfg)
 
 	lat := s.Metrics().Histogram("serve_latency_ns", nil)
 	batch := s.Metrics().Histogram("serve_batch_pairs", nil)
@@ -245,17 +311,53 @@ func Run(s *serve.Server, cfg Config) (*Report, error) {
 		N:              n,
 		Workers:        cfg.Workers,
 		Batch:          cfg.BatchSize,
-		Lookups:        answered.Load(),
-		Correct:        correct.Load(),
-		Incorrect:      incorrect.Load(),
-		Rejected:       rejected.Load(),
-		Errored:        errored.Load(),
+		Lookups:        st.answered,
+		Correct:        st.correct,
+		Incorrect:      st.incorrect,
+		Rejected:       st.rejected,
+		Errored:        st.errored,
 		Swaps:          s.Engine().Swaps(),
-		Elapsed:        elapsed,
+		Elapsed:        st.elapsed,
 		P50ns:          lat.Quantile(0.50),
 		P99ns:          lat.Quantile(0.99),
 		MeanBatchPairs: batch.Mean(),
 	}
+	return finish(rep, st.elapsed)
+}
+
+// RunTarget drives the same closed loop against any Target — typically a
+// JSON HTTP or binary wire client talking to a live listener. Latency
+// quantiles are client-side whole-batch round-trips (transport included),
+// which is the honest basis for comparing protocols; Swaps counts successful
+// cfg.SwapFn invocations.
+func RunTarget(tgt Target, meta TargetMeta, cfg Config) (*Report, error) {
+	cfg.setDefaults()
+	if meta.N < 2 {
+		return nil, fmt.Errorf("loadgen: need at least 2 nodes, have %d", meta.N)
+	}
+	st := runCore(tgt.LookupBatch, meta.N, resolveMode(cfg, meta.Scheme), cfg.SwapFn, cfg)
+	rep := &Report{
+		Scheme:    meta.Scheme,
+		N:         meta.N,
+		Workers:   cfg.Workers,
+		Batch:     cfg.BatchSize,
+		Lookups:   st.answered,
+		Correct:   st.correct,
+		Incorrect: st.incorrect,
+		Rejected:  st.rejected,
+		Errored:   st.errored,
+		Swaps:     st.swaps,
+		Elapsed:   st.elapsed,
+		P50ns:     st.batchNs.Quantile(0.50),
+		P99ns:     st.batchNs.Quantile(0.99),
+	}
+	if st.batches > 0 {
+		rep.MeanBatchPairs = float64(st.answered) / float64(st.batches)
+	}
+	return finish(rep, st.elapsed)
+}
+
+func finish(rep *Report, elapsed time.Duration) (*Report, error) {
 	if elapsed > 0 {
 		rep.QPS = float64(rep.Lookups) / elapsed.Seconds()
 	}

@@ -113,3 +113,34 @@ func TestDeterministicMix(t *testing.T) {
 		t.Fatalf("same seed diverged: %+v vs %+v", repA, repB)
 	}
 }
+
+// TestRunTarget: the Target-based loop must reproduce Run's semantics when
+// pointed at the in-process server, including SwapFn-driven hot swaps and
+// client-side latency figures.
+func TestRunTarget(t *testing.T) {
+	s := newServer(t, 48, 41, "fulltable")
+	swaps := 0
+	rep, err := RunTarget(s, TargetMeta{Scheme: "fulltable", N: 48}, Config{
+		Workers: 2, Lookups: 4000, BatchSize: 16, Seed: 1, HotSwaps: 2,
+		SwapFn: func() error {
+			swaps++
+			_, err := s.Engine().Reload()
+			return err
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Lookups != 4000 || rep.Correct != rep.Lookups {
+		t.Fatalf("correct=%d of %d", rep.Correct, rep.Lookups)
+	}
+	if rep.Swaps != 2 || swaps != 2 {
+		t.Fatalf("swaps = %d (fn called %d times)", rep.Swaps, swaps)
+	}
+	if rep.QPS <= 0 || rep.P50ns <= 0 || rep.P99ns < rep.P50ns {
+		t.Fatalf("timing figures: %+v", rep)
+	}
+	if rep.MeanBatchPairs != 16 {
+		t.Fatalf("mean batch pairs = %v", rep.MeanBatchPairs)
+	}
+}

@@ -1,17 +1,22 @@
-// Snapshot persistence: a deterministic binary codec for serving snapshots
+// Snapshot persistence: deterministic binary codecs for serving snapshots
 // plus crash-safe save/load, so a restarted daemon recovers the last
 // published snapshot byte-identically instead of cold-rebuilding it.
 //
-// The file layout is a magic string followed by four framed sections — HEAD
-// (seq, scheme, n), EGRF (the paper's canonical E(G) edge bits), PORT (the
-// per-node port→neighbour tables), DIST (the packed all-pairs byte matrix) —
-// each carrying its own length and CRC-32C, so torn or bit-flipped files are
-// rejected at decode rather than served. Writes go through a temp file and an
-// atomic rename: a crash mid-save can never corrupt the previous good file.
+// Two codecs share this file's entry points, distinguished by their 8-byte
+// magic. RTARENA1 (arena.go) is what the engine writes: one contiguous
+// CRC-32C-guarded buffer whose distance matrix is served in place after load.
+// RTSNAP1 is the legacy framed layout — a magic string followed by four
+// framed sections, HEAD (seq, scheme, n), EGRF (the paper's canonical E(G)
+// edge bits), PORT (the per-node port→neighbour tables), DIST (the packed
+// all-pairs byte matrix), each carrying its own length and CRC-32C — still
+// decoded so pre-arena snapshot files warm-boot, and still encodable because
+// the arena-vs-legacy determinism cross-check pins both. Writes go through a
+// temp file and an atomic rename: a crash mid-save can never corrupt the
+// previous good file.
 //
-// Determinism: Encode is a pure function of the snapshot's logical content
-// (little-endian, no maps iterated, no timestamps), so the golden-file test
-// can pin the format and two engines that published byte-identical tables
+// Determinism: both encoders are pure functions of the snapshot's logical
+// content (little-endian, no maps iterated, no timestamps), so golden-file
+// tests pin each format and two engines that published byte-identical tables
 // persist byte-identical files.
 package serve
 
@@ -164,19 +169,48 @@ func EncodeSnapshotData(w io.Writer, s *SnapshotData) error {
 	return writeSection(w, tagDist, s.Dist.Packed())
 }
 
-// DecodeSnapshot parses and validates a persisted snapshot. Every structural
-// claim is checked (magic, tags, lengths, CRCs, port-table consistency
-// against the decoded graph), so feeding it arbitrary bytes returns an error,
-// never a corrupt serving state.
+// DecodeSnapshot parses and validates a persisted snapshot, sniffing the
+// 8-byte magic to dispatch between the arena codec (RTARENA1, what the
+// engine writes) and the legacy framed codec (RTSNAP1, pre-arena files).
+// Every structural claim is checked (magic, lengths, CRCs, port-table
+// consistency against the decoded graph), so feeding it arbitrary bytes
+// returns an error, never a corrupt serving state.
 func DecodeSnapshot(r io.Reader) (*SnapshotData, error) {
+	sd, _, err := DecodeSnapshotCodec(r)
+	return sd, err
+}
+
+// DecodeSnapshotCodec is DecodeSnapshot, additionally reporting which codec
+// (CodecArena or CodecLegacy) the bytes carried.
+func DecodeSnapshotCodec(r io.Reader) (*SnapshotData, string, error) {
 	var magic [8]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
-		return nil, fmt.Errorf("%w: magic: %v", ErrBadSnapshotFile, err)
+		return nil, "", fmt.Errorf("%w: magic: %v", ErrBadSnapshotFile, err)
 	}
-	if magic != snapMagic {
-		return nil, fmt.Errorf("%w: magic %q", ErrBadSnapshotFile, magic[:])
+	switch magic {
+	case arenaMagic:
+		a, err := readArena(r)
+		if err != nil {
+			return nil, "", err
+		}
+		sd, err := a.SnapshotData()
+		if err != nil {
+			return nil, "", err
+		}
+		return sd, CodecArena, nil
+	case snapMagic:
+		sd, err := decodeLegacyBody(r)
+		if err != nil {
+			return nil, "", err
+		}
+		return sd, CodecLegacy, nil
 	}
+	return nil, "", fmt.Errorf("%w: magic %q", ErrBadSnapshotFile, magic[:])
+}
 
+// decodeLegacyBody parses the RTSNAP1 framed sections after the magic has
+// been consumed.
+func decodeLegacyBody(r io.Reader) (*SnapshotData, error) {
 	head, err := readSection(r, tagHead)
 	if err != nil {
 		return nil, err
@@ -290,8 +324,9 @@ func decodePorts(g *graph.Graph, raw []byte) (*graph.Ports, error) {
 	return ports, nil
 }
 
-// SaveSnapshot writes s to path crash-safely: encode to a unique temp file in
-// the same directory, fsync, then atomically rename over path. Readers (and
+// SaveSnapshot writes s to path crash-safely in the arena codec: encode to
+// one contiguous buffer, write it to a unique temp file in the same directory
+// with a single Write, fsync, then atomically rename over path. Readers (and
 // a process that crashes mid-save) only ever observe complete files.
 func SaveSnapshot(path string, s *Snapshot) error {
 	dir, base := filepath.Split(path)
@@ -308,11 +343,10 @@ func SaveSnapshot(path string, s *Snapshot) error {
 			os.Remove(tmp.Name())
 		}
 	}()
-	var buf bytes.Buffer
-	if err := EncodeSnapshot(&buf, s); err != nil {
-		return err
-	}
-	if _, err := tmp.Write(buf.Bytes()); err != nil {
+	buf := EncodeArena(&SnapshotData{
+		Seq: s.Seq, Scheme: s.Scheme, Graph: s.Graph, Ports: s.Ports, Dist: s.Dist,
+	})
+	if _, err := tmp.Write(buf); err != nil {
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
@@ -332,12 +366,31 @@ func SaveSnapshot(path string, s *Snapshot) error {
 
 // LoadSnapshot reads and validates the snapshot file at path.
 func LoadSnapshot(path string) (*SnapshotData, error) {
-	f, err := os.Open(path)
+	sd, _, err := LoadSnapshotCodec(path)
+	return sd, err
+}
+
+// LoadSnapshotCodec reads and validates the snapshot file at path, reporting
+// the codec it was written in. Arena files take the zero-copy path: the whole
+// file lands in memory with one ReadFile, is validated in place, and its
+// distance matrix is served aliased to that buffer — no second copy.
+func LoadSnapshotCodec(path string) (*SnapshotData, string, error) {
+	buf, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
-	defer f.Close()
-	return DecodeSnapshot(f)
+	if len(buf) >= 8 && [8]byte(buf[:8]) == arenaMagic {
+		a, err := OpenArena(buf)
+		if err != nil {
+			return nil, "", err
+		}
+		sd, err := a.SnapshotData()
+		if err != nil {
+			return nil, "", err
+		}
+		return sd, CodecArena, nil
+	}
+	return DecodeSnapshotCodec(bytes.NewReader(buf))
 }
 
 // Adopt atomically replaces the engine's topology and published snapshot
@@ -378,9 +431,11 @@ func (e *Engine) Adopt(sd *SnapshotData) error {
 }
 
 // RestoreEngine rebuilds a serving engine from a persisted snapshot without
-// recomputing distances — see NewEngineFromSnapshot for the contract.
+// recomputing distances — see NewEngineFromSnapshot for the contract. The
+// engine's Codec reports which codec the file carried (a legacy warm boot
+// still writes arena files from its next save on).
 func RestoreEngine(path string) (*Engine, error) {
-	sd, err := LoadSnapshot(path)
+	sd, codec, err := LoadSnapshotCodec(path)
 	if err != nil {
 		return nil, err
 	}
@@ -388,6 +443,7 @@ func RestoreEngine(path string) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: restoring %s: %w", path, err)
 	}
+	eng.codec = codec
 	return eng, nil
 }
 
@@ -410,6 +466,7 @@ func NewEngineFromSnapshot(sd *SnapshotData) (*Engine, error) {
 	e := &Engine{
 		g:      sd.Graph,
 		scheme: sd.Scheme,
+		codec:  CodecArena,
 		cache:  shortestpath.NewCache(2),
 	}
 	e.cache.Put(sd.Graph, sd.Dist)

@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceEnabled gates the AllocsPerRun assertions: race instrumentation adds
+// its own allocations, so the zero-alloc contract is only measurable in
+// plain builds.
+const raceEnabled = true

@@ -162,6 +162,11 @@ type Engine struct {
 	cur    atomic.Pointer[Snapshot]
 	swaps  atomic.Uint64
 	hook   PublishHook
+	// codec names the snapshot codec behind the engine's initial state:
+	// CodecArena for cold builds and arena warm boots, CodecLegacy when the
+	// engine was restored from a pre-arena RTSNAP1 file. Set at construction,
+	// immutable afterwards (saves always write arena either way).
+	codec string
 
 	// Crash-safe persistence (EnablePersist): every published snapshot is
 	// saved to persistPath via an atomic temp-file rename. A failed save
@@ -183,6 +188,7 @@ func NewEngine(g *graph.Graph, schemeName string) (*Engine, error) {
 	e := &Engine{
 		g:      g.Clone(),
 		scheme: schemeName,
+		codec:  CodecArena,
 		// Capacity 2: the outgoing snapshot's matrix plus the one being
 		// built; older matrices are garbage the LRU can drop.
 		cache: shortestpath.NewCache(2),
@@ -204,6 +210,10 @@ func (e *Engine) Swaps() uint64 { return e.swaps.Load() }
 
 // Scheme returns the construction name the engine builds.
 func (e *Engine) Scheme() string { return e.scheme }
+
+// Codec reports the snapshot codec behind the engine's initial state —
+// CodecArena unless the engine warm-booted from a legacy RTSNAP1 file.
+func (e *Engine) Codec() string { return e.codec }
 
 // Mutate applies fn to a private clone of the current topology, rebuilds
 // scheme and distances off the hot path, and atomically publishes the result.

@@ -87,31 +87,6 @@ type Result struct {
 	Err      error
 }
 
-// job is the unit queued on a shard: a run of lookups sharing one reply
-// array and one completion signal. idx selects this job's positions in the
-// shared pairs/out arrays (nil = all of them).
-type job struct {
-	pairs [][2]int
-	out   []Result
-	idx   []int
-	start time.Time
-	wg    *sync.WaitGroup
-}
-
-func (j *job) len() int {
-	if j.idx != nil {
-		return len(j.idx)
-	}
-	return len(j.pairs)
-}
-
-func (j *job) pos(k int) int {
-	if j.idx != nil {
-		return j.idx[k]
-	}
-	return k
-}
-
 // breaker is one shard's circuit breaker: consecutive submission failures
 // trip it open until a cooldown deadline. The first submission at or past the
 // deadline wins the probing flag and becomes the half-open probe — exactly
@@ -141,6 +116,10 @@ type Server struct {
 	breakers  []breaker
 	avgJobNs  atomic.Int64  // EWMA of per-job handler service time
 	jitterCtr atomic.Uint64 // sequences retry-after jitter draws
+	// scratch pools per-call lookup state (jobs, shard counters, index
+	// buffer, WaitGroup) so the steady-state batch path allocates nothing;
+	// see hot.go.
+	scratch sync.Pool
 
 	lookups     *metrics.Counter   // answered lookups (errors included)
 	rejects     *metrics.Counter   // lookups shed by backpressure
@@ -153,6 +132,7 @@ type Server struct {
 	panics      *metrics.Counter   // recovered worker panics
 	shardSheds  []*metrics.Counter // sheds attributed to each primary shard
 	latency     *metrics.Histogram
+	lookupNs    *metrics.Histogram // per-lookup service time (queue wait excluded)
 	batchSz     *metrics.Histogram
 	stretchH    *metrics.Histogram
 	sampleCt    atomic.Uint64
@@ -178,6 +158,7 @@ func NewServer(eng *Engine, opts ServerOptions) *Server {
 		shunts:      reg.Counter("serve_breaker_shunts_total"),
 		panics:      reg.Counter("serve_worker_panics_total"),
 		latency:     reg.Histogram("serve_latency_ns", metrics.ExponentialBounds(1024, 24)), // ~1µs … ~8.6s
+		lookupNs:    reg.Histogram("lookup_ns", metrics.ExponentialBounds(16, 24)),          // 16ns … ~134ms
 		batchSz:     reg.Histogram("serve_batch_pairs", metrics.ExponentialBounds(1, 14)),   // 1 … 8192
 		stretchH:    reg.Histogram("serve_stretch_x1000", []int64{1000, 1100, 1250, 1500, 2000, 3000, 5000, 10000}),
 	}
@@ -197,6 +178,7 @@ func NewServer(eng *Engine, opts ServerOptions) *Server {
 		}
 		return open
 	})
+	s.scratch.New = func() any { return newLookupScratch(opts.Shards) }
 	s.pool = par.NewPool(opts.Shards, opts.QueueCap, opts.MaxBatch, s.runBatch)
 	return s
 }
@@ -222,13 +204,6 @@ func (s *Server) shardOf(src int) int {
 	return src % s.opts.Shards
 }
 
-// NextHop answers a single lookup, blocking until served or rejected.
-func (s *Server) NextHop(src, dst int) Result {
-	var out [1]Result
-	s.lookupInto([][2]int{{src, dst}}, out[:])
-	return out[0]
-}
-
 // LookupBatch answers len(pairs) lookups into out (len(out) must equal
 // len(pairs)). Pairs are split by source shard; each sub-run is queued,
 // answered under one snapshot acquisition, and the call returns when every
@@ -243,26 +218,6 @@ func (s *Server) LookupBatch(pairs [][2]int, out []Result) error {
 	}
 	s.lookupInto(pairs, out)
 	return nil
-}
-
-// lookupInto groups pairs by shard, submits one job per shard, and waits.
-func (s *Server) lookupInto(pairs [][2]int, out []Result) {
-	start := time.Now()
-	var wg sync.WaitGroup
-	if s.opts.Shards == 1 || len(pairs) == 1 {
-		s.submit(s.shardOf(pairs[0][0]), &job{pairs: pairs, out: out, start: start, wg: &wg})
-		wg.Wait()
-		return
-	}
-	byShard := make(map[int][]int, s.opts.Shards)
-	for i, p := range pairs {
-		sh := s.shardOf(p[0])
-		byShard[sh] = append(byShard[sh], i)
-	}
-	for sh, idx := range byShard {
-		s.submit(sh, &job{pairs: pairs, out: out, idx: idx, start: start, wg: &wg})
-	}
-	wg.Wait()
 }
 
 // breakerOpen reports whether shard's breaker currently rejects submissions.
@@ -409,153 +364,6 @@ func (s *Server) retryAfterHint() time.Duration {
 		d = hi
 	}
 	return d
-}
-
-// runBatch is the shard worker handler: one snapshot acquisition answers the
-// whole coalesced run. A panic anywhere in the batch (scheme code, chaos
-// hook) fails the remaining jobs with ErrPanicked instead of deadlocking
-// their waiters; the pool's own recovery then keeps the worker alive.
-func (s *Server) runBatch(shard int, batch []any) {
-	done := 0
-	defer func() {
-		if r := recover(); r != nil {
-			s.panics.Inc()
-			err := fmt.Errorf("%w: %v", ErrPanicked, r)
-			for _, it := range batch[done:] {
-				j := it.(*job)
-				n := j.len()
-				for k := 0; k < n; k++ {
-					j.out[j.pos(k)] = Result{Err: err}
-				}
-				s.errored.Add(uint64(n))
-				j.wg.Done()
-			}
-		}
-	}()
-	if h := s.opts.ChaosHook; h != nil && h(shard) {
-		// Injected batch drop: every job still gets a definite shed answer.
-		done = len(batch)
-		for _, it := range batch {
-			s.failJob(it.(*job), shard, &OverloadedError{Shard: shard, RetryAfter: s.retryAfterHint()})
-		}
-		return
-	}
-	svcStart := time.Now()
-	snap := s.eng.Current()
-	total := 0
-	for _, it := range batch {
-		j := it.(*job)
-		done++
-		total += s.runJob(snap, j)
-	}
-	if len(batch) > 0 {
-		// EWMA (⅞ old, ⅛ new) of per-job service time feeds retry-after
-		// hints; racy read-modify-write is fine for a heuristic.
-		cur := time.Since(svcStart).Nanoseconds() / int64(len(batch))
-		old := s.avgJobNs.Load()
-		if old == 0 {
-			s.avgJobNs.Store(cur)
-		} else {
-			s.avgJobNs.Store(old - old/8 + cur/8)
-		}
-	}
-	s.batches.Inc()
-	s.batchSz.Observe(int64(total))
-	s.lookups.Add(uint64(total))
-}
-
-// runJob answers one job's pairs under snap and releases its waiter, counting
-// the pairs answered. A panic inside one lookup fails that job's remaining
-// pairs but not the rest of the batch.
-func (s *Server) runJob(snap *Snapshot, j *job) int {
-	n := j.len()
-	k := 0
-	defer func() {
-		if r := recover(); r != nil {
-			s.panics.Inc()
-			err := fmt.Errorf("%w: %v", ErrPanicked, r)
-			for ; k < n; k++ {
-				j.out[j.pos(k)] = Result{Seq: snap.Seq, Err: err}
-				s.errored.Inc()
-			}
-		}
-		s.latency.Observe(time.Since(j.start).Nanoseconds())
-		j.wg.Done()
-	}()
-	for ; k < n; k++ {
-		p := j.pairs[j.pos(k)]
-		j.out[j.pos(k)] = s.answer(snap, p[0], p[1])
-	}
-	return n
-}
-
-// answer resolves one lookup against one snapshot, consulting the failure
-// overlay: a next hop across a down link or into a down node is replaced by
-// a live detour (degraded mode) until the repairer's rebuild lands.
-func (s *Server) answer(snap *Snapshot, src, dst int) Result {
-	ov := s.overlay.Load()
-	if ov != nil && (ov.nodeDown(dst) || ov.nodeDown(src)) {
-		s.unavailable.Inc()
-		return Result{Seq: snap.Seq, Err: fmt.Errorf("%w: node down", ErrUnavailable)}
-	}
-	next, err := snap.NextHop(src, dst)
-	if err != nil {
-		s.errored.Inc()
-		return Result{Seq: snap.Seq, Err: err}
-	}
-	if ov != nil && (ov.nodeDown(next) || ov.linkDown(src, next)) {
-		return s.detour(snap, ov, src, dst)
-	}
-	res := Result{
-		Next:     next,
-		Dist:     snap.Dist.Dist(src, dst),
-		NextDist: snap.Dist.Dist(next, dst),
-		Seq:      snap.Seq,
-	}
-	if k := s.opts.StretchSampleEvery; k > 0 && s.sampleCt.Add(1)%uint64(k) == 0 {
-		s.sampleStretch(snap, src, dst, res.Dist)
-	}
-	return res
-}
-
-// detour serves a degraded answer around a poisoned next hop: the live
-// neighbour of src closest to dst under the snapshot's ground truth, accepted
-// only within the degraded stretch budget 1+d(w,dst) ≤ d(src,dst)+2. On the
-// paper's diameter-2 graphs (Lemma 2) a live common neighbour always
-// satisfies the budget, so detours exist whenever src retains any live link
-// on a shortest-or-near path — otherwise the lookup is honestly unavailable
-// rather than silently wrong.
-func (s *Server) detour(snap *Snapshot, ov *overlay, src, dst int) Result {
-	bestW, bestD := 0, -1
-	for _, w := range snap.Graph.Neighbors(src) {
-		if ov.linkDown(src, w) || ov.nodeDown(w) {
-			continue
-		}
-		if w == dst {
-			bestW, bestD = w, 0
-			break
-		}
-		d := snap.Dist.Dist(w, dst)
-		if d == shortestpath.Unreachable {
-			continue
-		}
-		if bestD < 0 || d < bestD {
-			bestW, bestD = w, d
-		}
-	}
-	dist := snap.Dist.Dist(src, dst)
-	if bestD < 0 || (dist >= 0 && 1+bestD > dist+2) {
-		s.unavailable.Inc()
-		return Result{Seq: snap.Seq, Err: fmt.Errorf("%w: no detour within budget at %d→%d", ErrUnavailable, src, dst)}
-	}
-	s.degraded.Inc()
-	return Result{
-		Next:     bestW,
-		Dist:     dist,
-		NextDist: bestD,
-		Seq:      snap.Seq,
-		Degraded: true,
-	}
 }
 
 // sampleStretch full-routes one lookup and records hops/dist ×1000 — the

@@ -1,0 +1,106 @@
+package wire
+
+import (
+	"net"
+	"sync"
+
+	"routetab/internal/serve"
+	"routetab/internal/serve/metrics"
+)
+
+// Server serves RTBIN1 over a listener, feeding decoded batches into a
+// serve.Server's sharded pool. Connection lifecycle lives here; the per-frame
+// hot loop is in server.go.
+type Server struct {
+	srv *serve.Server
+
+	frames    *metrics.Counter
+	badFrames *metrics.Counter
+	pairs     *metrics.Counter
+	conns     *metrics.Counter
+
+	mu     sync.Mutex
+	ln     net.Listener
+	active map[net.Conn]bool
+	closed bool
+	done   chan struct{}
+}
+
+// NewServer wraps srv. Metrics land in srv's registry under wire_*.
+func NewServer(srv *serve.Server) *Server {
+	reg := srv.Metrics()
+	return &Server{
+		srv:       srv,
+		frames:    reg.Counter("wire_frames_total"),
+		badFrames: reg.Counter("wire_bad_frames_total"),
+		pairs:     reg.Counter("wire_pairs_total"),
+		conns:     reg.Counter("wire_conns_total"),
+		active:    map[net.Conn]bool{},
+		done:      make(chan struct{}),
+	}
+}
+
+// Serve accepts connections on ln until Close. A Close-triggered accept
+// failure returns nil; any other accept error is returned as-is.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	defer close(s.done)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.active[conn] = true
+		s.mu.Unlock()
+		s.conns.Inc()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.active, conn)
+	s.mu.Unlock()
+}
+
+// Close stops accepting and tears down live connections. Safe to call more
+// than once and before Serve.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.active))
+	for c := range s.active {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+		<-s.done
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+}

@@ -1,0 +1,233 @@
+// Package wire implements RTBIN1, the length-prefixed binary batch protocol
+// served beside the JSON HTTP API. One TCP connection carries a pipelined
+// stream of frames in both directions; every frame is independently
+// CRC-guarded, so a torn or bit-flipped frame is detected before any payload
+// is interpreted.
+//
+// Frame header (24 bytes, little-endian):
+//
+//	off  size  field
+//	0    4     magic "RTB1"
+//	4    1     type (1=lookup request, 2=lookup response, 3=info request,
+//	           4=info response, 5=error response)
+//	5    1     flags (reserved, must be 0)
+//	6    2     count — number of payload records
+//	8    8     id — request id, echoed verbatim in the response
+//	16   4     payload length in bytes
+//	20   4     CRC-32C of the payload
+//
+// Lookup request payload: count × (src u32, dst u32).
+// Lookup response payload: count × 24-byte records:
+//
+//	off  size  field
+//	0    4     next hop (0 when errored)
+//	4    2     dist (i16, -1 = unreachable)
+//	6    2     next dist (i16)
+//	8    1     flags (bit0 = degraded)
+//	9    1     errcode (see errCode*)
+//	10   2     reserved (0)
+//	12   4     retry-after hint, microseconds (overloaded only)
+//	16   8     snapshot seq
+//
+// Info response payload: seq u64, n u32, scheme (u16 len + bytes), codec
+// (u16 len + bytes). Error response payload: UTF-8 message; the server sends
+// one in reply to a malformed frame and then closes the connection.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"routetab/internal/serve"
+)
+
+const (
+	headerLen  = 24
+	respRecLen = 24
+
+	// MaxPairsPerFrame bounds one lookup batch; larger requests must be
+	// split by the caller. Mirrors the HTTP API's 65536 cap scaled down to
+	// keep per-connection scratch small.
+	MaxPairsPerFrame = 8192
+
+	// maxPayload bounds any frame body: a full response frame is
+	// MaxPairsPerFrame·24 bytes, everything else is far smaller.
+	maxPayload = MaxPairsPerFrame * respRecLen
+)
+
+const (
+	typeLookupReq  = 1
+	typeLookupResp = 2
+	typeInfoReq    = 3
+	typeInfoResp   = 4
+	typeErrorResp  = 5
+)
+
+// Error codes carried in lookup response records.
+const (
+	errCodeOK          = 0
+	errCodeOverloaded  = 1
+	errCodeUnavailable = 2
+	errCodeSelf        = 3
+	errCodeClosed      = 4
+	errCodePanicked    = 5
+	errCodeOther       = 6
+)
+
+var (
+	magic    = [4]byte{'R', 'T', 'B', '1'}
+	crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+	// ErrBadFrame reports a protocol violation: wrong magic, oversize
+	// payload, CRC mismatch, or a count that disagrees with the length.
+	ErrBadFrame = errors.New("wire: bad frame")
+)
+
+var le = binary.LittleEndian
+
+type frameHeader struct {
+	typ    byte
+	flags  byte
+	count  int
+	id     uint64
+	length int
+	crc    uint32
+}
+
+// parseHeader validates the fixed header; payload checks (CRC, count vs
+// length) happen in checkPayload once the body has been read.
+func parseHeader(hdr []byte) (frameHeader, error) {
+	if [4]byte(hdr[:4]) != magic {
+		return frameHeader{}, fmt.Errorf("%w: magic %x", ErrBadFrame, hdr[:4])
+	}
+	h := frameHeader{
+		typ:    hdr[4],
+		flags:  hdr[5],
+		count:  int(le.Uint16(hdr[6:])),
+		id:     le.Uint64(hdr[8:]),
+		length: int(le.Uint32(hdr[16:])),
+		crc:    le.Uint32(hdr[20:]),
+	}
+	if h.flags != 0 {
+		return frameHeader{}, fmt.Errorf("%w: flags %#x", ErrBadFrame, h.flags)
+	}
+	if h.length > maxPayload {
+		return frameHeader{}, fmt.Errorf("%w: payload %d exceeds %d", ErrBadFrame, h.length, maxPayload)
+	}
+	return h, nil
+}
+
+func (h frameHeader) checkPayload(payload []byte) error {
+	if crc32.Checksum(payload, crcTable) != h.crc {
+		return fmt.Errorf("%w: payload CRC mismatch", ErrBadFrame)
+	}
+	switch h.typ {
+	case typeLookupReq:
+		if h.count == 0 || h.count > MaxPairsPerFrame || h.length != h.count*8 {
+			return fmt.Errorf("%w: lookup request count %d length %d", ErrBadFrame, h.count, h.length)
+		}
+	case typeLookupResp:
+		if h.length != h.count*respRecLen {
+			return fmt.Errorf("%w: lookup response count %d length %d", ErrBadFrame, h.count, h.length)
+		}
+	case typeInfoReq:
+		if h.count != 0 || h.length != 0 {
+			return fmt.Errorf("%w: info request with body", ErrBadFrame)
+		}
+	}
+	return nil
+}
+
+// appendHeader writes a frame header for the given payload into dst.
+func appendHeader(dst []byte, typ byte, count int, id uint64, payload []byte) []byte {
+	var hdr [headerLen]byte
+	copy(hdr[:4], magic[:])
+	hdr[4] = typ
+	le.PutUint16(hdr[6:], uint16(count))
+	le.PutUint64(hdr[8:], id)
+	le.PutUint32(hdr[16:], uint32(len(payload)))
+	le.PutUint32(hdr[20:], crc32.Checksum(payload, crcTable))
+	return append(dst, hdr[:]...)
+}
+
+// appendResultRec encodes one lookup result record.
+func appendResultRec(dst []byte, r *serve.Result) []byte {
+	var rec [respRecLen]byte
+	code, retryUs := errCodeOK, uint32(0)
+	if r.Err != nil {
+		code, retryUs = encodeErr(r.Err)
+	} else {
+		le.PutUint32(rec[0:], uint32(r.Next))
+		le.PutUint16(rec[4:], uint16(int16(r.Dist)))
+		le.PutUint16(rec[6:], uint16(int16(r.NextDist)))
+		if r.Degraded {
+			rec[8] = 1
+		}
+	}
+	rec[9] = byte(code)
+	le.PutUint32(rec[12:], retryUs)
+	le.PutUint64(rec[16:], r.Seq)
+	return append(dst, rec[:]...)
+}
+
+func encodeErr(err error) (code int, retryUs uint32) {
+	var ov *serve.OverloadedError
+	switch {
+	case errors.As(err, &ov):
+		us := ov.RetryAfter.Microseconds()
+		if us < 0 {
+			us = 0
+		}
+		if us > int64(^uint32(0)) {
+			us = int64(^uint32(0))
+		}
+		return errCodeOverloaded, uint32(us)
+	case errors.Is(err, serve.ErrUnavailable):
+		return errCodeUnavailable, 0
+	case errors.Is(err, serve.ErrSelfLookup):
+		return errCodeSelf, 0
+	case errors.Is(err, serve.ErrClosed):
+		return errCodeClosed, 0
+	case errors.Is(err, serve.ErrPanicked):
+		return errCodePanicked, 0
+	default:
+		return errCodeOther, 0
+	}
+}
+
+// decodeResultRec fills r from one lookup result record.
+func decodeResultRec(rec []byte, r *serve.Result) {
+	*r = serve.Result{
+		Next:     int(le.Uint32(rec[0:])),
+		Dist:     int(int16(le.Uint16(rec[4:]))),
+		NextDist: int(int16(le.Uint16(rec[6:]))),
+		Degraded: rec[8]&1 != 0,
+		Seq:      le.Uint64(rec[16:]),
+	}
+	switch rec[9] {
+	case errCodeOK:
+	case errCodeOverloaded:
+		r.Err = &serve.OverloadedError{
+			RetryAfter: time.Duration(le.Uint32(rec[12:])) * time.Microsecond,
+		}
+		r.Next, r.Dist, r.NextDist = 0, 0, 0
+	case errCodeUnavailable:
+		r.Err = serve.ErrUnavailable
+	case errCodeSelf:
+		r.Err = serve.ErrSelfLookup
+	case errCodeClosed:
+		r.Err = serve.ErrClosed
+	case errCodePanicked:
+		r.Err = serve.ErrPanicked
+	default:
+		r.Err = errRemote
+	}
+	if r.Err != nil {
+		r.Next, r.Dist, r.NextDist = 0, 0, 0
+	}
+}
+
+var errRemote = errors.New("wire: remote lookup error")

@@ -1,0 +1,412 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"routetab/internal/cluster"
+	"routetab/internal/gengraph"
+	"routetab/internal/serve"
+)
+
+func newServePair(t *testing.T, n int, seed int64) (*serve.Server, *Server) {
+	t.Helper()
+	g, err := gengraph.GnHalf(n, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := serve.NewEngine(g, "fulltable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.NewServer(eng, serve.ServerOptions{Shards: 2, StretchSampleEvery: -1})
+	t.Cleanup(srv.Close)
+	return srv, NewServer(srv)
+}
+
+func listenAndServe(t *testing.T, ws *Server) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ws.Serve(ln)
+	t.Cleanup(ws.Close)
+	return ln.Addr().String()
+}
+
+// TestClientServerRoundTrip: every answer over the wire must match the
+// in-process answer bit for bit — next hop, distances, seq, degraded flag.
+func TestClientServerRoundTrip(t *testing.T) {
+	srv, ws := newServePair(t, 32, 3)
+	addr := listenAndServe(t, ws)
+	c, err := Dial("primary", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	pairs := make([][2]int, 64)
+	rng := rand.New(rand.NewSource(9))
+	for i := range pairs {
+		src := rng.Intn(32) + 1
+		dst := rng.Intn(32) + 1
+		if dst == src {
+			dst = src%32 + 1
+		}
+		pairs[i] = [2]int{src, dst}
+	}
+	want := make([]serve.Result, len(pairs))
+	if err := srv.LookupBatch(pairs, want); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]serve.Result, len(pairs))
+	if err := c.Batch(pairs, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range pairs {
+		if got[i].Err != nil || want[i].Err != nil {
+			t.Fatalf("pair %v: errs %v / %v", pairs[i], got[i].Err, want[i].Err)
+		}
+		if got[i] != want[i] {
+			t.Fatalf("pair %v: wire %+v, in-process %+v", pairs[i], got[i], want[i])
+		}
+	}
+
+	info, err := c.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.N != 32 || info.Scheme != "fulltable" || info.Codec != serve.CodecArena || info.Seq != want[0].Seq {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+// TestServiceErrorsTravel: self-lookups and other service-level failures
+// must come back as typed serve errors inside the Result, with a nil
+// transport error — the contract cluster.Router failover depends on.
+func TestServiceErrorsTravel(t *testing.T) {
+	_, ws := newServePair(t, 16, 2)
+	addr := listenAndServe(t, ws)
+	c, err := Dial("primary", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	res, err := c.Lookup(5, 5)
+	if err != nil {
+		t.Fatalf("transport error for self-lookup: %v", err)
+	}
+	if !errors.Is(res.Err, serve.ErrSelfLookup) {
+		t.Fatalf("self-lookup err = %v", res.Err)
+	}
+}
+
+// TestPipelining: many goroutines sharing one client must all get their own
+// answers back — the id-demultiplexed pipelining path.
+func TestPipelining(t *testing.T) {
+	srv, ws := newServePair(t, 32, 3)
+	addr := listenAndServe(t, ws)
+	c, err := Dial("primary", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			pairs := make([][2]int, 16)
+			out := make([]serve.Result, 16)
+			want := make([]serve.Result, 16)
+			for iter := 0; iter < 50; iter++ {
+				for i := range pairs {
+					src := rng.Intn(32) + 1
+					dst := rng.Intn(32) + 1
+					if dst == src {
+						dst = src%32 + 1
+					}
+					pairs[i] = [2]int{src, dst}
+				}
+				if err := c.Batch(pairs, out); err != nil {
+					errs <- err
+					return
+				}
+				if err := srv.LookupBatch(pairs, want); err != nil {
+					errs <- err
+					return
+				}
+				for i := range out {
+					if out[i] != want[i] {
+						errs <- errors.New("pipelined answer mismatch")
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestMalformedFrameRejected: a corrupt frame must provoke an error response
+// and a hang-up, and the wire_bad_frames_total counter must move. Covers
+// bad magic, CRC damage, truncation mid-frame, oversize payloads, and a
+// count/length mismatch.
+func TestMalformedFrameRejected(t *testing.T) {
+	pairsPayload := func() []byte {
+		var p []byte
+		var rec [8]byte
+		le.PutUint32(rec[0:], 1)
+		le.PutUint32(rec[4:], 2)
+		return append(p, rec[:]...)
+	}()
+	valid := appendHeader(nil, typeLookupReq, 1, 42, pairsPayload)
+	valid = append(valid, pairsPayload...)
+
+	cases := map[string][]byte{
+		"bad magic":   append([]byte("XXXX"), valid[4:]...),
+		"bad crc":     flipByte(valid, len(valid)-1),
+		"bad type":    flipByte(valid, 4),
+		"count zero":  withCount(valid, 0),
+		"count big":   withCount(valid, MaxPairsPerFrame+1),
+		"oversize":    withLength(valid, maxPayload+1),
+		"truncated":   valid[:headerLen+4],
+		"header only": valid[:headerLen],
+	}
+	for name, frame := range cases {
+		t.Run(name, func(t *testing.T) {
+			srv, ws := newServePair(t, 16, 2)
+			addr := listenAndServe(t, ws)
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			if _, err := conn.Write(frame); err != nil {
+				t.Fatal(err)
+			}
+			conn.(*net.TCPConn).CloseWrite()
+			conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+			// The connection must end (error frame optional) without a
+			// lookup response ever arriving.
+			reply, _ := io.ReadAll(conn)
+			if len(reply) >= headerLen {
+				h, err := parseHeader(reply[:headerLen])
+				if err == nil && h.typ == typeLookupResp {
+					t.Fatalf("%s: server answered a corrupt frame", name)
+				}
+			}
+			if srv.Metrics().Counter("wire_bad_frames_total").Value() == 0 {
+				t.Fatalf("%s: bad-frame counter did not move", name)
+			}
+		})
+	}
+}
+
+func flipByte(frame []byte, i int) []byte {
+	mut := bytes.Clone(frame)
+	mut[i] ^= 0x41
+	return mut
+}
+
+func withCount(frame []byte, count int) []byte {
+	mut := bytes.Clone(frame)
+	le.PutUint16(mut[6:], uint16(count))
+	return mut
+}
+
+func withLength(frame []byte, length int) []byte {
+	mut := bytes.Clone(frame)
+	le.PutUint32(mut[16:], uint32(length))
+	return mut
+}
+
+// TestGoldenFrame pins the wire encoding byte for byte so an accidental
+// layout change breaks loudly instead of silently desynchronising peers.
+func TestGoldenFrame(t *testing.T) {
+	var payload []byte
+	var rec [8]byte
+	le.PutUint32(rec[0:], 7)
+	le.PutUint32(rec[4:], 19)
+	payload = append(payload, rec[:]...)
+	frame := appendHeader(nil, typeLookupReq, 1, 0x0102030405060708, payload)
+	frame = append(frame, payload...)
+	want := []byte{
+		'R', 'T', 'B', '1', // magic
+		1, 0, // type, flags
+		1, 0, // count
+		8, 7, 6, 5, 4, 3, 2, 1, // id, little-endian
+		8, 0, 0, 0, // payload length
+		0x8a, 0x8f, 0x37, 0xfd, // crc32c of payload
+		7, 0, 0, 0, 19, 0, 0, 0, // (src=7, dst=19)
+	}
+	if !bytes.Equal(frame, want) {
+		t.Fatalf("frame bytes\n got %x\nwant %x", frame, want)
+	}
+
+	res := serve.Result{Next: 3, Dist: 2, NextDist: 1, Seq: 9, Degraded: true}
+	gotRec := appendResultRec(nil, &res)
+	wantRec := []byte{
+		3, 0, 0, 0, // next
+		2, 0, 1, 0, // dist, nextdist
+		1, 0, 0, 0, // flags (degraded), errcode, reserved
+		0, 0, 0, 0, // retry-after µs
+		9, 0, 0, 0, 0, 0, 0, 0, // seq
+	}
+	if !bytes.Equal(gotRec, wantRec) {
+		t.Fatalf("result record\n got %x\nwant %x", gotRec, wantRec)
+	}
+}
+
+// TestResultErrorCodes: every serve error must survive the encode/decode
+// round trip with its errors.Is identity intact — the chaos grader runs the
+// same checks against wire answers as against in-process ones.
+func TestResultErrorCodes(t *testing.T) {
+	cases := []struct {
+		in   error
+		want error
+	}{
+		{&serve.OverloadedError{Shard: 3, RetryAfter: 250 * time.Microsecond}, serve.ErrOverloaded},
+		{serve.ErrUnavailable, serve.ErrUnavailable},
+		{serve.ErrSelfLookup, serve.ErrSelfLookup},
+		{serve.ErrClosed, serve.ErrClosed},
+		{serve.ErrPanicked, serve.ErrPanicked},
+		{errors.New("mystery"), errRemote},
+	}
+	for _, tc := range cases {
+		rec := appendResultRec(nil, &serve.Result{Seq: 5, Err: tc.in})
+		var out serve.Result
+		decodeResultRec(rec, &out)
+		if !errors.Is(out.Err, tc.want) {
+			t.Fatalf("%v decoded to %v, want identity with %v", tc.in, out.Err, tc.want)
+		}
+		if out.Seq != 5 {
+			t.Fatalf("%v: seq lost", tc.in)
+		}
+		var oe *serve.OverloadedError
+		if errors.As(tc.in, &oe) {
+			var got *serve.OverloadedError
+			if !errors.As(out.Err, &got) || got.RetryAfter != oe.RetryAfter {
+				t.Fatalf("retry-after hint lost: %v", out.Err)
+			}
+		}
+	}
+}
+
+// TestHandleOneAllocs pins the server hot loop's allocation ceiling: one
+// pipelined lookup frame costs at most one heap allocation in steady state.
+func TestHandleOneAllocs(t *testing.T) {
+	_, ws := newServePair(t, 32, 3)
+
+	var payload []byte
+	pairs := [][2]int{{1, 9}, {2, 17}, {3, 25}, {4, 31}}
+	for _, p := range pairs {
+		var rec [8]byte
+		le.PutUint32(rec[0:], uint32(p[0]))
+		le.PutUint32(rec[4:], uint32(p[1]))
+		payload = append(payload, rec[:]...)
+	}
+	frame := appendHeader(nil, typeLookupReq, len(pairs), 1, payload)
+	frame = append(frame, payload...)
+
+	rd := bytes.NewReader(frame)
+	cs := newConnState(rd, io.Discard)
+	run := func() {
+		rd.Reset(frame)
+		cs.br.Reset(rd)
+		cs.bw.Reset(io.Discard)
+		if err := ws.handleOne(cs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		run()
+	}
+	if allocs := testing.AllocsPerRun(500, run); allocs > 1 {
+		t.Fatalf("handleOne allocates %.1f/op, want ≤1", allocs)
+	}
+}
+
+// TestHedgedRouterOverWire: two binary backends behind a cluster.Router must
+// keep answering when one is torn down mid-stream — transport failures
+// demote, the survivor serves.
+func TestHedgedRouterOverWire(t *testing.T) {
+	_, wsA := newServePair(t, 24, 5)
+	_, wsB := newServePair(t, 24, 5)
+	addrA := listenAndServe(t, wsA)
+	addrB := listenAndServe(t, wsB)
+	ca, err := Dial("a", addrA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ca.Close()
+	cb, err := Dial("b", addrB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cb.Close()
+
+	rt := cluster.NewRouter([]cluster.Backend{ca, cb}, cluster.RouterOptions{})
+	for i := 0; i < 50; i++ {
+		res, err := rt.Lookup(1, 13)
+		if err != nil || res.Err != nil {
+			t.Fatalf("lookup %d: %v / %v", i, err, res.Err)
+		}
+		if i == 25 {
+			wsA.Close() // kill backend a mid-stream; b must carry on
+		}
+	}
+}
+
+// FuzzHandleOne throws arbitrary byte streams at the server frame loop:
+// it must never panic or over-read, only answer or reject.
+func FuzzHandleOne(f *testing.F) {
+	g, err := gengraph.GnHalf(12, rand.New(rand.NewSource(4)))
+	if err != nil {
+		f.Fatal(err)
+	}
+	eng, err := serve.NewEngine(g, "fulltable")
+	if err != nil {
+		f.Fatal(err)
+	}
+	srv := serve.NewServer(eng, serve.ServerOptions{Shards: 1, StretchSampleEvery: -1})
+	defer srv.Close()
+	ws := NewServer(srv)
+
+	var payload []byte
+	var rec [8]byte
+	le.PutUint32(rec[0:], 1)
+	le.PutUint32(rec[4:], 5)
+	payload = append(payload, rec[:]...)
+	valid := appendHeader(nil, typeLookupReq, 1, 9, payload)
+	valid = append(valid, payload...)
+	f.Add(valid)
+	f.Add(valid[:headerLen])
+	f.Add([]byte("RTB1"))
+	f.Add([]byte{})
+	f.Add(appendHeader(nil, typeInfoReq, 0, 2, nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cs := newConnState(bytes.NewReader(data), io.Discard)
+		for {
+			if err := ws.handleOne(cs); err != nil {
+				break
+			}
+		}
+	})
+}
