@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify lint vet build test race smoke benchsmoke loadsmoke wiresmoke chaos cluster crash bench loadbench chaosbench clusterbench crashbench wirebench clean
+.PHONY: verify lint vet build test race smoke benchsmoke loadsmoke wiresmoke chaos cluster crash bigsmoke bench loadbench chaosbench clusterbench crashbench wirebench bigbench clean
 
-verify: lint vet build test race smoke benchsmoke loadsmoke wiresmoke chaos cluster crash
+verify: lint vet build test race smoke benchsmoke loadsmoke wiresmoke chaos cluster crash bigsmoke
 
 # gofmt -l exits 0 even when files need formatting, so fail on any output.
 # The second check is the WAL durability lint: on the journaling path a
@@ -48,7 +48,7 @@ smoke:
 # cache, E13 sweep, serving-layer load); keeps the bench harness from
 # rotting between releases.
 benchsmoke:
-	$(GO) run ./cmd/benchjson -quick -sections bfs,cache,resilience,serve,chaos,cluster,wal,wire \
+	$(GO) run ./cmd/benchjson -quick -sections bfs,cache,resilience,serve,chaos,cluster,wal,wire,big \
 		-out $(or $(TMPDIR),/tmp)/bench_smoke.json
 
 # Seconds-scale serving smoke through routetabd's loadgen mode: fixed seed,
@@ -92,6 +92,16 @@ cluster:
 crash:
 	$(GO) run ./cmd/routetabd -crash -n 24 -seed 5
 
+# Seconds-scale large-graph gate: builds an n=4096 tables-tier landmark
+# snapshot over a sparse avg-degree-8 topology — sixteen times past the old
+# n=256 ceiling, with no all-pairs matrix anywhere — and serves 10k lookups
+# with connectivity-safe hot swaps, every answer eligible for spot grading
+# against on-demand BFS ground truth; exits non-zero on any stretch > 3,
+# unreachable next hop, or a snapshot that is not o(n²).
+bigsmoke:
+	$(GO) run ./cmd/routetabd -bigsmoke -n 4096 -seed 1 -lookups 10000 \
+		-workers 4 -swaps 2
+
 # Regenerates the checked-in PR 2 performance artefact (see EXPERIMENTS.md
 # for the methodology; numbers are host-dependent).
 bench:
@@ -133,6 +143,16 @@ crashbench:
 wirebench:
 	$(GO) run ./cmd/benchjson -sections wire \
 		-artefact BENCH_pr7 -out BENCH_pr7.json
+
+# Regenerates the PR 8 large-graph artefact (EXPERIMENTS.md E19): the tier
+# sweep — bytes/node, build time, spot-graded QPS, and observed stretch for
+# fulltable vs landmark on sparse topologies up to n=16384 (fulltable capped
+# at 4096) plus fulltable vs compact on dense G(n,1/2). Fails unless landmark
+# undercuts fulltable on bytes/node at the largest common n with zero
+# stretch-3 violations.
+bigbench:
+	$(GO) run ./cmd/benchjson -sections big \
+		-artefact BENCH_pr8 -out BENCH_pr8.json
 
 clean:
 	$(GO) clean ./...

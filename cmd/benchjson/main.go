@@ -29,6 +29,13 @@
 //	  on a real on-disk segment store: ns per append and the implied
 //	  appends/sec, quantifying what PolicyAlways — the only policy that may
 //	  resume its epoch after a crash (DESIGN.md §13) — costs per record.
+//	BENCH_pr8.json  (`make bigbench`): -sections big
+//	  the n-sweep behind the tables tier: bytes/node, build time, spot-graded
+//	  serving QPS, and observed stretch for fulltable vs landmark on sparse
+//	  topologies up to n=16384 (fulltable capped at 4096 — the all-pairs
+//	  ceiling the tier exists to break) plus fulltable vs compact on dense
+//	  G(n, 1/2). Fails if landmark does not beat fulltable on bytes/node at
+//	  the largest common n or if any spot-graded answer broke stretch 3.
 //
 // `make verify` runs the -quick one-iteration smoke over every section so
 // the measured paths stay exercised.
@@ -56,6 +63,7 @@ import (
 	"routetab/internal/cluster/walstore"
 	"routetab/internal/eval"
 	"routetab/internal/gengraph"
+	"routetab/internal/graph"
 	"routetab/internal/serve"
 	"routetab/internal/serve/chaos"
 	"routetab/internal/serve/httpapi"
@@ -90,6 +98,24 @@ type WireBench struct {
 	QPS        float64 `json:"qps"`
 	P50ns      int64   `json:"p50_ns"`
 	P99ns      int64   `json:"p99_ns"`
+}
+
+// BigBench is one (family, scheme, n) row in the "big" section: build time,
+// snapshot arena size (bytes/node is the o(n²) headline), spot-graded serving
+// throughput, and observed stretch ×1000 (1000 = shortest paths).
+type BigBench struct {
+	Family           string  `json:"family"` // sparse | gnhalf
+	N                int     `json:"n"`
+	Scheme           string  `json:"scheme"`
+	Tier             string  `json:"tier"`
+	BuildMs          float64 `json:"build_ms"`
+	SnapshotBytes    int     `json:"snapshot_bytes"`
+	BytesPerNode     float64 `json:"bytes_per_node"`
+	Lookups          uint64  `json:"lookups"`
+	QPS              float64 `json:"qps"`
+	SpotGraded       uint64  `json:"spot_graded,omitempty"`
+	MaxStretchMilli  int64   `json:"max_stretch_milli"`
+	MeanStretchMilli int64   `json:"mean_stretch_milli"`
 }
 
 // Result is one measurement in the artefact.
@@ -128,6 +154,10 @@ type Report struct {
 	// binary transport does not clear 2× the JSON transport's throughput at
 	// GOMAXPROCS=1.
 	Wire []WireBench `json:"wire,omitempty"`
+	// Big carries the large-graph tier sweep (section "big"): bytes/node,
+	// build time, and spot-graded serving figures for the tables-tier
+	// landmark scheme against full-tier baselines across n up to 16384.
+	Big []BigBench `json:"big,omitempty"`
 	// Wal carries the WAL append-throughput measurements (section "wal"):
 	// ns per append and appends/sec for each fsync policy on a real on-disk
 	// segment store. The fsync=always row is the per-record price of
@@ -142,7 +172,7 @@ type Report struct {
 }
 
 // knownSections lists every measurement group benchjson understands.
-var knownSections = []string{"bfs", "cache", "resilience", "serve", "chaos", "cluster", "wal", "wire"}
+var knownSections = []string{"bfs", "cache", "resilience", "serve", "chaos", "cluster", "wal", "wire", "big"}
 
 func parseSections(csv string) (map[string]bool, error) {
 	known := map[string]bool{}
@@ -400,6 +430,21 @@ func runSuite(quick bool, artefact string, sections map[string]bool) (*Report, e
 		}
 	}
 
+	// Large-graph tier sweep (the `make bigbench` artefact BENCH_pr8.json):
+	// fulltable (full tier) vs landmark (tables tier) on sparse avg-degree-8
+	// topologies across n up to 16384, plus fulltable vs compact on dense
+	// G(n, 1/2) where the diameter-2 construction applies. Full-tier rows are
+	// strictly validated; tables-tier rows are spot-graded against on-demand
+	// BFS ground truth. The headline column is bytes/node: fulltable grows
+	// linearly in n (the n² matrix), landmark must not.
+	if sections["big"] {
+		big, err := runBigSweep(quick)
+		if err != nil {
+			return nil, err
+		}
+		rep.Big = big
+	}
+
 	return rep, nil
 }
 
@@ -575,6 +620,139 @@ func runLoad(scheme string, n int, lookups uint64, swaps int) (*loadgen.Report, 
 		return rep, fmt.Errorf("serve load %s: %d errored lookups", scheme, rep.Errored)
 	}
 	return rep, nil
+}
+
+// runBigSweep produces the "big" section rows and enforces the PR-8
+// acceptance gates in code: landmark must undercut fulltable on bytes/node at
+// the largest n both serve, no spot-graded answer may exceed stretch 3
+// (loadgen already fails the row, re-checked here), and in full mode the
+// n=16384 landmark row — past the all-pairs ceiling — must build and serve.
+func runBigSweep(quick bool) ([]BigBench, error) {
+	type rowSpec struct {
+		family, scheme string
+		tables         bool
+		n              int
+	}
+	var specs []rowSpec
+	lookups := uint64(200_000)
+	if quick {
+		lookups = 10_000
+		specs = []rowSpec{
+			{"sparse", "fulltable", false, 256},
+			{"sparse", "landmark", true, 256},
+			{"gnhalf", "fulltable", false, 64},
+			{"gnhalf", "compact", false, 64},
+		}
+	} else {
+		for _, n := range []int{256, 1024, 4096} {
+			specs = append(specs, rowSpec{"sparse", "fulltable", false, n})
+		}
+		for _, n := range []int{256, 1024, 4096, 16384} {
+			specs = append(specs, rowSpec{"sparse", "landmark", true, n})
+		}
+		for _, n := range []int{256, 1024} {
+			specs = append(specs, rowSpec{"gnhalf", "fulltable", false, n})
+			specs = append(specs, rowSpec{"gnhalf", "compact", false, n})
+		}
+	}
+	rows := make([]BigBench, 0, len(specs))
+	for _, sp := range specs {
+		row, err := runBigRow(sp.family, sp.scheme, sp.tables, sp.n, lookups)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	// Gate 1: at the largest sparse n served by both schemes, the tables
+	// tier must be the smaller snapshot per node.
+	perNode := func(scheme string) (float64, int) {
+		best, bestN := 0.0, 0
+		for _, r := range rows {
+			if r.Family == "sparse" && r.Scheme == scheme && r.N > bestN {
+				best, bestN = r.BytesPerNode, r.N
+			}
+		}
+		return best, bestN
+	}
+	fullPN, fullN := perNode("fulltable")
+	var lmPN float64
+	for _, r := range rows {
+		if r.Family == "sparse" && r.Scheme == "landmark" && r.N == fullN {
+			lmPN = r.BytesPerNode
+		}
+	}
+	if lmPN <= 0 || lmPN >= fullPN {
+		return nil, fmt.Errorf("big: landmark %.1f bytes/node does not undercut fulltable %.1f at n=%d", lmPN, fullPN, fullN)
+	}
+	// Gate 2: zero stretch-3 violations across every spot-graded row.
+	for _, r := range rows {
+		if r.SpotGraded > 0 && r.MaxStretchMilli > 3000 {
+			return nil, fmt.Errorf("big: %s/%s n=%d spot-graded max stretch %d‰ exceeds 3000‰", r.Family, r.Scheme, r.N, r.MaxStretchMilli)
+		}
+	}
+	return rows, nil
+}
+
+// runBigRow builds one engine at the requested tier, times the build, and
+// drives a validated closed loop against it. Full-tier rows use strict
+// grading (observed stretch is exactly 1); tables-tier rows auto-select
+// spot grading in loadgen.
+func runBigRow(family, scheme string, tables bool, n int, lookups uint64) (BigBench, error) {
+	rng := rand.New(rand.NewSource(42))
+	var (
+		g   *graph.Graph
+		err error
+	)
+	if family == "sparse" {
+		g, err = gengraph.SparseConnected(n, 8, rng)
+	} else {
+		g, err = gengraph.GnHalf(n, rng)
+	}
+	if err != nil {
+		return BigBench{}, fmt.Errorf("big %s/%s n=%d: %w", family, scheme, n, err)
+	}
+	start := time.Now()
+	var eng *serve.Engine
+	if tables {
+		eng, err = serve.NewTieredEngine(g, scheme)
+	} else {
+		eng, err = serve.NewEngine(g, scheme)
+	}
+	if err != nil {
+		return BigBench{}, fmt.Errorf("big %s/%s n=%d: %w", family, scheme, n, err)
+	}
+	build := time.Since(start)
+	srv := serve.NewServer(eng, serve.ServerOptions{StretchSampleEvery: -1})
+	defer srv.Close()
+	lrep, err := loadgen.Run(srv, loadgen.Config{
+		Workers: 4,
+		Lookups: lookups,
+		Seed:    1,
+	})
+	if err != nil {
+		return BigBench{}, fmt.Errorf("big %s/%s n=%d: %w", family, scheme, n, err)
+	}
+	size := eng.Current().ArenaSize()
+	row := BigBench{
+		Family:        family,
+		N:             n,
+		Scheme:        scheme,
+		Tier:          eng.Tier(),
+		BuildMs:       float64(build.Nanoseconds()) / 1e6,
+		SnapshotBytes: size,
+		BytesPerNode:  float64(size) / float64(n),
+		Lookups:       lrep.Lookups,
+		QPS:           lrep.QPS,
+		SpotGraded:    lrep.SpotGraded,
+	}
+	if lrep.SpotGraded > 0 {
+		row.MaxStretchMilli = lrep.SpotMaxStretchMilli
+		row.MeanStretchMilli = lrep.SpotMeanStretchMilli
+	} else {
+		// Strictly validated rows answer with exact shortest paths.
+		row.MaxStretchMilli, row.MeanStretchMilli = 1000, 1000
+	}
+	return row, nil
 }
 
 func run(quick bool, artefact, sectionsCSV, out string) error {

@@ -96,6 +96,29 @@
 // non-zero unless zero answers were incorrect, availability stayed within
 // budget, and every member's tables were byte-identical at quiesce.
 // -cluster-csv writes the EXPERIMENTS.md E16 artefact row.
+//
+// Large-graph serving (the tables tier, DESIGN.md §15):
+//
+//	routetabd -scheme landmark -n 4096
+//
+// -tier auto selects the tables tier for table-capable schemes (landmark):
+// snapshots carry the scheme's own o(n²) tables instead of the all-pairs
+// matrix, distances are served as stretch-bounded estimates, and /healthz
+// and /metrics expose snapshot_bytes and scheme_space_per_node. -topo auto
+// switches graph generation from dense G(n,1/2) to a sparse connected
+// topology (-avgdeg) above n=512. Tables-tier daemons serve standalone:
+// replication digests fingerprint the matrix, so -join and -wal-dir are
+// full-tier only.
+//
+// Bigsmoke mode (also the `make bigsmoke` CI gate):
+//
+//	routetabd -bigsmoke -n 4096 -seed 1 -lookups 10000 -workers 4 -swaps 2
+//
+// builds an n=4096 tables-tier landmark snapshot over a sparse topology and
+// drives spot-graded load with connectivity-safe hot swaps — every sampled
+// answer checked against on-demand BFS ground truth — exiting non-zero on
+// any answer beyond stretch 3, an unreachable next hop, or a snapshot that
+// is not o(n²).
 package main
 
 import (
@@ -141,6 +164,9 @@ type config struct {
 	n       int
 	seed    int64
 	scheme  string
+	tier    string
+	topo    string
+	avgdeg  float64
 	file    string
 	addr    string
 	binAddr string
@@ -155,6 +181,7 @@ type config struct {
 	duration time.Duration
 	workers  int
 	swaps    int
+	bigsmoke bool
 	// chaos mode
 	chaos       bool
 	chaosStalls int
@@ -184,6 +211,9 @@ func parseFlags(args []string) (*config, error) {
 	fs.IntVar(&cfg.n, "n", 256, "graph size for the seeded G(n,1/2) topology")
 	fs.Int64Var(&cfg.seed, "seed", 1, "topology seed")
 	fs.StringVar(&cfg.scheme, "scheme", "fulltable", "scheme to serve: "+fmt.Sprint(serve.SchemeNames()))
+	fs.StringVar(&cfg.tier, "tier", "auto", "snapshot tier: auto|full|tables (auto picks tables for table-capable schemes like landmark)")
+	fs.StringVar(&cfg.topo, "topo", "auto", "seeded topology family: auto|gnhalf|sparse (auto picks sparse above 512 nodes)")
+	fs.Float64Var(&cfg.avgdeg, "avgdeg", 8, "sparse topology: target average degree")
 	fs.StringVar(&cfg.file, "graph", "", "edge-list file to load instead of generating")
 	fs.StringVar(&cfg.addr, "addr", ":7353", "listen address (serving mode)")
 	fs.StringVar(&cfg.binAddr, "bin-addr", "", "also serve the RTBIN1 binary batch protocol on this TCP address (empty = HTTP only)")
@@ -193,6 +223,7 @@ func parseFlags(args []string) (*config, error) {
 	fs.IntVar(&cfg.batch, "batch", 0, "max coalesced jobs per worker wake-up (0 = default)")
 	fs.StringVar(&cfg.persist, "persist", "", "snapshot persistence file: save every published snapshot, warm-boot from it on start")
 	fs.BoolVar(&cfg.loadgen, "loadgen", false, "run the closed-loop load generator instead of serving HTTP")
+	fs.BoolVar(&cfg.bigsmoke, "bigsmoke", false, "run the large-graph spot-graded smoke (tables-tier landmark over a sparse topology) instead of serving HTTP")
 	fs.BoolVar(&cfg.chaos, "chaos", false, "run the serve-layer chaos harness instead of serving HTTP")
 	fs.IntVar(&cfg.chaosStalls, "chaos-stalls", 2, "chaos: shard stall injections (-1 disables)")
 	fs.IntVar(&cfg.chaosDrops, "chaos-drops", 2, "chaos: batch drop windows (-1 disables)")
@@ -234,7 +265,47 @@ func loadGraph(cfg *config) (*graph.Graph, error) {
 		defer f.Close()
 		return graph.ReadEdgeList(f)
 	}
-	return gengraph.GnHalf(cfg.n, rand.New(rand.NewSource(cfg.seed)))
+	topo := cfg.topo
+	if topo == "auto" {
+		// A dense G(n,1/2) at thousands of nodes is millions of edges; large
+		// graphs get the sparse connected family the tables tier targets.
+		if cfg.n > 512 {
+			topo = "sparse"
+		} else {
+			topo = "gnhalf"
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.seed))
+	switch topo {
+	case "gnhalf":
+		return gengraph.GnHalf(cfg.n, rng)
+	case "sparse":
+		return gengraph.SparseConnected(cfg.n, cfg.avgdeg, rng)
+	default:
+		return nil, fmt.Errorf("unknown -topo %q (auto|gnhalf|sparse)", cfg.topo)
+	}
+}
+
+// resolveTier maps -tier onto a concrete snapshot tier for cfg.scheme:
+// "auto" serves table-capable schemes (landmark) from compact tables and
+// everything else from the full matrix.
+func resolveTier(cfg *config) (string, error) {
+	switch cfg.tier {
+	case "auto":
+		if serve.TableCapable(cfg.scheme) {
+			return serve.TierTables, nil
+		}
+		return serve.TierFull, nil
+	case "full":
+		return serve.TierFull, nil
+	case "tables":
+		if !serve.TableCapable(cfg.scheme) {
+			return "", fmt.Errorf("-tier tables: scheme %q has no table codec (table-capable: landmark)", cfg.scheme)
+		}
+		return serve.TierTables, nil
+	default:
+		return "", fmt.Errorf("unknown -tier %q (auto|full|tables)", cfg.tier)
+	}
 }
 
 func run(args []string, out *os.File) error {
@@ -253,6 +324,8 @@ func run(args []string, out *os.File) error {
 		return runCrashGate(cfg, out)
 	case cfg.clusterChaos:
 		return runClusterChaos(cfg, out)
+	case cfg.bigsmoke:
+		return runBigSmoke(cfg, out)
 	case cfg.join != "":
 		return runReplica(cfg, out)
 	}
@@ -271,9 +344,21 @@ func run(args []string, out *os.File) error {
 		MaxBatch: cfg.batch,
 	})
 	defer srv.Close()
+	registerServingGauges(srv)
 
 	if cfg.loadgen {
 		return runLoadgen(srv, cfg, out)
+	}
+	if eng.Tier() == serve.TierTables {
+		// Tables-tier serving is standalone: the repairer's degraded detours
+		// and the replication WAL both lean on the full distance matrix, which
+		// this tier deliberately does not materialise. /fail answers 503 and
+		// /cluster endpoints report no primary.
+		if cfg.walDir != "" {
+			return fmt.Errorf("-wal-dir: replication requires a full-tier snapshot (tables tier serves standalone)")
+		}
+		a := &api{srv: srv, walKeep: cfg.walKeep}
+		return serveHTTP(a, cfg, out)
 	}
 	rep := serve.NewRepairer(srv, serve.RepairOptions{})
 	defer rep.Close()
@@ -357,6 +442,7 @@ func runReplica(cfg *config, out *os.File) error {
 		}
 	}
 	rpl.Start()
+	registerServingGauges(rpl.Server())
 	fmt.Fprintf(out, "routetabd: joined %s (epoch=%d, wal_seq=%d)\n",
 		cfg.join, rpl.Epoch(), rpl.WalSeq())
 	a := &api{srv: rpl.Server(), rep: rpl.Repairer(), rpl: rpl, walKeep: cfg.walKeep}
@@ -445,11 +531,59 @@ func openEngine(cfg *config, out *os.File) (*serve.Engine, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	eng, err := serve.NewEngine(g, cfg.scheme)
+	tier, err := resolveTier(cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	var eng *serve.Engine
+	if tier == serve.TierTables {
+		eng, err = serve.NewTieredEngine(g, cfg.scheme)
+	} else {
+		eng, err = serve.NewEngine(g, cfg.scheme)
+	}
 	if err != nil {
 		return nil, false, err
 	}
 	return eng, false, nil
+}
+
+// registerServingGauges exposes snapshot-level space figures on /metrics:
+// snapshot_bytes is the current snapshot's full arena encoding size, and
+// scheme_space_per_node is the routing scheme's own storage in bytes per
+// node — the figure the tables tier exists to keep sub-linear in n.
+func registerServingGauges(srv *serve.Server) {
+	srv.Metrics().GaugeFunc("snapshot_bytes", func() int64 {
+		return int64(srv.Engine().Current().ArenaSize())
+	})
+	srv.Metrics().GaugeFunc("scheme_space_per_node", func() int64 {
+		snap := srv.Engine().Current()
+		return int64(snap.SpaceBits() / 8 / snap.N())
+	})
+}
+
+// runBigSmoke executes the large-graph serving gate in-process and renders a
+// pass/fail verdict, mirroring runChaos: a tables-tier landmark build over a
+// sparse seeded topology, a spot-graded closed loop with hot swaps, and an
+// o(n²) space check.
+func runBigSmoke(cfg *config, out *os.File) error {
+	rep, err := chaos.RunBig(chaos.BigConfig{
+		N:       cfg.n,
+		AvgDeg:  cfg.avgdeg,
+		Seed:    cfg.seed,
+		Lookups: cfg.lookups,
+		Workers: cfg.workers,
+		Swaps:   cfg.swaps,
+	})
+	if err != nil {
+		return err
+	}
+	blob, merr := json.MarshalIndent(rep, "", "  ")
+	if merr != nil {
+		return merr
+	}
+	fmt.Fprintln(out, string(blob))
+	fmt.Fprintf(out, "bigsmoke ok: %s\n", rep)
+	return nil
 }
 
 // runChaos executes the chaos harness in-process and renders a pass/fail
@@ -823,9 +957,11 @@ func (a *api) route(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	// DistEstimate is exact on the full tier and a stretch-bounded upper
+	// bound on the tables tier, where no all-pairs matrix exists.
 	writeJSON(w, http.StatusOK, map[string]any{
 		"src": src, "dst": dst, "path": tr.Path, "hops": tr.Hops,
-		"dist": snap.Dist.Dist(src, dst), "snapshot_seq": snap.Seq,
+		"dist": snap.DistEstimate(src, dst), "snapshot_seq": snap.Seq,
 	})
 }
 
@@ -857,15 +993,18 @@ func (a *api) healthz(w http.ResponseWriter, _ *http.Request) {
 	snap := eng.Current()
 	saves, failures, lastErr := eng.PersistStats()
 	body := map[string]any{
-		"ok":               true,
-		"scheme":           snap.SchemeName(),
-		"n":                snap.N(),
-		"snapshot_seq":     snap.Seq,
-		"snapshot_codec":   eng.Codec(),
-		"swaps":            eng.Swaps(),
-		"space_bits":       snap.SpaceBits(),
-		"persist_saves":    saves,
-		"persist_failures": failures,
+		"ok":                    true,
+		"scheme":                snap.SchemeName(),
+		"tier":                  snap.Tier,
+		"n":                     snap.N(),
+		"snapshot_seq":          snap.Seq,
+		"snapshot_codec":        eng.Codec(),
+		"swaps":                 eng.Swaps(),
+		"space_bits":            snap.SpaceBits(),
+		"snapshot_bytes":        snap.ArenaSize(),
+		"scheme_space_per_node": int64(snap.SpaceBits() / 8 / snap.N()),
+		"persist_saves":         saves,
+		"persist_failures":      failures,
 	}
 	if lastErr != nil {
 		body["persist_last_error"] = lastErr.Error()

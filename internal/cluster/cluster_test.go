@@ -42,6 +42,25 @@ func testPrimary(t *testing.T, n int, seed int64) *Primary {
 	return p
 }
 
+// TestPrimaryRejectsTablesTier: replication fingerprints the packed distance
+// matrix, so a tables-tier engine must be refused at wiring time, not fail
+// obscurely at the first digest.
+func TestPrimaryRejectsTablesTier(t *testing.T) {
+	g, err := gengraph.SparseConnected(64, 5, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := serve.NewTieredEngine(g, "landmark")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.NewServer(eng, serve.ServerOptions{})
+	defer srv.Close()
+	if _, err := NewPrimary(eng, srv, nil, 1); err == nil {
+		t.Fatal("tables-tier engine accepted as replication primary")
+	}
+}
+
 func buildTestState(t *testing.T) *State {
 	t.Helper()
 	p := testPrimary(t, 24, 7)

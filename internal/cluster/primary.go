@@ -71,6 +71,12 @@ func NewPrimaryAt(eng *serve.Engine, srv *serve.Server, rep *serve.Repairer, epo
 	if epoch == 0 {
 		return nil, fmt.Errorf("cluster: epoch must be ≥ 1")
 	}
+	// Replication is full-tier only: snapshot shipping and the anti-entropy
+	// digest both fingerprint the packed all-pairs matrix, which a tables-tier
+	// snapshot deliberately never materialises.
+	if eng.Current().Dist == nil {
+		return nil, fmt.Errorf("cluster: engine serves a %s-tier snapshot; replication requires the full distance matrix", eng.Tier())
+	}
 	if log == nil {
 		log = NewLog()
 	}

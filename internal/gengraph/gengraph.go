@@ -197,6 +197,40 @@ func RandomTree(n int, rng *rand.Rand) (*graph.Graph, error) {
 	return g, nil
 }
 
+// SparseConnected samples a connected sparse graph: a uniform random spanning
+// tree (so connectivity is guaranteed by construction) plus random extra
+// edges until the expected average degree reaches avgDeg. This is the
+// large-graph serving regime's topology family — n can reach 16384 without
+// the O(n²) edge loop of Gnp, and the diameter collapses to O(log n) once
+// avgDeg exceeds ~3, which keeps stretch-3 routes short.
+func SparseConnected(n int, avgDeg float64, rng *rand.Rand) (*graph.Graph, error) {
+	if avgDeg < 0 {
+		return nil, fmt.Errorf("%w: avgDeg = %v", ErrBadParam, avgDeg)
+	}
+	g, err := RandomTree(n, rng)
+	if err != nil {
+		return nil, err
+	}
+	if n < 3 {
+		return g, nil
+	}
+	want := int(avgDeg * float64(n) / 2)
+	// The tree contributes n−1 edges; top up with random distinct pairs.
+	// Duplicate draws are skipped, so the realised degree is slightly below
+	// avgDeg on dense requests — fine for a topology family.
+	for extra := want - (n - 1); extra > 0; extra-- {
+		u := rng.Intn(n) + 1
+		v := rng.Intn(n) + 1
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		if err := g.AddEdge(u, v); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
 // RandomPermutation returns a uniform permutation of {1,…,k} as a 1-based
 // slice of length k+1 with perm[0]=0.
 func RandomPermutation(k int, rng *rand.Rand) []int {

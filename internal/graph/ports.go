@@ -120,6 +120,16 @@ func (p *Ports) PortTo(u, v int) (int, error) {
 	return port, nil
 }
 
+// PortToOK is the allocation-free variant of PortTo for hot paths that probe
+// adjacency: a miss reports (0, false) instead of constructing an error.
+func (p *Ports) PortToOK(u, v int) (int, bool) {
+	if u < 1 || u > p.n {
+		return 0, false
+	}
+	port, ok := p.portOf[u][v]
+	return port, ok
+}
+
 // NeighborsByPort returns a copy of u's port table: entry i is the neighbour
 // behind port i+1.
 func (p *Ports) NeighborsByPort(u int) []int {

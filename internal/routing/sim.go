@@ -90,11 +90,10 @@ func (e env) PortOfNeighbor(id int) (int, bool) {
 	if !ok {
 		return 0, false
 	}
-	port, err := e.sim.ports.PortTo(e.node, node)
-	if err != nil {
-		return 0, false
-	}
-	return port, true
+	// PortToOK, not PortTo: this probe misses on every non-neighbour
+	// destination, and the serving hot path cannot afford a discarded
+	// error allocation per miss.
+	return e.sim.ports.PortToOK(e.node, node)
 }
 
 func (e env) KnownNeighborIDs() ([]int, bool) {

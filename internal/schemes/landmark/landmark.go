@@ -1,0 +1,378 @@
+// Package landmark implements a seeded, deterministic Thorup–Zwick-style
+// stretch-3 landmark routing scheme — the sublinear-space construction the
+// large-graph serving tier is built on (PAPERS.md: "Compact Routing on
+// Internet-Like Graphs", Krioukov/Fall/Yang; "Compact routing schemes",
+// Thorup–Zwick).
+//
+// Construction. A seeded sample A of k ≈ ⌈√n⌉ landmarks is drawn as a pure
+// function of (n, seed, k) — never of the edge set, so topology mutations
+// cannot perturb the sample. For every node v, ℓ(v) is its nearest landmark
+// (ties to the smallest landmark id), and home(v) = d(v, ℓ(v)). Every node u
+// stores:
+//
+//   - a landmark table: the first port on a shortest path from u toward every
+//     landmark, with the exact distance (2k entries);
+//   - a cluster table: for every destination v with d(u, v) < home(v) and
+//     d(u, v) ≥ 2, the first port on a shortest path u→v with the exact
+//     distance. (Distance-1 destinations are resolved by the model-II
+//     neighbour check and stored nowhere.)
+//
+// The label of v carries (v, ℓ(v), eport) where eport is the port at ℓ(v)
+// toward v. Routing u→v tries, in order: direct neighbour; cluster hit
+// (exact shortest path from there on); u == ℓ(v) → eport; otherwise forward
+// toward ℓ(v). Every case strictly decreases either d(·, v) or d(·, ℓ(v)),
+// so routes terminate, and the detour through ℓ(v) costs at most
+// d(u, ℓ(v)) + d(ℓ(v), v) ≤ 3·d(u, v) when v is outside u's cluster — the
+// classic stretch-3 argument.
+//
+// Space. E[Σ_v |C(v)|] ≈ n²/(k+1) for a random landmark sample, so total
+// space is O(n·k + n²/k) = O(n^{3/2}) at k = √n — o(n²), the whole point.
+// All stored distances are exact int32 BFS distances: the packed uint8
+// saturation sentinel of shortestpath.Distances never enters these tables
+// (landmark_test.go audits this on diameter ≫ 254 topologies).
+package landmark
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"routetab/internal/bitio"
+	"routetab/internal/graph"
+	"routetab/internal/models"
+	"routetab/internal/routing"
+	"routetab/internal/shortestpath"
+)
+
+// Errors.
+var (
+	// ErrDisconnected indicates the graph has unreachable pairs; landmark
+	// tables require every node to reach every landmark.
+	ErrDisconnected = errors.New("landmark: graph is disconnected")
+	// ErrTooLarge indicates n exceeds the codec's u16 field ceiling.
+	ErrTooLarge = errors.New("landmark: n exceeds 65535")
+	// ErrBadTables indicates an encoded table blob that failed validation.
+	ErrBadTables = errors.New("landmark: bad table encoding")
+)
+
+// Options parameterises a build.
+type Options struct {
+	// Seed derives the landmark sample (with n and K). Fixed per deployment:
+	// two engines with the same topology and options build identical tables.
+	Seed int64
+	// K is the landmark count; 0 means ⌈√n⌉.
+	K int
+}
+
+// DefaultOptions is what the serve registry builds with.
+func DefaultOptions() Options { return Options{Seed: 0x52544c4d} } // "RTLM"
+
+// Scheme is a built landmark scheme. All tables are flat int32 arrays so the
+// lookup path (route.go) runs allocation-free.
+type Scheme struct {
+	n int
+	k int
+
+	// landmarks holds the k landmark node ids, sorted ascending.
+	landmarks []int32
+	// homeIdx[v] is the index in landmarks of ℓ(v); homeDist[v] = d(v, ℓ(v)).
+	homeIdx  []int32
+	homeDist []int32
+	// eport[v] is the port at ℓ(v) on a shortest path toward v (0 when v is
+	// its own landmark).
+	eport []int32
+	// lmIdx[u] is u's index in landmarks, or −1 for non-landmarks.
+	lmIdx []int32
+
+	// Landmark table, row-major (u−1)*k + j: first port at u toward
+	// landmarks[j] (0 when u is that landmark) and the exact distance.
+	lmPort []int32
+	lmDist []int32
+
+	// Cluster tables in CSR form: node u's entries are
+	// clusterDst/Port/Dist[clusterStart[u-1]:clusterStart[u]], sorted by
+	// destination id. An entry (u, v) exists iff 2 ≤ d(u,v) < homeDist[v].
+	clusterStart []int32
+	clusterDst   []int32
+	clusterPort  []int32
+	clusterDist  []int32
+
+	// labels pre-builds every node's routing.Label (Aux backed by labelAux)
+	// so Label(u) is a plain struct copy on the zero-alloc hot path.
+	labels   []routing.Label
+	labelAux []int
+}
+
+var _ routing.Scheme = (*Scheme)(nil)
+
+// Build constructs the scheme. The result is a pure function of
+// (g, ports, opt): landmark sampling uses only (n, opt), BFS explores sorted
+// neighbour lists, and cluster entries are canonically ordered.
+func Build(g *graph.Graph, ports *graph.Ports, opt Options) (*Scheme, error) {
+	n := g.N()
+	if n < 1 {
+		return nil, fmt.Errorf("landmark: empty graph")
+	}
+	if n > 65535 {
+		return nil, fmt.Errorf("%w: n = %d", ErrTooLarge, n)
+	}
+	if err := ports.Validate(g); err != nil {
+		return nil, fmt.Errorf("landmark: %w", err)
+	}
+	k := opt.K
+	if k <= 0 {
+		k = int(math.Ceil(math.Sqrt(float64(n))))
+	}
+	if k > n {
+		k = n
+	}
+	s := &Scheme{
+		n:         n,
+		k:         k,
+		landmarks: sampleLandmarks(n, k, opt.Seed),
+		homeIdx:   make([]int32, n+1),
+		homeDist:  make([]int32, n+1),
+		eport:     make([]int32, n+1),
+		lmIdx:     make([]int32, n+1),
+		lmPort:    make([]int32, n*k),
+		lmDist:    make([]int32, n*k),
+	}
+	for v := range s.lmIdx {
+		s.lmIdx[v] = -1
+	}
+	for j, a := range s.landmarks {
+		s.lmIdx[a] = int32(j)
+	}
+
+	// Pass 1: one BFS per landmark fills the distance/port columns.
+	for j, a := range s.landmarks {
+		res, err := shortestpath.BFS(g, int(a))
+		if err != nil {
+			return nil, fmt.Errorf("landmark: %w", err)
+		}
+		for u := 1; u <= n; u++ {
+			d := res.Dist[u]
+			if d == shortestpath.Unreachable {
+				return nil, fmt.Errorf("%w: node %d cannot reach landmark %d", ErrDisconnected, u, a)
+			}
+			at := (u-1)*k + j
+			s.lmDist[at] = int32(d)
+			if u != int(a) {
+				// Parent[u] is u's neighbour one step closer to the landmark.
+				port, err := ports.PortTo(u, res.Parent[u])
+				if err != nil {
+					return nil, fmt.Errorf("landmark: %w", err)
+				}
+				s.lmPort[at] = int32(port)
+			}
+		}
+	}
+
+	// Nearest landmark per node; ties resolve to the smallest landmark id
+	// because landmarks are sorted and the scan keeps strict improvements.
+	for v := 1; v <= n; v++ {
+		best := int32(0)
+		for j := 1; j < k; j++ {
+			if s.lmDist[(v-1)*k+j] < s.lmDist[(v-1)*k+int(best)] {
+				best = int32(j)
+			}
+		}
+		s.homeIdx[v] = best
+		s.homeDist[v] = s.lmDist[(v-1)*k+int(best)]
+	}
+
+	// Pass 2: one more BFS per landmark recovers eport(v) — the first hop at
+	// ℓ(v) toward v — for the nodes homed there, by walking the BFS parent
+	// chain from v up to the landmark's child.
+	for j, a := range s.landmarks {
+		res, err := shortestpath.BFS(g, int(a))
+		if err != nil {
+			return nil, fmt.Errorf("landmark: %w", err)
+		}
+		for v := 1; v <= n; v++ {
+			if s.homeIdx[v] != int32(j) || v == int(a) {
+				continue
+			}
+			x := v
+			for res.Parent[x] != int(a) {
+				x = res.Parent[x]
+			}
+			port, err := ports.PortTo(int(a), x)
+			if err != nil {
+				return nil, fmt.Errorf("landmark: %w", err)
+			}
+			s.eport[v] = int32(port)
+		}
+	}
+
+	if err := s.buildClusters(g, ports); err != nil {
+		return nil, err
+	}
+	s.buildLabels()
+	return s, nil
+}
+
+// sampleLandmarks draws k distinct node ids by seeded shuffle — a pure
+// function of (n, k, seed), independent of the edge set — and sorts them.
+func sampleLandmarks(n, k int, seed int64) []int32 {
+	rng := rand.New(rand.NewSource(seed ^ int64(n)*0x9E3779B9))
+	ids := make([]int32, n)
+	for i := range ids {
+		ids[i] = int32(i + 1)
+	}
+	rng.Shuffle(n, func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	lm := ids[:k:k]
+	sort.Slice(lm, func(i, j int) bool { return lm[i] < lm[j] })
+	return lm
+}
+
+// clusterEntry is one (holder, destination) pair during construction.
+type clusterEntry struct{ w, v, port, dist int32 }
+
+// buildClusters runs a truncated BFS from every destination v to depth
+// home(v)−1: each discovered node w with 2 ≤ d(v,w) < home(v) stores an
+// entry for v whose port is w's BFS parent edge (a first hop on a shortest
+// w→v path). Entries are then sorted into per-node CSR rows.
+func (s *Scheme) buildClusters(g *graph.Graph, ports *graph.Ports) error {
+	n := s.n
+	dist := make([]int32, n+1)
+	parent := make([]int32, n+1)
+	queue := make([]int32, 0, n)
+	touched := make([]int32, 0, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	var entries []clusterEntry
+	for v := 1; v <= n; v++ {
+		limit := s.homeDist[v] - 1
+		if limit < 2 {
+			continue // cluster holds only the neighbours, which store nothing
+		}
+		queue = queue[:0]
+		touched = touched[:0]
+		dist[v] = 0
+		queue = append(queue, int32(v))
+		touched = append(touched, int32(v))
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			du := dist[u]
+			if du == limit {
+				continue
+			}
+			for _, w := range g.Neighbors(int(u)) {
+				if dist[w] >= 0 {
+					continue
+				}
+				dist[w] = du + 1
+				parent[w] = u
+				queue = append(queue, int32(w))
+				touched = append(touched, int32(w))
+				if dist[w] >= 2 {
+					port, err := ports.PortTo(w, int(parent[w]))
+					if err != nil {
+						return fmt.Errorf("landmark: %w", err)
+					}
+					entries = append(entries, clusterEntry{
+						w: int32(w), v: int32(v), port: int32(port), dist: dist[w],
+					})
+				}
+			}
+		}
+		for _, t := range touched {
+			dist[t] = -1
+		}
+	}
+	// Canonical order: by holder, then destination. Keys are unique, so the
+	// result is deterministic regardless of discovery order.
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].w != entries[j].w {
+			return entries[i].w < entries[j].w
+		}
+		return entries[i].v < entries[j].v
+	})
+	s.clusterStart = make([]int32, n+1)
+	s.clusterDst = make([]int32, len(entries))
+	s.clusterPort = make([]int32, len(entries))
+	s.clusterDist = make([]int32, len(entries))
+	for i, e := range entries {
+		s.clusterStart[e.w]++
+		s.clusterDst[i] = e.v
+		s.clusterPort[i] = e.port
+		s.clusterDist[i] = e.dist
+	}
+	for u := 1; u <= n; u++ {
+		s.clusterStart[u] += s.clusterStart[u-1]
+	}
+	return nil
+}
+
+// buildLabels pre-builds every node's label: ID v with Aux [ℓ(v), eport(v)].
+func (s *Scheme) buildLabels() {
+	s.labelAux = make([]int, 2*(s.n+1))
+	s.labels = make([]routing.Label, s.n+1)
+	for v := 1; v <= s.n; v++ {
+		aux := s.labelAux[2*v : 2*v+2 : 2*v+2]
+		aux[0] = int(s.landmarks[s.homeIdx[v]])
+		aux[1] = int(s.eport[v])
+		s.labels[v] = routing.Label{ID: v, Aux: aux}
+	}
+}
+
+// Name implements routing.Scheme.
+func (s *Scheme) Name() string { return "landmark-stretch3" }
+
+// N implements routing.Scheme.
+func (s *Scheme) N() int { return s.n }
+
+// K returns the landmark count.
+func (s *Scheme) K() int { return s.k }
+
+// Landmarks returns the sorted landmark ids (a copy).
+func (s *Scheme) Landmarks() []int {
+	out := make([]int, s.k)
+	for i, a := range s.landmarks {
+		out[i] = int(a)
+	}
+	return out
+}
+
+// Home returns v's landmark and exact distance to it.
+func (s *Scheme) Home(v int) (landmark, dist int) {
+	return int(s.landmarks[s.homeIdx[v]]), int(s.homeDist[v])
+}
+
+// ClusterSize returns the number of cluster entries node u stores.
+func (s *Scheme) ClusterSize(u int) int {
+	return int(s.clusterStart[u] - s.clusterStart[u-1])
+}
+
+// TotalClusterEntries returns Σ_u ClusterSize(u) — the o(n²) quantity.
+func (s *Scheme) TotalClusterEntries() int { return len(s.clusterDst) }
+
+// Requirements implements routing.Scheme: model II (the neighbour check).
+func (s *Scheme) Requirements() models.Requirements {
+	return models.Requirements{NeighborsKnown: true}
+}
+
+// Label implements routing.Scheme: pre-built, allocation-free.
+func (s *Scheme) Label(u int) routing.Label { return s.labels[u] }
+
+// LabelBits implements routing.Scheme: (1+2) fields of ⌈log(n+1)⌉ bits.
+func (s *Scheme) LabelBits(u int) int {
+	if u < 1 || u > s.n {
+		return 0
+	}
+	return s.labels[u].Bits(s.n)
+}
+
+// FunctionBits implements routing.Scheme: 2k landmark-table fields plus three
+// fields per cluster entry, each ⌈log(n+1)⌉ bits.
+func (s *Scheme) FunctionBits(u int) int {
+	if u < 1 || u > s.n {
+		return 0
+	}
+	f := bitio.CeilLogPlus1(s.n)
+	return (2*s.k + 3*s.ClusterSize(u)) * f
+}

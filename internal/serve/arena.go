@@ -55,8 +55,16 @@ const (
 // magic, for loud incompatibility) on any layout change.
 var arenaMagic = [8]byte{'R', 'T', 'A', 'R', 'E', 'N', 'A', '1'}
 
+// arena2Magic identifies layout version 2 — the tiered layout: identical
+// header geometry, but the fourth section (the v1 DIST slot) carries the
+// compact scheme's table blob (TBLS) instead of the n² packed matrix, with a
+// free length. Full-matrix snapshots keep encoding as v1 byte-identically;
+// sniffing dispatches on load.
+var arena2Magic = [8]byte{'R', 'T', 'A', 'R', 'E', 'N', 'A', '2'}
+
 const (
 	arenaVersion   = 1
+	arenaVersion2  = 2
 	arenaHeaderLen = 96
 	// maxArenaLen mirrors maxSectionLen: a corrupt length claim may not ask
 	// the loader to allocate gigabytes.
@@ -81,29 +89,47 @@ const (
 
 func align8(x int) int { return (x + 7) &^ 7 }
 
+// arenaLayoutLen returns the total arena size for the given shape, where
+// distLen is the fourth section's byte length (n² packed distances on v1,
+// the table blob on v2). Shared by the encoder and Snapshot.ArenaSize so the
+// gauge never drifts from the bytes actually written.
+func arenaLayoutLen(n, words, m, distLen, schmLen int) int {
+	adjOff := arenaHeaderLen
+	pidxOff := align8(adjOff + n*words*8)
+	pdatOff := align8(pidxOff + (n+1)*4)
+	distOff := align8(pdatOff + 2*m*4)
+	schmOff := align8(distOff + distLen)
+	return align8(schmOff + schmLen)
+}
+
 // Arena is a validated read-only view over one RTARENA1 buffer. All accessors
 // alias the underlying buffer; nothing is materialised until SnapshotData is
 // asked for, and even then the distance matrix stays aliased.
 type Arena struct {
-	buf    []byte
-	seq    uint64
-	n      int
-	m      int
-	words  int
-	scheme string
-	adj    []byte // n*words*8 bytes
-	pidx   []byte // (n+1)*4 bytes
-	pdat   []byte // 2m*4 bytes
-	dist   []byte // n*n bytes
+	buf     []byte
+	version int
+	seq     uint64
+	n       int
+	m       int
+	words   int
+	scheme  string
+	adj     []byte // n*words*8 bytes
+	pidx    []byte // (n+1)*4 bytes
+	pdat    []byte // 2m*4 bytes
+	dist    []byte // n*n bytes (v1 only)
+	tbls    []byte // scheme table blob (v2 only)
 }
 
-// EncodeArena lays s out as one RTARENA1 buffer. The single allocation is the
-// final buffer itself, sized exactly.
+// EncodeArena lays s out as one arena buffer — RTARENA1 when s carries the
+// all-pairs matrix (byte-identical to the pre-tiered encoder), RTARENA2 when
+// it carries compact-scheme tables instead (s.Dist == nil). The single
+// allocation is the final buffer itself, sized exactly.
 func EncodeArena(s *SnapshotData) []byte {
 	n := s.Graph.N()
 	words := s.Graph.Words()
 	m := s.Graph.M()
 
+	magic, version := arenaMagic, uint32(arenaVersion)
 	adjOff := arenaHeaderLen
 	adjLen := n * words * 8
 	pidxOff := align8(adjOff + adjLen)
@@ -112,15 +138,19 @@ func EncodeArena(s *SnapshotData) []byte {
 	pdatLen := 2 * m * 4
 	distOff := align8(pdatOff + pdatLen)
 	distLen := n * n
+	if s.Dist == nil {
+		magic, version = arena2Magic, arenaVersion2
+		distLen = len(s.Tables)
+	}
 	schmOff := align8(distOff + distLen)
 	schmLen := len(s.Scheme)
 	total := align8(schmOff + schmLen)
 
 	buf := make([]byte, total)
-	copy(buf, arenaMagic[:])
+	copy(buf, magic[:])
 	le := binary.LittleEndian
 	le.PutUint64(buf[ahTotal:], uint64(total))
-	le.PutUint32(buf[ahVersion:], arenaVersion)
+	le.PutUint32(buf[ahVersion:], version)
 	le.PutUint64(buf[ahSeq:], s.Seq)
 	le.PutUint32(buf[ahN:], uint32(n))
 	le.PutUint32(buf[ahM:], uint32(m))
@@ -152,7 +182,11 @@ func EncodeArena(s *SnapshotData) []byte {
 			pd += 4
 		}
 	}
-	copy(buf[distOff:distOff+distLen], s.Dist.Packed())
+	if s.Dist != nil {
+		copy(buf[distOff:distOff+distLen], s.Dist.Packed())
+	} else {
+		copy(buf[distOff:distOff+distLen], s.Tables)
+	}
 	copy(buf[schmOff:], s.Scheme)
 
 	le.PutUint32(buf[ahCRC:], crc32.Checksum(buf[ahSeq:], crcTable))
@@ -176,15 +210,21 @@ func OpenArena(buf []byte) (*Arena, error) {
 		return nil, fmt.Errorf("%w: arena of %d bytes", ErrBadSnapshotFile, len(buf))
 	}
 	le := binary.LittleEndian
-	if [8]byte(buf[:8]) != arenaMagic {
+	wantVersion := uint32(0)
+	switch [8]byte(buf[:8]) {
+	case arenaMagic:
+		wantVersion = arenaVersion
+	case arena2Magic:
+		wantVersion = arenaVersion2
+	default:
 		return nil, fmt.Errorf("%w: arena magic %q", ErrBadSnapshotFile, buf[:8])
 	}
 	total := le.Uint64(buf[ahTotal:])
 	if total != uint64(len(buf)) {
 		return nil, fmt.Errorf("%w: arena claims %d bytes, have %d", ErrBadSnapshotFile, total, len(buf))
 	}
-	if v := le.Uint32(buf[ahVersion:]); v != arenaVersion {
-		return nil, fmt.Errorf("%w: arena layout version %d, want %d", ErrBadSnapshotFile, v, arenaVersion)
+	if v := le.Uint32(buf[ahVersion:]); v != wantVersion {
+		return nil, fmt.Errorf("%w: arena layout version %d, magic wants %d", ErrBadSnapshotFile, v, wantVersion)
 	}
 	if got, want := crc32.Checksum(buf[ahSeq:], crcTable), le.Uint32(buf[ahCRC:]); got != want {
 		return nil, fmt.Errorf("%w: arena checksum %08x, want %08x", ErrBadSnapshotFile, got, want)
@@ -212,7 +252,7 @@ func OpenArena(buf []byte) (*Arena, error) {
 		}
 		return buf[off : off+length], nil
 	}
-	a := &Arena{buf: buf, seq: le.Uint64(buf[ahSeq:]), n: n, m: m, words: words}
+	a := &Arena{buf: buf, version: int(wantVersion), seq: le.Uint64(buf[ahSeq:]), n: n, m: m, words: words}
 	var err error
 	if a.adj, err = section(ahAdj, n*words*8, "ADJ"); err != nil {
 		return nil, err
@@ -223,7 +263,13 @@ func OpenArena(buf []byte) (*Arena, error) {
 	if a.pdat, err = section(ahPdat, 2*m*4, "PDAT"); err != nil {
 		return nil, err
 	}
-	if a.dist, err = section(ahDist, n*n, "DIST"); err != nil {
+	if a.version == arenaVersion2 {
+		// v2 reuses the DIST header slot for the scheme table blob, whose
+		// length only the scheme codec knows — validated on decode.
+		if a.tbls, err = section(ahDist, -1, "TBLS"); err != nil {
+			return nil, err
+		}
+	} else if a.dist, err = section(ahDist, n*n, "DIST"); err != nil {
 		return nil, err
 	}
 	var schm []byte
@@ -233,6 +279,9 @@ func OpenArena(buf []byte) (*Arena, error) {
 	a.scheme = string(schm)
 	if !KnownScheme(a.scheme) {
 		return nil, fmt.Errorf("%w: unknown scheme %q", ErrBadSnapshotFile, a.scheme)
+	}
+	if a.version == arenaVersion2 && !TableCapable(a.scheme) {
+		return nil, fmt.Errorf("%w: scheme %q cannot serve the tables tier", ErrBadSnapshotFile, a.scheme)
 	}
 	if le.Uint32(a.pidx) != 0 {
 		return nil, fmt.Errorf("%w: PIDX[0] = %d", ErrBadSnapshotFile, le.Uint32(a.pidx))
@@ -267,9 +316,17 @@ func (a *Arena) Len() int { return len(a.buf) }
 // transfer path writes with one call.
 func (a *Arena) Bytes() []byte { return a.buf }
 
+// Version returns the arena layout version (1 = full matrix, 2 = tiered).
+func (a *Arena) Version() int { return a.version }
+
 // PackedDist returns the n² packed distance bytes, aliasing the arena — the
-// zero-copy payload, byte-identical to the legacy DIST section.
+// zero-copy payload, byte-identical to the legacy DIST section. Nil on v2
+// arenas, which carry Tables instead.
 func (a *Arena) PackedDist() []byte { return a.dist }
+
+// Tables returns the scheme table blob of a v2 arena (nil on v1), aliasing
+// the arena buffer.
+func (a *Arena) Tables() []byte { return a.tbls }
 
 // DistCRC returns CRC-32C over the packed distance bytes: the same
 // convergence fingerprint cluster.DistCRC computes from a live snapshot.
@@ -319,6 +376,11 @@ func (a *Arena) SnapshotData() (*SnapshotData, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadSnapshotFile, err)
 	}
+	if a.version == arenaVersion2 {
+		// Tiered arena: no matrix to adopt; the table blob stays aliased to
+		// the arena buffer and is validated by the scheme codec on decode.
+		return &SnapshotData{Seq: a.seq, Scheme: a.scheme, Graph: g, Ports: ports, Tables: a.tbls}, nil
+	}
 	dm, err := shortestpath.FromPacked(a.n, a.dist)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadSnapshotFile, err)
@@ -327,9 +389,10 @@ func (a *Arena) SnapshotData() (*SnapshotData, error) {
 }
 
 // readArena reads the remainder of one arena from r after the 8-byte magic
-// has already been consumed — the stream-decode path (cluster state bodies).
-// The whole arena lands in one allocation and one ReadFull.
-func readArena(r io.Reader) (*Arena, error) {
+// (passed in, since both layouts stream through here) has already been
+// consumed — the stream-decode path (cluster state bodies). The whole arena
+// lands in one allocation and one ReadFull.
+func readArena(r io.Reader, magic [8]byte) (*Arena, error) {
 	var rest [8]byte
 	if _, err := io.ReadFull(r, rest[:]); err != nil {
 		return nil, fmt.Errorf("%w: arena length: %v", ErrBadSnapshotFile, err)
@@ -339,7 +402,7 @@ func readArena(r io.Reader) (*Arena, error) {
 		return nil, fmt.Errorf("%w: arena claims %d bytes", ErrBadSnapshotFile, total)
 	}
 	buf := make([]byte, total)
-	copy(buf, arenaMagic[:])
+	copy(buf, magic[:])
 	copy(buf[8:], rest[:])
 	if _, err := io.ReadFull(r, buf[16:]); err != nil {
 		return nil, fmt.Errorf("%w: arena body: %v", ErrBadSnapshotFile, err)

@@ -185,11 +185,11 @@ func TestReadArenaRejectsOversize(t *testing.T) {
 	hdr := make([]byte, 16)
 	copy(hdr, arenaMagic[:])
 	binary.LittleEndian.PutUint64(hdr[8:], uint64(maxArenaLen)+1)
-	if _, err := readArena(bytes.NewReader(hdr[8:])); err == nil {
+	if _, err := readArena(bytes.NewReader(hdr[8:]), arenaMagic); err == nil {
 		t.Fatal("oversize total accepted")
 	}
 	binary.LittleEndian.PutUint64(hdr[8:], uint64(arenaHeaderLen)-1)
-	if _, err := readArena(bytes.NewReader(hdr[8:])); err == nil {
+	if _, err := readArena(bytes.NewReader(hdr[8:]), arenaMagic); err == nil {
 		t.Fatal("undersize total accepted")
 	}
 }

@@ -1,0 +1,25 @@
+package chaos
+
+import "testing"
+
+// TestRunBigSmallScale: the full large-graph harness — sparse topology,
+// tables-tier landmark build, spot-graded closed loop with hot swaps — at a
+// size small enough for the race detector.
+func TestRunBigSmallScale(t *testing.T) {
+	rep, err := RunBig(BigConfig{N: 256, Seed: 17, Lookups: 3_000, Workers: 2, Swaps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Landmarks < 2 {
+		t.Fatalf("landmarks = %d", rep.Landmarks)
+	}
+	if rep.Load.SpotGraded == 0 || rep.Load.SpotViolations != 0 {
+		t.Fatalf("spot grading: graded=%d violations=%d", rep.Load.SpotGraded, rep.Load.SpotViolations)
+	}
+	if rep.Load.SpotMaxStretchMilli > 3000 {
+		t.Fatalf("max stretch %d over bound", rep.Load.SpotMaxStretchMilli)
+	}
+	if uint64(rep.SnapshotBytes) >= uint64(rep.N)*uint64(rep.N) {
+		t.Fatalf("snapshot %d bytes is not sub-n² at n=%d", rep.SnapshotBytes, rep.N)
+	}
+}

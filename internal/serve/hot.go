@@ -233,6 +233,24 @@ func (s *Server) runJob(snap *Snapshot, j *job) int {
 	return n
 }
 
+// DistEstimate returns d(src, dst) on TierFull snapshots and a
+// stretch-bounded upper bound on TierTables snapshots (exact at distances 0
+// and 1 via the adjacency bitset, ≤ 3·d beyond that — the landmark detour
+// bound). It is the one distance read the answer path performs, and it
+// allocates nothing on either tier.
+func (s *Snapshot) DistEstimate(src, dst int) int {
+	if s.Dist != nil {
+		return s.Dist.Dist(src, dst)
+	}
+	if src == dst {
+		return 0
+	}
+	if s.Graph.HasEdge(src, dst) {
+		return 1
+	}
+	return s.est.EstimateDist(src, dst)
+}
+
 // answer resolves one lookup against one snapshot, consulting the failure
 // overlay: a next hop across a down link or into a down node is replaced by
 // a live detour (degraded mode) until the repairer's rebuild lands.
@@ -252,11 +270,13 @@ func (s *Server) answer(snap *Snapshot, src, dst int) Result {
 	}
 	res := Result{
 		Next:     next,
-		Dist:     snap.Dist.Dist(src, dst),
-		NextDist: snap.Dist.Dist(next, dst),
+		Dist:     snap.DistEstimate(src, dst),
+		NextDist: snap.DistEstimate(next, dst),
 		Seq:      snap.Seq,
 	}
-	if k := s.opts.StretchSampleEvery; k > 0 && s.sampleCt.Add(1)%uint64(k) == 0 {
+	// Stretch sampling needs exact ground truth; on TierTables snapshots the
+	// spot grader (internal/serve/spotgrade) owns verification instead.
+	if k := s.opts.StretchSampleEvery; k > 0 && snap.Dist != nil && s.sampleCt.Add(1)%uint64(k) == 0 {
 		s.sampleStretch(snap, src, dst, res.Dist)
 	}
 	return res
@@ -279,7 +299,7 @@ func (s *Server) detour(snap *Snapshot, ov *overlay, src, dst int) Result {
 			bestW, bestD = w, 0
 			break
 		}
-		d := snap.Dist.Dist(w, dst)
+		d := snap.DistEstimate(w, dst)
 		if d == shortestpath.Unreachable {
 			continue
 		}
@@ -287,7 +307,7 @@ func (s *Server) detour(snap *Snapshot, ov *overlay, src, dst int) Result {
 			bestW, bestD = w, d
 		}
 	}
-	dist := snap.Dist.Dist(src, dst)
+	dist := snap.DistEstimate(src, dst)
 	if bestD < 0 || (dist >= 0 && 1+bestD > dist+2) {
 		s.unavailable.Inc()
 		return Result{Seq: snap.Seq, Err: fmt.Errorf("%w: no detour within budget at %d→%d", ErrUnavailable, src, dst)}

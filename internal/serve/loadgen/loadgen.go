@@ -22,6 +22,7 @@ import (
 	"routetab/internal/graph"
 	"routetab/internal/serve"
 	"routetab/internal/serve/metrics"
+	"routetab/internal/serve/spotgrade"
 )
 
 // Validation selects how each answer is judged.
@@ -43,6 +44,12 @@ const (
 	ValidateProgress
 	// ValidateOff disables validation (pure throughput runs).
 	ValidateOff
+	// ValidateSpot verifies answers through a spotgrade.Grader: a seeded hash
+	// sample of answers is checked against on-demand BFS ground truth
+	// (reachability, neighbourship, stretch ≤ 3). The only sound mode for
+	// tables-tier snapshots, whose Result distances are estimates; ValidateAuto
+	// selects it automatically when the engine serves TierTables.
+	ValidateSpot
 )
 
 // Config parameterises one load run.
@@ -66,10 +73,13 @@ type Config struct {
 	// validation stays sound because every Result is judged against the
 	// snapshot that served it.
 	HotSwaps int
-	// SwapFn overrides how a hot swap is performed (RunTarget only; Run
-	// always toggles edge (1,2) on its server's engine). Swapping stops at
-	// the first error.
+	// SwapFn overrides how a hot swap is performed. RunTarget requires it for
+	// swaps; Run falls back to toggling edge (1,2) on its server's engine
+	// when unset. Swapping stops at the first error.
 	SwapFn func() error
+	// Spot supplies the grader for ValidateSpot. Run auto-constructs one over
+	// its server's engine when nil; RunTarget (no engine access) requires it.
+	Spot *spotgrade.Grader
 }
 
 func (c *Config) setDefaults() {
@@ -101,6 +111,11 @@ type Report struct {
 	P50ns          int64         `json:"p50_ns"`
 	P99ns          int64         `json:"p99_ns"`
 	MeanBatchPairs float64       `json:"mean_batch_pairs"`
+	// Spot-grading figures (ValidateSpot runs only).
+	SpotGraded           uint64 `json:"spot_graded,omitempty"`
+	SpotViolations       uint64 `json:"spot_violations,omitempty"`
+	SpotMaxStretchMilli  int64  `json:"spot_max_stretch_milli,omitempty"`
+	SpotMeanStretchMilli int64  `json:"spot_mean_stretch_milli,omitempty"`
 }
 
 // String renders the headline figures.
@@ -146,7 +161,7 @@ type coreStats struct {
 // runCore is the closed loop itself: seeded workers issuing batches
 // back-to-back against lookup, an optional progress-paced swapper, and
 // client-side round-trip timing.
-func runCore(lookup func([][2]int, []serve.Result) error, n int, mode Validation, swap func() error, cfg Config) *coreStats {
+func runCore(lookup func([][2]int, []serve.Result) error, n int, mode Validation, swap func() error, spot *spotgrade.Grader, cfg Config) *coreStats {
 	var (
 		issued    atomic.Uint64 // lookups claimed by workers
 		answered  atomic.Uint64
@@ -244,6 +259,9 @@ func runCore(lookup func([][2]int, []serve.Result) error, n int, mode Validation
 				answered.Add(uint64(len(out)))
 				for i := range out {
 					grade(&out[i], mode, &correct, &incorrect, &rejected, &errored)
+					if spot != nil {
+						spot.Observe(pairs[i][0], pairs[i][1], &out[i])
+					}
 				}
 			}
 		}()
@@ -290,19 +308,32 @@ func Run(s *serve.Server, cfg Config) (*Report, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("loadgen: need at least 2 nodes, have %d", n)
 	}
+	mode := resolveMode(cfg, snap.SchemeName())
+	if cfg.Validate == ValidateAuto && snap.Tier == serve.TierTables {
+		// Tables-tier Result distances are estimates; only spot grading
+		// against on-demand BFS ground truth is sound.
+		mode = ValidateSpot
+	}
+	spot := cfg.Spot
+	if mode == ValidateSpot && spot == nil {
+		spot = spotgrade.New(s.Engine(), spotgrade.Config{Seed: cfg.Seed})
+	}
 	// Hot swaps toggle edge (1,2), each a full off-path rebuild + atomic
 	// publish, exercising reads-during-swap; validation stays sound because
 	// every Result is judged against the snapshot that served it.
-	swap := func() error {
-		_, err := s.Engine().Mutate(func(g *graph.Graph) error {
-			if g.HasEdge(1, 2) {
-				return g.RemoveEdge(1, 2)
-			}
-			return g.AddEdge(1, 2)
-		})
-		return err
+	swap := cfg.SwapFn
+	if swap == nil {
+		swap = func() error {
+			_, err := s.Engine().Mutate(func(g *graph.Graph) error {
+				if g.HasEdge(1, 2) {
+					return g.RemoveEdge(1, 2)
+				}
+				return g.AddEdge(1, 2)
+			})
+			return err
+		}
 	}
-	st := runCore(s.LookupBatch, n, resolveMode(cfg, snap.SchemeName()), swap, cfg)
+	st := runCore(s.LookupBatch, n, mode, swap, spot, cfg)
 
 	lat := s.Metrics().Histogram("serve_latency_ns", nil)
 	batch := s.Metrics().Histogram("serve_batch_pairs", nil)
@@ -322,6 +353,7 @@ func Run(s *serve.Server, cfg Config) (*Report, error) {
 		P99ns:          lat.Quantile(0.99),
 		MeanBatchPairs: batch.Mean(),
 	}
+	fillSpot(rep, spot)
 	return finish(rep, st.elapsed)
 }
 
@@ -335,7 +367,14 @@ func RunTarget(tgt Target, meta TargetMeta, cfg Config) (*Report, error) {
 	if meta.N < 2 {
 		return nil, fmt.Errorf("loadgen: need at least 2 nodes, have %d", meta.N)
 	}
-	st := runCore(tgt.LookupBatch, meta.N, resolveMode(cfg, meta.Scheme), cfg.SwapFn, cfg)
+	mode := resolveMode(cfg, meta.Scheme)
+	if cfg.Validate == ValidateSpot || cfg.Spot != nil {
+		if cfg.Spot == nil {
+			return nil, fmt.Errorf("loadgen: ValidateSpot over a remote target requires cfg.Spot (no engine to grade against)")
+		}
+		mode = ValidateSpot
+	}
+	st := runCore(tgt.LookupBatch, meta.N, mode, cfg.SwapFn, cfg.Spot, cfg)
 	rep := &Report{
 		Scheme:    meta.Scheme,
 		N:         meta.N,
@@ -354,7 +393,18 @@ func RunTarget(tgt Target, meta TargetMeta, cfg Config) (*Report, error) {
 	if st.batches > 0 {
 		rep.MeanBatchPairs = float64(st.answered) / float64(st.batches)
 	}
+	fillSpot(rep, cfg.Spot)
 	return finish(rep, st.elapsed)
+}
+
+func fillSpot(rep *Report, spot *spotgrade.Grader) {
+	if spot == nil {
+		return
+	}
+	rep.SpotGraded = spot.Graded()
+	rep.SpotViolations = spot.Violations()
+	rep.SpotMaxStretchMilli = spot.MaxStretchMilli()
+	rep.SpotMeanStretchMilli = spot.MeanStretchMilli()
 }
 
 func finish(rep *Report, elapsed time.Duration) (*Report, error) {
@@ -363,6 +413,9 @@ func finish(rep *Report, elapsed time.Duration) (*Report, error) {
 	}
 	if rep.Incorrect > 0 {
 		return rep, fmt.Errorf("%w: %d of %d", ErrIncorrect, rep.Incorrect, rep.Lookups)
+	}
+	if rep.SpotViolations > 0 {
+		return rep, fmt.Errorf("%w: %d spot-graded violation(s) in %d graded", ErrIncorrect, rep.SpotViolations, rep.SpotGraded)
 	}
 	return rep, nil
 }

@@ -66,7 +66,11 @@ type SnapshotData struct {
 	Scheme string
 	Graph  *graph.Graph
 	Ports  *graph.Ports
-	Dist   *shortestpath.Distances
+	// Dist is the all-pairs matrix (TierFull). Nil on tiered snapshots, which
+	// carry Tables instead — exactly one of the two is set.
+	Dist *shortestpath.Distances
+	// Tables is the compact scheme's deterministic table encoding (TierTables).
+	Tables []byte
 }
 
 // WriteFrame writes one CRC-framed payload: tag, little-endian length,
@@ -124,7 +128,7 @@ func readSection(r io.Reader, tag [4]byte) ([]byte, error) {
 // function of (Seq, Scheme, graph, ports, distances).
 func EncodeSnapshot(w io.Writer, s *Snapshot) error {
 	return EncodeSnapshotData(w, &SnapshotData{
-		Seq: s.Seq, Scheme: s.Scheme, Graph: s.Graph, Ports: s.Ports, Dist: s.Dist,
+		Seq: s.Seq, Scheme: s.Scheme, Graph: s.Graph, Ports: s.Ports, Dist: s.Dist, Tables: s.tables,
 	})
 }
 
@@ -132,6 +136,11 @@ func EncodeSnapshot(w io.Writer, s *Snapshot) error {
 // the replication layer ships fetched cluster state through it without first
 // rebuilding a serving snapshot.
 func EncodeSnapshotData(w io.Writer, s *SnapshotData) error {
+	if s.Dist == nil {
+		// The framed legacy layout predates tiering and has no TBLS section;
+		// tiered snapshots persist through the arena codec only.
+		return fmt.Errorf("serve: legacy codec cannot encode a tables-tier snapshot (use EncodeArena)")
+	}
 	if _, err := w.Write(snapMagic[:]); err != nil {
 		return err
 	}
@@ -188,8 +197,8 @@ func DecodeSnapshotCodec(r io.Reader) (*SnapshotData, string, error) {
 		return nil, "", fmt.Errorf("%w: magic: %v", ErrBadSnapshotFile, err)
 	}
 	switch magic {
-	case arenaMagic:
-		a, err := readArena(r)
+	case arenaMagic, arena2Magic:
+		a, err := readArena(r, magic)
 		if err != nil {
 			return nil, "", err
 		}
@@ -344,7 +353,7 @@ func SaveSnapshot(path string, s *Snapshot) error {
 		}
 	}()
 	buf := EncodeArena(&SnapshotData{
-		Seq: s.Seq, Scheme: s.Scheme, Graph: s.Graph, Ports: s.Ports, Dist: s.Dist,
+		Seq: s.Seq, Scheme: s.Scheme, Graph: s.Graph, Ports: s.Ports, Dist: s.Dist, Tables: s.tables,
 	})
 	if _, err := tmp.Write(buf); err != nil {
 		return err
@@ -379,7 +388,7 @@ func LoadSnapshotCodec(path string) (*SnapshotData, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	if len(buf) >= 8 && [8]byte(buf[:8]) == arenaMagic {
+	if len(buf) >= 8 && ([8]byte(buf[:8]) == arenaMagic || [8]byte(buf[:8]) == arena2Magic) {
 		a, err := OpenArena(buf)
 		if err != nil {
 			return nil, "", err
@@ -403,31 +412,64 @@ func (e *Engine) Adopt(sd *SnapshotData) error {
 	if sd.Scheme != e.scheme {
 		return fmt.Errorf("serve: adopting %q snapshot into %q engine", sd.Scheme, e.scheme)
 	}
-	scheme, err := BuildScheme(sd.Scheme, sd.Graph, sd.Ports, sd.Dist)
+	snap, err := snapshotFromData(sd)
 	if err != nil {
 		return err
 	}
-	sim, err := routing.NewSim(sd.Graph, sd.Ports, scheme)
-	if err != nil {
-		return err
+	if snap.Tier != e.tier {
+		return fmt.Errorf("serve: adopting %s-tier snapshot into %s-tier engine", snap.Tier, e.tier)
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.g = sd.Graph
-	e.cache.Put(sd.Graph, sd.Dist)
-	snap := &Snapshot{
+	if sd.Dist != nil {
+		e.cache.Put(sd.Graph, sd.Dist)
+	}
+	e.cur.Store(snap)
+	e.swaps.Store(sd.Seq)
+	return e.saveLocked(snap)
+}
+
+// snapshotFromData rebuilds a serving snapshot from decoded snapshot data on
+// whichever tier the data carries: a matrix rebuilds the scheme under the
+// determinism contract, a table blob decodes the scheme directly (no distance
+// computation at all — the tiered warm boot is O(tables), not O(n²)).
+func snapshotFromData(sd *SnapshotData) (*Snapshot, error) {
+	var (
+		scheme routing.Scheme
+		est    DistEstimator
+		tier   = TierFull
+	)
+	if sd.Dist == nil {
+		ts, err := DecodeTableScheme(sd.Scheme, sd.Graph, sd.Ports, sd.Tables)
+		if err != nil {
+			return nil, err
+		}
+		scheme, est, tier = ts, ts, TierTables
+	} else {
+		var err error
+		scheme, err = BuildScheme(sd.Scheme, sd.Graph, sd.Ports, sd.Dist)
+		if err != nil {
+			return nil, err
+		}
+	}
+	sim, err := routing.NewSim(sd.Graph, sd.Ports, scheme)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{
 		Seq:      sd.Seq,
 		Scheme:   sd.Scheme,
 		Graph:    sd.Graph,
 		Ports:    sd.Ports,
 		Dist:     sd.Dist,
+		Tier:     tier,
 		scheme:   scheme,
 		sim:      sim,
 		hopLimit: routing.DefaultHopLimit(sd.Graph.N()),
-	}
-	e.cur.Store(snap)
-	e.swaps.Store(sd.Seq)
-	return e.saveLocked(snap)
+		est:      est,
+		tables:   sd.Tables,
+	}, nil
 }
 
 // RestoreEngine rebuilds a serving engine from a persisted snapshot without
@@ -455,30 +497,19 @@ func RestoreEngine(path string) (*Engine, error) {
 // mutations continue the sequence. Both the crash-restore path and a cluster
 // replica bootstrapping from a fetched primary state go through here.
 func NewEngineFromSnapshot(sd *SnapshotData) (*Engine, error) {
-	scheme, err := BuildScheme(sd.Scheme, sd.Graph, sd.Ports, sd.Dist)
-	if err != nil {
-		return nil, err
-	}
-	sim, err := routing.NewSim(sd.Graph, sd.Ports, scheme)
+	snap, err := snapshotFromData(sd)
 	if err != nil {
 		return nil, err
 	}
 	e := &Engine{
 		g:      sd.Graph,
 		scheme: sd.Scheme,
+		tier:   snap.Tier,
 		codec:  CodecArena,
 		cache:  shortestpath.NewCache(2),
 	}
-	e.cache.Put(sd.Graph, sd.Dist)
-	snap := &Snapshot{
-		Seq:      sd.Seq,
-		Scheme:   sd.Scheme,
-		Graph:    sd.Graph,
-		Ports:    sd.Ports,
-		Dist:     sd.Dist,
-		scheme:   scheme,
-		sim:      sim,
-		hopLimit: routing.DefaultHopLimit(sd.Graph.N()),
+	if sd.Dist != nil {
+		e.cache.Put(sd.Graph, sd.Dist)
 	}
 	e.cur.Store(snap)
 	e.swaps.Store(sd.Seq)

@@ -12,6 +12,7 @@ import (
 	"routetab/internal/schemes/fulltable"
 	"routetab/internal/schemes/hub"
 	"routetab/internal/schemes/interval"
+	"routetab/internal/schemes/landmark"
 	"routetab/internal/shortestpath"
 )
 
@@ -36,6 +37,70 @@ var builders = map[string]func(g *graph.Graph, ports *graph.Ports, dm *shortestp
 	"centers": func(g *graph.Graph, _ *graph.Ports, _ *shortestpath.Distances) (routing.Scheme, error) {
 		return centers.Build(g, 1)
 	},
+	"landmark": func(g *graph.Graph, ports *graph.Ports, _ *shortestpath.Distances) (routing.Scheme, error) {
+		return landmark.Build(g, ports, landmark.DefaultOptions())
+	},
+}
+
+// DistEstimator is the distance side-channel a tables-tier snapshot serves
+// from: an upper bound on d(u, v) computable from the scheme's own tables,
+// allocation-free. Exact-distance callers (Result.Dist/NextDist, detour
+// budgets) degrade to these bounds when the all-pairs matrix is absent.
+type DistEstimator interface {
+	EstimateDist(u, v int) int
+}
+
+// TableScheme is the contract a scheme must satisfy to serve the tables tier:
+// beyond routing, it estimates distances from its own tables and serialises
+// them deterministically so snapshots can persist and ship the tables instead
+// of the O(n²) matrix.
+type TableScheme interface {
+	routing.Scheme
+	DistEstimator
+	EncodeTables() []byte
+}
+
+// tableBuilders registers the tables-tier constructions: build from topology
+// alone (no all-pairs matrix — that absence is the tier's point) and decode
+// from a persisted table blob.
+var tableBuilders = map[string]struct {
+	build  func(g *graph.Graph, ports *graph.Ports) (TableScheme, error)
+	decode func(g *graph.Graph, ports *graph.Ports, tables []byte) (TableScheme, error)
+}{
+	"landmark": {
+		build: func(g *graph.Graph, ports *graph.Ports) (TableScheme, error) {
+			return landmark.Build(g, ports, landmark.DefaultOptions())
+		},
+		decode: func(g *graph.Graph, ports *graph.Ports, tables []byte) (TableScheme, error) {
+			return landmark.DecodeTables(g, ports, tables)
+		},
+	},
+}
+
+// TableCapable reports whether the named scheme can serve the tables tier.
+func TableCapable(name string) bool {
+	_, ok := tableBuilders[name]
+	return ok
+}
+
+// BuildTableScheme constructs the named scheme for the tables tier, without
+// an all-pairs matrix.
+func BuildTableScheme(name string, g *graph.Graph, ports *graph.Ports) (TableScheme, error) {
+	reg, ok := tableBuilders[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: scheme %q cannot serve the tables tier", name)
+	}
+	return reg.build(g, ports)
+}
+
+// DecodeTableScheme reconstructs a tables-tier scheme from its persisted
+// table blob against the same topology.
+func DecodeTableScheme(name string, g *graph.Graph, ports *graph.Ports, tables []byte) (TableScheme, error) {
+	reg, ok := tableBuilders[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: scheme %q cannot serve the tables tier", name)
+	}
+	return reg.decode(g, ports, tables)
 }
 
 // shortestPathSchemes names the constructions that route along exact shortest

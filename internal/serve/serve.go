@@ -73,6 +73,17 @@ func (e *OverloadedError) Error() string {
 // Is reports equivalence to the ErrOverloaded sentinel.
 func (e *OverloadedError) Is(target error) bool { return target == ErrOverloaded }
 
+// Snapshot tiers: what a snapshot carries as its distance side-channel.
+const (
+	// TierFull snapshots carry the O(n²) packed all-pairs matrix — exact
+	// distances, exhaustive grading, the classic regime (n ≤ ~4096).
+	TierFull = "full"
+	// TierTables snapshots carry the compact scheme's own tables instead of
+	// the matrix: o(n²) space, distances served as stretch-bounded estimates,
+	// answers verified by spot-sampling. The large-graph regime.
+	TierTables = "tables"
+)
+
 // Router is the uniform query interface every built scheme serves behind:
 // queries address nodes by their original index, and label translation (e.g.
 // interval routing's DFS renumbering) happens inside.
@@ -101,18 +112,32 @@ type Snapshot struct {
 	Graph *graph.Graph
 	// Ports is the port assignment the tables were built against.
 	Ports *graph.Ports
-	// Dist is the all-pairs ground truth for this topology.
+	// Dist is the all-pairs ground truth for this topology. Nil on TierTables
+	// snapshots — use DistEstimate, which degrades to the scheme's own
+	// stretch-bounded upper bounds.
 	Dist *shortestpath.Distances
+	// Tier is TierFull or TierTables (Dist == nil ⇔ TierTables).
+	Tier string
 
 	scheme   routing.Scheme
 	sim      *routing.Sim
 	hopLimit int
+	// est and tables are set on TierTables snapshots: the scheme's distance
+	// estimator and its deterministic table encoding (what the arena persists
+	// in place of the matrix).
+	est    DistEstimator
+	tables []byte
 }
 
 var _ Router = (*Snapshot)(nil)
 
 // SchemeName returns the construction name.
 func (s *Snapshot) SchemeName() string { return s.Scheme }
+
+// SchemeImpl returns the routing-scheme object backing this snapshot, for
+// callers that need scheme-specific introspection (landmark count, space
+// accounting) beyond the routing.Scheme surface.
+func (s *Snapshot) SchemeImpl() routing.Scheme { return s.scheme }
 
 // N returns the node count.
 func (s *Snapshot) N() int { return s.Graph.N() }
@@ -144,6 +169,21 @@ func (s *Snapshot) SpaceBits() int {
 	return total
 }
 
+// TablesBytes returns the snapshot's persisted table encoding (TierTables
+// only; nil on TierFull). Read-only.
+func (s *Snapshot) TablesBytes() []byte { return s.tables }
+
+// ArenaSize returns the exact byte size this snapshot occupies in its arena
+// encoding — the snapshot_bytes gauge, computed from the layout arithmetic
+// without encoding anything.
+func (s *Snapshot) ArenaSize() int {
+	distLen := s.Graph.N() * s.Graph.N()
+	if s.Dist == nil {
+		distLen = len(s.tables)
+	}
+	return arenaLayoutLen(s.Graph.N(), s.Graph.Words(), s.Graph.M(), distLen, len(s.Scheme))
+}
+
 // PublishHook observes every snapshot publication: prev is the snapshot that
 // was current before the swap (nil for the engine's very first build) and cur
 // the one just published. The hook runs under the engine's mutation lock, so
@@ -158,10 +198,14 @@ type Engine struct {
 	mu     sync.Mutex // serialises Mutate/Reload and guards persistPath, hook
 	g      *graph.Graph
 	scheme string
-	cache  *shortestpath.Cache
-	cur    atomic.Pointer[Snapshot]
-	swaps  atomic.Uint64
-	hook   PublishHook
+	// tier selects what snapshots carry: TierFull (all-pairs matrix) or
+	// TierTables (the compact scheme's own tables). Set at construction,
+	// immutable afterwards.
+	tier  string
+	cache *shortestpath.Cache
+	cur   atomic.Pointer[Snapshot]
+	swaps atomic.Uint64
+	hook  PublishHook
 	// codec names the snapshot codec behind the engine's initial state:
 	// CodecArena for cold builds and arena warm boots, CodecLegacy when the
 	// engine was restored from a pre-arena RTSNAP1 file. Set at construction,
@@ -188,10 +232,33 @@ func NewEngine(g *graph.Graph, schemeName string) (*Engine, error) {
 	e := &Engine{
 		g:      g.Clone(),
 		scheme: schemeName,
+		tier:   TierFull,
 		codec:  CodecArena,
 		// Capacity 2: the outgoing snapshot's matrix plus the one being
 		// built; older matrices are garbage the LRU can drop.
 		cache: shortestpath.NewCache(2),
+	}
+	if _, err := e.rebuildLocked(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// NewTieredEngine builds a TierTables engine: snapshots carry the named
+// compact scheme's tables instead of the all-pairs matrix, and rebuilds never
+// touch the O(n²) distance computation — the large-graph serving mode
+// (n = 4096–16384, where the matrix alone would cost up to 256 MB and its
+// recompute would dominate every mutation).
+func NewTieredEngine(g *graph.Graph, schemeName string) (*Engine, error) {
+	if !TableCapable(schemeName) {
+		return nil, fmt.Errorf("serve: scheme %q cannot serve the tables tier", schemeName)
+	}
+	e := &Engine{
+		g:      g.Clone(),
+		scheme: schemeName,
+		tier:   TierTables,
+		codec:  CodecArena,
+		cache:  shortestpath.NewCache(2),
 	}
 	if _, err := e.rebuildLocked(); err != nil {
 		return nil, err
@@ -210,6 +277,9 @@ func (e *Engine) Swaps() uint64 { return e.swaps.Load() }
 
 // Scheme returns the construction name the engine builds.
 func (e *Engine) Scheme() string { return e.scheme }
+
+// Tier reports the engine's snapshot tier (TierFull or TierTables).
+func (e *Engine) Tier() string { return e.tier }
 
 // Codec reports the snapshot codec behind the engine's initial state —
 // CodecArena unless the engine warm-booted from a legacy RTSNAP1 file.
@@ -313,13 +383,32 @@ func (e *Engine) saveLocked(snap *Snapshot) error {
 func (e *Engine) rebuildLocked() (*Snapshot, error) {
 	g := e.g
 	ports := graph.SortedPorts(g)
-	dm, err := e.cache.AllPairs(g)
-	if err != nil {
-		return nil, err
-	}
-	scheme, err := BuildScheme(e.scheme, g, ports, dm)
-	if err != nil {
-		return nil, err
+	var (
+		dm     *shortestpath.Distances
+		scheme routing.Scheme
+		est    DistEstimator
+		tables []byte
+	)
+	if e.tier == TierTables {
+		// The tables tier never computes all-pairs distances: the scheme
+		// builds from topology alone and its tables are encoded eagerly so
+		// persistence, state shipping, and the snapshot_bytes gauge all read
+		// the same deterministic blob.
+		ts, err := BuildTableScheme(e.scheme, g, ports)
+		if err != nil {
+			return nil, err
+		}
+		scheme, est, tables = ts, ts, ts.EncodeTables()
+	} else {
+		var err error
+		dm, err = e.cache.AllPairs(g)
+		if err != nil {
+			return nil, err
+		}
+		scheme, err = BuildScheme(e.scheme, g, ports, dm)
+		if err != nil {
+			return nil, err
+		}
 	}
 	sim, err := routing.NewSim(g, ports, scheme)
 	if err != nil {
@@ -331,9 +420,12 @@ func (e *Engine) rebuildLocked() (*Snapshot, error) {
 		Graph:    g,
 		Ports:    ports,
 		Dist:     dm,
+		Tier:     e.tier,
 		scheme:   scheme,
 		sim:      sim,
 		hopLimit: routing.DefaultHopLimit(g.N()),
+		est:      est,
+		tables:   tables,
 	}
 	prev := e.cur.Load()
 	e.cur.Store(snap)

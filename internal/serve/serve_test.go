@@ -21,8 +21,8 @@ func testGraph(t *testing.T, n int, seed int64) *graph.Graph {
 
 func TestSchemeRegistry(t *testing.T) {
 	names := SchemeNames()
-	if len(names) != 6 {
-		t.Fatalf("expected 6 schemes, got %v", names)
+	if len(names) != 7 {
+		t.Fatalf("expected 7 schemes, got %v", names)
 	}
 	for _, name := range names {
 		if !KnownScheme(name) {

@@ -1,0 +1,216 @@
+// Package spotgrade is the scalable answer verifier for the tables tier:
+// exhaustive grading against an all-pairs matrix is exactly what large-graph
+// serving abolished, so correctness is instead asserted on a seeded hash
+// sample of served lookups, with BFS ground truth computed on demand per
+// sampled destination and cached.
+//
+// For every sampled answer the grader asserts the full contract a stretch-3
+// scheme owes its callers:
+//
+//   - the pair is reachable (a served answer for an unreachable pair is a
+//     lie, not a degraded mode);
+//   - the returned next hop is an actual neighbour of the source;
+//   - the snapshot's own full route delivers within 3·d(src, dst) hops — the
+//     Thorup–Zwick bound the landmark construction guarantees.
+//
+// Sampling is deterministic: whether a (src, dst) pair is graded depends only
+// on (src, dst, Seed, SampleEvery), never on timing, so two runs of the same
+// seeded workload grade the same pairs. Answers from a snapshot other than
+// the current one (a swap raced the lookup) are skipped, not failed — the
+// grader verifies snapshots against themselves, not against later topology.
+package spotgrade
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"routetab/internal/serve"
+	"routetab/internal/shortestpath"
+)
+
+// Config parameterises a Grader.
+type Config struct {
+	// Seed perturbs the pair-sampling hash.
+	Seed int64
+	// SampleEvery grades ~1/SampleEvery of observed answers (deterministic
+	// per pair). ≤ 1 grades everything; 0 defaults to 16.
+	SampleEvery int
+	// MaxBFSCache bounds the per-destination BFS results kept per snapshot
+	// sequence (FIFO eviction). 0 defaults to 64.
+	MaxBFSCache int
+}
+
+// Grader spot-checks served answers against on-demand BFS ground truth.
+type Grader struct {
+	eng *serve.Engine
+	cfg Config
+
+	graded       atomic.Uint64
+	skippedHash  atomic.Uint64
+	skippedStale atomic.Uint64
+	skippedErr   atomic.Uint64
+	violations   atomic.Uint64
+	maxMilli     atomic.Int64
+	sumMilli     atomic.Int64
+
+	mu       sync.Mutex
+	cacheSeq uint64
+	cache    map[int]*shortestpath.BFSResult
+	order    []int
+	firstBad atomic.Pointer[string]
+}
+
+// New builds a grader over eng's snapshots.
+func New(eng *serve.Engine, cfg Config) *Grader {
+	if cfg.SampleEvery == 0 {
+		cfg.SampleEvery = 16
+	}
+	if cfg.MaxBFSCache <= 0 {
+		cfg.MaxBFSCache = 64
+	}
+	return &Grader{eng: eng, cfg: cfg, cache: make(map[int]*shortestpath.BFSResult)}
+}
+
+// sampled reports whether the (src, dst) pair is in the seeded sample — a
+// pure function of the pair and the config.
+func (g *Grader) sampled(src, dst int) bool {
+	if g.cfg.SampleEvery <= 1 {
+		return true
+	}
+	h := uint64(src)*0x9E3779B97F4A7C15 ^ uint64(dst)*0xBF58476D1CE4E5B9 ^ uint64(g.cfg.Seed)
+	h ^= h >> 31
+	h *= 0x94D049BB133111EB
+	h ^= h >> 29
+	return h%uint64(g.cfg.SampleEvery) == 0
+}
+
+// Observe feeds one served answer to the grader. Errors are not graded (the
+// load generator already accounts for them); answers from a non-current
+// snapshot are skipped as stale.
+func (g *Grader) Observe(src, dst int, r *serve.Result) {
+	if r.Err != nil {
+		g.skippedErr.Add(1)
+		return
+	}
+	if !g.sampled(src, dst) {
+		g.skippedHash.Add(1)
+		return
+	}
+	snap := g.eng.Current()
+	if snap.Seq != r.Seq {
+		g.skippedStale.Add(1)
+		return
+	}
+	g.grade(snap, src, dst, r)
+}
+
+// grade verifies one answer against snap. BFS runs from the destination (the
+// graph is undirected, so Dist[src] = d(src, dst)) and is cached per (Seq,
+// dst) so hot destinations cost one traversal.
+func (g *Grader) grade(snap *serve.Snapshot, src, dst int, r *serve.Result) {
+	bfs, err := g.bfsFrom(snap, dst)
+	if err != nil {
+		g.fail(fmt.Sprintf("BFS from %d: %v", dst, err))
+		return
+	}
+	d := bfs.Dist[src]
+	if d == shortestpath.Unreachable {
+		g.fail(fmt.Sprintf("served %d→%d but the pair is unreachable", src, dst))
+		return
+	}
+	if !snap.Graph.HasEdge(src, r.Next) {
+		g.fail(fmt.Sprintf("next hop %d→%d = %d is not a neighbour", src, dst, r.Next))
+		return
+	}
+	tr, err := snap.Route(src, dst)
+	if err != nil {
+		g.fail(fmt.Sprintf("route %d→%d: %v", src, dst, err))
+		return
+	}
+	if tr.Hops > 3*d {
+		g.fail(fmt.Sprintf("route %d→%d took %d hops for distance %d (stretch %.2f)",
+			src, dst, tr.Hops, d, float64(tr.Hops)/float64(d)))
+		return
+	}
+	milli := int64(tr.Hops) * 1000 / int64(d)
+	for {
+		old := g.maxMilli.Load()
+		if milli <= old || g.maxMilli.CompareAndSwap(old, milli) {
+			break
+		}
+	}
+	g.sumMilli.Add(milli)
+	g.graded.Add(1)
+}
+
+// bfsFrom returns BFS ground truth rooted at dst under snap's topology,
+// cached per snapshot sequence with FIFO eviction.
+func (g *Grader) bfsFrom(snap *serve.Snapshot, dst int) (*shortestpath.BFSResult, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.cacheSeq != snap.Seq {
+		g.cacheSeq = snap.Seq
+		g.cache = make(map[int]*shortestpath.BFSResult)
+		g.order = g.order[:0]
+	}
+	if res, ok := g.cache[dst]; ok {
+		return res, nil
+	}
+	res, err := shortestpath.BFS(snap.Graph, dst)
+	if err != nil {
+		return nil, err
+	}
+	if len(g.order) >= g.cfg.MaxBFSCache {
+		delete(g.cache, g.order[0])
+		g.order = g.order[1:]
+	}
+	g.cache[dst] = res
+	g.order = append(g.order, dst)
+	return res, nil
+}
+
+func (g *Grader) fail(msg string) {
+	g.violations.Add(1)
+	g.firstBad.CompareAndSwap(nil, &msg)
+}
+
+// Graded returns how many answers were fully verified.
+func (g *Grader) Graded() uint64 { return g.graded.Load() }
+
+// Skipped returns how many observed answers were not graded, split by cause:
+// outside the hash sample, stale snapshot, or errored answer.
+func (g *Grader) Skipped() (hash, stale, errored uint64) {
+	return g.skippedHash.Load(), g.skippedStale.Load(), g.skippedErr.Load()
+}
+
+// Violations returns how many graded answers broke the contract.
+func (g *Grader) Violations() uint64 { return g.violations.Load() }
+
+// MaxStretchMilli returns the worst observed stretch ×1000 (1000 = exact
+// shortest path).
+func (g *Grader) MaxStretchMilli() int64 { return g.maxMilli.Load() }
+
+// MeanStretchMilli returns the mean observed stretch ×1000 over graded
+// answers (0 when nothing was graded).
+func (g *Grader) MeanStretchMilli() int64 {
+	n := g.graded.Load()
+	if n == 0 {
+		return 0
+	}
+	return g.sumMilli.Load() / int64(n)
+}
+
+// Err returns nil when every graded answer honoured the contract, else an
+// error carrying the count and the first violation.
+func (g *Grader) Err() error {
+	v := g.violations.Load()
+	if v == 0 {
+		return nil
+	}
+	first := ""
+	if p := g.firstBad.Load(); p != nil {
+		first = *p
+	}
+	return fmt.Errorf("spotgrade: %d violation(s), first: %s", v, first)
+}

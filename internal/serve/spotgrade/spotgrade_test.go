@@ -1,0 +1,125 @@
+package spotgrade
+
+import (
+	"math/rand"
+	"testing"
+
+	"routetab/internal/gengraph"
+	"routetab/internal/serve"
+)
+
+func tieredEngine(t *testing.T, n int, seed int64) *serve.Engine {
+	t.Helper()
+	g, err := gengraph.SparseConnected(n, 5, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := serve.NewTieredEngine(g, "landmark")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestGraderAcceptsTieredAnswers: every answer a tables-tier snapshot serves
+// must pass the full contract — graded at SampleEvery=1 so nothing hides in
+// the unsampled remainder.
+func TestGraderAcceptsTieredAnswers(t *testing.T) {
+	eng := tieredEngine(t, 80, 11)
+	snap := eng.Current()
+	gr := New(eng, Config{SampleEvery: 1})
+	for src := 1; src <= 80; src++ {
+		for dst := 1; dst <= 80; dst += 7 {
+			if src == dst {
+				continue
+			}
+			next, err := snap.NextHop(src, dst)
+			if err != nil {
+				t.Fatalf("NextHop(%d,%d): %v", src, dst, err)
+			}
+			r := serve.Result{Next: next, Dist: snap.DistEstimate(src, dst),
+				NextDist: snap.DistEstimate(next, dst), Seq: snap.Seq}
+			gr.Observe(src, dst, &r)
+		}
+	}
+	if gr.Graded() == 0 {
+		t.Fatal("nothing graded at SampleEvery=1")
+	}
+	if err := gr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if gr.MaxStretchMilli() > 3000 {
+		t.Fatalf("max stretch %d exceeds the 3000-milli bound", gr.MaxStretchMilli())
+	}
+	if mean := gr.MeanStretchMilli(); mean < 1000 || mean > 3000 {
+		t.Fatalf("mean stretch %d outside [1000, 3000]", mean)
+	}
+}
+
+// TestGraderSamplingIsDeterministic: whether a pair is graded is a pure
+// function of (pair, Seed, SampleEvery) — two graders with the same config
+// must agree pair by pair, and the sample must be a strict subset.
+func TestGraderSamplingIsDeterministic(t *testing.T) {
+	eng := tieredEngine(t, 60, 3)
+	snap := eng.Current()
+	a := New(eng, Config{Seed: 42, SampleEvery: 8})
+	b := New(eng, Config{Seed: 42, SampleEvery: 8})
+	for src := 1; src <= 60; src++ {
+		for dst := 1; dst <= 60; dst++ {
+			if src == dst {
+				continue
+			}
+			next, err := snap.NextHop(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := serve.Result{Next: next, Seq: snap.Seq}
+			a.Observe(src, dst, &r)
+			b.Observe(src, dst, &r)
+			if a.Graded() != b.Graded() {
+				t.Fatalf("graders diverged at (%d,%d): %d vs %d", src, dst, a.Graded(), b.Graded())
+			}
+		}
+	}
+	hash, _, _ := a.Skipped()
+	if a.Graded() == 0 || hash == 0 {
+		t.Fatalf("sample not strict: graded=%d hash-skipped=%d", a.Graded(), hash)
+	}
+}
+
+// TestGraderSkipsStaleAndErrored: answers from a superseded snapshot and
+// errored answers are skipped, never failed.
+func TestGraderSkipsStaleAndErrored(t *testing.T) {
+	eng := tieredEngine(t, 40, 5)
+	snap := eng.Current()
+	gr := New(eng, Config{SampleEvery: 1})
+
+	stale := serve.Result{Next: 2, Seq: snap.Seq + 1}
+	gr.Observe(1, 3, &stale)
+	errored := serve.Result{Err: serve.ErrSelfLookup, Seq: snap.Seq}
+	gr.Observe(4, 4, &errored)
+
+	_, staleN, errN := gr.Skipped()
+	if staleN != 1 || errN != 1 {
+		t.Fatalf("skips: stale=%d errored=%d, want 1/1", staleN, errN)
+	}
+	if gr.Graded() != 0 || gr.Violations() != 0 || gr.Err() != nil {
+		t.Fatalf("skipped answers were graded: graded=%d violations=%d", gr.Graded(), gr.Violations())
+	}
+}
+
+// TestGraderCatchesBadNextHop: a fabricated answer whose next hop is not a
+// neighbour of the source must be flagged.
+func TestGraderCatchesBadNextHop(t *testing.T) {
+	eng := tieredEngine(t, 40, 7)
+	snap := eng.Current()
+	gr := New(eng, Config{SampleEvery: 1})
+	bogus := serve.Result{Next: 1, Seq: snap.Seq} // self-loop: never a neighbour
+	gr.Observe(1, 9, &bogus)
+	if gr.Violations() != 1 {
+		t.Fatalf("violations = %d, want 1", gr.Violations())
+	}
+	if err := gr.Err(); err == nil {
+		t.Fatal("Err() nil after a violation")
+	}
+}
