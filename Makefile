@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify lint vet build test race smoke benchsmoke loadsmoke wiresmoke chaos cluster crash bigsmoke bench loadbench chaosbench clusterbench crashbench wirebench bigbench clean
+.PHONY: verify lint vet build test race smoke benchsmoke loadsmoke wiresmoke chaos cluster crash bigsmoke bigcluster bench loadbench chaosbench clusterbench crashbench wirebench bigbench bigclusterbench clean
 
-verify: lint vet build test race smoke benchsmoke loadsmoke wiresmoke chaos cluster crash bigsmoke
+verify: lint vet build test race smoke benchsmoke loadsmoke wiresmoke chaos cluster crash bigsmoke bigcluster
 
 # gofmt -l exits 0 even when files need formatting, so fail on any output.
 # The second check is the WAL durability lint: on the journaling path a
@@ -48,7 +48,7 @@ smoke:
 # cache, E13 sweep, serving-layer load); keeps the bench harness from
 # rotting between releases.
 benchsmoke:
-	$(GO) run ./cmd/benchjson -quick -sections bfs,cache,resilience,serve,chaos,cluster,wal,wire,big \
+	$(GO) run ./cmd/benchjson -quick -sections bfs,cache,resilience,serve,chaos,cluster,wal,wire,big,bigcluster \
 		-out $(or $(TMPDIR),/tmp)/bench_smoke.json
 
 # Seconds-scale serving smoke through routetabd's loadgen mode: fixed seed,
@@ -102,6 +102,18 @@ bigsmoke:
 	$(GO) run ./cmd/routetabd -bigsmoke -n 4096 -seed 1 -lookups 10000 \
 		-workers 4 -swaps 2
 
+# Seconds-scale large-graph cluster gate: a three-member tables-tier landmark
+# cluster on an n=4096 sparse topology surviving replica partitions, a WAL
+# corruption on the wire, a truncation under lag, and a primary kill +
+# promotion. Replicas replay edge diffs through full landmark rebuilds and
+# verify the scheme-table CRC on every record; exits non-zero on any
+# spot-graded stretch-3 violation, blown availability budget, failed
+# promotion, or scheme tables that are not byte-identical at quiesce. The
+# full artefact is docs/bigcluster_n4096.csv (E20).
+bigcluster:
+	$(GO) run ./cmd/routetabd -bigcluster -n 4096 -seed 1 -replicas 2 \
+		-lookups 20000 -workers 4
+
 # Regenerates the checked-in PR 2 performance artefact (see EXPERIMENTS.md
 # for the methodology; numbers are host-dependent).
 bench:
@@ -153,6 +165,15 @@ wirebench:
 bigbench:
 	$(GO) run ./cmd/benchjson -sections big \
 		-artefact BENCH_pr8 -out BENCH_pr8.json
+
+# Regenerates the PR 9 tables-tier cluster artefact (EXPERIMENTS.md E20): a
+# three-member landmark cluster on an n=4096 sparse topology under the full
+# replication failure matrix — recording failover latency, availability,
+# replay lag, and the resync payload versus the hypothetical n² matrix a
+# full-tier cluster would ship.
+bigclusterbench:
+	$(GO) run ./cmd/benchjson -sections bigcluster \
+		-artefact BENCH_pr9 -out BENCH_pr9.json
 
 clean:
 	$(GO) clean ./...

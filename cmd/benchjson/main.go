@@ -158,6 +158,12 @@ type Report struct {
 	// build time, and spot-graded serving figures for the tables-tier
 	// landmark scheme against full-tier baselines across n up to 16384.
 	Big []BigBench `json:"big,omitempty"`
+	// BigCluster carries the tables-tier cluster chaos reports (section
+	// "bigcluster"): spot-graded availability, failover latency, replay lag,
+	// and the resync payload (encoded scheme tables vs the hypothetical n²
+	// matrix) for a three-member landmark cluster at n=4096 surviving
+	// partitions, WAL corruption/truncation, and a primary kill + promotion.
+	BigCluster []*chaos.BigClusterReport `json:"bigcluster,omitempty"`
 	// Wal carries the WAL append-throughput measurements (section "wal"):
 	// ns per append and appends/sec for each fsync policy on a real on-disk
 	// segment store. The fsync=always row is the per-record price of
@@ -172,7 +178,7 @@ type Report struct {
 }
 
 // knownSections lists every measurement group benchjson understands.
-var knownSections = []string{"bfs", "cache", "resilience", "serve", "chaos", "cluster", "wal", "wire", "big"}
+var knownSections = []string{"bfs", "cache", "resilience", "serve", "chaos", "cluster", "wal", "wire", "big", "bigcluster"}
 
 func parseSections(csv string) (map[string]bool, error) {
 	known := map[string]bool{}
@@ -443,6 +449,29 @@ func runSuite(quick bool, artefact string, sections map[string]bool) (*Report, e
 			return nil, err
 		}
 		rep.Big = big
+	}
+
+	// Tables-tier cluster chaos (the `make bigclusterbench` artefact
+	// BENCH_pr9.json): a three-member landmark cluster on an n=4096 sparse
+	// topology under the full replication failure matrix. The run fails on
+	// any spot-graded stretch-3 violation, blown availability budget, failed
+	// promotion, or non-identical scheme tables at quiesce.
+	if sections["bigcluster"] {
+		n, lookups, workers := 4096, 40_000, 4
+		if quick {
+			n, lookups, workers = 128, 4_000, 2
+		}
+		bcrep, err := chaos.RunBigCluster(chaos.BigClusterConfig{
+			N:        n,
+			Seed:     1,
+			Replicas: 2,
+			Lookups:  uint64(lookups),
+			Workers:  workers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bigcluster: %w", err)
+		}
+		rep.BigCluster = append(rep.BigCluster, bcrep)
 	}
 
 	return rep, nil

@@ -197,3 +197,36 @@ func TestWalSection(t *testing.T) {
 		t.Errorf("wal section results: %+v", rep.Results)
 	}
 }
+
+// TestBigClusterSection runs the quick tables-tier cluster section: the
+// landmark cluster must survive the full failure matrix with zero spot
+// violations, record the failover and resync-economics headline figures, and
+// ship a resync payload smaller than the hypothetical n² matrix.
+func TestBigClusterSection(t *testing.T) {
+	rep, err := runSuite(true, "BENCH_pr9", sectionSet(t, "bigcluster"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.BigCluster) != 1 {
+		t.Fatalf("bigcluster reports: %d, want 1", len(rep.BigCluster))
+	}
+	c := rep.BigCluster[0]
+	if c.SpotViolations != 0 || c.SpotGraded == 0 {
+		t.Errorf("spot grading: graded=%d violations=%d", c.SpotGraded, c.SpotViolations)
+	}
+	if !c.Promoted || c.FinalEpoch != 2 {
+		t.Errorf("promoted=%v epoch=%d", c.Promoted, c.FinalEpoch)
+	}
+	if c.FailoverNs <= 0 {
+		t.Errorf("failover latency not measured")
+	}
+	if !c.DigestsConverged || !c.TablesIdentical {
+		t.Errorf("digests=%v identical=%v", c.DigestsConverged, c.TablesIdentical)
+	}
+	if c.ResyncBytes <= 0 || uint64(c.ResyncBytes) >= c.MatrixBytes {
+		t.Errorf("resync %d B vs matrix %d B: compact tier must undercut the matrix", c.ResyncBytes, c.MatrixBytes)
+	}
+	if len(c.PerMember) == 0 || c.QPS <= 0 {
+		t.Errorf("per-member accounting missing: %+v", c.PerMember)
+	}
+}

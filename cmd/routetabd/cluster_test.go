@@ -354,3 +354,100 @@ func TestSigtermFinalizesWAL(t *testing.T) {
 		t.Fatalf("recovered snapshot seq %d, want 3", eng.Current().Seq)
 	}
 }
+
+// tablesPrimaryAPI builds a tables-tier daemon facade the way run() does for
+// -tier tables with a WAL-less primary: landmark scheme over a sparse
+// topology, full cluster citizen.
+func tablesPrimaryAPI(t *testing.T, n int) (*api, *cluster.Primary) {
+	t.Helper()
+	g, err := gengraph.SparseConnected(n, 5, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := serve.NewTieredEngine(g, "landmark")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.NewServer(eng, serve.ServerOptions{Shards: 2})
+	rep := serve.NewRepairer(srv, serve.RepairOptions{})
+	pri, err := cluster.NewPrimary(eng, srv, rep, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		pri.Close()
+		rep.Close()
+		srv.Close()
+	})
+	return &api{srv: srv, rep: rep, pri: pri}, pri
+}
+
+// TestClusterObservabilitySurfaces: tier, wal_seq, and replica_lag_seq must
+// be visible on /healthz and as /metrics gauges, on both halves of a
+// tables-tier primary/replica pair.
+func TestClusterObservabilitySurfaces(t *testing.T) {
+	pa, pri := tablesPrimaryAPI(t, 64)
+	registerClusterGauges(pa)
+	ph := newHandler(pa, false)
+	pts := httptest.NewServer(ph)
+	defer pts.Close()
+
+	rpl, err := cluster.JoinReplica(cluster.NewHTTPSource(pts.URL, nil), cluster.ReplicaOptions{})
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	defer rpl.Close()
+	ra := &api{srv: rpl.Server(), rep: rpl.Repairer(), rpl: rpl}
+	registerClusterGauges(ra)
+	rh := newHandler(ra, false)
+
+	// One replicated mutation so wal_seq moves off zero.
+	if code, _ := getJSON(t, ph, "POST", "/mutate", `{"op":"toggle","u":1,"v":3}`); code != http.StatusOK {
+		t.Fatal("primary mutate failed")
+	}
+	if err := rpl.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	wantSeq := float64(pri.Log().LastSeq())
+
+	code, health := getJSON(t, ph, "GET", "/healthz", "")
+	if code != http.StatusOK || health["tier"] != serve.TierTables {
+		t.Fatalf("primary healthz tier: %d %v", code, health["tier"])
+	}
+	if health["wal_seq"] != wantSeq || health["replica_lag_seq"] != float64(0) {
+		t.Fatalf("primary healthz replication fields: wal_seq=%v lag=%v", health["wal_seq"], health["replica_lag_seq"])
+	}
+	_, metrics := getJSON(t, ph, "GET", "/metrics", "")
+	gauges := metrics["gauges"].(map[string]any)
+	if gauges["tier"] != float64(1) || gauges["wal_seq"] != wantSeq || gauges["replica_lag_seq"] != float64(0) {
+		t.Fatalf("primary metrics gauges: %v", gauges)
+	}
+
+	code, health = getJSON(t, rh, "GET", "/healthz", "")
+	if code != http.StatusOK || health["tier"] != serve.TierTables || health["role"] != "replica" {
+		t.Fatalf("replica healthz: %d %v", code, health)
+	}
+	if health["wal_seq"] != wantSeq {
+		t.Fatalf("replica healthz wal_seq=%v, want %v", health["wal_seq"], wantSeq)
+	}
+	if _, ok := health["replica_lag_seq"].(float64); !ok {
+		t.Fatalf("replica healthz missing replica_lag_seq: %v", health)
+	}
+	_, metrics = getJSON(t, rh, "GET", "/metrics", "")
+	gauges = metrics["gauges"].(map[string]any)
+	if gauges["tier"] != float64(1) || gauges["wal_seq"] != wantSeq {
+		t.Fatalf("replica metrics gauges: %v", gauges)
+	}
+	if _, ok := gauges["replica_lag_seq"].(float64); !ok {
+		t.Fatalf("replica metrics missing replica_lag_seq: %v", gauges)
+	}
+
+	// The full tier reports tier 0 on the same gauge.
+	fa, _ := primaryAPI(t, 16, 0)
+	registerClusterGauges(fa)
+	_, metrics = getJSON(t, newHandler(fa, false), "GET", "/metrics", "")
+	gauges = metrics["gauges"].(map[string]any)
+	if gauges["tier"] != float64(0) {
+		t.Fatalf("full-tier gauge: %v", gauges["tier"])
+	}
+}

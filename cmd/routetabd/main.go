@@ -106,9 +106,10 @@
 // matrix, distances are served as stretch-bounded estimates, and /healthz
 // and /metrics expose snapshot_bytes and scheme_space_per_node. -topo auto
 // switches graph generation from dense G(n,1/2) to a sparse connected
-// topology (-avgdeg) above n=512. Tables-tier daemons serve standalone:
-// replication digests fingerprint the matrix, so -join and -wal-dir are
-// full-tier only.
+// topology (-avgdeg) above n=512. Tables-tier daemons are full cluster
+// citizens: -join, -wal-dir, and -promote work unchanged, with WAL records
+// and anti-entropy digests fingerprinting the encoded scheme tables instead
+// of the matrix the tier never materialises.
 //
 // Bigsmoke mode (also the `make bigsmoke` CI gate):
 //
@@ -119,6 +120,18 @@
 // answer checked against on-demand BFS ground truth — exiting non-zero on
 // any answer beyond stretch 3, an unreachable next hop, or a snapshot that
 // is not o(n²).
+//
+// Bigcluster mode (also the `make bigcluster` CI gate):
+//
+//	routetabd -bigcluster -n 4096 -seed 1 -replicas 2 -lookups 20000
+//
+// runs the tables-tier replicated chaos harness: a 3-member n=4096 landmark
+// cluster over a sparse topology surviving churn bursts, replica partitions,
+// a WAL corruption, a WAL truncation, and a primary kill + promotion — every
+// sampled answer spot-graded against BFS ground truth — exiting non-zero on
+// any spot-grade violation, sub-budget availability, or members whose
+// encoded scheme tables are not byte-identical at quiesce. -cluster-csv
+// writes the EXPERIMENTS.md E20 artefact row.
 package main
 
 import (
@@ -176,12 +189,13 @@ type config struct {
 	batch   int
 	persist string
 	// loadgen mode
-	loadgen  bool
-	lookups  uint64
-	duration time.Duration
-	workers  int
-	swaps    int
-	bigsmoke bool
+	loadgen    bool
+	lookups    uint64
+	duration   time.Duration
+	workers    int
+	swaps      int
+	bigsmoke   bool
+	bigcluster bool
 	// chaos mode
 	chaos       bool
 	chaosStalls int
@@ -224,6 +238,7 @@ func parseFlags(args []string) (*config, error) {
 	fs.StringVar(&cfg.persist, "persist", "", "snapshot persistence file: save every published snapshot, warm-boot from it on start")
 	fs.BoolVar(&cfg.loadgen, "loadgen", false, "run the closed-loop load generator instead of serving HTTP")
 	fs.BoolVar(&cfg.bigsmoke, "bigsmoke", false, "run the large-graph spot-graded smoke (tables-tier landmark over a sparse topology) instead of serving HTTP")
+	fs.BoolVar(&cfg.bigcluster, "bigcluster", false, "run the tables-tier replicated chaos harness (spot-graded large-graph cluster) instead of serving HTTP")
 	fs.BoolVar(&cfg.chaos, "chaos", false, "run the serve-layer chaos harness instead of serving HTTP")
 	fs.IntVar(&cfg.chaosStalls, "chaos-stalls", 2, "chaos: shard stall injections (-1 disables)")
 	fs.IntVar(&cfg.chaosDrops, "chaos-drops", 2, "chaos: batch drop windows (-1 disables)")
@@ -326,6 +341,8 @@ func run(args []string, out *os.File) error {
 		return runClusterChaos(cfg, out)
 	case cfg.bigsmoke:
 		return runBigSmoke(cfg, out)
+	case cfg.bigcluster:
+		return runBigCluster(cfg, out)
 	case cfg.join != "":
 		return runReplica(cfg, out)
 	}
@@ -348,17 +365,6 @@ func run(args []string, out *os.File) error {
 
 	if cfg.loadgen {
 		return runLoadgen(srv, cfg, out)
-	}
-	if eng.Tier() == serve.TierTables {
-		// Tables-tier serving is standalone: the repairer's degraded detours
-		// and the replication WAL both lean on the full distance matrix, which
-		// this tier deliberately does not materialise. /fail answers 503 and
-		// /cluster endpoints report no primary.
-		if cfg.walDir != "" {
-			return fmt.Errorf("-wal-dir: replication requires a full-tier snapshot (tables tier serves standalone)")
-		}
-		a := &api{srv: srv, walKeep: cfg.walKeep}
-		return serveHTTP(a, cfg, out)
 	}
 	rep := serve.NewRepairer(srv, serve.RepairOptions{})
 	defer rep.Close()
@@ -561,6 +567,40 @@ func registerServingGauges(srv *serve.Server) {
 	})
 }
 
+// registerClusterGauges exposes the serving tier and replication position on
+// /metrics so operators can graph tables-tier lag alongside QPS: tier (0 =
+// full matrix, 1 = scheme tables), wal_seq (primary: last appended record;
+// replica: last applied position), and replica_lag_seq (how many records the
+// replica was behind at its last sync; 0 on a primary). The gauges read
+// through the api's role pointers, so an in-place promotion repoints them.
+func registerClusterGauges(a *api) {
+	m := a.srv.Metrics()
+	m.GaugeFunc("tier", func() int64 {
+		if a.srv.Engine().Tier() == serve.TierTables {
+			return 1
+		}
+		return 0
+	})
+	m.GaugeFunc("wal_seq", func() int64 {
+		pri, rpl := a.roles()
+		switch {
+		case pri != nil:
+			return int64(pri.Log().LastSeq())
+		case rpl != nil:
+			return int64(rpl.WalSeq())
+		}
+		return 0
+	})
+	m.GaugeFunc("replica_lag_seq", func() int64 {
+		_, rpl := a.roles()
+		if rpl == nil {
+			return 0
+		}
+		_, _, lastLag := rpl.Stats()
+		return int64(lastLag)
+	})
+}
+
 // runBigSmoke executes the large-graph serving gate in-process and renders a
 // pass/fail verdict, mirroring runChaos: a tables-tier landmark build over a
 // sparse seeded topology, a spot-graded closed loop with hot swaps, and an
@@ -583,6 +623,40 @@ func runBigSmoke(cfg *config, out *os.File) error {
 	}
 	fmt.Fprintln(out, string(blob))
 	fmt.Fprintf(out, "bigsmoke ok: %s\n", rep)
+	return nil
+}
+
+// runBigCluster executes the tables-tier replicated chaos harness (the
+// `make bigcluster` CI gate) in-process and renders a pass/fail verdict,
+// mirroring runClusterChaos.
+func runBigCluster(cfg *config, out *os.File) error {
+	rep, err := chaos.RunBigCluster(chaos.BigClusterConfig{
+		N:        cfg.n,
+		AvgDeg:   cfg.avgdeg,
+		Seed:     cfg.seed,
+		Replicas: cfg.replicas,
+		Lookups:  cfg.lookups,
+		Workers:  cfg.workers,
+	})
+	if rep == nil {
+		return err
+	}
+	blob, merr := json.MarshalIndent(rep, "", "  ")
+	if merr != nil {
+		return merr
+	}
+	fmt.Fprintln(out, string(blob))
+	if cfg.clusterCSV != "" {
+		if werr := appendCSV(cfg.clusterCSV, func(w io.Writer) error {
+			return chaos.WriteBigClusterCSV(w, []*chaos.BigClusterReport{rep})
+		}); werr != nil {
+			return werr
+		}
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "bigcluster ok: %s\n", rep)
 	return nil
 }
 
@@ -723,6 +797,7 @@ func runLoadgen(srv *serve.Server, cfg *config, out *os.File) error {
 // flushes a final persisted snapshot. With -bin-addr an RTBIN1 listener
 // serves the binary batch protocol beside HTTP, sharing the same pool.
 func serveHTTP(a *api, cfg *config, out *os.File) error {
+	registerClusterGauges(a)
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
@@ -1021,6 +1096,7 @@ func (a *api) healthz(w http.ResponseWriter, _ *http.Request) {
 	case pri != nil:
 		body["epoch"] = pri.Epoch()
 		body["wal_seq"] = pri.Log().LastSeq()
+		body["replica_lag_seq"] = 0
 		if a.wal != nil {
 			durable, walFailures, walErr := a.wal.Durability()
 			body["wal_durable"] = durable
@@ -1036,6 +1112,7 @@ func (a *api) healthz(w http.ResponseWriter, _ *http.Request) {
 		body["wal_applied"] = applied
 		body["resyncs"] = resyncs
 		body["replay_lag"] = lastLag
+		body["replica_lag_seq"] = lastLag
 	}
 	writeJSON(w, http.StatusOK, body)
 }

@@ -1,10 +1,11 @@
 // Anti-entropy: cheap convergence fingerprints exchanged between cluster
 // members. A Digest compresses a member's entire served state — epoch, WAL
-// position, snapshot sequence, node count, and the CRC-32C of the packed
-// distance matrix — into a handful of integers. Because rebuilds are
-// deterministic, two members whose digests match are serving byte-identical
-// routing tables; a mismatch at equal WAL position means divergence and
-// demands a resync, not a shrug.
+// position, snapshot sequence, tier, node count, and the CRC-32C of the
+// served tables (the packed distance matrix on the full tier, the encoded
+// LMTB1 scheme tables on the tables tier) — into a handful of integers.
+// Because rebuilds are deterministic, two members whose digests match are
+// serving byte-identical routing tables; a mismatch at equal WAL position
+// means divergence and demands a resync, not a shrug.
 package cluster
 
 import (
@@ -13,28 +14,36 @@ import (
 	"routetab/internal/serve"
 )
 
-// Digest fingerprints one member's served state.
+// Digest fingerprints one member's served state. StateCRC is tier-dependent:
+// DistCRC of the packed matrix on the full tier, TablesCRC of the encoded
+// scheme tables on the tables tier — so Converged asserts byte-identical
+// scheme state, never merely "same sequence number". Tier is part of the
+// fingerprint: a full-tier member never converges with a tables-tier one,
+// even if both CRCs collide.
 type Digest struct {
-	Epoch   uint64
-	WalSeq  uint64
-	SnapSeq uint64
-	N       int
-	DistCRC uint32
+	Epoch    uint64
+	WalSeq   uint64
+	SnapSeq  uint64
+	Tier     string
+	N        int
+	StateCRC uint32
 }
 
 // String implements fmt.Stringer.
 func (d Digest) String() string {
-	return fmt.Sprintf("epoch=%d wal=%d snap=%d n=%d crc=%08x", d.Epoch, d.WalSeq, d.SnapSeq, d.N, d.DistCRC)
+	return fmt.Sprintf("epoch=%d wal=%d snap=%d tier=%s n=%d crc=%08x",
+		d.Epoch, d.WalSeq, d.SnapSeq, d.Tier, d.N, d.StateCRC)
 }
 
 func digestOf(eng *serve.Engine, epoch, walSeq uint64) Digest {
 	cur := eng.Current()
 	return Digest{
-		Epoch:   epoch,
-		WalSeq:  walSeq,
-		SnapSeq: cur.Seq,
-		N:       cur.N(),
-		DistCRC: DistCRC(cur.Dist),
+		Epoch:    epoch,
+		WalSeq:   walSeq,
+		SnapSeq:  cur.Seq,
+		Tier:     cur.Tier,
+		N:        cur.N(),
+		StateCRC: SnapshotCRC(cur),
 	}
 }
 

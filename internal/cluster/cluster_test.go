@@ -42,11 +42,12 @@ func testPrimary(t *testing.T, n int, seed int64) *Primary {
 	return p
 }
 
-// TestPrimaryRejectsTablesTier: replication fingerprints the packed distance
-// matrix, so a tables-tier engine must be refused at wiring time, not fail
-// obscurely at the first digest.
-func TestPrimaryRejectsTablesTier(t *testing.T) {
-	g, err := gengraph.SparseConnected(64, 5, rand.New(rand.NewSource(3)))
+// testTablesPrimary builds a tables-tier (landmark) mutate-only primary over
+// a sparse topology — the large-graph regime where no all-pairs matrix is
+// ever materialised.
+func testTablesPrimary(t *testing.T, n int, seed int64) *Primary {
+	t.Helper()
+	g, err := gengraph.SparseConnected(n, 5, rand.New(rand.NewSource(seed)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,9 +56,186 @@ func TestPrimaryRejectsTablesTier(t *testing.T) {
 		t.Fatal(err)
 	}
 	srv := serve.NewServer(eng, serve.ServerOptions{})
-	defer srv.Close()
-	if _, err := NewPrimary(eng, srv, nil, 1); err == nil {
-		t.Fatal("tables-tier engine accepted as replication primary")
+	p, err := NewPrimary(eng, srv, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		p.Close()
+		srv.Close()
+	})
+	return p
+}
+
+// absentEdge returns an edge missing from the primary's current topology —
+// toggling it add/remove can never disconnect the graph, which a landmark
+// rebuild would refuse.
+func absentEdge(t *testing.T, p *Primary) [2]int {
+	t.Helper()
+	g := p.Engine().Current().Graph
+	for w := 3; w <= g.N(); w++ {
+		if !g.HasEdge(1, w) {
+			return [2]int{1, w}
+		}
+	}
+	t.Fatal("no absent edge around node 1")
+	return [2]int{}
+}
+
+func toggleEdge(t *testing.T, p *Primary, e [2]int) {
+	t.Helper()
+	if _, err := p.Mutate(func(g *graph.Graph) error {
+		if g.HasEdge(e[0], e[1]) {
+			return g.RemoveEdge(e[0], e[1])
+		}
+		return g.AddEdge(e[0], e[1])
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTablesTierReplicaFollowsMutations: a tables-tier replica replays edge
+// diffs through its own landmark rebuilds, every record carries the
+// scheme-table flavour and CRC, and convergence means byte-identical encoded
+// tables.
+func TestTablesTierReplicaFollowsMutations(t *testing.T) {
+	p := testTablesPrimary(t, 64, 3)
+	if tier := p.Engine().Tier(); tier != serve.TierTables {
+		t.Fatalf("tier = %q, want %q", tier, serve.TierTables)
+	}
+	r, err := JoinReplica(p, ReplicaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	requireConverged(t, p, r)
+
+	e := absentEdge(t, p)
+	for i := 0; i < 5; i++ {
+		toggleEdge(t, p, e)
+		syncOK(t, r)
+		requireConverged(t, p, r)
+	}
+	applied, resyncs, _ := r.Stats()
+	if applied != 5 || resyncs != 0 {
+		t.Fatalf("applied=%d resyncs=%d, want 5/0", applied, resyncs)
+	}
+
+	// Every publish record must be the tables flavour, fingerprinting the
+	// encoded scheme tables (not a matrix the tier never built).
+	recs, err := p.Log().Since(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("WAL has %d records, want 5", len(recs))
+	}
+	for _, rec := range recs {
+		if rec.Kind != RecPublishTables {
+			t.Fatalf("record %d kind %v, want %v", rec.Seq, rec.Kind, RecPublishTables)
+		}
+	}
+	want := TablesCRC(p.Engine().Current().TablesBytes())
+	if got := recs[len(recs)-1].DistCRC; got != want {
+		t.Fatalf("last record CRC %08x, want tables CRC %08x", got, want)
+	}
+
+	// The digest must carry the tier and the scheme-table CRC.
+	d, err := p.FetchDigest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Tier != serve.TierTables || d.StateCRC != want {
+		t.Fatalf("digest %+v, want tier=%q crc=%08x", d, serve.TierTables, want)
+	}
+}
+
+// TestTablesTierResyncAfterTruncation: a lagging tables-tier replica falls
+// back to an RTARENA2 full state fetch and still converges byte-identically.
+func TestTablesTierResyncAfterTruncation(t *testing.T) {
+	p := testTablesPrimary(t, 48, 11)
+	r, err := JoinReplica(p, ReplicaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	e := absentEdge(t, p)
+	for i := 0; i < 3; i++ {
+		toggleEdge(t, p, e)
+	}
+	p.Log().TruncateTo(p.Log().LastSeq())
+	syncOK(t, r)
+	requireConverged(t, p, r)
+	if _, resyncs, _ := r.Stats(); resyncs != 1 {
+		t.Fatalf("resyncs = %d, want 1", resyncs)
+	}
+}
+
+// TestTablesTierPromotion: a tables-tier replica promotes to primary under a
+// bumped epoch and its peers resync against it.
+func TestTablesTierPromotion(t *testing.T) {
+	p := testTablesPrimary(t, 48, 17)
+	r0, err := JoinReplica(p, ReplicaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := JoinReplica(p, ReplicaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1.Close()
+
+	e := absentEdge(t, p)
+	toggleEdge(t, p, e)
+	syncOK(t, r0)
+	syncOK(t, r1)
+
+	// Kill the primary; promote r0.
+	p.Close()
+	np, err := r0.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		np.Close()
+		r0.rep.Close()
+		r0.srv.Close()
+	}()
+	if np.Epoch() != 2 {
+		t.Fatalf("promoted epoch %d, want 2", np.Epoch())
+	}
+	// Re-point the surviving replica and converge on the new primary.
+	r1.src = np
+	toggleEdge(t, np, e)
+	syncOK(t, r1)
+	requireConverged(t, np, r1)
+	if _, resyncs, _ := r1.Stats(); resyncs != 1 {
+		t.Fatalf("resyncs = %d, want 1 (epoch change)", resyncs)
+	}
+}
+
+// TestVerifyPublishTierMismatch: a publish record of the wrong flavour for
+// the replaying engine's tier is a contract violation, as is a CRC mismatch.
+func TestVerifyPublishTierMismatch(t *testing.T) {
+	tp := testTablesPrimary(t, 48, 23)
+	tablesSnap := tp.Engine().Current()
+	fp := testPrimary(t, 16, 23)
+	fullSnap := fp.Engine().Current()
+
+	if err := verifyPublish(Record{Kind: RecPublish, SnapSeq: tablesSnap.Seq}, tablesSnap); err == nil {
+		t.Fatal("full-tier record accepted on a tables-tier engine")
+	}
+	if err := verifyPublish(Record{Kind: RecPublishTables, SnapSeq: fullSnap.Seq}, fullSnap); err == nil {
+		t.Fatal("tables record accepted on a full-tier engine")
+	}
+	good := Record{Kind: RecPublishTables, SnapSeq: tablesSnap.Seq, DistCRC: TablesCRC(tablesSnap.TablesBytes())}
+	if err := verifyPublish(good, tablesSnap); err != nil {
+		t.Fatalf("matching record rejected: %v", err)
+	}
+	good.DistCRC++
+	if err := verifyPublish(good, tablesSnap); err == nil {
+		t.Fatal("CRC mismatch accepted")
 	}
 }
 
@@ -94,19 +272,27 @@ func requireConverged(t *testing.T, p *Primary, replicas ...*Replica) {
 		t.Fatalf("digests diverge: %v", ds)
 	}
 	// Digest agreement must mean byte-identical tables; double-check the
-	// full packed matrix, not just its CRC.
-	want := p.Engine().Current().Dist.Packed()
+	// actual state bytes, not just their CRC: the packed matrix on the full
+	// tier, the encoded scheme tables on the tables tier.
+	want := stateBytes(p.Engine().Current())
 	for i, r := range replicas {
-		got := r.Engine().Current().Dist.Packed()
+		got := stateBytes(r.Engine().Current())
 		if len(got) != len(want) {
-			t.Fatalf("replica %d packed length %d, want %d", i, len(got), len(want))
+			t.Fatalf("replica %d state length %d, want %d", i, len(got), len(want))
 		}
 		for j := range want {
 			if got[j] != want[j] {
-				t.Fatalf("replica %d diverges at packed byte %d", i, j)
+				t.Fatalf("replica %d diverges at state byte %d", i, j)
 			}
 		}
 	}
+}
+
+func stateBytes(s *serve.Snapshot) []byte {
+	if s.Dist == nil {
+		return s.TablesBytes()
+	}
+	return s.Dist.Packed()
 }
 
 func TestReplicaFollowsMutations(t *testing.T) {

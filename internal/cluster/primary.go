@@ -2,8 +2,9 @@
 // active repairer) and turns every state change into WAL records. Snapshot
 // publications are captured by the engine's publish hook — which runs under
 // the engine mutex, so records land in exact publication order — as the edge
-// diff between consecutive snapshots plus the CRC of the resulting distance
-// matrix. Overlay events (link/node failures and repairs) are appended after
+// diff between consecutive snapshots plus the CRC of the resulting state —
+// the distance matrix on the full tier, the encoded scheme tables on the
+// tables tier. Overlay events (link/node failures and repairs) are appended after
 // they are applied locally; a publication that races ahead of its causing
 // link record is harmless because replicas apply both in log order and the
 // final state is identical.
@@ -71,12 +72,6 @@ func NewPrimaryAt(eng *serve.Engine, srv *serve.Server, rep *serve.Repairer, epo
 	if epoch == 0 {
 		return nil, fmt.Errorf("cluster: epoch must be ≥ 1")
 	}
-	// Replication is full-tier only: snapshot shipping and the anti-entropy
-	// digest both fingerprint the packed all-pairs matrix, which a tables-tier
-	// snapshot deliberately never materialises.
-	if eng.Current().Dist == nil {
-		return nil, fmt.Errorf("cluster: engine serves a %s-tier snapshot; replication requires the full distance matrix", eng.Tier())
-	}
 	if log == nil {
 		log = NewLog()
 	}
@@ -109,7 +104,9 @@ func (p *Primary) Close() {
 }
 
 // onPublish runs under the engine mutex on every snapshot swap: append the
-// edge diff prev→cur so replicas can replay the mutation.
+// edge diff prev→cur so replicas can replay the mutation. The record kind
+// and CRC follow the snapshot's tier — a tables-tier publication fingerprints
+// the encoded scheme tables, which is all the compact tier materialises.
 func (p *Primary) onPublish(prev, cur *serve.Snapshot) {
 	if p.closed.Load() {
 		return
@@ -119,9 +116,9 @@ func (p *Primary) onPublish(prev, cur *serve.Snapshot) {
 		adds, removes = graphDiff(prev.Graph, cur.Graph)
 	}
 	p.log.Append(Record{
-		Kind:    RecPublish,
+		Kind:    PublishKindFor(cur),
 		SnapSeq: cur.Seq,
-		DistCRC: DistCRC(cur.Dist),
+		DistCRC: SnapshotCRC(cur),
 		Adds:    adds,
 		Removes: removes,
 	})
@@ -205,7 +202,8 @@ func (p *Primary) FetchState() (*State, error) {
 		DownLinks: links,
 		DownNodes: nodes,
 		Snap: &serve.SnapshotData{
-			Seq: cur.Seq, Scheme: cur.Scheme, Graph: cur.Graph, Ports: cur.Ports, Dist: cur.Dist,
+			Seq: cur.Seq, Scheme: cur.Scheme, Graph: cur.Graph, Ports: cur.Ports,
+			Dist: cur.Dist, Tables: cur.TablesBytes(),
 		},
 	}, nil
 }

@@ -140,12 +140,12 @@ func RecoverPrimaryLog(eng *serve.Engine, rep *serve.Repairer, cfg RecoverConfig
 // replayRecords applies retained WAL records in log order onto the engine
 // and repairer, mirroring Replica.apply: publications below the engine's
 // snapshot are idempotently skipped, each replayed publication must land on
-// the next snapshot sequence and verify its DistCRC, and overlay records
-// rebuild the failure view.
+// the next snapshot sequence and verify its state CRC (matrix or scheme
+// tables by record flavour), and overlay records rebuild the failure view.
 func replayRecords(eng *serve.Engine, rep *serve.Repairer, recs []Record) (replayed, overlay, skipped int, err error) {
 	for _, rec := range recs {
 		switch rec.Kind {
-		case RecPublish:
+		case RecPublish, RecPublishTables:
 			cur := eng.Current()
 			if rec.SnapSeq <= cur.Seq {
 				skipped++
@@ -173,8 +173,8 @@ func replayRecords(eng *serve.Engine, rep *serve.Repairer, recs []Record) (repla
 			if snap.Seq != rec.SnapSeq {
 				return replayed, overlay, skipped, fmt.Errorf("cluster: recover: replayed snap %d, record %d says %d", snap.Seq, rec.Seq, rec.SnapSeq)
 			}
-			if crc := DistCRC(snap.Dist); crc != rec.DistCRC {
-				return replayed, overlay, skipped, fmt.Errorf("cluster: recover: dist CRC %08x after record %d, WAL says %08x", crc, rec.Seq, rec.DistCRC)
+			if verr := verifyPublish(rec, snap); verr != nil {
+				return replayed, overlay, skipped, fmt.Errorf("cluster: recover: record %d: %w", rec.Seq, verr)
 			}
 			replayed++
 			if rep != nil {

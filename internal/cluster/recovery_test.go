@@ -1,11 +1,14 @@
 package cluster
 
 import (
+	"math/rand"
+
 	"strings"
 	"testing"
 
 	"routetab/internal/cluster/walstore"
 	"routetab/internal/faultinject"
+	"routetab/internal/gengraph"
 	"routetab/internal/graph"
 	"routetab/internal/serve"
 )
@@ -282,5 +285,92 @@ func TestRecoverCRCMismatchBumpsEpoch(t *testing.T) {
 	// contract).
 	if eng.Current().Seq < before {
 		t.Fatal("engine went backwards")
+	}
+}
+
+// tablesRecoveryStack is recoveryStack for the tables tier: a landmark-scheme
+// engine over a sparse topology, cold-rebuilt deterministically on restart.
+func tablesRecoveryStack(t *testing.T, n int, seed int64) (*serve.Engine, *serve.Server, *serve.Repairer) {
+	t.Helper()
+	g, err := gengraph.SparseConnected(n, 5, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := serve.NewTieredEngine(g, "landmark")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.NewServer(eng, serve.ServerOptions{})
+	rep := serve.NewRepairer(srv, serve.RepairOptions{Debounce: -1})
+	t.Cleanup(func() {
+		rep.Close()
+		srv.Close()
+	})
+	return eng, srv, rep
+}
+
+// TestRecoverTablesTierResumesEpoch: kill -9 a tables-tier primary and prove
+// the next incarnation replays its RecPublishTables records forward — scheme
+// tables verified per record — and resumes the same epoch.
+func TestRecoverTablesTierResumesEpoch(t *testing.T) {
+	fs := faultinject.NewMemFS()
+	eng1, srv1, rep1 := tablesRecoveryStack(t, 48, 7)
+	log1, rpt1, err := RecoverPrimaryLog(eng1, rep1, RecoverConfig{Dir: "w", FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rpt1.Fresh || rpt1.Epoch != 1 {
+		t.Fatalf("fresh recovery: %+v", rpt1)
+	}
+	p1, err := NewPrimaryAt(eng1, srv1, rep1, rpt1.Epoch, log1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := missingEdges(eng1.Current().Graph, 4)
+	for _, e := range edges {
+		mutateAdd(t, p1, e)
+	}
+	recs, err := log1.Since(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if rec.Kind != RecPublishTables {
+			t.Fatalf("record %d kind %v, want %v", rec.Seq, rec.Kind, RecPublishTables)
+		}
+	}
+	want, err := p1.FetchDigest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Tier != serve.TierTables {
+		t.Fatalf("digest tier %q, want %q", want.Tier, serve.TierTables)
+	}
+	// kill -9: no CloseWAL, no seal.
+	log1.Abandon()
+	p1.Close()
+
+	eng2, srv2, rep2 := tablesRecoveryStack(t, 48, 7)
+	log2, rpt2, err := RecoverPrimaryLog(eng2, rep2, RecoverConfig{Dir: "w", FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rpt2.EpochBumped || rpt2.Epoch != 1 {
+		t.Fatalf("expected same-epoch resume, got %+v", rpt2)
+	}
+	if rpt2.Replayed != len(edges) {
+		t.Fatalf("replayed %d publications, want %d", rpt2.Replayed, len(edges))
+	}
+	p2, err := NewPrimaryAt(eng2, srv2, rep2, rpt2.Epoch, log2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	got, err := p2.FetchDigest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("recovered digest %v, want %v", got, want)
 	}
 }

@@ -209,7 +209,7 @@ func (r *Replica) Sync() error {
 // resync in the caller.
 func (r *Replica) apply(rec Record) error {
 	switch rec.Kind {
-	case RecPublish:
+	case RecPublish, RecPublishTables:
 		cur := r.eng.Current()
 		if rec.SnapSeq <= cur.Seq {
 			// Already reflected in the snapshot we bootstrapped from (the
@@ -238,8 +238,8 @@ func (r *Replica) apply(rec Record) error {
 		if snap.Seq != rec.SnapSeq {
 			return fmt.Errorf("cluster: replayed snap seq %d, record says %d", snap.Seq, rec.SnapSeq)
 		}
-		if crc := DistCRC(snap.Dist); crc != rec.DistCRC {
-			return fmt.Errorf("cluster: dist CRC %08x after replay, record says %08x", crc, rec.DistCRC)
+		if err := verifyPublish(rec, snap); err != nil {
+			return fmt.Errorf("cluster: %w", err)
 		}
 		// The publication may have incorporated overlay links; recompute
 		// the incorporated set from the new serving graph.

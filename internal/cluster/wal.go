@@ -40,11 +40,30 @@ var (
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-// DistCRC is the convergence fingerprint: CRC-32C over the packed row-major
-// distance matrix. Two engines serving byte-identical tables agree on it;
-// anti-entropy and per-record verification both compare this value.
+// DistCRC is the full-tier convergence fingerprint: CRC-32C over the packed
+// row-major distance matrix. Two engines serving byte-identical tables agree
+// on it; anti-entropy and per-record verification both compare this value.
 func DistCRC(d *shortestpath.Distances) uint32 {
 	return crc32.Checksum(d.Packed(), crcTable)
+}
+
+// TablesCRC is the tables-tier convergence fingerprint: CRC-32C over the
+// encoded scheme tables (the LMTB1 blob for the landmark scheme). The
+// incompressibility bound is why the compact tier fingerprints the tables
+// themselves — there is no matrix to hash, by design.
+func TablesCRC(tables []byte) uint32 {
+	return crc32.Checksum(tables, crcTable)
+}
+
+// SnapshotCRC returns the convergence fingerprint appropriate to snap's tier:
+// DistCRC of the packed matrix on the full tier, TablesCRC of the encoded
+// scheme tables on the tables tier. Per-record verification, anti-entropy
+// digests, and recovery replay all use this single definition.
+func SnapshotCRC(snap *serve.Snapshot) uint32 {
+	if snap.Dist == nil {
+		return TablesCRC(snap.TablesBytes())
+	}
+	return DistCRC(snap.Dist)
 }
 
 // RecordKind enumerates WAL record types.
@@ -52,11 +71,18 @@ type RecordKind uint8
 
 // Record kinds. Publish records carry the topology diff of one snapshot
 // publication; link and node records carry overlay (failure view) events
-// that have not (yet) been folded into a publication.
+// that have not (yet) been folded into a publication. RecPublishTables is
+// the tables-tier flavour of RecPublish: the payload layout is identical but
+// the CRC field fingerprints the encoded scheme tables instead of the packed
+// matrix. The kind byte is the version sniff — full-tier WALs never contain
+// kind 4, so they encode and decode byte-identically to before, and a
+// pre-tables decoder rejects a tables-tier log outright instead of
+// misinterpreting it.
 const (
 	RecPublish RecordKind = iota + 1
 	RecLink
 	RecNode
+	RecPublishTables
 )
 
 // String implements fmt.Stringer.
@@ -68,22 +94,38 @@ func (k RecordKind) String() string {
 		return "link"
 	case RecNode:
 		return "node"
+	case RecPublishTables:
+		return "publish-tables"
 	}
 	return fmt.Sprintf("record-kind-%d", int(k))
 }
 
+// IsPublish reports whether k is a publish flavour (full or tables tier).
+func (k RecordKind) IsPublish() bool {
+	return k == RecPublish || k == RecPublishTables
+}
+
+// PublishKindFor returns the publish record kind matching snap's tier.
+func PublishKindFor(snap *serve.Snapshot) RecordKind {
+	if snap.Dist == nil {
+		return RecPublishTables
+	}
+	return RecPublish
+}
+
 // Record is one replicated event. Seq is the dense WAL sequence assigned by
 // the primary's log. Publish records describe snapshot SnapSeq as the edge
-// diff against snapshot SnapSeq−1, with DistCRC fingerprinting the distance
-// matrix the rebuild must produce. Link/node records update the failure
-// overlay: U,V (or U alone) and Down.
+// diff against snapshot SnapSeq−1, with DistCRC fingerprinting the state the
+// rebuild must produce: the packed distance matrix for RecPublish, the
+// encoded scheme tables for RecPublishTables. Link/node records update the
+// failure overlay: U,V (or U alone) and Down.
 type Record struct {
 	Seq     uint64
 	Kind    RecordKind
-	SnapSeq uint64   // publish
-	DistCRC uint32   // publish
-	Adds    [][2]int // publish: edges added vs previous snapshot
-	Removes [][2]int // publish: edges removed vs previous snapshot
+	SnapSeq uint64   // publish flavours
+	DistCRC uint32   // publish flavours: matrix or scheme-table CRC by kind
+	Adds    [][2]int // publish flavours: edges added vs previous snapshot
+	Removes [][2]int // publish flavours: edges removed vs previous snapshot
 	U, V    int      // link (U,V) / node (U)
 	Down    bool     // link/node
 }
@@ -110,7 +152,7 @@ func marshalRecord(rec Record) ([]byte, error) {
 	buf.WriteByte(byte(rec.Kind))
 	buf.Write(tmp[:binary.PutUvarint(tmp[:], rec.Seq)])
 	switch rec.Kind {
-	case RecPublish:
+	case RecPublish, RecPublishTables:
 		buf.Write(tmp[:binary.PutUvarint(tmp[:], rec.SnapSeq)])
 		binary.Write(&buf, binary.LittleEndian, rec.DistCRC)
 		buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(rec.Adds)))])
@@ -183,12 +225,12 @@ func unmarshalRecord(payload []byte) (Record, error) {
 		return Record{}, fmt.Errorf("%w: truncated seq", ErrBadRecord)
 	}
 	switch rec.Kind {
-	case RecPublish:
+	case RecPublish, RecPublishTables:
 		if rec.SnapSeq, err = binary.ReadUvarint(br); err != nil {
 			return Record{}, fmt.Errorf("%w: truncated snap seq", ErrBadRecord)
 		}
 		if err = binary.Read(br, binary.LittleEndian, &rec.DistCRC); err != nil {
-			return Record{}, fmt.Errorf("%w: truncated dist crc", ErrBadRecord)
+			return Record{}, fmt.Errorf("%w: truncated state crc", ErrBadRecord)
 		}
 		for _, dst := range []*[][2]int{&rec.Adds, &rec.Removes} {
 			count, err := binary.ReadUvarint(br)
@@ -235,6 +277,21 @@ func unmarshalRecord(payload []byte) (Record, error) {
 		return Record{}, fmt.Errorf("%w: %d trailing bytes", ErrBadRecord, br.Len())
 	}
 	return rec, nil
+}
+
+// verifyPublish checks that snap — the engine's state after replaying a
+// publish record — matches the record's tier flavour and CRC. A kind/tier
+// mismatch or a CRC mismatch is a determinism-contract violation; callers
+// fall back to a full resync (replica) or surface corruption (recovery).
+func verifyPublish(rec Record, snap *serve.Snapshot) error {
+	if want := PublishKindFor(snap); rec.Kind != want {
+		return fmt.Errorf("%v record replayed on a %s-tier engine", rec.Kind, snap.Tier)
+	}
+	if crc := SnapshotCRC(snap); crc != rec.DistCRC {
+		return fmt.Errorf("%v crc mismatch after replaying snap %d: got %08x want %08x",
+			rec.Kind, rec.SnapSeq, crc, rec.DistCRC)
+	}
+	return nil
 }
 
 // WALBatch is a contiguous run of records fetched from a primary, stamped

@@ -1,0 +1,802 @@
+// Big-cluster chaos: the tables-tier counterpart of RunCluster. A 3-member
+// landmark cluster serves a sparse topology sized past the all-pairs ceiling
+// (default n=4096) while the harness injects the same replication failure
+// modes as the full-tier harness — replica partitions from a seeded plan, a
+// WAL corruption on the wire, a truncation under lag, and a primary kill
+// recovered by promotion — with every member's answers spot-graded against
+// on-demand BFS ground truth.
+//
+// Grading differs from RunCluster by necessity: there is no all-pairs matrix
+// to grade against, and Result.Dist/NextDist are stretch-bounded estimates on
+// this tier, so the strict NextDist==Dist−1 rule would flag correct answers.
+// Instead each member carries its own spotgrade.Grader over its own engine —
+// reachability, real-neighbour next hops, and route stretch ≤ 3 are asserted
+// on the deterministic hash sample, and one violation fails the run. At
+// quiesce, convergence is asserted first by anti-entropy digests (which on
+// this tier fingerprint the encoded LMTB1 scheme tables) and then by
+// comparing the encoded tables byte for byte — the tables-tier analogue of
+// RunCluster's packed-matrix comparison.
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"routetab/internal/cluster"
+	"routetab/internal/faultinject"
+	"routetab/internal/gengraph"
+	"routetab/internal/graph"
+	"routetab/internal/serve"
+	"routetab/internal/serve/spotgrade"
+)
+
+// BigClusterConfig parameterises one tables-tier cluster chaos run.
+type BigClusterConfig struct {
+	// N is the sparse topology size (default 4096).
+	N int
+	// AvgDeg is the sparse topology's target average degree (default 8).
+	AvgDeg float64
+	// Seed keys the topology, query streams, churn, corruption, and the
+	// partition plan.
+	Seed int64
+	// Replicas is how many followers join the primary (default 2 — a
+	// 3-member cluster).
+	Replicas int
+	// Lookups is the total lookup target across workers (default 20_000).
+	Lookups uint64
+	// Workers is the closed-loop client count (default 4).
+	Workers int
+	// PartitionHealAfter is how many partition-plan ticks an isolated
+	// replica stays cut off (default 2).
+	PartitionHealAfter int
+	// Corruptions is how many WAL fetches are bit-flipped on the wire
+	// (default 1; each must end in a clean resync, never divergence).
+	Corruptions int
+	// Truncations is how many times the primary truncates its WAL under a
+	// lagging replica, forcing an RTARENA2 full resync (default 1).
+	Truncations int
+	// SkipKill disables the primary kill + promotion phase.
+	SkipKill bool
+	// MaxUnavailableFrac bounds the tolerated unserved fraction (default
+	// 0.02: rebuilds are ~100× heavier than at n=256, so partitions and the
+	// kill window cost proportionally more).
+	MaxUnavailableFrac float64
+	// SyncInterval paces replica WAL pulls (default 1ms).
+	SyncInterval time.Duration
+	// SampleEvery grades ~1/SampleEvery of answers (default 1: grade all).
+	SampleEvery int
+}
+
+func (c *BigClusterConfig) setDefaults() {
+	if c.N < 8 {
+		c.N = 4096
+	}
+	if c.AvgDeg <= 0 {
+		c.AvgDeg = 8
+	}
+	if c.Replicas < 1 {
+		c.Replicas = 2
+	}
+	if c.Lookups == 0 {
+		c.Lookups = 20_000
+	}
+	if c.Workers < 1 {
+		c.Workers = 4
+	}
+	if c.PartitionHealAfter <= 0 {
+		c.PartitionHealAfter = 2
+	}
+	if c.Corruptions < 0 {
+		c.Corruptions = 0
+	} else if c.Corruptions == 0 {
+		c.Corruptions = 1
+	}
+	if c.Truncations < 0 {
+		c.Truncations = 0
+	} else if c.Truncations == 0 {
+		c.Truncations = 1
+	}
+	if c.MaxUnavailableFrac <= 0 {
+		c.MaxUnavailableFrac = 0.02
+	}
+	if c.SyncInterval <= 0 {
+		c.SyncInterval = time.Millisecond
+	}
+	if c.SampleEvery < 1 {
+		c.SampleEvery = 1
+	}
+}
+
+// BigClusterReport is one tables-tier cluster chaos run's graded outcome.
+type BigClusterReport struct {
+	N         int   `json:"n"`
+	Seed      int64 `json:"seed"`
+	Members   int   `json:"members"`
+	Landmarks int   `json:"landmarks"`
+
+	Lookups     uint64 `json:"lookups"`
+	Served      uint64 `json:"served"`
+	Rejected    uint64 `json:"rejected"`
+	Unavailable uint64 `json:"unavailable"`
+	Errored     uint64 `json:"errored"`
+
+	SpotGraded          uint64 `json:"spot_graded"`
+	SpotViolations      uint64 `json:"spot_violations"`
+	SpotMaxStretchMilli int64  `json:"spot_max_stretch_milli"`
+
+	ChurnRounds  int    `json:"churn_rounds"`
+	Partitions   int    `json:"partitions"`
+	Corruptions  int    `json:"corruptions"`
+	Truncations  int    `json:"truncations"`
+	Promoted     bool   `json:"promoted"`
+	FinalEpoch   uint64 `json:"final_epoch"`
+	Resyncs      uint64 `json:"resyncs"`
+	MaxReplayLag uint64 `json:"max_replay_lag"`
+
+	// Space figures: ResyncBytes is the encoded RTARENA2 state a joining or
+	// resyncing member actually receives; MatrixBytes is the hypothetical
+	// full-tier payload (the n² one-byte-per-pair packed matrix) the compact
+	// tier exists to avoid shipping.
+	SnapshotBytes int    `json:"snapshot_bytes"`
+	ResyncBytes   int    `json:"resync_bytes"`
+	MatrixBytes   uint64 `json:"matrix_bytes"`
+
+	AvailabilityPct  float64       `json:"availability_pct"`
+	FailoverNs       int64         `json:"failover_ns"`
+	DigestsConverged bool          `json:"digests_converged"`
+	TablesIdentical  bool          `json:"tables_identical"`
+	PerMember        []MemberStats `json:"per_member"`
+	Elapsed          time.Duration `json:"elapsed_ns"`
+	QPS              float64       `json:"qps"`
+}
+
+// String renders the headline figures.
+func (r *BigClusterReport) String() string {
+	return fmt.Sprintf("bigcluster n=%d members=%d landmarks=%d: %d lookups (%.0f qps), %.3f%% available (served=%d rejected=%d unavailable=%d errored=%d), spot graded=%d violations=%d max stretch %.3f, %d churn rounds, %d partitions, %d corruptions, %d truncations, promoted=%v epoch=%d resyncs=%d lag≤%d, failover %v, resync %d B vs matrix %d B, digests converged=%v tables identical=%v",
+		r.N, r.Members, r.Landmarks, r.Lookups, r.QPS, r.AvailabilityPct,
+		r.Served, r.Rejected, r.Unavailable, r.Errored,
+		r.SpotGraded, r.SpotViolations, float64(r.SpotMaxStretchMilli)/1000,
+		r.ChurnRounds, r.Partitions, r.Corruptions, r.Truncations,
+		r.Promoted, r.FinalEpoch, r.Resyncs, r.MaxReplayLag,
+		time.Duration(r.FailoverNs), r.ResyncBytes, r.MatrixBytes,
+		r.DigestsConverged, r.TablesIdentical)
+}
+
+// bigMember is one tables-tier cluster node as the router sees it, carrying
+// its own spot grader: every non-errored answer it serves is observed against
+// its own engine's ground truth, so replica staleness cannot cause false
+// verdicts (the grader skips answers from a non-current snapshot).
+type bigMember struct {
+	name   string
+	gate   *gate
+	srv    atomic.Pointer[serve.Server]
+	grader *spotgrade.Grader
+}
+
+func (m *bigMember) Name() string { return m.name }
+
+// Lookup implements cluster.Backend.
+func (m *bigMember) Lookup(src, dst int) (serve.Result, error) {
+	if m.gate.down.Load() {
+		return serve.Result{}, errUnreachable
+	}
+	srv := m.srv.Load()
+	if srv == nil {
+		return serve.Result{}, errUnreachable
+	}
+	res := srv.NextHop(src, dst)
+	m.grader.Observe(src, dst, &res)
+	return res, nil
+}
+
+// bigClusterHarness is one run's mutable state.
+type bigClusterHarness struct {
+	cfg     BigClusterConfig
+	srvOpts serve.ServerOptions
+
+	answered    atomic.Uint64
+	served      atomic.Uint64
+	rejected    atomic.Uint64
+	unavailable atomic.Uint64
+	errored     atomic.Uint64
+
+	primary  *cluster.Primary
+	srv0     *serve.Server
+	members  []*bigMember // members[0] is the initial primary
+	replicas []*cluster.Replica
+	sources  []*chaosSource // per replica
+	router   *cluster.Router
+	inj      *faultinject.Injector
+
+	// toggles are initially-absent edges cycled add/remove by churn; removing
+	// an edge the harness itself added can never disconnect the topology,
+	// which the landmark build would refuse.
+	toggles [][2]int
+
+	churnDone   int
+	partitions  int
+	truncations int
+	promoted    bool
+	failoverNs  int64
+	maxLag      uint64
+}
+
+// SetPeerDown implements faultinject.PeerTarget: peer i is replica i, severed
+// from both its feed and its clients.
+func (h *bigClusterHarness) SetPeerDown(peer int, isDown bool) error {
+	if peer < 0 || peer >= len(h.replicas) {
+		return fmt.Errorf("chaos: partition of unknown peer %d", peer)
+	}
+	h.members[peer+1].gate.down.Store(isDown)
+	if isDown {
+		h.partitions++
+	}
+	return nil
+}
+
+// SetLinkDown and SetNodeDown satisfy faultinject.Target; the big harness's
+// partition plan contains only peer events (topology churn goes through
+// Mutate so spot grading stays strict), so these must never fire.
+func (h *bigClusterHarness) SetLinkDown(u, v int, isDown bool) error {
+	return fmt.Errorf("chaos: unexpected link fault (%d,%d) in bigcluster plan", u, v)
+}
+func (h *bigClusterHarness) SetNodeDown(u int, isDown bool) error {
+	return fmt.Errorf("chaos: unexpected node fault %d in bigcluster plan", u)
+}
+
+// RunBigCluster executes one tables-tier cluster chaos run. The report is
+// complete even on failure; the error names the broken invariant.
+func RunBigCluster(cfg BigClusterConfig) (*BigClusterReport, error) {
+	cfg.setDefaults()
+	g, err := gengraph.SparseConnected(cfg.N, cfg.AvgDeg, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	eng, err := serve.NewTieredEngine(g, "landmark")
+	if err != nil {
+		return nil, err
+	}
+	snap := eng.Current()
+	size := snap.ArenaSize()
+	if cfg.N >= 1024 && uint64(size)*2 >= uint64(cfg.N)*uint64(cfg.N) {
+		return nil, fmt.Errorf("chaos: tables-tier snapshot is %d bytes for n=%d — not o(n²)", size, cfg.N)
+	}
+
+	h := &bigClusterHarness{cfg: cfg}
+	h.srvOpts = serve.ServerOptions{Shards: 2, QueueCap: cfg.Workers * 4, StretchSampleEvery: -1}
+	h.toggles = absentEdges(g, 8)
+	if len(h.toggles) == 0 {
+		return nil, errors.New("chaos: no absent edges to churn (topology is complete)")
+	}
+
+	srv := serve.NewServer(eng, h.srvOpts)
+	p, err := cluster.NewPrimary(eng, srv, nil, 1)
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	h.primary, h.srv0 = p, srv
+	pm := &bigMember{name: "member-0", gate: &gate{},
+		grader: spotgrade.New(eng, spotgrade.Config{Seed: cfg.Seed, SampleEvery: cfg.SampleEvery})}
+	pm.srv.Store(srv)
+	h.members = append(h.members, pm)
+
+	for i := 0; i < cfg.Replicas; i++ {
+		cs := &chaosSource{target: p, gate: &gate{}, rng: rand.New(rand.NewSource(cfg.Seed*7919 + int64(i)))}
+		r, err := cluster.JoinReplica(cs, cluster.ReplicaOptions{
+			Server:       h.srvOpts,
+			SyncInterval: cfg.SyncInterval,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("chaos: replica %d join: %w", i, err)
+		}
+		r.Start()
+		rm := &bigMember{name: fmt.Sprintf("member-%d", i+1), gate: cs.gate,
+			grader: spotgrade.New(r.Engine(), spotgrade.Config{Seed: cfg.Seed, SampleEvery: cfg.SampleEvery})}
+		rm.srv.Store(r.Server())
+		h.replicas = append(h.replicas, r)
+		h.sources = append(h.sources, cs)
+		h.members = append(h.members, rm)
+	}
+	defer func() {
+		for _, r := range h.replicas {
+			r.Close()
+		}
+		h.primary.Close()
+		h.srv0.Close()
+	}()
+
+	backends := make([]cluster.Backend, len(h.members))
+	for i, m := range h.members {
+		backends[i] = m
+	}
+	h.router = cluster.NewRouter(backends, cluster.RouterOptions{
+		HedgeAfter: 500 * time.Microsecond,
+		ProbeAfter: 2 * time.Millisecond,
+	})
+
+	plan, err := faultinject.RandomPartitionPlan(faultinject.PartitionConfig{
+		Peers:       cfg.Replicas,
+		IsolateProb: 0.999, // isolate every replica exactly once
+		Horizon:     max(cfg.Replicas, 1),
+		HealAfter:   cfg.PartitionHealAfter,
+	}, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	h.inj, err = faultinject.New(faultinject.Config{Seed: cfg.Seed}, plan)
+	if err != nil {
+		return nil, err
+	}
+	h.inj.Bind(h)
+
+	return h.drive()
+}
+
+// absentEdges returns up to k edges missing from g, each incident to a
+// distinct low-numbered node — the churn toggle pool.
+func absentEdges(g *graph.Graph, k int) [][2]int {
+	var out [][2]int
+	n := g.N()
+	for u := 1; u <= n && len(out) < k; u++ {
+		for w := u + 2; w <= n; w++ {
+			if !g.HasEdge(u, w) {
+				out = append(out, [2]int{u, w})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// churn publishes one deterministic topology change through the primary: the
+// round's toggle edge is added if absent and removed if present. Every churn
+// costs a full landmark rebuild on the primary and on each replica replaying
+// the record — the heaviest thing a tables-tier cluster does.
+func (h *bigClusterHarness) churn(round int) error {
+	e := h.toggles[round%len(h.toggles)]
+	_, err := h.primary.Mutate(func(gr *graph.Graph) error {
+		if gr.HasEdge(e[0], e[1]) {
+			return gr.RemoveEdge(e[0], e[1])
+		}
+		return gr.AddEdge(e[0], e[1])
+	})
+	if err != nil {
+		return err
+	}
+	h.churnDone++
+	return nil
+}
+
+// sampleLag folds the replicas' current replay lag into the running max.
+func (h *bigClusterHarness) sampleLag() {
+	for _, r := range h.replicas {
+		if _, _, lag := r.Stats(); lag > h.maxLag {
+			h.maxLag = lag
+		}
+	}
+}
+
+// settle waits for every reachable replica to catch up with the current
+// primary (bounded; convergence is verified for real at quiesce). Tables-tier
+// replays are full landmark rebuilds, so the deadline is generous.
+func (h *bigClusterHarness) settle(deadline time.Duration) {
+	until := time.Now().Add(deadline)
+	for time.Now().Before(until) {
+		h.sampleLag()
+		pd, err := h.primary.FetchDigest()
+		if err != nil {
+			return
+		}
+		ok := true
+		for i, r := range h.replicas {
+			if h.sources[i].gate.down.Load() {
+				continue
+			}
+			if h.promoted && i == 0 {
+				continue
+			}
+			if r.Digest() != pd {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// buildPhases lays out the deterministic injection schedule: churn warmup, a
+// partition + churn-under-partition + heal cycle per replica, a WAL
+// corruption, a truncation under lag, the primary kill + promotion, then
+// final churn on the new primary.
+func (h *bigClusterHarness) buildPhases() []phase {
+	var ps []phase
+	round := 0
+	nextChurn := func() int { r := round; round++; return r }
+	churnN := func(k int) func() error {
+		return func() error {
+			for i := 0; i < k; i++ {
+				if err := h.churn(nextChurn()); err != nil {
+					return err
+				}
+			}
+			h.sampleLag()
+			return nil
+		}
+	}
+
+	ps = append(ps, phase{name: "churn warmup", run: churnN(1)})
+
+	horizon := h.cfg.Replicas + h.cfg.PartitionHealAfter + 1
+	for t := 0; t <= horizon; t++ {
+		tick := t
+		ps = append(ps, phase{name: fmt.Sprintf("partition tick %d", tick), run: func() error {
+			if err := h.inj.AdvanceTo(tick); err != nil {
+				return err
+			}
+			return churnN(1)()
+		}})
+	}
+	ps = append(ps, phase{name: "heal partitions", run: func() error {
+		if err := h.inj.Finish(); err != nil {
+			return err
+		}
+		h.settle(10 * time.Second)
+		return nil
+	}})
+
+	for c := 0; c < h.cfg.Corruptions; c++ {
+		idx := c % len(h.sources)
+		ps = append(ps, phase{name: fmt.Sprintf("wal corruption replica %d", idx), run: func() error {
+			h.sources[idx].mu.Lock()
+			h.sources[idx].corruptNext = true
+			h.sources[idx].mu.Unlock()
+			if err := churnN(1)(); err != nil {
+				return err
+			}
+			h.settle(10 * time.Second)
+			return nil
+		}})
+	}
+
+	for tr := 0; tr < h.cfg.Truncations; tr++ {
+		ps = append(ps, phase{name: "wal truncation", run: func() error {
+			if err := churnN(1)(); err != nil {
+				return err
+			}
+			// Drop the whole log: any replica that has not pulled yet gets
+			// ErrGone and must fall back to an RTARENA2 state fetch.
+			h.primary.Log().TruncateTo(h.primary.Log().LastSeq())
+			h.truncations++
+			h.settle(10 * time.Second)
+			return nil
+		}})
+	}
+
+	if !h.cfg.SkipKill {
+		ps = append(ps, phase{name: "primary kill + promotion", run: h.killPromote})
+	}
+
+	ps = append(ps, phase{name: "final churn", run: func() error {
+		if err := churnN(1)(); err != nil {
+			return err
+		}
+		h.settle(10 * time.Second)
+		return nil
+	}})
+	return ps
+}
+
+// tally grades one routed lookup's transport/availability outcome; answer
+// correctness is the per-member spot graders' job.
+func (h *bigClusterHarness) tally(res serve.Result, err error) time.Duration {
+	h.answered.Add(1)
+	if err != nil {
+		h.unavailable.Add(1)
+		return 0
+	}
+	var oe *serve.OverloadedError
+	switch {
+	case errors.As(res.Err, &oe):
+		h.rejected.Add(1)
+		return oe.RetryAfter
+	case errors.Is(res.Err, serve.ErrOverloaded), errors.Is(res.Err, serve.ErrClosed):
+		h.rejected.Add(1)
+		return 500 * time.Microsecond
+	case errors.Is(res.Err, serve.ErrUnavailable):
+		h.unavailable.Add(1)
+	case res.Err != nil:
+		h.errored.Add(1)
+	default:
+		h.served.Add(1)
+	}
+	return 0
+}
+
+// killPromote kills the primary (unreachable to clients and replicas, publish
+// hook detached), promotes replica 0 under a bumped epoch, points the
+// surviving replicas at it, and measures kill → first routed answer after
+// promotion as the failover latency.
+func (h *bigClusterHarness) killPromote() error {
+	h.settle(10 * time.Second)
+	start := time.Now()
+	h.members[0].gate.down.Store(true)
+	h.primary.Close()
+
+	np, err := h.replicas[0].Promote()
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrFailover, err)
+	}
+	h.primary = np
+	h.promoted = true
+	for i := 1; i < len(h.replicas); i++ {
+		h.sources[i].setTarget(np)
+	}
+	for {
+		res, err := h.router.Lookup(1, 2)
+		h.tally(res, err)
+		if err == nil && res.Err == nil {
+			break
+		}
+		if time.Since(start) > 10*time.Second {
+			return fmt.Errorf("%w: no routed answer %v after kill", ErrFailover, time.Since(start))
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	h.failoverNs = time.Since(start).Nanoseconds()
+	h.settle(10 * time.Second)
+	return nil
+}
+
+// drive runs the routed closed-loop workers, fires phases at progress
+// milestones, then quiesces and grades convergence.
+func (h *bigClusterHarness) drive() (*BigClusterReport, error) {
+	cfg := h.cfg
+	stop := make(chan struct{})
+	var once sync.Once
+	halt := func() { once.Do(func() { close(stop) }) }
+
+	var issued atomic.Uint64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(w)*7919))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if issued.Add(1) > cfg.Lookups {
+					halt()
+					return
+				}
+				src := rng.Intn(cfg.N) + 1
+				dst := rng.Intn(cfg.N-1) + 1
+				if dst >= src {
+					dst++
+				}
+				res, err := h.router.Lookup(src, dst)
+				if b := h.tally(res, err); b > 0 {
+					if b > time.Millisecond {
+						b = time.Millisecond
+					}
+					time.Sleep(b)
+				}
+			}
+		}()
+	}
+
+	phases := h.buildPhases()
+	ctlErr := make(chan error, 1)
+	var ctlWG sync.WaitGroup
+	ctlWG.Add(1)
+	go func() {
+		defer ctlWG.Done()
+		total := len(phases)
+		for k, ph := range phases {
+			threshold := cfg.Lookups * uint64(k+1) / uint64(total+1)
+			for h.answered.Load() < threshold {
+				select {
+				case <-stop:
+				case <-time.After(100 * time.Microsecond):
+					continue
+				}
+				break
+			}
+			if err := ph.run(); err != nil {
+				select {
+				case ctlErr <- fmt.Errorf("chaos bigcluster phase %q: %w", ph.name, err):
+				default:
+				}
+				halt()
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	halt()
+	ctlWG.Wait()
+	elapsed := time.Since(start)
+
+	var phaseErr error
+	select {
+	case phaseErr = <-ctlErr:
+	default:
+	}
+
+	// Quiesce: force every replica through a final sync against the current
+	// primary, then compare digests and the encoded scheme tables themselves.
+	for i, r := range h.replicas {
+		h.sources[i].gate.down.Store(false)
+		if h.promoted && i == 0 {
+			continue // replica 0 is the primary now
+		}
+		_ = r.Sync()
+	}
+	h.settle(15 * time.Second)
+	h.sampleLag()
+
+	live := h.liveReplicas()
+	converged, _, entErr := cluster.CheckEntropy(h.primary, live...)
+	if entErr != nil && phaseErr == nil {
+		phaseErr = entErr
+	}
+	identical := true
+	finalSnap := h.primary.Engine().Current()
+	want := finalSnap.TablesBytes()
+	for _, r := range live {
+		if !bytes.Equal(r.Engine().Current().TablesBytes(), want) {
+			identical = false
+		}
+	}
+
+	var resyncs uint64
+	for _, r := range h.replicas {
+		_, rs, _ := r.Stats()
+		resyncs += rs
+	}
+	corruptions := 0
+	for _, cs := range h.sources {
+		cs.mu.Lock()
+		corruptions += cs.corrupted
+		cs.mu.Unlock()
+	}
+	var spotGraded, spotViolations uint64
+	var spotMax int64
+	var firstSpotErr error
+	for _, m := range h.members {
+		spotGraded += m.grader.Graded()
+		spotViolations += m.grader.Violations()
+		if ms := m.grader.MaxStretchMilli(); ms > spotMax {
+			spotMax = ms
+		}
+		if firstSpotErr == nil {
+			firstSpotErr = m.grader.Err()
+		}
+	}
+
+	// Resync economics: what a joining member receives on this tier versus
+	// what a full-tier resync at the same n would have to ship.
+	resyncBytes := 0
+	if st, err := h.primary.FetchState(); err == nil {
+		var buf bytes.Buffer
+		if cluster.EncodeState(&buf, st) == nil {
+			resyncBytes = buf.Len()
+		}
+	}
+
+	rep := &BigClusterReport{
+		N:                   cfg.N,
+		Seed:                cfg.Seed,
+		Members:             len(h.members),
+		Lookups:             h.answered.Load(),
+		Served:              h.served.Load(),
+		Rejected:            h.rejected.Load(),
+		Unavailable:         h.unavailable.Load(),
+		Errored:             h.errored.Load(),
+		SpotGraded:          spotGraded,
+		SpotViolations:      spotViolations,
+		SpotMaxStretchMilli: spotMax,
+		ChurnRounds:         h.churnDone,
+		Partitions:          h.partitions,
+		Corruptions:         corruptions,
+		Truncations:         h.truncations,
+		Promoted:            h.promoted,
+		FinalEpoch:          h.primary.Epoch(),
+		Resyncs:             resyncs,
+		MaxReplayLag:        h.maxLag,
+		SnapshotBytes:       finalSnap.ArenaSize(),
+		ResyncBytes:         resyncBytes,
+		MatrixBytes:         uint64(cfg.N) * uint64(cfg.N),
+		FailoverNs:          h.failoverNs,
+		DigestsConverged:    converged,
+		TablesIdentical:     identical,
+		Elapsed:             elapsed,
+	}
+	if lm, ok := finalSnap.SchemeImpl().(interface{ K() int }); ok {
+		rep.Landmarks = lm.K()
+	}
+	if elapsed > 0 {
+		rep.QPS = float64(rep.Lookups) / elapsed.Seconds()
+	}
+	if rep.Lookups > 0 {
+		rep.AvailabilityPct = 100 * float64(rep.Served) / float64(rep.Lookups)
+	}
+	for name, n := range h.router.Served() {
+		ms := MemberStats{Name: name, Served: n}
+		if elapsed > 0 {
+			ms.QPS = float64(n) / elapsed.Seconds()
+		}
+		rep.PerMember = append(rep.PerMember, ms)
+	}
+	sortMembers(rep.PerMember)
+
+	switch {
+	case phaseErr != nil:
+		return rep, phaseErr
+	case rep.SpotViolations > 0:
+		return rep, fmt.Errorf("%w: %v", ErrIncorrect, firstSpotErr)
+	case rep.SpotGraded == 0:
+		return rep, fmt.Errorf("chaos: no answers were spot-graded (lookups=%d)", rep.Lookups)
+	case rep.Lookups > 0 && float64(rep.Lookups-rep.Served) > cfg.MaxUnavailableFrac*float64(rep.Lookups):
+		return rep, fmt.Errorf("%w: %d of %d unserved (budget %.1f%%)",
+			ErrBudget, rep.Lookups-rep.Served, rep.Lookups, 100*cfg.MaxUnavailableFrac)
+	case !converged || !identical:
+		return rep, fmt.Errorf("%w: digests converged=%v, tables identical=%v", ErrDiverged, converged, identical)
+	case !cfg.SkipKill && !rep.Promoted:
+		return rep, ErrFailover
+	}
+	return rep, nil
+}
+
+// liveReplicas returns the replicas still following (excluding one promoted
+// to primary).
+func (h *bigClusterHarness) liveReplicas() []*cluster.Replica {
+	var out []*cluster.Replica
+	for i, r := range h.replicas {
+		if h.promoted && i == 0 {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// BigClusterCSVHeader is the docs/bigcluster artefact header row
+// (EXPERIMENTS.md E20).
+const BigClusterCSVHeader = "n,seed,members,landmarks,lookups,served,rejected,unavailable,errored,availability_pct,spot_graded,spot_violations,spot_max_stretch_milli,churn_rounds,partitions,corruptions,truncations,promoted,final_epoch,resyncs,max_replay_lag,failover_ns,snapshot_bytes,resync_bytes,matrix_bytes,digests_converged,tables_identical,qps"
+
+// WriteBigClusterCSV renders bigcluster reports in the artefact layout.
+func WriteBigClusterCSV(w io.Writer, reports []*BigClusterReport) error {
+	if _, err := fmt.Fprintln(w, BigClusterCSVHeader); err != nil {
+		return err
+	}
+	for _, r := range reports {
+		_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%.4f,%d,%d,%d,%d,%d,%d,%d,%v,%d,%d,%d,%d,%d,%d,%d,%v,%v,%.0f\n",
+			r.N, r.Seed, r.Members, r.Landmarks, r.Lookups, r.Served, r.Rejected,
+			r.Unavailable, r.Errored, r.AvailabilityPct, r.SpotGraded, r.SpotViolations,
+			r.SpotMaxStretchMilli, r.ChurnRounds, r.Partitions, r.Corruptions, r.Truncations,
+			r.Promoted, r.FinalEpoch, r.Resyncs, r.MaxReplayLag, r.FailoverNs,
+			r.SnapshotBytes, r.ResyncBytes, r.MatrixBytes,
+			r.DigestsConverged, r.TablesIdentical, r.QPS)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

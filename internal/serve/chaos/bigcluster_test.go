@@ -1,0 +1,125 @@
+package chaos
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunBigClusterSmall is the deterministic tier-1 gate for the tables-tier
+// cluster harness at a CI-friendly n: partitions, a WAL corruption, a
+// truncation, and a primary kill + promotion must all resolve with zero spot
+// violations and byte-identical scheme tables at quiesce. The n=4096 run is
+// the `make bigcluster` gate.
+func TestRunBigClusterSmall(t *testing.T) {
+	cfg := BigClusterConfig{
+		N:        192,
+		Seed:     7,
+		Replicas: 2,
+		Lookups:  6_000,
+		Workers:  3,
+	}
+	rep, err := RunBigCluster(cfg)
+	if err != nil {
+		t.Fatalf("bigcluster chaos run failed: %v\nreport: %v", err, rep)
+	}
+	if rep.SpotViolations != 0 {
+		t.Fatalf("spot violations: %d", rep.SpotViolations)
+	}
+	if rep.SpotGraded == 0 {
+		t.Fatalf("no answers spot-graded (lookups=%d)", rep.Lookups)
+	}
+	if rep.SpotMaxStretchMilli > 3000 {
+		t.Errorf("max stretch %.3f exceeds the scheme bound 3", float64(rep.SpotMaxStretchMilli)/1000)
+	}
+	if rep.Members != 3 {
+		t.Errorf("members = %d, want 3", rep.Members)
+	}
+	if rep.Landmarks == 0 {
+		t.Errorf("landmark count not reported")
+	}
+	if rep.Partitions < cfg.Replicas {
+		t.Errorf("partitions injected = %d, want ≥ %d", rep.Partitions, cfg.Replicas)
+	}
+	if rep.Corruptions != 1 {
+		t.Errorf("corruptions injected = %d, want 1", rep.Corruptions)
+	}
+	if rep.Truncations != 1 {
+		t.Errorf("truncations = %d, want 1", rep.Truncations)
+	}
+	if !rep.Promoted || rep.FinalEpoch != 2 {
+		t.Errorf("promotion: promoted=%v epoch=%d, want true/2", rep.Promoted, rep.FinalEpoch)
+	}
+	if rep.FailoverNs <= 0 {
+		t.Errorf("failover latency not measured")
+	}
+	if rep.Resyncs == 0 {
+		t.Errorf("no resyncs recorded (corruption/truncation/promotion must force some)")
+	}
+	if !rep.DigestsConverged || !rep.TablesIdentical {
+		t.Errorf("quiesce: digests=%v identical=%v", rep.DigestsConverged, rep.TablesIdentical)
+	}
+	if rep.ResyncBytes <= 0 {
+		t.Errorf("resync bytes not measured")
+	}
+	if rep.MatrixBytes != uint64(cfg.N)*uint64(cfg.N) {
+		t.Errorf("matrix bytes = %d, want %d", rep.MatrixBytes, cfg.N*cfg.N)
+	}
+	served := uint64(0)
+	for _, m := range rep.PerMember {
+		served += m.Served
+	}
+	if served == 0 {
+		t.Errorf("per-member accounting empty: %+v", rep.PerMember)
+	}
+}
+
+// TestRunBigClusterNoKill checks the partition/corruption path standalone on
+// the tables tier: no promotion, epoch stays 1, convergence still holds.
+func TestRunBigClusterNoKill(t *testing.T) {
+	rep, err := RunBigCluster(BigClusterConfig{
+		N:        128,
+		Seed:     11,
+		Replicas: 2,
+		Lookups:  4_000,
+		Workers:  2,
+		SkipKill: true,
+	})
+	if err != nil {
+		t.Fatalf("bigcluster chaos run failed: %v\nreport: %v", err, rep)
+	}
+	if rep.Promoted || rep.FinalEpoch != 1 {
+		t.Errorf("no-kill run promoted=%v epoch=%d", rep.Promoted, rep.FinalEpoch)
+	}
+	if !rep.DigestsConverged || !rep.TablesIdentical {
+		t.Errorf("quiesce: digests=%v identical=%v", rep.DigestsConverged, rep.TablesIdentical)
+	}
+}
+
+func TestWriteBigClusterCSV(t *testing.T) {
+	rep, err := RunBigCluster(BigClusterConfig{
+		N:        96,
+		Seed:     3,
+		Replicas: 1,
+		Lookups:  2_500,
+		Workers:  2,
+		SkipKill: true,
+	})
+	if err != nil {
+		t.Fatalf("run: %v\nreport: %v", err, rep)
+	}
+	var buf bytes.Buffer
+	if err := WriteBigClusterCSV(&buf, []*BigClusterReport{rep}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines = %d, want 2", len(lines))
+	}
+	if lines[0] != BigClusterCSVHeader {
+		t.Fatalf("header mismatch: %q", lines[0])
+	}
+	if got := strings.Count(lines[1], ","); got != strings.Count(BigClusterCSVHeader, ",") {
+		t.Fatalf("row has %d commas, header %d", got, strings.Count(BigClusterCSVHeader, ","))
+	}
+}

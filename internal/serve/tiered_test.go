@@ -350,3 +350,63 @@ func TestTieredServerLookupBatchZeroAlloc(t *testing.T) {
 		t.Fatalf("tables-tier LookupBatch allocates %.1f/op, want 0", allocs)
 	}
 }
+
+// TestAdoptRejectionLeavesEngineServing pins the no-partial-adoption
+// contract: a rejected Adopt — wrong scheme, wrong tier, or a corrupt table
+// blob — must leave the previous snapshot serving with Seq and the swap
+// counter untouched. Replication leans on this: a replica that receives a bad
+// state fetch keeps answering from its last good tables.
+func TestAdoptRejectionLeavesEngineServing(t *testing.T) {
+	eng := tieredEngine(t, 60, 9)
+	before := eng.Current()
+	swapsBefore := eng.Swaps()
+
+	good := &SnapshotData{
+		Seq: before.Seq + 7, Scheme: before.Scheme,
+		Graph: before.Graph, Ports: before.Ports, Tables: before.TablesBytes(),
+	}
+
+	// Scheme mismatch.
+	bad := *good
+	bad.Scheme = "fulltable"
+	if err := eng.Adopt(&bad); err == nil {
+		t.Fatal("scheme mismatch adopted")
+	}
+	// Tier mismatch: a matrix-bearing payload on a tables-tier engine.
+	full := snapshotData(t, 24, 6, "landmark")
+	full.Seq = before.Seq + 7
+	if err := eng.Adopt(full); err == nil {
+		t.Fatal("full-tier snapshot adopted by tables-tier engine")
+	}
+	// Corrupt tables: flip one header byte so DecodeTableScheme rejects it.
+	corrupt := *good
+	corrupt.Tables = bytes.Clone(good.Tables)
+	corrupt.Tables[8] ^= 0x40
+	if err := eng.Adopt(&corrupt); err == nil {
+		t.Fatal("corrupt table blob adopted")
+	}
+	// Truncated tables.
+	truncated := *good
+	truncated.Tables = good.Tables[:len(good.Tables)/2]
+	if err := eng.Adopt(&truncated); err == nil {
+		t.Fatal("truncated table blob adopted")
+	}
+
+	if cur := eng.Current(); cur != before {
+		t.Fatalf("rejected adoption swapped the snapshot: seq %d → %d", before.Seq, cur.Seq)
+	}
+	if eng.Swaps() != swapsBefore {
+		t.Fatalf("rejected adoption moved the swap counter: %d → %d", swapsBefore, eng.Swaps())
+	}
+	if _, err := eng.Current().NextHop(1, 50); err != nil {
+		t.Fatalf("engine stopped serving after rejected adoptions: %v", err)
+	}
+
+	// And the control: the untouched payload still adopts cleanly.
+	if err := eng.Adopt(good); err != nil {
+		t.Fatalf("clean adoption failed: %v", err)
+	}
+	if got := eng.Current().Seq; got != good.Seq {
+		t.Fatalf("adopted seq = %d, want %d", got, good.Seq)
+	}
+}
