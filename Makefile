@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify lint vet build test race smoke benchsmoke loadsmoke wiresmoke chaos cluster crash bigsmoke bigcluster bench loadbench chaosbench clusterbench crashbench wirebench bigbench bigclusterbench clean
+.PHONY: verify lint vet build test race smoke benchsmoke loadsmoke wiresmoke chaos cluster crash bigsmoke bigcluster shardchaos bench loadbench chaosbench clusterbench crashbench wirebench bigbench bigclusterbench shardbench clean
 
-verify: lint vet build test race smoke benchsmoke loadsmoke wiresmoke chaos cluster crash bigsmoke bigcluster
+verify: lint vet build test race smoke benchsmoke loadsmoke wiresmoke chaos cluster crash bigsmoke bigcluster shardchaos
 
 # gofmt -l exits 0 even when files need formatting, so fail on any output.
 # The second check is the WAL durability lint: on the journaling path a
@@ -48,7 +48,7 @@ smoke:
 # cache, E13 sweep, serving-layer load); keeps the bench harness from
 # rotting between releases.
 benchsmoke:
-	$(GO) run ./cmd/benchjson -quick -sections bfs,cache,resilience,serve,chaos,cluster,wal,wire,big,bigcluster \
+	$(GO) run ./cmd/benchjson -quick -sections bfs,cache,resilience,serve,chaos,cluster,wal,wire,big,bigcluster,shard \
 		-out $(or $(TMPDIR),/tmp)/bench_smoke.json
 
 # Seconds-scale serving smoke through routetabd's loadgen mode: fixed seed,
@@ -114,6 +114,19 @@ bigcluster:
 	$(GO) run ./cmd/routetabd -bigcluster -n 4096 -seed 1 -replicas 2 \
 		-lookups 20000 -workers 4
 
+# Seconds-scale partitioned-cluster gate: the n=4096 source keyspace split
+# across two shard groups (each a tables-tier primary/replica pair) behind
+# the scatter-gather front, surviving a live shard split racing churn,
+# per-group replica partitions, a wire corruption, and a shard-primary kill +
+# in-group promotion. Every sampled answer is graded against BFS ground
+# truth and full cross-shard routes are walked at quiesce; exits non-zero on
+# one incorrect answer, a stretch-3 violation, a shard below 99%
+# availability, or non-converged digests. The full artefact is
+# docs/shard_n4096.csv (E21).
+shardchaos:
+	$(GO) run ./cmd/routetabd -shard-chaos -n 4096 -seed 1 -shard-groups 2 \
+		-replicas 1 -lookups 20000 -workers 4
+
 # Regenerates the checked-in PR 2 performance artefact (see EXPERIMENTS.md
 # for the methodology; numbers are host-dependent).
 bench:
@@ -174,6 +187,15 @@ bigbench:
 bigclusterbench:
 	$(GO) run ./cmd/benchjson -sections bigcluster \
 		-artefact BENCH_pr9 -out BENCH_pr9.json
+
+# Regenerates the PR 10 shard artefact (EXPERIMENTS.md E21): the n=4096
+# partitioned cluster under the shard failure matrix against a 3-member
+# single-group replicated baseline on the same topology — aggregate QPS,
+# per-shard availability, and per-shard resync payloads, enforcing every
+# shard's resync bytes strictly below the baseline's.
+shardbench:
+	$(GO) run ./cmd/benchjson -sections shard \
+		-artefact BENCH_pr10 -out BENCH_pr10.json
 
 clean:
 	$(GO) clean ./...

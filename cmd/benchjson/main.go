@@ -36,6 +36,13 @@
 //	  ceiling the tier exists to break) plus fulltable vs compact on dense
 //	  G(n, 1/2). Fails if landmark does not beat fulltable on bytes/node at
 //	  the largest common n or if any spot-graded answer broke stretch 3.
+//	BENCH_pr10.json (`make shardbench`): -sections shard
+//	  partitioned-cluster chaos vs a single-group baseline at n=4096: a
+//	  two-shard-group landmark cluster (live split, partitions, wire
+//	  corruption, shard-primary kill) against a 3-member replicated group
+//	  on the same topology — aggregate QPS and per-shard resync payloads,
+//	  failing unless every shard's resync bytes are strictly below the
+//	  baseline's.
 //
 // `make verify` runs the -quick one-iteration smoke over every section so
 // the measured paths stay exercised.
@@ -125,6 +132,20 @@ type Result struct {
 	NsPerOp float64 `json:"ns_per_op"`
 }
 
+// ShardBench is the "shard" section's headline row: the sharded cluster's
+// aggregate throughput and worst per-shard resync payload against a 3-member
+// single-group replicated baseline on the same seeded topology.
+type ShardBench struct {
+	N                       int     `json:"n"`
+	FinalGroups             int     `json:"final_groups"` // groups after the live split
+	QPS                     float64 `json:"qps"`
+	BaselineQPS             float64 `json:"baseline_qps"`
+	MaxShardResyncBytes     int     `json:"max_shard_resync_bytes"`
+	BaselineResyncBytes     int     `json:"baseline_resync_bytes"`
+	ResyncShrinkPct         float64 `json:"resync_shrink_pct"`
+	MinShardAvailabilityPct float64 `json:"min_shard_availability_pct"`
+}
+
 // Report is the artefact schema (BENCH_pr2.json, BENCH_pr3.json).
 type Report struct {
 	Artefact   string   `json:"artefact"`
@@ -164,6 +185,19 @@ type Report struct {
 	// matrix) for a three-member landmark cluster at n=4096 surviving
 	// partitions, WAL corruption/truncation, and a primary kill + promotion.
 	BigCluster []*chaos.BigClusterReport `json:"bigcluster,omitempty"`
+	// Shard carries the partitioned-cluster chaos reports (section "shard"):
+	// a two-shard-group landmark cluster at n=4096 under the shard failure
+	// matrix (live split racing churn, per-group partitions, wire
+	// corruption, shard-primary kill + promotion), with per-shard
+	// availability and resync payloads.
+	Shard []*chaos.ShardReport `json:"shard,omitempty"`
+	// ShardVsBaseline is the shard section's headline comparison: the
+	// sharded cluster's aggregate QPS and worst per-shard resync payload
+	// against a 3-member single-group replicated baseline on the same
+	// topology. The run fails unless every shard's resync payload is
+	// strictly below the baseline's — the byte economics the keyspace
+	// partition exists for.
+	ShardVsBaseline *ShardBench `json:"shard_vs_baseline,omitempty"`
 	// Wal carries the WAL append-throughput measurements (section "wal"):
 	// ns per append and appends/sec for each fsync policy on a real on-disk
 	// segment store. The fsync=always row is the per-record price of
@@ -178,7 +212,7 @@ type Report struct {
 }
 
 // knownSections lists every measurement group benchjson understands.
-var knownSections = []string{"bfs", "cache", "resilience", "serve", "chaos", "cluster", "wal", "wire", "big", "bigcluster"}
+var knownSections = []string{"bfs", "cache", "resilience", "serve", "chaos", "cluster", "wal", "wire", "big", "bigcluster", "shard"}
 
 func parseSections(csv string) (map[string]bool, error) {
 	known := map[string]bool{}
@@ -472,6 +506,64 @@ func runSuite(quick bool, artefact string, sections map[string]bool) (*Report, e
 			return nil, fmt.Errorf("bigcluster: %w", err)
 		}
 		rep.BigCluster = append(rep.BigCluster, bcrep)
+	}
+
+	// Partitioned-cluster chaos vs the single-group baseline (the
+	// `make shardbench` artefact BENCH_pr10.json): the same topology served
+	// by a two-shard-group cluster (each group primary + replica behind the
+	// scatter-gather front) and by one 3-member replicated group. The run
+	// fails on any graded violation in either harness, or if any shard's
+	// resync payload is not strictly below the single group's.
+	if sections["shard"] {
+		n, lookups, workers, seed := 4096, 20_000, 4, int64(1)
+		if quick {
+			n, lookups, workers, seed = 192, 6_000, 3, 7
+		}
+		srep, err := chaos.RunShard(chaos.ShardConfig{
+			N:        n,
+			Seed:     seed,
+			Groups:   2,
+			Replicas: 1,
+			Lookups:  uint64(lookups),
+			Workers:  workers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("shard: %w", err)
+		}
+		base, err := chaos.RunBigCluster(chaos.BigClusterConfig{
+			N:        n,
+			Seed:     seed,
+			Replicas: 2,
+			Lookups:  uint64(lookups),
+			Workers:  workers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("shard baseline: %w", err)
+		}
+		maxResync, minAvail := 0, 100.0
+		for _, s := range srep.PerShard {
+			if s.ResyncBytes > maxResync {
+				maxResync = s.ResyncBytes
+			}
+			if s.AvailabilityPct < minAvail {
+				minAvail = s.AvailabilityPct
+			}
+		}
+		if maxResync >= base.ResyncBytes {
+			return nil, fmt.Errorf("shard: worst per-shard resync payload %d B is not below the single-group baseline %d B",
+				maxResync, base.ResyncBytes)
+		}
+		rep.Shard = append(rep.Shard, srep)
+		rep.ShardVsBaseline = &ShardBench{
+			N:                       n,
+			FinalGroups:             srep.FinalGroups,
+			QPS:                     srep.QPS,
+			BaselineQPS:             base.QPS,
+			MaxShardResyncBytes:     maxResync,
+			BaselineResyncBytes:     base.ResyncBytes,
+			ResyncShrinkPct:         100 * (1 - float64(maxResync)/float64(base.ResyncBytes)),
+			MinShardAvailabilityPct: minAvail,
+		}
 	}
 
 	return rep, nil

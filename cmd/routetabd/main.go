@@ -132,6 +132,40 @@
 // any spot-grade violation, sub-budget availability, or members whose
 // encoded scheme tables are not byte-identical at quiesce. -cluster-csv
 // writes the EXPERIMENTS.md E20 artefact row.
+//
+// Sharded cluster mode (DESIGN.md §17): the source keyspace split across
+// shard groups by a versioned consistent-hash shard map (RTSMAP1). Bootstrap
+// the map, then start one restricted daemon per group:
+//
+//	routetabd -shard-map cluster.rtsmap -shard-groups 2 -n 4096
+//	routetabd -shard 0 -shard-map cluster.rtsmap -n 4096 -addr :7353
+//	routetabd -shard 1 -shard-map cluster.rtsmap -n 4096 -addr :7453
+//
+// Each group is an ordinary primary (replicas -join it as usual); its engine
+// serves only owned sources, answering foreign ones with ErrWrongShard, and
+// on the tables tier its snapshots carry only the owned rows — so per-shard
+// state, replication, and resync bytes shrink with the shard. /healthz and
+// /metrics expose shard_id, shard_count, shard_map_epoch, and
+// rebalance_inflight.
+//
+//	routetabd -split 0 -shard-map cluster.rtsmap
+//
+// reshapes the map offline: group 0's widest range is halved, the upper half
+// moves to a fresh group, and the file is rewritten atomically under a bumped
+// epoch. The live in-process split (snapshot transfer, WAL catch-up,
+// dual-read handoff) is shard.Cluster.Split.
+//
+// Shard chaos mode (also the `make shardchaos` CI gate):
+//
+//	routetabd -shard-chaos -n 4096 -seed 1 -shard-groups 2 -replicas 1 -lookups 20000
+//
+// runs the partitioned-cluster chaos harness: a sharded tables-tier cluster
+// behind the scatter-gather front surviving a live shard split racing churn,
+// per-group replica partitions, a wire corruption, and a shard-primary kill +
+// promotion — every sampled answer graded, full cross-shard routes walked at
+// quiesce — exiting non-zero on one incorrect answer, a stretch-3 violation,
+// a shard below its availability floor, or non-converged digests.
+// -shard-csv writes the EXPERIMENTS.md E21 artefact row.
 package main
 
 import (
@@ -154,9 +188,11 @@ import (
 	"time"
 
 	"routetab/internal/cluster"
+	"routetab/internal/cluster/shard"
 	"routetab/internal/cluster/walstore"
 	"routetab/internal/gengraph"
 	"routetab/internal/graph"
+	"routetab/internal/keyspace"
 	"routetab/internal/serve"
 	"routetab/internal/serve/chaos"
 	"routetab/internal/serve/httpapi"
@@ -217,6 +253,13 @@ type config struct {
 	walDir   string
 	walFsync string
 	crash    bool
+	// partitioned cluster (shard) mode
+	shardID     int
+	shardMapF   string
+	split       int
+	shardGroups int
+	shardChaos  bool
+	shardCSV    string
 }
 
 func parseFlags(args []string) (*config, error) {
@@ -257,6 +300,12 @@ func parseFlags(args []string) (*config, error) {
 	fs.StringVar(&cfg.walDir, "wal-dir", "", "primary: durable segmented WAL directory (empty = in-memory WAL only)")
 	fs.StringVar(&cfg.walFsync, "wal-fsync", "always", "primary: WAL fsync policy: always|batch|off (non-always policies bump the epoch on every restart)")
 	fs.BoolVar(&cfg.crash, "crash", false, "run the crash-recovery matrix gate instead of serving HTTP")
+	fs.IntVar(&cfg.shardID, "shard", -1, "serve one shard group: restrict the engine to the keyspace group <id> owns in -shard-map (-1 = unsharded)")
+	fs.StringVar(&cfg.shardMapF, "shard-map", "", "shard map file (RTSMAP1); with -shard-groups and neither -shard nor -split, a fresh uniform map is written there")
+	fs.IntVar(&cfg.split, "split", -1, "split group <id> in the -shard-map file (new group, atomic epoch bump), rewrite it atomically, and exit")
+	fs.IntVar(&cfg.shardGroups, "shard-groups", 0, "shard groups: initial count for -shard-chaos and for -shard-map initialisation (0 = harness default)")
+	fs.BoolVar(&cfg.shardChaos, "shard-chaos", false, "run the partitioned-cluster chaos harness instead of serving HTTP")
+	fs.StringVar(&cfg.shardCSV, "shard-csv", "", "shard-chaos: also append the report as a CSV artefact to this file")
 	lookups := fs.Int64("lookups", 100_000, "loadgen: total lookup target")
 	fs.DurationVar(&cfg.duration, "duration", 0, "loadgen: wall-clock cap (0 = none)")
 	fs.IntVar(&cfg.workers, "workers", 4, "loadgen: closed-loop client workers")
@@ -339,6 +388,12 @@ func run(args []string, out *os.File) error {
 		return runCrashGate(cfg, out)
 	case cfg.clusterChaos:
 		return runClusterChaos(cfg, out)
+	case cfg.shardChaos:
+		return runShardChaos(cfg, out)
+	case cfg.split >= 0:
+		return runSplitMap(cfg, out)
+	case cfg.shardMapF != "" && cfg.shardID < 0 && cfg.join == "":
+		return runInitMap(cfg, out)
 	case cfg.bigsmoke:
 		return runBigSmoke(cfg, out)
 	case cfg.bigcluster:
@@ -346,7 +401,11 @@ func run(args []string, out *os.File) error {
 	case cfg.join != "":
 		return runReplica(cfg, out)
 	}
-	eng, warm, err := openEngine(cfg, out)
+	sh, err := loadShardInfo(cfg)
+	if err != nil {
+		return err
+	}
+	eng, warm, err := openEngine(cfg, sh, out)
 	if err != nil {
 		return err
 	}
@@ -399,7 +458,7 @@ func run(args []string, out *os.File) error {
 		return err
 	}
 	defer pri.Close()
-	a := &api{srv: srv, rep: rep, pri: pri, wal: walLog, walKeep: cfg.walKeep}
+	a := &api{srv: srv, rep: rep, pri: pri, wal: walLog, walKeep: cfg.walKeep, shard: sh}
 	return serveHTTP(a, cfg, out)
 }
 
@@ -429,6 +488,13 @@ func runCrashGate(cfg *config, out *os.File) error {
 // runReplica joins the primary at cfg.join and serves its replicated tables
 // until SIGTERM (or an in-place promotion via POST /promote).
 func runReplica(cfg *config, out *os.File) error {
+	// A shard-group replica inherits its keyspace restriction through state
+	// transfer from its primary; -shard/-shard-map here only attach the
+	// placement to /healthz and /metrics.
+	sh, err := loadShardInfo(cfg)
+	if err != nil {
+		return err
+	}
 	src := cluster.NewHTTPSource(cfg.join, nil)
 	rpl, err := cluster.JoinReplica(src, cluster.ReplicaOptions{
 		Server: serve.ServerOptions{
@@ -451,7 +517,7 @@ func runReplica(cfg *config, out *os.File) error {
 	registerServingGauges(rpl.Server())
 	fmt.Fprintf(out, "routetabd: joined %s (epoch=%d, wal_seq=%d)\n",
 		cfg.join, rpl.Epoch(), rpl.WalSeq())
-	a := &api{srv: rpl.Server(), rep: rpl.Repairer(), rpl: rpl, walKeep: cfg.walKeep}
+	a := &api{srv: rpl.Server(), rep: rpl.Repairer(), rpl: rpl, walKeep: cfg.walKeep, shard: sh}
 	return serveHTTP(a, cfg, out)
 }
 
@@ -513,8 +579,28 @@ func runClusterChaos(cfg *config, out *os.File) error {
 // openEngine builds the serving engine, warm-booting from the persistence
 // file when it exists and matches the requested scheme — same Seq,
 // byte-identical tables, no cold rebuild. warm reports whether persistence is
-// already re-enabled on the restored engine.
-func openEngine(cfg *config, out *os.File) (*serve.Engine, bool, error) {
+// already re-enabled on the restored engine. With -shard the engine is
+// keyspace-restricted to the group's owned set and always cold-builds: the
+// shard map is the source of truth for ownership, and a persisted snapshot
+// may carry a stale owned set from before a rebalance.
+func openEngine(cfg *config, sh *shardInfo, out *os.File) (*serve.Engine, bool, error) {
+	if sh != nil {
+		g, err := loadGraph(cfg)
+		if err != nil {
+			return nil, false, err
+		}
+		tier, err := resolveTier(cfg)
+		if err != nil {
+			return nil, false, err
+		}
+		eng, err := serve.NewShardEngine(g, cfg.scheme, tier, sh.want)
+		if err != nil {
+			return nil, false, err
+		}
+		fmt.Fprintf(out, "routetabd: shard %d/%d (map epoch %d, %d owned sources)\n",
+			sh.id, sh.count, sh.epoch, sh.want.Count())
+		return eng, false, nil
+	}
 	if cfg.persist != "" {
 		if _, err := os.Stat(cfg.persist); err == nil {
 			eng, err := serve.RestoreEngine(cfg.persist)
@@ -599,6 +685,160 @@ func registerClusterGauges(a *api) {
 		_, _, lastLag := rpl.Stats()
 		return int64(lastLag)
 	})
+}
+
+// shardInfo is the daemon's view of its place in a partitioned cluster: the
+// group it serves, the shard map's shape, and the owned set the map assigns
+// to it — kept so observability can report when replicated ownership has
+// moved away from what the local map file says (a rebalance in flight).
+type shardInfo struct {
+	id    int
+	count int
+	epoch uint64
+	want  *keyspace.Set
+}
+
+// loadShardInfo reads and validates the -shard-map file and materialises the
+// owned set for -shard. Returns nil without -shard.
+func loadShardInfo(cfg *config) (*shardInfo, error) {
+	if cfg.shardID < 0 {
+		return nil, nil
+	}
+	if cfg.shardMapF == "" {
+		return nil, fmt.Errorf("-shard %d requires -shard-map", cfg.shardID)
+	}
+	blob, err := os.ReadFile(cfg.shardMapF)
+	if err != nil {
+		return nil, fmt.Errorf("shard map: %w", err)
+	}
+	m, err := shard.Decode(blob)
+	if err != nil {
+		return nil, fmt.Errorf("shard map %s: %w", cfg.shardMapF, err)
+	}
+	owned, err := m.OwnedSet(cfg.shardID)
+	if err != nil {
+		return nil, fmt.Errorf("shard map %s: %w", cfg.shardMapF, err)
+	}
+	return &shardInfo{id: cfg.shardID, count: m.Groups, epoch: m.Epoch, want: owned}, nil
+}
+
+// writeMapAtomic persists a shard map with the same write-then-rename
+// discipline as snapshots: readers see either the old fully-framed map or the
+// new one, never a torn file.
+func writeMapAtomic(path string, m *shard.Map) error {
+	blob, err := m.EncodeBytes()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// runInitMap writes a fresh epoch-1 uniform shard map to -shard-map and
+// exits — the bootstrap step before shard-group daemons are started.
+func runInitMap(cfg *config, out *os.File) error {
+	if cfg.shardGroups < 1 {
+		return fmt.Errorf("-shard-map without -shard/-split initialises a map and needs -shard-groups ≥ 1")
+	}
+	if _, err := os.Stat(cfg.shardMapF); err == nil {
+		return fmt.Errorf("shard map %s already exists (use -split to reshape it)", cfg.shardMapF)
+	}
+	m, err := shard.NewUniform(cfg.n, cfg.shardGroups)
+	if err != nil {
+		return err
+	}
+	if err := writeMapAtomic(cfg.shardMapF, m); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "routetabd: wrote %s: %s\n", cfg.shardMapF, m)
+	return nil
+}
+
+// runSplitMap carves a new group out of -split's group in the -shard-map
+// file: decode, split under a bumped epoch, rewrite atomically, exit. Serving
+// daemons pick the new placement up on restart; the in-process live-split
+// path (snapshot transfer + WAL catch-up + dual-read handoff) is
+// shard.Cluster.Split, exercised by -shard-chaos.
+func runSplitMap(cfg *config, out *os.File) error {
+	if cfg.shardMapF == "" {
+		return fmt.Errorf("-split requires -shard-map")
+	}
+	blob, err := os.ReadFile(cfg.shardMapF)
+	if err != nil {
+		return fmt.Errorf("shard map: %w", err)
+	}
+	m, err := shard.Decode(blob)
+	if err != nil {
+		return fmt.Errorf("shard map %s: %w", cfg.shardMapF, err)
+	}
+	next, newID, err := m.Split(cfg.split)
+	if err != nil {
+		return err
+	}
+	if err := writeMapAtomic(cfg.shardMapF, next); err != nil {
+		return err
+	}
+	moved, err := next.OwnedSet(newID)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "routetabd: split group %d → new group %d (%d keys moved, epoch %d → %d)\n",
+		cfg.split, newID, moved.Count(), m.Epoch, next.Epoch)
+	return nil
+}
+
+// runShardChaos executes the partitioned-cluster chaos harness (the
+// `make shardchaos` CI gate) in-process and renders a pass/fail verdict,
+// mirroring runBigCluster.
+func runShardChaos(cfg *config, out *os.File) error {
+	rep, err := chaos.RunShard(chaos.ShardConfig{
+		N:        cfg.n,
+		AvgDeg:   cfg.avgdeg,
+		Seed:     cfg.seed,
+		Groups:   cfg.shardGroups,
+		Replicas: cfg.replicas,
+		Lookups:  cfg.lookups,
+		Workers:  cfg.workers,
+	})
+	if rep == nil {
+		return err
+	}
+	blob, merr := json.MarshalIndent(rep, "", "  ")
+	if merr != nil {
+		return merr
+	}
+	fmt.Fprintln(out, string(blob))
+	if cfg.shardCSV != "" {
+		if werr := appendCSV(cfg.shardCSV, func(w io.Writer) error {
+			return chaos.WriteShardCSV(w, []*chaos.ShardReport{rep})
+		}); werr != nil {
+			return werr
+		}
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "shardchaos ok: %s\n", rep)
+	return nil
+}
+
+// registerShardGauges exposes the daemon's shard placement on /metrics:
+// shard_id / shard_count / shard_map_epoch from the loaded map, and
+// rebalance_inflight = 1 while the engine's replicated owned set differs from
+// what the local map file assigns this group — a handover has landed (or is
+// landing) that the map file does not describe yet. No-op unsharded.
+func registerShardGauges(a *api) {
+	if a.shard == nil {
+		return
+	}
+	m := a.srv.Metrics()
+	m.GaugeFunc("shard_id", func() int64 { return int64(a.shard.id) })
+	m.GaugeFunc("shard_count", func() int64 { return int64(a.shard.count) })
+	m.GaugeFunc("shard_map_epoch", func() int64 { return int64(a.shard.epoch) })
+	m.GaugeFunc("rebalance_inflight", func() int64 { return a.rebalanceInflight() })
 }
 
 // runBigSmoke executes the large-graph serving gate in-process and renders a
@@ -798,6 +1038,7 @@ func runLoadgen(srv *serve.Server, cfg *config, out *os.File) error {
 // serves the binary batch protocol beside HTTP, sharing the same pool.
 func serveHTTP(a *api, cfg *config, out *os.File) error {
 	registerClusterGauges(a)
+	registerShardGauges(a)
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
@@ -885,7 +1126,24 @@ type api struct {
 	wal     *cluster.Log // durable WAL (nil without -wal-dir)
 	walKeep int
 
+	shard *shardInfo // partitioned-cluster placement (nil unsharded)
+
 	metricsPool sync.Pool // *bytes.Buffer for /metrics scrapes
+}
+
+// rebalanceInflight reports 1 while the engine's owned set has diverged from
+// the local shard map's assignment (a replicated ownership handover the map
+// file does not describe yet), else 0. An unrestricted engine on a sharded
+// daemon also counts as in flight: the restriction has been lifted under it.
+func (a *api) rebalanceInflight() int64 {
+	if a.shard == nil {
+		return 0
+	}
+	owned := a.srv.Engine().Owned()
+	if owned == nil || !owned.Equal(a.shard.want) {
+		return 1
+	}
+	return 0
 }
 
 // roles returns the current (primary, replica) pair; at most one is non-nil.
@@ -1089,6 +1347,12 @@ func (a *api) healthz(w http.ResponseWriter, _ *http.Request) {
 		// and degraded detours are covering the gap until the rebuild lands.
 		body["repair_staleness"] = a.rep.Staleness()
 		body["degraded"] = a.rep.Staleness() > 0
+	}
+	if a.shard != nil {
+		body["shard_id"] = a.shard.id
+		body["shard_count"] = a.shard.count
+		body["shard_map_epoch"] = a.shard.epoch
+		body["rebalance_inflight"] = a.rebalanceInflight()
 	}
 	pri, rpl := a.roles()
 	body["role"] = a.role()

@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"routetab/internal/keyspace"
+	"routetab/internal/serve"
+)
+
+// TestOwnedRecordSet: the bitmap round-trips through a RecOwned record,
+// OwnedN == 0 decodes as a lifted restriction, and malformed bitmaps or
+// wrong-kind records are rejected.
+func TestOwnedRecordSet(t *testing.T) {
+	want, err := keyspace.New(70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 1; u <= 35; u++ {
+		want.Add(u)
+	}
+	rec := Record{Kind: RecOwned, OwnedN: 70, Owned: want.Words()}
+	got, err := rec.OwnedSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || !got.Equal(want) {
+		t.Fatalf("decoded set %v, want %v", got, want)
+	}
+
+	lift := Record{Kind: RecOwned}
+	if set, err := lift.OwnedSet(); err != nil || set != nil {
+		t.Fatalf("lift record: set=%v err=%v, want nil/nil", set, err)
+	}
+
+	if _, err := (&Record{Kind: RecPublish}).OwnedSet(); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("OwnedSet on publish record: %v, want ErrBadRecord", err)
+	}
+	// A set bit past n (tail garbage) must not decode into a keyspace.
+	bad := Record{Kind: RecOwned, OwnedN: 70, Owned: []uint64{0, 1 << 63}}
+	if _, err := bad.OwnedSet(); err == nil {
+		t.Fatal("tail garbage in owned bitmap accepted")
+	}
+}
+
+// TestOwnedHandoverReplication: a keyspace handover on a tables-tier primary
+// ships to the replica as one RecOwned WAL record — no resync — after which
+// the replica enforces the restriction on its own serving path, follows
+// further churn under the restriction, and replays the lift the same way.
+func TestOwnedHandoverReplication(t *testing.T) {
+	const n = 64
+	p := testTablesPrimary(t, n, 3)
+	r, err := JoinReplica(p, ReplicaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	requireConverged(t, p, r)
+
+	owned, err := keyspace.New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 1; u <= n/2; u++ {
+		owned.Add(u)
+	}
+	if _, err := p.Engine().SetOwned(owned); err != nil {
+		t.Fatal(err)
+	}
+	syncOK(t, r)
+	requireConverged(t, p, r)
+	applied, resyncs, _ := r.Stats()
+	if applied != 1 || resyncs != 0 {
+		t.Fatalf("handover: applied=%d resyncs=%d, want 1/0 (log shipping, not resync)", applied, resyncs)
+	}
+	recs, err := p.Log().Since(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Kind != RecOwned {
+		t.Fatalf("WAL after handover: %+v, want one RecOwned", recs)
+	}
+	if got := r.Engine().Owned(); got == nil || !got.Equal(owned) {
+		t.Fatalf("replica owned = %v, want %v", got, owned)
+	}
+
+	// The replica's server now refuses sources outside the shard and keeps
+	// answering for owned ones.
+	out := make([]serve.Result, 2)
+	if err := r.Server().LookupBatch([][2]int{{n - 1, 1}, {2, n - 1}}, out); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(out[0].Err, serve.ErrWrongShard) {
+		t.Fatalf("non-owned source answered: %+v", out[0])
+	}
+	if out[1].Err != nil {
+		t.Fatalf("owned source refused: %+v", out[1])
+	}
+
+	// Churn under the restriction still log-ships and converges to
+	// byte-identical restricted tables.
+	e := absentEdge(t, p)
+	for i := 0; i < 3; i++ {
+		toggleEdge(t, p, e)
+		syncOK(t, r)
+		requireConverged(t, p, r)
+	}
+	if applied, resyncs, _ = r.Stats(); applied != 4 || resyncs != 0 {
+		t.Fatalf("churn under restriction: applied=%d resyncs=%d, want 4/0", applied, resyncs)
+	}
+
+	// Lifting the restriction replays the same way (OwnedN == 0).
+	if _, err := p.Engine().SetOwned(nil); err != nil {
+		t.Fatal(err)
+	}
+	syncOK(t, r)
+	requireConverged(t, p, r)
+	if got := r.Engine().Owned(); got != nil {
+		t.Fatalf("replica owned after lift = %v, want nil", got)
+	}
+	if err := r.Server().LookupBatch([][2]int{{n - 1, 1}}, out[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Err != nil {
+		t.Fatalf("source refused after lift: %+v", out[0])
+	}
+}
+
+// TestOwnedHandoverSurvivesPromotion: a replica that followed a handover can
+// be promoted and keeps enforcing (and journaling under) the restriction.
+func TestOwnedHandoverSurvivesPromotion(t *testing.T) {
+	const n = 48
+	p := testTablesPrimary(t, n, 11)
+	r, err := JoinReplica(p, ReplicaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	owned, err := keyspace.New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 1; u <= n/3; u++ {
+		owned.Add(u)
+	}
+	if _, err := p.Engine().SetOwned(owned); err != nil {
+		t.Fatal(err)
+	}
+	syncOK(t, r)
+
+	p.Close()
+	p2, err := r.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if got := p2.Engine().Owned(); got == nil || !got.Equal(owned) {
+		t.Fatalf("promoted primary owned = %v, want %v", got, owned)
+	}
+	if p2.Epoch() != 2 {
+		t.Fatalf("promoted epoch = %d, want 2", p2.Epoch())
+	}
+	// Mutations under the new primary keep the restriction.
+	toggleEdge(t, p2, absentEdge(t, p2))
+	if got := p2.Engine().Owned(); got == nil || !got.Equal(owned) {
+		t.Fatalf("owned lost across post-promotion mutation: %v", got)
+	}
+}

@@ -106,7 +106,10 @@ func (p *Primary) Close() {
 // onPublish runs under the engine mutex on every snapshot swap: append the
 // edge diff prev→cur so replicas can replay the mutation. The record kind
 // and CRC follow the snapshot's tier — a tables-tier publication fingerprints
-// the encoded scheme tables, which is all the compact tier materialises.
+// the encoded scheme tables, which is all the compact tier materialises. A
+// publication that changed the engine's owned keyspace (a shard handover)
+// becomes a RecOwned record carrying the new bitmap alongside the diff, so
+// replicas replay the handover through ordinary log shipping — no resync.
 func (p *Primary) onPublish(prev, cur *serve.Snapshot) {
 	if p.closed.Load() {
 		return
@@ -115,13 +118,21 @@ func (p *Primary) onPublish(prev, cur *serve.Snapshot) {
 	if prev != nil {
 		adds, removes = graphDiff(prev.Graph, cur.Graph)
 	}
-	p.log.Append(Record{
+	rec := Record{
 		Kind:    PublishKindFor(cur),
 		SnapSeq: cur.Seq,
 		DistCRC: SnapshotCRC(cur),
 		Adds:    adds,
 		Removes: removes,
-	})
+	}
+	if prev != nil && !prev.Owned().Equal(cur.Owned()) {
+		rec.Kind = RecOwned
+		if owned := cur.Owned(); owned != nil {
+			rec.OwnedN = owned.N()
+			rec.Owned = owned.Words()
+		}
+	}
+	p.log.Append(rec)
 }
 
 // graphDiff returns the edges present in cur but not prev (adds) and in prev

@@ -145,7 +145,7 @@ func RecoverPrimaryLog(eng *serve.Engine, rep *serve.Repairer, cfg RecoverConfig
 func replayRecords(eng *serve.Engine, rep *serve.Repairer, recs []Record) (replayed, overlay, skipped int, err error) {
 	for _, rec := range recs {
 		switch rec.Kind {
-		case RecPublish, RecPublishTables:
+		case RecPublish, RecPublishTables, RecOwned:
 			cur := eng.Current()
 			if rec.SnapSeq <= cur.Seq {
 				skipped++
@@ -154,7 +154,7 @@ func replayRecords(eng *serve.Engine, rep *serve.Repairer, recs []Record) (repla
 			if rec.SnapSeq != cur.Seq+1 {
 				return replayed, overlay, skipped, fmt.Errorf("cluster: recover: publish gap: have snap %d, record %d is snap %d", cur.Seq, rec.Seq, rec.SnapSeq)
 			}
-			snap, merr := eng.Mutate(func(g *graph.Graph) error {
+			diff := func(g *graph.Graph) error {
 				for _, e := range rec.Removes {
 					if err := g.RemoveEdge(e[0], e[1]); err != nil {
 						return err
@@ -166,7 +166,20 @@ func replayRecords(eng *serve.Engine, rep *serve.Repairer, recs []Record) (repla
 					}
 				}
 				return nil
-			})
+			}
+			var snap *serve.Snapshot
+			var merr error
+			if rec.Kind == RecOwned {
+				// Keyspace handover: replay diff and ownership change in one
+				// publication, mirroring Replica.apply.
+				owned, oerr := rec.OwnedSet()
+				if oerr != nil {
+					return replayed, overlay, skipped, fmt.Errorf("cluster: recover: record %d: %w", rec.Seq, oerr)
+				}
+				snap, merr = eng.MutateOwned(owned, diff)
+			} else {
+				snap, merr = eng.Mutate(diff)
+			}
 			if merr != nil {
 				return replayed, overlay, skipped, fmt.Errorf("cluster: recover: record %d: %w", rec.Seq, merr)
 			}

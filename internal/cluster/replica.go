@@ -13,6 +13,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -27,6 +28,12 @@ type ReplicaOptions struct {
 	// SyncInterval paces the background Sync loop started by Start
 	// (default 2ms).
 	SyncInterval time.Duration
+	// SyncBackoffCap bounds the exponential backoff the sync loop applies
+	// after consecutive Sync failures (transport errors during a partition,
+	// resync failures against a dead source). Delays double from SyncInterval
+	// up to this cap, with ±25% jitter so healed replicas do not retry in
+	// lockstep. Default 32×SyncInterval.
+	SyncBackoffCap time.Duration
 }
 
 // Replica is a follower: it serves lookups from its own engine and keeps
@@ -57,6 +64,9 @@ type Replica struct {
 func JoinReplica(src Source, opts ReplicaOptions) (*Replica, error) {
 	if opts.SyncInterval <= 0 {
 		opts.SyncInterval = 2 * time.Millisecond
+	}
+	if opts.SyncBackoffCap <= 0 {
+		opts.SyncBackoffCap = 32 * opts.SyncInterval
 	}
 	st, err := src.FetchState()
 	if err != nil {
@@ -209,7 +219,7 @@ func (r *Replica) Sync() error {
 // resync in the caller.
 func (r *Replica) apply(rec Record) error {
 	switch rec.Kind {
-	case RecPublish, RecPublishTables:
+	case RecPublish, RecPublishTables, RecOwned:
 		cur := r.eng.Current()
 		if rec.SnapSeq <= cur.Seq {
 			// Already reflected in the snapshot we bootstrapped from (the
@@ -219,7 +229,7 @@ func (r *Replica) apply(rec Record) error {
 		if rec.SnapSeq != cur.Seq+1 {
 			return fmt.Errorf("cluster: publish gap: have snap %d, record is %d", cur.Seq, rec.SnapSeq)
 		}
-		snap, err := r.eng.Mutate(func(g *graph.Graph) error {
+		diff := func(g *graph.Graph) error {
 			for _, e := range rec.Removes {
 				if err := g.RemoveEdge(e[0], e[1]); err != nil {
 					return err
@@ -231,7 +241,20 @@ func (r *Replica) apply(rec Record) error {
 				}
 			}
 			return nil
-		})
+		}
+		var snap *serve.Snapshot
+		var err error
+		if rec.Kind == RecOwned {
+			// Keyspace handover: replay the diff AND the ownership change in
+			// one publication, exactly as the primary published them.
+			owned, oerr := rec.OwnedSet()
+			if oerr != nil {
+				return oerr
+			}
+			snap, err = r.eng.MutateOwned(owned, diff)
+		} else {
+			snap, err = r.eng.Mutate(diff)
+		}
 		if err != nil {
 			return err
 		}
@@ -277,23 +300,50 @@ func (r *Replica) Resync() error {
 	return nil
 }
 
-// Start launches the background sync loop. Transport errors are retried on
-// the next tick (the replica serves stale-but-correct answers meanwhile).
+// Start launches the background sync loop. Transport errors are retried with
+// jittered exponential backoff (SyncInterval doubling up to SyncBackoffCap)
+// instead of hammering a partitioned source at full tick rate; the replica
+// serves stale-but-correct answers meanwhile and the first success resets the
+// pace.
 func (r *Replica) Start() {
 	r.wg.Add(1)
 	go func() {
 		defer r.wg.Done()
-		t := time.NewTicker(r.opts.SyncInterval)
+		failures := 0
+		t := time.NewTimer(r.opts.SyncInterval)
 		defer t.Stop()
 		for {
 			select {
 			case <-r.stop:
 				return
 			case <-t.C:
-				_ = r.Sync() // unreachable source: keep serving, retry next tick
+				if err := r.Sync(); err != nil {
+					failures++
+				} else {
+					failures = 0
+				}
+				t.Reset(backoffDelay(r.opts.SyncInterval, r.opts.SyncBackoffCap, failures, rand.Float64()))
 			}
 		}
 	}()
+}
+
+// backoffDelay returns the pause before the next sync attempt: base while
+// healthy (failures == 0, no jitter — the steady-state pace is exact), else
+// base·2^failures capped at max, scaled by ±25% jitter with unit ∈ [0,1).
+// Pure so the bound is unit-testable.
+func backoffDelay(base, max time.Duration, failures int, unit float64) time.Duration {
+	if failures <= 0 {
+		return base
+	}
+	d := base
+	for i := 0; i < failures && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return time.Duration(float64(d) * (0.75 + 0.5*unit))
 }
 
 // Close stops the sync loop and the replica's serving stack.

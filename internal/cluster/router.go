@@ -10,6 +10,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
@@ -26,6 +27,16 @@ var ErrNoBackends = errors.New("cluster: no reachable backend")
 type Backend interface {
 	Name() string
 	Lookup(src, dst int) (serve.Result, error)
+}
+
+// ContextBackend is a Backend whose lookups honour cancellation. When a
+// hedged race resolves, the Router cancels the losing attempts' context so
+// their goroutines unwind immediately instead of riding out a slow transport
+// call — without this, every hedge against a stalled peer parks a goroutine
+// for the peer's full timeout.
+type ContextBackend interface {
+	Backend
+	LookupCtx(ctx context.Context, src, dst int) (serve.Result, error)
 }
 
 // RouterOptions configures a Router.
@@ -113,12 +124,20 @@ func (rt *Router) Served() map[string]uint64 {
 	return out
 }
 
+// candidate pairs a backend state with the Backend captured under the router
+// mutex: lookup goroutines run unlocked, and SetBackends may swap bs.b (a
+// promotion rebinding a surviving name) while an attempt is in flight.
+type candidate struct {
+	bs *backendState
+	b  Backend
+}
+
 // pick returns candidate backends in try order: ready ones (healthy, or
 // demoted with the probe window open — an expired backoff re-enters normal
 // rotation so recovered members take traffic again) in round-robin
 // rotation, then still-demoted ones as a last resort so a fully demoted
 // cluster keeps getting probed rather than failing outright.
-func (rt *Router) pick(now time.Time) []*backendState {
+func (rt *Router) pick(now time.Time) []candidate {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	n := len(rt.backends)
@@ -127,13 +146,13 @@ func (rt *Router) pick(now time.Time) []*backendState {
 	}
 	start := rt.rr
 	rt.rr++
-	var ready, demoted []*backendState
+	var ready, demoted []candidate
 	for i := 0; i < n; i++ {
 		bs := rt.backends[(start+i)%n]
 		if bs.downUntil.IsZero() || !now.Before(bs.downUntil) {
-			ready = append(ready, bs)
+			ready = append(ready, candidate{bs: bs, b: bs.b})
 		} else {
-			demoted = append(demoted, bs)
+			demoted = append(demoted, candidate{bs: bs, b: bs.b})
 		}
 	}
 	return append(ready, demoted...)
@@ -177,11 +196,22 @@ func (rt *Router) Lookup(src, dst int) (serve.Result, error) {
 		return serve.Result{}, ErrNoBackends
 	}
 
+	// The buffered channel lets losing attempts complete their send and exit;
+	// the context lets ContextBackend losers abandon a stalled transport call
+	// the moment a winner returns (cancel runs on every exit path).
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	results := make(chan attempt, len(order))
-	launch := func(bs *backendState) {
+	launch := func(c candidate) {
 		go func() {
-			res, err := bs.b.Lookup(src, dst)
-			results <- attempt{bs: bs, res: res, err: err}
+			var res serve.Result
+			var err error
+			if cb, ok := c.b.(ContextBackend); ok {
+				res, err = cb.LookupCtx(ctx, src, dst)
+			} else {
+				res, err = c.b.Lookup(src, dst)
+			}
+			results <- attempt{bs: c.bs, res: res, err: err}
 		}()
 	}
 

@@ -1,7 +1,9 @@
 package cluster
 
 import (
+	"context"
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -195,6 +197,62 @@ func TestRouterHedgesSlowBackend(t *testing.T) {
 	}
 	if res.Next != 2 {
 		t.Fatalf("expected the hedge's answer, got %+v", res)
+	}
+}
+
+// ctxBackend is a ContextBackend whose lookups, when stalled, park until the
+// router cancels the hedged race — the shape of a wedged peer behind a
+// cancellable transport.
+type ctxBackend struct {
+	fakeBackend
+	stall atomic.Bool
+}
+
+func (c *ctxBackend) LookupCtx(ctx context.Context, src, dst int) (serve.Result, error) {
+	c.calls.Add(1)
+	if c.stall.Load() {
+		<-ctx.Done()
+		return serve.Result{}, ctx.Err()
+	}
+	c.mu.Lock()
+	res := c.result
+	c.mu.Unlock()
+	return res, nil
+}
+
+// TestRouterReapsLosingHedge: when a hedge wins, the losing attempt's
+// goroutine must be cancelled and reaped, not left parked inside the stalled
+// backend for its full timeout. Regression test for goroutine pile-up under a
+// wedged peer — the suite runs it under -race.
+func TestRouterReapsLosingHedge(t *testing.T) {
+	slow := &ctxBackend{fakeBackend: fakeBackend{name: "slow"}}
+	slow.stall.Store(true)
+	fast := &fakeBackend{name: "fast"}
+	fast.set(nil, okResult(2), 0)
+	rt := NewRouter([]Backend{slow, fast}, RouterOptions{HedgeAfter: 100 * time.Microsecond})
+
+	before := runtime.NumGoroutine()
+	for i := 0; i < 64; i++ {
+		res, err := rt.Lookup(1, 5)
+		if err != nil || res.Err != nil || res.Next != 2 {
+			t.Fatalf("lookup %d: %+v %v", i, res, err)
+		}
+	}
+	if slow.calls.Load() == 0 {
+		t.Fatal("stalled backend never raced — the hedge path was not exercised")
+	}
+	// Every loser unblocks on the winner's cancel; give the scheduler a
+	// moment to reap them, then require the count back at baseline (small
+	// slack for runtime housekeeping goroutines).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before hedged lookups, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

@@ -1,0 +1,66 @@
+package shard
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeShardMap hardens the one codec whose corruption could silently
+// misroute an entire keyspace. The seed corpus is the full corruption matrix
+// over a valid encoding — every truncation length and a bit flip at every
+// byte — plus degenerate inputs; the property is that Decode either returns
+// a fully valid map whose re-encoding is a fixed point, or an error, and
+// never a partially adopted placement.
+func FuzzDecodeShardMap(f *testing.F) {
+	m, err := NewUniform(512, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	m, _, err = m.Split(1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	enc, err := m.EncodeBytes()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(enc)
+	for cut := 0; cut <= len(enc); cut++ {
+		f.Add(append([]byte(nil), enc[:cut]...))
+	}
+	for i := range enc {
+		mut := append([]byte(nil), enc...)
+		mut[i] ^= 0x40
+		f.Add(mut)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("RTSMAP1\n"))
+	f.Add(append(append([]byte(nil), enc...), 0xFF))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Decode(data)
+		if err != nil {
+			if got != nil {
+				t.Fatal("Decode returned both a map and an error")
+			}
+			return
+		}
+		// Accepted ⇒ structurally whole: validation passes, every node
+		// resolves to a live group, and the encoding is a fixed point.
+		if verr := got.validate(); verr != nil {
+			t.Fatalf("accepted map fails validation: %v", verr)
+		}
+		for u := 1; u <= got.N && u <= 64; u++ {
+			if g := got.GroupFor(u); g < 0 || g >= got.Groups {
+				t.Fatalf("node %d routed to group %d of %d", u, g, got.Groups)
+			}
+		}
+		re, err := got.EncodeBytes()
+		if err != nil {
+			t.Fatalf("re-encode of accepted map failed: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatal("accepted encoding is not a fixed point")
+		}
+	})
+}

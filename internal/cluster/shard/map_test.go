@@ -1,0 +1,206 @@
+package shard
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNewUniformPartitions(t *testing.T) {
+	for _, groups := range []int{1, 2, 3, 7} {
+		m, err := NewUniform(300, groups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Epoch != 1 || m.Groups != groups || len(m.Ranges) != groups {
+			t.Fatalf("groups=%d: %+v", groups, m)
+		}
+		// Every node lands in exactly one group, every group is non-empty
+		// (300 nodes over ≤7 groups makes an empty one vanishingly unlikely
+		// and deterministic for these seeds), and the per-group sets tile
+		// the keyspace.
+		total := 0
+		for g := 0; g < groups; g++ {
+			set, err := m.OwnedSet(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if set.Count() == 0 {
+				t.Fatalf("groups=%d: group %d owns no keys", groups, g)
+			}
+			total += set.Count()
+			for u := 1; u <= m.N; u++ {
+				if set.Has(u) != (m.GroupFor(u) == g) {
+					t.Fatalf("groups=%d: node %d set/GroupFor disagree", groups, u)
+				}
+			}
+		}
+		if total != m.N {
+			t.Fatalf("groups=%d: sets cover %d of %d nodes", groups, total, m.N)
+		}
+	}
+}
+
+func TestSplitMovesOnlyTheCarvedRange(t *testing.T) {
+	m, err := NewUniform(500, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, ng, err := m.Split(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ng != 2 || next.Epoch != m.Epoch+1 || next.Groups != 3 || len(next.Ranges) != 3 {
+		t.Fatalf("split: group %d, %+v", ng, next)
+	}
+	// The receiver is untouched (immutability).
+	if m.Groups != 2 || len(m.Ranges) != 2 || m.Epoch != 1 {
+		t.Fatalf("split mutated the original: %+v", m)
+	}
+	// Group 0's ownership is byte-identical; every moved key came from the
+	// split group.
+	old0, _ := m.OwnedSet(0)
+	new0, _ := next.OwnedSet(0)
+	if !old0.Equal(new0) {
+		t.Fatal("split of group 1 changed group 0's keys")
+	}
+	moved, _ := next.OwnedSet(ng)
+	was1, _ := m.OwnedSet(1)
+	for u := 1; u <= m.N; u++ {
+		if moved.Has(u) && !was1.Has(u) {
+			t.Fatalf("node %d moved to the new group but was owned by group %d", u, m.GroupFor(u))
+		}
+	}
+	if moved.Count() == 0 {
+		t.Fatal("split moved zero keys at n=500")
+	}
+}
+
+func TestSplitRepeatedlyStaysValid(t *testing.T) {
+	m, err := NewUniform(400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		g := i % m.Groups
+		next, _, err := m.Split(g)
+		if err != nil {
+			t.Fatalf("split %d of group %d: %v", i, g, err)
+		}
+		m = next
+	}
+	if m.Groups != 7 || m.Epoch != 7 {
+		t.Fatalf("after 6 splits: %+v", m)
+	}
+	total := 0
+	for g := 0; g < m.Groups; g++ {
+		set, err := m.OwnedSet(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += set.Count()
+	}
+	if total != m.N {
+		t.Fatalf("sets cover %d of %d nodes", total, m.N)
+	}
+}
+
+func TestMapCodecRoundTrip(t *testing.T) {
+	m, err := NewUniform(4096, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err = m.Split(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := m.EncodeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatalf("round trip mismatch:\n in  %+v\n out %+v", m, got)
+	}
+	// Encoding is a pure function of the map.
+	enc2, err := got.EncodeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(enc) != string(enc2) {
+		t.Fatal("re-encode is not a fixed point")
+	}
+}
+
+// TestMapCodecRejectsCorruption: every truncation and every single-bit flip
+// of a valid encoding must be rejected — the map is adopted whole or not at
+// all.
+func TestMapCodecRejectsCorruption(t *testing.T) {
+	m, err := NewUniform(512, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := m.EncodeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := Decode(enc[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+	for i := range enc {
+		for _, bit := range []byte{0x01, 0x80} {
+			mut := append([]byte(nil), enc...)
+			mut[i] ^= bit
+			if _, err := Decode(mut); err == nil {
+				t.Fatalf("bit flip %#02x at byte %d accepted", bit, i)
+			}
+		}
+	}
+	if _, err := Decode(append(append([]byte(nil), enc...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestMapValidateRejectsBadShapes(t *testing.T) {
+	base := func() *Map {
+		m, err := NewUniform(64, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	cases := []struct {
+		name  string
+		wreck func(*Map)
+	}{
+		{"epoch zero", func(m *Map) { m.Epoch = 0 }},
+		{"n zero", func(m *Map) { m.N = 0 }},
+		{"n huge", func(m *Map) { m.N = maxNodes + 1 }},
+		{"no groups", func(m *Map) { m.Groups = 0 }},
+		{"first start nonzero", func(m *Map) { m.Ranges[0].Start = 1 }},
+		{"non-increasing", func(m *Map) { m.Ranges[1].Start = 0 }},
+		{"group out of range", func(m *Map) { m.Ranges[1].Group = 9 }},
+		{"orphan group", func(m *Map) { m.Ranges[1].Group = 0 }},
+	}
+	for _, tc := range cases {
+		m := base()
+		tc.wreck(m)
+		if err := m.validate(); !errors.Is(err, ErrBadMap) {
+			t.Fatalf("%s: validate = %v, want ErrBadMap", tc.name, err)
+		}
+		if _, err := m.EncodeBytes(); err == nil {
+			t.Fatalf("%s: encode accepted an invalid map", tc.name)
+		}
+	}
+	if _, err := NewUniform(3, 9); !errors.Is(err, ErrBadMap) {
+		t.Fatalf("more groups than nodes accepted: %v", err)
+	}
+	m := base()
+	if _, _, err := m.Split(5); !errors.Is(err, ErrBadMap) {
+		t.Fatalf("split of unknown group: %v", err)
+	}
+}

@@ -1,0 +1,379 @@
+// The scatter-gather front of a partitioned cluster: a shard.Router owns the
+// current shard map and one failover cluster.Router per group, fans batch
+// lookups out by source shard, and degrades honestly — a shard that cannot
+// answer after bounded retries yields ErrShardUnavailable for its keys while
+// every other shard's answers stand. Group-level failover (hedging, member
+// demotion, promotion) stays inside cluster.Router; this layer adds the
+// placement decision, per-shard circuit breakers, jittered retry backoff,
+// and the dual-read handoff window a live split needs.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"routetab/internal/cluster"
+	"routetab/internal/serve"
+)
+
+// ErrShardUnavailable reports that the shard owning a key could not answer
+// within the retry budget. It rides in Result.Err per key: a batch with one
+// dead shard still returns every other shard's answers.
+var ErrShardUnavailable = errors.New("shard: shard unavailable")
+
+// RouterOptions configures the scatter-gather front.
+type RouterOptions struct {
+	// Retries is how many additional attempts a failed shard lookup gets
+	// before the key degrades to ErrShardUnavailable (default 2; negative
+	// disables retries).
+	Retries int
+	// RetryBase is the first retry's backoff; it doubles per retry with
+	// ±25% jitter (default 200µs).
+	RetryBase time.Duration
+	// BreakerThreshold is how many consecutive shard-level failures open
+	// that shard's breaker (default 5).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects lookups before
+	// admitting a single half-open probe (default 10ms).
+	BreakerCooldown time.Duration
+	// Clock overrides time.Now for tests.
+	Clock func() time.Time
+	// Seed fixes the jitter source (0 = seeded from 1).
+	Seed int64
+}
+
+func (o *RouterOptions) setDefaults() {
+	if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 200 * time.Microsecond
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 10 * time.Millisecond
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// breaker is one shard's circuit breaker, guarded by the router mutex.
+type breaker struct {
+	fails     int
+	openUntil time.Time
+	probing   bool
+}
+
+// GroupStats is one shard's serving record as the router saw it.
+type GroupStats struct {
+	Served uint64 `json:"served"`
+	Failed uint64 `json:"failed"`
+}
+
+// Availability is served/(served+failed), 1 for an idle shard.
+func (s GroupStats) Availability() float64 {
+	if s.Served+s.Failed == 0 {
+		return 1
+	}
+	return float64(s.Served) / float64(s.Served+s.Failed)
+}
+
+// Router is the scatter-gather front. Safe for concurrent use.
+type Router struct {
+	opts RouterOptions
+
+	mu      sync.Mutex
+	smap    *Map
+	groups  map[int]*cluster.Router
+	breaker map[int]*breaker
+	stats   map[int]*GroupStats
+	rng     *rand.Rand
+	// handoffTo/handoffFrom describe the dual-read window of a live split:
+	// while active, keys the map sends to handoffTo may fall back to
+	// handoffFrom, which held them before the cutover.
+	handoffActive    bool
+	handoffTo        int
+	handoffFrom      int
+	rebalanceCurrent bool
+}
+
+// NewRouter builds the front over an initial map and its group routers.
+// Every group in the map must have a router.
+func NewRouter(m *Map, groups map[int]*cluster.Router, opts RouterOptions) (*Router, error) {
+	opts.setDefaults()
+	if m == nil {
+		return nil, fmt.Errorf("%w: nil map", ErrBadMap)
+	}
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	r := &Router{
+		opts:    opts,
+		smap:    m,
+		groups:  make(map[int]*cluster.Router, len(groups)),
+		breaker: make(map[int]*breaker),
+		stats:   make(map[int]*GroupStats),
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+	}
+	for id, rt := range groups {
+		r.groups[id] = rt
+	}
+	for g := 0; g < m.Groups; g++ {
+		if r.groups[g] == nil {
+			return nil, fmt.Errorf("shard: map names group %d but no router was given", g)
+		}
+	}
+	return r, nil
+}
+
+// Map returns the placement currently routed by.
+func (r *Router) Map() *Map {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.smap
+}
+
+// SetMap adopts a newer placement; an older or equal epoch is ignored (maps
+// may arrive out of order during a rebalance).
+func (r *Router) SetMap(m *Map) error {
+	if m == nil {
+		return fmt.Errorf("%w: nil map", ErrBadMap)
+	}
+	if err := m.validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.Epoch <= r.smap.Epoch {
+		return nil
+	}
+	r.smap = m
+	return nil
+}
+
+// SetGroup installs (or replaces) a group's failover router — a split adds
+// the new group's router before swapping the map in, so no lookup ever
+// resolves to a group without one.
+func (r *Router) SetGroup(id int, rt *cluster.Router) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.groups[id] = rt
+}
+
+// BeginHandoff opens the dual-read window: keys mapped to group to may fall
+// back to group from. It also marks a rebalance in flight for metrics.
+func (r *Router) BeginHandoff(to, from int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.handoffActive, r.handoffTo, r.handoffFrom = true, to, from
+	r.rebalanceCurrent = true
+}
+
+// EndHandoff closes the dual-read window.
+func (r *Router) EndHandoff() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.handoffActive = false
+	r.rebalanceCurrent = false
+}
+
+// RebalanceInflight reports whether a split's handoff window is open.
+func (r *Router) RebalanceInflight() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rebalanceCurrent
+}
+
+// Stats returns a copy of the per-shard serving record.
+func (r *Router) Stats() map[int]GroupStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[int]GroupStats, len(r.stats))
+	for id, s := range r.stats {
+		out[id] = *s
+	}
+	return out
+}
+
+// plan captures the routing decision for one key under the mutex: candidate
+// groups in try order with their routers.
+type plan struct {
+	ids  []int
+	rts  []*cluster.Router
+	skip []bool // breaker said no (and no probe slot): skip without an attempt
+}
+
+func (r *Router) planFor(src int, now time.Time) plan {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.smap.GroupFor(src)
+	ids := []int{g}
+	if r.handoffActive && g == r.handoffTo {
+		ids = append(ids, r.handoffFrom)
+	}
+	p := plan{ids: ids}
+	for _, id := range ids {
+		p.rts = append(p.rts, r.groups[id])
+		p.skip = append(p.skip, !r.admitLocked(id, now))
+	}
+	return p
+}
+
+// admitLocked consults group id's breaker: closed admits, open rejects, and
+// at cooldown expiry exactly one caller wins the half-open probe.
+func (r *Router) admitLocked(id int, now time.Time) bool {
+	b := r.breaker[id]
+	if b == nil {
+		b = &breaker{}
+		r.breaker[id] = b
+	}
+	if b.fails < r.opts.BreakerThreshold {
+		return true
+	}
+	if !now.Before(b.openUntil) && !b.probing {
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+func (r *Router) noteShardOK(id int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if b := r.breaker[id]; b != nil {
+		b.fails, b.probing = 0, false
+	}
+	r.statLocked(id).Served++
+}
+
+func (r *Router) noteShardFail(id int, now time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := r.breaker[id]
+	if b == nil {
+		b = &breaker{}
+		r.breaker[id] = b
+	}
+	b.fails++
+	b.probing = false
+	if b.fails >= r.opts.BreakerThreshold {
+		b.openUntil = now.Add(r.opts.BreakerCooldown)
+	}
+}
+
+func (r *Router) noteKeyFailed(id int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.statLocked(id).Failed++
+}
+
+func (r *Router) statLocked(id int) *GroupStats {
+	s := r.stats[id]
+	if s == nil {
+		s = &GroupStats{}
+		r.stats[id] = s
+	}
+	return s
+}
+
+// retryDelay is the jittered exponential backoff before retry attempt (1-based).
+func (r *Router) retryDelay(attempt int) time.Duration {
+	d := r.opts.RetryBase
+	for i := 1; i < attempt; i++ {
+		d *= 2
+	}
+	r.mu.Lock()
+	unit := r.rng.Float64()
+	r.mu.Unlock()
+	return time.Duration(float64(d) * (0.75 + 0.5*unit))
+}
+
+// Lookup answers one next-hop query. The error return is nil unless the
+// router is misconfigured; per-key degradation (ErrShardUnavailable) and
+// service answers ride in Result.Err, so batch callers get uniform per-key
+// semantics.
+func (r *Router) Lookup(src, dst int) (serve.Result, error) {
+	now := r.opts.Clock()
+	p := r.planFor(src, now)
+	for ci, id := range p.ids {
+		rt := p.rts[ci]
+		if rt == nil || p.skip[ci] {
+			continue
+		}
+		for attempt := 0; ; attempt++ {
+			res, err := rt.Lookup(src, dst)
+			switch {
+			case err == nil && res.Err == nil:
+				r.noteShardOK(id)
+				return res, nil
+			case err == nil && errors.Is(res.Err, serve.ErrWrongShard):
+				// A correct answer from the wrong group — a stale map or a
+				// mid-handoff race, not a failure. Fall through to the next
+				// candidate group without charging the breaker.
+			case err == nil && !errors.Is(res.Err, serve.ErrOverloaded):
+				// A definite service-level answer (unavailable destination,
+				// self-lookup): every member of every group agrees, return it.
+				r.noteShardOK(id)
+				return res, nil
+			default:
+				// Transport-level exhaustion (ErrNoBackends) or overload:
+				// the shard is struggling — retry within budget.
+				r.noteShardFail(id, r.opts.Clock())
+				if attempt < r.opts.Retries {
+					time.Sleep(r.retryDelay(attempt + 1))
+					continue
+				}
+			}
+			break
+		}
+	}
+	r.noteKeyFailed(p.ids[0])
+	return serve.Result{Err: fmt.Errorf("%w: group %d", ErrShardUnavailable, p.ids[0])}, nil
+}
+
+// LookupBatch scatter-gathers a batch: keys are fanned to their shards (one
+// goroutine per shard touched), answers land at their key's index, and a
+// shard that stays down after retries yields ErrShardUnavailable for exactly
+// its keys.
+func (r *Router) LookupBatch(pairs [][2]int, out []serve.Result) error {
+	if len(pairs) != len(out) {
+		return fmt.Errorf("shard: LookupBatch pairs (%d) and out (%d) length mismatch", len(pairs), len(out))
+	}
+	if len(pairs) == 0 {
+		return nil
+	}
+	m := r.Map()
+	byGroup := make(map[int][]int)
+	for i, pr := range pairs {
+		g := m.GroupFor(pr[0])
+		byGroup[g] = append(byGroup[g], i)
+	}
+	var wg sync.WaitGroup
+	for _, idxs := range byGroup {
+		wg.Add(1)
+		go func(idxs []int) {
+			defer wg.Done()
+			for _, i := range idxs {
+				res, err := r.Lookup(pairs[i][0], pairs[i][1])
+				if err != nil {
+					res = serve.Result{Err: err}
+				}
+				out[i] = res
+			}
+		}(idxs)
+	}
+	wg.Wait()
+	return nil
+}

@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"routetab/internal/cluster/walstore"
+	"routetab/internal/keyspace"
 	"routetab/internal/serve"
 	"routetab/internal/shortestpath"
 )
@@ -78,11 +79,20 @@ type RecordKind uint8
 // kind 4, so they encode and decode byte-identically to before, and a
 // pre-tables decoder rejects a tables-tier log outright instead of
 // misinterpreting it.
+// RecOwned is the keyspace-handover flavour of a publish: emitted when a
+// publication changed the engine's owned source set (a shard split or merge),
+// it carries the topology diff AND the new owned bitmap, so replicas replay
+// the handover through the same log-shipping path as any other publication —
+// no resync storm at cutover. OwnedN == 0 means the restriction was lifted.
+// As with RecPublishTables, the kind byte is the version sniff: logs without
+// rebalances never contain kind 5, and a pre-shard decoder rejects a
+// rebalancing log outright instead of misreading it.
 const (
 	RecPublish RecordKind = iota + 1
 	RecLink
 	RecNode
 	RecPublishTables
+	RecOwned
 )
 
 // String implements fmt.Stringer.
@@ -96,13 +106,16 @@ func (k RecordKind) String() string {
 		return "node"
 	case RecPublishTables:
 		return "publish-tables"
+	case RecOwned:
+		return "owned"
 	}
 	return fmt.Sprintf("record-kind-%d", int(k))
 }
 
-// IsPublish reports whether k is a publish flavour (full or tables tier).
+// IsPublish reports whether k is a publish flavour (full tier, tables tier,
+// or a keyspace handover).
 func (k RecordKind) IsPublish() bool {
-	return k == RecPublish || k == RecPublishTables
+	return k == RecPublish || k == RecPublishTables || k == RecOwned
 }
 
 // PublishKindFor returns the publish record kind matching snap's tier.
@@ -128,6 +141,11 @@ type Record struct {
 	Removes [][2]int // publish flavours: edges removed vs previous snapshot
 	U, V    int      // link (U,V) / node (U)
 	Down    bool     // link/node
+	// RecOwned only: the owned keyspace after this publication, as the bitmap
+	// word form of keyspace.Set over OwnedN nodes. OwnedN == 0 lifts the
+	// restriction (Owned empty).
+	OwnedN int
+	Owned  []uint64
 }
 
 // Frame tags for the WAL codec, disjoint from the RTSNAP1 section tags.
@@ -152,7 +170,7 @@ func marshalRecord(rec Record) ([]byte, error) {
 	buf.WriteByte(byte(rec.Kind))
 	buf.Write(tmp[:binary.PutUvarint(tmp[:], rec.Seq)])
 	switch rec.Kind {
-	case RecPublish, RecPublishTables:
+	case RecPublish, RecPublishTables, RecOwned:
 		buf.Write(tmp[:binary.PutUvarint(tmp[:], rec.SnapSeq)])
 		binary.Write(&buf, binary.LittleEndian, rec.DistCRC)
 		buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(rec.Adds)))])
@@ -162,6 +180,18 @@ func marshalRecord(rec Record) ([]byte, error) {
 		buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(rec.Removes)))])
 		for _, e := range rec.Removes {
 			putUvarintPair(&buf, e)
+		}
+		if rec.Kind == RecOwned {
+			buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(rec.OwnedN))])
+			if rec.OwnedN > 0 {
+				if want := (rec.OwnedN + 63) / 64; len(rec.Owned) != want {
+					return nil, fmt.Errorf("%w: owned bitmap %d words for n=%d (want %d)",
+						ErrBadRecord, len(rec.Owned), rec.OwnedN, want)
+				}
+				for _, w := range rec.Owned {
+					binary.Write(&buf, binary.LittleEndian, w)
+				}
+			}
 		}
 	case RecLink:
 		buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(rec.U))])
@@ -225,7 +255,7 @@ func unmarshalRecord(payload []byte) (Record, error) {
 		return Record{}, fmt.Errorf("%w: truncated seq", ErrBadRecord)
 	}
 	switch rec.Kind {
-	case RecPublish, RecPublishTables:
+	case RecPublish, RecPublishTables, RecOwned:
 		if rec.SnapSeq, err = binary.ReadUvarint(br); err != nil {
 			return Record{}, fmt.Errorf("%w: truncated snap seq", ErrBadRecord)
 		}
@@ -246,6 +276,28 @@ func unmarshalRecord(payload []byte) (Record, error) {
 					return Record{}, fmt.Errorf("%w: truncated edge", ErrBadRecord)
 				}
 				*dst = append(*dst, e)
+			}
+		}
+		if rec.Kind == RecOwned {
+			ownedN, err := binary.ReadUvarint(br)
+			if err != nil {
+				return Record{}, fmt.Errorf("%w: truncated owned n", ErrBadRecord)
+			}
+			if ownedN > 1<<16 {
+				return Record{}, fmt.Errorf("%w: owned n = %d", ErrBadRecord, ownedN)
+			}
+			rec.OwnedN = int(ownedN)
+			if rec.OwnedN > 0 {
+				words := (rec.OwnedN + 63) / 64
+				if br.Len() < 8*words {
+					return Record{}, fmt.Errorf("%w: truncated owned bitmap", ErrBadRecord)
+				}
+				rec.Owned = make([]uint64, words)
+				for i := range rec.Owned {
+					if err := binary.Read(br, binary.LittleEndian, &rec.Owned[i]); err != nil {
+						return Record{}, fmt.Errorf("%w: truncated owned bitmap", ErrBadRecord)
+					}
+				}
 			}
 		}
 	case RecLink:
@@ -279,12 +331,39 @@ func unmarshalRecord(payload []byte) (Record, error) {
 	return rec, nil
 }
 
+// OwnedSet decodes a RecOwned record's bitmap into a keyspace set (nil when
+// the record lifts the restriction). The word shape is re-validated, so a
+// corrupt bitmap fails loudly instead of restricting to garbage.
+func (r *Record) OwnedSet() (*keyspace.Set, error) {
+	if r.Kind != RecOwned {
+		return nil, fmt.Errorf("%w: OwnedSet on %v record", ErrBadRecord, r.Kind)
+	}
+	if r.OwnedN == 0 {
+		return nil, nil
+	}
+	set, err := keyspace.FromWords(r.OwnedN, r.Owned)
+	if err != nil {
+		return nil, fmt.Errorf("%w: owned bitmap: %v", ErrBadRecord, err)
+	}
+	return set, nil
+}
+
 // verifyPublish checks that snap — the engine's state after replaying a
-// publish record — matches the record's tier flavour and CRC. A kind/tier
-// mismatch or a CRC mismatch is a determinism-contract violation; callers
-// fall back to a full resync (replica) or surface corruption (recovery).
+// publish record — matches the record's tier flavour and CRC (and, for
+// keyspace handovers, the published owned set). A kind/tier mismatch or a CRC
+// mismatch is a determinism-contract violation; callers fall back to a full
+// resync (replica) or surface corruption (recovery).
 func verifyPublish(rec Record, snap *serve.Snapshot) error {
-	if want := PublishKindFor(snap); rec.Kind != want {
+	if rec.Kind == RecOwned {
+		want, err := rec.OwnedSet()
+		if err != nil {
+			return err
+		}
+		if got := snap.Owned(); !got.Equal(want) {
+			return fmt.Errorf("owned set mismatch after replaying snap %d: got %v want %v",
+				rec.SnapSeq, got, want)
+		}
+	} else if want := PublishKindFor(snap); rec.Kind != want {
 		return fmt.Errorf("%v record replayed on a %s-tier engine", rec.Kind, snap.Tier)
 	}
 	if crc := SnapshotCRC(snap); crc != rec.DistCRC {

@@ -14,6 +14,9 @@ func sampleRecords() []Record {
 		{Seq: 3, Kind: RecNode, U: 11, Down: true},
 		{Seq: 4, Kind: RecLink, U: 7, V: 9, Down: false},
 		{Seq: 5, Kind: RecPublish, SnapSeq: 3, DistCRC: 1},
+		{Seq: 6, Kind: RecOwned, SnapSeq: 4, DistCRC: 2,
+			Removes: [][2]int{{1, 2}}, OwnedN: 70, Owned: []uint64{0x00FF00FF00FF00FF, 0x2A}},
+		{Seq: 7, Kind: RecOwned, SnapSeq: 5, DistCRC: 3}, // lifted restriction
 	}
 }
 
@@ -29,8 +32,14 @@ func TestRecordCodecRoundTrip(t *testing.T) {
 		}
 		if got.Seq != rec.Seq || got.Kind != rec.Kind || got.SnapSeq != rec.SnapSeq ||
 			got.DistCRC != rec.DistCRC || got.U != rec.U || got.V != rec.V || got.Down != rec.Down ||
-			len(got.Adds) != len(rec.Adds) || len(got.Removes) != len(rec.Removes) {
+			len(got.Adds) != len(rec.Adds) || len(got.Removes) != len(rec.Removes) ||
+			got.OwnedN != rec.OwnedN || len(got.Owned) != len(rec.Owned) {
 			t.Fatalf("round trip mismatch:\n in  %+v\n out %+v", rec, got)
+		}
+		for i := range rec.Owned {
+			if got.Owned[i] != rec.Owned[i] {
+				t.Fatalf("owned[%d] = %#x, want %#x", i, got.Owned[i], rec.Owned[i])
+			}
 		}
 		for i := range rec.Adds {
 			if got.Adds[i] != rec.Adds[i] {

@@ -1,0 +1,139 @@
+// Package keyspace represents subsets of a node keyspace 1..N as fixed-width
+// bitmaps. It is the one currency the sharding layers trade in: the shard map
+// materialises a group's owned set from its hash ranges, the serving engine
+// restricts its tables to an owned set, the landmark codec embeds the set in
+// the encoded tables, and the replication WAL ships owned-set changes as
+// records. A leaf package with no repo dependencies, so all of those layers
+// can share the type without import cycles.
+package keyspace
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Set is a subset of the keyspace {1, …, N}, stored as a bitmap (bit u−1 for
+// node u). The zero value is unusable; construct with New or FromWords.
+// Mutation (Add) is construction-time only — published sets are treated as
+// immutable by every consumer.
+type Set struct {
+	n     int
+	words []uint64
+	count int
+}
+
+// New returns an empty set over keyspace 1..n.
+func New(n int) (*Set, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("keyspace: n = %d", n)
+	}
+	return &Set{n: n, words: make([]uint64, (n+63)/64)}, nil
+}
+
+// All returns the full set {1..n}.
+func All(n int) (*Set, error) {
+	s, err := New(n)
+	if err != nil {
+		return nil, err
+	}
+	for u := 1; u <= n; u++ {
+		s.Add(u)
+	}
+	return s, nil
+}
+
+// FromWords reconstructs a set from its word representation (the codec
+// direction). The word count must match n exactly and bits beyond n must be
+// zero — a corrupt bitmap is rejected, never silently masked.
+func FromWords(n int, words []uint64) (*Set, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("keyspace: n = %d", n)
+	}
+	if want := (n + 63) / 64; len(words) != want {
+		return nil, fmt.Errorf("keyspace: %d words for n=%d, want %d", len(words), n, want)
+	}
+	if rem := n % 64; rem != 0 {
+		if tail := words[len(words)-1] >> uint(rem); tail != 0 {
+			return nil, fmt.Errorf("keyspace: bits set beyond n=%d", n)
+		}
+	}
+	s := &Set{n: n, words: make([]uint64, len(words))}
+	copy(s.words, words)
+	for _, w := range s.words {
+		s.count += bits.OnesCount64(w)
+	}
+	return s, nil
+}
+
+// N returns the keyspace size.
+func (s *Set) N() int { return s.n }
+
+// Count returns the number of owned keys.
+func (s *Set) Count() int { return s.count }
+
+// Has reports whether node u is in the set. Out-of-range u is simply absent.
+// Allocation-free: safe on the serving hot path.
+func (s *Set) Has(u int) bool {
+	if u < 1 || u > s.n {
+		return false
+	}
+	return s.words[(u-1)>>6]&(1<<uint((u-1)&63)) != 0
+}
+
+// Add inserts node u (construction-time only).
+func (s *Set) Add(u int) {
+	if u < 1 || u > s.n {
+		panic(fmt.Sprintf("keyspace: add %d outside 1..%d", u, s.n))
+	}
+	w, b := (u-1)>>6, uint64(1)<<uint((u-1)&63)
+	if s.words[w]&b == 0 {
+		s.words[w] |= b
+		s.count++
+	}
+}
+
+// Words returns the bitmap words (read-only; do not mutate).
+func (s *Set) Words() []uint64 { return s.words }
+
+// Clone returns an independent copy.
+func (s *Set) Clone() *Set {
+	c := &Set{n: s.n, words: make([]uint64, len(s.words)), count: s.count}
+	copy(c.words, s.words)
+	return c
+}
+
+// Equal reports whether two sets cover the same keyspace with the same
+// members. Nil receivers/arguments compare equal only to nil (callers use nil
+// as "unrestricted", which equals no concrete set).
+func (s *Set) Equal(o *Set) bool {
+	if s == nil || o == nil {
+		return s == nil && o == nil
+	}
+	if s.n != o.n || s.count != o.count {
+		return false
+	}
+	for i, w := range s.words {
+		if o.words[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// Minus returns s \ o (both over the same keyspace).
+func (s *Set) Minus(o *Set) (*Set, error) {
+	if o.n != s.n {
+		return nil, fmt.Errorf("keyspace: minus over n=%d vs n=%d", s.n, o.n)
+	}
+	out := &Set{n: s.n, words: make([]uint64, len(s.words))}
+	for i, w := range s.words {
+		out.words[i] = w &^ o.words[i]
+		out.count += bits.OnesCount64(out.words[i])
+	}
+	return out, nil
+}
+
+// String summarises the set for logs.
+func (s *Set) String() string {
+	return fmt.Sprintf("keyspace{%d of %d}", s.count, s.n)
+}

@@ -1,0 +1,95 @@
+package keyspace
+
+import "testing"
+
+func TestSetBasics(t *testing.T) {
+	s, err := New(130)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []int{1, 64, 65, 128, 130} {
+		s.Add(u)
+	}
+	s.Add(64) // idempotent
+	if got := s.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	for _, u := range []int{1, 64, 65, 128, 130} {
+		if !s.Has(u) {
+			t.Errorf("Has(%d) = false", u)
+		}
+	}
+	for _, u := range []int{0, 2, 63, 129, 131, -1} {
+		if s.Has(u) {
+			t.Errorf("Has(%d) = true", u)
+		}
+	}
+}
+
+func TestFromWordsRoundTrip(t *testing.T) {
+	s, _ := New(100)
+	for u := 3; u <= 100; u += 7 {
+		s.Add(u)
+	}
+	r, err := FromWords(100, s.Words())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Equal(s) {
+		t.Fatal("round trip not equal")
+	}
+}
+
+func TestFromWordsRejectsBadShapes(t *testing.T) {
+	if _, err := FromWords(100, make([]uint64, 1)); err == nil {
+		t.Error("short word slice accepted")
+	}
+	if _, err := FromWords(100, make([]uint64, 3)); err == nil {
+		t.Error("long word slice accepted")
+	}
+	words := make([]uint64, 2)
+	words[1] = 1 << 40 // bit 104 > n=100
+	if _, err := FromWords(100, words); err == nil {
+		t.Error("tail bits beyond n accepted")
+	}
+	if _, err := FromWords(0, nil); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestEqualAndMinus(t *testing.T) {
+	a, _ := New(64)
+	b, _ := New(64)
+	for u := 1; u <= 64; u++ {
+		a.Add(u)
+		if u%2 == 0 {
+			b.Add(u)
+		}
+	}
+	if a.Equal(b) {
+		t.Fatal("unequal sets compare equal")
+	}
+	d, err := a.Minus(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Count() != 32 {
+		t.Fatalf("minus count = %d, want 32", d.Count())
+	}
+	for u := 1; u <= 64; u++ {
+		if d.Has(u) != (u%2 == 1) {
+			t.Errorf("minus membership wrong at %d", u)
+		}
+	}
+	var nilSet *Set
+	if nilSet.Equal(a) || a.Equal(nil) {
+		t.Error("nil compares equal to a concrete set")
+	}
+	if !nilSet.Equal(nil) {
+		t.Error("nil != nil")
+	}
+	full, _ := All(10)
+	if full.Count() != 10 || !full.Has(1) || !full.Has(10) {
+		t.Error("All(10) wrong")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"routetab/internal/graph"
+	"routetab/internal/keyspace"
 )
 
 // Table encoding ("LMTB", version 1), little-endian throughout. The layout is
@@ -25,29 +26,66 @@ import (
 //
 // Distances and ports fit u16 because Build rejects n > 65535; the encoder
 // re-checks anyway so a silent clamp is impossible.
+//
+// Version 2 is the keyspace-restricted flavour (restrict.go): after the
+// shared 20-byte header it inserts
+//
+//	u32 ownedCount
+//	⌈n/64⌉ × u64 owned bitmap (bit u−1 for node u; bits beyond n zero)
+//
+// and then ships the same sections except that lmPort rows appear only for
+// owned nodes (ascending node order) and clusterTotal counts owned rows only
+// (non-owned CSR rows must be empty). lmDist stays full — DistEstimate reads
+// both endpoints' rows. The version field is the sniff: a version-1 decoder
+// rejects restricted tables outright instead of misreading them.
 const (
-	tablesMagic   = 0x42544d4c // "LMTB" little-endian
-	tablesVersion = 1
-	tablesHdrLen  = 20
+	tablesMagic    = 0x42544d4c // "LMTB" little-endian
+	tablesVersion  = 1
+	tablesVersion2 = 2
+	tablesHdrLen   = 20
 )
 
-// EncodedTablesLen returns the byte length of the encoding for the given
-// shape, shared by the encoder and the serving layer's arena sizing.
+// EncodedTablesLen returns the byte length of the version-1 encoding for the
+// given shape, shared by the encoder and the serving layer's arena sizing.
 func EncodedTablesLen(n, k, clusterTotal int) int {
 	return tablesHdrLen + 4*k + 6*n + 4*n*k + 4*(n+1) + 8*clusterTotal
 }
 
-// EncodeTables serialises the scheme's tables deterministically.
+// EncodedTablesLenV2 returns the byte length of the version-2 (restricted)
+// encoding: full lmDist, lmPort rows for ownedCount nodes only.
+func EncodedTablesLenV2(n, k, clusterTotal, ownedCount int) int {
+	words := (n + 63) / 64
+	return tablesHdrLen + 4 + 8*words + 4*k + 6*n + 2*n*k + 2*ownedCount*k + 4*(n+1) + 8*clusterTotal
+}
+
+// EncodeTables serialises the scheme's tables deterministically: version 1
+// for an unrestricted scheme, version 2 (owned bitmap, owned-only lmPort rows)
+// for a restricted one.
 func (s *Scheme) EncodeTables() []byte {
 	n, k, ct := s.n, s.k, len(s.clusterDst)
-	buf := make([]byte, EncodedTablesLen(n, k, ct))
+	var buf []byte
 	le := binary.LittleEndian
+	if s.owned != nil {
+		oc := s.owned.Count()
+		buf = make([]byte, EncodedTablesLenV2(n, k, ct, oc))
+		le.PutUint32(buf[4:], tablesVersion2)
+		le.PutUint32(buf[tablesHdrLen:], uint32(oc))
+	} else {
+		buf = make([]byte, EncodedTablesLen(n, k, ct))
+		le.PutUint32(buf[4:], tablesVersion)
+	}
 	le.PutUint32(buf[0:], tablesMagic)
-	le.PutUint32(buf[4:], tablesVersion)
 	le.PutUint32(buf[8:], uint32(n))
 	le.PutUint32(buf[12:], uint32(k))
 	le.PutUint32(buf[16:], uint32(ct))
 	off := tablesHdrLen
+	if s.owned != nil {
+		off += 4
+		for _, w := range s.owned.Words() {
+			le.PutUint64(buf[off:], w)
+			off += 8
+		}
+	}
 	putU32 := func(vals []int32) {
 		for _, v := range vals {
 			le.PutUint32(buf[off:], uint32(v))
@@ -68,7 +106,15 @@ func (s *Scheme) EncodeTables() []byte {
 	putU16(s.homeDist[1:])
 	putU16(s.eport[1:])
 	putU16(s.lmDist)
-	putU16(s.lmPort)
+	if s.owned != nil {
+		for u := 1; u <= n; u++ {
+			if s.owned.Has(u) {
+				putU16(s.lmPort[(u-1)*k : u*k])
+			}
+		}
+	} else {
+		putU16(s.lmPort)
+	}
 	putU32(s.clusterStart)
 	putU32(s.clusterDst)
 	putU16(s.clusterPort)
@@ -92,8 +138,9 @@ func DecodeTables(g *graph.Graph, ports *graph.Ports, data []byte) (*Scheme, err
 	if m := le.Uint32(data[0:]); m != tablesMagic {
 		return nil, fmt.Errorf("%w: bad magic %08x", ErrBadTables, m)
 	}
-	if v := le.Uint32(data[4:]); v != tablesVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTables, v)
+	version := le.Uint32(data[4:])
+	if version != tablesVersion && version != tablesVersion2 {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTables, version)
 	}
 	n := int(le.Uint32(data[8:]))
 	k := int(le.Uint32(data[12:]))
@@ -104,7 +151,33 @@ func DecodeTables(g *graph.Graph, ports *graph.Ports, data []byte) (*Scheme, err
 	if n < 1 || n > 65535 || k < 1 || k > n || ct < 0 {
 		return nil, fmt.Errorf("%w: shape n=%d k=%d ct=%d", ErrBadTables, n, k, ct)
 	}
-	if want := EncodedTablesLen(n, k, ct); len(data) != want {
+	var owned *keyspace.Set
+	if version == tablesVersion2 {
+		// The owned section (count + bitmap) sits between the header and the
+		// landmark list; the total-length check needs the count first.
+		if len(data) < tablesHdrLen+4 {
+			return nil, fmt.Errorf("%w: %d bytes < restricted header", ErrBadTables, len(data))
+		}
+		oc := int(le.Uint32(data[tablesHdrLen:]))
+		if oc < 1 || oc > n {
+			return nil, fmt.Errorf("%w: ownedCount %d out of 1..%d", ErrBadTables, oc, n)
+		}
+		if want := EncodedTablesLenV2(n, k, ct, oc); len(data) != want {
+			return nil, fmt.Errorf("%w: %d bytes, want %d (v2)", ErrBadTables, len(data), want)
+		}
+		words := make([]uint64, (n+63)/64)
+		for i := range words {
+			words[i] = le.Uint64(data[tablesHdrLen+4+8*i:])
+		}
+		set, err := keyspace.FromWords(n, words)
+		if err != nil {
+			return nil, fmt.Errorf("%w: owned bitmap: %v", ErrBadTables, err)
+		}
+		if set.Count() != oc {
+			return nil, fmt.Errorf("%w: owned bitmap popcount %d != ownedCount %d", ErrBadTables, set.Count(), oc)
+		}
+		owned = set
+	} else if want := EncodedTablesLen(n, k, ct); len(data) != want {
 		return nil, fmt.Errorf("%w: %d bytes, want %d", ErrBadTables, len(data), want)
 	}
 	if err := ports.Validate(g); err != nil {
@@ -124,8 +197,12 @@ func DecodeTables(g *graph.Graph, ports *graph.Ports, data []byte) (*Scheme, err
 		clusterDst:   make([]int32, ct),
 		clusterPort:  make([]int32, ct),
 		clusterDist:  make([]int32, ct),
+		owned:        owned,
 	}
 	off := tablesHdrLen
+	if owned != nil {
+		off += 4 + 8*len(owned.Words())
+	}
 	getU32 := func(dst []int32) {
 		for i := range dst {
 			dst[i] = int32(le.Uint32(data[off:]))
@@ -143,7 +220,17 @@ func DecodeTables(g *graph.Graph, ports *graph.Ports, data []byte) (*Scheme, err
 	getU16(s.homeDist[1:])
 	getU16(s.eport[1:])
 	getU16(s.lmDist)
-	getU16(s.lmPort)
+	if owned != nil {
+		// lmPort rows are shipped for owned nodes only; non-owned rows stay
+		// zero, matching what Restrict produced on the encoder side.
+		for u := 1; u <= n; u++ {
+			if owned.Has(u) {
+				getU16(s.lmPort[(u-1)*k : u*k])
+			}
+		}
+	} else {
+		getU16(s.lmPort)
+	}
 	getU32(s.clusterStart)
 	getU32(s.clusterDst)
 	getU16(s.clusterPort)
@@ -177,14 +264,17 @@ func DecodeTables(g *graph.Graph, ports *graph.Ports, data []byte) (*Scheme, err
 	}
 	for u := 1; u <= n; u++ {
 		deg := int32(ports.Degree(u))
+		hasPorts := owned == nil || owned.Has(u)
 		for j := 0; j < k; j++ {
 			at := (u-1)*k + j
 			if int32(u) == s.landmarks[j] {
 				if s.lmPort[at] != 0 || s.lmDist[at] != 0 {
 					return nil, fmt.Errorf("%w: node %d self-landmark row nonzero", ErrBadTables, u)
 				}
-			} else if s.lmPort[at] < 1 || s.lmPort[at] > deg || s.lmDist[at] < 1 || int(s.lmDist[at]) >= n {
-				return nil, fmt.Errorf("%w: landmark row (%d,%d) port=%d dist=%d", ErrBadTables, u, j, s.lmPort[at], s.lmDist[at])
+			} else if s.lmDist[at] < 1 || int(s.lmDist[at]) >= n {
+				return nil, fmt.Errorf("%w: landmark row (%d,%d) dist=%d", ErrBadTables, u, j, s.lmDist[at])
+			} else if hasPorts && (s.lmPort[at] < 1 || s.lmPort[at] > deg) {
+				return nil, fmt.Errorf("%w: landmark row (%d,%d) port=%d out of degree %d", ErrBadTables, u, j, s.lmPort[at], deg)
 			}
 		}
 	}
@@ -195,6 +285,9 @@ func DecodeTables(g *graph.Graph, ports *graph.Ports, data []byte) (*Scheme, err
 		lo, hi := s.clusterStart[u-1], s.clusterStart[u]
 		if lo > hi {
 			return nil, fmt.Errorf("%w: cluster CSR not monotone at %d", ErrBadTables, u)
+		}
+		if owned != nil && !owned.Has(u) && lo != hi {
+			return nil, fmt.Errorf("%w: non-owned node %d has %d cluster entries", ErrBadTables, u, hi-lo)
 		}
 		deg := int32(ports.Degree(u))
 		for i := lo; i < hi; i++ {

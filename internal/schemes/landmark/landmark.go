@@ -41,6 +41,7 @@ import (
 
 	"routetab/internal/bitio"
 	"routetab/internal/graph"
+	"routetab/internal/keyspace"
 	"routetab/internal/models"
 	"routetab/internal/routing"
 	"routetab/internal/shortestpath"
@@ -103,6 +104,11 @@ type Scheme struct {
 	// so Label(u) is a plain struct copy on the zero-alloc hot path.
 	labels   []routing.Label
 	labelAux []int
+
+	// owned restricts the per-source tables to a keyspace shard (restrict.go);
+	// nil means every node's tables are present. Non-owned nodes have zeroed
+	// lmPort rows and empty cluster rows, and Route refuses them as sources.
+	owned *keyspace.Set
 }
 
 var _ routing.Scheme = (*Scheme)(nil)

@@ -1,0 +1,216 @@
+package landmark
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"routetab/internal/gengraph"
+	"routetab/internal/graph"
+	"routetab/internal/keyspace"
+	"routetab/internal/routing"
+	"routetab/internal/shortestpath"
+)
+
+func restrictTestGraph(t *testing.T) (*graph.Graph, *graph.Ports) {
+	t.Helper()
+	g, err := gengraph.SparseConnected(72, 5, rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, graph.SortedPorts(g)
+}
+
+func evenOwned(t *testing.T, n int) *keyspace.Set {
+	t.Helper()
+	owned, err := keyspace.New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 2; u <= n; u += 2 {
+		owned.Add(u)
+	}
+	return owned
+}
+
+// TestRestrictDeterminism: restriction is a pure function of (build, owned) —
+// two independent builds restricted to the same shard encode byte-identically,
+// which is what scheme-table anti-entropy digests across a shard group rely
+// on.
+func TestRestrictDeterminism(t *testing.T) {
+	g, ports := restrictTestGraph(t)
+	owned := evenOwned(t, g.N())
+	var encs [][]byte
+	for i := 0; i < 2; i++ {
+		s, err := Build(g, ports, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Restrict(owned); err != nil {
+			t.Fatal(err)
+		}
+		encs = append(encs, s.EncodeTables())
+	}
+	if !bytes.Equal(encs[0], encs[1]) {
+		t.Fatal("restricted encodings differ across identical builds")
+	}
+}
+
+// TestRestrictRouteAndEstimate: owned sources keep the exact first hop of the
+// unrestricted scheme and the stretch-3 estimate bound; non-owned sources are
+// refused with ErrNotOwned instead of forwarding on zeroed rows.
+func TestRestrictRouteAndEstimate(t *testing.T) {
+	g, ports := restrictTestGraph(t)
+	n := g.N()
+	full, err := Build(g, ports, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(g, ports, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := evenOwned(t, n)
+	if err := s.Restrict(owned); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Restrict(owned); err == nil {
+		t.Fatal("double restriction accepted")
+	}
+	sim, err := routing.NewSim(g, ports, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullSim, err := routing.NewSim(g, ports, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := 1; src <= n; src++ {
+		res, err := shortestpath.BFS(g, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for dst := 1; dst <= n; dst++ {
+			if dst == src {
+				continue
+			}
+			next, rerr := sim.FirstHop(src, dst)
+			if !owned.Has(src) {
+				if !errors.Is(rerr, ErrNotOwned) {
+					t.Fatalf("FirstHop(%d,%d) from non-owned source: err = %v, want ErrNotOwned", src, dst, rerr)
+				}
+				continue
+			}
+			fnext, ferr := fullSim.FirstHop(src, dst)
+			if rerr != nil || ferr != nil {
+				t.Fatalf("FirstHop(%d,%d): restricted err %v, full err %v", src, dst, rerr, ferr)
+			}
+			if next != fnext {
+				t.Fatalf("FirstHop(%d,%d): restricted hop %d != full hop %d", src, dst, next, fnext)
+			}
+			d := res.Dist[dst]
+			est := s.EstimateDist(src, dst)
+			if est < d {
+				t.Fatalf("EstimateDist(%d,%d) = %d below true distance %d", src, dst, est, d)
+			}
+			if d >= 2 && est > 3*d {
+				t.Fatalf("EstimateDist(%d,%d) = %d exceeds 3·d = %d", src, dst, est, 3*d)
+			}
+		}
+	}
+}
+
+// TestRestrictCodecRoundTrip: the v2 encoding round-trips byte-identically,
+// carries the owned set, and is strictly smaller than the unrestricted
+// encoding — the per-shard resync-bytes win the sharded tier exists for.
+func TestRestrictCodecRoundTrip(t *testing.T) {
+	g, ports := restrictTestGraph(t)
+	s, err := Build(g, ports, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullEnc := s.EncodeTables()
+	owned := evenOwned(t, g.N())
+	if err := s.Restrict(owned); err != nil {
+		t.Fatal(err)
+	}
+	enc := s.EncodeTables()
+	if len(enc) >= len(fullEnc) {
+		t.Fatalf("restricted encoding %dB not below full %dB", len(enc), len(fullEnc))
+	}
+	dec, err := DecodeTables(g, ports, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Owned() == nil || !dec.Owned().Equal(owned) {
+		t.Fatalf("decoded owned set %v != %v", dec.Owned(), owned)
+	}
+	if !bytes.Equal(dec.EncodeTables(), enc) {
+		t.Fatal("v2 decode→encode is not a fixed point")
+	}
+}
+
+// TestRestrictCodecRejectsCorruption is the v2 corruption matrix: every
+// truncation, a bit flip in every header and owned-section byte, and targeted
+// semantic corruptions (popcount mismatch, tail bits, smuggled non-owned
+// cluster rows) must all be rejected with ErrBadTables — a corrupt restricted
+// blob is never partially adopted.
+func TestRestrictCodecRejectsCorruption(t *testing.T) {
+	g, ports := restrictTestGraph(t)
+	s, err := Build(g, ports, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := evenOwned(t, g.N())
+	if err := s.Restrict(owned); err != nil {
+		t.Fatal(err)
+	}
+	enc := s.EncodeTables()
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodeTables(g, ports, enc[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded successfully", cut)
+		} else if !errors.Is(err, ErrBadTables) && cut >= tablesHdrLen {
+			t.Fatalf("truncation to %d bytes: err %v not ErrBadTables", cut, err)
+		}
+	}
+	// Header + ownedCount + every bitmap byte: any flip must fail loudly.
+	ownedSection := tablesHdrLen + 4 + 8*len(owned.Words())
+	for off := 0; off < ownedSection; off++ {
+		bad := bytes.Clone(enc)
+		bad[off] ^= 0x40
+		if _, err := DecodeTables(g, ports, bad); err == nil {
+			t.Fatalf("owned-section byte %d flip decoded successfully", off)
+		}
+	}
+	// Tail bit beyond n in the last bitmap word.
+	bad := bytes.Clone(enc)
+	lastWord := tablesHdrLen + 4 + 8*(len(owned.Words())-1)
+	bad[lastWord+7] |= 0x80 // bit 127 of a 2-word bitmap over n=72
+	if _, err := DecodeTables(g, ports, bad); !errors.Is(err, ErrBadTables) {
+		t.Fatalf("tail bit beyond n: err %v, want ErrBadTables", err)
+	}
+}
+
+// TestRestrictRejectsBadArgs covers the Restrict precondition errors.
+func TestRestrictRejectsBadArgs(t *testing.T) {
+	g, ports := restrictTestGraph(t)
+	s, err := Build(g, ports, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Restrict(nil); err == nil {
+		t.Error("nil owned set accepted")
+	}
+	empty, _ := keyspace.New(g.N())
+	if err := s.Restrict(empty); err == nil {
+		t.Error("empty owned set accepted")
+	}
+	wrongN, _ := keyspace.All(g.N() + 1)
+	if err := s.Restrict(wrongN); err == nil {
+		t.Error("owned set over wrong n accepted")
+	}
+	if s.Owned() != nil {
+		t.Error("failed Restrict left scheme restricted")
+	}
+}

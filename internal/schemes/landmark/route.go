@@ -25,6 +25,12 @@ func (s *Scheme) Route(u int, env routing.Env, dest routing.Label, hdr uint64, _
 	if u < 1 || u > s.n || v < 1 || v > s.n || len(dest.Aux) != 2 {
 		return 0, 0, fmt.Errorf("%w: %d -> %v", routing.ErrBadDestination, u, dest.ID)
 	}
+	if s.owned != nil && !s.owned.Has(u) {
+		// Restricted scheme: u's per-source tables were dropped. The serving
+		// layer rejects non-owned sources before routing; this guard keeps a
+		// mis-shard from silently forwarding on zeroed tables.
+		return 0, 0, fmt.Errorf("%w: %d", ErrNotOwned, u)
+	}
 	if port, ok := env.PortOfNeighbor(v); ok {
 		return port, hdr, nil
 	}

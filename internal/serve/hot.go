@@ -255,6 +255,13 @@ func (s *Snapshot) DistEstimate(src, dst int) int {
 // overlay: a next hop across a down link or into a down node is replaced by
 // a live detour (degraded mode) until the repairer's rebuild lands.
 func (s *Server) answer(snap *Snapshot, src, dst int) Result {
+	if o := snap.owned; o != nil && !o.Has(src) {
+		// Keyspace-restricted snapshot: this group does not own src. The
+		// sentinel is definite (no wrapping, no allocation) — the shard router
+		// re-asks the owning group.
+		s.wrongShard.Inc()
+		return Result{Seq: snap.Seq, Err: ErrWrongShard}
+	}
 	ov := s.overlay.Load()
 	if ov != nil && (ov.nodeDown(dst) || ov.nodeDown(src)) {
 		s.unavailable.Inc()

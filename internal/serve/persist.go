@@ -31,6 +31,7 @@ import (
 	"path/filepath"
 
 	"routetab/internal/graph"
+	"routetab/internal/keyspace"
 	"routetab/internal/routing"
 	"routetab/internal/shortestpath"
 )
@@ -425,6 +426,15 @@ func (e *Engine) Adopt(sd *SnapshotData) error {
 	if sd.Dist != nil {
 		e.cache.Put(sd.Graph, sd.Dist)
 	}
+	if snap.Tier == TierTables {
+		// The adopted table blob carries the remote owned set (possibly nil);
+		// later local rebuilds must restrict identically or diverge.
+		e.owned = snap.owned
+	} else {
+		// The full-tier matrix encodes no ownership: keep the engine's
+		// serve-level restriction sticky across adoption.
+		snap.owned = e.owned
+	}
 	e.cur.Store(snap)
 	e.swaps.Store(sd.Seq)
 	return e.saveLocked(snap)
@@ -440,12 +450,18 @@ func snapshotFromData(sd *SnapshotData) (*Snapshot, error) {
 		est    DistEstimator
 		tier   = TierFull
 	)
+	var owned *keyspace.Set
 	if sd.Dist == nil {
 		ts, err := DecodeTableScheme(sd.Scheme, sd.Graph, sd.Ports, sd.Tables)
 		if err != nil {
 			return nil, err
 		}
 		scheme, est, tier = ts, ts, TierTables
+		// A keyspace-restricted table blob carries its owned set; the rebuilt
+		// snapshot enforces the same restriction the encoder did.
+		if ow, ok := ts.(interface{ Owned() *keyspace.Set }); ok {
+			owned = ow.Owned()
+		}
 	} else {
 		var err error
 		scheme, err = BuildScheme(sd.Scheme, sd.Graph, sd.Ports, sd.Dist)
@@ -469,6 +485,7 @@ func snapshotFromData(sd *SnapshotData) (*Snapshot, error) {
 		hopLimit: routing.DefaultHopLimit(sd.Graph.N()),
 		est:      est,
 		tables:   sd.Tables,
+		owned:    owned,
 	}, nil
 }
 
@@ -507,6 +524,7 @@ func NewEngineFromSnapshot(sd *SnapshotData) (*Engine, error) {
 		tier:   snap.Tier,
 		codec:  CodecArena,
 		cache:  shortestpath.NewCache(2),
+		owned:  snap.owned,
 	}
 	if sd.Dist != nil {
 		e.cache.Put(sd.Graph, sd.Dist)

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"routetab/internal/graph"
+	"routetab/internal/keyspace"
 	"routetab/internal/routing"
 	"routetab/internal/shortestpath"
 )
@@ -127,6 +128,9 @@ type Snapshot struct {
 	// in place of the matrix).
 	est    DistEstimator
 	tables []byte
+	// owned restricts the sources this snapshot serves (shard.go); nil means
+	// every source. The hot path answers foreign sources with ErrWrongShard.
+	owned *keyspace.Set
 }
 
 var _ Router = (*Snapshot)(nil)
@@ -206,6 +210,9 @@ type Engine struct {
 	cur   atomic.Pointer[Snapshot]
 	swaps atomic.Uint64
 	hook  PublishHook
+	// owned is the keyspace shard this engine serves (shard.go); nil means
+	// unrestricted. Guarded by mu; every rebuild snapshots it.
+	owned *keyspace.Set
 	// codec names the snapshot codec behind the engine's initial state:
 	// CodecArena for cold builds and arena warm boots, CodecLegacy when the
 	// engine was restored from a pre-arena RTSNAP1 file. Set at construction,
@@ -398,6 +405,19 @@ func (e *Engine) rebuildLocked() (*Snapshot, error) {
 		if err != nil {
 			return nil, err
 		}
+		if e.owned != nil {
+			// Restriction happens before encoding: the snapshot's table blob —
+			// what persistence, state shipping, and resync all carry — holds
+			// only the owned rows, so per-shard resync bytes shrink with the
+			// shard instead of shipping the whole scheme.
+			r, ok := ts.(Restricter)
+			if !ok {
+				return nil, fmt.Errorf("serve: scheme %q cannot restrict to a keyspace shard", e.scheme)
+			}
+			if err := r.Restrict(e.owned); err != nil {
+				return nil, err
+			}
+		}
 		scheme, est, tables = ts, ts, ts.EncodeTables()
 	} else {
 		var err error
@@ -426,6 +446,7 @@ func (e *Engine) rebuildLocked() (*Snapshot, error) {
 		hopLimit: routing.DefaultHopLimit(g.N()),
 		est:      est,
 		tables:   tables,
+		owned:    e.owned,
 	}
 	prev := e.cur.Load()
 	e.cur.Store(snap)

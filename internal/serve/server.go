@@ -130,6 +130,7 @@ type Server struct {
 	trips       *metrics.Counter   // breaker trips (closed→open transitions)
 	shunts      *metrics.Counter   // jobs redirected off an open-breaker shard
 	panics      *metrics.Counter   // recovered worker panics
+	wrongShard  *metrics.Counter   // lookups refused: source outside owned keyspace
 	shardSheds  []*metrics.Counter // sheds attributed to each primary shard
 	latency     *metrics.Histogram
 	lookupNs    *metrics.Histogram // per-lookup service time (queue wait excluded)
@@ -157,6 +158,7 @@ func NewServer(eng *Engine, opts ServerOptions) *Server {
 		trips:       reg.Counter("serve_breaker_trips_total"),
 		shunts:      reg.Counter("serve_breaker_shunts_total"),
 		panics:      reg.Counter("serve_worker_panics_total"),
+		wrongShard:  reg.Counter("serve_wrong_shard_total"),
 		latency:     reg.Histogram("serve_latency_ns", metrics.ExponentialBounds(1024, 24)), // ~1µs … ~8.6s
 		lookupNs:    reg.Histogram("lookup_ns", metrics.ExponentialBounds(16, 24)),          // 16ns … ~134ms
 		batchSz:     reg.Histogram("serve_batch_pairs", metrics.ExponentialBounds(1, 14)),   // 1 … 8192

@@ -11,7 +11,10 @@
 //     lie, not a degraded mode);
 //   - the returned next hop is an actual neighbour of the source;
 //   - the snapshot's own full route delivers within 3·d(src, dst) hops — the
-//     Thorup–Zwick bound the landmark construction guarantees.
+//     Thorup–Zwick bound the landmark construction guarantees. On a
+//     keyspace-restricted shard snapshot foreign intermediate hops are
+//     unroutable locally by design, so the answer's distance estimate is held
+//     to the same two-sided d ≤ est ≤ 3d bound instead.
 //
 // Sampling is deterministic: whether a (src, dst) pair is graded depends only
 // on (src, dst, Seed, SampleEvery), never on timing, so two runs of the same
@@ -123,6 +126,20 @@ func (g *Grader) grade(snap *serve.Snapshot, src, dst int, r *serve.Result) {
 		g.fail(fmt.Sprintf("next hop %d→%d = %d is not a neighbour", src, dst, r.Next))
 		return
 	}
+	if snap.Owned() != nil {
+		// Restricted shard snapshot: the full-route walk cannot run inside one
+		// member — foreign intermediate hops are other shards' tables by
+		// design — so assert the answer's distance estimate against the same
+		// two-sided stretch-3 contract (d ≤ est ≤ 3d) instead. End-to-end
+		// cross-shard route walks are the shard chaos harness's quiesce job.
+		if r.Dist < d || r.Dist > 3*d {
+			g.fail(fmt.Sprintf("estimate %d→%d = %d outside [%d, %d]",
+				src, dst, r.Dist, d, 3*d))
+			return
+		}
+		g.pass(int64(r.Dist) * 1000 / int64(d))
+		return
+	}
 	tr, err := snap.Route(src, dst)
 	if err != nil {
 		g.fail(fmt.Sprintf("route %d→%d: %v", src, dst, err))
@@ -133,7 +150,11 @@ func (g *Grader) grade(snap *serve.Snapshot, src, dst int, r *serve.Result) {
 			src, dst, tr.Hops, d, float64(tr.Hops)/float64(d)))
 		return
 	}
-	milli := int64(tr.Hops) * 1000 / int64(d)
+	g.pass(int64(tr.Hops) * 1000 / int64(d))
+}
+
+// pass records one graded answer's stretch ×1000.
+func (g *Grader) pass(milli int64) {
 	for {
 		old := g.maxMilli.Load()
 		if milli <= old || g.maxMilli.CompareAndSwap(old, milli) {
